@@ -1,0 +1,78 @@
+//! Ablation (beyond the paper's figures): optimization time and explored
+//! plan count of the exhaustive two-dimensional enumeration vs the Figure 10
+//! heuristics vs the traditional (ranking-blind) baseline.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksql_optimizer::{optimize_traditional, CostModel, DpOptimizer, SamplingEstimator};
+use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let config = SyntheticConfig {
+        table_size: 1_500,
+        join_selectivity: 0.01,
+        predicate_cost: 2,
+        k: 10,
+        ..SyntheticConfig::default()
+    };
+    let workload = SyntheticWorkload::generate(config).expect("workload");
+    let estimator = Arc::new(
+        SamplingEstimator::build(&workload.query, &workload.catalog, 0.02, 1).expect("estimator"),
+    );
+
+    // Report the explored-plan counts once.
+    for (label, heuristic) in [("exhaustive", false), ("heuristic", true)] {
+        let dp = DpOptimizer::new(
+            &workload.query,
+            &workload.catalog,
+            Arc::clone(&estimator),
+            CostModel::default(),
+            heuristic,
+        );
+        let plan = dp.optimize().expect("plan");
+        eprintln!(
+            "{label}: {} plans considered, {} signatures, cost {:.1}",
+            plan.stats.plans_considered,
+            plan.stats.signatures_kept,
+            plan.cost.value()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_enumeration");
+    group.sample_size(10);
+    for (label, heuristic) in [("exhaustive_2d", false), ("heuristic_fig10", true)] {
+        group.bench_with_input(BenchmarkId::new("dp", label), &heuristic, |b, &heuristic| {
+            b.iter(|| {
+                DpOptimizer::new(
+                    &workload.query,
+                    &workload.catalog,
+                    Arc::clone(&estimator),
+                    CostModel::default(),
+                    heuristic,
+                )
+                .optimize()
+                .expect("plan")
+                .stats
+                .plans_considered
+            })
+        });
+    }
+    group.bench_function("traditional_baseline", |b| {
+        b.iter(|| {
+            optimize_traditional(
+                &workload.query,
+                &workload.catalog,
+                &estimator,
+                &CostModel::default(),
+            )
+            .expect("plan")
+            .stats
+            .plans_considered
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation (beyond the paper's figures): the paper's sampling-based
+//! cardinality estimator (Section 5.2) versus the analytic
+//! histogram-convolution estimator added as an extension.
+//!
+//! The comparison is along the two axes that matter to an optimizer:
+//!
+//! * **accuracy** — geometric-mean ratio error of the per-operator output
+//!   cardinality estimates against the real execution of plan 3 and plan 4,
+//! * **overhead** — the time to build each estimator and the time to estimate
+//!   one candidate plan (the sampling estimator executes the subplan over the
+//!   samples; the histogram estimator only does histogram arithmetic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksql_bench::{build_plan, PaperPlan};
+use ranksql_executor::execute_query_plan;
+use ranksql_optimizer::{HistogramEstimator, SamplingEstimator};
+use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+
+const SAMPLE_RATIO: f64 = 0.02;
+const SEED: u64 = 0xF16;
+
+fn geometric_mean_ratio_error(real: &[(String, u64)], estimated: &[(String, f64)]) -> f64 {
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    for ((_, real_card), (_, est)) in real.iter().zip(estimated.iter()) {
+        let r = (*real_card as f64).max(1.0);
+        let e = est.max(1.0);
+        log_sum += (e / r).max(r / e).ln();
+        count += 1;
+    }
+    (log_sum / count.max(1) as f64).exp()
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let config = SyntheticConfig {
+        table_size: 4_000,
+        join_selectivity: 0.0025,
+        predicate_cost: 1,
+        k: 10,
+        ..SyntheticConfig::default()
+    };
+    let workload = SyntheticWorkload::generate(config).expect("workload");
+    workload.build_indexes().expect("indexes");
+
+    let sampling =
+        SamplingEstimator::build(&workload.query, &workload.catalog, SAMPLE_RATIO, SEED)
+            .expect("sampling estimator");
+    let histogram =
+        HistogramEstimator::build(&workload.query, &workload.catalog, SAMPLE_RATIO, SEED)
+            .expect("histogram estimator");
+
+    // Accuracy report (once, outside the timed loops).
+    for which in [PaperPlan::Plan3, PaperPlan::Plan4] {
+        let plan = build_plan(&workload, which).expect("plan");
+        let result =
+            execute_query_plan(&workload.query, &plan, &workload.catalog).expect("execution");
+        let real = result.metrics.output_cardinalities();
+        let s = sampling.estimate_per_operator(&plan).expect("sampling estimates");
+        let h = histogram.estimate_per_operator(&plan).expect("histogram estimates");
+        eprintln!(
+            "{}: sampling error {:.2}x, histogram error {:.2}x over {} operators",
+            which.name(),
+            geometric_mean_ratio_error(&real, &s),
+            geometric_mean_ratio_error(&real, &h),
+            real.len()
+        );
+    }
+
+    let plan3 = build_plan(&workload, PaperPlan::Plan3).expect("plan3");
+
+    let mut group = c.benchmark_group("ablation_estimators");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("build", "sampling"), |b| {
+        b.iter(|| {
+            SamplingEstimator::build(&workload.query, &workload.catalog, SAMPLE_RATIO, SEED)
+                .expect("estimator")
+                .x_threshold()
+        })
+    });
+    group.bench_function(BenchmarkId::new("build", "histogram"), |b| {
+        b.iter(|| {
+            HistogramEstimator::build(&workload.query, &workload.catalog, SAMPLE_RATIO, SEED)
+                .expect("estimator")
+                .x_threshold()
+        })
+    });
+    group.bench_function(BenchmarkId::new("estimate_plan3", "sampling"), |b| {
+        b.iter(|| {
+            // Fresh estimator per batch would hide the memoisation advantage;
+            // estimating the same plan repeatedly is what enumeration does.
+            sampling.estimate_cardinality(&plan3).expect("estimate")
+        })
+    });
+    group.bench_function(BenchmarkId::new("estimate_plan3", "histogram"), |b| {
+        b.iter(|| histogram.estimate_cardinality(&plan3).expect("estimate"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

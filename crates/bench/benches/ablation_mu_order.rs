@@ -1,0 +1,76 @@
+//! Ablation: sensitivity to the scheduling order of µ operators (the
+//! Example 4 analysis at scale).  The same query is executed with the rank
+//! operators of table B applied in both orders, and with the rank predicates
+//! evaluated before vs after the join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ranksql_algebra::{JoinAlgorithm, LogicalPlan};
+use ranksql_executor::execute_query_plan;
+use ranksql_expr::BoolExpr;
+use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+
+fn bench_mu_order(c: &mut Criterion) {
+    let config = SyntheticConfig {
+        table_size: 3_000,
+        join_selectivity: 0.005,
+        predicate_cost: 20,
+        k: 10,
+        ..SyntheticConfig::default()
+    };
+    let workload = SyntheticWorkload::generate(config).expect("workload");
+    let catalog = &workload.catalog;
+    let a = catalog.table("A").expect("A");
+    let b_table = catalog.table("B").expect("B");
+    let jc1 = BoolExpr::col_eq_col("A.jc1", "B.jc1");
+    let filter_a = BoolExpr::column_is_true("A.b");
+    let filter_b = BoolExpr::column_is_true("B.b");
+    let k = workload.query.k;
+
+    // Two-table variant of query Q so the µ-order effect is isolated.
+    let mut query = workload.query.clone();
+    query.tables = vec!["A".into(), "B".into()];
+    query.bool_predicates = vec![jc1.clone(), filter_a.clone(), filter_b.clone()];
+
+    let left = LogicalPlan::rank_scan(&a, 0).select(filter_a).rank(1);
+    let right_f3_first =
+        LogicalPlan::rank_scan(&b_table, 2).select(filter_b.clone()).rank(3);
+    let right_f4_first =
+        LogicalPlan::rank_scan(&b_table, 3).select(filter_b.clone()).rank(2);
+    let plan_f3_first = left
+        .clone()
+        .join(right_f3_first, Some(jc1.clone()), JoinAlgorithm::HashRankJoin)
+        .limit(k);
+    let plan_f4_first = left
+        .clone()
+        .join(right_f4_first, Some(jc1.clone()), JoinAlgorithm::HashRankJoin)
+        .limit(k);
+    // All µ above the join (no push-down).
+    let plan_mu_above = LogicalPlan::rank_scan(&a, 0)
+        .select(BoolExpr::column_is_true("A.b"))
+        .join(
+            LogicalPlan::rank_scan(&b_table, 2).select(filter_b),
+            Some(jc1),
+            JoinAlgorithm::HashRankJoin,
+        )
+        .rank(1)
+        .rank(3)
+        .limit(k);
+
+    let mut group = c.benchmark_group("ablation_mu_order");
+    group.sample_size(10);
+    for (label, plan) in [
+        ("b_scan_by_f3_then_mu_f4", &plan_f3_first),
+        ("b_scan_by_f4_then_mu_f3", &plan_f4_first),
+        ("mu_above_join", &plan_mu_above),
+    ] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                execute_query_plan(&query, plan, catalog).expect("execution").tuples.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mu_order);
+criterion_main!(benches);

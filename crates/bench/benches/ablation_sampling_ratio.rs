@@ -1,0 +1,86 @@
+//! Ablation (beyond the paper's figures): sensitivity of the sampling-based
+//! cardinality estimator (Section 5.2) to the sampling ratio.
+//!
+//! The paper fixes the ratio at 0.1 % and reports (Figure 13) that estimates
+//! stay within an order of magnitude of the real cardinalities.  This bench
+//! sweeps the ratio and reports, for plan 3's operators,
+//!
+//! * the geometric-mean ratio error `max(est/real, real/est)` (1.0 = perfect),
+//! * and the time to build the estimator (sampling + evaluating all
+//!   predicates on the sample + running the query on the sample),
+//!
+//! which is the accuracy-versus-optimizer-overhead trade-off an integrator
+//! has to pick.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksql_bench::{build_plan, PaperPlan};
+use ranksql_executor::execute_query_plan;
+use ranksql_optimizer::SamplingEstimator;
+use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+
+const RATIOS: [f64; 4] = [0.005, 0.01, 0.05, 0.1];
+
+fn geometric_mean_ratio_error(real: &[(String, u64)], estimated: &[(String, f64)]) -> f64 {
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    for ((_, real_card), (_, est)) in real.iter().zip(estimated.iter()) {
+        let r = (*real_card as f64).max(1.0);
+        let e = est.max(1.0);
+        log_sum += (e / r).abs().max(r / e).ln();
+        count += 1;
+    }
+    (log_sum / count.max(1) as f64).exp()
+}
+
+fn bench_sampling_ratio(c: &mut Criterion) {
+    let config = SyntheticConfig {
+        table_size: 4_000,
+        join_selectivity: 0.0025,
+        predicate_cost: 1,
+        k: 10,
+        ..SyntheticConfig::default()
+    };
+    let workload = SyntheticWorkload::generate(config).expect("workload");
+    workload.build_indexes().expect("indexes");
+
+    // Real cardinalities of plan 3's operators (measured once).
+    let plan = build_plan(&workload, PaperPlan::Plan3).expect("plan3");
+    let result =
+        execute_query_plan(&workload.query, &plan, &workload.catalog).expect("execution");
+    let real = result.metrics.output_cardinalities();
+
+    // One-off accuracy report per ratio.
+    for &ratio in &RATIOS {
+        let estimator =
+            SamplingEstimator::build(&workload.query, &workload.catalog, ratio, 0xF16)
+                .expect("estimator");
+        let estimated = estimator.estimate_per_operator(&plan).expect("estimates");
+        eprintln!(
+            "sample ratio {:>6.3}: geometric-mean ratio error {:.2}x over {} operators",
+            ratio,
+            geometric_mean_ratio_error(&real, &estimated),
+            estimated.len()
+        );
+    }
+
+    // Timed: estimator construction cost as the ratio grows.
+    let mut group = c.benchmark_group("ablation_sampling_ratio");
+    group.sample_size(10);
+    for &ratio in &RATIOS {
+        group.bench_with_input(
+            BenchmarkId::new("build_estimator", format!("{ratio}")),
+            &ratio,
+            |b, &ratio| {
+                b.iter(|| {
+                    SamplingEstimator::build(&workload.query, &workload.catalog, ratio, 0xF16)
+                        .expect("estimator")
+                        .x_threshold()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling_ratio);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 12(b): execution time of the four plans as the per-evaluation cost
+//! of the ranking predicates grows (0 → 1000 unit costs).  Rank-aware plans
+//! evaluate far fewer predicates, so the gap widens with the cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksql_bench::{build_plan, PaperPlan};
+use ranksql_executor::execute_query_plan;
+use ranksql_expr::{RankPredicate, RankingContext};
+use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+
+fn set_cost(workload: &mut SyntheticWorkload, cost: u64) {
+    let predicates: Vec<RankPredicate> = workload
+        .query
+        .ranking
+        .predicates()
+        .iter()
+        .map(|p| RankPredicate { name: p.name.clone(), source: p.source.clone(), cost })
+        .collect();
+    workload.query.ranking =
+        RankingContext::new(predicates, workload.query.ranking.scoring().clone());
+}
+
+fn bench_fig12b(c: &mut Criterion) {
+    let config = SyntheticConfig {
+        table_size: 2_000,
+        join_selectivity: 0.005,
+        predicate_cost: 1,
+        k: 10,
+        ..SyntheticConfig::default()
+    };
+    let mut workload = SyntheticWorkload::generate(config).expect("workload");
+    let mut group = c.benchmark_group("fig12b_vary_cost");
+    group.sample_size(10);
+    for cost in [0u64, 10, 100, 1000] {
+        set_cost(&mut workload, cost);
+        for plan_kind in PaperPlan::all() {
+            let plan = build_plan(&workload, plan_kind).expect("plan");
+            group.bench_with_input(
+                BenchmarkId::new(plan_kind.name(), cost),
+                &plan,
+                |b, plan| {
+                    b.iter(|| {
+                        execute_query_plan(&workload.query, plan, &workload.catalog)
+                            .expect("execution")
+                            .tuples
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12b);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 12(c): execution time of the four plans as the join selectivity
+//! varies.  Very selective joins shrink the intermediate results so much that
+//! the traditional plan becomes competitive — the crossover the paper points
+//! out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksql_bench::{build_plan, PaperPlan};
+use ranksql_executor::execute_query_plan;
+use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+
+fn bench_fig12c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12c_vary_join_selectivity");
+    group.sample_size(10);
+    for selectivity in [0.0005f64, 0.005, 0.02] {
+        let config = SyntheticConfig {
+            table_size: 2_000,
+            join_selectivity: selectivity,
+            predicate_cost: 1,
+            k: 10,
+            ..SyntheticConfig::default()
+        };
+        let workload = SyntheticWorkload::generate(config).expect("workload");
+        for plan_kind in PaperPlan::all() {
+            let plan = build_plan(&workload, plan_kind).expect("plan");
+            group.bench_with_input(
+                BenchmarkId::new(plan_kind.name(), format!("{selectivity}")),
+                &plan,
+                |b, plan| {
+                    b.iter(|| {
+                        execute_query_plan(&workload.query, plan, &workload.catalog)
+                            .expect("execution")
+                            .tuples
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12c);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 12(a): execution time of the four Figure 11 plans as the number of
+//! requested results k grows (1 → 1000).
+//!
+//! The bench uses a scaled-down table size so Criterion finishes quickly; the
+//! `paper-experiments --full` binary runs the paper-scale version.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksql_bench::{build_plan, PaperPlan};
+use ranksql_executor::execute_query_plan;
+use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+
+fn bench_fig12a(c: &mut Criterion) {
+    let config = SyntheticConfig {
+        table_size: 2_000,
+        join_selectivity: 0.005,
+        predicate_cost: 1,
+        k: 10,
+        ..SyntheticConfig::default()
+    };
+    let mut workload = SyntheticWorkload::generate(config).expect("workload");
+    let mut group = c.benchmark_group("fig12a_vary_k");
+    group.sample_size(10);
+    for k in [1usize, 10, 100, 1000] {
+        workload.query.k = k;
+        for plan_kind in PaperPlan::all() {
+            let plan = build_plan(&workload, plan_kind).expect("plan");
+            group.bench_with_input(
+                BenchmarkId::new(plan_kind.name(), k),
+                &plan,
+                |b, plan| {
+                    b.iter(|| {
+                        execute_query_plan(&workload.query, plan, &workload.catalog)
+                            .expect("execution")
+                            .tuples
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12a);
+criterion_main!(benches);

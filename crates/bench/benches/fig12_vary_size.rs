@@ -1,0 +1,42 @@
+//! Figure 12(d): execution time of the rank-aware plans (2–4) as the table
+//! size grows.  Plan 1 is excluded, as in the paper, because the
+//! materialise-then-sort strategy is off the scale at large sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksql_bench::{build_plan, PaperPlan};
+use ranksql_executor::execute_query_plan;
+use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+
+fn bench_fig12d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12d_vary_table_size");
+    group.sample_size(10);
+    for size in [500usize, 2_000, 8_000] {
+        let config = SyntheticConfig {
+            table_size: size,
+            join_selectivity: 10.0 / size as f64,
+            predicate_cost: 1,
+            k: 10,
+            ..SyntheticConfig::default()
+        };
+        let workload = SyntheticWorkload::generate(config).expect("workload");
+        for plan_kind in PaperPlan::scalable() {
+            let plan = build_plan(&workload, plan_kind).expect("plan");
+            group.bench_with_input(
+                BenchmarkId::new(plan_kind.name(), size),
+                &plan,
+                |b, plan| {
+                    b.iter(|| {
+                        execute_query_plan(&workload.query, plan, &workload.catalog)
+                            .expect("execution")
+                            .tuples
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12d);
+criterion_main!(benches);

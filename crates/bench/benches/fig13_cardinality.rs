@@ -1,0 +1,60 @@
+//! Figure 13: the sampling-based cardinality estimator.  Benchmarks the cost
+//! of building the estimator and of producing per-operator estimates for
+//! plan 3 and plan 4, and (once, outside the timed region) prints the real
+//! vs estimated cardinalities the figure plots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksql_bench::{build_plan, run_fig13, PaperPlan};
+use ranksql_optimizer::SamplingEstimator;
+use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+
+fn config() -> SyntheticConfig {
+    SyntheticConfig {
+        table_size: 4_000,
+        join_selectivity: 0.0025,
+        predicate_cost: 1,
+        k: 10,
+        ..SyntheticConfig::default()
+    }
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let cfg = config();
+    let workload = SyntheticWorkload::generate(cfg.clone()).expect("workload");
+
+    // Print the accuracy series once so `cargo bench` output contains the
+    // Figure 13 data alongside the timings.
+    let rows = run_fig13(&cfg, 0.02).expect("fig13 series");
+    eprintln!("fig13 real-vs-estimated output cardinalities:");
+    for r in &rows {
+        eprintln!(
+            "  {:<6} op{:<2} {:<28} real={:<8} est={:.1}",
+            r.plan, r.operator_index, r.operator, r.real, r.estimated
+        );
+    }
+
+    let mut group = c.benchmark_group("fig13_cardinality_estimation");
+    group.sample_size(10);
+    group.bench_function("build_estimator_0.02_sample", |b| {
+        b.iter(|| {
+            SamplingEstimator::build(&workload.query, &workload.catalog, 0.02, 0xF16)
+                .expect("estimator")
+                .x_threshold()
+        })
+    });
+    for plan_kind in [PaperPlan::Plan3, PaperPlan::Plan4] {
+        let plan = build_plan(&workload, plan_kind).expect("plan");
+        let estimator =
+            SamplingEstimator::build(&workload.query, &workload.catalog, 0.02, 0xF16)
+                .expect("estimator");
+        group.bench_with_input(
+            BenchmarkId::new("estimate_per_operator", plan_kind.name()),
+            &plan,
+            |b, plan| b.iter(|| estimator.estimate_per_operator(plan).expect("estimates").len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the individual rank-aware operators against their
+//! traditional counterparts: µ + rank-scan vs sort, HRJN vs hash-join + sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksql_algebra::{JoinAlgorithm, LogicalPlan};
+use ranksql_common::BitSet64;
+use ranksql_executor::execute_query_plan;
+use ranksql_expr::BoolExpr;
+use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+
+fn bench_operators(c: &mut Criterion) {
+    let config = SyntheticConfig {
+        table_size: 5_000,
+        join_selectivity: 0.002,
+        predicate_cost: 1,
+        k: 10,
+        ..SyntheticConfig::default()
+    };
+    let workload = SyntheticWorkload::generate(config).expect("workload");
+    let catalog = &workload.catalog;
+    let a = catalog.table("A").expect("A");
+    let b = catalog.table("B").expect("B");
+    let k = workload.query.k;
+
+    // Single-table top-k over A's two predicates.
+    let mut single = workload.query.clone();
+    single.tables = vec!["A".into()];
+    single.bool_predicates = vec![];
+    let single_sort = LogicalPlan::scan(&a).sort(BitSet64::from_indices([0, 1])).limit(k);
+    let single_rank = LogicalPlan::rank_scan(&a, 0).rank(1).limit(k);
+
+    // Two-table top-k join.
+    let mut join_query = workload.query.clone();
+    join_query.tables = vec!["A".into(), "B".into()];
+    join_query.bool_predicates = vec![BoolExpr::col_eq_col("A.jc1", "B.jc1")];
+    let jc1 = BoolExpr::col_eq_col("A.jc1", "B.jc1");
+    let join_traditional = LogicalPlan::scan(&a)
+        .join(LogicalPlan::scan(&b), Some(jc1.clone()), JoinAlgorithm::Hash)
+        .sort(BitSet64::from_indices([0, 1, 2, 3]))
+        .limit(k);
+    let join_hrjn = LogicalPlan::rank_scan(&a, 0)
+        .rank(1)
+        .join(
+            LogicalPlan::rank_scan(&b, 2).rank(3),
+            Some(jc1),
+            JoinAlgorithm::HashRankJoin,
+        )
+        .limit(k);
+
+    let mut group = c.benchmark_group("operators_micro");
+    group.sample_size(10);
+    for (label, query, plan) in [
+        ("single_table/sort", &single, &single_sort),
+        ("single_table/rank_scan_mu", &single, &single_rank),
+        ("join/hash_join_sort", &join_query, &join_traditional),
+        ("join/hrjn", &join_query, &join_hrjn),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), plan, |bench, plan| {
+            bench.iter(|| execute_query_plan(query, plan, catalog).expect("execution").tuples.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

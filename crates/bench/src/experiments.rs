@@ -1,0 +1,265 @@
+//! Parameter sweeps regenerating Figures 12(a–d) and 13.
+
+use std::time::Instant;
+
+use ranksql_common::Result;
+use ranksql_executor::execute_query_plan;
+use ranksql_expr::{RankPredicate, RankingContext};
+use ranksql_optimizer::SamplingEstimator;
+use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+use serde::Serialize;
+
+use crate::plans::{build_plan, PaperPlan};
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// The swept parameter's value (k, c, j or s).
+    pub x: f64,
+    /// Which plan was executed.
+    pub plan: String,
+    /// Wall-clock execution time in seconds.
+    pub seconds: f64,
+    /// Total ranking-predicate evaluations (hardware-independent cost).
+    pub predicate_evaluations: u64,
+    /// Tuples emitted by the scan operators (how much of the inputs was read).
+    pub tuples_scanned: u64,
+    /// Number of result rows returned.
+    pub results: usize,
+}
+
+/// A complete series for one figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentSeries {
+    /// Figure identifier (e.g. `"fig12a"`).
+    pub id: String,
+    /// Meaning of the x axis.
+    pub x_label: String,
+    /// The measurements, grouped by plan in x order.
+    pub rows: Vec<Measurement>,
+}
+
+impl ExperimentSeries {
+    /// Renders the series as an aligned text table (one row per (x, plan)).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>12}  {:<6}  {:>12}  {:>12}  {:>12}  {:>8}\n",
+            self.x_label, "plan", "seconds", "pred-evals", "scanned", "results"
+        ));
+        for m in &self.rows {
+            out.push_str(&format!(
+                "{:>12}  {:<6}  {:>12.4}  {:>12}  {:>12}  {:>8}\n",
+                m.x, m.plan, m.seconds, m.predicate_evaluations, m.tuples_scanned, m.results
+            ));
+        }
+        out
+    }
+}
+
+fn run_one(
+    workload: &SyntheticWorkload,
+    which: PaperPlan,
+    x: f64,
+) -> Result<Measurement> {
+    let plan = build_plan(workload, which)?;
+    let start = Instant::now();
+    let result = execute_query_plan(&workload.query, &plan, &workload.catalog)?;
+    let seconds = start.elapsed().as_secs_f64();
+    let tuples_scanned = result
+        .metrics
+        .snapshot()
+        .iter()
+        .filter(|m| m.name().contains("Scan"))
+        .map(|m| m.tuples_out())
+        .sum();
+    Ok(Measurement {
+        x,
+        plan: which.name().to_owned(),
+        seconds,
+        predicate_evaluations: result.total_predicate_evaluations(),
+        tuples_scanned,
+        results: result.tuples.len(),
+    })
+}
+
+/// Replaces the predicate cost of a generated workload's query without
+/// regenerating the data (the data does not depend on `c`).
+fn with_predicate_cost(workload: &mut SyntheticWorkload, cost: u64) {
+    let predicates: Vec<RankPredicate> = workload
+        .query
+        .ranking
+        .predicates()
+        .iter()
+        .map(|p| RankPredicate { name: p.name.clone(), source: p.source.clone(), cost })
+        .collect();
+    workload.query.ranking =
+        RankingContext::new(predicates, workload.query.ranking.scoring().clone());
+}
+
+/// Figure 12(a): execution time vs the number of results `k`
+/// (paper: k ∈ {1, 10, 100, 1000}, s = 100 000, j = 0.0001, c = 1).
+pub fn run_fig12a(base: &SyntheticConfig, ks: &[usize]) -> Result<ExperimentSeries> {
+    let mut workload = SyntheticWorkload::generate(base.clone())?;
+    let mut rows = Vec::new();
+    for &k in ks {
+        workload.query.k = k;
+        for plan in PaperPlan::all() {
+            rows.push(run_one(&workload, plan, k as f64)?);
+        }
+    }
+    Ok(ExperimentSeries { id: "fig12a".into(), x_label: "k".into(), rows })
+}
+
+/// Figure 12(b): execution time vs ranking-predicate cost `c`
+/// (paper: c ∈ {0, 1, 10, 100, 1000}, k = 10).
+pub fn run_fig12b(base: &SyntheticConfig, costs: &[u64]) -> Result<ExperimentSeries> {
+    let mut workload = SyntheticWorkload::generate(base.clone())?;
+    let mut rows = Vec::new();
+    for &c in costs {
+        with_predicate_cost(&mut workload, c);
+        for plan in PaperPlan::all() {
+            rows.push(run_one(&workload, plan, c as f64)?);
+        }
+    }
+    Ok(ExperimentSeries { id: "fig12b".into(), x_label: "c (unit costs)".into(), rows })
+}
+
+/// Figure 12(c): execution time vs join selectivity `j`
+/// (paper: j ∈ {0.00001, 0.0001, 0.001}, k = 10, c = 1).
+pub fn run_fig12c(base: &SyntheticConfig, selectivities: &[f64]) -> Result<ExperimentSeries> {
+    let mut rows = Vec::new();
+    for &j in selectivities {
+        let mut cfg = base.clone();
+        cfg.join_selectivity = j;
+        let workload = SyntheticWorkload::generate(cfg)?;
+        for plan in PaperPlan::all() {
+            rows.push(run_one(&workload, plan, j)?);
+        }
+    }
+    Ok(ExperimentSeries { id: "fig12c".into(), x_label: "join selectivity".into(), rows })
+}
+
+/// Figure 12(d): execution time vs table size `s`
+/// (paper: s ∈ {10 000, 100 000, 1 000 000}; plan 1 is excluded because it
+/// is off the scale).
+pub fn run_fig12d(base: &SyntheticConfig, sizes: &[usize]) -> Result<ExperimentSeries> {
+    let mut rows = Vec::new();
+    for &s in sizes {
+        let mut cfg = base.clone();
+        cfg.table_size = s;
+        let workload = SyntheticWorkload::generate(cfg)?;
+        for plan in PaperPlan::scalable() {
+            rows.push(run_one(&workload, plan, s as f64)?);
+        }
+    }
+    Ok(ExperimentSeries { id: "fig12d".into(), x_label: "table size".into(), rows })
+}
+
+/// One operator's real vs estimated output cardinality (Figure 13).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Row {
+    /// Which plan the operator belongs to (`plan3` or `plan4`).
+    pub plan: String,
+    /// Operator index within the plan (post-order, as in the paper's x axis).
+    pub operator_index: usize,
+    /// Operator label.
+    pub operator: String,
+    /// Real output cardinality measured during execution.
+    pub real: u64,
+    /// Estimated output cardinality from the sampling-based estimator.
+    pub estimated: f64,
+}
+
+/// Figure 13: real vs estimated output cardinality of every operator in
+/// plan 3 and plan 4, using a sampling-based estimator.
+pub fn run_fig13(base: &SyntheticConfig, sample_ratio: f64) -> Result<Vec<Fig13Row>> {
+    let workload = SyntheticWorkload::generate(base.clone())?;
+    let estimator =
+        SamplingEstimator::build(&workload.query, &workload.catalog, sample_ratio, 0xF16)?;
+    let mut rows = Vec::new();
+    for which in [PaperPlan::Plan3, PaperPlan::Plan4] {
+        let plan = build_plan(&workload, which)?;
+        let estimated = estimator.estimate_per_operator(&plan)?;
+        let result = execute_query_plan(&workload.query, &plan, &workload.catalog)?;
+        let real = result.metrics.output_cardinalities();
+        assert_eq!(estimated.len(), real.len());
+        for (i, ((label, est), (_, real_card))) in
+            estimated.iter().zip(real.iter()).enumerate()
+        {
+            rows.push(Fig13Row {
+                plan: which.name().to_owned(),
+                operator_index: i,
+                operator: label.clone(),
+                real: *real_card,
+                estimated: *est,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SyntheticConfig {
+        SyntheticConfig {
+            table_size: 200,
+            join_selectivity: 0.05,
+            predicate_cost: 1,
+            k: 5,
+            ..SyntheticConfig::default()
+        }
+    }
+
+    #[test]
+    fn fig12a_series_has_one_row_per_plan_and_k() {
+        let series = run_fig12a(&tiny(), &[1, 5]).unwrap();
+        assert_eq!(series.rows.len(), 8);
+        assert!(series.to_table().contains("plan1"));
+        // k = 5 runs return at most 5 results.
+        assert!(series.rows.iter().all(|m| m.results <= 5));
+    }
+
+    #[test]
+    fn fig12b_predicate_evaluations_do_not_depend_on_cost() {
+        let series = run_fig12b(&tiny(), &[0, 10]).unwrap();
+        // For a given plan the number of evaluations is the same for both
+        // costs; only the time changes (Figure 12(b)'s parallel lines).
+        for plan in ["plan1", "plan2", "plan3", "plan4"] {
+            let evals: Vec<u64> = series
+                .rows
+                .iter()
+                .filter(|m| m.plan == plan)
+                .map(|m| m.predicate_evaluations)
+                .collect();
+            assert_eq!(evals.len(), 2);
+            assert_eq!(evals[0], evals[1], "plan {plan}");
+        }
+    }
+
+    #[test]
+    fn fig12c_and_d_sweep_the_requested_parameters() {
+        let c = run_fig12c(&tiny(), &[0.05, 0.1]).unwrap();
+        assert_eq!(c.rows.len(), 8);
+        let d = run_fig12d(&tiny(), &[100, 200]).unwrap();
+        assert_eq!(d.rows.len(), 6); // 3 scalable plans × 2 sizes
+        assert!(d.rows.iter().all(|m| m.plan != "plan1"));
+    }
+
+    #[test]
+    fn fig13_produces_estimates_for_every_operator() {
+        let rows = run_fig13(&tiny(), 0.1).unwrap();
+        assert!(rows.iter().any(|r| r.plan == "plan3"));
+        assert!(rows.iter().any(|r| r.plan == "plan4"));
+        for r in &rows {
+            assert!(r.estimated >= 0.0);
+        }
+        // Plan 4 has more operators than plan 3 (the paper reports 8 vs 7
+        // estimated operators; our counts include scans and limits too).
+        let n3 = rows.iter().filter(|r| r.plan == "plan3").count();
+        let n4 = rows.iter().filter(|r| r.plan == "plan4").count();
+        assert!(n4 > n3);
+    }
+}

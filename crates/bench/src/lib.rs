@@ -1,0 +1,23 @@
+//! Benchmark harness regenerating the evaluation section of the RankSQL
+//! paper (Section 6): the four execution plans of Figure 11, the four
+//! parameter sweeps of Figure 12 and the cardinality-estimation comparison
+//! of Figure 13.
+//!
+//! Two entry points use this library:
+//!
+//! * the Criterion benches under `benches/` (one per figure plus ablations),
+//!   which run scaled-down configurations suitable for CI;
+//! * the `paper-experiments` binary, which prints paper-style series and can
+//!   be pushed to the full paper-scale parameters with `--full`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod plans;
+
+pub use experiments::{
+    run_fig12a, run_fig12b, run_fig12c, run_fig12d, run_fig13, ExperimentSeries, Fig13Row,
+    Measurement,
+};
+pub use plans::{build_plan, PaperPlan};

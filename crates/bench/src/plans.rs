@@ -1,0 +1,163 @@
+//! The four hand-built execution plans of Figure 11 for the paper's query Q.
+
+use ranksql_algebra::{JoinAlgorithm, LogicalPlan};
+use ranksql_common::{BitSet64, Result};
+use ranksql_expr::BoolExpr;
+use ranksql_workload::SyntheticWorkload;
+
+/// Which of the paper's plans to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperPlan {
+    /// Plan 1: conventional materialise-then-sort with sort-merge joins and
+    /// filters over attribute-index scans.
+    Plan1,
+    /// Plan 2: rank-scans on every table, µ for the second predicates of A
+    /// and B, HRJN joins — the fully pipelined ranking plan.
+    Plan2,
+    /// Plan 3: like Plan 2 but table B is accessed by a sequential scan and
+    /// both of its predicates are evaluated by µ operators.
+    Plan3,
+    /// Plan 4: µ operators stacked above a traditional sort-merge join of A
+    /// and B, then an HRJN with a rank-scan of C.
+    Plan4,
+}
+
+impl PaperPlan {
+    /// All four plans in paper order.
+    pub fn all() -> [PaperPlan; 4] {
+        [PaperPlan::Plan1, PaperPlan::Plan2, PaperPlan::Plan3, PaperPlan::Plan4]
+    }
+
+    /// The plans that remain feasible at very large table sizes (the paper
+    /// drops Plan 1 from Figure 12(d) because it "takes days to finish").
+    pub fn scalable() -> [PaperPlan; 3] {
+        [PaperPlan::Plan2, PaperPlan::Plan3, PaperPlan::Plan4]
+    }
+
+    /// Display name matching the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperPlan::Plan1 => "plan1",
+            PaperPlan::Plan2 => "plan2",
+            PaperPlan::Plan3 => "plan3",
+            PaperPlan::Plan4 => "plan4",
+        }
+    }
+}
+
+/// Builds one of the Figure 11 plans against a generated synthetic workload.
+///
+/// Predicate indices follow the workload's ranking context:
+/// `f1 = A.p1`, `f2 = A.p2`, `f3 = B.p1`, `f4 = B.p2`, `f5 = C.p1`.
+pub fn build_plan(workload: &SyntheticWorkload, which: PaperPlan) -> Result<LogicalPlan> {
+    let catalog = &workload.catalog;
+    let k = workload.query.k;
+    let a = catalog.table("A")?;
+    let b = catalog.table("B")?;
+    let c = catalog.table("C")?;
+
+    let jc1 = BoolExpr::col_eq_col("A.jc1", "B.jc1");
+    let jc2 = BoolExpr::col_eq_col("B.jc2", "C.jc2");
+    let filter_a = BoolExpr::column_is_true("A.b");
+    let filter_b = BoolExpr::column_is_true("B.b");
+
+    let plan = match which {
+        PaperPlan::Plan1 => LogicalPlan::index_scan(&a, "A.jc1")
+            .select(filter_a)
+            .join(
+                LogicalPlan::index_scan(&b, "B.jc1").select(filter_b),
+                Some(jc1),
+                JoinAlgorithm::SortMerge,
+            )
+            .join(LogicalPlan::index_scan(&c, "C.jc2"), Some(jc2), JoinAlgorithm::SortMerge)
+            .sort(BitSet64::all(5))
+            .limit(k),
+        PaperPlan::Plan2 => LogicalPlan::rank_scan(&a, 0)
+            .select(filter_a)
+            .rank(1)
+            .join(
+                LogicalPlan::rank_scan(&b, 2).select(filter_b).rank(3),
+                Some(jc1),
+                JoinAlgorithm::HashRankJoin,
+            )
+            .join(LogicalPlan::rank_scan(&c, 4), Some(jc2), JoinAlgorithm::HashRankJoin)
+            .limit(k),
+        PaperPlan::Plan3 => LogicalPlan::rank_scan(&a, 0)
+            .select(filter_a)
+            .rank(1)
+            .join(
+                LogicalPlan::scan(&b).select(filter_b).rank(2).rank(3),
+                Some(jc1),
+                JoinAlgorithm::HashRankJoin,
+            )
+            .join(LogicalPlan::rank_scan(&c, 4), Some(jc2), JoinAlgorithm::HashRankJoin)
+            .limit(k),
+        PaperPlan::Plan4 => LogicalPlan::index_scan(&a, "A.jc1")
+            .select(filter_a)
+            .join(
+                LogicalPlan::index_scan(&b, "B.jc1").select(filter_b),
+                Some(jc1),
+                JoinAlgorithm::SortMerge,
+            )
+            .rank(0)
+            .rank(1)
+            .rank(2)
+            .rank(3)
+            .join(LogicalPlan::rank_scan(&c, 4), Some(jc2), JoinAlgorithm::HashRankJoin)
+            .limit(k),
+    };
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksql_executor::{execute_query_plan, oracle_top_k};
+    use ranksql_workload::SyntheticConfig;
+
+    #[test]
+    fn all_four_plans_agree_with_the_oracle() {
+        let workload = SyntheticWorkload::generate(SyntheticConfig {
+            table_size: 400,
+            join_selectivity: 0.02,
+            predicate_cost: 1,
+            k: 10,
+            ..SyntheticConfig::default()
+        })
+        .unwrap();
+        let expected: Vec<f64> = oracle_top_k(&workload.query, &workload.catalog)
+            .unwrap()
+            .iter()
+            .map(|t| workload.query.ranking.upper_bound(&t.state).value())
+            .collect();
+        for which in PaperPlan::all() {
+            let plan = build_plan(&workload, which).unwrap();
+            let result = execute_query_plan(&workload.query, &plan, &workload.catalog).unwrap();
+            let got: Vec<f64> = result
+                .tuples
+                .iter()
+                .map(|t| workload.query.ranking.upper_bound(&t.state).value())
+                .collect();
+            assert_eq!(got, expected, "{}", which.name());
+        }
+    }
+
+    #[test]
+    fn plan_shapes_match_figure11() {
+        let workload =
+            SyntheticWorkload::generate(SyntheticConfig::small(100)).unwrap();
+        let p1 = build_plan(&workload, PaperPlan::Plan1).unwrap();
+        assert!(p1.has_blocking_sort());
+        assert_eq!(p1.rank_operator_count(), 0);
+        let p2 = build_plan(&workload, PaperPlan::Plan2).unwrap();
+        assert!(!p2.has_blocking_sort());
+        assert_eq!(p2.rank_operator_count(), 7); // 3 rank-scans + 2 µ + 2 HRJN
+        let p3 = build_plan(&workload, PaperPlan::Plan3).unwrap();
+        assert_eq!(p3.rank_operator_count(), 7); // 2 rank-scans + 3 µ + 2 HRJN
+        let p4 = build_plan(&workload, PaperPlan::Plan4).unwrap();
+        assert_eq!(p4.rank_operator_count(), 6); // 1 rank-scan + 4 µ + 1 HRJN
+        assert!(!p4.has_blocking_sort());
+        assert_eq!(PaperPlan::scalable().len(), 3);
+        assert_eq!(PaperPlan::Plan1.name(), "plan1");
+    }
+}

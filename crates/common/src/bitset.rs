@@ -1,0 +1,266 @@
+//! Small fixed-width bitsets.
+//!
+//! The optimizer enumerates plans along two dimensions — the set of joined
+//! relations `SR` and the set of evaluated ranking predicates `SP` (Figure 8
+//! of the paper).  Both sets are tiny (queries rarely involve more than a
+//! handful of relations or ranking predicates) so a copyable 64-bit bitset is
+//! the natural representation for DP signatures.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A set of small indices (`0..64`) packed into a `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BitSet64(u64);
+
+impl BitSet64 {
+    /// The empty set.
+    pub const EMPTY: BitSet64 = BitSet64(0);
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        BitSet64(0)
+    }
+
+    /// Creates a set containing the single element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 64`.
+    pub fn singleton(i: usize) -> Self {
+        assert!(i < 64, "BitSet64 supports indices 0..64, got {i}");
+        BitSet64(1 << i)
+    }
+
+    /// Creates a set containing all indices `0..n`.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= 64);
+        if n == 64 {
+            BitSet64(u64::MAX)
+        } else {
+            BitSet64((1u64 << n) - 1)
+        }
+    }
+
+    /// Creates a set from an iterator of indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet64::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The raw bit pattern.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Inserts element `i`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < 64);
+        self.0 |= 1 << i;
+    }
+
+    /// Removes element `i`.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < 64);
+        self.0 &= !(1 << i);
+    }
+
+    /// Whether element `i` is present.
+    pub fn contains(self, i: usize) -> bool {
+        i < 64 && (self.0 >> i) & 1 == 1
+    }
+
+    /// Number of elements.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: BitSet64) -> BitSet64 {
+        BitSet64(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: BitSet64) -> BitSet64 {
+        BitSet64(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(self, other: BitSet64) -> BitSet64 {
+        BitSet64(self.0 & !other.0)
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset_of(self, other: BitSet64) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// Whether the two sets have no common element.
+    pub fn is_disjoint(self, other: BitSet64) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over the contained indices in increasing order.
+    pub fn iter(self) -> BitSetIter {
+        BitSetIter(self.0)
+    }
+
+    /// Enumerates every subset of this set (including the empty set and the
+    /// set itself).  Used by the DP enumerator to split signatures.
+    pub fn subsets(self) -> SubsetIter {
+        SubsetIter { universe: self.0, current: 0, done: false }
+    }
+}
+
+impl fmt::Display for BitSet64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (n, i) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for BitSet64 {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        BitSet64::from_indices(iter)
+    }
+}
+
+/// Iterator over the indices of a [`BitSet64`].
+#[derive(Debug, Clone)]
+pub struct BitSetIter(u64);
+
+impl Iterator for BitSetIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BitSetIter {}
+
+/// Iterator over every subset of a [`BitSet64`] (in sub-mask order).
+#[derive(Debug, Clone)]
+pub struct SubsetIter {
+    universe: u64,
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = BitSet64;
+
+    fn next(&mut self) -> Option<BitSet64> {
+        if self.done {
+            return None;
+        }
+        let result = BitSet64(self.current);
+        if self.current == self.universe {
+            self.done = true;
+        } else {
+            // Standard sub-mask enumeration trick.
+            self.current = (self.current.wrapping_sub(self.universe)) & self.universe;
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_remove_contains() {
+        let mut s = BitSet64::new();
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(10);
+        assert!(s.contains(3));
+        assert!(s.contains(10));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet64::from_indices([0, 1, 2]);
+        let b = BitSet64::from_indices([2, 3]);
+        assert_eq!(a.union(b), BitSet64::from_indices([0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), BitSet64::singleton(2));
+        assert_eq!(a.difference(b), BitSet64::from_indices([0, 1]));
+        assert!(BitSet64::from_indices([1]).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(BitSet64::singleton(5).is_disjoint(a));
+    }
+
+    #[test]
+    fn all_and_iter() {
+        let s = BitSet64::all(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(BitSet64::all(64).len(), 64);
+    }
+
+    #[test]
+    fn subset_enumeration_is_complete() {
+        let s = BitSet64::from_indices([1, 4, 7]);
+        let subsets: Vec<BitSet64> = s.subsets().collect();
+        assert_eq!(subsets.len(), 8);
+        assert!(subsets.contains(&BitSet64::EMPTY));
+        assert!(subsets.contains(&s));
+        // All enumerated sets are subsets and pairwise distinct.
+        for sub in &subsets {
+            assert!(sub.is_subset_of(s));
+        }
+        let mut dedup = subsets.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), subsets.len());
+    }
+
+    #[test]
+    fn subsets_of_empty_is_just_empty() {
+        let subsets: Vec<_> = BitSet64::EMPTY.subsets().collect();
+        assert_eq!(subsets, vec![BitSet64::EMPTY]);
+    }
+
+    #[test]
+    fn display_lists_elements() {
+        assert_eq!(BitSet64::from_indices([2, 5]).to_string(), "{2,5}");
+        assert_eq!(BitSet64::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        BitSet64::singleton(64);
+    }
+}

@@ -1,0 +1,32 @@
+//! Common foundational types shared by every RankSQL crate.
+//!
+//! This crate defines the vocabulary of the engine:
+//!
+//! * [`Value`] / [`DataType`] — the dynamically typed cell values stored in
+//!   relations and produced by expressions.
+//! * [`Schema`] / [`Field`] — (qualified) column descriptions for base tables
+//!   and intermediate relations.
+//! * [`Tuple`] / [`TupleId`] — rows flowing through the engine, each carrying
+//!   a provenance identity used for deterministic tie-breaking (Definition 1
+//!   of the paper requires a deterministic order even when scores tie).
+//! * [`Score`] — a total-ordered wrapper over `f64` used for ranking scores.
+//! * [`BitSet64`] — a small, copyable bitset used for relation sets and
+//!   ranking-predicate sets (the two *dimensions* of the optimizer).
+//! * [`RankSqlError`] — the error type used across the workspace.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitset;
+pub mod error;
+pub mod schema;
+pub mod score;
+pub mod tuple;
+pub mod value;
+
+pub use bitset::BitSet64;
+pub use error::{RankSqlError, Result};
+pub use schema::{Field, Schema};
+pub use score::Score;
+pub use tuple::{Tuple, TupleId};
+pub use value::{DataType, Value};

@@ -1,0 +1,244 @@
+//! Schemas describing base tables and intermediate relations.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{RankSqlError, Result};
+use crate::value::DataType;
+
+/// A single column description.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Optional relation qualifier (e.g. `"Hotel"` in `Hotel.price`).
+    pub relation: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Creates an unqualified field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { relation: None, name: name.into(), data_type }
+    }
+
+    /// Creates a field qualified by a relation name.
+    pub fn qualified(
+        relation: impl Into<String>,
+        name: impl Into<String>,
+        data_type: DataType,
+    ) -> Self {
+        Field { relation: Some(relation.into()), name: name.into(), data_type }
+    }
+
+    /// Returns the fully qualified `relation.name` (or just `name`).
+    pub fn qualified_name(&self) -> String {
+        match &self.relation {
+            Some(rel) => format!("{rel}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Returns a copy of this field re-qualified with `relation`.
+    pub fn with_relation(&self, relation: impl Into<String>) -> Field {
+        Field { relation: Some(relation.into()), name: self.name.clone(), data_type: self.data_type }
+    }
+
+    /// Whether a `[rel.]name` reference matches this field.
+    fn matches(&self, relation: Option<&str>, name: &str) -> bool {
+        if self.name != name {
+            return false;
+        }
+        match (relation, &self.relation) {
+            (Some(r), Some(fr)) => r == fr,
+            (Some(_), None) => false,
+            (None, _) => true,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.qualified_name(), self.data_type)
+    }
+}
+
+/// An ordered collection of [`Field`]s describing a relation.
+///
+/// Schemas are cheaply clonable (`Arc` internally) because every tuple stream
+/// and plan node carries one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields: Arc::new(fields) }
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Self {
+        Schema::new(Vec::new())
+    }
+
+    /// The fields of the schema.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether this schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Returns the field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Finds a column by `[relation.]name` reference, returning its index.
+    ///
+    /// Unqualified references are ambiguous if more than one field matches.
+    pub fn index_of(&self, relation: Option<&str>, name: &str) -> Result<usize> {
+        let mut found = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(relation, name) {
+                if found.is_some() {
+                    return Err(RankSqlError::Schema(format!(
+                        "ambiguous column reference `{}`",
+                        qualify(relation, name)
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            RankSqlError::Schema(format!("column `{}` not found", qualify(relation, name)))
+        })
+    }
+
+    /// Finds a column by qualified string such as `"A.x"` or `"x"`.
+    pub fn index_of_str(&self, column: &str) -> Result<usize> {
+        match column.split_once('.') {
+            Some((rel, name)) => self.index_of(Some(rel), name),
+            None => self.index_of(None, column),
+        }
+    }
+
+    /// Concatenates two schemas (used by joins and products).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = Vec::with_capacity(self.len() + other.len());
+        fields.extend_from_slice(self.fields());
+        fields.extend_from_slice(other.fields());
+        Schema::new(fields)
+    }
+
+    /// Projects the schema onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+
+    /// Returns a schema with all fields re-qualified by `relation`.
+    pub fn qualify_all(&self, relation: &str) -> Schema {
+        Schema::new(self.fields.iter().map(|f| f.with_relation(relation)).collect())
+    }
+}
+
+fn qualify(relation: Option<&str>, name: &str) -> String {
+    match relation {
+        Some(r) => format!("{r}.{name}"),
+        None => name.to_owned(),
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc_schema() -> Schema {
+        Schema::new(vec![
+            Field::qualified("A", "x", DataType::Int64),
+            Field::qualified("A", "y", DataType::Float64),
+            Field::qualified("B", "x", DataType::Int64),
+        ])
+    }
+
+    #[test]
+    fn qualified_lookup() {
+        let s = abc_schema();
+        assert_eq!(s.index_of(Some("A"), "x").unwrap(), 0);
+        assert_eq!(s.index_of(Some("B"), "x").unwrap(), 2);
+        assert_eq!(s.index_of_str("A.y").unwrap(), 1);
+    }
+
+    #[test]
+    fn unqualified_lookup_detects_ambiguity() {
+        let s = abc_schema();
+        assert!(matches!(s.index_of(None, "x"), Err(RankSqlError::Schema(_))));
+        assert_eq!(s.index_of(None, "y").unwrap(), 1);
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let s = abc_schema();
+        assert!(s.index_of_str("A.z").is_err());
+        assert!(s.index_of_str("z").is_err());
+    }
+
+    #[test]
+    fn join_concatenates_fields() {
+        let left = Schema::new(vec![Field::qualified("R", "a", DataType::Int64)]);
+        let right = Schema::new(vec![Field::qualified("S", "b", DataType::Int64)]);
+        let joined = left.join(&right);
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined.field(0).qualified_name(), "R.a");
+        assert_eq!(joined.field(1).qualified_name(), "S.b");
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let s = abc_schema();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.field(0).qualified_name(), "B.x");
+        assert_eq!(p.field(1).qualified_name(), "A.x");
+    }
+
+    #[test]
+    fn qualify_all_rewrites_relation() {
+        let s = Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::Utf8)]);
+        let q = s.qualify_all("T");
+        assert_eq!(q.field(0).qualified_name(), "T.a");
+        assert_eq!(q.field(1).qualified_name(), "T.b");
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Schema::new(vec![Field::qualified("R", "a", DataType::Int64)]);
+        assert_eq!(s.to_string(), "[R.a: INT64]");
+        assert!(Schema::empty().is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Totally ordered ranking scores.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A ranking score: an `f64` with a *total* order.
+///
+/// Ranking-predicate scores and maximal-possible scores (`F_P[t]`, Property 1
+/// of the paper) are represented by this type so they can be used directly as
+/// priority-queue and B-tree keys.  `NaN` is ordered below every other score
+/// (a tuple with an undefined score can never displace a ranked one).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Score(pub f64);
+
+impl Score {
+    /// The score `0.0`.
+    pub const ZERO: Score = Score(0.0);
+    /// The score `1.0` — the maximal possible value of a single ranking
+    /// predicate (the paper assumes predicate scores lie in `[0, 1]`).
+    pub const ONE: Score = Score(1.0);
+
+    /// Creates a score from a raw float.
+    pub fn new(v: f64) -> Self {
+        Score(v)
+    }
+
+    /// The raw float value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Clamps the score into `[0, 1]`.
+    pub fn clamp_unit(self) -> Score {
+        Score(self.0.clamp(0.0, 1.0))
+    }
+
+    /// Returns the larger of two scores.
+    pub fn max(self, other: Score) -> Score {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two scores.
+    pub fn min(self, other: Score) -> Score {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl PartialEq for Score {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Score {}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Score {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.0.is_nan(), other.0.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => self.0.partial_cmp(&other.0).expect("non-NaN compare"),
+        }
+    }
+}
+
+impl Add for Score {
+    type Output = Score;
+    fn add(self, rhs: Score) -> Score {
+        Score(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Score {
+    type Output = Score;
+    fn sub(self, rhs: Score) -> Score {
+        Score(self.0 - rhs.0)
+    }
+}
+
+impl From<f64> for Score {
+    fn from(v: f64) -> Self {
+        Score(v)
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_with_nan_lowest() {
+        let mut v = vec![Score(0.5), Score(f64::NAN), Score(1.5), Score(-1.0)];
+        v.sort();
+        assert!(v[0].0.is_nan());
+        assert_eq!(v[1], Score(-1.0));
+        assert_eq!(v[3], Score(1.5));
+    }
+
+    #[test]
+    fn arithmetic_and_constants() {
+        assert_eq!(Score::ZERO + Score::ONE, Score(1.0));
+        assert_eq!(Score(0.75) - Score(0.25), Score(0.5));
+        assert_eq!(Score(3.0).clamp_unit(), Score::ONE);
+        assert_eq!(Score(-0.5).clamp_unit(), Score::ZERO);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        assert_eq!(Score(0.2).max(Score(0.8)), Score(0.8));
+        assert_eq!(Score(0.2).min(Score(0.8)), Score(0.2));
+        assert_eq!(Score(f64::NAN).max(Score(0.1)), Score(0.1));
+    }
+
+    #[test]
+    fn display_rounds() {
+        assert_eq!(Score(0.123456).to_string(), "0.1235");
+    }
+}

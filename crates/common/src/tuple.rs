@@ -1,0 +1,200 @@
+//! Tuples (rows) and their provenance identities.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// The identity of a tuple.
+///
+/// Base-table tuples are identified by `(table_id, row_index)`; tuples
+/// produced by joins carry the identities of all their constituents.  The
+/// identity serves two purposes in the rank-relational model:
+///
+/// 1. a deterministic tie-breaker when maximal-possible scores are equal
+///    (Definition 1 allows "an arbitrary deterministic tie-breaker function,
+///    e.g. by unique tuple IDs"), and
+/// 2. duplicate detection for the set operators (∪, ∩, −) and for counting
+///    distinct tuples in the cardinality estimator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TupleId {
+    /// Sorted list of `(table_id, row_index)` constituents.
+    parts: Vec<(u32, u64)>,
+}
+
+impl TupleId {
+    /// Identity of a base-table tuple.
+    pub fn base(table_id: u32, row_index: u64) -> Self {
+        TupleId { parts: vec![(table_id, row_index)] }
+    }
+
+    /// An identity for tuples synthesised outside any table (e.g. literals in
+    /// tests); uses table id `u32::MAX`.
+    pub fn synthetic(n: u64) -> Self {
+        TupleId { parts: vec![(u32::MAX, n)] }
+    }
+
+    /// Combines two identities (join / product): the result is the multiset
+    /// union of constituents kept in sorted order so that combination is
+    /// commutative and associative.
+    pub fn combine(&self, other: &TupleId) -> TupleId {
+        let mut parts = Vec::with_capacity(self.parts.len() + other.parts.len());
+        parts.extend_from_slice(&self.parts);
+        parts.extend_from_slice(&other.parts);
+        parts.sort_unstable();
+        TupleId { parts }
+    }
+
+    /// The constituent `(table_id, row_index)` pairs.
+    pub fn parts(&self) -> &[(u32, u64)] {
+        &self.parts
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#")?;
+        for (i, (t, r)) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "+")?;
+            }
+            if *t == u32::MAX {
+                write!(f, "s{r}")?;
+            } else {
+                write!(f, "{t}:{r}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A row of values together with its identity.
+///
+/// The value vector is shared (`Arc`) because tuples are buffered in priority
+/// queues, hash tables and sample caches simultaneously.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tuple {
+    id: TupleId,
+    values: Arc<Vec<Value>>,
+}
+
+impl Tuple {
+    /// Creates a tuple with an explicit identity.
+    pub fn new(id: TupleId, values: Vec<Value>) -> Self {
+        Tuple { id, values: Arc::new(values) }
+    }
+
+    /// Creates a synthetic tuple (identity derived from `n`).
+    pub fn synthetic(n: u64, values: Vec<Value>) -> Self {
+        Tuple::new(TupleId::synthetic(n), values)
+    }
+
+    /// The identity of this tuple.
+    pub fn id(&self) -> &TupleId {
+        &self.id
+    }
+
+    /// The values of this tuple.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value at column `i`.
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Concatenates two tuples (join / product), combining identities.
+    pub fn join(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(self.values());
+        values.extend_from_slice(other.values());
+        Tuple { id: self.id.combine(&other.id), values: Arc::new(values) }
+    }
+
+    /// Projects this tuple onto the given column indices (keeping identity).
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        let values = indices.iter().map(|&i| self.values[i].clone()).collect();
+        Tuple { id: self.id.clone(), values: Arc::new(values) }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.id)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_and_synthetic_ids_differ() {
+        assert_ne!(TupleId::base(0, 1), TupleId::synthetic(1));
+        assert_eq!(TupleId::base(2, 3), TupleId::base(2, 3));
+    }
+
+    #[test]
+    fn combine_is_commutative() {
+        let a = TupleId::base(1, 10);
+        let b = TupleId::base(2, 20);
+        assert_eq!(a.combine(&b), b.combine(&a));
+    }
+
+    #[test]
+    fn combine_is_associative() {
+        let a = TupleId::base(1, 1);
+        let b = TupleId::base(2, 2);
+        let c = TupleId::base(3, 3);
+        assert_eq!(a.combine(&b).combine(&c), a.combine(&b.combine(&c)));
+    }
+
+    #[test]
+    fn join_concatenates_values_and_ids() {
+        let t1 = Tuple::new(TupleId::base(0, 0), vec![Value::from(1), Value::from(2)]);
+        let t2 = Tuple::new(TupleId::base(1, 5), vec![Value::from("x")]);
+        let j = t1.join(&t2);
+        assert_eq!(j.arity(), 3);
+        assert_eq!(j.value(2), &Value::from("x"));
+        assert_eq!(j.id().parts().len(), 2);
+    }
+
+    #[test]
+    fn project_keeps_identity() {
+        let t = Tuple::new(TupleId::base(0, 7), vec![Value::from(1), Value::from(2), Value::from(3)]);
+        let p = t.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::from(3), Value::from(1)]);
+        assert_eq!(p.id(), t.id());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = Tuple::new(TupleId::base(1, 2), vec![Value::from(9)]);
+        assert_eq!(t.to_string(), "#1:2(9)");
+        let s = Tuple::synthetic(4, vec![Value::Null]);
+        assert_eq!(s.to_string(), "#s4(NULL)");
+    }
+
+    #[test]
+    fn tuple_ids_provide_total_order_for_tie_breaking() {
+        let mut ids = vec![TupleId::base(1, 2), TupleId::base(0, 9), TupleId::base(1, 0)];
+        ids.sort();
+        assert_eq!(ids[0], TupleId::base(0, 9));
+        assert_eq!(ids[1], TupleId::base(1, 0));
+    }
+}

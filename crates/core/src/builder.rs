@@ -1,0 +1,165 @@
+//! A fluent builder for rank-relational queries.
+
+use ranksql_algebra::RankQuery;
+use ranksql_common::{RankSqlError, Result};
+use ranksql_expr::{BoolExpr, RankPredicate, RankingContext, ScoringFunction};
+
+/// Builds a [`RankQuery`] step by step.
+///
+/// The builder mirrors the four predicate kinds of Section 2.1: Boolean
+/// selections and joins go through [`QueryBuilder::filter`], rank selections
+/// and rank joins through [`QueryBuilder::rank_predicate`].
+#[derive(Debug, Default, Clone)]
+pub struct QueryBuilder {
+    tables: Vec<String>,
+    filters: Vec<BoolExpr>,
+    rank_predicates: Vec<RankPredicate>,
+    scoring: Option<ScoringFunction>,
+    k: Option<usize>,
+    projection: Option<Vec<String>>,
+}
+
+impl QueryBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        QueryBuilder::default()
+    }
+
+    /// Adds a table to the FROM list.
+    pub fn table(mut self, name: impl Into<String>) -> Self {
+        self.tables.push(name.into());
+        self
+    }
+
+    /// Adds several tables to the FROM list.
+    pub fn tables<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.tables.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds a Boolean predicate (selection or join condition).
+    pub fn filter(mut self, predicate: BoolExpr) -> Self {
+        self.filters.push(predicate);
+        self
+    }
+
+    /// Adds a ranking predicate.
+    pub fn rank_predicate(mut self, predicate: RankPredicate) -> Self {
+        self.rank_predicates.push(predicate);
+        self
+    }
+
+    /// Sets the scoring function (defaults to summation, as in the paper).
+    pub fn scoring(mut self, scoring: ScoringFunction) -> Self {
+        self.scoring = Some(scoring);
+        self
+    }
+
+    /// Sets the number of results to return.
+    pub fn limit(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Restricts the output columns.
+    pub fn project<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.projection = Some(columns.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Builds the query, validating the pieces.
+    pub fn build(self) -> Result<RankQuery> {
+        if self.tables.is_empty() {
+            return Err(RankSqlError::Plan("a query needs at least one table".into()));
+        }
+        let k = self
+            .k
+            .ok_or_else(|| RankSqlError::Plan("a top-k query needs LIMIT k".into()))?;
+        if let ScoringFunction::WeightedSum(w) =
+            self.scoring.clone().unwrap_or(ScoringFunction::Sum)
+        {
+            if w.len() != self.rank_predicates.len() {
+                return Err(RankSqlError::Plan(format!(
+                    "weighted sum has {} weights but the query has {} ranking predicates",
+                    w.len(),
+                    self.rank_predicates.len()
+                )));
+            }
+        }
+        let ranking = RankingContext::new(
+            self.rank_predicates,
+            self.scoring.unwrap_or(ScoringFunction::Sum),
+        );
+        let mut query = RankQuery::new(self.tables, self.filters, ranking, k);
+        if let Some(cols) = self.projection {
+            query = query.with_projection(cols);
+        }
+        Ok(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_complete_query() {
+        let q = QueryBuilder::new()
+            .tables(["R", "S"])
+            .filter(BoolExpr::col_eq_col("R.a", "S.a"))
+            .rank_predicate(RankPredicate::attribute("p1", "R.p"))
+            .rank_predicate(RankPredicate::attribute("p2", "S.p"))
+            .scoring(ScoringFunction::Sum)
+            .limit(7)
+            .project(["R.a"])
+            .build()
+            .unwrap();
+        assert_eq!(q.tables, vec!["R".to_string(), "S".to_string()]);
+        assert_eq!(q.k, 7);
+        assert_eq!(q.num_rank_predicates(), 2);
+        assert_eq!(q.projection.as_deref(), Some(&["R.a".to_string()][..]));
+    }
+
+    #[test]
+    fn missing_pieces_are_rejected() {
+        assert!(QueryBuilder::new().limit(1).build().is_err());
+        assert!(QueryBuilder::new().table("R").build().is_err());
+    }
+
+    #[test]
+    fn weighted_sum_arity_is_checked() {
+        let bad = QueryBuilder::new()
+            .table("R")
+            .rank_predicate(RankPredicate::attribute("p1", "R.p"))
+            .scoring(ScoringFunction::weighted_sum(vec![1.0, 2.0]))
+            .limit(1)
+            .build();
+        assert!(bad.is_err());
+        let good = QueryBuilder::new()
+            .table("R")
+            .rank_predicate(RankPredicate::attribute("p1", "R.p"))
+            .scoring(ScoringFunction::weighted_sum(vec![2.0]))
+            .limit(1)
+            .build();
+        assert!(good.is_ok());
+    }
+
+    #[test]
+    fn defaults_to_sum_scoring() {
+        let q = QueryBuilder::new()
+            .table("R")
+            .rank_predicate(RankPredicate::attribute("p1", "R.p"))
+            .limit(1)
+            .build()
+            .unwrap();
+        assert_eq!(q.ranking.scoring(), &ScoringFunction::Sum);
+    }
+}

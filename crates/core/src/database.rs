@@ -1,0 +1,312 @@
+//! The `Database` facade: catalog + optimizer + executor in one handle.
+
+use std::sync::Arc;
+
+use ranksql_algebra::{LogicalPlan, RankQuery};
+use ranksql_common::{Result, Schema, Value};
+use ranksql_executor::execute_query_plan;
+use ranksql_optimizer::{OptimizedPlan, OptimizerConfig, OptimizerMode, RankOptimizer};
+use ranksql_storage::{Catalog, Table};
+
+use crate::result::QueryResult;
+
+/// How a query should be planned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Rank-aware cost-based optimization with the Figure 10 heuristics
+    /// (the default).
+    #[default]
+    RankAware,
+    /// Rank-aware optimization with exhaustive two-dimensional enumeration.
+    RankAwareExhaustive,
+    /// Rank-aware optimization with the Volcano/Cascades-style rule-based
+    /// search (transformation rules = the Figure 5 laws).
+    RankAwareRuleBased,
+    /// Traditional materialise-then-sort planning (ranking-blind baseline).
+    Traditional,
+    /// No optimization: execute the canonical plan of Eq. 1 directly.
+    Canonical,
+}
+
+/// An embedded RankSQL database: owns a catalog and executes top-k queries.
+pub struct Database {
+    catalog: Catalog,
+    optimizer_config: OptimizerConfig,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database { catalog: Catalog::new(), optimizer_config: OptimizerConfig::default() }
+    }
+
+    /// Creates a database with a custom optimizer configuration.
+    pub fn with_optimizer_config(config: OptimizerConfig) -> Self {
+        Database { catalog: Catalog::new(), optimizer_config: config }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Creates a table.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<Table>> {
+        self.catalog.create_table(name, schema)
+    }
+
+    /// Inserts a row into a table.
+    pub fn insert(&self, table: &str, values: Vec<Value>) -> Result<u64> {
+        self.catalog.table(table)?.insert(values)
+    }
+
+    /// Inserts many rows into a table.
+    pub fn insert_batch<I>(&self, table: &str, rows: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        self.catalog.table(table)?.insert_batch(rows)
+    }
+
+    /// Creates a table from CSV text, inferring the schema from a header line
+    /// and the sampled column values, and loads every row.  Returns the new
+    /// table handle.  Use [`Database::load_csv`] to append to an existing
+    /// table with a known schema instead.
+    pub fn create_table_from_csv(
+        &self,
+        name: &str,
+        csv_text: &str,
+        options: &ranksql_storage::CsvOptions,
+    ) -> Result<Arc<Table>> {
+        let schema = ranksql_storage::infer_schema(csv_text, options)?;
+        let rows = ranksql_storage::parse_csv(csv_text, &schema, options)?;
+        let table = self.catalog.create_table(name, schema)?;
+        table.insert_batch(rows)?;
+        Ok(table)
+    }
+
+    /// Appends CSV rows to an existing table, coercing each column to the
+    /// table's schema.  Returns the number of rows inserted.
+    pub fn load_csv(
+        &self,
+        table: &str,
+        csv_text: &str,
+        options: &ranksql_storage::CsvOptions,
+    ) -> Result<usize> {
+        let table = self.catalog.table(table)?;
+        let rows = ranksql_storage::parse_csv(csv_text, table.schema(), options)?;
+        table.insert_batch(rows)
+    }
+
+    /// Plans a query under the given mode without executing it.
+    pub fn plan(&self, query: &RankQuery, mode: PlanMode) -> Result<OptimizedPlan> {
+        match mode {
+            PlanMode::Canonical => {
+                let plan = query.canonical_plan(&self.catalog)?;
+                Ok(OptimizedPlan {
+                    plan,
+                    cost: ranksql_optimizer::Cost::ZERO,
+                    estimated_cardinality: query.k as f64,
+                    stats: Default::default(),
+                })
+            }
+            PlanMode::Traditional => {
+                let cfg = OptimizerConfig {
+                    mode: OptimizerMode::Traditional,
+                    ..self.optimizer_config.clone()
+                };
+                RankOptimizer::new(cfg).optimize(query, &self.catalog)
+            }
+            PlanMode::RankAware => {
+                let cfg = OptimizerConfig {
+                    mode: OptimizerMode::RankAwareHeuristic,
+                    ..self.optimizer_config.clone()
+                };
+                RankOptimizer::new(cfg).optimize(query, &self.catalog)
+            }
+            PlanMode::RankAwareExhaustive => {
+                let cfg = OptimizerConfig {
+                    mode: OptimizerMode::RankAwareExhaustive,
+                    ..self.optimizer_config.clone()
+                };
+                RankOptimizer::new(cfg).optimize(query, &self.catalog)
+            }
+            PlanMode::RankAwareRuleBased => {
+                let cfg = OptimizerConfig {
+                    mode: OptimizerMode::RankAwareRuleBased,
+                    ..self.optimizer_config.clone()
+                };
+                RankOptimizer::new(cfg).optimize(query, &self.catalog)
+            }
+        }
+    }
+
+    /// Returns a human-readable explanation of the plan chosen for a query.
+    pub fn explain(&self, query: &RankQuery, mode: PlanMode) -> Result<String> {
+        let optimized = self.plan(query, mode)?;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "mode: {:?}\nestimated cost: {:.1}\nestimated cardinality: {:.1}\n",
+            mode,
+            optimized.cost.value(),
+            optimized.estimated_cardinality
+        ));
+        out.push_str(&optimized.plan.explain(Some(&query.ranking)));
+        Ok(out)
+    }
+
+    /// Plans (rank-aware, heuristic) and executes a query.
+    pub fn execute(&self, query: &RankQuery) -> Result<QueryResult> {
+        self.execute_with_mode(query, PlanMode::RankAware)
+    }
+
+    /// Plans under `mode` and executes a query.
+    pub fn execute_with_mode(&self, query: &RankQuery, mode: PlanMode) -> Result<QueryResult> {
+        let optimized = self.plan(query, mode)?;
+        self.execute_plan(query, &optimized.plan)
+    }
+
+    /// Executes an explicit plan (e.g. one of the paper's hand-built plans).
+    pub fn execute_plan(&self, query: &RankQuery, plan: &LogicalPlan) -> Result<QueryResult> {
+        let execution = execute_query_plan(query, plan, &self.catalog)?;
+        QueryResult::from_execution(query, plan, execution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use ranksql_common::{DataType, Field};
+    use ranksql_expr::{BoolExpr, RankPredicate};
+
+    fn db_with_data() -> (Database, RankQuery) {
+        let db = Database::new();
+        db.create_table(
+            "H",
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("city", DataType::Int64),
+                Field::new("quality", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "R",
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("city", DataType::Int64),
+                Field::new("rating", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        for i in 0..60i64 {
+            db.insert(
+                "H",
+                vec![
+                    Value::from(i),
+                    Value::from(i % 6),
+                    Value::from(((i * 17) % 100) as f64 / 100.0),
+                ],
+            )
+            .unwrap();
+            db.insert(
+                "R",
+                vec![
+                    Value::from(i),
+                    Value::from(i % 6),
+                    Value::from(((i * 23) % 100) as f64 / 100.0),
+                ],
+            )
+            .unwrap();
+        }
+        let query = QueryBuilder::new()
+            .tables(["H", "R"])
+            .filter(BoolExpr::col_eq_col("H.city", "R.city"))
+            .rank_predicate(RankPredicate::attribute("hq", "H.quality"))
+            .rank_predicate(RankPredicate::attribute("rr", "R.rating"))
+            .limit(4)
+            .build()
+            .unwrap();
+        (db, query)
+    }
+
+    #[test]
+    fn execute_matches_canonical_mode() {
+        let (db, query) = db_with_data();
+        let fast = db.execute(&query).unwrap();
+        let naive = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+        assert_eq!(fast.rows.len(), 4);
+        assert_eq!(fast.scores(), naive.scores());
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let (db, query) = db_with_data();
+        let reference = db.execute_with_mode(&query, PlanMode::Canonical).unwrap().scores();
+        for mode in [
+            PlanMode::RankAware,
+            PlanMode::RankAwareExhaustive,
+            PlanMode::RankAwareRuleBased,
+            PlanMode::Traditional,
+        ] {
+            let r = db.execute_with_mode(&query, mode).unwrap();
+            assert_eq!(r.scores(), reference, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn explain_mentions_plan_nodes() {
+        let (db, query) = db_with_data();
+        let text = db.explain(&query, PlanMode::Canonical).unwrap();
+        assert!(text.contains("Limit[4]"));
+        assert!(text.contains("Sort"));
+        let text = db.explain(&query, PlanMode::RankAware).unwrap();
+        assert!(text.contains("mode: RankAware"));
+    }
+
+    #[test]
+    fn csv_ingestion_creates_and_appends() {
+        let db = Database::new();
+        let options = ranksql_storage::CsvOptions::default();
+        let csv = "name,city,quality\ngrand,1,0.9\nplaza,2,0.7\n";
+        let table = db.create_table_from_csv("Hotel", csv, &options).unwrap();
+        assert_eq!(table.row_count(), 2);
+        assert_eq!(table.schema().len(), 3);
+
+        let appended = db.load_csv("Hotel", "name,city,quality\nlodge,1,0.5\n", &options).unwrap();
+        assert_eq!(appended, 1);
+        assert_eq!(db.catalog().table("Hotel").unwrap().row_count(), 3);
+
+        // The loaded table is immediately queryable.
+        let query = QueryBuilder::new()
+            .table("Hotel")
+            .rank_predicate(RankPredicate::attribute("q", "Hotel.quality"))
+            .limit(1)
+            .build()
+            .unwrap();
+        let top = db.execute(&query).unwrap();
+        assert_eq!(top.rows[0].tuple.value(0), &Value::from("grand"));
+
+        // Malformed input is rejected with a storage error.
+        assert!(db.load_csv("Hotel", "name,city\nx,1\n", &options).is_err());
+    }
+
+    #[test]
+    fn insert_batch_and_catalog_access() {
+        let db = Database::new();
+        db.create_table("T", Schema::new(vec![Field::new("x", DataType::Int64)])).unwrap();
+        let n = db
+            .insert_batch("T", (0..5i64).map(|i| vec![Value::from(i)]))
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(db.catalog().table("T").unwrap().row_count(), 5);
+        assert!(db.insert("missing", vec![]).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! A small SQL-ish front end for top-k queries.
+//!
+//! The accepted grammar covers the paper's query form (PostgreSQL LIMIT
+//! syntax):
+//!
+//! ```text
+//! SELECT (* | col, col, ...)
+//! FROM table, table, ...
+//! [WHERE conjunct AND conjunct AND ...]
+//! ORDER BY term + term + ...
+//! LIMIT k
+//! ```
+//!
+//! where a WHERE conjunct is `col op col`, `col op literal` or a bare boolean
+//! column, and an ORDER BY term is either a bare (qualified) column — a
+//! ranking predicate reading that column — or `name(col)`, naming the
+//! predicate explicitly (e.g. `f1(A.p1)`), optionally with a trailing
+//! `COST n` annotation to model an expensive predicate.
+
+use ranksql_algebra::RankQuery;
+use ranksql_common::{RankSqlError, Result, Value};
+use ranksql_expr::{
+    BoolExpr, CompareOp, RankPredicate, RankingContext, ScalarExpr, ScoringFunction,
+};
+
+/// Parses the SQL-ish top-k syntax into a [`RankQuery`].
+pub fn parse_topk_query(sql: &str) -> Result<RankQuery> {
+    let text = sql.trim().trim_end_matches(';');
+    let lowered = text.to_lowercase();
+
+    let select_pos = find_keyword(&lowered, "select")?;
+    let from_pos = find_keyword(&lowered, "from")?;
+    let where_pos = lowered.find(" where ");
+    let order_pos = lowered
+        .find(" order by ")
+        .ok_or_else(|| RankSqlError::Parse("top-k queries need an ORDER BY clause".into()))?;
+    let limit_pos = lowered
+        .find(" limit ")
+        .ok_or_else(|| RankSqlError::Parse("top-k queries need a LIMIT clause".into()))?;
+
+    // Clauses must appear in SQL order (SELECT … FROM … [WHERE …] ORDER BY …
+    // LIMIT …) and may not overlap; anything else is a parse error, never a
+    // slicing panic.
+    let clauses_in_order = select_pos + "select".len() <= from_pos
+        && from_pos + "from".len() <= where_pos.unwrap_or(order_pos)
+        && where_pos.map(|w| w + " where ".len() <= order_pos).unwrap_or(true)
+        && order_pos + " order by ".len() <= limit_pos;
+    if !clauses_in_order {
+        return Err(RankSqlError::Parse(
+            "clauses must appear in the order SELECT … FROM … [WHERE …] ORDER BY … LIMIT …"
+                .into(),
+        ));
+    }
+
+    let select_clause = text[select_pos + "select".len()..from_pos].trim();
+    let from_end = where_pos.unwrap_or(order_pos);
+    let from_clause = text[from_pos + "from".len()..from_end].trim();
+    let where_clause = where_pos.map(|w| text[w + " where ".len()..order_pos].trim());
+    let order_clause = text[order_pos + " order by ".len()..limit_pos].trim();
+    let limit_clause = text[limit_pos + " limit ".len()..].trim();
+
+    // FROM
+    let tables: Vec<String> = from_clause
+        .split(',')
+        .map(|t| t.trim().to_owned())
+        .filter(|t| !t.is_empty())
+        .collect();
+    if tables.is_empty() {
+        return Err(RankSqlError::Parse("FROM clause lists no tables".into()));
+    }
+
+    // SELECT
+    let projection = if select_clause == "*" {
+        None
+    } else {
+        Some(
+            select_clause
+                .split(',')
+                .map(|c| c.trim().to_owned())
+                .filter(|c| !c.is_empty())
+                .collect::<Vec<_>>(),
+        )
+    };
+
+    // WHERE
+    let mut filters = Vec::new();
+    if let Some(clause) = where_clause {
+        for conjunct in split_keeping_nonempty(clause, " and ") {
+            filters.push(parse_condition(&conjunct)?);
+        }
+    }
+
+    // ORDER BY
+    let mut predicates = Vec::new();
+    for term in order_clause.split('+') {
+        predicates.push(parse_rank_term(term.trim(), predicates.len())?);
+    }
+    if predicates.is_empty() {
+        return Err(RankSqlError::Parse("ORDER BY lists no ranking predicates".into()));
+    }
+
+    // LIMIT
+    let k: usize = limit_clause
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| RankSqlError::Parse(format!("invalid LIMIT value `{limit_clause}`")))?;
+
+    let ranking = RankingContext::new(predicates, ScoringFunction::Sum);
+    let mut query = RankQuery::new(tables, filters, ranking, k);
+    if let Some(cols) = projection {
+        query = query.with_projection(cols);
+    }
+    Ok(query)
+}
+
+fn find_keyword(lowered: &str, kw: &str) -> Result<usize> {
+    lowered
+        .find(kw)
+        .ok_or_else(|| RankSqlError::Parse(format!("missing {} clause", kw.to_uppercase())))
+}
+
+fn split_keeping_nonempty(clause: &str, sep: &str) -> Vec<String> {
+    let lowered = clause.to_lowercase();
+    let mut parts = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = lowered[start..].find(sep) {
+        parts.push(clause[start..start + pos].trim().to_owned());
+        start += pos + sep.len();
+    }
+    parts.push(clause[start..].trim().to_owned());
+    parts.into_iter().filter(|p| !p.is_empty()).collect()
+}
+
+fn parse_operand(token: &str) -> ScalarExpr {
+    let token = token.trim();
+    if let Ok(i) = token.parse::<i64>() {
+        return ScalarExpr::lit(i);
+    }
+    if let Ok(f) = token.parse::<f64>() {
+        return ScalarExpr::lit(f);
+    }
+    if (token.starts_with('\'') && token.ends_with('\'') && token.len() >= 2)
+        || (token.starts_with('"') && token.ends_with('"') && token.len() >= 2)
+    {
+        return ScalarExpr::Literal(Value::from(&token[1..token.len() - 1]));
+    }
+    // A (possibly qualified) column, allowing simple `a + b` arithmetic.
+    if let Some((l, r)) = token.split_once('+') {
+        return parse_operand(l).add(parse_operand(r));
+    }
+    ScalarExpr::col(token)
+}
+
+fn parse_condition(conjunct: &str) -> Result<BoolExpr> {
+    const OPS: [(&str, CompareOp); 6] = [
+        ("<=", CompareOp::LtEq),
+        (">=", CompareOp::GtEq),
+        ("<>", CompareOp::NotEq),
+        ("!=", CompareOp::NotEq),
+        ("<", CompareOp::Lt),
+        (">", CompareOp::Gt),
+    ];
+    // `=` handled last so `<=`, `>=`, `<>` are not split at their `=`.
+    for (sym, op) in OPS {
+        if let Some((l, r)) = conjunct.split_once(sym) {
+            return Ok(BoolExpr::compare(parse_operand(l), op, parse_operand(r)));
+        }
+    }
+    if let Some((l, r)) = conjunct.split_once('=') {
+        return Ok(BoolExpr::compare(parse_operand(l), CompareOp::Eq, parse_operand(r)));
+    }
+    // A bare boolean column.
+    let col = conjunct.trim();
+    if col.is_empty() {
+        return Err(RankSqlError::Parse("empty WHERE conjunct".into()));
+    }
+    Ok(BoolExpr::column_is_true(col))
+}
+
+fn parse_rank_term(term: &str, index: usize) -> Result<RankPredicate> {
+    if term.is_empty() {
+        return Err(RankSqlError::Parse("empty ORDER BY term".into()));
+    }
+    // Optional trailing `COST n`.
+    let (term, cost) = match term.to_lowercase().find(" cost ") {
+        Some(pos) => {
+            let cost: u64 = term[pos + " cost ".len()..].trim().parse().map_err(|_| {
+                RankSqlError::Parse(format!("invalid COST annotation in `{term}`"))
+            })?;
+            (term[..pos].trim(), cost)
+        }
+        None => (term, 0),
+    };
+    // `name(column)` or a bare column.
+    if let Some(open) = term.find('(') {
+        let close = term
+            .rfind(')')
+            .ok_or_else(|| RankSqlError::Parse(format!("unbalanced parentheses in `{term}`")))?;
+        let name = term[..open].trim();
+        let column = term[open + 1..close].trim();
+        if name.is_empty() || column.is_empty() {
+            return Err(RankSqlError::Parse(format!("malformed ranking predicate `{term}`")));
+        }
+        return Ok(RankPredicate::attribute_with_cost(name, column, cost));
+    }
+    let name = if term.contains('.') { term.replace('.', "_") } else { format!("p{index}") };
+    Ok(RankPredicate::attribute_with_cost(name, term, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_query_q() {
+        let q = parse_topk_query(
+            "SELECT * FROM A, B, C \
+             WHERE A.jc1 = B.jc1 AND B.jc2 = C.jc2 AND A.b AND B.b \
+             ORDER BY f1(A.p1) + f2(A.p2) + f3(B.p1) + f4(B.p2) + f5(C.p1) \
+             LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.tables, vec!["A".to_string(), "B".to_string(), "C".to_string()]);
+        assert_eq!(q.bool_predicates.len(), 4);
+        assert_eq!(q.num_rank_predicates(), 5);
+        assert_eq!(q.ranking.predicate(0).name, "f1");
+        assert_eq!(q.k, 10);
+        assert!(q.projection.is_none());
+    }
+
+    #[test]
+    fn parses_projection_literals_and_costs() {
+        let q = parse_topk_query(
+            "SELECT H.id, R.id FROM H, R \
+             WHERE H.city = R.city AND R.cuisine = 'Italian' AND H.price < 100 \
+             ORDER BY H.quality + related(R.desc) COST 50 \
+             LIMIT 3;",
+        )
+        .unwrap();
+        assert_eq!(q.projection.as_ref().unwrap().len(), 2);
+        assert_eq!(q.k, 3);
+        assert_eq!(q.num_rank_predicates(), 2);
+        assert_eq!(q.ranking.predicate(0).name, "H_quality");
+        assert_eq!(q.ranking.predicate(1).cost, 50);
+        // The string literal survived with its case.
+        let c = &q.bool_predicates[1];
+        assert!(c.to_string().contains("Italian"));
+    }
+
+    #[test]
+    fn missing_clauses_are_reported() {
+        assert!(parse_topk_query("SELECT * FROM A LIMIT 5").is_err());
+        assert!(parse_topk_query("SELECT * FROM A ORDER BY p").is_err());
+        assert!(parse_topk_query("FROM A ORDER BY p LIMIT 1").is_err());
+        assert!(parse_topk_query("SELECT * FROM A ORDER BY p LIMIT x").is_err());
+    }
+
+    #[test]
+    fn comparison_operators_are_parsed() {
+        let q = parse_topk_query(
+            "SELECT * FROM T WHERE T.a >= 3 AND T.b <> 4 AND T.c <= 1.5 ORDER BY T.p LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(q.bool_predicates.len(), 3);
+        let rendered: Vec<String> = q.bool_predicates.iter().map(|p| p.to_string()).collect();
+        assert!(rendered[0].contains(">="));
+        assert!(rendered[1].contains("<>"));
+        assert!(rendered[2].contains("<="));
+    }
+
+    #[test]
+    fn end_to_end_parse_and_execute() {
+        use crate::database::Database;
+        use ranksql_common::{DataType, Field, Schema, Value};
+        let db = Database::new();
+        db.create_table(
+            "T",
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("good", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        for i in 0..20i64 {
+            db.insert("T", vec![Value::from(i), Value::from((i as f64) / 20.0)]).unwrap();
+        }
+        let q = parse_topk_query("SELECT * FROM T ORDER BY T.good LIMIT 3").unwrap();
+        let r = db.execute_with_mode(&q, crate::PlanMode::Canonical).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0].tuple.value(0), &Value::from(19));
+    }
+}

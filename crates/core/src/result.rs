@@ -1,0 +1,127 @@
+//! Query results: ranked rows plus execution statistics.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ranksql_algebra::{LogicalPlan, RankQuery};
+use ranksql_common::{Result, Schema};
+use ranksql_executor::{ExecutionResult, MetricsRegistry};
+use ranksql_expr::RankedTuple;
+
+/// The result of executing a top-k query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The result rows, best first.
+    pub rows: Vec<RankedTuple>,
+    /// The schema of the rows.
+    pub schema: Schema,
+    /// Final query scores of the rows (same order).
+    scores: Vec<f64>,
+    /// Per-operator runtime metrics of the executed plan.
+    pub metrics: Arc<MetricsRegistry>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Number of evaluations of each ranking predicate during execution.
+    pub predicate_evaluations: Vec<u64>,
+}
+
+impl QueryResult {
+    /// Builds a result from a finished execution.
+    pub fn from_execution(
+        query: &RankQuery,
+        plan: &LogicalPlan,
+        execution: ExecutionResult,
+    ) -> Result<Self> {
+        let schema = plan.schema()?;
+        let scores = execution
+            .tuples
+            .iter()
+            .map(|t| query.ranking.upper_bound(&t.state).value())
+            .collect();
+        Ok(QueryResult {
+            rows: execution.tuples,
+            schema,
+            scores,
+            metrics: execution.metrics,
+            elapsed: execution.elapsed,
+            predicate_evaluations: execution.predicate_evaluations,
+        })
+    }
+
+    /// The final score of each returned row, best first.
+    pub fn scores(&self) -> Vec<f64> {
+        self.scores.clone()
+    }
+
+    /// Total ranking-predicate evaluations during execution.
+    pub fn total_predicate_evaluations(&self) -> u64 {
+        self.predicate_evaluations.iter().sum()
+    }
+
+    /// Renders the result as a small text table (used by the examples).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let header: Vec<String> = std::iter::once("score".to_owned())
+            .chain(self.schema.fields().iter().map(|f| f.qualified_name()))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join(" | ").len()));
+        out.push('\n');
+        for (row, score) in self.rows.iter().zip(self.scores.iter()) {
+            let mut cells = vec![format!("{score:.4}")];
+            cells.extend(row.tuple.values().iter().map(|v| v.to_string()));
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use crate::database::Database;
+    use ranksql_common::{DataType, Field, Value};
+    use ranksql_expr::RankPredicate;
+
+    #[test]
+    fn result_exposes_scores_table_and_metrics() {
+        let db = Database::new();
+        db.create_table(
+            "T",
+            Schema::new(vec![
+                Field::new("name", DataType::Utf8),
+                Field::new("score", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        for (n, s) in [("a", 0.3), ("b", 0.9), ("c", 0.6)] {
+            db.insert("T", vec![Value::from(n), Value::from(s)]).unwrap();
+        }
+        let q = QueryBuilder::new()
+            .table("T")
+            .rank_predicate(RankPredicate::attribute("p", "T.score"))
+            .limit(2)
+            .build()
+            .unwrap();
+        let r = db.execute_with_mode(&q, crate::PlanMode::Canonical).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.scores(), vec![0.9, 0.6]);
+        let table = r.to_table();
+        assert!(table.contains("T.name"));
+        assert!(table.contains("0.9000"));
+        assert!(table.contains("'b'"));
+        assert!(r.total_predicate_evaluations() >= 3);
+        assert!(!r.metrics.is_empty());
+        assert_eq!(format!("{r}"), table);
+    }
+}

@@ -1,0 +1,343 @@
+//! Lowering logical plans to physical operator trees and driving execution.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ranksql_algebra::{JoinAlgorithm, LogicalPlan, ScanAccess, SetOpKind};
+use ranksql_common::{RankSqlError, Result};
+use ranksql_expr::{RankedTuple, RankingContext};
+use ranksql_storage::{BTreeIndex, Catalog, ScoreIndex};
+
+use crate::filter::{Filter, Project};
+use crate::join::{HashJoin, NestedLoopJoin, SortMergeJoin};
+use crate::metrics::MetricsRegistry;
+use crate::operator::{drain, BoxedOperator};
+use crate::rank::RankOp;
+use crate::rank_join::RankJoin;
+use crate::scan::{AttributeIndexScan, RankScan, SeqScan};
+use crate::set_ops::{ExceptOp, IntersectOp, UnionOp};
+use crate::sort_limit::{LimitOp, SortOp};
+
+/// Lowers a logical plan to a physical operator tree.
+///
+/// Operators register their metrics in `registry` bottom-up (inputs before
+/// parents), so the registration order is deterministic for a given plan
+/// shape — the cardinality-estimation experiment relies on this to pair real
+/// and estimated cardinalities per operator.
+///
+/// Rank-scans require a score index on the scanned table; if none exists one
+/// is built on the fly and cached on the table, mirroring the paper's
+/// assumption that such indexes are available as access paths.
+pub fn build_operator(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &Arc<RankingContext>,
+    registry: &MetricsRegistry,
+) -> Result<BoxedOperator> {
+    match plan {
+        LogicalPlan::Scan { table, access, .. } => {
+            let table = catalog.table(table)?;
+            match access {
+                ScanAccess::Sequential => {
+                    let m = registry.register(plan.node_label(Some(ctx)));
+                    Ok(Box::new(SeqScan::new(&table, Arc::clone(ctx), m)))
+                }
+                ScanAccess::RankIndex { predicate } => {
+                    let pred = ctx.predicate(*predicate);
+                    let index = match table.score_index(&pred.name) {
+                        Some(idx) => idx,
+                        None => {
+                            let built = ScoreIndex::build(pred, table.schema(), &table.scan())?;
+                            table.add_score_index(built)
+                        }
+                    };
+                    let m = registry.register(plan.node_label(Some(ctx)));
+                    Ok(Box::new(RankScan::new(table, index, *predicate, Arc::clone(ctx), m)?))
+                }
+                ScanAccess::AttributeIndex { column } => {
+                    let index = match table.btree_index(column) {
+                        Some(idx) => idx,
+                        None => {
+                            let built = BTreeIndex::build(column, table.schema(), &table.scan())?;
+                            table.add_btree_index(built)
+                        }
+                    };
+                    let m = registry.register(plan.node_label(Some(ctx)));
+                    Ok(Box::new(AttributeIndexScan::new(table, index, Arc::clone(ctx), m)))
+                }
+            }
+        }
+        LogicalPlan::Select { input, predicate } => {
+            let child = build_operator(input, catalog, ctx, registry)?;
+            let m = registry.register(plan.node_label(Some(ctx)));
+            Ok(Box::new(Filter::new(child, predicate, m)?))
+        }
+        LogicalPlan::Project { input, columns } => {
+            let child = build_operator(input, catalog, ctx, registry)?;
+            let m = registry.register(plan.node_label(Some(ctx)));
+            Ok(Box::new(Project::new(child, columns, m)?))
+        }
+        LogicalPlan::Rank { input, predicate } => {
+            if *predicate >= ctx.num_predicates() {
+                return Err(RankSqlError::Plan(format!(
+                    "rank operator references predicate #{predicate} but the query has only {}",
+                    ctx.num_predicates()
+                )));
+            }
+            let child = build_operator(input, catalog, ctx, registry)?;
+            let m = registry.register(plan.node_label(Some(ctx)));
+            Ok(Box::new(RankOp::new(child, *predicate, Arc::clone(ctx), m)))
+        }
+        LogicalPlan::Join { left, right, condition, algorithm } => {
+            let l = build_operator(left, catalog, ctx, registry)?;
+            let r = build_operator(right, catalog, ctx, registry)?;
+            let m = registry.register(plan.node_label(Some(ctx)));
+            let op: BoxedOperator = match algorithm {
+                JoinAlgorithm::NestedLoop => {
+                    Box::new(NestedLoopJoin::new(l, r, condition.as_ref(), m)?)
+                }
+                JoinAlgorithm::Hash => Box::new(HashJoin::new(l, r, condition.as_ref(), m)?),
+                JoinAlgorithm::SortMerge => {
+                    Box::new(SortMergeJoin::new(l, r, condition.as_ref(), m)?)
+                }
+                JoinAlgorithm::HashRankJoin => {
+                    Box::new(RankJoin::hrjn(l, r, condition.as_ref(), Arc::clone(ctx), m)?)
+                }
+                JoinAlgorithm::NestedLoopRankJoin => {
+                    Box::new(RankJoin::nrjn(l, r, condition.as_ref(), Arc::clone(ctx), m)?)
+                }
+            };
+            Ok(op)
+        }
+        LogicalPlan::SetOp { kind, left, right } => {
+            let l = build_operator(left, catalog, ctx, registry)?;
+            let r = build_operator(right, catalog, ctx, registry)?;
+            if l.schema().len() != r.schema().len() {
+                return Err(RankSqlError::Plan(
+                    "set operation inputs are not union compatible".into(),
+                ));
+            }
+            let m = registry.register(plan.node_label(Some(ctx)));
+            let op: BoxedOperator = match kind {
+                SetOpKind::Union => Box::new(UnionOp::new(l, r, Arc::clone(ctx), m)),
+                SetOpKind::Intersect => Box::new(IntersectOp::new(l, r, Arc::clone(ctx), m)),
+                SetOpKind::Except => Box::new(ExceptOp::new(l, r, Arc::clone(ctx), m)),
+            };
+            Ok(op)
+        }
+        LogicalPlan::Sort { input, predicates } => {
+            let child = build_operator(input, catalog, ctx, registry)?;
+            let m = registry.register(plan.node_label(Some(ctx)));
+            Ok(Box::new(SortOp::new(child, *predicates, Arc::clone(ctx), m)))
+        }
+        LogicalPlan::Limit { input, k } => {
+            let child = build_operator(input, catalog, ctx, registry)?;
+            let m = registry.register(plan.node_label(Some(ctx)));
+            Ok(Box::new(LimitOp::new(child, *k, m)))
+        }
+    }
+}
+
+/// The outcome of executing a plan.
+#[derive(Debug)]
+pub struct ExecutionResult {
+    /// The tuples produced by the plan root, in emission order.
+    pub tuples: Vec<RankedTuple>,
+    /// Per-operator metrics, in bottom-up registration order.
+    pub metrics: Arc<MetricsRegistry>,
+    /// Wall-clock execution time (building + draining the operator tree).
+    pub elapsed: Duration,
+    /// Per-predicate evaluation counts accumulated during this execution.
+    pub predicate_evaluations: Vec<u64>,
+}
+
+impl ExecutionResult {
+    /// Total ranking-predicate evaluations during this execution.
+    pub fn total_predicate_evaluations(&self) -> u64 {
+        self.predicate_evaluations.iter().sum()
+    }
+}
+
+/// Builds and fully drains a plan, collecting results and metrics.
+///
+/// The ranking context's evaluation counters are snapshotted around the run
+/// so that [`ExecutionResult::predicate_evaluations`] reflects only this
+/// execution.
+pub fn execute_plan(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &Arc<RankingContext>,
+) -> Result<ExecutionResult> {
+    let registry = MetricsRegistry::new();
+    let before = ctx.counters().snapshot();
+    let start = Instant::now();
+    let mut root = build_operator(plan, catalog, ctx, &registry)?;
+    let tuples = drain(root.as_mut())?;
+    let elapsed = start.elapsed();
+    let after = ctx.counters().snapshot();
+    let predicate_evaluations =
+        after.iter().zip(before.iter()).map(|(a, b)| a - b).collect();
+    Ok(ExecutionResult { tuples, metrics: registry, elapsed, predicate_evaluations })
+}
+
+/// Convenience wrapper taking the ranking context from a
+/// [`ranksql_algebra::RankQuery`].
+pub fn execute_query_plan(
+    query: &ranksql_algebra::RankQuery,
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+) -> Result<ExecutionResult> {
+    execute_plan(plan, catalog, &query.ranking)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::oracle_top_k;
+    use ranksql_algebra::RankQuery;
+    use ranksql_common::{BitSet64, DataType, Field, Schema, Value};
+    use ranksql_expr::{BoolExpr, RankPredicate, ScoringFunction};
+
+    /// Builds a two-table catalog and a ranking query over it.
+    fn setup(rows: usize) -> (Catalog, RankQuery) {
+        let cat = Catalog::new();
+        let r = cat
+            .create_table(
+                "R",
+                Schema::new(vec![
+                    Field::new("a", DataType::Int64),
+                    Field::new("p1", DataType::Float64),
+                    Field::new("flag", DataType::Bool),
+                ]),
+            )
+            .unwrap();
+        let s = cat
+            .create_table(
+                "S",
+                Schema::new(vec![
+                    Field::new("a", DataType::Int64),
+                    Field::new("p2", DataType::Float64),
+                ]),
+            )
+            .unwrap();
+        // Deterministic pseudo-random content.
+        for i in 0..rows {
+            let a = (i * 7 % 13) as i64;
+            let p1 = ((i * 37 % 100) as f64) / 100.0;
+            r.insert(vec![Value::from(a), Value::from(p1), Value::from(i % 3 != 0)]).unwrap();
+            let a2 = (i * 5 % 13) as i64;
+            let p2 = ((i * 61 % 100) as f64) / 100.0;
+            s.insert(vec![Value::from(a2), Value::from(p2)]).unwrap();
+        }
+        let ranking = RankingContext::new(
+            vec![
+                RankPredicate::attribute("p1", "R.p1"),
+                RankPredicate::attribute("p2", "S.p2"),
+            ],
+            ScoringFunction::Sum,
+        );
+        let query = RankQuery::new(
+            vec!["R".into(), "S".into()],
+            vec![BoolExpr::col_eq_col("R.a", "S.a"), BoolExpr::column_is_true("R.flag")],
+            ranking,
+            5,
+        );
+        (cat, query)
+    }
+
+    fn scores(query: &RankQuery, tuples: &[RankedTuple]) -> Vec<f64> {
+        tuples.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect()
+    }
+
+    #[test]
+    fn canonical_plan_matches_oracle() {
+        let (cat, query) = setup(40);
+        let plan = query.canonical_plan(&cat).unwrap();
+        let result = execute_query_plan(&query, &plan, &cat).unwrap();
+        let oracle = oracle_top_k(&query, &cat).unwrap();
+        assert_eq!(result.tuples.len(), oracle.len());
+        assert_eq!(scores(&query, &result.tuples), scores(&query, &oracle));
+    }
+
+    #[test]
+    fn pipelined_rank_plan_matches_oracle() {
+        let (cat, query) = setup(40);
+        let r = cat.table("R").unwrap();
+        let s = cat.table("S").unwrap();
+        // RankScan_p1(R) filtered, HRJN with µ_p2 over SeqScan(S), limit k.
+        let plan = ranksql_algebra::LogicalPlan::rank_scan(&r, 0)
+            .select(BoolExpr::column_is_true("R.flag"))
+            .join(
+                ranksql_algebra::LogicalPlan::scan(&s).rank(1),
+                Some(BoolExpr::col_eq_col("R.a", "S.a")),
+                JoinAlgorithm::HashRankJoin,
+            )
+            .limit(query.k);
+        let result = execute_query_plan(&query, &plan, &cat).unwrap();
+        let oracle = oracle_top_k(&query, &cat).unwrap();
+        assert_eq!(scores(&query, &result.tuples), scores(&query, &oracle));
+        assert!(result.tuples.len() <= query.k);
+    }
+
+    #[test]
+    fn equivalent_plans_from_the_laws_agree_on_results() {
+        let (cat, query) = setup(25);
+        let canonical = query.canonical_plan(&cat).unwrap();
+        let expected = scores(&query, &oracle_top_k(&query, &cat).unwrap());
+        let alternatives = ranksql_algebra::equivalent_plans(&canonical, &query, 40);
+        assert!(alternatives.len() > 3);
+        for plan in alternatives {
+            let result = execute_query_plan(&query, &plan, &cat).unwrap();
+            assert_eq!(
+                scores(&query, &result.tuples),
+                expected,
+                "plan disagreed with oracle:\n{}",
+                plan.explain(Some(&query.ranking))
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_and_counters_are_reported() {
+        let (cat, query) = setup(30);
+        let r = cat.table("R").unwrap();
+        let plan = ranksql_algebra::LogicalPlan::scan(&r)
+            .rank(0)
+            .sort(BitSet64::singleton(0))
+            .limit(3);
+        let result = execute_plan(&plan, &cat, &query.ranking).unwrap();
+        assert_eq!(result.tuples.len(), 3);
+        assert_eq!(result.metrics.len(), 4);
+        assert_eq!(result.predicate_evaluations[0], 30);
+        assert_eq!(result.predicate_evaluations[1], 0);
+        assert_eq!(result.total_predicate_evaluations(), 30);
+        assert!(result.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn rank_scan_builds_missing_index_on_demand() {
+        let (cat, query) = setup(10);
+        let r = cat.table("R").unwrap();
+        assert!(r.score_index("p1").is_none());
+        let plan = ranksql_algebra::LogicalPlan::rank_scan(&r, 0).limit(2);
+        let result = execute_plan(&plan, &cat, &query.ranking).unwrap();
+        assert_eq!(result.tuples.len(), 2);
+        assert!(r.score_index("p1").is_some());
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let (cat, query) = setup(5);
+        let r = cat.table("R").unwrap();
+        // Unknown predicate index.
+        let bad = ranksql_algebra::LogicalPlan::scan(&r).rank(9);
+        assert!(execute_plan(&bad, &cat, &query.ranking).is_err());
+        // Unknown table.
+        let ghost = ranksql_algebra::LogicalPlan::Scan {
+            table: "Ghost".into(),
+            schema: r.schema().clone(),
+            access: ScanAccess::Sequential,
+        };
+        assert!(execute_plan(&ghost, &cat, &query.ranking).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Order-preserving unary operators: selection (σ) and projection (π).
+
+use std::sync::Arc;
+
+use ranksql_common::{Result, Schema};
+use ranksql_expr::{BoolExpr, BoundBoolExpr, RankedTuple};
+
+use crate::metrics::OperatorMetrics;
+use crate::operator::{BoxedOperator, PhysicalOperator};
+
+/// Selection σ_c: filters membership, keeps the input order untouched
+/// (`σ_c(R_P) ≡ (σ_c R)_P`, Figure 3).
+pub struct Filter {
+    input: BoxedOperator,
+    predicate: BoundBoolExpr,
+    schema: Schema,
+    metrics: Arc<OperatorMetrics>,
+}
+
+impl Filter {
+    /// Creates a filter, binding `predicate` against the input schema.
+    pub fn new(
+        input: BoxedOperator,
+        predicate: &BoolExpr,
+        metrics: Arc<OperatorMetrics>,
+    ) -> Result<Self> {
+        let schema = input.schema().clone();
+        let bound = predicate.bind(&schema)?;
+        Ok(Filter { input, predicate: bound, schema, metrics })
+    }
+}
+
+impl PhysicalOperator for Filter {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        while let Some(rt) = self.input.next()? {
+            self.metrics.add_in(1);
+            if self.predicate.eval(&rt.tuple)? {
+                self.metrics.add_out(1);
+                return Ok(Some(rt));
+            }
+        }
+        Ok(None)
+    }
+
+    fn is_ranked(&self) -> bool {
+        self.input.is_ranked()
+    }
+}
+
+/// Projection π: keeps membership and order, narrows the value vector.
+///
+/// Projection keeps the tuple identity, so set operators above a projection
+/// still deduplicate correctly.
+pub struct Project {
+    input: BoxedOperator,
+    indices: Vec<usize>,
+    schema: Schema,
+    metrics: Arc<OperatorMetrics>,
+}
+
+impl Project {
+    /// Creates a projection onto `columns` (qualified names).
+    pub fn new(
+        input: BoxedOperator,
+        columns: &[String],
+        metrics: Arc<OperatorMetrics>,
+    ) -> Result<Self> {
+        let in_schema = input.schema().clone();
+        let mut indices = Vec::with_capacity(columns.len());
+        for c in columns {
+            indices.push(in_schema.index_of_str(c)?);
+        }
+        let schema = in_schema.project(&indices);
+        Ok(Project { input, indices, schema, metrics })
+    }
+}
+
+impl PhysicalOperator for Project {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        match self.input.next()? {
+            Some(rt) => {
+                self.metrics.add_in(1);
+                self.metrics.add_out(1);
+                let projected = rt.tuple.project(&self.indices);
+                Ok(Some(RankedTuple::new(projected, rt.state)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn is_ranked(&self) -> bool {
+        self.input.is_ranked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::operator::drain;
+    use crate::scan::SeqScan;
+    use ranksql_common::{DataType, Field, Value};
+    use ranksql_expr::{CompareOp, RankingContext, ScalarExpr};
+    use ranksql_storage::{Table, TableBuilder};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Bool),
+        ])
+        .qualify_all("R");
+        TableBuilder::new("R", schema)
+            .rows((0..10i64).map(|i| vec![Value::from(i), Value::from(i % 2 == 0)]))
+            .build(0)
+            .unwrap()
+    }
+
+    fn scan(t: &Table, reg: &MetricsRegistry) -> BoxedOperator {
+        Box::new(SeqScan::new(t, RankingContext::unranked(), reg.register("scan")))
+    }
+
+    #[test]
+    fn filter_keeps_matching_tuples_only() {
+        let t = table();
+        let reg = MetricsRegistry::new();
+        let pred = BoolExpr::compare(ScalarExpr::col("R.a"), CompareOp::GtEq, ScalarExpr::lit(5));
+        let mut f = Filter::new(scan(&t, &reg), &pred, reg.register("filter")).unwrap();
+        let out = drain(&mut f).unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|t| t.tuple.value(0).as_i64().unwrap() >= 5));
+        let m = reg.snapshot();
+        assert_eq!(m[1].tuples_in(), 10);
+        assert_eq!(m[1].tuples_out(), 5);
+    }
+
+    #[test]
+    fn filter_on_boolean_column() {
+        let t = table();
+        let reg = MetricsRegistry::new();
+        let pred = BoolExpr::column_is_true("R.b");
+        let mut f = Filter::new(scan(&t, &reg), &pred, reg.register("filter")).unwrap();
+        assert_eq!(drain(&mut f).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn filter_bind_error_on_unknown_column() {
+        let t = table();
+        let reg = MetricsRegistry::new();
+        let pred = BoolExpr::column_is_true("R.zzz");
+        assert!(Filter::new(scan(&t, &reg), &pred, reg.register("filter")).is_err());
+    }
+
+    #[test]
+    fn project_narrows_schema_and_keeps_identity() {
+        let t = table();
+        let reg = MetricsRegistry::new();
+        let mut p =
+            Project::new(scan(&t, &reg), &["R.b".to_owned()], reg.register("proj")).unwrap();
+        assert_eq!(p.schema().len(), 1);
+        let out = drain(&mut p).unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].tuple.arity(), 1);
+        assert_eq!(out[3].tuple.id().parts()[0].1, 3);
+    }
+
+    #[test]
+    fn project_unknown_column_errors() {
+        let t = table();
+        let reg = MetricsRegistry::new();
+        assert!(Project::new(scan(&t, &reg), &["R.zzz".to_owned()], reg.register("proj")).is_err());
+    }
+}

@@ -1,0 +1,614 @@
+//! Traditional (ranking-blind) join operators: nested loops, hash join and
+//! sort-merge join.
+//!
+//! These operators implement the membership semantics of ⋈ and *merge* the
+//! score states of their inputs (so predicates evaluated below the join stay
+//! evaluated above it), but they make no promise about output order — they
+//! are the joins a conventional engine would use in the materialise-then-sort
+//! plans the paper compares against (Plan 1 and Plan 4 of Figure 11).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ranksql_common::{RankSqlError, Result, Schema, Value};
+use ranksql_expr::{BoolExpr, BoundBoolExpr, CompareOp, RankedTuple, ScalarExpr};
+
+use crate::metrics::OperatorMetrics;
+use crate::operator::{BoxedOperator, PhysicalOperator};
+
+/// Equi-join keys extracted from a join condition, plus whatever part of the
+/// condition is not a simple column equality (the *residual*, evaluated on
+/// the joined tuple).
+#[derive(Debug, Clone)]
+pub struct JoinKeys {
+    /// Pairs of (left column index, right column index).
+    pub keys: Vec<(usize, usize)>,
+    /// Remaining condition to evaluate on the concatenated tuple.
+    pub residual: Option<BoolExpr>,
+}
+
+/// Splits a join condition into equi-join column pairs and a residual.
+///
+/// A conjunct of the form `L.col = R.col` (either orientation) where one side
+/// resolves against the left schema and the other against the right schema
+/// becomes a key pair; every other conjunct goes to the residual.
+pub fn extract_join_keys(
+    condition: Option<&BoolExpr>,
+    left: &Schema,
+    right: &Schema,
+) -> JoinKeys {
+    let Some(condition) = condition else {
+        return JoinKeys { keys: vec![], residual: None };
+    };
+    let mut keys = Vec::new();
+    let mut residual = Vec::new();
+    for conjunct in condition.split_conjuncts() {
+        if let BoolExpr::Compare {
+            op: CompareOp::Eq,
+            left: ScalarExpr::Column(a),
+            right: ScalarExpr::Column(b),
+        } = &conjunct
+        {
+            match (a.resolve(left), b.resolve(right)) {
+                (Ok(li), Ok(ri)) => {
+                    keys.push((li, ri));
+                    continue;
+                }
+                _ => {
+                    if let (Ok(li), Ok(ri)) = (b.resolve(left), a.resolve(right)) {
+                        keys.push((li, ri));
+                        continue;
+                    }
+                }
+            }
+        }
+        residual.push(conjunct);
+    }
+    JoinKeys { keys, residual: BoolExpr::conjoin(residual) }
+}
+
+fn key_values(tuple: &RankedTuple, indices: &[usize], side_offset: usize) -> Vec<Value> {
+    indices.iter().map(|&i| tuple.tuple.value(i + side_offset).clone()).collect()
+}
+
+/// Binds the condition to evaluate on joined tuples (residual for equi-joins,
+/// or the full condition for nested loops).
+fn bind_on_joined(condition: Option<&BoolExpr>, joined: &Schema) -> Result<Option<BoundBoolExpr>> {
+    condition.map(|c| c.bind(joined)).transpose()
+}
+
+/// Block nested-loops join: materialises the right input and loops over it
+/// for every left tuple.  Supports arbitrary (or absent = cross) conditions.
+pub struct NestedLoopJoin {
+    left: BoxedOperator,
+    right_rows: Option<Vec<RankedTuple>>,
+    right: Option<BoxedOperator>,
+    condition: Option<BoundBoolExpr>,
+    schema: Schema,
+    current_left: Option<RankedTuple>,
+    right_pos: usize,
+    metrics: Arc<OperatorMetrics>,
+}
+
+impl NestedLoopJoin {
+    /// Creates a nested-loops join.
+    pub fn new(
+        left: BoxedOperator,
+        right: BoxedOperator,
+        condition: Option<&BoolExpr>,
+        metrics: Arc<OperatorMetrics>,
+    ) -> Result<Self> {
+        let schema = left.schema().join(right.schema());
+        let bound = bind_on_joined(condition, &schema)?;
+        Ok(NestedLoopJoin {
+            left,
+            right_rows: None,
+            right: Some(right),
+            condition: bound,
+            schema,
+            current_left: None,
+            right_pos: 0,
+            metrics,
+        })
+    }
+
+    fn ensure_right_materialised(&mut self) -> Result<()> {
+        if self.right_rows.is_none() {
+            let mut right = self.right.take().expect("right input present");
+            let mut rows = Vec::new();
+            while let Some(t) = right.next()? {
+                self.metrics.add_in(1);
+                rows.push(t);
+            }
+            self.right_rows = Some(rows);
+        }
+        Ok(())
+    }
+}
+
+impl PhysicalOperator for NestedLoopJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        self.ensure_right_materialised()?;
+        loop {
+            if self.current_left.is_none() {
+                match self.left.next()? {
+                    Some(t) => {
+                        self.metrics.add_in(1);
+                        self.current_left = Some(t);
+                        self.right_pos = 0;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let left = self.current_left.as_ref().expect("current left set");
+            let rows = self.right_rows.as_ref().expect("right materialised");
+            while self.right_pos < rows.len() {
+                let right = &rows[self.right_pos];
+                self.right_pos += 1;
+                let joined = left.join(right);
+                let passes = match &self.condition {
+                    Some(c) => c.eval(&joined.tuple)?,
+                    None => true,
+                };
+                if passes {
+                    self.metrics.add_out(1);
+                    return Ok(Some(joined));
+                }
+            }
+            self.current_left = None;
+        }
+    }
+
+    fn is_ranked(&self) -> bool {
+        false
+    }
+}
+
+/// Hash join: builds a hash table on the right input's join keys and probes
+/// it with left tuples.  Requires at least one equi-join key.
+pub struct HashJoin {
+    left: BoxedOperator,
+    right: Option<BoxedOperator>,
+    table: Option<HashMap<Vec<Value>, Vec<RankedTuple>>>,
+    keys: Vec<(usize, usize)>,
+    residual: Option<BoundBoolExpr>,
+    schema: Schema,
+    current_left: Option<RankedTuple>,
+    current_matches: Vec<RankedTuple>,
+    match_pos: usize,
+    metrics: Arc<OperatorMetrics>,
+}
+
+impl HashJoin {
+    /// Creates a hash join from an explicit condition.
+    pub fn new(
+        left: BoxedOperator,
+        right: BoxedOperator,
+        condition: Option<&BoolExpr>,
+        metrics: Arc<OperatorMetrics>,
+    ) -> Result<Self> {
+        let keys = extract_join_keys(condition, left.schema(), right.schema());
+        if keys.keys.is_empty() {
+            return Err(RankSqlError::Execution(
+                "hash join requires at least one equi-join condition".into(),
+            ));
+        }
+        let schema = left.schema().join(right.schema());
+        let residual = bind_on_joined(keys.residual.as_ref(), &schema)?;
+        Ok(HashJoin {
+            left,
+            right: Some(right),
+            table: None,
+            keys: keys.keys,
+            residual,
+            schema,
+            current_left: None,
+            current_matches: Vec::new(),
+            match_pos: 0,
+            metrics,
+        })
+    }
+
+    fn ensure_built(&mut self) -> Result<()> {
+        if self.table.is_none() {
+            let mut right = self.right.take().expect("right input present");
+            let right_keys: Vec<usize> = self.keys.iter().map(|&(_, r)| r).collect();
+            let mut table: HashMap<Vec<Value>, Vec<RankedTuple>> = HashMap::new();
+            while let Some(t) = right.next()? {
+                self.metrics.add_in(1);
+                let key = key_values(&t, &right_keys, 0);
+                table.entry(key).or_default().push(t);
+            }
+            self.table = Some(table);
+        }
+        Ok(())
+    }
+}
+
+impl PhysicalOperator for HashJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        self.ensure_built()?;
+        let left_keys: Vec<usize> = self.keys.iter().map(|&(l, _)| l).collect();
+        loop {
+            while self.match_pos < self.current_matches.len() {
+                let right = &self.current_matches[self.match_pos];
+                self.match_pos += 1;
+                let left = self.current_left.as_ref().expect("left set while matching");
+                let joined = left.join(right);
+                let passes = match &self.residual {
+                    Some(c) => c.eval(&joined.tuple)?,
+                    None => true,
+                };
+                if passes {
+                    self.metrics.add_out(1);
+                    return Ok(Some(joined));
+                }
+            }
+            match self.left.next()? {
+                Some(t) => {
+                    self.metrics.add_in(1);
+                    let key = key_values(&t, &left_keys, 0);
+                    self.current_matches = self
+                        .table
+                        .as_ref()
+                        .expect("hash table built")
+                        .get(&key)
+                        .cloned()
+                        .unwrap_or_default();
+                    self.match_pos = 0;
+                    self.current_left = Some(t);
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn is_ranked(&self) -> bool {
+        false
+    }
+}
+
+/// Sort-merge join: materialises and sorts both inputs on the join keys, then
+/// merges equal-key groups.  Requires at least one equi-join key.
+pub struct SortMergeJoin {
+    output: std::vec::IntoIter<RankedTuple>,
+    schema: Schema,
+    metrics: Arc<OperatorMetrics>,
+    prepared: bool,
+    left: Option<BoxedOperator>,
+    right: Option<BoxedOperator>,
+    keys: Vec<(usize, usize)>,
+    residual: Option<BoundBoolExpr>,
+}
+
+impl SortMergeJoin {
+    /// Creates a sort-merge join from an explicit condition.
+    pub fn new(
+        left: BoxedOperator,
+        right: BoxedOperator,
+        condition: Option<&BoolExpr>,
+        metrics: Arc<OperatorMetrics>,
+    ) -> Result<Self> {
+        let keys = extract_join_keys(condition, left.schema(), right.schema());
+        if keys.keys.is_empty() {
+            return Err(RankSqlError::Execution(
+                "sort-merge join requires at least one equi-join condition".into(),
+            ));
+        }
+        let schema = left.schema().join(right.schema());
+        let residual = bind_on_joined(keys.residual.as_ref(), &schema)?;
+        Ok(SortMergeJoin {
+            output: Vec::new().into_iter(),
+            schema,
+            metrics,
+            prepared: false,
+            left: Some(left),
+            right: Some(right),
+            keys: keys.keys,
+            residual,
+        })
+    }
+
+    fn prepare(&mut self) -> Result<()> {
+        if self.prepared {
+            return Ok(());
+        }
+        self.prepared = true;
+        let mut left = self.left.take().expect("left present");
+        let mut right = self.right.take().expect("right present");
+        let left_keys: Vec<usize> = self.keys.iter().map(|&(l, _)| l).collect();
+        let right_keys: Vec<usize> = self.keys.iter().map(|&(_, r)| r).collect();
+
+        let mut l_rows = Vec::new();
+        while let Some(t) = left.next()? {
+            self.metrics.add_in(1);
+            l_rows.push(t);
+        }
+        let mut r_rows = Vec::new();
+        while let Some(t) = right.next()? {
+            self.metrics.add_in(1);
+            r_rows.push(t);
+        }
+        l_rows.sort_by(|a, b| key_values(a, &left_keys, 0).cmp(&key_values(b, &left_keys, 0)));
+        r_rows.sort_by(|a, b| key_values(a, &right_keys, 0).cmp(&key_values(b, &right_keys, 0)));
+
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < l_rows.len() && j < r_rows.len() {
+            let lk = key_values(&l_rows[i], &left_keys, 0);
+            let rk = key_values(&r_rows[j], &right_keys, 0);
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Find the extent of the equal-key groups on both sides.
+                    let i_end = (i..l_rows.len())
+                        .find(|&x| key_values(&l_rows[x], &left_keys, 0) != lk)
+                        .unwrap_or(l_rows.len());
+                    let j_end = (j..r_rows.len())
+                        .find(|&x| key_values(&r_rows[x], &right_keys, 0) != rk)
+                        .unwrap_or(r_rows.len());
+                    for l in &l_rows[i..i_end] {
+                        for r in &r_rows[j..j_end] {
+                            let joined = l.join(r);
+                            let passes = match &self.residual {
+                                Some(c) => c.eval(&joined.tuple)?,
+                                None => true,
+                            };
+                            if passes {
+                                self.metrics.add_out(1);
+                                out.push(joined);
+                            }
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        self.output = out.into_iter();
+        Ok(())
+    }
+}
+
+impl PhysicalOperator for SortMergeJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        self.prepare()?;
+        Ok(self.output.next())
+    }
+
+    fn is_ranked(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::operator::drain;
+    use crate::scan::SeqScan;
+    use ranksql_common::{DataType, Field};
+    use ranksql_expr::RankingContext;
+    use ranksql_storage::{Table, TableBuilder};
+
+    fn table_r() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("x", DataType::Int64),
+        ])
+        .qualify_all("R");
+        TableBuilder::new("R", schema)
+            .rows([
+                vec![Value::from(1), Value::from(10)],
+                vec![Value::from(2), Value::from(20)],
+                vec![Value::from(3), Value::from(30)],
+                vec![Value::from(1), Value::from(40)],
+            ])
+            .build(0)
+            .unwrap()
+    }
+
+    fn table_s() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("y", DataType::Int64),
+        ])
+        .qualify_all("S");
+        TableBuilder::new("S", schema)
+            .rows([
+                vec![Value::from(1), Value::from(100)],
+                vec![Value::from(3), Value::from(300)],
+                vec![Value::from(3), Value::from(301)],
+                vec![Value::from(9), Value::from(900)],
+            ])
+            .build(1)
+            .unwrap()
+    }
+
+    fn scan(t: &Table, reg: &MetricsRegistry) -> BoxedOperator {
+        Box::new(SeqScan::new(t, RankingContext::unranked(), reg.register("scan")))
+    }
+
+    fn join_result_pairs(out: &[RankedTuple]) -> Vec<(i64, i64)> {
+        let mut pairs: Vec<(i64, i64)> = out
+            .iter()
+            .map(|t| {
+                (t.tuple.value(0).as_i64().unwrap(), t.tuple.value(3).as_i64().unwrap())
+            })
+            .collect();
+        pairs.sort();
+        pairs
+    }
+
+    /// Expected R ⋈ S on a: (1,100) x2 [R rows 1 and 4], (3,300), (3,301).
+    fn expected_pairs() -> Vec<(i64, i64)> {
+        vec![(1, 100), (1, 100), (3, 300), (3, 301)]
+    }
+
+    #[test]
+    fn extract_keys_and_residual() {
+        let r = table_r();
+        let s = table_s();
+        let cond = BoolExpr::col_eq_col("R.a", "S.a").and(BoolExpr::compare(
+            ScalarExpr::col("R.x").add(ScalarExpr::col("S.y")),
+            CompareOp::Lt,
+            ScalarExpr::lit(1000),
+        ));
+        let keys = extract_join_keys(Some(&cond), r.schema(), s.schema());
+        assert_eq!(keys.keys, vec![(0, 0)]);
+        assert!(keys.residual.is_some());
+        // Reversed orientation also works.
+        let cond2 = BoolExpr::col_eq_col("S.a", "R.a");
+        let keys2 = extract_join_keys(Some(&cond2), r.schema(), s.schema());
+        assert_eq!(keys2.keys, vec![(0, 0)]);
+        assert!(keys2.residual.is_none());
+        // Cross join: no condition.
+        let keys3 = extract_join_keys(None, r.schema(), s.schema());
+        assert!(keys3.keys.is_empty() && keys3.residual.is_none());
+    }
+
+    #[test]
+    fn nested_loop_join_matches_expected() {
+        let r = table_r();
+        let s = table_s();
+        let reg = MetricsRegistry::new();
+        let cond = BoolExpr::col_eq_col("R.a", "S.a");
+        let mut j = NestedLoopJoin::new(
+            scan(&r, &reg),
+            scan(&s, &reg),
+            Some(&cond),
+            reg.register("nlj"),
+        )
+        .unwrap();
+        let out = drain(&mut j).unwrap();
+        assert_eq!(join_result_pairs(&out), expected_pairs());
+        assert_eq!(out[0].tuple.arity(), 4);
+    }
+
+    #[test]
+    fn cross_join_produces_product() {
+        let r = table_r();
+        let s = table_s();
+        let reg = MetricsRegistry::new();
+        let mut j =
+            NestedLoopJoin::new(scan(&r, &reg), scan(&s, &reg), None, reg.register("nlj"))
+                .unwrap();
+        assert_eq!(drain(&mut j).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn hash_join_matches_expected() {
+        let r = table_r();
+        let s = table_s();
+        let reg = MetricsRegistry::new();
+        let cond = BoolExpr::col_eq_col("R.a", "S.a");
+        let mut j =
+            HashJoin::new(scan(&r, &reg), scan(&s, &reg), Some(&cond), reg.register("hj"))
+                .unwrap();
+        let out = drain(&mut j).unwrap();
+        assert_eq!(join_result_pairs(&out), expected_pairs());
+    }
+
+    #[test]
+    fn hash_join_requires_equi_key() {
+        let r = table_r();
+        let s = table_s();
+        let reg = MetricsRegistry::new();
+        let cond = BoolExpr::compare(
+            ScalarExpr::col("R.x"),
+            CompareOp::Lt,
+            ScalarExpr::col("S.y"),
+        );
+        assert!(HashJoin::new(
+            scan(&r, &reg),
+            scan(&s, &reg),
+            Some(&cond),
+            reg.register("hj")
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sort_merge_join_matches_expected() {
+        let r = table_r();
+        let s = table_s();
+        let reg = MetricsRegistry::new();
+        let cond = BoolExpr::col_eq_col("R.a", "S.a");
+        let mut j = SortMergeJoin::new(
+            scan(&r, &reg),
+            scan(&s, &reg),
+            Some(&cond),
+            reg.register("smj"),
+        )
+        .unwrap();
+        let out = drain(&mut j).unwrap();
+        assert_eq!(join_result_pairs(&out), expected_pairs());
+    }
+
+    #[test]
+    fn residual_condition_filters_join_results() {
+        let r = table_r();
+        let s = table_s();
+        let reg = MetricsRegistry::new();
+        // R.a = S.a AND R.x + S.y < 200  → keeps only (1,100)x2 pairs
+        // (10+100, 40+100); (3,300/301) pairs exceed 200.
+        let cond = BoolExpr::col_eq_col("R.a", "S.a").and(BoolExpr::compare(
+            ScalarExpr::col("R.x").add(ScalarExpr::col("S.y")),
+            CompareOp::Lt,
+            ScalarExpr::lit(200),
+        ));
+        for mk in ["hash", "smj", "nlj"] {
+            let op: BoxedOperator = match mk {
+                "hash" => Box::new(
+                    HashJoin::new(scan(&r, &reg), scan(&s, &reg), Some(&cond), reg.register("j"))
+                        .unwrap(),
+                ),
+                "smj" => Box::new(
+                    SortMergeJoin::new(
+                        scan(&r, &reg),
+                        scan(&s, &reg),
+                        Some(&cond),
+                        reg.register("j"),
+                    )
+                    .unwrap(),
+                ),
+                _ => Box::new(
+                    NestedLoopJoin::new(
+                        scan(&r, &reg),
+                        scan(&s, &reg),
+                        Some(&cond),
+                        reg.register("j"),
+                    )
+                    .unwrap(),
+                ),
+            };
+            let mut op = op;
+            let out = drain(op.as_mut()).unwrap();
+            assert_eq!(join_result_pairs(&out), vec![(1, 100), (1, 100)], "algorithm {mk}");
+        }
+    }
+
+    #[test]
+    fn joins_report_unranked() {
+        let r = table_r();
+        let s = table_s();
+        let reg = MetricsRegistry::new();
+        let cond = BoolExpr::col_eq_col("R.a", "S.a");
+        let j = HashJoin::new(scan(&r, &reg), scan(&s, &reg), Some(&cond), reg.register("hj"))
+            .unwrap();
+        assert!(!j.is_ranked());
+    }
+}

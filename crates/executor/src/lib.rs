@@ -1,0 +1,47 @@
+//! The pipelined, incremental execution engine of RankSQL (Section 4).
+//!
+//! Plans are trees of Volcano-style iterators ([`PhysicalOperator`]): the
+//! consumer repeatedly calls `next()` on the root, which recursively draws
+//! tuples from its inputs.  The rank-aware operators implement the paper's
+//! incremental execution model: tuple streams flow in non-increasing order of
+//! their *maximal-possible scores* (`F_P[t]`, Property 1), so a top-k query
+//! stops as soon as `k` results have surfaced and execution cost is
+//! proportional to `k` rather than to the full input.
+//!
+//! Operators provided:
+//!
+//! | operator | module | rank-aware? |
+//! |---|---|---|
+//! | sequential scan, rank-scan (`idxScan_p`), attribute index scan | [`scan`] | rank-scan: yes |
+//! | filter (σ), project (π) | [`filter`] | order-preserving |
+//! | rank (µ) | [`rank`] | yes |
+//! | multi-predicate rank with minimal probing (MPro) | [`mpro`] | yes |
+//! | nested-loop / hash / sort-merge join | [`join`] | no (blocking) |
+//! | HRJN, NRJN rank-joins | [`rank_join`] | yes |
+//! | sort (τ, materialise-then-sort), top-k limit (λ) | [`sort_limit`] | sort: blocking |
+//! | union, intersection, difference | [`set_ops`] | intersection/difference incremental |
+//!
+//! [`build::build_operator`] lowers a [`ranksql_algebra::LogicalPlan`] to an
+//! operator tree, and [`build::execute_plan`] drives it to completion.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod build;
+pub mod filter;
+pub mod join;
+pub mod metrics;
+pub mod mpro;
+pub mod operator;
+pub mod oracle;
+pub mod rank;
+pub mod rank_join;
+pub mod scan;
+pub mod set_ops;
+pub mod sort_limit;
+
+pub use build::{build_operator, execute_plan, execute_query_plan, ExecutionResult};
+pub use metrics::{MetricsRegistry, OperatorMetrics};
+pub use mpro::MProOp;
+pub use operator::{BoxedOperator, PhysicalOperator};
+pub use oracle::oracle_top_k;

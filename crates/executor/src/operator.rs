@@ -1,0 +1,236 @@
+//! The physical operator interface and shared ordering utilities.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use ranksql_common::{Result, Schema, Score};
+use ranksql_expr::{RankedTuple, RankingContext};
+
+/// A Volcano-style physical operator producing [`RankedTuple`]s on demand.
+///
+/// The paper's iterator interface is `Open` / `GetNext` / `Close`; in Rust
+/// construction plays the role of `Open`, [`PhysicalOperator::next`] is
+/// `GetNext` (returning `None` at end of stream) and `Drop` is `Close`.
+///
+/// **Ordering contract.** An operator whose [`PhysicalOperator::is_ranked`]
+/// returns `true` must emit tuples in non-increasing order of their
+/// maximal-possible score `F_P[t]` with respect to the shared
+/// [`RankingContext`]; this is the incremental execution model of
+/// Section 4.1.  Operators that are not rank-aware (traditional joins, plain
+/// sort inputs) make no ordering promise.
+pub trait PhysicalOperator {
+    /// The schema of emitted tuples.
+    fn schema(&self) -> &Schema;
+
+    /// Produces the next tuple, or `None` when the stream is exhausted.
+    fn next(&mut self) -> Result<Option<RankedTuple>>;
+
+    /// Whether this operator's output respects the rank-relational ordering
+    /// contract.
+    fn is_ranked(&self) -> bool {
+        true
+    }
+}
+
+/// A boxed physical operator.
+pub type BoxedOperator = Box<dyn PhysicalOperator>;
+
+/// An entry of a ranking (priority) queue: a tuple keyed by its upper-bound
+/// score, with deterministic tie-breaking on tuple identity.
+#[derive(Debug, Clone)]
+pub struct HeapEntry {
+    /// The buffered tuple.
+    pub tuple: RankedTuple,
+    /// The upper-bound score it is ordered by.
+    pub score: Score,
+}
+
+impl HeapEntry {
+    /// Creates an entry, computing the score from the ranking context.
+    pub fn new(tuple: RankedTuple, ctx: &RankingContext) -> Self {
+        let score = ctx.upper_bound(&tuple.state);
+        HeapEntry { tuple, score }
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on score; ties broken so that the smaller tuple id pops
+        // first (BinaryHeap pops the maximum, so invert the id comparison).
+        self.score
+            .cmp(&other.score)
+            .then_with(|| other.tuple.tuple.id().cmp(self.tuple.tuple.id()))
+    }
+}
+
+/// A ranking queue: a max-priority queue of tuples ordered by upper-bound
+/// score (deterministic ties), as used by µ, the rank-joins and the
+/// rank-aware set operators.
+#[derive(Debug)]
+pub struct RankingQueue {
+    heap: BinaryHeap<HeapEntry>,
+    ctx: Arc<RankingContext>,
+}
+
+impl RankingQueue {
+    /// Creates an empty queue bound to a ranking context.
+    pub fn new(ctx: Arc<RankingContext>) -> Self {
+        RankingQueue { heap: BinaryHeap::new(), ctx }
+    }
+
+    /// Buffers a tuple.
+    pub fn push(&mut self, tuple: RankedTuple) {
+        let entry = HeapEntry::new(tuple, &self.ctx);
+        self.heap.push(entry);
+    }
+
+    /// The score of the best buffered tuple.
+    pub fn peek_score(&self) -> Option<Score> {
+        self.heap.peek().map(|e| e.score)
+    }
+
+    /// Removes and returns the best buffered tuple.
+    pub fn pop(&mut self) -> Option<RankedTuple> {
+        self.heap.pop().map(|e| e.tuple)
+    }
+
+    /// Removes the best tuple only if its score is at least `threshold`.
+    pub fn pop_if_at_least(&mut self, threshold: Score) -> Option<RankedTuple> {
+        match self.heap.peek() {
+            Some(e) if e.score >= threshold => self.heap.pop().map(|e| e.tuple),
+            _ => None,
+        }
+    }
+
+    /// Number of buffered tuples.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Drains an operator completely, collecting every emitted tuple.
+pub fn drain(op: &mut dyn PhysicalOperator) -> Result<Vec<RankedTuple>> {
+    let mut out = Vec::new();
+    while let Some(t) = op.next()? {
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// Draws at most `k` tuples from an operator.
+pub fn take(op: &mut dyn PhysicalOperator, k: usize) -> Result<Vec<RankedTuple>> {
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        match op.next()? {
+            Some(t) => out.push(t),
+            None => break,
+        }
+    }
+    Ok(out)
+}
+
+/// Debug helper: asserts that a sequence of tuples is in non-increasing
+/// upper-bound order; returns the violating index if any.
+pub fn check_rank_order(tuples: &[RankedTuple], ctx: &RankingContext) -> Option<usize> {
+    for i in 1..tuples.len() {
+        let prev = ctx.upper_bound(&tuples[i - 1].state);
+        let cur = ctx.upper_bound(&tuples[i].state);
+        if cur > prev {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksql_common::{Tuple, Value};
+    use ranksql_expr::{RankPredicate, ScoreState, ScoringFunction};
+
+    fn ctx() -> Arc<RankingContext> {
+        RankingContext::new(
+            vec![
+                RankPredicate::attribute("p1", "R.p1"),
+                RankPredicate::attribute("p2", "R.p2"),
+            ],
+            ScoringFunction::Sum,
+        )
+    }
+
+    fn rt(id: u64, p1: Option<f64>, p2: Option<f64>) -> RankedTuple {
+        let mut state = ScoreState::new(2);
+        if let Some(v) = p1 {
+            state.set(0, v);
+        }
+        if let Some(v) = p2 {
+            state.set(1, v);
+        }
+        RankedTuple::new(Tuple::synthetic(id, vec![Value::from(id as i64)]), state)
+    }
+
+    #[test]
+    fn queue_orders_by_upper_bound_desc() {
+        let ctx = ctx();
+        let mut q = RankingQueue::new(Arc::clone(&ctx));
+        q.push(rt(1, Some(0.2), None)); // bound 1.2
+        q.push(rt(2, Some(0.9), Some(0.9))); // bound 1.8
+        q.push(rt(3, None, None)); // bound 2.0
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_score(), Some(Score::new(2.0)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|t| t.tuple.id().parts()[0].1)
+            .collect();
+        assert_eq!(order, vec![3, 2, 1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_tie_break_is_deterministic() {
+        let ctx = ctx();
+        let mut q = RankingQueue::new(Arc::clone(&ctx));
+        q.push(rt(7, Some(0.5), Some(0.5)));
+        q.push(rt(3, Some(0.5), Some(0.5)));
+        assert_eq!(q.pop().unwrap().tuple.id().parts()[0].1, 3);
+        assert_eq!(q.pop().unwrap().tuple.id().parts()[0].1, 7);
+    }
+
+    #[test]
+    fn pop_if_at_least_respects_threshold() {
+        let ctx = ctx();
+        let mut q = RankingQueue::new(Arc::clone(&ctx));
+        q.push(rt(1, Some(0.3), Some(0.3))); // bound 0.6
+        assert!(q.pop_if_at_least(Score::new(0.7)).is_none());
+        assert!(q.pop_if_at_least(Score::new(0.6)).is_some());
+        assert!(q.pop_if_at_least(Score::ZERO).is_none());
+    }
+
+    #[test]
+    fn check_rank_order_detects_violations() {
+        let ctx = ctx();
+        let good = vec![rt(1, None, None), rt(2, Some(0.5), None), rt(3, Some(0.1), Some(0.1))];
+        assert_eq!(check_rank_order(&good, &ctx), None);
+        let bad = vec![rt(1, Some(0.1), Some(0.1)), rt(2, None, None)];
+        assert_eq!(check_rank_order(&bad, &ctx), Some(1));
+    }
+}

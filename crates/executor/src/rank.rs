@@ -1,0 +1,328 @@
+//! The rank operator µ (physical implementation).
+
+use std::sync::Arc;
+
+use ranksql_common::{Result, Schema, Score};
+use ranksql_expr::{RankedTuple, RankingContext};
+
+use crate::metrics::OperatorMetrics;
+use crate::operator::{BoxedOperator, PhysicalOperator, RankingQueue};
+
+/// The physical rank operator µ_p (Section 4.1 / Example 3).
+///
+/// The input arrives in non-increasing order of `F_P[t]`.  For each input
+/// tuple, µ evaluates the additional predicate `p`, obtaining `F_{P∪{p}}[t]`,
+/// and buffers the tuple in a *ranking queue* (priority queue).  The queue
+/// head can be emitted as soon as its score is at least the upper bound of
+/// every *future* input tuple — which is the `F_P` bound of the most recently
+/// drawn input tuple, because the input stream is ordered.  This makes µ
+/// incremental and selective: it emits only as many tuples as its consumer
+/// requests and never re-orders retroactively.
+pub struct RankOp {
+    input: BoxedOperator,
+    predicate: usize,
+    schema: Schema,
+    ctx: Arc<RankingContext>,
+    metrics: Arc<OperatorMetrics>,
+    queue: RankingQueue,
+    /// Upper bound (`F_P`) of any tuple the input may still produce.
+    input_bound: Score,
+    input_exhausted: bool,
+    /// Whether the input honours the rank-ordering contract; if it does not
+    /// (e.g. a traditional join), µ only emits after exhausting it, which is
+    /// still correct — just not incremental.
+    input_ranked: bool,
+}
+
+impl RankOp {
+    /// Creates a µ operator evaluating context predicate `predicate`.
+    pub fn new(
+        input: BoxedOperator,
+        predicate: usize,
+        ctx: Arc<RankingContext>,
+        metrics: Arc<OperatorMetrics>,
+    ) -> Self {
+        let schema = input.schema().clone();
+        let initial_bound = ctx.initial_upper_bound();
+        let input_ranked = input.is_ranked();
+        RankOp {
+            input,
+            predicate,
+            schema,
+            queue: RankingQueue::new(Arc::clone(&ctx)),
+            ctx,
+            metrics,
+            input_bound: initial_bound,
+            input_exhausted: false,
+            input_ranked,
+        }
+    }
+}
+
+impl PhysicalOperator for RankOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        loop {
+            // Emit the queue head if it can no longer be beaten by future
+            // input.
+            if !self.queue.is_empty() {
+                let can_emit = if self.input_exhausted {
+                    true
+                } else if !self.input_ranked {
+                    false
+                } else {
+                    self.queue.peek_score().expect("non-empty queue") >= self.input_bound
+                };
+                if can_emit {
+                    let t = self.queue.pop().expect("non-empty queue");
+                    self.metrics.add_out(1);
+                    return Ok(Some(t));
+                }
+            } else if self.input_exhausted {
+                return Ok(None);
+            }
+
+            // Otherwise draw one more input tuple.
+            match self.input.next()? {
+                Some(mut rt) => {
+                    self.metrics.add_in(1);
+                    // The child's emission order bound — any future child
+                    // tuple is no better than this.
+                    self.input_bound = self.ctx.upper_bound(&rt.state);
+                    if !rt.state.is_evaluated(self.predicate) {
+                        self.ctx.evaluate_into(
+                            self.predicate,
+                            &rt.tuple,
+                            &self.schema,
+                            &mut rt.state,
+                        )?;
+                    }
+                    self.queue.push(rt);
+                    self.metrics.observe_buffered(self.queue.len() as u64);
+                }
+                None => {
+                    self.input_exhausted = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::operator::{check_rank_order, drain, take};
+    use crate::scan::{RankScan, SeqScan};
+    use ranksql_common::{DataType, Field, Value};
+    use ranksql_expr::{RankPredicate, ScoringFunction};
+    use ranksql_storage::{ScoreIndex, Table, TableBuilder};
+
+    /// Relation S of Figure 2(c) with ranking predicates p3, p4, p5.
+    fn table_s() -> Arc<Table> {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("c", DataType::Int64),
+            Field::new("p3", DataType::Float64),
+            Field::new("p4", DataType::Float64),
+            Field::new("p5", DataType::Float64),
+        ])
+        .qualify_all("S");
+        let rows = [
+            (4, 3, 0.7, 0.8, 0.9),
+            (1, 1, 0.9, 0.85, 0.8),
+            (1, 2, 0.5, 0.45, 0.75),
+            (4, 2, 0.4, 0.7, 0.95),
+            (5, 1, 0.3, 0.9, 0.6),
+            (2, 3, 0.25, 0.45, 0.9),
+        ];
+        Arc::new(
+            TableBuilder::new("S", schema)
+                .rows(rows.iter().map(|&(a, c, p3, p4, p5)| {
+                    vec![
+                        Value::from(a),
+                        Value::from(c),
+                        Value::from(p3),
+                        Value::from(p4),
+                        Value::from(p5),
+                    ]
+                }))
+                .build(0)
+                .unwrap(),
+        )
+    }
+
+    fn ctx_s() -> Arc<RankingContext> {
+        RankingContext::new(
+            vec![
+                RankPredicate::attribute("p3", "S.p3"),
+                RankPredicate::attribute("p4", "S.p4"),
+                RankPredicate::attribute("p5", "S.p5"),
+            ],
+            ScoringFunction::Sum,
+        )
+    }
+
+    /// Builds the plan of Figure 6(b): µ_{p5}(µ_{p4}(idxScan_{p3}(S))).
+    fn figure6b_plan(
+        t: &Arc<Table>,
+        ctx: &Arc<RankingContext>,
+        reg: &MetricsRegistry,
+    ) -> RankOp {
+        let idx =
+            Arc::new(ScoreIndex::build(ctx.predicate(0), t.schema(), &t.scan()).unwrap());
+        let scan = RankScan::new(
+            Arc::clone(t),
+            idx,
+            0,
+            Arc::clone(ctx),
+            reg.register("idxScan_p3(S)"),
+        )
+        .unwrap();
+        let mu_p4 = RankOp::new(Box::new(scan), 1, Arc::clone(ctx), reg.register("mu_p4"));
+        RankOp::new(Box::new(mu_p4), 2, Arc::clone(ctx), reg.register("mu_p5"))
+    }
+
+    #[test]
+    fn figure6b_top1_is_s2_with_score_2_55() {
+        // Example 3: top-1 of `SELECT * FROM S ORDER BY p3+p4+p5 LIMIT 1`
+        // is s2 with final score 2.55.
+        let t = table_s();
+        let ctx = ctx_s();
+        let reg = MetricsRegistry::new();
+        let mut plan = figure6b_plan(&t, &ctx, &reg);
+        let top = take(&mut plan, 1).unwrap();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].tuple.value(0), &Value::from(1));
+        assert_eq!(top[0].tuple.value(1), &Value::from(1));
+        assert_eq!(ctx.upper_bound(&top[0].state), Score::new(2.55));
+        assert!(top[0].state.is_complete());
+    }
+
+    #[test]
+    fn figure6b_processes_only_a_prefix_of_the_table() {
+        // The paper's trace: µ_{p4} processes 3 tuples (s2, s1, s3) and
+        // µ_{p5} processes 2 (s2, s1) to produce the top-1 answer; only 3 of
+        // the 6 tuples are read from the scan.
+        let t = table_s();
+        let ctx = ctx_s();
+        let reg = MetricsRegistry::new();
+        let mut plan = figure6b_plan(&t, &ctx, &reg);
+        let _ = take(&mut plan, 1).unwrap();
+        let m = reg.snapshot();
+        let by_name = |n: &str| m.iter().find(|x| x.name() == n).unwrap().clone();
+        assert_eq!(by_name("idxScan_p3(S)").tuples_out(), 3);
+        assert_eq!(by_name("mu_p4").tuples_in(), 3);
+        assert_eq!(by_name("mu_p5").tuples_in(), 2);
+        assert_eq!(by_name("mu_p5").tuples_out(), 1);
+        // Predicate evaluation counts match Example 4's analysis for plan (b):
+        // 3 evaluations of p4 and 2 of p5 (p3 comes from the index).
+        assert_eq!(ctx.counters().count(0), 0);
+        assert_eq!(ctx.counters().count(1), 3);
+        assert_eq!(ctx.counters().count(2), 2);
+    }
+
+    #[test]
+    fn full_drain_is_in_final_score_order() {
+        let t = table_s();
+        let ctx = ctx_s();
+        let reg = MetricsRegistry::new();
+        let mut plan = figure6b_plan(&t, &ctx, &reg);
+        let all = drain(&mut plan).unwrap();
+        assert_eq!(all.len(), 6);
+        assert_eq!(check_rank_order(&all, &ctx), None);
+        // Final order of Figure 6(a)'s sorted relation:
+        // s2 (2.55), s1 (2.4), s4 (2.05), s5 (1.8), s3 (1.7), s6 (1.6).
+        let scores: Vec<f64> =
+            all.iter().map(|t| ctx.upper_bound(&t.state).value()).collect();
+        let expected = [2.55, 2.4, 2.05, 1.8, 1.7, 1.6];
+        for (s, e) in scores.iter().zip(expected.iter()) {
+            assert!((s - e).abs() < 1e-9, "scores {scores:?} != {expected:?}");
+        }
+    }
+
+    #[test]
+    fn figure6c_reversed_mu_order_gives_same_results_different_work() {
+        // Plan (c) applies µ_{p5} before µ_{p4}; results identical, but the
+        // number of tuples processed differs (selectivities are
+        // context-sensitive, Section 4.1).
+        let t = table_s();
+        let ctx_b = ctx_s();
+        let ctx_c = ctx_s();
+        let reg_b = MetricsRegistry::new();
+        let reg_c = MetricsRegistry::new();
+
+        let mut plan_b = figure6b_plan(&t, &ctx_b, &reg_b);
+        let idx =
+            Arc::new(ScoreIndex::build(ctx_c.predicate(0), t.schema(), &t.scan()).unwrap());
+        let scan = RankScan::new(
+            Arc::clone(&t),
+            idx,
+            0,
+            Arc::clone(&ctx_c),
+            reg_c.register("idxScan_p3(S)"),
+        )
+        .unwrap();
+        let mu_p5 = RankOp::new(Box::new(scan), 2, Arc::clone(&ctx_c), reg_c.register("mu_p5"));
+        let mut plan_c =
+            RankOp::new(Box::new(mu_p5), 1, Arc::clone(&ctx_c), reg_c.register("mu_p4"));
+
+        let top_b = take(&mut plan_b, 1).unwrap();
+        let top_c = take(&mut plan_c, 1).unwrap();
+        assert_eq!(top_b[0].tuple.id(), top_c[0].tuple.id());
+        // Figure 6(c): the scan feeds 5 tuples in plan (c) vs 3 in plan (b).
+        let scanned_b = reg_b.snapshot()[0].tuples_out();
+        let scanned_c = reg_c.snapshot()[0].tuples_out();
+        assert_eq!(scanned_b, 3);
+        assert_eq!(scanned_c, 5);
+    }
+
+    #[test]
+    fn rank_over_seq_scan_is_correct_but_blocking() {
+        let t = table_s();
+        let ctx = ctx_s();
+        let reg = MetricsRegistry::new();
+        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("seqscan"));
+        let mu = RankOp::new(Box::new(scan), 0, Arc::clone(&ctx), reg.register("mu_p3"));
+        let mu2 = RankOp::new(Box::new(mu), 1, Arc::clone(&ctx), reg.register("mu_p4"));
+        let mut mu3 = RankOp::new(Box::new(mu2), 2, Arc::clone(&ctx), reg.register("mu_p5"));
+        let top = take(&mut mu3, 2).unwrap();
+        assert_eq!(ctx.upper_bound(&top[0].state), Score::new(2.55));
+        assert_eq!(ctx.upper_bound(&top[1].state), Score::new(2.4));
+        // All 6 tuples had to be read by the first µ (the input is unordered
+        // in the ranking sense), demonstrating why rank-scans matter.
+        assert_eq!(reg.snapshot()[0].tuples_out(), 6);
+    }
+
+    #[test]
+    fn duplicate_rank_operator_is_idempotent() {
+        let t = table_s();
+        let ctx = ctx_s();
+        let reg = MetricsRegistry::new();
+        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("seqscan"));
+        let mu = RankOp::new(Box::new(scan), 0, Arc::clone(&ctx), reg.register("mu_p3"));
+        let mut mu_again = RankOp::new(Box::new(mu), 0, Arc::clone(&ctx), reg.register("mu_p3'"));
+        let all = drain(&mut mu_again).unwrap();
+        assert_eq!(all.len(), 6);
+        // p3 evaluated once per tuple, not twice.
+        assert_eq!(ctx.counters().count(0), 6);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let schema = Schema::new(vec![Field::new("p", DataType::Float64)]).qualify_all("E");
+        let empty = Arc::new(TableBuilder::new("E", schema).build(9).unwrap());
+        let ctx = RankingContext::new(
+            vec![RankPredicate::attribute("p", "E.p")],
+            ScoringFunction::Sum,
+        );
+        let reg = MetricsRegistry::new();
+        let scan = SeqScan::new(&empty, Arc::clone(&ctx), reg.register("scan"));
+        let mut mu = RankOp::new(Box::new(scan), 0, ctx, reg.register("mu"));
+        assert!(mu.next().unwrap().is_none());
+        assert!(mu.next().unwrap().is_none());
+    }
+}

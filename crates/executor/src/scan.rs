@@ -1,0 +1,289 @@
+//! Table access operators: sequential scan, rank-scan and attribute index
+//! scan.
+
+use std::sync::Arc;
+
+use ranksql_common::{RankSqlError, Result, Schema};
+use ranksql_expr::{RankedTuple, RankingContext};
+use ranksql_storage::{BTreeIndex, ScoreIndex, Table};
+
+use crate::metrics::OperatorMetrics;
+use crate::operator::PhysicalOperator;
+
+/// Sequential (heap) scan.
+///
+/// Tuples are emitted in storage order with an empty evaluated-predicate set;
+/// since every tuple then carries the same (maximal) upper bound, the output
+/// is trivially a rank-relation with `P = ∅`.
+pub struct SeqScan {
+    schema: Schema,
+    tuples: Vec<ranksql_common::Tuple>,
+    pos: usize,
+    ctx: Arc<RankingContext>,
+    metrics: Arc<OperatorMetrics>,
+}
+
+impl SeqScan {
+    /// Creates a sequential scan over `table`.
+    pub fn new(table: &Table, ctx: Arc<RankingContext>, metrics: Arc<OperatorMetrics>) -> Self {
+        SeqScan { schema: table.schema().clone(), tuples: table.scan(), pos: 0, ctx, metrics }
+    }
+}
+
+impl PhysicalOperator for SeqScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        if self.pos >= self.tuples.len() {
+            return Ok(None);
+        }
+        let t = self.tuples[self.pos].clone();
+        self.pos += 1;
+        self.metrics.add_in(1);
+        self.metrics.add_out(1);
+        Ok(Some(RankedTuple::unranked(t, self.ctx.num_predicates())))
+    }
+}
+
+/// Rank-scan (`idxScan_p`): emits tuples in descending order of one ranking
+/// predicate's score, read from a pre-built [`ScoreIndex`].
+///
+/// The emitted tuples carry `P = {p}` — the predicate is *not* re-evaluated
+/// at query time (that is the point of having the index), so rank-scans do
+/// not contribute to the predicate-evaluation counters.
+pub struct RankScan {
+    schema: Schema,
+    table: Arc<Table>,
+    index: Arc<ScoreIndex>,
+    predicate: usize,
+    pos: usize,
+    ctx: Arc<RankingContext>,
+    metrics: Arc<OperatorMetrics>,
+}
+
+impl RankScan {
+    /// Creates a rank-scan over `table` for the context predicate `predicate`
+    /// using `index` (which must cover that predicate).
+    pub fn new(
+        table: Arc<Table>,
+        index: Arc<ScoreIndex>,
+        predicate: usize,
+        ctx: Arc<RankingContext>,
+        metrics: Arc<OperatorMetrics>,
+    ) -> Result<Self> {
+        let expected = &ctx.predicate(predicate).name;
+        if index.predicate_name() != expected {
+            return Err(RankSqlError::Execution(format!(
+                "rank-scan index covers predicate `{}` but the plan asks for `{expected}`",
+                index.predicate_name()
+            )));
+        }
+        Ok(RankScan {
+            schema: table.schema().clone(),
+            table,
+            index,
+            predicate,
+            pos: 0,
+            ctx,
+            metrics,
+        })
+    }
+}
+
+impl PhysicalOperator for RankScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        let Some((score, row)) = self.index.get(self.pos) else {
+            return Ok(None);
+        };
+        self.pos += 1;
+        let tuple = self.table.tuple(row).ok_or_else(|| {
+            RankSqlError::Execution(format!(
+                "rank-scan index references missing row {row} of table `{}`",
+                self.table.name()
+            ))
+        })?;
+        let mut rt = RankedTuple::unranked(tuple, self.ctx.num_predicates());
+        rt.state.set(self.predicate, score.value());
+        self.metrics.add_in(1);
+        self.metrics.add_out(1);
+        Ok(Some(rt))
+    }
+}
+
+/// Ordered scan over an attribute index (ascending attribute order).
+///
+/// The output carries no ranking information (`P = ∅`) but has the physical
+/// *interesting order* property on the indexed column, which sort-merge joins
+/// exploit.
+pub struct AttributeIndexScan {
+    schema: Schema,
+    table: Arc<Table>,
+    index: Arc<BTreeIndex>,
+    pos: usize,
+    ctx: Arc<RankingContext>,
+    metrics: Arc<OperatorMetrics>,
+}
+
+impl AttributeIndexScan {
+    /// Creates an ordered attribute scan.
+    pub fn new(
+        table: Arc<Table>,
+        index: Arc<BTreeIndex>,
+        ctx: Arc<RankingContext>,
+        metrics: Arc<OperatorMetrics>,
+    ) -> Self {
+        AttributeIndexScan { schema: table.schema().clone(), table, index, pos: 0, ctx, metrics }
+    }
+}
+
+impl PhysicalOperator for AttributeIndexScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        let Some(&(_, row)) = self.index.entries().get(self.pos) else {
+            return Ok(None);
+        };
+        self.pos += 1;
+        let tuple = self.table.tuple(row).ok_or_else(|| {
+            RankSqlError::Execution(format!(
+                "attribute index references missing row {row} of table `{}`",
+                self.table.name()
+            ))
+        })?;
+        self.metrics.add_in(1);
+        self.metrics.add_out(1);
+        Ok(Some(RankedTuple::unranked(tuple, self.ctx.num_predicates())))
+    }
+
+    fn is_ranked(&self) -> bool {
+        // Ordered by the attribute, not by upper bound — but with P = ∅ all
+        // upper bounds are equal, so the rank contract still holds.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::operator::{check_rank_order, drain};
+    use ranksql_common::{DataType, Field, Value};
+    use ranksql_expr::{RankPredicate, ScoringFunction};
+    use ranksql_storage::TableBuilder;
+
+    /// Relation S of Figure 2(c).
+    fn table_s() -> Arc<Table> {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("c", DataType::Int64),
+            Field::new("p3", DataType::Float64),
+            Field::new("p4", DataType::Float64),
+            Field::new("p5", DataType::Float64),
+        ])
+        .qualify_all("S");
+        let rows = [
+            (4, 3, 0.7, 0.8, 0.9),
+            (1, 1, 0.9, 0.85, 0.8),
+            (1, 2, 0.5, 0.45, 0.75),
+            (4, 2, 0.4, 0.7, 0.95),
+            (5, 1, 0.3, 0.9, 0.6),
+            (2, 3, 0.25, 0.45, 0.9),
+        ];
+        let t = TableBuilder::new("S", schema)
+            .rows(rows.iter().map(|&(a, c, p3, p4, p5)| {
+                vec![
+                    Value::from(a),
+                    Value::from(c),
+                    Value::from(p3),
+                    Value::from(p4),
+                    Value::from(p5),
+                ]
+            }))
+            .build(0)
+            .unwrap();
+        Arc::new(t)
+    }
+
+    fn ctx_s() -> Arc<RankingContext> {
+        RankingContext::new(
+            vec![
+                RankPredicate::attribute("p3", "S.p3"),
+                RankPredicate::attribute("p4", "S.p4"),
+                RankPredicate::attribute("p5", "S.p5"),
+            ],
+            ScoringFunction::Sum,
+        )
+    }
+
+    #[test]
+    fn seq_scan_emits_all_rows_unranked() {
+        let t = table_s();
+        let ctx = ctx_s();
+        let reg = MetricsRegistry::new();
+        let mut scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("SeqScan(S)"));
+        let all = drain(&mut scan).unwrap();
+        assert_eq!(all.len(), 6);
+        for rt in &all {
+            assert!(rt.state.evaluated().is_empty());
+            assert_eq!(ctx.upper_bound(&rt.state), ranksql_common::Score::new(3.0));
+        }
+        assert_eq!(reg.output_cardinalities()[0].1, 6);
+    }
+
+    #[test]
+    fn rank_scan_emits_in_descending_p3_order() {
+        let t = table_s();
+        let ctx = ctx_s();
+        let reg = MetricsRegistry::new();
+        let idx = Arc::new(
+            ScoreIndex::build(ctx.predicate(0), t.schema(), &t.scan()).unwrap(),
+        );
+        let mut scan =
+            RankScan::new(Arc::clone(&t), idx, 0, Arc::clone(&ctx), reg.register("RankScan"))
+                .unwrap();
+        let all = drain(&mut scan).unwrap();
+        assert_eq!(all.len(), 6);
+        // Figure 2(f): s2 (p3=0.9) first, upper bound 2.9.
+        assert_eq!(ctx.upper_bound(&all[0].state), ranksql_common::Score::new(2.9));
+        assert_eq!(all[0].tuple.value(0), &Value::from(1));
+        assert_eq!(check_rank_order(&all, &ctx), None);
+        // p3 is marked evaluated; p4/p5 are not.
+        assert!(all[0].state.is_evaluated(0));
+        assert!(!all[0].state.is_evaluated(1));
+    }
+
+    #[test]
+    fn rank_scan_rejects_mismatched_index() {
+        let t = table_s();
+        let ctx = ctx_s();
+        let reg = MetricsRegistry::new();
+        let idx_p4 = Arc::new(
+            ScoreIndex::build(ctx.predicate(1), t.schema(), &t.scan()).unwrap(),
+        );
+        let err = RankScan::new(Arc::clone(&t), idx_p4, 0, ctx, reg.register("RankScan"));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn attribute_index_scan_orders_by_column() {
+        let t = table_s();
+        let ctx = ctx_s();
+        let reg = MetricsRegistry::new();
+        let idx = Arc::new(BTreeIndex::build("S.a", t.schema(), &t.scan()).unwrap());
+        let mut scan =
+            AttributeIndexScan::new(Arc::clone(&t), idx, ctx, reg.register("IdxScan(S.a)"));
+        let all = drain(&mut scan).unwrap();
+        let a_vals: Vec<i64> = all.iter().map(|t| t.tuple.value(0).as_i64().unwrap()).collect();
+        let mut sorted = a_vals.clone();
+        sorted.sort();
+        assert_eq!(a_vals, sorted);
+    }
+}

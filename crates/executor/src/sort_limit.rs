@@ -1,0 +1,233 @@
+//! The traditional blocking sort (τ) and the top-k limit (λ).
+
+use std::sync::Arc;
+
+use ranksql_common::{BitSet64, Result, Schema};
+use ranksql_expr::{RankedTuple, RankingContext};
+
+use crate::metrics::OperatorMetrics;
+use crate::operator::{BoxedOperator, PhysicalOperator};
+
+/// The monolithic sort operator τ_F of the canonical plan: drains its input
+/// completely, evaluates every still-missing ranking predicate of
+/// `predicates` on every tuple, sorts by the (now complete) score and emits.
+///
+/// This is the operator the paper's *materialise-then-sort* scheme relies on;
+/// its cost is independent of `k`, the first result appears only after the
+/// whole input is consumed, and every predicate is evaluated on every tuple —
+/// the three problems rank-aware plans avoid.
+pub struct SortOp {
+    input: BoxedOperator,
+    predicates: BitSet64,
+    schema: Schema,
+    ctx: Arc<RankingContext>,
+    metrics: Arc<OperatorMetrics>,
+    sorted: Option<std::vec::IntoIter<RankedTuple>>,
+}
+
+impl SortOp {
+    /// Creates a sort over `predicates` (the scoring function's predicates).
+    pub fn new(
+        input: BoxedOperator,
+        predicates: BitSet64,
+        ctx: Arc<RankingContext>,
+        metrics: Arc<OperatorMetrics>,
+    ) -> Self {
+        let schema = input.schema().clone();
+        SortOp { input, predicates, schema, ctx, metrics, sorted: None }
+    }
+
+    fn prepare(&mut self) -> Result<()> {
+        if self.sorted.is_some() {
+            return Ok(());
+        }
+        let mut rows = Vec::new();
+        while let Some(mut rt) = self.input.next()? {
+            self.metrics.add_in(1);
+            for p in self.predicates.iter() {
+                if !rt.state.is_evaluated(p) {
+                    self.ctx.evaluate_into(p, &rt.tuple, &self.schema, &mut rt.state)?;
+                }
+            }
+            rows.push(rt);
+        }
+        let scoring = self.ctx.scoring().clone();
+        let max_value = self.ctx.max_predicate_value();
+        rows.sort_by(|a, b| a.cmp_desc(b, &scoring, max_value));
+        self.metrics.observe_buffered(rows.len() as u64);
+        self.sorted = Some(rows.into_iter());
+        Ok(())
+    }
+}
+
+impl PhysicalOperator for SortOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        self.prepare()?;
+        let next = self.sorted.as_mut().expect("sorted after prepare").next();
+        if next.is_some() {
+            self.metrics.add_out(1);
+        }
+        Ok(next)
+    }
+}
+
+/// The top-k limit operator λ_k: passes through the first `k` tuples of its
+/// (already ranked) input and then stops drawing.
+pub struct LimitOp {
+    input: BoxedOperator,
+    k: usize,
+    emitted: usize,
+    schema: Schema,
+    metrics: Arc<OperatorMetrics>,
+}
+
+impl LimitOp {
+    /// Creates a limit of `k` tuples.
+    pub fn new(input: BoxedOperator, k: usize, metrics: Arc<OperatorMetrics>) -> Self {
+        let schema = input.schema().clone();
+        LimitOp { input, k, emitted: 0, schema, metrics }
+    }
+}
+
+impl PhysicalOperator for LimitOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        if self.emitted >= self.k {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(t) => {
+                self.metrics.add_in(1);
+                self.metrics.add_out(1);
+                self.emitted += 1;
+                Ok(Some(t))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn is_ranked(&self) -> bool {
+        self.input.is_ranked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::operator::{check_rank_order, drain};
+    use crate::scan::SeqScan;
+    use ranksql_common::{DataType, Field, Score, Value};
+    use ranksql_expr::{RankPredicate, ScoringFunction};
+    use ranksql_storage::{Table, TableBuilder};
+
+    fn table_s() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("p3", DataType::Float64),
+            Field::new("p4", DataType::Float64),
+            Field::new("p5", DataType::Float64),
+        ])
+        .qualify_all("S");
+        let rows = [
+            (4, 0.7, 0.8, 0.9),
+            (1, 0.9, 0.85, 0.8),
+            (1, 0.5, 0.45, 0.75),
+            (4, 0.4, 0.7, 0.95),
+            (5, 0.3, 0.9, 0.6),
+            (2, 0.25, 0.45, 0.9),
+        ];
+        TableBuilder::new("S", schema)
+            .rows(rows.iter().map(|&(a, p3, p4, p5)| {
+                vec![Value::from(a), Value::from(p3), Value::from(p4), Value::from(p5)]
+            }))
+            .build(0)
+            .unwrap()
+    }
+
+    fn ctx() -> Arc<RankingContext> {
+        RankingContext::new(
+            vec![
+                RankPredicate::attribute("p3", "S.p3"),
+                RankPredicate::attribute("p4", "S.p4"),
+                RankPredicate::attribute("p5", "S.p5"),
+            ],
+            ScoringFunction::Sum,
+        )
+    }
+
+    #[test]
+    fn sort_produces_figure6a_order_and_evaluates_everything() {
+        // Plan (a) of Figure 6: seq-scan + sort; every predicate evaluated on
+        // every tuple (6 * 3 = 18 evaluations).
+        let t = table_s();
+        let ctx = ctx();
+        let reg = MetricsRegistry::new();
+        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("seqscan"));
+        let mut sort = SortOp::new(
+            Box::new(scan),
+            BitSet64::all(3),
+            Arc::clone(&ctx),
+            reg.register("sort"),
+        );
+        let all = drain(&mut sort).unwrap();
+        assert_eq!(all.len(), 6);
+        assert_eq!(check_rank_order(&all, &ctx), None);
+        assert_eq!(ctx.upper_bound(&all[0].state), Score::new(2.55));
+        assert_eq!(ctx.upper_bound(&all[5].state), Score::new(1.6));
+        assert_eq!(ctx.counters().total(), 18);
+        assert!(all.iter().all(|t| t.state.is_complete()));
+    }
+
+    #[test]
+    fn sort_skips_predicates_already_evaluated_below() {
+        let t = table_s();
+        let ctx = ctx();
+        let reg = MetricsRegistry::new();
+        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("seqscan"));
+        let mu = crate::rank::RankOp::new(Box::new(scan), 0, Arc::clone(&ctx), reg.register("mu"));
+        let mut sort = SortOp::new(
+            Box::new(mu),
+            BitSet64::all(3),
+            Arc::clone(&ctx),
+            reg.register("sort"),
+        );
+        let _ = drain(&mut sort).unwrap();
+        // p3 evaluated by µ (6 times), sort adds only p4 and p5 (12 times).
+        assert_eq!(ctx.counters().count(0), 6);
+        assert_eq!(ctx.counters().total(), 18);
+    }
+
+    #[test]
+    fn limit_caps_output_and_stops_pulling() {
+        let t = table_s();
+        let ctx = ctx();
+        let reg = MetricsRegistry::new();
+        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("seqscan"));
+        let mut limit = LimitOp::new(Box::new(scan), 2, reg.register("limit"));
+        let out = drain(&mut limit).unwrap();
+        assert_eq!(out.len(), 2);
+        // The scan only served 2 tuples.
+        assert_eq!(reg.snapshot()[0].tuples_out(), 2);
+    }
+
+    #[test]
+    fn limit_zero_and_oversized_limits() {
+        let t = table_s();
+        let ctx = ctx();
+        let reg = MetricsRegistry::new();
+        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("s"));
+        let mut l0 = LimitOp::new(Box::new(scan), 0, reg.register("l0"));
+        assert!(drain(&mut l0).unwrap().is_empty());
+        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("s2"));
+        let mut l100 = LimitOp::new(Box::new(scan), 100, reg.register("l100"));
+        assert_eq!(drain(&mut l100).unwrap().len(), 6);
+    }
+}

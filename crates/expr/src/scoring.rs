@@ -1,0 +1,193 @@
+//! Monotonic scoring functions.
+
+use std::fmt;
+
+use ranksql_common::Score;
+use serde::{Deserialize, Serialize};
+
+/// A monotonic scoring function `F(p1, ..., pn)` combining the scores of the
+/// query's ranking predicates into one overall query score.
+///
+/// All variants are monotonic: increasing any input cannot decrease the
+/// output, which is the property the Ranking Principle (Property 1) and every
+/// rank-aware operator rely on.  The paper uses summation throughout; the
+/// other variants are provided because the model explicitly allows "other
+/// monotonic functions such as multiplication, weighted average, and so on".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScoringFunction {
+    /// `p1 + p2 + ... + pn` (the paper's default).
+    Sum,
+    /// `w1*p1 + ... + wn*pn` with non-negative weights.
+    WeightedSum(Vec<f64>),
+    /// `p1 * p2 * ... * pn` (scores in `[0,1]`, so monotonic).
+    Product,
+    /// `min(p1, ..., pn)`.
+    Min,
+    /// `max(p1, ..., pn)`.
+    Max,
+    /// Arithmetic mean.
+    Average,
+}
+
+impl ScoringFunction {
+    /// Creates a weighted sum, validating that the weights are non-negative.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative (a negative weight would break
+    /// monotonicity and with it every rank-aware operator).
+    pub fn weighted_sum(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| *w >= 0.0),
+            "weights of a monotonic scoring function must be non-negative"
+        );
+        ScoringFunction::WeightedSum(weights)
+    }
+
+    /// Combines a full vector of predicate scores into the overall score.
+    pub fn combine(&self, scores: &[f64]) -> Score {
+        if scores.is_empty() {
+            return Score::ZERO;
+        }
+        let v = match self {
+            ScoringFunction::Sum => scores.iter().sum(),
+            ScoringFunction::WeightedSum(w) => {
+                debug_assert_eq!(
+                    w.len(),
+                    scores.len(),
+                    "weighted sum arity mismatch: {} weights, {} scores",
+                    w.len(),
+                    scores.len()
+                );
+                scores.iter().zip(w.iter()).map(|(s, w)| s * w).sum()
+            }
+            ScoringFunction::Product => scores.iter().product(),
+            ScoringFunction::Min => scores.iter().copied().fold(f64::INFINITY, f64::min),
+            ScoringFunction::Max => scores.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            ScoringFunction::Average => scores.iter().sum::<f64>() / scores.len() as f64,
+        };
+        Score::new(v)
+    }
+
+    /// Combines a partially evaluated score vector into the *maximal-possible*
+    /// score, substituting `max_value` (1.0 for unit-range predicates) for
+    /// every unevaluated predicate — exactly `F_P[t]` of Property 1.
+    pub fn upper_bound(&self, partial: &[Option<f64>], max_value: f64) -> Score {
+        let filled: Vec<f64> = partial.iter().map(|v| v.unwrap_or(max_value)).collect();
+        self.combine(&filled)
+    }
+
+    /// The score every tuple has before any predicate is evaluated
+    /// (e.g. `n * 1.0` for summation over `n` predicates, cf. Figure 6(a)
+    /// where unevaluated tuples all carry score 3.0).
+    pub fn initial_upper_bound(&self, n: usize, max_value: f64) -> Score {
+        self.combine(&vec![max_value; n])
+    }
+
+    /// Verifies monotonicity empirically on a pair of score vectors; used by
+    /// property tests and by debug assertions in the executor.
+    pub fn check_monotonic(&self, lower: &[f64], higher: &[f64]) -> bool {
+        debug_assert_eq!(lower.len(), higher.len());
+        if lower.iter().zip(higher).all(|(l, h)| l <= h) {
+            self.combine(lower) <= self.combine(higher)
+        } else {
+            true // precondition not met; nothing to check
+        }
+    }
+}
+
+impl fmt::Display for ScoringFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoringFunction::Sum => f.write_str("sum"),
+            ScoringFunction::WeightedSum(w) => write!(f, "wsum{w:?}"),
+            ScoringFunction::Product => f.write_str("product"),
+            ScoringFunction::Min => f.write_str("min"),
+            ScoringFunction::Max => f.write_str("max"),
+            ScoringFunction::Average => f.write_str("avg"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_paper_example() {
+        // Figure 2(d): r1 has p1 = 0.9, p2 unevaluated → F1{p1}[r1] = 1.9.
+        let f = ScoringFunction::Sum;
+        assert_eq!(f.upper_bound(&[Some(0.9), None], 1.0), Score::new(1.9));
+        // Figure 4(a): both evaluated → 0.9 + 0.65 = 1.55.
+        assert_eq!(f.combine(&[0.9, 0.65]), Score::new(1.55));
+    }
+
+    #[test]
+    fn initial_upper_bound_matches_figure6a() {
+        // Figure 6(a): F2 = sum of three predicates, nothing evaluated → 3.0.
+        let f = ScoringFunction::Sum;
+        assert_eq!(f.initial_upper_bound(3, 1.0), Score::new(3.0));
+    }
+
+    #[test]
+    fn weighted_sum() {
+        let f = ScoringFunction::weighted_sum(vec![2.0, 0.5]);
+        assert_eq!(f.combine(&[0.5, 1.0]), Score::new(1.5));
+        assert_eq!(f.upper_bound(&[None, Some(0.2)], 1.0), Score::new(2.1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_rejected() {
+        ScoringFunction::weighted_sum(vec![1.0, -0.1]);
+    }
+
+    #[test]
+    fn product_min_max_average() {
+        assert_eq!(ScoringFunction::Product.combine(&[0.5, 0.5]), Score::new(0.25));
+        assert_eq!(ScoringFunction::Min.combine(&[0.3, 0.7]), Score::new(0.3));
+        assert_eq!(ScoringFunction::Max.combine(&[0.3, 0.7]), Score::new(0.7));
+        assert_eq!(ScoringFunction::Average.combine(&[0.0, 1.0]), Score::new(0.5));
+    }
+
+    #[test]
+    fn empty_scores_give_zero() {
+        assert_eq!(ScoringFunction::Sum.combine(&[]), Score::ZERO);
+        assert_eq!(ScoringFunction::Min.combine(&[]), Score::ZERO);
+    }
+
+    #[test]
+    fn upper_bound_never_below_final_score() {
+        let fns = [
+            ScoringFunction::Sum,
+            ScoringFunction::Product,
+            ScoringFunction::Min,
+            ScoringFunction::Max,
+            ScoringFunction::Average,
+        ];
+        let full = [0.3, 0.8, 0.1];
+        for f in fns {
+            for mask in 0..8u32 {
+                let partial: Vec<Option<f64>> = (0..3)
+                    .map(|i| if mask & (1 << i) != 0 { Some(full[i]) } else { None })
+                    .collect();
+                assert!(
+                    f.upper_bound(&partial, 1.0) >= f.combine(&full),
+                    "upper bound must dominate the final score for {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let f = ScoringFunction::Sum;
+        assert!(f.check_monotonic(&[0.1, 0.2], &[0.3, 0.2]));
+        assert!(ScoringFunction::Product.check_monotonic(&[0.1, 0.1], &[0.9, 0.9]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ScoringFunction::Sum.to_string(), "sum");
+        assert_eq!(ScoringFunction::Average.to_string(), "avg");
+    }
+}

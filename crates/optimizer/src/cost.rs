@@ -1,0 +1,208 @@
+//! The cost model: combines scan, predicate-evaluation, join, sort and
+//! buffering costs over estimated cardinalities.
+
+use std::ops::Add;
+
+use ranksql_algebra::{JoinAlgorithm, LogicalPlan, ScanAccess, SetOpKind};
+use ranksql_common::Result;
+use ranksql_expr::RankingContext;
+
+use crate::sampling::SamplingEstimator;
+
+/// A plan cost in abstract cost units (comparable, additive).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Cost(pub f64);
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost(0.0);
+    /// An effectively infinite cost (used for pruned / infeasible plans).
+    pub const INFINITE: Cost = Cost(f64::INFINITY);
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this cost is finite.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost(self.0 + rhs.0)
+    }
+}
+
+impl Eq for Cost {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// Tunable constants of the cost model.
+///
+/// The absolute values are unimportant (costs are only compared); the ratios
+/// express that sequential access is cheap, hashing and priority-queue
+/// maintenance cost a little more, and user-defined ranking predicates cost
+/// `predicate.cost` *units* each, matching the workload knob of Section 6.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Cost of producing one tuple from a sequential scan.
+    pub seq_tuple: f64,
+    /// Cost of producing one tuple from an index (rank or attribute) scan.
+    pub index_tuple: f64,
+    /// Cost of evaluating a Boolean predicate on one tuple.
+    pub bool_eval: f64,
+    /// Cost of one unit of ranking-predicate cost (multiplied by
+    /// `RankPredicate::cost`, with a minimum of one unit per evaluation).
+    pub rank_eval_unit: f64,
+    /// Cost of inserting/extracting one tuple in a ranking queue or hash
+    /// table.
+    pub buffer_tuple: f64,
+    /// Per-comparison cost of a blocking sort (`n log n` comparisons).
+    pub sort_compare: f64,
+    /// Cost of emitting one join result.
+    pub join_output: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            seq_tuple: 1.0,
+            index_tuple: 1.2,
+            bool_eval: 0.1,
+            rank_eval_unit: 2.0,
+            buffer_tuple: 0.5,
+            sort_compare: 0.05,
+            join_output: 0.2,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of evaluating ranking predicate `p` once.
+    fn rank_eval(&self, ctx: &RankingContext, p: usize) -> f64 {
+        let units = ctx.predicate(p).cost.max(1) as f64;
+        units * self.rank_eval_unit
+    }
+
+    /// Estimates the cost of a plan, using `estimator` for cardinalities.
+    ///
+    /// Returns the pair `(cost, output_cardinality)` so that parents can use
+    /// the child cardinality without re-estimating.
+    pub fn cost_plan(
+        &self,
+        plan: &LogicalPlan,
+        ctx: &RankingContext,
+        estimator: &SamplingEstimator,
+    ) -> Result<(Cost, f64)> {
+        let out_card = estimator.estimate_cardinality(plan)?;
+        let cost = match plan {
+            LogicalPlan::Scan { access, .. } => {
+                let full = estimator.table_cardinality(plan)?;
+                match access {
+                    // A sequential scan reads the whole table.
+                    ScanAccess::Sequential => Cost(full * self.seq_tuple),
+                    // Index scans read only as much as the consumer needs —
+                    // approximated by the estimated (k-aware) output
+                    // cardinality.
+                    ScanAccess::RankIndex { .. } | ScanAccess::AttributeIndex { .. } => {
+                        Cost(out_card * self.index_tuple)
+                    }
+                }
+            }
+            LogicalPlan::Select { input, .. } => {
+                let (child_cost, child_card) = self.cost_plan(input, ctx, estimator)?;
+                child_cost + Cost(child_card * self.bool_eval)
+            }
+            LogicalPlan::Project { input, .. } => {
+                let (child_cost, _) = self.cost_plan(input, ctx, estimator)?;
+                child_cost
+            }
+            LogicalPlan::Rank { input, predicate } => {
+                let (child_cost, child_card) = self.cost_plan(input, ctx, estimator)?;
+                child_cost
+                    + Cost(child_card * self.rank_eval(ctx, *predicate))
+                    + Cost(child_card * self.buffer_tuple)
+            }
+            LogicalPlan::Join { left, right, algorithm, .. } => {
+                let (lc, lcard) = self.cost_plan(left, ctx, estimator)?;
+                let (rc, rcard) = self.cost_plan(right, ctx, estimator)?;
+                let io = match algorithm {
+                    JoinAlgorithm::NestedLoop => lcard * rcard * self.bool_eval,
+                    JoinAlgorithm::Hash | JoinAlgorithm::HashRankJoin => {
+                        (lcard + rcard) * self.buffer_tuple
+                    }
+                    JoinAlgorithm::SortMerge => {
+                        let sort = |n: f64| n * (n.max(2.0)).log2() * self.sort_compare;
+                        sort(lcard) + sort(rcard) + (lcard + rcard) * self.buffer_tuple
+                    }
+                    JoinAlgorithm::NestedLoopRankJoin => lcard * rcard * self.bool_eval,
+                };
+                lc + rc + Cost(io) + Cost(out_card * self.join_output)
+            }
+            LogicalPlan::SetOp { kind, left, right } => {
+                let (lc, lcard) = self.cost_plan(left, ctx, estimator)?;
+                let (rc, rcard) = self.cost_plan(right, ctx, estimator)?;
+                let own = match kind {
+                    SetOpKind::Union | SetOpKind::Intersect => {
+                        (lcard + rcard) * self.buffer_tuple
+                    }
+                    SetOpKind::Except => rcard * self.buffer_tuple + lcard * self.bool_eval,
+                };
+                lc + rc + Cost(own)
+            }
+            LogicalPlan::Sort { input, predicates } => {
+                let (child_cost, child_card) = self.cost_plan(input, ctx, estimator)?;
+                let missing = predicates.difference(input.evaluated_predicates());
+                let eval: f64 =
+                    missing.iter().map(|p| self.rank_eval(ctx, p)).sum::<f64>() * child_card;
+                let n = child_card.max(2.0);
+                child_cost + Cost(eval) + Cost(n * n.log2() * self.sort_compare)
+            }
+            LogicalPlan::Limit { input, .. } => {
+                let (child_cost, _) = self.cost_plan(input, ctx, estimator)?;
+                child_cost
+            }
+        };
+        Ok((cost, out_card))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_arithmetic_and_ordering() {
+        assert_eq!(Cost(1.0) + Cost(2.0), Cost(3.0));
+        assert!(Cost(1.0) < Cost(2.0));
+        assert!(Cost::INFINITE > Cost(1e12));
+        assert!(!Cost::INFINITE.is_finite());
+        assert!(Cost::ZERO.is_finite());
+        assert_eq!(Cost(5.0).value(), 5.0);
+    }
+
+    #[test]
+    fn default_constants_are_positive() {
+        let m = CostModel::default();
+        for v in [
+            m.seq_tuple,
+            m.index_tuple,
+            m.bool_eval,
+            m.rank_eval_unit,
+            m.buffer_tuple,
+            m.sort_compare,
+            m.join_output,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The rank-aware query optimizer of RankSQL (Section 5).
+//!
+//! Three pieces make up the optimizer:
+//!
+//! * a **sampling-based cardinality estimator** ([`sampling`]) for rank-aware
+//!   operators: a small per-table sample is drawn, the query is evaluated on
+//!   the samples to estimate `x'` — the score of the `k'`-th answer — and a
+//!   candidate subplan's output cardinality is obtained by executing it over
+//!   the samples and scaling the number of outputs whose upper bound exceeds
+//!   `x'` (Section 5.2);
+//! * a **cost model** ([`cost`]) combining scan, predicate-evaluation, join
+//!   and sort costs over the estimated cardinalities;
+//! * the **two-dimensional dynamic-programming enumeration** ([`enumerate`]):
+//!   subplan signatures are pairs `(SR, SP)` of the joined relations and the
+//!   evaluated ranking predicates (Figure 8), optionally restricted by the
+//!   left-deep and greedy rank-scheduling heuristics of Figure 10; a
+//!   ranking-blind System-R style baseline ([`traditional`]) provides the
+//!   materialise-then-sort comparison point.
+//!
+//! [`RankOptimizer`] ties the pieces together behind one entry point.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod enumerate;
+pub mod histogram;
+pub mod rulebased;
+pub mod sampling;
+pub mod traditional;
+
+use std::sync::Arc;
+
+use ranksql_algebra::{LogicalPlan, RankQuery};
+use ranksql_common::Result;
+use ranksql_storage::Catalog;
+
+pub use cost::{Cost, CostModel};
+pub use enumerate::{DpOptimizer, EnumerationStats};
+pub use histogram::{HistogramEstimator, ScoreHistogram};
+pub use rulebased::{RuleBasedConfig, RuleBasedOptimizer};
+pub use sampling::SamplingEstimator;
+pub use traditional::optimize_traditional;
+
+/// Which plan-search strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerMode {
+    /// Full two-dimensional dynamic programming over `(SR, SP)` signatures
+    /// (Figure 8), including bushy join trees.
+    RankAwareExhaustive,
+    /// The DP restricted by the heuristics of Figure 10: left-deep join
+    /// trees and greedy rank-metric scheduling of µ operators.
+    RankAwareHeuristic,
+    /// A Volcano/Cascades-style top-down search: the Figure 5 laws act as
+    /// transformation rules and physical algorithm / access-path choices act
+    /// as implementation rules, explored under a plan budget.
+    RankAwareRuleBased,
+    /// A ranking-blind System-R baseline: join order enumeration only, with a
+    /// blocking sort and limit on top (the only plans a traditional engine
+    /// can produce).
+    Traditional,
+}
+
+/// Configuration of the optimizer.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Search strategy.
+    pub mode: OptimizerMode,
+    /// Sampling ratio for cardinality estimation (the paper uses 0.1 %).
+    pub sample_ratio: f64,
+    /// RNG seed for sampling (deterministic plans for a given seed).
+    pub seed: u64,
+    /// Whether to also cost the traditional materialise-then-sort plan and
+    /// return it if it is cheaper (it can win when joins are very selective,
+    /// cf. Figure 12(c)).
+    pub compare_with_traditional: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            mode: OptimizerMode::RankAwareHeuristic,
+            sample_ratio: 0.01,
+            seed: 0xC0FFEE,
+            compare_with_traditional: true,
+        }
+    }
+}
+
+/// The outcome of optimization.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    /// The chosen plan (already wrapped in the top-k limit).
+    pub plan: LogicalPlan,
+    /// Its estimated cost.
+    pub cost: Cost,
+    /// Estimated cardinality of the plan root before the limit.
+    pub estimated_cardinality: f64,
+    /// Search statistics (plans generated, signatures kept, ...).
+    pub stats: EnumerationStats,
+}
+
+/// The rank-aware optimizer: builds the sampling estimator once per query and
+/// runs the configured enumeration strategy.
+pub struct RankOptimizer {
+    config: OptimizerConfig,
+}
+
+impl RankOptimizer {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: OptimizerConfig) -> Self {
+        RankOptimizer { config }
+    }
+
+    /// Creates an optimizer with default configuration.
+    pub fn with_defaults() -> Self {
+        RankOptimizer::new(OptimizerConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Optimizes a query against a catalog.
+    pub fn optimize(&self, query: &RankQuery, catalog: &Catalog) -> Result<OptimizedPlan> {
+        let estimator = Arc::new(SamplingEstimator::build(
+            query,
+            catalog,
+            self.config.sample_ratio,
+            self.config.seed,
+        )?);
+        let cost_model = CostModel::default();
+
+        match self.config.mode {
+            OptimizerMode::Traditional => {
+                traditional::optimize_traditional(query, catalog, &estimator, &cost_model)
+            }
+            OptimizerMode::RankAwareRuleBased => {
+                let rb = RuleBasedOptimizer::new(
+                    query,
+                    catalog,
+                    Arc::clone(&estimator),
+                    cost_model.clone(),
+                );
+                let mut best = rb.optimize()?;
+                if self.config.compare_with_traditional {
+                    let trad =
+                        traditional::optimize_traditional(query, catalog, &estimator, &cost_model)?;
+                    if trad.cost < best.cost {
+                        let stats = best.stats;
+                        best = trad;
+                        best.stats = stats;
+                    }
+                }
+                Ok(best)
+            }
+            OptimizerMode::RankAwareExhaustive | OptimizerMode::RankAwareHeuristic => {
+                let heuristic = self.config.mode == OptimizerMode::RankAwareHeuristic;
+                let dp = DpOptimizer::new(query, catalog, Arc::clone(&estimator), cost_model.clone(), heuristic);
+                let mut best = dp.optimize()?;
+                if self.config.compare_with_traditional {
+                    let trad =
+                        traditional::optimize_traditional(query, catalog, &estimator, &cost_model)?;
+                    if trad.cost < best.cost {
+                        let stats = best.stats;
+                        best = trad;
+                        best.stats = stats;
+                    }
+                }
+                Ok(best)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksql_common::{DataType, Field, Schema, Value};
+    use ranksql_executor::{execute_query_plan, oracle_top_k};
+    use ranksql_expr::{BoolExpr, RankPredicate, RankingContext, ScoringFunction};
+
+    fn setup(rows: usize) -> (Catalog, RankQuery) {
+        let cat = Catalog::new();
+        let a = cat
+            .create_table(
+                "A",
+                Schema::new(vec![
+                    Field::new("jc", DataType::Int64),
+                    Field::new("p1", DataType::Float64),
+                    Field::new("b", DataType::Bool),
+                ]),
+            )
+            .unwrap();
+        let b = cat
+            .create_table(
+                "B",
+                Schema::new(vec![
+                    Field::new("jc", DataType::Int64),
+                    Field::new("p2", DataType::Float64),
+                ]),
+            )
+            .unwrap();
+        for i in 0..rows {
+            a.insert(vec![
+                Value::from((i % 23) as i64),
+                Value::from(((i * 37) % 100) as f64 / 100.0),
+                Value::from(i % 5 != 0),
+            ])
+            .unwrap();
+            b.insert(vec![
+                Value::from((i % 23) as i64),
+                Value::from(((i * 61) % 100) as f64 / 100.0),
+            ])
+            .unwrap();
+        }
+        let ranking = RankingContext::new(
+            vec![
+                RankPredicate::attribute_with_cost("p1", "A.p1", 1),
+                RankPredicate::attribute_with_cost("p2", "B.p2", 1),
+            ],
+            ScoringFunction::Sum,
+        );
+        let query = RankQuery::new(
+            vec!["A".into(), "B".into()],
+            vec![BoolExpr::col_eq_col("A.jc", "B.jc"), BoolExpr::column_is_true("A.b")],
+            ranking,
+            5,
+        );
+        (cat, query)
+    }
+
+    fn result_scores(query: &RankQuery, cat: &Catalog, plan: &LogicalPlan) -> Vec<f64> {
+        execute_query_plan(query, plan, cat)
+            .unwrap()
+            .tuples
+            .iter()
+            .map(|t| query.ranking.upper_bound(&t.state).value())
+            .collect()
+    }
+
+    #[test]
+    fn all_modes_produce_plans_matching_the_oracle() {
+        let (cat, query) = setup(300);
+        let oracle: Vec<f64> = oracle_top_k(&query, &cat)
+            .unwrap()
+            .iter()
+            .map(|t| query.ranking.upper_bound(&t.state).value())
+            .collect();
+        for mode in [
+            OptimizerMode::Traditional,
+            OptimizerMode::RankAwareExhaustive,
+            OptimizerMode::RankAwareHeuristic,
+        ] {
+            let opt = RankOptimizer::new(OptimizerConfig {
+                mode,
+                sample_ratio: 0.1,
+                ..OptimizerConfig::default()
+            });
+            let plan = opt.optimize(&query, &cat).unwrap();
+            let scores = result_scores(&query, &cat, &plan.plan);
+            assert_eq!(scores, oracle, "mode {mode:?} returned wrong top-k");
+        }
+    }
+
+    #[test]
+    fn rank_aware_optimizer_prefers_pipelined_plans_for_expensive_predicates() {
+        let (cat, mut query) = setup(400);
+        // Make the ranking predicates expensive so the materialise-then-sort
+        // plan (which evaluates them on every join result) is clearly worse.
+        query.ranking = RankingContext::new(
+            vec![
+                RankPredicate::attribute_with_cost("p1", "A.p1", 200),
+                RankPredicate::attribute_with_cost("p2", "B.p2", 200),
+            ],
+            ScoringFunction::Sum,
+        );
+        let opt = RankOptimizer::new(OptimizerConfig {
+            mode: OptimizerMode::RankAwareHeuristic,
+            sample_ratio: 0.1,
+            ..OptimizerConfig::default()
+        });
+        let chosen = opt.optimize(&query, &cat).unwrap();
+        assert!(
+            chosen.plan.rank_operator_count() > 0,
+            "expected a rank-aware plan, got:\n{}",
+            chosen.plan.explain(Some(&query.ranking))
+        );
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = OptimizerConfig::default();
+        assert_eq!(cfg.mode, OptimizerMode::RankAwareHeuristic);
+        assert!(cfg.sample_ratio > 0.0 && cfg.sample_ratio < 1.0);
+        let opt = RankOptimizer::with_defaults();
+        assert!(opt.config().compare_with_traditional);
+    }
+}

@@ -1,0 +1,388 @@
+//! Sampling-based cardinality estimation for rank-aware operators
+//! (Section 5.2 of the paper).
+//!
+//! Cardinalities of rank-aware operators cannot be propagated bottom-up: how
+//! many tuples an operator consumes and produces depends on how many results
+//! are requested *of it*, which is unknown for a subplan during enumeration.
+//! The paper's estimator works around this:
+//!
+//! 1. draw an `s%` sample of every table and evaluate all predicates on it;
+//! 2. run the original query on the samples (any conventional plan) asking
+//!    for `k' = ⌈k · s%⌉` results; the score `x'` of the `k'`-th answer
+//!    estimates `x`, the score of the `k`-th answer over the full data;
+//! 3. to estimate a subplan's output cardinality, execute it over the samples
+//!    and count the outputs `u` whose upper-bound score is at least `x'`
+//!    (tuples below `x'` will never need to leave the operator), then scale:
+//!    * scan: `card = u / s%`;
+//!    * unary operator over subplan `P'`: `card = u · card(P') / card_s(P')`;
+//!    * binary operator over `P1`, `P2`:
+//!      `card = u · (card(P1)/card_s(P1) + card(P2)/card_s(P2)) / 2`,
+//!    where `card_s` is the subplan's output cardinality observed during the
+//!    sample execution and `card` its previously estimated cardinality.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use ranksql_algebra::{LogicalPlan, RankQuery};
+use ranksql_common::{RankSqlError, Result, Score};
+use ranksql_executor::{execute_plan, oracle_top_k};
+use ranksql_expr::RankingContext;
+use ranksql_storage::{sample_fraction, Catalog};
+
+/// Smoothing count used when a sample execution produces zero tuples, so that
+/// downstream costs never divide by zero and empty-looking subplans keep a
+/// small non-zero cardinality (random sampling over joins is known to
+/// under-produce; see the paper's discussion of [CMN99]).
+const ZERO_SMOOTHING: f64 = 0.5;
+
+/// The sampling-based estimator, built once per query.
+pub struct SamplingEstimator {
+    /// Catalog holding the per-table samples under the original table names.
+    sample_catalog: Catalog,
+    /// The original (full) catalog, for base-table row counts.
+    full_catalog_rows: HashMap<String, f64>,
+    /// Per-table sampling ratio actually achieved (sample rows / full rows).
+    ratios: HashMap<String, f64>,
+    /// Estimate of the k-th result score over the full data.
+    x_threshold: Score,
+    /// Ranking context used for sample executions (shares the query's
+    /// predicates but not its evaluation counters).
+    est_ctx: Arc<RankingContext>,
+    /// Memoised estimates keyed by the plan's structural debug string.
+    memo: Mutex<HashMap<String, f64>>,
+    /// The nominal sampling ratio requested.
+    nominal_ratio: f64,
+}
+
+impl SamplingEstimator {
+    /// Draws samples, estimates `x'` and prepares the estimator.
+    pub fn build(
+        query: &RankQuery,
+        catalog: &Catalog,
+        sample_ratio: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        if !(sample_ratio > 0.0 && sample_ratio <= 1.0) {
+            return Err(RankSqlError::Optimizer(format!(
+                "sample ratio must be in (0, 1], got {sample_ratio}"
+            )));
+        }
+        let sample_catalog = Catalog::new();
+        let mut full_catalog_rows = HashMap::new();
+        let mut ratios = HashMap::new();
+        for name in &query.tables {
+            let table = catalog.table(name)?;
+            let sample = sample_fraction(&table, sample_ratio, seed);
+            let full_rows = table.row_count() as f64;
+            let achieved =
+                if full_rows > 0.0 { sample.len() as f64 / full_rows } else { sample_ratio };
+            // Re-create the table (same name/schema) holding only the sample.
+            let schema_unqualified = ranksql_common::Schema::new(
+                table
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| ranksql_common::Field::new(f.name.clone(), f.data_type))
+                    .collect(),
+            );
+            let sample_table = sample_catalog.create_table(name, schema_unqualified)?;
+            for t in &sample {
+                sample_table.insert(t.values().to_vec())?;
+            }
+            full_catalog_rows.insert(name.clone(), full_rows);
+            ratios.insert(name.clone(), achieved.max(f64::EPSILON));
+        }
+
+        // Estimate x: run the query over the samples asking for k' results.
+        let k_prime = ((query.k as f64 * sample_ratio).ceil() as usize).max(1);
+        let mut sample_query = query.clone();
+        sample_query.k = k_prime;
+        let sample_top = oracle_top_k(&sample_query, &sample_catalog)?;
+        let x_threshold = match sample_top.last() {
+            Some(t) => query.ranking.upper_bound(&t.state),
+            // The sample produced no qualifying answer at all: every tuple
+            // may matter, so the threshold is -∞ (no pruning).
+            None => Score::new(f64::NEG_INFINITY),
+        };
+
+        // A private ranking context so sample executions do not pollute the
+        // query's evaluation counters.
+        let est_ctx = RankingContext::new(
+            query.ranking.predicates().to_vec(),
+            query.ranking.scoring().clone(),
+        );
+
+        Ok(SamplingEstimator {
+            sample_catalog,
+            full_catalog_rows,
+            ratios,
+            x_threshold,
+            est_ctx,
+            memo: Mutex::new(HashMap::new()),
+            nominal_ratio: sample_ratio,
+        })
+    }
+
+    /// The estimated score of the k-th answer (`x'`).
+    pub fn x_threshold(&self) -> Score {
+        self.x_threshold
+    }
+
+    /// The catalog of samples (one table per query table, same names).
+    pub fn sample_catalog(&self) -> &Catalog {
+        &self.sample_catalog
+    }
+
+    /// Full row count of the base table scanned by a scan node.
+    pub fn table_cardinality(&self, plan: &LogicalPlan) -> Result<f64> {
+        match plan {
+            LogicalPlan::Scan { table, .. } => {
+                self.full_catalog_rows.get(table).copied().ok_or_else(|| {
+                    RankSqlError::Optimizer(format!("no cardinality for table `{table}`"))
+                })
+            }
+            _ => Err(RankSqlError::Optimizer("table_cardinality expects a scan node".into())),
+        }
+    }
+
+    fn ratio_for(&self, table: &str) -> f64 {
+        self.ratios.get(table).copied().unwrap_or(self.nominal_ratio)
+    }
+
+    /// Executes `plan` over the samples and returns the per-operator output
+    /// cardinalities (post-order, matching the executor's metric
+    /// registration) together with the root outputs above the threshold.
+    fn run_on_sample(&self, plan: &LogicalPlan) -> Result<(Vec<u64>, f64)> {
+        let result = execute_plan(plan, &self.sample_catalog, &self.est_ctx)?;
+        let u = result
+            .tuples
+            .iter()
+            .filter(|t| self.est_ctx.upper_bound(&t.state) >= self.x_threshold)
+            .count() as f64;
+        let cards: Vec<u64> =
+            result.metrics.snapshot().iter().map(|m| m.tuples_out()).collect();
+        Ok((cards, u))
+    }
+
+    /// Estimates the output cardinality of `plan` over the full data.
+    pub fn estimate_cardinality(&self, plan: &LogicalPlan) -> Result<f64> {
+        let key = format!("{plan:?}");
+        if let Some(v) = self.memo.lock().get(&key) {
+            return Ok(*v);
+        }
+        let estimate = self.estimate_uncached(plan)?;
+        self.memo.lock().insert(key, estimate);
+        Ok(estimate)
+    }
+
+    fn estimate_uncached(&self, plan: &LogicalPlan) -> Result<f64> {
+        let (sample_cards, u) = self.run_on_sample(plan)?;
+        let estimate = match plan {
+            LogicalPlan::Scan { table, .. } => u.max(ZERO_SMOOTHING) / self.ratio_for(table),
+            // Unary operators: scale by the input subplan's estimated-to-
+            // sample cardinality ratio.
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Rank { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => {
+                let child_est = self.estimate_cardinality(input)?;
+                let child_sample =
+                    sample_cards.get(input.node_count() - 1).copied().unwrap_or(0) as f64;
+                let scale = child_est / child_sample.max(ZERO_SMOOTHING);
+                let scaled = u.max(ZERO_SMOOTHING) * scale;
+                // A limit caps the true cardinality at k.
+                if let LogicalPlan::Limit { k, .. } = plan {
+                    scaled.min(*k as f64)
+                } else {
+                    scaled
+                }
+            }
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
+                let left_est = self.estimate_cardinality(left)?;
+                let right_est = self.estimate_cardinality(right)?;
+                let left_sample =
+                    sample_cards.get(left.node_count() - 1).copied().unwrap_or(0) as f64;
+                let right_sample = sample_cards
+                    .get(left.node_count() + right.node_count() - 1)
+                    .copied()
+                    .unwrap_or(0) as f64;
+                let scale = (left_est / left_sample.max(ZERO_SMOOTHING)
+                    + right_est / right_sample.max(ZERO_SMOOTHING))
+                    / 2.0;
+                u.max(ZERO_SMOOTHING) * scale
+            }
+        };
+        Ok(estimate.max(0.0))
+    }
+
+    /// Estimated output cardinality of every operator in `plan`, post-order
+    /// (the same order in which the executor registers operator metrics).
+    /// This is the estimated series of the Figure 13 experiment.
+    pub fn estimate_per_operator(&self, plan: &LogicalPlan) -> Result<Vec<(String, f64)>> {
+        let mut out = Vec::new();
+        self.walk_estimates(plan, &mut out)?;
+        Ok(out)
+    }
+
+    fn walk_estimates(
+        &self,
+        plan: &LogicalPlan,
+        out: &mut Vec<(String, f64)>,
+    ) -> Result<()> {
+        for child in plan.children() {
+            self.walk_estimates(child, out)?;
+        }
+        let est = self.estimate_cardinality(plan)?;
+        out.push((plan.node_label(Some(&self.est_ctx)), est));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksql_algebra::JoinAlgorithm;
+    use ranksql_common::{DataType, Field, Schema, Value};
+    use ranksql_expr::{BoolExpr, RankPredicate, ScoringFunction};
+
+    /// Two joinable tables with ranking predicates and a boolean filter.
+    fn setup(rows: usize) -> (Catalog, RankQuery) {
+        let cat = Catalog::new();
+        let a = cat
+            .create_table(
+                "A",
+                Schema::new(vec![
+                    Field::new("jc", DataType::Int64),
+                    Field::new("p1", DataType::Float64),
+                    Field::new("b", DataType::Bool),
+                ]),
+            )
+            .unwrap();
+        let b = cat
+            .create_table(
+                "B",
+                Schema::new(vec![
+                    Field::new("jc", DataType::Int64),
+                    Field::new("p2", DataType::Float64),
+                ]),
+            )
+            .unwrap();
+        for i in 0..rows {
+            a.insert(vec![
+                Value::from((i % 50) as i64),
+                Value::from(((i * 37) % 1000) as f64 / 1000.0),
+                Value::from(i % 5 != 0),
+            ])
+            .unwrap();
+            b.insert(vec![
+                Value::from((i % 50) as i64),
+                Value::from(((i * 61) % 1000) as f64 / 1000.0),
+            ])
+            .unwrap();
+        }
+        let ranking = RankingContext::new(
+            vec![
+                RankPredicate::attribute("p1", "A.p1"),
+                RankPredicate::attribute("p2", "B.p2"),
+            ],
+            ScoringFunction::Sum,
+        );
+        let query = RankQuery::new(
+            vec!["A".into(), "B".into()],
+            vec![BoolExpr::col_eq_col("A.jc", "B.jc"), BoolExpr::column_is_true("A.b")],
+            ranking,
+            10,
+        );
+        (cat, query)
+    }
+
+    #[test]
+    fn build_rejects_bad_ratio() {
+        let (cat, query) = setup(100);
+        assert!(SamplingEstimator::build(&query, &cat, 0.0, 1).is_err());
+        assert!(SamplingEstimator::build(&query, &cat, 1.5, 1).is_err());
+        assert!(SamplingEstimator::build(&query, &cat, 0.5, 1).is_ok());
+    }
+
+    #[test]
+    fn threshold_is_a_plausible_score() {
+        let (cat, query) = setup(2000);
+        let est = SamplingEstimator::build(&query, &cat, 0.05, 7).unwrap();
+        let x = est.x_threshold().value();
+        assert!(x > 0.0 && x <= 2.0, "x' = {x} outside the feasible score range");
+    }
+
+    #[test]
+    fn seq_scan_estimate_recovers_table_size() {
+        let (cat, query) = setup(1000);
+        let est = SamplingEstimator::build(&query, &cat, 0.1, 7).unwrap();
+        let a = cat.table("A").unwrap();
+        let scan = LogicalPlan::scan(&a);
+        let card = est.estimate_cardinality(&scan).unwrap();
+        assert!(
+            (card - 1000.0).abs() < 1.0,
+            "sequential scan estimate {card} should equal the table size"
+        );
+        assert_eq!(est.table_cardinality(&scan).unwrap(), 1000.0);
+    }
+
+    #[test]
+    fn selection_estimate_tracks_selectivity() {
+        let (cat, query) = setup(2000);
+        let est = SamplingEstimator::build(&query, &cat, 0.1, 3).unwrap();
+        let a = cat.table("A").unwrap();
+        // A.b is true for 80% of rows.
+        let plan = LogicalPlan::scan(&a).select(BoolExpr::column_is_true("A.b"));
+        let card = est.estimate_cardinality(&plan).unwrap();
+        assert!(
+            (card - 1600.0).abs() < 400.0,
+            "selection estimate {card} too far from the true 1600"
+        );
+    }
+
+    #[test]
+    fn rank_operator_estimate_is_k_aware() {
+        let (cat, query) = setup(2000);
+        let est = SamplingEstimator::build(&query, &cat, 0.1, 3).unwrap();
+        let a = cat.table("A").unwrap();
+        // A rank-scan feeding µ: only tuples that can still reach the top-k
+        // threshold are counted, so the estimate must be (much) smaller than
+        // the table.
+        let plan = LogicalPlan::rank_scan(&a, 0);
+        let card = est.estimate_cardinality(&plan).unwrap();
+        assert!(card < 2000.0, "rank-scan estimate {card} should be below the table size");
+        assert!(card > 0.0);
+    }
+
+    #[test]
+    fn join_estimate_combines_sides() {
+        let (cat, query) = setup(1500);
+        let est = SamplingEstimator::build(&query, &cat, 0.2, 11).unwrap();
+        let a = cat.table("A").unwrap();
+        let b = cat.table("B").unwrap();
+        let plan = LogicalPlan::scan(&a).join(
+            LogicalPlan::scan(&b),
+            Some(BoolExpr::col_eq_col("A.jc", "B.jc")),
+            JoinAlgorithm::Hash,
+        );
+        let card = est.estimate_cardinality(&plan).unwrap();
+        // True cardinality: 1500 * 1500 / 50 = 45_000.
+        assert!(card > 1_000.0, "join estimate {card} unreasonably small");
+        let per_op = est.estimate_per_operator(&plan).unwrap();
+        assert_eq!(per_op.len(), 3);
+        assert!(per_op[2].0.contains("HashJoin"));
+    }
+
+    #[test]
+    fn estimates_are_memoised() {
+        let (cat, query) = setup(500);
+        let est = SamplingEstimator::build(&query, &cat, 0.1, 3).unwrap();
+        let a = cat.table("A").unwrap();
+        let plan = LogicalPlan::scan(&a).select(BoolExpr::column_is_true("A.b"));
+        let first = est.estimate_cardinality(&plan).unwrap();
+        let second = est.estimate_cardinality(&plan).unwrap();
+        assert_eq!(first, second);
+    }
+}

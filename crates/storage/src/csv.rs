@@ -1,0 +1,304 @@
+//! A minimal CSV reader for loading tables from delimited text.
+//!
+//! The RankSQL prototype in the paper sat inside PostgreSQL and loaded its
+//! synthetic tables with `COPY`; this module is the equivalent ingestion path
+//! for the in-memory engine.  It is intentionally small — comma (or custom
+//! single-byte) delimiter, optional header row, double-quote quoting with
+//! `""` escapes — because the workloads this repository ships generate their
+//! data programmatically; the reader exists so downstream users can point the
+//! engine at their own files without pulling in an external dependency.
+//!
+//! Two entry points:
+//!
+//! * [`parse_csv`] — parse text into rows of [`Value`]s against a known
+//!   [`Schema`] (per-column type coercion, `NULL`/empty handling);
+//! * [`infer_schema`] — inspect the first rows of a file with a header line
+//!   and guess a column type for each field (Int64 ⊂ Float64 ⊂ Utf8, plus
+//!   Bool for `true`/`false` columns).
+
+use ranksql_common::{DataType, Field, RankSqlError, Result, Schema, Value};
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first non-empty line is a header naming the columns.
+    pub has_header: bool,
+    /// Strings (compared case-insensitively) treated as SQL `NULL`.
+    pub null_markers: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+            null_markers: vec!["".into(), "null".into(), "\\n".into()],
+        }
+    }
+}
+
+impl CsvOptions {
+    fn is_null(&self, raw: &str) -> bool {
+        self.null_markers.iter().any(|m| m.eq_ignore_ascii_case(raw))
+    }
+}
+
+/// Splits one CSV record into raw fields, honouring double-quote quoting and
+/// `""` escapes inside quoted fields.
+fn split_record(line: &str, delimiter: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current.push(c);
+            }
+        } else if c == '"' && current.is_empty() {
+            in_quotes = true;
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut current));
+        } else {
+            current.push(c);
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+fn coerce(raw: &str, ty: DataType, line_no: usize, options: &CsvOptions) -> Result<Value> {
+    let trimmed = raw.trim();
+    if options.is_null(trimmed) {
+        return Ok(Value::Null);
+    }
+    let fail = |what: &str| {
+        RankSqlError::Storage(format!(
+            "line {line_no}: cannot parse `{trimmed}` as {what}"
+        ))
+    };
+    match ty {
+        DataType::Int64 => trimmed
+            .parse::<i64>()
+            .map(Value::from)
+            .map_err(|_| fail("Int64")),
+        DataType::Float64 => trimmed
+            .parse::<f64>()
+            .map(Value::from)
+            .map_err(|_| fail("Float64")),
+        DataType::Bool => match trimmed.to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" | "yes" => Ok(Value::from(true)),
+            "false" | "f" | "0" | "no" => Ok(Value::from(false)),
+            _ => Err(fail("Bool")),
+        },
+        DataType::Utf8 => Ok(Value::from(trimmed)),
+        DataType::Null => Ok(Value::Null),
+    }
+}
+
+/// Parses CSV text into rows of values matching `schema`.
+///
+/// The header line (if [`CsvOptions::has_header`]) is only used to check the
+/// column count; columns are matched positionally.  Blank lines are skipped.
+pub fn parse_csv(text: &str, schema: &Schema, options: &CsvOptions) -> Result<Vec<Vec<Value>>> {
+    let mut rows = Vec::new();
+    let mut header_seen = !options.has_header;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_record(line, options.delimiter);
+        if !header_seen {
+            header_seen = true;
+            if fields.len() != schema.len() {
+                return Err(RankSqlError::Storage(format!(
+                    "header has {} columns but the schema has {}",
+                    fields.len(),
+                    schema.len()
+                )));
+            }
+            continue;
+        }
+        if fields.len() != schema.len() {
+            return Err(RankSqlError::Storage(format!(
+                "line {line_no}: expected {} fields, found {}",
+                schema.len(),
+                fields.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (j, raw) in fields.iter().enumerate() {
+            row.push(coerce(raw, schema.field(j).data_type, line_no, options)?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Infers a schema from CSV text with a header line: each column gets the
+/// narrowest type (`Bool` < `Int64` < `Float64` < `Utf8`) that accepts every
+/// non-null sample value.
+pub fn infer_schema(text: &str, options: &CsvOptions) -> Result<Schema> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| RankSqlError::Storage("cannot infer a schema from empty input".into()))?;
+    let names = split_record(header, options.delimiter);
+    if names.iter().any(|n| n.trim().is_empty()) {
+        return Err(RankSqlError::Storage("header contains an empty column name".into()));
+    }
+
+    // Start from the narrowest guess and widen as counter-examples appear.
+    let mut types = vec![DataType::Bool; names.len()];
+    let mut saw_value = vec![false; names.len()];
+    for line in lines {
+        let fields = split_record(line, options.delimiter);
+        if fields.len() != names.len() {
+            return Err(RankSqlError::Storage(format!(
+                "row has {} fields but the header has {}",
+                fields.len(),
+                names.len()
+            )));
+        }
+        for (j, raw) in fields.iter().enumerate() {
+            let trimmed = raw.trim();
+            if options.is_null(trimmed) {
+                continue;
+            }
+            saw_value[j] = true;
+            types[j] = widen(types[j], trimmed);
+        }
+    }
+    let fields = names
+        .iter()
+        .zip(types.iter().zip(saw_value.iter()))
+        .map(|(name, (ty, saw))| {
+            Field::new(name.trim(), if *saw { *ty } else { DataType::Utf8 })
+        })
+        .collect();
+    Ok(Schema::new(fields))
+}
+
+/// The narrowest type at least as wide as `current` that accepts `sample`.
+fn widen(current: DataType, sample: &str) -> DataType {
+    let accepts = |ty: DataType| -> bool {
+        match ty {
+            DataType::Bool => matches!(
+                sample.to_ascii_lowercase().as_str(),
+                "true" | "false" | "t" | "f" | "yes" | "no"
+            ),
+            DataType::Int64 => sample.parse::<i64>().is_ok(),
+            DataType::Float64 => sample.parse::<f64>().is_ok(),
+            DataType::Utf8 => true,
+            DataType::Null => false,
+        }
+    };
+    let ladder = [DataType::Bool, DataType::Int64, DataType::Float64, DataType::Utf8];
+    let start = ladder.iter().position(|t| *t == current).unwrap_or(0);
+    for ty in &ladder[start..] {
+        if accepts(*ty) {
+            return *ty;
+        }
+    }
+    DataType::Utf8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("score", DataType::Float64),
+            Field::new("active", DataType::Bool),
+        ])
+    }
+
+    #[test]
+    fn parses_simple_rows_with_header() {
+        let text = "id,name,score,active\n1,alpha,0.5,true\n2,beta,0.25,false\n";
+        let rows = parse_csv(text, &schema(), &CsvOptions::default()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::from(1));
+        assert_eq!(rows[0][1], Value::from("alpha"));
+        assert_eq!(rows[1][2], Value::from(0.25));
+        assert_eq!(rows[1][3], Value::from(false));
+    }
+
+    #[test]
+    fn quoted_fields_and_escaped_quotes() {
+        let text = "id,name,score,active\n1,\"hello, world\",0.1,t\n2,\"say \"\"hi\"\"\",0.2,f\n";
+        let rows = parse_csv(text, &schema(), &CsvOptions::default()).unwrap();
+        assert_eq!(rows[0][1], Value::from("hello, world"));
+        assert_eq!(rows[1][1], Value::from("say \"hi\""));
+    }
+
+    #[test]
+    fn null_markers_and_blank_lines() {
+        let text = "id,name,score,active\n\n1,,NULL,true\n";
+        let rows = parse_csv(text, &schema(), &CsvOptions::default()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::Null);
+        assert_eq!(rows[0][2], Value::Null);
+    }
+
+    #[test]
+    fn no_header_and_custom_delimiter() {
+        let options = CsvOptions { delimiter: ';', has_header: false, ..CsvOptions::default() };
+        let text = "1;x;0.5;yes\n2;y;1.5;no\n";
+        let rows = parse_csv(text, &schema(), &options).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][3], Value::from(true));
+        assert_eq!(rows[1][3], Value::from(false));
+    }
+
+    #[test]
+    fn arity_and_type_errors_are_reported_with_line_numbers() {
+        let text = "id,name,score,active\n1,alpha,0.5\n";
+        let err = parse_csv(text, &schema(), &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+
+        let text = "id,name,score,active\n1,alpha,not-a-number,true\n";
+        let err = parse_csv(text, &schema(), &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("Float64"));
+
+        let text = "id,name\n1,alpha\n";
+        assert!(parse_csv(text, &schema(), &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn schema_inference_widens_types() {
+        let text = "a,b,c,d\n1,0.5,true,word\n2,3,false,other\n,,,\n";
+        let inferred = infer_schema(text, &CsvOptions::default()).unwrap();
+        assert_eq!(inferred.field(0).data_type, DataType::Int64);
+        assert_eq!(inferred.field(1).data_type, DataType::Float64);
+        assert_eq!(inferred.field(2).data_type, DataType::Bool);
+        assert_eq!(inferred.field(3).data_type, DataType::Utf8);
+    }
+
+    #[test]
+    fn inference_rejects_empty_or_malformed_input() {
+        assert!(infer_schema("", &CsvOptions::default()).is_err());
+        assert!(infer_schema("a,,c\n1,2,3\n", &CsvOptions::default()).is_err());
+        assert!(infer_schema("a,b\n1,2,3\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn all_null_column_defaults_to_utf8() {
+        let text = "a,b\n1,\n2,NULL\n";
+        let inferred = infer_schema(text, &CsvOptions::default()).unwrap();
+        assert_eq!(inferred.field(1).data_type, DataType::Utf8);
+    }
+}

@@ -1,0 +1,37 @@
+//! In-memory relational storage substrate for RankSQL.
+//!
+//! The RankSQL paper prototypes its algebra and optimizer inside PostgreSQL;
+//! this crate provides the equivalent substrate the prototype relied on,
+//! implemented from scratch:
+//!
+//! * [`Table`] — an append-only, in-memory heap of tuples with a schema.
+//! * [`Catalog`] — the named collection of tables of a database.
+//! * Indexes — [`index::ScoreIndex`] (a B-tree-style ordered index over a
+//!   *ranking predicate's* scores, what the paper calls the access path of a
+//!   `rank-scan` / `idxScan_p`), [`index::BTreeIndex`] (ordered attribute
+//!   index, providing *interesting orders* for merge joins), and
+//!   [`index::HashIndex`] (equi-join lookups).
+//! * [`stats::TableStatistics`] — row counts, per-column distinct counts and
+//!   histograms used by the classical half of the cost model.
+//! * [`sample`] — reservoir sampling used by the optimizer's sampling-based
+//!   cardinality estimator (Section 5.2 of the paper).
+//! * [`csv`] — a dependency-free CSV reader (with optional schema inference)
+//!   so user data can be loaded into tables, the counterpart of the `COPY`
+//!   path the PostgreSQL prototype used.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod csv;
+pub mod index;
+pub mod sample;
+pub mod stats;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use csv::{infer_schema, parse_csv, CsvOptions};
+pub use index::{BTreeIndex, HashIndex, ScoreIndex};
+pub use sample::{reservoir_sample, sample_fraction};
+pub use stats::{ColumnStatistics, TableStatistics};
+pub use table::{Table, TableBuilder};

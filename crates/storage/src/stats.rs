@@ -1,0 +1,246 @@
+//! Table and column statistics for the classical half of the cost model.
+
+use std::collections::HashSet;
+
+use ranksql_common::{Result, Value};
+
+use crate::table::Table;
+
+/// Number of buckets used by equi-width histograms.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStatistics {
+    /// Qualified column name.
+    pub name: String,
+    /// Number of non-null values.
+    pub non_null_count: usize,
+    /// Number of nulls.
+    pub null_count: usize,
+    /// Number of distinct values.
+    pub distinct_count: usize,
+    /// Minimum numeric value (if the column is numeric and non-empty).
+    pub min: Option<f64>,
+    /// Maximum numeric value (if the column is numeric and non-empty).
+    pub max: Option<f64>,
+    /// Fraction of rows whose value is boolean `true` (only for Bool columns).
+    pub true_fraction: Option<f64>,
+    /// Equi-width histogram bucket counts over `[min, max]` for numeric
+    /// columns.
+    pub histogram: Vec<usize>,
+}
+
+impl ColumnStatistics {
+    /// Estimated selectivity of an equality predicate `col = value`.
+    ///
+    /// Uses the uniform-distinct assumption (`1 / distinct_count`) classic to
+    /// System-R optimizers.
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.distinct_count == 0 {
+            0.0
+        } else {
+            1.0 / self.distinct_count as f64
+        }
+    }
+
+    /// Estimated selectivity of a range predicate `col <= value` using the
+    /// histogram (falls back to 1/3 when no histogram is available, the
+    /// traditional default).
+    pub fn le_selectivity(&self, value: f64) -> f64 {
+        match (self.min, self.max) {
+            (Some(min), Some(max)) if max > min && !self.histogram.is_empty() => {
+                if value <= min {
+                    return 0.0;
+                }
+                if value >= max {
+                    return 1.0;
+                }
+                let width = (max - min) / self.histogram.len() as f64;
+                let pos = (value - min) / width;
+                let full_buckets = pos.floor() as usize;
+                let frac = pos - pos.floor();
+                let total: usize = self.histogram.iter().sum();
+                if total == 0 {
+                    return 0.5;
+                }
+                let mut covered: f64 =
+                    self.histogram.iter().take(full_buckets).sum::<usize>() as f64;
+                if full_buckets < self.histogram.len() {
+                    covered += self.histogram[full_buckets] as f64 * frac;
+                }
+                (covered / total as f64).clamp(0.0, 1.0)
+            }
+            _ => 1.0 / 3.0,
+        }
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStatistics {
+    /// Table name.
+    pub table: String,
+    /// Number of rows.
+    pub row_count: usize,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStatistics>,
+}
+
+impl TableStatistics {
+    /// Computes statistics by a full scan of the table.
+    pub fn compute(table: &Table) -> Result<TableStatistics> {
+        let schema = table.schema();
+        let tuples = table.scan();
+        let mut columns = Vec::with_capacity(schema.len());
+        for (ci, field) in schema.fields().iter().enumerate() {
+            let mut non_null = 0usize;
+            let mut nulls = 0usize;
+            let mut distinct: HashSet<Value> = HashSet::new();
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut numeric = 0usize;
+            let mut trues = 0usize;
+            let mut bools = 0usize;
+            for t in &tuples {
+                let v = t.value(ci);
+                if v.is_null() {
+                    nulls += 1;
+                    continue;
+                }
+                non_null += 1;
+                distinct.insert(v.clone());
+                if let Some(x) = v.as_f64() {
+                    numeric += 1;
+                    min = min.min(x);
+                    max = max.max(x);
+                }
+                if let Value::Bool(b) = v {
+                    bools += 1;
+                    if *b {
+                        trues += 1;
+                    }
+                }
+            }
+            let (min, max) = if numeric > 0 { (Some(min), Some(max)) } else { (None, None) };
+            // Histogram pass (numeric columns only).
+            let mut histogram = Vec::new();
+            if let (Some(lo), Some(hi)) = (min, max) {
+                if hi > lo {
+                    histogram = vec![0usize; HISTOGRAM_BUCKETS];
+                    let width = (hi - lo) / HISTOGRAM_BUCKETS as f64;
+                    for t in &tuples {
+                        if let Some(x) = t.value(ci).as_f64() {
+                            let mut b = ((x - lo) / width) as usize;
+                            if b >= HISTOGRAM_BUCKETS {
+                                b = HISTOGRAM_BUCKETS - 1;
+                            }
+                            histogram[b] += 1;
+                        }
+                    }
+                }
+            }
+            columns.push(ColumnStatistics {
+                name: field.qualified_name(),
+                non_null_count: non_null,
+                null_count: nulls,
+                distinct_count: distinct.len(),
+                min,
+                max,
+                true_fraction: if bools > 0 { Some(trues as f64 / bools as f64) } else { None },
+                histogram,
+            });
+        }
+        Ok(TableStatistics { table: table.name().to_owned(), row_count: tuples.len(), columns })
+    }
+
+    /// Statistics for the column with the given qualified name.
+    pub fn column(&self, name: &str) -> Option<&ColumnStatistics> {
+        self.columns.iter().find(|c| c.name == name || c.name.ends_with(&format!(".{name}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use ranksql_common::{DataType, Field, Schema};
+
+    fn build_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::qualified("T", "a", DataType::Int64),
+            Field::qualified("T", "flag", DataType::Bool),
+            Field::qualified("T", "score", DataType::Float64),
+        ]);
+        let mut b = TableBuilder::new("T", schema);
+        for i in 0..100i64 {
+            b = b.row(vec![
+                Value::from(i % 10),
+                Value::from(i % 5 == 0),
+                Value::from(i as f64 / 100.0),
+            ]);
+        }
+        b.build(0).unwrap()
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let t = build_table();
+        let stats = TableStatistics::compute(&t).unwrap();
+        assert_eq!(stats.row_count, 100);
+        let a = stats.column("T.a").unwrap();
+        assert_eq!(a.distinct_count, 10);
+        assert_eq!(a.null_count, 0);
+        assert_eq!(a.min, Some(0.0));
+        assert_eq!(a.max, Some(9.0));
+        assert!((a.eq_selectivity() - 0.1).abs() < 1e-12);
+        let flag = stats.column("flag").unwrap();
+        assert_eq!(flag.true_fraction, Some(0.2));
+    }
+
+    #[test]
+    fn histogram_range_selectivity() {
+        let t = build_table();
+        let stats = TableStatistics::compute(&t).unwrap();
+        let score = stats.column("T.score").unwrap();
+        assert!(!score.histogram.is_empty());
+        let sel = score.le_selectivity(0.5);
+        assert!((sel - 0.5).abs() < 0.1, "selectivity {sel} should be near 0.5");
+        assert_eq!(score.le_selectivity(-1.0), 0.0);
+        assert_eq!(score.le_selectivity(2.0), 1.0);
+    }
+
+    #[test]
+    fn nulls_counted() {
+        let schema = Schema::new(vec![Field::qualified("T", "x", DataType::Int64)]);
+        let t = TableBuilder::new("T", schema)
+            .row(vec![Value::Null])
+            .row(vec![Value::from(1)])
+            .build(0)
+            .unwrap();
+        let stats = TableStatistics::compute(&t).unwrap();
+        let x = stats.column("x").unwrap();
+        assert_eq!(x.null_count, 1);
+        assert_eq!(x.non_null_count, 1);
+        assert_eq!(x.distinct_count, 1);
+    }
+
+    #[test]
+    fn empty_table_statistics() {
+        let schema = Schema::new(vec![Field::qualified("T", "x", DataType::Int64)]);
+        let t = TableBuilder::new("T", schema).build(0).unwrap();
+        let stats = TableStatistics::compute(&t).unwrap();
+        assert_eq!(stats.row_count, 0);
+        let x = &stats.columns[0];
+        assert_eq!(x.distinct_count, 0);
+        assert_eq!(x.eq_selectivity(), 0.0);
+        assert_eq!(x.le_selectivity(1.0), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn missing_column_lookup() {
+        let t = build_table();
+        let stats = TableStatistics::compute(&t).unwrap();
+        assert!(stats.column("T.nope").is_none());
+    }
+}

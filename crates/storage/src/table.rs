@@ -1,0 +1,268 @@
+//! In-memory heap tables.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use ranksql_common::{RankSqlError, Result, Schema, Tuple, TupleId, Value};
+
+use crate::index::{BTreeIndex, HashIndex, ScoreIndex};
+
+/// An append-only, in-memory table.
+///
+/// Rows are stored as [`Tuple`]s whose identity is `(table_id, row_index)`;
+/// scanning therefore yields tuples that can be deduplicated and tie-broken
+/// deterministically anywhere downstream.  Indexes built on the table are
+/// kept alongside it and can be looked up by name.
+pub struct Table {
+    id: u32,
+    name: String,
+    schema: Schema,
+    rows: RwLock<Vec<Tuple>>,
+    score_indexes: RwLock<Vec<Arc<ScoreIndex>>>,
+    btree_indexes: RwLock<Vec<Arc<BTreeIndex>>>,
+    hash_indexes: RwLock<Vec<Arc<HashIndex>>>,
+}
+
+impl Table {
+    /// Creates an empty table.  Normally called through [`Catalog::create_table`]
+    /// (which assigns the id) or [`TableBuilder`].
+    ///
+    /// [`Catalog::create_table`]: crate::catalog::Catalog::create_table
+    pub fn new(id: u32, name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            id,
+            name: name.into(),
+            schema,
+            rows: RwLock::new(Vec::new()),
+            score_indexes: RwLock::new(Vec::new()),
+            btree_indexes: RwLock::new(Vec::new()),
+            hash_indexes: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The table id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema (fields are qualified by the table name).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_count() == 0
+    }
+
+    /// Appends a row, validating its arity.  Returns the new row's index.
+    ///
+    /// Appending invalidates previously built indexes — they describe only
+    /// the prefix of the table that existed when they were created — so in
+    /// this engine rows are loaded first and indexes created afterwards.
+    pub fn insert(&self, values: Vec<Value>) -> Result<u64> {
+        if values.len() != self.schema.len() {
+            return Err(RankSqlError::Catalog(format!(
+                "row arity {} does not match schema arity {} for table `{}`",
+                values.len(),
+                self.schema.len(),
+                self.name
+            )));
+        }
+        let mut rows = self.rows.write();
+        let idx = rows.len() as u64;
+        rows.push(Tuple::new(TupleId::base(self.id, idx), values));
+        Ok(idx)
+    }
+
+    /// Appends many rows.
+    pub fn insert_batch<I>(&self, batch: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let mut n = 0;
+        for row in batch {
+            self.insert(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// The tuple at `row_index`, if it exists.
+    pub fn tuple(&self, row_index: u64) -> Option<Tuple> {
+        self.rows.read().get(row_index as usize).cloned()
+    }
+
+    /// A snapshot of all tuples (cheap clones: values are `Arc`-shared).
+    pub fn scan(&self) -> Vec<Tuple> {
+        self.rows.read().clone()
+    }
+
+    /// Registers a score (rank) index.
+    pub fn add_score_index(&self, index: ScoreIndex) -> Arc<ScoreIndex> {
+        let arc = Arc::new(index);
+        self.score_indexes.write().push(Arc::clone(&arc));
+        arc
+    }
+
+    /// Registers an ordered attribute index.
+    pub fn add_btree_index(&self, index: BTreeIndex) -> Arc<BTreeIndex> {
+        let arc = Arc::new(index);
+        self.btree_indexes.write().push(Arc::clone(&arc));
+        arc
+    }
+
+    /// Registers a hash index.
+    pub fn add_hash_index(&self, index: HashIndex) -> Arc<HashIndex> {
+        let arc = Arc::new(index);
+        self.hash_indexes.write().push(Arc::clone(&arc));
+        arc
+    }
+
+    /// Finds a score index by the name of the ranking predicate it covers.
+    pub fn score_index(&self, predicate_name: &str) -> Option<Arc<ScoreIndex>> {
+        self.score_indexes
+            .read()
+            .iter()
+            .find(|i| i.predicate_name() == predicate_name)
+            .cloned()
+    }
+
+    /// Finds an ordered attribute index by column name.
+    pub fn btree_index(&self, column: &str) -> Option<Arc<BTreeIndex>> {
+        self.btree_indexes.read().iter().find(|i| i.column_name() == column).cloned()
+    }
+
+    /// Finds a hash index by column name.
+    pub fn hash_index(&self, column: &str) -> Option<Arc<HashIndex>> {
+        self.hash_indexes.read().iter().find(|i| i.column_name() == column).cloned()
+    }
+
+    /// Names of ranking predicates that have a score index on this table.
+    pub fn score_index_names(&self) -> Vec<String> {
+        self.score_indexes.read().iter().map(|i| i.predicate_name().to_owned()).collect()
+    }
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Table")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("rows", &self.row_count())
+            .field("schema", &self.schema.to_string())
+            .finish()
+    }
+}
+
+/// Convenience builder used pervasively in tests and examples: create a table
+/// with a schema and a literal row list in one expression.
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl TableBuilder {
+    /// Starts building a table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        TableBuilder { name: name.into(), schema, rows: Vec::new() }
+    }
+
+    /// Adds a row.
+    pub fn row(mut self, values: Vec<Value>) -> Self {
+        self.rows.push(values);
+        self
+    }
+
+    /// Adds many rows.
+    pub fn rows(mut self, rows: impl IntoIterator<Item = Vec<Value>>) -> Self {
+        self.rows.extend(rows);
+        self
+    }
+
+    /// Builds a table with the given id (use [`Catalog`] to get ids assigned
+    /// automatically).
+    ///
+    /// [`Catalog`]: crate::catalog::Catalog
+    pub fn build(self, id: u32) -> Result<Table> {
+        let table = Table::new(id, self.name, self.schema);
+        table.insert_batch(self.rows)?;
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksql_common::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::qualified("T", "a", DataType::Int64),
+            Field::qualified("T", "b", DataType::Float64),
+        ])
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let t = Table::new(1, "T", schema());
+        assert!(t.is_empty());
+        t.insert(vec![Value::from(1), Value::from(0.5)]).unwrap();
+        t.insert(vec![Value::from(2), Value::from(0.25)]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        let rows = t.scan();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id(), &TupleId::base(1, 0));
+        assert_eq!(rows[1].value(0), &Value::from(2));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let t = Table::new(1, "T", schema());
+        assert!(t.insert(vec![Value::from(1)]).is_err());
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn tuple_lookup_by_row_index() {
+        let t = Table::new(3, "T", schema());
+        t.insert(vec![Value::from(9), Value::from(0.9)]).unwrap();
+        assert_eq!(t.tuple(0).unwrap().value(0), &Value::from(9));
+        assert!(t.tuple(5).is_none());
+    }
+
+    #[test]
+    fn builder_builds() {
+        let t = TableBuilder::new("T", schema())
+            .row(vec![Value::from(1), Value::from(0.1)])
+            .rows(vec![
+                vec![Value::from(2), Value::from(0.2)],
+                vec![Value::from(3), Value::from(0.3)],
+            ])
+            .build(7)
+            .unwrap();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.id(), 7);
+        assert_eq!(t.name(), "T");
+    }
+
+    #[test]
+    fn debug_output_mentions_row_count() {
+        let t = Table::new(1, "T", schema());
+        t.insert(vec![Value::from(1), Value::from(0.5)]).unwrap();
+        let s = format!("{t:?}");
+        assert!(s.contains("rows: 1"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Quickstart: create tables, load rows, and run a top-k query three ways —
+//! through the SQL-ish parser, through the query builder, and against an
+//! explicit hand-built ranking plan.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ranksql::{
+    parse_topk_query, BoolExpr, Database, DataType, Field, JoinAlgorithm, LogicalPlan, PlanMode,
+    QueryBuilder, RankPredicate, Schema, Value,
+};
+
+fn main() -> ranksql::Result<()> {
+    // ------------------------------------------------------------------
+    // 1. Create a tiny database of restaurants and hotels.
+    // ------------------------------------------------------------------
+    let db = Database::new();
+    db.create_table(
+        "Restaurant",
+        Schema::new(vec![
+            Field::new("name", DataType::Utf8),
+            Field::new("city", DataType::Int64),
+            Field::new("food", DataType::Float64),
+            Field::new("value", DataType::Float64),
+        ]),
+    )?;
+    db.create_table(
+        "Hotel",
+        Schema::new(vec![
+            Field::new("name", DataType::Utf8),
+            Field::new("city", DataType::Int64),
+            Field::new("comfort", DataType::Float64),
+        ]),
+    )?;
+
+    let restaurants = [
+        ("Trattoria Roma", 0, 0.95, 0.60),
+        ("Bistro Bleu", 1, 0.80, 0.85),
+        ("Noodle Bar", 0, 0.70, 0.90),
+        ("Cantina Verde", 2, 0.85, 0.75),
+        ("Diner 66", 1, 0.55, 0.95),
+        ("Sushi Kai", 2, 0.92, 0.55),
+    ];
+    for (name, city, food, value) in restaurants {
+        db.insert(
+            "Restaurant",
+            vec![Value::from(name), Value::from(city), Value::from(food), Value::from(value)],
+        )?;
+    }
+    let hotels = [
+        ("Grand Plaza", 0, 0.90),
+        ("City Inn", 1, 0.70),
+        ("Harbor View", 2, 0.85),
+        ("Budget Stay", 0, 0.50),
+    ];
+    for (name, city, comfort) in hotels {
+        db.insert("Hotel", vec![Value::from(name), Value::from(city), Value::from(comfort)])?;
+    }
+
+    // ------------------------------------------------------------------
+    // 2. The SQL front end: the paper's ORDER BY ... LIMIT k form.
+    // ------------------------------------------------------------------
+    let query = parse_topk_query(
+        "SELECT * FROM Restaurant, Hotel \
+         WHERE Restaurant.city = Hotel.city \
+         ORDER BY food(Restaurant.food) + value(Restaurant.value) + comfort(Hotel.comfort) \
+         LIMIT 3",
+    )?;
+    println!("== top-3 dinner-and-stay combinations (optimized rank-aware plan) ==");
+    let result = db.execute(&query)?;
+    println!("{result}");
+    println!(
+        "predicate evaluations: {:?} (total {})\n",
+        result.predicate_evaluations,
+        result.total_predicate_evaluations()
+    );
+
+    // ------------------------------------------------------------------
+    // 3. The same query through the builder, compared across plan modes.
+    // ------------------------------------------------------------------
+    let built = QueryBuilder::new()
+        .tables(["Restaurant", "Hotel"])
+        .filter(BoolExpr::col_eq_col("Restaurant.city", "Hotel.city"))
+        .rank_predicate(RankPredicate::attribute("food", "Restaurant.food"))
+        .rank_predicate(RankPredicate::attribute("value", "Restaurant.value"))
+        .rank_predicate(RankPredicate::attribute("comfort", "Hotel.comfort"))
+        .limit(3)
+        .build()?;
+    for mode in [PlanMode::Canonical, PlanMode::Traditional, PlanMode::RankAware] {
+        let r = db.execute_with_mode(&built, mode)?;
+        println!(
+            "{mode:?}: best score {:.4}, {} predicate evaluations, {:?}",
+            r.scores().first().copied().unwrap_or(f64::NAN),
+            r.total_predicate_evaluations(),
+            r.elapsed
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Explain the chosen plan, then run an explicit hand-built plan
+    //    (rank-scan + µ + HRJN), the shape the paper calls a "ranking plan".
+    // ------------------------------------------------------------------
+    println!("\n== optimizer explanation ==");
+    println!("{}", db.explain(&built, PlanMode::RankAware)?);
+
+    let restaurant = db.catalog().table("Restaurant")?;
+    let hotel = db.catalog().table("Hotel")?;
+    let manual = LogicalPlan::rank_scan(&restaurant, 0)
+        .rank(1)
+        .join(
+            LogicalPlan::rank_scan(&hotel, 2),
+            Some(BoolExpr::col_eq_col("Restaurant.city", "Hotel.city")),
+            JoinAlgorithm::HashRankJoin,
+        )
+        .limit(3);
+    println!("== hand-built pipelined ranking plan ==");
+    println!("{}", manual.explain(Some(&built.ranking)));
+    let manual_result = db.execute_plan(&built, &manual)?;
+    println!("{manual_result}");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Comparing the three rank-aware plan-search strategies (Section 5):
+//!
+//! * the **two-dimensional dynamic program** of Figure 8 (exhaustive),
+//! * the DP restricted by the **Figure 10 heuristics** (left-deep joins +
+//!   greedy rank-metric scheduling of µ),
+//! * the **Volcano/Cascades-style rule-based search**, in which the algebraic
+//!   laws of Figure 5 act as transformation rules and physical join / access
+//!   path choices act as implementation rules,
+//!
+//! against the ranking-blind traditional baseline.  For each strategy the
+//! example prints the chosen plan, its estimated cost, the number of plans
+//! the search considered, and the *actual* work done when the plan executes
+//! (ranking-predicate evaluations and tuples scanned).
+//!
+//! Run with: `cargo run --example rule_based_optimizer --release`
+
+use ranksql::executor::execute_query_plan;
+use ranksql::workload::{SyntheticConfig, SyntheticWorkload};
+use ranksql::{OptimizerConfig, OptimizerMode, RankOptimizer};
+
+fn main() -> ranksql::Result<()> {
+    // A scaled-down instance of the paper's synthetic workload (Section 6)
+    // with moderately expensive ranking predicates so the plan choice
+    // actually matters.
+    let config = SyntheticConfig {
+        table_size: 4_000,
+        join_selectivity: 0.0025,
+        predicate_cost: 20,
+        k: 10,
+        ..SyntheticConfig::default()
+    };
+    println!(
+        "workload: s = {} tuples per table, j = {}, c = {} unit costs, k = {}\n",
+        config.table_size, config.join_selectivity, config.predicate_cost, config.k
+    );
+    let workload = SyntheticWorkload::generate(config)?;
+    workload.build_indexes()?;
+
+    let modes = [
+        ("traditional (ranking-blind)", OptimizerMode::Traditional),
+        ("2-D DP, exhaustive (Fig. 8)", OptimizerMode::RankAwareExhaustive),
+        ("2-D DP + heuristics (Fig. 10)", OptimizerMode::RankAwareHeuristic),
+        ("rule-based (Volcano-style)", OptimizerMode::RankAwareRuleBased),
+    ];
+
+    for (label, mode) in modes {
+        let optimizer = RankOptimizer::new(OptimizerConfig {
+            mode,
+            sample_ratio: 0.02,
+            compare_with_traditional: false,
+            ..OptimizerConfig::default()
+        });
+        let chosen = optimizer.optimize(&workload.query, &workload.catalog)?;
+
+        // Execute the chosen plan and collect runtime metrics.  Counters are
+        // reset so each strategy reports only its own work.
+        workload.query.ranking.counters().reset();
+        let started = std::time::Instant::now();
+        let result = execute_query_plan(&workload.query, &chosen.plan, &workload.catalog)?;
+        let elapsed = started.elapsed();
+        let scanned: u64 = result
+            .metrics
+            .snapshot()
+            .iter()
+            .filter(|m| m.name().contains("Scan"))
+            .map(|m| m.tuples_out())
+            .sum();
+
+        println!("=== {label} ===");
+        println!(
+            "plans considered: {}   estimated cost: {:.0}",
+            chosen.stats.plans_considered,
+            chosen.cost.value()
+        );
+        println!("{}", chosen.plan.explain(Some(&workload.query.ranking)));
+        println!(
+            "execution: {} results in {:.1} ms, {} predicate evaluations, {} tuples scanned\n",
+            result.tuples.len(),
+            elapsed.as_secs_f64() * 1e3,
+            result.total_predicate_evaluations(),
+            scanned
+        );
+    }
+
+    println!(
+        "All four strategies return the same top-k (the algebra guarantees equivalence); the \
+         rank-aware searches find pipelined plans that evaluate far fewer expensive predicates \
+         than the traditional materialise-then-sort plan."
+    );
+    Ok(())
+}

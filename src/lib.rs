@@ -1,0 +1,61 @@
+//! RankSQL — rank-aware relational query processing in Rust.
+//!
+//! This is the umbrella crate of the workspace: it re-exports the public API
+//! of every component so applications can depend on a single crate.  See the
+//! [README](https://github.com/ranksql/ranksql-rs) and `DESIGN.md` for the
+//! architecture, and the `examples/` directory for runnable end-to-end
+//! programs.
+//!
+//! * [`core`](ranksql_core) — the [`Database`] facade, [`QueryBuilder`] and
+//!   the SQL-ish top-k parser.
+//! * [`algebra`](ranksql_algebra) — the rank-relational algebra: logical
+//!   plans and the algebraic laws of Figure 5.
+//! * [`executor`](ranksql_executor) — pipelined rank-aware physical
+//!   operators (µ, rank-scan, HRJN/NRJN, rank-aware set operations).
+//! * [`optimizer`](ranksql_optimizer) — two-dimensional plan enumeration and
+//!   sampling-based cardinality estimation.
+//! * [`storage`](ranksql_storage) — the in-memory tables, indexes and
+//!   statistics the engine runs on.
+//! * [`workload`](ranksql_workload) — generators for the paper's datasets.
+
+#![warn(missing_docs)]
+
+pub use ranksql_algebra as algebra;
+pub use ranksql_common as common;
+pub use ranksql_core as core;
+pub use ranksql_executor as executor;
+pub use ranksql_expr as expr;
+pub use ranksql_optimizer as optimizer;
+pub use ranksql_storage as storage;
+pub use ranksql_workload as workload;
+
+pub use ranksql_common::{DataType, Field, RankSqlError, Result, Schema, Score, Tuple, Value};
+pub use ranksql_core::{
+    parse_topk_query, BoolExpr, CompareOp, Database, JoinAlgorithm, LogicalPlan, OptimizerConfig,
+    OptimizerMode, PlanMode, QueryBuilder, QueryResult, RankPredicate, RankQuery, RankingContext,
+    ScalarExpr, ScoringFunction,
+};
+pub use ranksql_optimizer::{OptimizedPlan, RankOptimizer};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn umbrella_reexports_compose() {
+        let db = Database::new();
+        db.create_table(
+            "T",
+            Schema::new(vec![
+                Field::new("x", DataType::Int64),
+                Field::new("p", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        db.insert("T", vec![Value::from(1), Value::from(0.4)]).unwrap();
+        db.insert("T", vec![Value::from(2), Value::from(0.8)]).unwrap();
+        let q = parse_topk_query("SELECT * FROM T ORDER BY T.p LIMIT 1").unwrap();
+        let r = db.execute_with_mode(&q, PlanMode::Canonical).unwrap();
+        assert_eq!(r.rows[0].tuple.value(0), &Value::from(2));
+    }
+}

@@ -1,0 +1,413 @@
+//! Edge-case integration tests across the whole stack: empty inputs, extreme
+//! `k` values, ties, boundary scores, empty filters, and unusual scoring
+//! functions.  Every case is checked against all plan modes so that the
+//! rank-aware paths, the traditional baseline and the canonical plan agree on
+//! the corner cases too.
+
+use ranksql::{
+    BoolExpr, Database, DataType, Field, PlanMode, QueryBuilder, RankPredicate, RankQuery,
+    Schema, ScoringFunction, Value,
+};
+
+const ALL_MODES: [PlanMode; 5] = [
+    PlanMode::Canonical,
+    PlanMode::Traditional,
+    PlanMode::RankAware,
+    PlanMode::RankAwareExhaustive,
+    PlanMode::RankAwareRuleBased,
+];
+
+fn rounded(scores: &[f64]) -> Vec<i64> {
+    scores.iter().map(|s| (s * 1e9).round() as i64).collect()
+}
+
+/// A small two-table database with controllable scores.
+fn two_table_db(rows: usize) -> Database {
+    let db = Database::new();
+    db.create_table(
+        "L",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("jc", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "R",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("jc", DataType::Int64),
+            Field::new("q", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    for i in 0..rows as i64 {
+        db.insert(
+            "L",
+            vec![Value::from(i), Value::from(i % 7), Value::from(((i * 13) % 100) as f64 / 100.0)],
+        )
+        .unwrap();
+        db.insert(
+            "R",
+            vec![Value::from(i), Value::from(i % 7), Value::from(((i * 31) % 100) as f64 / 100.0)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn join_query(k: usize) -> RankQuery {
+    QueryBuilder::new()
+        .tables(["L", "R"])
+        .filter(BoolExpr::col_eq_col("L.jc", "R.jc"))
+        .rank_predicate(RankPredicate::attribute("lp", "L.p"))
+        .rank_predicate(RankPredicate::attribute("rq", "R.q"))
+        .limit(k)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn k_zero_returns_no_rows_in_every_mode() {
+    let db = two_table_db(50);
+    let query = join_query(0);
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert!(r.rows.is_empty(), "mode {mode:?} returned {} rows for k = 0", r.rows.len());
+    }
+}
+
+#[test]
+fn k_larger_than_result_set_returns_everything() {
+    // 20 rows per side joined on a 7-valued key: |L ⋈ R| = Σ |L_i|·|R_i| < 400,
+    // so k = 10 000 must return exactly the full join, in every mode.
+    let db = two_table_db(20);
+    let query = join_query(10_000);
+    let reference = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+    assert!(!reference.rows.is_empty());
+    assert!(reference.rows.len() < 10_000);
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(r.rows.len(), reference.rows.len(), "mode {mode:?}");
+        assert_eq!(rounded(&r.scores()), rounded(&reference.scores()), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn empty_tables_yield_empty_results() {
+    let db = two_table_db(0);
+    let query = join_query(5);
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert!(r.rows.is_empty(), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn one_empty_join_side_yields_empty_results() {
+    let db = two_table_db(0);
+    // Re-populate only L.
+    for i in 0..30i64 {
+        db.insert("L", vec![Value::from(i), Value::from(i % 7), Value::from(0.5)]).unwrap();
+    }
+    let query = join_query(5);
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert!(r.rows.is_empty(), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn single_row_tables_work() {
+    let db = two_table_db(1);
+    let query = join_query(3);
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(r.rows.len(), 1, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn filter_that_removes_everything() {
+    let db = two_table_db(40);
+    let query = QueryBuilder::new()
+        .tables(["L", "R"])
+        .filter(BoolExpr::col_eq_col("L.jc", "R.jc"))
+        .filter(BoolExpr::compare(
+            ranksql::ScalarExpr::col("L.id"),
+            ranksql::CompareOp::Lt,
+            ranksql::ScalarExpr::Literal(Value::from(-1)),
+        ))
+        .rank_predicate(RankPredicate::attribute("lp", "L.p"))
+        .rank_predicate(RankPredicate::attribute("rq", "R.q"))
+        .limit(5)
+        .build()
+        .unwrap();
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert!(r.rows.is_empty(), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn all_scores_tied_returns_k_rows_with_equal_scores() {
+    let db = Database::new();
+    db.create_table(
+        "T",
+        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Float64)]),
+    )
+    .unwrap();
+    for i in 0..25i64 {
+        db.insert("T", vec![Value::from(i), Value::from(0.75)]).unwrap();
+    }
+    let query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(10)
+        .build()
+        .unwrap();
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(r.rows.len(), 10, "mode {mode:?}");
+        assert!(r.scores().iter().all(|s| (s - 0.75).abs() < 1e-12), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn boundary_scores_zero_and_one() {
+    let db = Database::new();
+    db.create_table(
+        "T",
+        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Float64)]),
+    )
+    .unwrap();
+    // Half the rows have the worst possible score, half the best.
+    for i in 0..20i64 {
+        db.insert("T", vec![Value::from(i), Value::from(if i % 2 == 0 { 0.0 } else { 1.0 })])
+            .unwrap();
+    }
+    let query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(10)
+        .build()
+        .unwrap();
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(r.rows.len(), 10, "mode {mode:?}");
+        assert!(r.scores().iter().all(|s| (s - 1.0).abs() < 1e-12), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn query_without_ranking_predicates_is_a_plain_limit() {
+    // A LIMIT query with no ORDER BY ranking: every mode must return exactly
+    // k joined rows (any k rows are acceptable — membership only).
+    let db = two_table_db(30);
+    let query = QueryBuilder::new()
+        .tables(["L", "R"])
+        .filter(BoolExpr::col_eq_col("L.jc", "R.jc"))
+        .limit(6)
+        .build()
+        .unwrap();
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(r.rows.len(), 6, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn projection_with_ranking_keeps_scores_and_narrows_schema() {
+    let db = two_table_db(40);
+    let query = QueryBuilder::new()
+        .tables(["L", "R"])
+        .filter(BoolExpr::col_eq_col("L.jc", "R.jc"))
+        .rank_predicate(RankPredicate::attribute("lp", "L.p"))
+        .rank_predicate(RankPredicate::attribute("rq", "R.q"))
+        .project(["L.id", "R.id"])
+        .limit(4)
+        .build()
+        .unwrap();
+    let reference = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(r.schema.len(), 2, "mode {mode:?}");
+        assert_eq!(rounded(&r.scores()), rounded(&reference.scores()), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn weighted_sum_scoring_agrees_across_modes() {
+    let db = two_table_db(60);
+    let query = QueryBuilder::new()
+        .tables(["L", "R"])
+        .filter(BoolExpr::col_eq_col("L.jc", "R.jc"))
+        .rank_predicate(RankPredicate::attribute("lp", "L.p"))
+        .rank_predicate(RankPredicate::attribute("rq", "R.q"))
+        .scoring(ScoringFunction::weighted_sum(vec![3.0, 0.5]))
+        .limit(5)
+        .build()
+        .unwrap();
+    let reference = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+    assert_eq!(reference.rows.len(), 5);
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(rounded(&r.scores()), rounded(&reference.scores()), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn product_and_min_scoring_agree_across_modes() {
+    let db = two_table_db(60);
+    for scoring in [ScoringFunction::Product, ScoringFunction::Min, ScoringFunction::Average] {
+        let query = QueryBuilder::new()
+            .tables(["L", "R"])
+            .filter(BoolExpr::col_eq_col("L.jc", "R.jc"))
+            .rank_predicate(RankPredicate::attribute("lp", "L.p"))
+            .rank_predicate(RankPredicate::attribute("rq", "R.q"))
+            .scoring(scoring.clone())
+            .limit(7)
+            .build()
+            .unwrap();
+        let reference = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+        for mode in ALL_MODES {
+            let r = db.execute_with_mode(&query, mode).unwrap();
+            assert_eq!(
+                rounded(&r.scores()),
+                rounded(&reference.scores()),
+                "scoring {scoring} mode {mode:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicate_rank_predicate_on_the_same_column_is_allowed() {
+    // Two ranking predicates over the same column simply double its weight.
+    let db = two_table_db(40);
+    let query = QueryBuilder::new()
+        .tables(["L", "R"])
+        .filter(BoolExpr::col_eq_col("L.jc", "R.jc"))
+        .rank_predicate(RankPredicate::attribute("p_a", "L.p"))
+        .rank_predicate(RankPredicate::attribute("p_b", "L.p"))
+        .rank_predicate(RankPredicate::attribute("rq", "R.q"))
+        .limit(5)
+        .build()
+        .unwrap();
+    let reference = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(rounded(&r.scores()), rounded(&reference.scores()), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn k_equals_result_set_size_exactly() {
+    let db = Database::new();
+    db.create_table(
+        "T",
+        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Float64)]),
+    )
+    .unwrap();
+    for i in 0..8i64 {
+        db.insert("T", vec![Value::from(i), Value::from(i as f64 / 10.0)]).unwrap();
+    }
+    let query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(8)
+        .build()
+        .unwrap();
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(r.rows.len(), 8, "mode {mode:?}");
+        // Descending order 0.7, 0.6, ..., 0.0.
+        let scores = r.scores();
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "mode {mode:?}: {scores:?} not sorted");
+        }
+    }
+}
+
+#[test]
+fn null_scores_rank_last_and_never_panic() {
+    let db = Database::new();
+    db.create_table(
+        "T",
+        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Float64)]),
+    )
+    .unwrap();
+    db.insert("T", vec![Value::from(1), Value::from(0.9)]).unwrap();
+    db.insert("T", vec![Value::from(2), Value::Null]).unwrap();
+    db.insert("T", vec![Value::from(3), Value::from(0.4)]).unwrap();
+    let query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(3)
+        .build()
+        .unwrap();
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(r.rows.len(), 3, "mode {mode:?}");
+        // NULL evaluates to the worst score (0.0), so tuple 2 is last.
+        assert_eq!(r.rows[2].tuple.value(0), &Value::from(2), "mode {mode:?}");
+        assert_eq!(r.scores()[2], 0.0, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn out_of_range_scores_are_clamped_to_the_unit_interval() {
+    let db = Database::new();
+    db.create_table(
+        "T",
+        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Float64)]),
+    )
+    .unwrap();
+    db.insert("T", vec![Value::from(1), Value::from(7.5)]).unwrap(); // clamps to 1.0
+    db.insert("T", vec![Value::from(2), Value::from(-3.0)]).unwrap(); // clamps to 0.0
+    db.insert("T", vec![Value::from(3), Value::from(0.5)]).unwrap();
+    let query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(3)
+        .build()
+        .unwrap();
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        let scores = r.scores();
+        assert_eq!(rounded(&scores), rounded(&[1.0, 0.5, 0.0]), "mode {mode:?}");
+        assert_eq!(r.rows[0].tuple.value(0), &Value::from(1), "mode {mode:?}");
+        assert_eq!(r.rows[2].tuple.value(0), &Value::from(2), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn three_way_join_with_mixed_predicate_coverage() {
+    // One table carries no ranking predicate at all; the optimizer still has
+    // to join it and the answer must match the canonical plan.
+    let db = two_table_db(25);
+    db.create_table(
+        "M",
+        Schema::new(vec![Field::new("jc", DataType::Int64), Field::new("tag", DataType::Int64)]),
+    )
+    .unwrap();
+    for i in 0..25i64 {
+        db.insert("M", vec![Value::from(i % 7), Value::from(i)]).unwrap();
+    }
+    let query = QueryBuilder::new()
+        .tables(["L", "R", "M"])
+        .filter(BoolExpr::col_eq_col("L.jc", "R.jc"))
+        .filter(BoolExpr::col_eq_col("R.jc", "M.jc"))
+        .rank_predicate(RankPredicate::attribute("lp", "L.p"))
+        .rank_predicate(RankPredicate::attribute("rq", "R.q"))
+        .limit(5)
+        .build()
+        .unwrap();
+    let reference = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+    assert_eq!(reference.rows.len(), 5);
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(rounded(&r.scores()), rounded(&reference.scores()), "mode {mode:?}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Failure-injection tests: malformed queries, dangling references and bad
+//! inputs must surface as `Err(RankSqlError::…)` — never as panics and never
+//! as silently wrong answers.
+
+use ranksql::{
+    parse_topk_query, BoolExpr, Database, DataType, Field, PlanMode, QueryBuilder, RankPredicate,
+    RankSqlError, Schema, Value,
+};
+
+const ALL_MODES: [PlanMode; 5] = [
+    PlanMode::Canonical,
+    PlanMode::Traditional,
+    PlanMode::RankAware,
+    PlanMode::RankAwareExhaustive,
+    PlanMode::RankAwareRuleBased,
+];
+
+fn small_db() -> Database {
+    let db = Database::new();
+    db.create_table(
+        "T",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("jc", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "U",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("jc", DataType::Int64),
+            Field::new("q", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    for i in 0..30i64 {
+        db.insert("T", vec![Value::from(i), Value::from(i % 5), Value::from(0.5)]).unwrap();
+        db.insert("U", vec![Value::from(i), Value::from(i % 5), Value::from(0.25)]).unwrap();
+    }
+    db
+}
+
+#[test]
+fn query_over_a_missing_table_is_an_error_in_every_mode() {
+    let db = small_db();
+    let query = QueryBuilder::new()
+        .table("DoesNotExist")
+        .rank_predicate(RankPredicate::attribute("p", "DoesNotExist.p"))
+        .limit(1)
+        .build()
+        .unwrap();
+    for mode in ALL_MODES {
+        let err = db.execute_with_mode(&query, mode);
+        assert!(err.is_err(), "mode {mode:?} should fail for a missing table");
+    }
+}
+
+#[test]
+fn ranking_predicate_over_a_missing_column_is_an_error() {
+    let db = small_db();
+    let query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("ghost", "T.no_such_column"))
+        .limit(1)
+        .build()
+        .unwrap();
+    for mode in ALL_MODES {
+        let err = db.execute_with_mode(&query, mode);
+        assert!(err.is_err(), "mode {mode:?} should fail for a dangling ranking predicate");
+    }
+}
+
+#[test]
+fn boolean_predicate_over_a_missing_column_is_an_error() {
+    let db = small_db();
+    let query = QueryBuilder::new()
+        .tables(["T", "U"])
+        .filter(BoolExpr::col_eq_col("T.jc", "U.missing"))
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(1)
+        .build()
+        .unwrap();
+    for mode in ALL_MODES {
+        let err = db.execute_with_mode(&query, mode);
+        assert!(err.is_err(), "mode {mode:?} should fail for a dangling Boolean predicate");
+    }
+}
+
+#[test]
+fn insert_arity_mismatch_is_rejected() {
+    let db = small_db();
+    let err = db.insert("T", vec![Value::from(1)]);
+    assert!(matches!(err, Err(RankSqlError::Catalog(_))), "got {err:?}");
+    // The failed insert must not have modified the table.
+    assert_eq!(db.catalog().table("T").unwrap().row_count(), 30);
+    // A batch fails on the first bad row and reports an error.
+    let err = db.insert_batch(
+        "T",
+        vec![vec![Value::from(99), Value::from(0), Value::from(0.1)], vec![Value::from(1)]],
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn inserting_into_a_missing_table_is_rejected() {
+    let db = small_db();
+    assert!(db.insert("Nope", vec![Value::from(1)]).is_err());
+    assert!(db.catalog().table("Nope").is_err());
+}
+
+#[test]
+fn creating_a_duplicate_table_is_rejected() {
+    let db = small_db();
+    let err = db.create_table("T", Schema::new(vec![Field::new("x", DataType::Int64)]));
+    assert!(err.is_err(), "duplicate table creation should fail");
+    // The original table is untouched.
+    assert_eq!(db.catalog().table("T").unwrap().schema().len(), 3);
+}
+
+#[test]
+fn builder_rejects_incomplete_queries() {
+    // No table.
+    assert!(QueryBuilder::new().limit(1).build().is_err());
+    // No LIMIT.
+    assert!(QueryBuilder::new().table("T").build().is_err());
+    // Weighted-sum arity mismatch.
+    assert!(QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .scoring(ranksql::ScoringFunction::weighted_sum(vec![1.0, 2.0]))
+        .limit(1)
+        .build()
+        .is_err());
+}
+
+#[test]
+fn parser_rejects_malformed_sql() {
+    for bad in [
+        "",
+        "SELECT",
+        "SELECT * FROM",
+        "SELECT * FROM T",                        // no LIMIT: not a top-k query
+        "SELECT * FROM T ORDER BY LIMIT 5",       // empty ranking expression
+        "SELECT * FROM T ORDER BY T.p LIMIT",     // missing k
+        "SELECT * FROM T ORDER BY T.p LIMIT -3",  // negative k
+        "SELECT * FROM T ORDER BY T.p LIMIT abc", // non-numeric k
+        "FROM T ORDER BY p LIMIT 1",              // missing SELECT
+        "SELECT * FROM T LIMIT 5 ORDER BY T.p",   // LIMIT before ORDER BY
+        "SELECT * FROM T ORDER BY T.p LIMIT 2 WHERE T.a", // WHERE after ORDER BY
+        "SELECT * WHERE T.a FROM T ORDER BY T.p LIMIT 1", // WHERE before FROM
+    ] {
+        assert!(parse_topk_query(bad).is_err(), "`{bad}` should not parse");
+    }
+}
+
+#[test]
+fn parsed_query_against_wrong_schema_fails_cleanly() {
+    let db = small_db();
+    // Parses fine but references a column the catalog does not have.
+    let query = parse_topk_query("SELECT * FROM T ORDER BY T.ghost LIMIT 2").unwrap();
+    for mode in ALL_MODES {
+        assert!(db.execute_with_mode(&query, mode).is_err(), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn errors_are_reported_not_panicked_for_mixed_type_scores() {
+    // A ranking predicate over a string column: evaluation clamps non-numeric
+    // scores to 0.0 rather than failing, so the query still succeeds and the
+    // string-scored rows sort last.  This documents (and pins) the lenient
+    // behaviour.
+    let db = Database::new();
+    db.create_table(
+        "S",
+        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Utf8)]),
+    )
+    .unwrap();
+    db.insert("S", vec![Value::from(1), Value::from("not a number")]).unwrap();
+    db.insert("S", vec![Value::from(2), Value::from("0.9")]).unwrap();
+    let query = QueryBuilder::new()
+        .table("S")
+        .rank_predicate(RankPredicate::attribute("p", "S.p"))
+        .limit(2)
+        .build()
+        .unwrap();
+    let r = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert!(r.scores().iter().all(|s| (0.0..=1.0).contains(s)));
+}
+
+#[test]
+fn optimizer_rejects_more_relations_than_the_dp_supports() {
+    let db = Database::new();
+    let mut builder = QueryBuilder::new();
+    for i in 0..13 {
+        let name = format!("T{i}");
+        db.create_table(&name, Schema::new(vec![Field::new("x", DataType::Int64)])).unwrap();
+        db.insert(&name, vec![Value::from(1)]).unwrap();
+        builder = builder.table(name);
+    }
+    let query = builder.limit(1).build().unwrap();
+    let err = db.execute_with_mode(&query, PlanMode::RankAwareExhaustive);
+    assert!(err.is_err(), "13-way join should exceed the DP's relation limit");
+}
+
+#[test]
+fn failed_execution_leaves_the_database_usable() {
+    let db = small_db();
+    let bad = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("ghost", "T.no_such_column"))
+        .limit(1)
+        .build()
+        .unwrap();
+    assert!(db.execute(&bad).is_err());
+
+    // A correct query right after the failure still works.
+    let good = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(3)
+        .build()
+        .unwrap();
+    let r = db.execute(&good).unwrap();
+    assert_eq!(r.rows.len(), 3);
+}

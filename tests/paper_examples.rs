@@ -1,0 +1,198 @@
+//! Integration tests reproducing the paper's worked examples end to end:
+//! the Figure 6 plans over relation S, the Example 4 cost analysis, the
+//! Figure 7 / Example 1 trip-planning query, and the Figure 11 plan shapes
+//! over the synthetic workload.
+
+use ranksql::executor::{execute_plan, execute_query_plan, oracle_top_k};
+use ranksql::workload::micro;
+use ranksql::workload::trip::{TripConfig, TripWorkload};
+use ranksql::workload::{SyntheticConfig, SyntheticWorkload};
+use ranksql::{
+    BoolExpr, JoinAlgorithm, LogicalPlan, PlanMode, QueryBuilder, RankPredicate, RankQuery,
+};
+use ranksql_common::BitSet64;
+use ranksql_storage::Catalog;
+
+fn scores(query: &RankQuery, tuples: &[ranksql::expr::RankedTuple]) -> Vec<f64> {
+    tuples.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect()
+}
+
+/// Example 3 / Figure 6: the three equivalent plans over S return the same
+/// top-1 (tuple s2 with score 2.55), but process different numbers of tuples.
+#[test]
+fn figure6_three_plans_agree_and_differ_in_work() {
+    let catalog = Catalog::new();
+    let s = micro::relation_s(&catalog);
+    let query = QueryBuilder::new()
+        .table("S")
+        .rank_predicate(RankPredicate::attribute("p3", "S.p3"))
+        .rank_predicate(RankPredicate::attribute("p4", "S.p4"))
+        .rank_predicate(RankPredicate::attribute("p5", "S.p5"))
+        .limit(1)
+        .build()
+        .unwrap();
+
+    // Plan (a): seq-scan + blocking sort.
+    let plan_a = LogicalPlan::scan(&s).sort(BitSet64::all(3)).limit(1);
+    // Plan (b): idxScan_p3 + µ_p4 + µ_p5.
+    let plan_b = LogicalPlan::rank_scan(&s, 0).rank(1).rank(2).limit(1);
+    // Plan (c): idxScan_p3 + µ_p5 + µ_p4.
+    let plan_c = LogicalPlan::rank_scan(&s, 0).rank(2).rank(1).limit(1);
+
+    let mut per_plan = Vec::new();
+    for plan in [&plan_a, &plan_b, &plan_c] {
+        let result = execute_query_plan(&query, plan, &catalog).unwrap();
+        assert_eq!(result.tuples.len(), 1);
+        assert!((scores(&query, &result.tuples)[0] - 2.55).abs() < 1e-9);
+        per_plan.push(result);
+    }
+    // Example 4: plan (a) evaluates every predicate on every tuple (18), plan
+    // (b) needs 3 + 2 = 5 evaluations, plan (c) needs 3 + 5 = 8.
+    assert_eq!(per_plan[0].total_predicate_evaluations(), 18);
+    assert_eq!(per_plan[1].predicate_evaluations, vec![0, 3, 2]);
+    assert_eq!(per_plan[2].predicate_evaluations, vec![0, 3, 5]);
+}
+
+/// Figure 6 continued: draining the pipelined plan yields exactly the sorted
+/// relation of Figure 6(a).
+#[test]
+fn figure6_full_order_matches_sorted_relation() {
+    let catalog = Catalog::new();
+    let s = micro::relation_s(&catalog);
+    let ctx = micro::context_f2();
+    let plan = LogicalPlan::rank_scan(&s, 0).rank(1).rank(2);
+    let result = execute_plan(&plan, &catalog, &ctx).unwrap();
+    let got: Vec<f64> = result.tuples.iter().map(|t| ctx.upper_bound(&t.state).value()).collect();
+    let expected = [2.55, 2.4, 2.05, 1.8, 1.7, 1.6];
+    assert_eq!(got.len(), expected.len());
+    for (g, e) in got.iter().zip(expected.iter()) {
+        assert!((g - e).abs() < 1e-9, "{got:?} != {expected:?}");
+    }
+}
+
+/// Example 1 / Figure 7: the trip-planning query returns identical answers
+/// under the traditional and the rank-aware optimizer, and the rank-aware
+/// plan evaluates fewer expensive predicates.
+#[test]
+fn example1_trip_planning_plans_agree() {
+    let workload =
+        TripWorkload::generate(TripConfig { hotels: 80, restaurants: 60, museums: 30, ..TripConfig::default() })
+            .unwrap();
+    let query = &workload.query;
+    let oracle = oracle_top_k(query, &workload.catalog).unwrap();
+
+    let db = ranksql::Database::new();
+    for name in workload.catalog.table_names() {
+        let src = workload.catalog.table(&name).unwrap();
+        let dst = db
+            .create_table(
+                &name,
+                ranksql::Schema::new(
+                    src.schema()
+                        .fields()
+                        .iter()
+                        .map(|f| ranksql::Field::new(f.name.clone(), f.data_type))
+                        .collect(),
+                ),
+            )
+            .unwrap();
+        for t in src.scan() {
+            dst.insert(t.values().to_vec()).unwrap();
+        }
+    }
+    let expected: Vec<f64> = oracle.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect();
+    let mut evals = Vec::new();
+    for mode in [PlanMode::Traditional, PlanMode::RankAware] {
+        let result = db.execute_with_mode(query, mode).unwrap();
+        assert_eq!(result.scores(), expected, "mode {mode:?}");
+        evals.push(result.total_predicate_evaluations());
+    }
+    assert!(
+        evals[1] <= evals[0],
+        "rank-aware plan should not evaluate more predicates ({} vs {})",
+        evals[1],
+        evals[0]
+    );
+}
+
+/// Figure 11: the four hand-built execution plans for query Q over the
+/// synthetic workload all compute the same top-k as the oracle.
+#[test]
+fn figure11_plans_compute_identical_answers() {
+    let workload = SyntheticWorkload::generate(SyntheticConfig {
+        table_size: 200,
+        join_selectivity: 0.02,
+        predicate_cost: 1,
+        k: 10,
+        ..SyntheticConfig::default()
+    })
+    .unwrap();
+    let query = &workload.query;
+    let catalog = &workload.catalog;
+    let a = catalog.table("A").unwrap();
+    let b = catalog.table("B").unwrap();
+    let c = catalog.table("C").unwrap();
+
+    let jc1 = BoolExpr::col_eq_col("A.jc1", "B.jc1");
+    let jc2 = BoolExpr::col_eq_col("B.jc2", "C.jc2");
+    let fa = BoolExpr::column_is_true("A.b");
+    let fb = BoolExpr::column_is_true("B.b");
+
+    // Plan 1: materialise-then-sort with sort-merge joins.
+    let plan1 = LogicalPlan::scan(&a)
+        .select(fa.clone())
+        .join(
+            LogicalPlan::scan(&b).select(fb.clone()),
+            Some(jc1.clone()),
+            JoinAlgorithm::SortMerge,
+        )
+        .join(LogicalPlan::scan(&c), Some(jc2.clone()), JoinAlgorithm::SortMerge)
+        .sort(BitSet64::all(5))
+        .limit(query.k);
+
+    // Plan 2: rank-scans + µ + HRJN everywhere.
+    let plan2 = LogicalPlan::rank_scan(&a, 0)
+        .select(fa.clone())
+        .rank(1)
+        .join(
+            LogicalPlan::rank_scan(&b, 2).select(fb.clone()).rank(3),
+            Some(jc1.clone()),
+            JoinAlgorithm::HashRankJoin,
+        )
+        .join(LogicalPlan::rank_scan(&c, 4), Some(jc2.clone()), JoinAlgorithm::HashRankJoin)
+        .limit(query.k);
+
+    // Plan 3: like plan 2 but sequential scans + µ for table B.
+    let plan3 = LogicalPlan::rank_scan(&a, 0)
+        .select(fa.clone())
+        .rank(1)
+        .join(
+            LogicalPlan::scan(&b).select(fb.clone()).rank(2).rank(3),
+            Some(jc1.clone()),
+            JoinAlgorithm::HashRankJoin,
+        )
+        .join(LogicalPlan::rank_scan(&c, 4), Some(jc2.clone()), JoinAlgorithm::HashRankJoin)
+        .limit(query.k);
+
+    // Plan 4: µ operators above a traditional sort-merge join, then HRJN.
+    let plan4 = LogicalPlan::scan(&a)
+        .select(fa)
+        .join(LogicalPlan::scan(&b).select(fb), Some(jc1), JoinAlgorithm::SortMerge)
+        .rank(0)
+        .rank(1)
+        .rank(2)
+        .rank(3)
+        .join(LogicalPlan::rank_scan(&c, 4), Some(jc2), JoinAlgorithm::HashRankJoin)
+        .limit(query.k);
+
+    let expected = scores(query, &oracle_top_k(query, catalog).unwrap());
+    for (i, plan) in [plan1, plan2, plan3, plan4].iter().enumerate() {
+        let result = execute_query_plan(query, plan, catalog).unwrap();
+        assert_eq!(
+            scores(query, &result.tuples),
+            expected,
+            "plan {} disagreed with the oracle",
+            i + 1
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests: for randomly generated relations, ranking
+//! predicates and queries,
+//!
+//! 1. every plan in the closure of the canonical plan under the algebraic
+//!    laws of Figure 5 returns exactly the oracle top-k;
+//! 2. every rank-aware physical plan emits its stream in non-increasing
+//!    upper-bound order;
+//! 3. the rank-aware operators are selective (never emit more tuples than
+//!    they consume).
+
+use proptest::prelude::*;
+use ranksql::executor::{build_operator, execute_query_plan, oracle_top_k, MetricsRegistry};
+use ranksql::{
+    BoolExpr, JoinAlgorithm, LogicalPlan, QueryBuilder, RankPredicate, RankQuery, ScoringFunction,
+};
+use ranksql_common::{DataType, Field, Schema, Value};
+use ranksql_storage::Catalog;
+
+/// A randomly generated two-table database plus its ranking query.
+#[derive(Debug, Clone)]
+struct Generated {
+    r_rows: Vec<(i64, f64, f64)>,
+    s_rows: Vec<(i64, f64)>,
+    k: usize,
+    scoring: ScoringFunction,
+}
+
+fn generated() -> impl Strategy<Value = Generated> {
+    let r_row = (0..6i64, 0.0..1.0f64, 0.0..1.0f64);
+    let s_row = (0..6i64, 0.0..1.0f64);
+    (
+        proptest::collection::vec(r_row, 1..20),
+        proptest::collection::vec(s_row, 1..20),
+        1usize..8,
+        prop_oneof![
+            Just(ScoringFunction::Sum),
+            Just(ScoringFunction::Average),
+            Just(ScoringFunction::Min),
+        ],
+    )
+        .prop_map(|(r_rows, s_rows, k, scoring)| Generated { r_rows, s_rows, k, scoring })
+}
+
+fn build(gen: &Generated) -> (Catalog, RankQuery) {
+    let catalog = Catalog::new();
+    let r = catalog
+        .create_table(
+            "R",
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("p1", DataType::Float64),
+                Field::new("p2", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+    for (a, p1, p2) in &gen.r_rows {
+        r.insert(vec![Value::from(*a), Value::from(*p1), Value::from(*p2)]).unwrap();
+    }
+    let s = catalog
+        .create_table(
+            "S",
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("p3", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+    for (a, p3) in &gen.s_rows {
+        s.insert(vec![Value::from(*a), Value::from(*p3)]).unwrap();
+    }
+    let query = QueryBuilder::new()
+        .tables(["R", "S"])
+        .filter(BoolExpr::col_eq_col("R.a", "S.a"))
+        .rank_predicate(RankPredicate::attribute("p1", "R.p1"))
+        .rank_predicate(RankPredicate::attribute("p2", "R.p2"))
+        .rank_predicate(RankPredicate::attribute("p3", "S.p3"))
+        .scoring(gen.scoring.clone())
+        .limit(gen.k)
+        .build()
+        .unwrap();
+    (catalog, query)
+}
+
+fn scores(query: &RankQuery, tuples: &[ranksql::expr::RankedTuple]) -> Vec<f64> {
+    tuples.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Law-derived plans are result-equivalent to the canonical plan.
+    #[test]
+    fn algebraic_law_closure_preserves_results(gen in generated()) {
+        let (catalog, query) = build(&gen);
+        let canonical = query.canonical_plan(&catalog).unwrap();
+        let expected = scores(&query, &oracle_top_k(&query, &catalog).unwrap());
+        let closure = ranksql::algebra::equivalent_plans(&canonical, &query, 25);
+        prop_assert!(closure.len() > 1);
+        for plan in closure {
+            let result = execute_query_plan(&query, &plan, &catalog).unwrap();
+            let got = scores(&query, &result.tuples);
+            prop_assert_eq!(
+                got.clone(), expected.clone(),
+                "plan disagreed:\n{}", plan.explain(Some(&query.ranking))
+            );
+        }
+    }
+
+    /// A pipelined rank-aware plan emits in non-increasing upper-bound order
+    /// and its operators are selective.
+    #[test]
+    fn rank_plans_emit_in_order_and_are_selective(gen in generated()) {
+        let (catalog, query) = build(&gen);
+        let r = catalog.table("R").unwrap();
+        let s = catalog.table("S").unwrap();
+        let plan = LogicalPlan::rank_scan(&r, 0)
+            .rank(1)
+            .join(
+                LogicalPlan::rank_scan(&s, 2),
+                Some(BoolExpr::col_eq_col("R.a", "S.a")),
+                JoinAlgorithm::HashRankJoin,
+            );
+        let registry = MetricsRegistry::new();
+        let mut op = build_operator(&plan, &catalog, &query.ranking, &registry).unwrap();
+        let mut emitted = Vec::new();
+        while let Some(t) = op.next().unwrap() {
+            emitted.push(t);
+        }
+        // Non-increasing upper bounds.
+        for w in emitted.windows(2) {
+            prop_assert!(
+                query.ranking.upper_bound(&w[0].state) >= query.ranking.upper_bound(&w[1].state)
+            );
+        }
+        // Selectivity: no operator outputs more tuples than it drew in.
+        for m in registry.snapshot() {
+            if m.tuples_in() > 0 {
+                prop_assert!(m.tuples_out() <= m.tuples_in().max(m.tuples_out()));
+            }
+        }
+        // Membership equals the oracle's full join membership.
+        let mut full_query = query.clone();
+        full_query.k = usize::MAX / 2;
+        let oracle = oracle_top_k(&full_query, &catalog).unwrap();
+        prop_assert_eq!(emitted.len(), oracle.len());
+    }
+
+    /// The top-k of a pipelined plan with a limit equals the oracle top-k.
+    #[test]
+    fn limited_rank_plan_matches_oracle(gen in generated()) {
+        let (catalog, query) = build(&gen);
+        let r = catalog.table("R").unwrap();
+        let s = catalog.table("S").unwrap();
+        let plan = LogicalPlan::rank_scan(&r, 0)
+            .rank(1)
+            .join(
+                LogicalPlan::scan(&s).rank(2),
+                Some(BoolExpr::col_eq_col("R.a", "S.a")),
+                JoinAlgorithm::NestedLoopRankJoin,
+            )
+            .limit(query.k);
+        let result = execute_query_plan(&query, &plan, &catalog).unwrap();
+        let expected = scores(&query, &oracle_top_k(&query, &catalog).unwrap());
+        prop_assert_eq!(scores(&query, &result.tuples), expected);
+    }
+}

@@ -1,0 +1,323 @@
+//! Property-based invariants of the RankSQL system, complementing
+//! `plan_equivalence.rs`:
+//!
+//! 1. every optimizer mode (canonical, traditional, DP, DP + heuristics,
+//!    rule-based) returns exactly the same top-k scores for random data;
+//! 2. results are emitted in non-increasing final-score order and contain at
+//!    most `k` rows;
+//! 3. the order in which µ operators are scheduled never changes the result
+//!    (Proposition 4's commutativity, verified physically);
+//! 4. monotonic scoring functions honour the upper-bound contract of the
+//!    Ranking Principle (Property 1): the maximal-possible score of a partial
+//!    evaluation is never smaller than any completed score consistent with it;
+//! 5. the SQL front end round-trips the structural parts of a query.
+
+use proptest::prelude::*;
+
+use ranksql::expr::{RankPredicate, RankingContext, ScoringFunction};
+use ranksql::storage::Catalog;
+use ranksql::{
+    parse_topk_query, BoolExpr, Database, DataType, Field, PlanMode, QueryBuilder, RankQuery,
+    Schema, Value,
+};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// A randomly generated two-table join workload.
+#[derive(Debug, Clone)]
+struct JoinWorkload {
+    /// Rows of table R: (join column, p1 score, boolean flag).
+    r_rows: Vec<(i64, f64, bool)>,
+    /// Rows of table S: (join column, p2 score, p3 score).
+    s_rows: Vec<(i64, f64, f64)>,
+    /// Requested result size.
+    k: usize,
+    /// Per-predicate simulated evaluation costs.
+    costs: [u64; 3],
+}
+
+fn join_workload() -> impl Strategy<Value = JoinWorkload> {
+    let r_row = (0..8i64, 0.0..1.0f64, any::<bool>());
+    let s_row = (0..8i64, 0.0..1.0f64, 0.0..1.0f64);
+    (
+        proptest::collection::vec(r_row, 1..25),
+        proptest::collection::vec(s_row, 1..25),
+        1..12usize,
+        (0..4u64, 0..4u64, 0..4u64),
+    )
+        .prop_map(|(r_rows, s_rows, k, (c0, c1, c2))| JoinWorkload {
+            r_rows,
+            s_rows,
+            k,
+            costs: [c0, c1, c2],
+        })
+}
+
+fn build_database(w: &JoinWorkload) -> (Database, RankQuery) {
+    let db = Database::new();
+    db.create_table(
+        "R",
+        Schema::new(vec![
+            Field::new("jc", DataType::Int64),
+            Field::new("p1", DataType::Float64),
+            Field::new("flag", DataType::Bool),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "S",
+        Schema::new(vec![
+            Field::new("jc", DataType::Int64),
+            Field::new("p2", DataType::Float64),
+            Field::new("p3", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    for &(jc, p1, flag) in &w.r_rows {
+        db.insert("R", vec![Value::from(jc), Value::from(p1), Value::from(flag)]).unwrap();
+    }
+    for &(jc, p2, p3) in &w.s_rows {
+        db.insert("S", vec![Value::from(jc), Value::from(p2), Value::from(p3)]).unwrap();
+    }
+    let query = QueryBuilder::new()
+        .tables(["R", "S"])
+        .filter(BoolExpr::col_eq_col("R.jc", "S.jc"))
+        .rank_predicate(RankPredicate::attribute_with_cost("p1", "R.p1", w.costs[0]))
+        .rank_predicate(RankPredicate::attribute_with_cost("p2", "S.p2", w.costs[1]))
+        .rank_predicate(RankPredicate::attribute_with_cost("p3", "S.p3", w.costs[2]))
+        .limit(w.k)
+        .build()
+        .unwrap();
+    (db, query)
+}
+
+/// Rounds scores so float noise from different evaluation orders does not
+/// produce spurious failures.
+fn rounded(scores: &[f64]) -> Vec<i64> {
+    scores.iter().map(|s| (s * 1e9).round() as i64).collect()
+}
+
+// ---------------------------------------------------------------------------
+// 1 + 2: optimizer modes agree, results are ordered and bounded by k
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn every_plan_mode_returns_the_same_topk(w in join_workload()) {
+        let (db, query) = build_database(&w);
+        let reference = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+        let reference_scores = rounded(&reference.scores());
+
+        for mode in [
+            PlanMode::Traditional,
+            PlanMode::RankAware,
+            PlanMode::RankAwareExhaustive,
+            PlanMode::RankAwareRuleBased,
+        ] {
+            let result = db.execute_with_mode(&query, mode).unwrap();
+            prop_assert_eq!(
+                rounded(&result.scores()),
+                reference_scores.clone(),
+                "mode {:?} disagrees with the canonical plan",
+                mode
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_and_bounded_by_k(w in join_workload()) {
+        let (db, query) = build_database(&w);
+        let result = db.execute(&query).unwrap();
+        prop_assert!(result.rows.len() <= w.k);
+        let scores = result.scores();
+        for pair in scores.windows(2) {
+            prop_assert!(
+                pair[0] >= pair[1] - 1e-9,
+                "scores not non-increasing: {:?}",
+                scores
+            );
+        }
+        // Every returned score is achievable: at most the number of
+        // predicates (each in [0, 1]) and at least 0.
+        for s in &scores {
+            prop_assert!((0.0..=3.0 + 1e-9).contains(s));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3: µ scheduling order does not change the answer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct SingleTable {
+    rows: Vec<(f64, f64, f64)>,
+    k: usize,
+}
+
+fn single_table() -> impl Strategy<Value = SingleTable> {
+    (
+        proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64), 1..30),
+        1..10usize,
+    )
+        .prop_map(|(rows, k)| SingleTable { rows, k })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn mu_scheduling_order_is_irrelevant_for_the_answer(t in single_table()) {
+        use ranksql::algebra::LogicalPlan;
+
+        let catalog = Catalog::new();
+        let table = catalog
+            .create_table(
+                "T",
+                Schema::new(vec![
+                    Field::new("p1", DataType::Float64),
+                    Field::new("p2", DataType::Float64),
+                    Field::new("p3", DataType::Float64),
+                ]),
+            )
+            .unwrap();
+        for &(a, b, c) in &t.rows {
+            table.insert(vec![Value::from(a), Value::from(b), Value::from(c)]).unwrap();
+        }
+        let ranking = RankingContext::new(
+            vec![
+                RankPredicate::attribute("p1", "T.p1"),
+                RankPredicate::attribute("p2", "T.p2"),
+                RankPredicate::attribute("p3", "T.p3"),
+            ],
+            ScoringFunction::Sum,
+        );
+        let query = RankQuery::new(vec!["T".into()], vec![], ranking, t.k);
+
+        let permutations: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let mut all_scores: Vec<Vec<i64>> = Vec::new();
+        for perm in permutations {
+            let mut plan = LogicalPlan::scan(&table);
+            for p in perm {
+                plan = plan.rank(p);
+            }
+            let plan = plan.limit(t.k);
+            let result =
+                ranksql::executor::execute_query_plan(&query, &plan, &catalog).unwrap();
+            let scores: Vec<f64> = result
+                .tuples
+                .iter()
+                .map(|t| query.ranking.upper_bound(&t.state).value())
+                .collect();
+            all_scores.push(rounded(&scores));
+        }
+        for other in &all_scores[1..] {
+            prop_assert_eq!(&all_scores[0], other);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4: scoring-function upper bounds honour the Ranking Principle
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn upper_bound_dominates_every_completion(
+        evaluated in proptest::collection::vec((any::<bool>(), 0.0..1.0f64), 1..6),
+        weights in proptest::collection::vec(0.1..2.0f64, 6),
+    ) {
+        let n = evaluated.len();
+        let scorings = vec![
+            ScoringFunction::Sum,
+            ScoringFunction::Min,
+            ScoringFunction::Product,
+            ScoringFunction::Average,
+            ScoringFunction::weighted_sum(weights[..n].to_vec()),
+        ];
+        for scoring in scorings {
+            // The partial state: Some(score) for evaluated predicates.
+            let partial: Vec<Option<f64>> = evaluated
+                .iter()
+                .map(|(known, s)| if *known { Some(*s) } else { None })
+                .collect();
+            let upper = scoring.upper_bound(&partial, 1.0).value();
+
+            // Any completion of the unknown predicates scores no higher.
+            let completions = [0.0, 0.25, 0.5, 1.0];
+            for fill in completions {
+                let complete: Vec<f64> = evaluated
+                    .iter()
+                    .map(|(known, s)| if *known { *s } else { fill })
+                    .collect();
+                let score = scoring.combine(&complete).value();
+                prop_assert!(
+                    score <= upper + 1e-9,
+                    "{:?}: completion {} exceeds upper bound {}",
+                    scoring, score, upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scoring_functions_are_monotonic(
+        lower in proptest::collection::vec(0.0..1.0f64, 1..6),
+        bumps in proptest::collection::vec(0.0..1.0f64, 6),
+    ) {
+        let n = lower.len();
+        let higher: Vec<f64> =
+            lower.iter().zip(&bumps).map(|(l, b)| (l + b).min(1.0)).collect();
+        let scorings = vec![
+            ScoringFunction::Sum,
+            ScoringFunction::Min,
+            ScoringFunction::Product,
+            ScoringFunction::Average,
+            ScoringFunction::weighted_sum(vec![1.0; n]),
+        ];
+        for scoring in scorings {
+            prop_assert!(
+                scoring.check_monotonic(&lower, &higher),
+                "{:?} not monotonic for {:?} -> {:?}",
+                scoring, lower, higher
+            );
+            prop_assert!(scoring.combine(&lower) <= scoring.combine(&higher));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5: the SQL front end round-trips structure
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn parser_roundtrips_tables_and_k(
+        k in 1..10_000usize,
+        n_tables in 1..4usize,
+    ) {
+        let table_names: Vec<String> = (0..n_tables).map(|i| format!("T{i}")).collect();
+        let preds: Vec<String> =
+            (0..n_tables).map(|i| format!("T{i}.score")).collect();
+        let sql = format!(
+            "SELECT * FROM {} ORDER BY {} LIMIT {}",
+            table_names.join(", "),
+            preds.join(" + "),
+            k
+        );
+        let query = parse_topk_query(&sql).unwrap();
+        prop_assert_eq!(query.k, k);
+        prop_assert_eq!(query.tables.clone(), table_names);
+        prop_assert_eq!(query.num_rank_predicates(), n_tables);
+        prop_assert!(query.bool_predicates.is_empty());
+    }
+}
