@@ -59,8 +59,10 @@ impl RewriteRule for SplitSortIntoRanks {
         let LogicalPlan::Sort { input, predicates } = plan else {
             return vec![];
         };
-        let missing: Vec<usize> =
-            predicates.difference(input.evaluated_predicates()).iter().collect();
+        let missing: Vec<usize> = predicates
+            .difference(input.evaluated_predicates())
+            .iter()
+            .collect();
         let mut out = (**input).clone();
         // Apply the innermost predicate first so the chain reads
         // µ_{p1}(µ_{p2}(...)) top-down like the paper's notation.
@@ -85,14 +87,23 @@ impl RewriteRule for CommuteBinary {
 
     fn apply(&self, plan: &LogicalPlan, _query: &RankQuery) -> Vec<LogicalPlan> {
         match plan {
-            LogicalPlan::Join { left, right, condition, algorithm } => vec![LogicalPlan::Join {
+            LogicalPlan::Join {
+                left,
+                right,
+                condition,
+                algorithm,
+            } => vec![LogicalPlan::Join {
                 left: right.clone(),
                 right: left.clone(),
                 condition: condition.clone(),
                 algorithm: *algorithm,
             }],
             LogicalPlan::SetOp { kind, left, right } if *kind != SetOpKind::Except => {
-                vec![LogicalPlan::SetOp { kind: *kind, left: right.clone(), right: left.clone() }]
+                vec![LogicalPlan::SetOp {
+                    kind: *kind,
+                    left: right.clone(),
+                    right: left.clone(),
+                }]
             }
             _ => vec![],
         }
@@ -118,7 +129,12 @@ impl RewriteRule for AssociateBinary {
         match plan {
             LogicalPlan::SetOp { kind, left, right } if *kind != SetOpKind::Except => {
                 // (A Θ B) Θ C  →  A Θ (B Θ C)
-                if let LogicalPlan::SetOp { kind: inner_kind, left: a, right: b } = &**left {
+                if let LogicalPlan::SetOp {
+                    kind: inner_kind,
+                    left: a,
+                    right: b,
+                } = &**left
+                {
                     if inner_kind == kind {
                         return vec![LogicalPlan::SetOp {
                             kind: *kind,
@@ -155,19 +171,32 @@ impl RewriteRule for CommuteRank {
         let mut out = Vec::new();
         match plan {
             // µ_{p1}(µ_{p2}(X)) → µ_{p2}(µ_{p1}(X))
-            LogicalPlan::Rank { input, predicate: p1 } => match &**input {
-                LogicalPlan::Rank { input: inner, predicate: p2 } => {
+            LogicalPlan::Rank {
+                input,
+                predicate: p1,
+            } => match &**input {
+                LogicalPlan::Rank {
+                    input: inner,
+                    predicate: p2,
+                } => {
                     out.push((**inner).clone().rank(*p1).rank(*p2));
                 }
                 // µ_p(σ_c(X)) → σ_c(µ_p(X))
-                LogicalPlan::Select { input: inner, predicate } => {
+                LogicalPlan::Select {
+                    input: inner,
+                    predicate,
+                } => {
                     out.push((**inner).clone().rank(*p1).select(predicate.clone()));
                 }
                 _ => {}
             },
             // σ_c(µ_p(X)) → µ_p(σ_c(X))
             LogicalPlan::Select { input, predicate } => {
-                if let LogicalPlan::Rank { input: inner, predicate: p } = &**input {
+                if let LogicalPlan::Rank {
+                    input: inner,
+                    predicate: p,
+                } = &**input
+                {
                     out.push((**inner).clone().select(predicate.clone()).rank(*p));
                 }
             }
@@ -212,7 +241,12 @@ impl RewriteRule for PushRankOverBinary {
         };
         let mut out = Vec::new();
         match &**input {
-            LogicalPlan::Join { left, right, condition, algorithm } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                condition,
+                algorithm,
+            } => {
                 // Once the rank operator moves below the join, the join itself
                 // must preserve the order property, so its implementation is
                 // switched to the rank-aware counterpart.
@@ -285,7 +319,13 @@ impl RewriteRule for PullRankOverJoin {
     }
 
     fn apply(&self, plan: &LogicalPlan, _query: &RankQuery) -> Vec<LogicalPlan> {
-        let LogicalPlan::Join { left, right, condition, algorithm } = plan else {
+        let LogicalPlan::Join {
+            left,
+            right,
+            condition,
+            algorithm,
+        } = plan
+        else {
             return vec![];
         };
         let mut out = Vec::new();
@@ -330,18 +370,31 @@ impl RewriteRule for MultipleScan {
     }
 
     fn apply(&self, plan: &LogicalPlan, _query: &RankQuery) -> Vec<LogicalPlan> {
-        let LogicalPlan::Rank { input, predicate: p1 } = plan else {
+        let LogicalPlan::Rank {
+            input,
+            predicate: p1,
+        } = plan
+        else {
             return vec![];
         };
-        let LogicalPlan::Rank { input: inner, predicate: p2 } = &**input else {
+        let LogicalPlan::Rank {
+            input: inner,
+            predicate: p2,
+        } = &**input
+        else {
             return vec![];
         };
         // Only applies when the shared input is a plain base-relation scan
         // (R_φ): both branches must re-scan the same unranked relation.
         let is_base_scan = matches!(
             &**inner,
-            LogicalPlan::Scan { access: ScanAccess::Sequential, .. }
-                | LogicalPlan::Scan { access: ScanAccess::AttributeIndex { .. }, .. }
+            LogicalPlan::Scan {
+                access: ScanAccess::Sequential,
+                ..
+            } | LogicalPlan::Scan {
+                access: ScanAccess::AttributeIndex { .. },
+                ..
+            }
         );
         if !is_base_scan {
             return vec![];
@@ -441,7 +494,8 @@ mod tests {
         let r = cat.create_table("R", mk("R")).unwrap();
         let s = cat.create_table("S", mk("S")).unwrap();
         for t in [&r, &s] {
-            t.insert(vec![Value::from(1), Value::from(0.5), Value::from(0.25)]).unwrap();
+            t.insert(vec![Value::from(1), Value::from(0.5), Value::from(0.25)])
+                .unwrap();
         }
         let ranking = RankingContext::new(
             vec![
@@ -550,12 +604,14 @@ mod tests {
     #[test]
     fn push_rank_over_set_ops() {
         let (_cat, query, r, _s) = setup();
-        let union =
-            LogicalPlan::scan(&r).set_op(SetOpKind::Union, LogicalPlan::scan(&r)).rank(0);
+        let union = LogicalPlan::scan(&r)
+            .set_op(SetOpKind::Union, LogicalPlan::scan(&r))
+            .rank(0);
         let alts = PushRankOverBinary.apply(&union, &query);
         assert_eq!(alts.len(), 2); // both-sides and one-sided variants
-        let except =
-            LogicalPlan::scan(&r).set_op(SetOpKind::Except, LogicalPlan::scan(&r)).rank(0);
+        let except = LogicalPlan::scan(&r)
+            .set_op(SetOpKind::Except, LogicalPlan::scan(&r))
+            .rank(0);
         let alts = PushRankOverBinary.apply(&except, &query);
         assert_eq!(alts.len(), 1);
         for a in alts {
@@ -571,7 +627,10 @@ mod tests {
         assert_eq!(alts.len(), 1);
         assert!(matches!(
             &alts[0],
-            LogicalPlan::SetOp { kind: SetOpKind::Intersect, .. }
+            LogicalPlan::SetOp {
+                kind: SetOpKind::Intersect,
+                ..
+            }
         ));
         // Does not apply when the shared input is itself ranked.
         let ranked_input = LogicalPlan::rank_scan(&r, 2).rank(1).rank(0);
@@ -598,7 +657,10 @@ mod tests {
     fn associate_set_ops() {
         let (_cat, query, r, _s) = setup();
         let a = LogicalPlan::scan(&r);
-        let nested = a.clone().set_op(SetOpKind::Union, a.clone()).set_op(SetOpKind::Union, a);
+        let nested = a
+            .clone()
+            .set_op(SetOpKind::Union, a.clone())
+            .set_op(SetOpKind::Union, a);
         let alts = AssociateBinary.apply(&nested, &query);
         assert_eq!(alts.len(), 1);
         assert_eq!(alts[0].relations(), nested.relations());
@@ -609,7 +671,11 @@ mod tests {
         let (cat, query, _r, _s) = setup();
         let canonical = query.canonical_plan(&cat).unwrap();
         let plans = equivalent_plans(&canonical, &query, 200);
-        assert!(plans.len() > 5, "expected a non-trivial closure, got {}", plans.len());
+        assert!(
+            plans.len() > 5,
+            "expected a non-trivial closure, got {}",
+            plans.len()
+        );
         // The closure must contain at least one pipelined plan without a
         // blocking sort (the whole point of the algebra).
         assert!(plans.iter().any(|p| !p.has_blocking_sort()));

@@ -17,16 +17,20 @@
 //! This crate defines the *logical* side: [`LogicalPlan`] nodes, their
 //! rank-relation properties (schema, evaluated predicate set, relations), the
 //! query specification [`RankQuery`], the canonical materialise-then-sort
-//! form (Eq. 1), and the laws as executable rewrite rules in [`laws`].
-//! Physical execution lives in `ranksql-executor`.
+//! form (Eq. 1), and the laws as executable rewrite rules in [`laws`] — plus
+//! the [`PhysicalPlan`] IR ([`physical`]) that the optimizer lowers logical
+//! plans into and that the executor consumes.  Physical *execution* lives in
+//! `ranksql-executor`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod laws;
+pub mod physical;
 pub mod plan;
 pub mod query;
 
 pub use laws::{equivalent_plans, Rewrite, RewriteRule};
+pub use physical::{PhysicalOp, PhysicalPlan};
 pub use plan::{JoinAlgorithm, LogicalPlan, ScanAccess, SetOpKind};
 pub use query::RankQuery;

@@ -1,0 +1,652 @@
+//! The physical plan IR: the contract between the optimizer and the
+//! executor.
+//!
+//! A [`LogicalPlan`] describes *what* rank-relation to compute; a
+//! [`PhysicalPlan`] names the concrete operator that computes every node —
+//! `SeqScan` vs `RankScan` vs `AttributeIndexScan`, `HashJoin` vs
+//! `HashRankJoin` (HRJN) vs `NestedLoopsRankJoin` (NRJN), the rank
+//! materialisation µ vs a multi-predicate `MproProbe`, and a blocking
+//! `Sort` vs a fused top-k `SortLimit`.  Each node carries the optimizer's
+//! per-node [`Cost`] and cardinality estimates, so `explain` can print the
+//! physical tree the executor will actually run, and — after execution —
+//! pair every node with the number of tuples it really produced.
+//!
+//! The executor consumes *only* this IR: `build_operator` in
+//! `ranksql-executor` is a mechanical `PhysicalPlan → operator` walk with no
+//! physical decisions left in it.  The optimizer's planners lower
+//! `LogicalPlan → PhysicalPlan` (with real cost annotations); the
+//! [`PhysicalPlan::from_logical`] lowering used for hand-built and canonical
+//! plans performs the same structural mapping with zero-cost annotations.
+
+use std::fmt;
+
+use ranksql_common::{BitSet64, Cost, RankSqlError, Result, Schema};
+use ranksql_expr::{BoolExpr, RankingContext};
+
+use crate::plan::{JoinAlgorithm, LogicalPlan, ScanAccess, SetOpKind};
+
+/// A physical operator node; children are embedded [`PhysicalPlan`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalOp {
+    /// Sequential (heap) scan of a base table.
+    SeqScan {
+        /// Table name.
+        table: String,
+        /// Snapshot of the table schema.
+        schema: Schema,
+    },
+    /// Score-index scan emitting tuples in descending order of one ranking
+    /// predicate (the paper's `idxScan_p`).
+    RankScan {
+        /// Table name.
+        table: String,
+        /// Snapshot of the table schema.
+        schema: Schema,
+        /// Index of the ranking predicate in the query's [`RankingContext`].
+        predicate: usize,
+    },
+    /// Ordered scan over an attribute index (ascending attribute order).
+    AttributeIndexScan {
+        /// Table name.
+        table: String,
+        /// Snapshot of the table schema.
+        schema: Schema,
+        /// Qualified column the index covers.
+        column: String,
+    },
+    /// Selection σ_c.
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Boolean predicate.
+        predicate: BoolExpr,
+    },
+    /// Projection π.
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Qualified column names to keep, in output order.
+        columns: Vec<String>,
+    },
+    /// The rank operator µ_p: evaluates one ranking predicate and re-orders
+    /// incrementally through a ranking queue.
+    RankMaterialize {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Index of the ranking predicate evaluated.
+        predicate: usize,
+    },
+    /// Multi-predicate rank with minimal probing (MPro): evaluates the
+    /// scheduled predicates lazily, probing a tuple only when the probe is
+    /// provably necessary.
+    MproProbe {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Context predicate indices in probe order.
+        schedule: Vec<usize>,
+    },
+    /// Tuple-at-a-time nested-loops join (blocking inner).
+    NestedLoopsJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join condition (`None` = Cartesian product).
+        condition: Option<BoolExpr>,
+    },
+    /// Classic hash join (builds on the right input; blocking).
+    HashJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join condition (must contain an equi-conjunct).
+        condition: Option<BoolExpr>,
+    },
+    /// Sort-merge join on the equi-join columns (blocking).
+    SortMergeJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join condition (must contain an equi-conjunct).
+        condition: Option<BoolExpr>,
+    },
+    /// Hash rank-join (HRJN): rank-aware, incremental, symmetric-hash.
+    HashRankJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join condition (must contain an equi-conjunct).
+        condition: Option<BoolExpr>,
+    },
+    /// Nested-loops rank-join (NRJN): rank-aware, arbitrary conditions.
+    NestedLoopsRankJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join condition (`None` = rank-aware cross product).
+        condition: Option<BoolExpr>,
+    },
+    /// Rank-aware set operation (∪, ∩, −).
+    SetOp {
+        /// Which set operation.
+        kind: SetOpKind,
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Blocking materialise-and-sort τ_F.
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Predicates the sort evaluates/orders by.
+        predicates: BitSet64,
+    },
+    /// Fused top-k sort (τ_F + λ_k): keeps only the best `k` tuples in a
+    /// bounded heap instead of materialising and sorting the whole input.
+    SortLimit {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Predicates the sort evaluates/orders by.
+        predicates: BitSet64,
+        /// Number of tuples to keep.
+        k: usize,
+    },
+    /// Top-k limit λ_k over an already ranked input.
+    Limit {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Number of tuples to keep.
+        k: usize,
+    },
+}
+
+/// A physical plan node: a [`PhysicalOp`] plus the optimizer's per-node
+/// estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    /// The operator and its children.
+    pub op: PhysicalOp,
+    /// Estimated cumulative cost of this subtree ([`Cost::ZERO`] when the
+    /// plan was lowered without an estimator).
+    pub estimated_cost: Cost,
+    /// Estimated output cardinality of this node (0 when lowered without an
+    /// estimator).
+    pub estimated_rows: f64,
+}
+
+impl PhysicalPlan {
+    /// Wraps an operator with zero estimates.
+    pub fn unestimated(op: PhysicalOp) -> PhysicalPlan {
+        PhysicalPlan {
+            op,
+            estimated_cost: Cost::ZERO,
+            estimated_rows: 0.0,
+        }
+    }
+
+    /// Structurally lowers a logical plan, carrying zero cost estimates.
+    ///
+    /// The mapping is mechanical because the logical plan already fixes the
+    /// access path and join algorithm; the one *physical* rewrite applied
+    /// here is fusing `Limit(Sort(x))` into the bounded-heap [`top-k
+    /// sort`](PhysicalOp::SortLimit).  Optimizer lowerings re-annotate the
+    /// result of this function with real per-node estimates.
+    pub fn from_logical(plan: &LogicalPlan) -> Result<PhysicalPlan> {
+        // Fuse λ_k directly above τ_F into one bounded top-k sort.
+        if let LogicalPlan::Limit { input, k } = plan {
+            if let LogicalPlan::Sort {
+                input: sort_input,
+                predicates,
+            } = input.as_ref()
+            {
+                let child = PhysicalPlan::from_logical(sort_input)?;
+                return Ok(PhysicalPlan::unestimated(PhysicalOp::SortLimit {
+                    input: Box::new(child),
+                    predicates: *predicates,
+                    k: *k,
+                }));
+            }
+        }
+        let op = match plan {
+            LogicalPlan::Scan {
+                table,
+                schema,
+                access,
+            } => match access {
+                ScanAccess::Sequential => PhysicalOp::SeqScan {
+                    table: table.clone(),
+                    schema: schema.clone(),
+                },
+                ScanAccess::RankIndex { predicate } => PhysicalOp::RankScan {
+                    table: table.clone(),
+                    schema: schema.clone(),
+                    predicate: *predicate,
+                },
+                ScanAccess::AttributeIndex { column } => PhysicalOp::AttributeIndexScan {
+                    table: table.clone(),
+                    schema: schema.clone(),
+                    column: column.clone(),
+                },
+            },
+            LogicalPlan::Select { input, predicate } => PhysicalOp::Filter {
+                input: Box::new(PhysicalPlan::from_logical(input)?),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::Project { input, columns } => PhysicalOp::Project {
+                input: Box::new(PhysicalPlan::from_logical(input)?),
+                columns: columns.clone(),
+            },
+            LogicalPlan::Rank { input, predicate } => PhysicalOp::RankMaterialize {
+                input: Box::new(PhysicalPlan::from_logical(input)?),
+                predicate: *predicate,
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                condition,
+                algorithm,
+            } => {
+                let left = Box::new(PhysicalPlan::from_logical(left)?);
+                let right = Box::new(PhysicalPlan::from_logical(right)?);
+                let condition = condition.clone();
+                match algorithm {
+                    JoinAlgorithm::NestedLoop => PhysicalOp::NestedLoopsJoin {
+                        left,
+                        right,
+                        condition,
+                    },
+                    JoinAlgorithm::Hash => PhysicalOp::HashJoin {
+                        left,
+                        right,
+                        condition,
+                    },
+                    JoinAlgorithm::SortMerge => PhysicalOp::SortMergeJoin {
+                        left,
+                        right,
+                        condition,
+                    },
+                    JoinAlgorithm::HashRankJoin => PhysicalOp::HashRankJoin {
+                        left,
+                        right,
+                        condition,
+                    },
+                    JoinAlgorithm::NestedLoopRankJoin => PhysicalOp::NestedLoopsRankJoin {
+                        left,
+                        right,
+                        condition,
+                    },
+                }
+            }
+            LogicalPlan::SetOp { kind, left, right } => PhysicalOp::SetOp {
+                kind: *kind,
+                left: Box::new(PhysicalPlan::from_logical(left)?),
+                right: Box::new(PhysicalPlan::from_logical(right)?),
+            },
+            LogicalPlan::Sort { input, predicates } => PhysicalOp::Sort {
+                input: Box::new(PhysicalPlan::from_logical(input)?),
+                predicates: *predicates,
+            },
+            LogicalPlan::Limit { input, k } => PhysicalOp::Limit {
+                input: Box::new(PhysicalPlan::from_logical(input)?),
+                k: *k,
+            },
+        };
+        Ok(PhysicalPlan::unestimated(op))
+    }
+
+    /// The output schema of this plan.
+    pub fn schema(&self) -> Result<Schema> {
+        match &self.op {
+            PhysicalOp::SeqScan { schema, .. }
+            | PhysicalOp::RankScan { schema, .. }
+            | PhysicalOp::AttributeIndexScan { schema, .. } => Ok(schema.clone()),
+            PhysicalOp::Filter { input, .. }
+            | PhysicalOp::RankMaterialize { input, .. }
+            | PhysicalOp::MproProbe { input, .. }
+            | PhysicalOp::Sort { input, .. }
+            | PhysicalOp::SortLimit { input, .. }
+            | PhysicalOp::Limit { input, .. } => input.schema(),
+            PhysicalOp::Project { input, columns } => {
+                let s = input.schema()?;
+                let mut indices = Vec::with_capacity(columns.len());
+                for c in columns {
+                    indices.push(s.index_of_str(c)?);
+                }
+                Ok(s.project(&indices))
+            }
+            PhysicalOp::NestedLoopsJoin { left, right, .. }
+            | PhysicalOp::HashJoin { left, right, .. }
+            | PhysicalOp::SortMergeJoin { left, right, .. }
+            | PhysicalOp::HashRankJoin { left, right, .. }
+            | PhysicalOp::NestedLoopsRankJoin { left, right, .. } => {
+                Ok(left.schema()?.join(&right.schema()?))
+            }
+            PhysicalOp::SetOp { left, right, .. } => {
+                let l = left.schema()?;
+                let r = right.schema()?;
+                if l.len() != r.len() {
+                    return Err(RankSqlError::Plan(format!(
+                        "set operation inputs are not union compatible: {} vs {} columns",
+                        l.len(),
+                        r.len()
+                    )));
+                }
+                Ok(l)
+            }
+        }
+    }
+
+    /// The direct children of this node.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match &self.op {
+            PhysicalOp::SeqScan { .. }
+            | PhysicalOp::RankScan { .. }
+            | PhysicalOp::AttributeIndexScan { .. } => vec![],
+            PhysicalOp::Filter { input, .. }
+            | PhysicalOp::Project { input, .. }
+            | PhysicalOp::RankMaterialize { input, .. }
+            | PhysicalOp::MproProbe { input, .. }
+            | PhysicalOp::Sort { input, .. }
+            | PhysicalOp::SortLimit { input, .. }
+            | PhysicalOp::Limit { input, .. } => vec![input],
+            PhysicalOp::NestedLoopsJoin { left, right, .. }
+            | PhysicalOp::HashJoin { left, right, .. }
+            | PhysicalOp::SortMergeJoin { left, right, .. }
+            | PhysicalOp::HashRankJoin { left, right, .. }
+            | PhysicalOp::NestedLoopsRankJoin { left, right, .. }
+            | PhysicalOp::SetOp { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Total number of nodes in the plan tree.
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
+    }
+
+    /// The nodes of this tree in post-order (children before parents) —
+    /// the same order in which the executor registers operator metrics.
+    pub fn post_order(&self) -> Vec<&PhysicalPlan> {
+        let mut out = Vec::with_capacity(self.node_count());
+        self.post_order_into(&mut out);
+        out
+    }
+
+    fn post_order_into<'a>(&'a self, out: &mut Vec<&'a PhysicalPlan>) {
+        for c in self.children() {
+            c.post_order_into(out);
+        }
+        out.push(self);
+    }
+
+    /// Whether this subtree contains a rank-aware operator (rank-scan, µ,
+    /// MPro, HRJN, NRJN).
+    pub fn is_rank_aware(&self) -> bool {
+        matches!(
+            self.op,
+            PhysicalOp::RankScan { .. }
+                | PhysicalOp::RankMaterialize { .. }
+                | PhysicalOp::MproProbe { .. }
+                | PhysicalOp::HashRankJoin { .. }
+                | PhysicalOp::NestedLoopsRankJoin { .. }
+        ) || self.children().iter().any(|c| c.is_rank_aware())
+    }
+
+    /// A one-line name of this node for explain output and operator metrics.
+    ///
+    /// Labels match the corresponding logical node labels where the two
+    /// plans correspond one-to-one, so logical and physical explains (and
+    /// per-operator metric series) line up.
+    pub fn node_label(&self, ctx: Option<&RankingContext>) -> String {
+        // Out-of-range indices fall back to `p#i` instead of panicking, so
+        // labels can be produced for invalid plans too (their validation
+        // error then carries a printable label).
+        let pname = |i: usize| -> String {
+            ctx.filter(|c| i < c.num_predicates())
+                .map(|c| c.predicate(i).name.clone())
+                .unwrap_or_else(|| format!("p#{i}"))
+        };
+        let cond = |c: &Option<BoolExpr>| -> String {
+            match c {
+                Some(c) => format!("[{c}]"),
+                None => "[cross]".to_owned(),
+            }
+        };
+        match &self.op {
+            PhysicalOp::SeqScan { table, .. } => format!("SeqScan({table})"),
+            PhysicalOp::RankScan {
+                table, predicate, ..
+            } => {
+                format!("RankScan_{}({table})", pname(*predicate))
+            }
+            PhysicalOp::AttributeIndexScan { table, column, .. } => {
+                format!("IdxScan_{column}({table})")
+            }
+            PhysicalOp::Filter { predicate, .. } => format!("Select[{predicate}]"),
+            PhysicalOp::Project { columns, .. } => format!("Project[{}]", columns.join(", ")),
+            PhysicalOp::RankMaterialize { predicate, .. } => format!("Rank_{}", pname(*predicate)),
+            PhysicalOp::MproProbe { schedule, .. } => {
+                let names: Vec<String> = schedule.iter().map(|&p| pname(p)).collect();
+                format!("MPro[{}]", names.join("→"))
+            }
+            PhysicalOp::NestedLoopsJoin { condition, .. } => {
+                format!("NestedLoopJoin{}", cond(condition))
+            }
+            PhysicalOp::HashJoin { condition, .. } => format!("HashJoin{}", cond(condition)),
+            PhysicalOp::SortMergeJoin { condition, .. } => {
+                format!("SortMergeJoin{}", cond(condition))
+            }
+            PhysicalOp::HashRankJoin { condition, .. } => format!("HRJN{}", cond(condition)),
+            PhysicalOp::NestedLoopsRankJoin { condition, .. } => {
+                format!("NRJN{}", cond(condition))
+            }
+            PhysicalOp::SetOp { kind, .. } => match kind {
+                SetOpKind::Union => "Union".to_owned(),
+                SetOpKind::Intersect => "Intersect".to_owned(),
+                SetOpKind::Except => "Except".to_owned(),
+            },
+            PhysicalOp::Sort { predicates, .. } => {
+                let names: Vec<String> = predicates.iter().map(pname).collect();
+                format!("Sort[{}]", names.join("+"))
+            }
+            PhysicalOp::SortLimit { predicates, k, .. } => {
+                let names: Vec<String> = predicates.iter().map(pname).collect();
+                format!("SortLimit[{}; k={k}]", names.join("+"))
+            }
+            PhysicalOp::Limit { k, .. } => format!("Limit[{k}]"),
+        }
+    }
+
+    /// Multi-line indented explain output with per-node estimates.
+    pub fn explain(&self, ctx: Option<&RankingContext>) -> String {
+        let mut out = String::new();
+        self.explain_into(ctx, 0, &mut None, &mut out);
+        out
+    }
+
+    /// Explain output annotated with the actual tuples each operator
+    /// produced, paired from a post-order `(label, tuples_out)` series as
+    /// recorded by the executor's metrics registry.
+    pub fn explain_with_actuals(
+        &self,
+        ctx: Option<&RankingContext>,
+        actuals: &[(String, u64)],
+    ) -> String {
+        let mut out = String::new();
+        let mut remaining: Vec<(String, u64)> = actuals.to_vec();
+        let mut actuals = Some(&mut remaining);
+        self.explain_into(ctx, 0, &mut actuals, &mut out);
+        out
+    }
+
+    fn explain_into(
+        &self,
+        ctx: Option<&RankingContext>,
+        depth: usize,
+        actuals: &mut Option<&mut Vec<(String, u64)>>,
+        out: &mut String,
+    ) {
+        use std::fmt::Write as _;
+        // Children first so the post-order actuals pairing lines up, but
+        // write this node's line before theirs.
+        let mut child_text = String::new();
+        for c in self.children() {
+            c.explain_into(ctx, depth + 1, actuals, &mut child_text);
+        }
+        let label = self.node_label(ctx);
+        // Children consumed their entries first, so under post-order
+        // registration the first remaining match belongs to this node.
+        let actual = actuals
+            .as_mut()
+            .and_then(|a| {
+                let pos = a.iter().position(|(name, _)| *name == label)?;
+                Some(a.remove(pos).1)
+            })
+            .map(|n| format!(", actual_rows={n}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{}{} (cost={:.1}, est_rows={:.1}{})",
+            "  ".repeat(depth),
+            label,
+            self.estimated_cost.value(),
+            self.estimated_rows,
+            actual
+        );
+        out.push_str(&child_text);
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.explain(None).trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksql_common::{DataType, Field, Value};
+    use ranksql_expr::{RankPredicate, ScoringFunction};
+    use ranksql_storage::{Table, TableBuilder};
+
+    fn table(name: &str, id: u32) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("p1", DataType::Float64),
+        ])
+        .qualify_all(name);
+        TableBuilder::new(name, schema)
+            .row(vec![Value::from(1), Value::from(0.5)])
+            .build(id)
+            .unwrap()
+    }
+
+    fn ctx() -> std::sync::Arc<RankingContext> {
+        RankingContext::new(
+            vec![
+                RankPredicate::attribute("p1", "R.p1"),
+                RankPredicate::attribute("p2", "S.p1"),
+            ],
+            ScoringFunction::Sum,
+        )
+    }
+
+    #[test]
+    fn lowering_maps_access_paths_and_algorithms() {
+        let r = table("R", 0);
+        let s = table("S", 1);
+        let logical = LogicalPlan::rank_scan(&r, 0)
+            .join(
+                LogicalPlan::scan(&s).rank(1),
+                Some(BoolExpr::col_eq_col("R.a", "S.a")),
+                JoinAlgorithm::HashRankJoin,
+            )
+            .limit(5);
+        let physical = PhysicalPlan::from_logical(&logical).unwrap();
+        assert_eq!(physical.node_count(), 5);
+        assert!(physical.is_rank_aware());
+        assert!(matches!(physical.op, PhysicalOp::Limit { .. }));
+        let text = physical.explain(Some(&ctx()));
+        assert!(text.contains("HRJN[R.a = S.a]"), "{text}");
+        assert!(text.contains("RankScan_p1(R)"), "{text}");
+        assert!(text.contains("Rank_p2"), "{text}");
+        assert!(text.contains("cost="), "{text}");
+    }
+
+    #[test]
+    fn limit_over_sort_fuses_into_sort_limit() {
+        let r = table("R", 0);
+        let logical = LogicalPlan::scan(&r).sort(BitSet64::singleton(0)).limit(3);
+        let physical = PhysicalPlan::from_logical(&logical).unwrap();
+        assert_eq!(physical.node_count(), 2);
+        assert!(matches!(physical.op, PhysicalOp::SortLimit { k: 3, .. }));
+        assert!(physical
+            .node_label(Some(&ctx()))
+            .contains("SortLimit[p1; k=3]"));
+        // A limit that is not directly above a sort is not fused.
+        let unfused = LogicalPlan::scan(&r)
+            .sort(BitSet64::singleton(0))
+            .rank(1)
+            .limit(3);
+        let physical = PhysicalPlan::from_logical(&unfused).unwrap();
+        assert_eq!(physical.node_count(), 4);
+        assert!(matches!(physical.op, PhysicalOp::Limit { .. }));
+    }
+
+    #[test]
+    fn schema_flows_like_the_logical_plan() {
+        let r = table("R", 0);
+        let s = table("S", 1);
+        let logical = LogicalPlan::scan(&r)
+            .join(LogicalPlan::scan(&s), None, JoinAlgorithm::NestedLoop)
+            .project(vec!["R.p1".to_owned()]);
+        let physical = PhysicalPlan::from_logical(&logical).unwrap();
+        assert_eq!(physical.schema().unwrap().len(), 1);
+        assert_eq!(
+            physical.schema().unwrap().field(0).qualified_name(),
+            logical.schema().unwrap().field(0).qualified_name()
+        );
+    }
+
+    #[test]
+    fn mpro_probe_labels_its_schedule() {
+        let r = table("R", 0);
+        let scan = PhysicalPlan::from_logical(&LogicalPlan::scan(&r)).unwrap();
+        let mpro = PhysicalPlan::unestimated(PhysicalOp::MproProbe {
+            input: Box::new(scan),
+            schedule: vec![0, 1],
+        });
+        assert_eq!(mpro.node_label(Some(&ctx())), "MPro[p1→p2]");
+        assert!(mpro.is_rank_aware());
+    }
+
+    #[test]
+    fn explain_with_actuals_pairs_post_order_metrics() {
+        let r = table("R", 0);
+        let logical = LogicalPlan::scan(&r).rank(0).limit(2);
+        let physical = PhysicalPlan::from_logical(&logical).unwrap();
+        let actuals = vec![
+            ("SeqScan(R)".to_owned(), 10),
+            ("Rank_p1".to_owned(), 5),
+            ("Limit[2]".to_owned(), 2),
+        ];
+        let text = physical.explain_with_actuals(Some(&ctx()), &actuals);
+        assert!(
+            text.contains("SeqScan(R) (cost=0.0, est_rows=0.0, actual_rows=10)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Limit[2] (cost=0.0, est_rows=0.0, actual_rows=2)"),
+            "{text}"
+        );
+    }
+}

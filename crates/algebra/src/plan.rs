@@ -48,7 +48,10 @@ pub enum JoinAlgorithm {
 impl JoinAlgorithm {
     /// Whether the algorithm is rank-aware (emits in upper-bound order).
     pub fn is_rank_aware(self) -> bool {
-        matches!(self, JoinAlgorithm::HashRankJoin | JoinAlgorithm::NestedLoopRankJoin)
+        matches!(
+            self,
+            JoinAlgorithm::HashRankJoin | JoinAlgorithm::NestedLoopRankJoin
+        )
     }
 }
 
@@ -168,23 +171,34 @@ impl LogicalPlan {
         LogicalPlan::Scan {
             table: table.name().to_owned(),
             schema: table.schema().clone(),
-            access: ScanAccess::AttributeIndex { column: column.to_owned() },
+            access: ScanAccess::AttributeIndex {
+                column: column.to_owned(),
+            },
         }
     }
 
     /// Wraps this plan in a selection.
     pub fn select(self, predicate: BoolExpr) -> LogicalPlan {
-        LogicalPlan::Select { input: Box::new(self), predicate }
+        LogicalPlan::Select {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Wraps this plan in a projection.
     pub fn project(self, columns: Vec<String>) -> LogicalPlan {
-        LogicalPlan::Project { input: Box::new(self), columns }
+        LogicalPlan::Project {
+            input: Box::new(self),
+            columns,
+        }
     }
 
     /// Wraps this plan in a rank operator µ_p.
     pub fn rank(self, predicate: usize) -> LogicalPlan {
-        LogicalPlan::Rank { input: Box::new(self), predicate }
+        LogicalPlan::Rank {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Joins this plan with another.
@@ -204,17 +218,27 @@ impl LogicalPlan {
 
     /// Set-operation constructor.
     pub fn set_op(self, kind: SetOpKind, right: LogicalPlan) -> LogicalPlan {
-        LogicalPlan::SetOp { kind, left: Box::new(self), right: Box::new(right) }
+        LogicalPlan::SetOp {
+            kind,
+            left: Box::new(self),
+            right: Box::new(right),
+        }
     }
 
     /// Wraps this plan in a blocking sort over `predicates`.
     pub fn sort(self, predicates: BitSet64) -> LogicalPlan {
-        LogicalPlan::Sort { input: Box::new(self), predicates }
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            predicates,
+        }
     }
 
     /// Wraps this plan in a top-k limit.
     pub fn limit(self, k: usize) -> LogicalPlan {
-        LogicalPlan::Limit { input: Box::new(self), k }
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            k,
+        }
     }
 
     // ---------------------------------------------------------------------
@@ -264,16 +288,18 @@ impl LogicalPlan {
             LogicalPlan::Select { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Limit { input, .. } => input.evaluated_predicates(),
-            LogicalPlan::Rank { input, predicate } => {
-                input.evaluated_predicates().union(BitSet64::singleton(*predicate))
-            }
-            LogicalPlan::Join { left, right, .. } => {
-                left.evaluated_predicates().union(right.evaluated_predicates())
-            }
+            LogicalPlan::Rank { input, predicate } => input
+                .evaluated_predicates()
+                .union(BitSet64::singleton(*predicate)),
+            LogicalPlan::Join { left, right, .. } => left
+                .evaluated_predicates()
+                .union(right.evaluated_predicates()),
             LogicalPlan::SetOp { kind, left, right } => match kind {
                 // Difference keeps only the outer input's order (Figure 3).
                 SetOpKind::Except => left.evaluated_predicates(),
-                _ => left.evaluated_predicates().union(right.evaluated_predicates()),
+                _ => left
+                    .evaluated_predicates()
+                    .union(right.evaluated_predicates()),
             },
             LogicalPlan::Sort { input, predicates } => {
                 input.evaluated_predicates().union(*predicates)
@@ -332,17 +358,23 @@ impl LogicalPlan {
                 input: Box::new(children.remove(0)),
                 columns: columns.clone(),
             },
-            LogicalPlan::Rank { predicate, .. } => {
-                LogicalPlan::Rank { input: Box::new(children.remove(0)), predicate: *predicate }
-            }
+            LogicalPlan::Rank { predicate, .. } => LogicalPlan::Rank {
+                input: Box::new(children.remove(0)),
+                predicate: *predicate,
+            },
             LogicalPlan::Sort { predicates, .. } => LogicalPlan::Sort {
                 input: Box::new(children.remove(0)),
                 predicates: *predicates,
             },
-            LogicalPlan::Limit { k, .. } => {
-                LogicalPlan::Limit { input: Box::new(children.remove(0)), k: *k }
-            }
-            LogicalPlan::Join { condition, algorithm, .. } => {
+            LogicalPlan::Limit { k, .. } => LogicalPlan::Limit {
+                input: Box::new(children.remove(0)),
+                k: *k,
+            },
+            LogicalPlan::Join {
+                condition,
+                algorithm,
+                ..
+            } => {
                 let left = children.remove(0);
                 let right = children.remove(0);
                 LogicalPlan::Join {
@@ -355,25 +387,40 @@ impl LogicalPlan {
             LogicalPlan::SetOp { kind, .. } => {
                 let left = children.remove(0);
                 let right = children.remove(0);
-                LogicalPlan::SetOp { kind: *kind, left: Box::new(left), right: Box::new(right) }
+                LogicalPlan::SetOp {
+                    kind: *kind,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
             }
         }
     }
 
     /// Total number of nodes in the plan tree.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Number of rank-aware operators (µ, rank-scan, rank-joins).
     pub fn rank_operator_count(&self) -> usize {
         let own = match self {
             LogicalPlan::Rank { .. } => 1,
-            LogicalPlan::Scan { access: ScanAccess::RankIndex { .. }, .. } => 1,
+            LogicalPlan::Scan {
+                access: ScanAccess::RankIndex { .. },
+                ..
+            } => 1,
             LogicalPlan::Join { algorithm, .. } if algorithm.is_rank_aware() => 1,
             _ => 0,
         };
-        own + self.children().iter().map(|c| c.rank_operator_count()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.rank_operator_count())
+            .sum::<usize>()
     }
 
     /// Whether this plan contains a blocking sort (the hallmark of the
@@ -393,17 +440,30 @@ impl LogicalPlan {
     /// therefore switch the affected joins to rank-aware implementations so
     /// the physical plan honours the logical order property.
     pub fn with_rank_aware_joins(&self) -> LogicalPlan {
-        let children: Vec<LogicalPlan> =
-            self.children().into_iter().map(|c| c.with_rank_aware_joins()).collect();
+        let children: Vec<LogicalPlan> = self
+            .children()
+            .into_iter()
+            .map(|c| c.with_rank_aware_joins())
+            .collect();
         let rebuilt = self.with_children(children);
         match rebuilt {
-            LogicalPlan::Join { left, right, condition, algorithm } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                condition,
+                algorithm,
+            } => {
                 let algorithm = match algorithm {
                     JoinAlgorithm::Hash | JoinAlgorithm::SortMerge => JoinAlgorithm::HashRankJoin,
                     JoinAlgorithm::NestedLoop => JoinAlgorithm::NestedLoopRankJoin,
                     rank_aware => rank_aware,
                 };
-                LogicalPlan::Join { left, right, condition, algorithm }
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    condition,
+                    algorithm,
+                }
             }
             other => other,
         }
@@ -412,7 +472,8 @@ impl LogicalPlan {
     /// A one-line name of this node for explain output.
     pub fn node_label(&self, ctx: Option<&RankingContext>) -> String {
         let pname = |i: usize| -> String {
-            ctx.map(|c| c.predicate(i).name.clone()).unwrap_or_else(|| format!("p#{i}"))
+            ctx.map(|c| c.predicate(i).name.clone())
+                .unwrap_or_else(|| format!("p#{i}"))
         };
         match self {
             LogicalPlan::Scan { table, access, .. } => match access {
@@ -425,7 +486,11 @@ impl LogicalPlan {
             LogicalPlan::Select { predicate, .. } => format!("Select[{predicate}]"),
             LogicalPlan::Project { columns, .. } => format!("Project[{}]", columns.join(", ")),
             LogicalPlan::Rank { predicate, .. } => format!("Rank_{}", pname(*predicate)),
-            LogicalPlan::Join { condition, algorithm, .. } => {
+            LogicalPlan::Join {
+                condition,
+                algorithm,
+                ..
+            } => {
                 let alg = match algorithm {
                     JoinAlgorithm::NestedLoop => "NestedLoopJoin",
                     JoinAlgorithm::SortMerge => "SortMergeJoin",
@@ -547,7 +612,9 @@ mod tests {
     #[test]
     fn sort_evaluates_its_predicates() {
         let r = table("R", 0);
-        let plan = LogicalPlan::scan(&r).sort(BitSet64::from_indices([0, 1])).limit(3);
+        let plan = LogicalPlan::scan(&r)
+            .sort(BitSet64::from_indices([0, 1]))
+            .limit(3);
         assert_eq!(plan.evaluated_predicates(), BitSet64::from_indices([0, 1]));
         assert!(plan.has_blocking_sort());
         assert_eq!(plan.rank_operator_count(), 0);

@@ -39,7 +39,13 @@ impl RankQuery {
         ranking: Arc<RankingContext>,
         k: usize,
     ) -> Self {
-        RankQuery { tables, bool_predicates, ranking, k, projection: None }
+        RankQuery {
+            tables,
+            bool_predicates,
+            ranking,
+            k,
+            projection: None,
+        }
     }
 
     /// Sets the projection list.
@@ -179,7 +185,8 @@ mod tests {
                     ]),
                 )
                 .unwrap();
-            t.insert(vec![Value::from(1), Value::from(0.5), Value::from(true)]).unwrap();
+            t.insert(vec![Value::from(1), Value::from(0.5), Value::from(true)])
+                .unwrap();
         }
         cat
     }
@@ -227,8 +234,14 @@ mod tests {
             .join_predicates_between(BitSet64::from_indices([0, 1]), BitSet64::singleton(2))
             .unwrap();
         assert_eq!(joins.len(), 1); // S.a = T.a
-        assert_eq!(q.rank_predicates_on(rs).unwrap(), BitSet64::from_indices([0, 1]));
-        assert_eq!(q.rank_predicates_on(BitSet64::all(3)).unwrap(), BitSet64::all(3));
+        assert_eq!(
+            q.rank_predicates_on(rs).unwrap(),
+            BitSet64::from_indices([0, 1])
+        );
+        assert_eq!(
+            q.rank_predicates_on(BitSet64::all(3)).unwrap(),
+            BitSet64::all(3)
+        );
     }
 
     #[test]
@@ -240,7 +253,10 @@ mod tests {
         assert!(plan.has_blocking_sort());
         assert_eq!(plan.rank_operator_count(), 0);
         assert_eq!(plan.evaluated_predicates(), BitSet64::all(3));
-        assert_eq!(plan.relations(), vec!["R".to_string(), "S".to_string(), "T".to_string()]);
+        assert_eq!(
+            plan.relations(),
+            vec!["R".to_string(), "S".to_string(), "T".to_string()]
+        );
         let text = plan.explain(Some(&q.ranking));
         assert!(text.contains("Sort[p1+p2+p3]"));
         assert!(text.contains("Limit[10]"));

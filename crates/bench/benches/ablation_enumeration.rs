@@ -42,21 +42,25 @@ fn bench_enumeration(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_enumeration");
     group.sample_size(10);
     for (label, heuristic) in [("exhaustive_2d", false), ("heuristic_fig10", true)] {
-        group.bench_with_input(BenchmarkId::new("dp", label), &heuristic, |b, &heuristic| {
-            b.iter(|| {
-                DpOptimizer::new(
-                    &workload.query,
-                    &workload.catalog,
-                    Arc::clone(&estimator),
-                    CostModel::default(),
-                    heuristic,
-                )
-                .optimize()
-                .expect("plan")
-                .stats
-                .plans_considered
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dp", label),
+            &heuristic,
+            |b, &heuristic| {
+                b.iter(|| {
+                    DpOptimizer::new(
+                        &workload.query,
+                        &workload.catalog,
+                        Arc::clone(&estimator),
+                        CostModel::default(),
+                        heuristic,
+                    )
+                    .optimize()
+                    .expect("plan")
+                    .stats
+                    .plans_considered
+                })
+            },
+        );
     }
     group.bench_function("traditional_baseline", |b| {
         b.iter(|| {

@@ -42,9 +42,8 @@ fn bench_estimators(c: &mut Criterion) {
     let workload = SyntheticWorkload::generate(config).expect("workload");
     workload.build_indexes().expect("indexes");
 
-    let sampling =
-        SamplingEstimator::build(&workload.query, &workload.catalog, SAMPLE_RATIO, SEED)
-            .expect("sampling estimator");
+    let sampling = SamplingEstimator::build(&workload.query, &workload.catalog, SAMPLE_RATIO, SEED)
+        .expect("sampling estimator");
     let histogram =
         HistogramEstimator::build(&workload.query, &workload.catalog, SAMPLE_RATIO, SEED)
             .expect("histogram estimator");
@@ -55,8 +54,12 @@ fn bench_estimators(c: &mut Criterion) {
         let result =
             execute_query_plan(&workload.query, &plan, &workload.catalog).expect("execution");
         let real = result.metrics.output_cardinalities();
-        let s = sampling.estimate_per_operator(&plan).expect("sampling estimates");
-        let h = histogram.estimate_per_operator(&plan).expect("histogram estimates");
+        let s = sampling
+            .estimate_per_operator(&plan)
+            .expect("sampling estimates");
+        let h = histogram
+            .estimate_per_operator(&plan)
+            .expect("histogram estimates");
         eprintln!(
             "{}: sampling error {:.2}x, histogram error {:.2}x over {} operators",
             which.name(),

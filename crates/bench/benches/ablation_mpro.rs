@@ -19,8 +19,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ranksql_executor::{
-    mpro::MProOp, operator::take, rank::RankOp, scan::RankScan, MetricsRegistry,
-    PhysicalOperator,
+    mpro::MProOp, operator::take, rank::RankOp, scan::RankScan, ExecutionContext, PhysicalOperator,
 };
 use ranksql_expr::{RankPredicate, RankingContext, ScalarExpr, ScoringFunction};
 use ranksql_storage::{ScoreIndex, Table};
@@ -66,17 +65,11 @@ fn mu_chain(
     index: &Arc<ScoreIndex>,
     ctx: &Arc<RankingContext>,
 ) -> Box<dyn PhysicalOperator> {
-    let reg = MetricsRegistry::new();
-    let scan = RankScan::new(
-        Arc::clone(table),
-        Arc::clone(index),
-        0,
-        Arc::clone(ctx),
-        reg.register("scan"),
-    )
-    .expect("rank-scan");
-    let mu_f4 = RankOp::new(Box::new(scan), 1, Arc::clone(ctx), reg.register("mu_f4"));
-    Box::new(RankOp::new(Box::new(mu_f4), 2, Arc::clone(ctx), reg.register("mu_f5")))
+    let exec = ExecutionContext::new(Arc::clone(ctx));
+    let scan =
+        RankScan::new(Arc::clone(table), Arc::clone(index), 0, &exec, "scan").expect("rank-scan");
+    let mu_f4 = RankOp::new(Box::new(scan), 1, &exec, "mu_f4");
+    Box::new(RankOp::new(Box::new(mu_f4), 2, &exec, "mu_f5"))
 }
 
 fn mpro(
@@ -84,16 +77,10 @@ fn mpro(
     index: &Arc<ScoreIndex>,
     ctx: &Arc<RankingContext>,
 ) -> Box<dyn PhysicalOperator> {
-    let reg = MetricsRegistry::new();
-    let scan = RankScan::new(
-        Arc::clone(table),
-        Arc::clone(index),
-        0,
-        Arc::clone(ctx),
-        reg.register("scan"),
-    )
-    .expect("rank-scan");
-    Box::new(MProOp::new(Box::new(scan), vec![1, 2], Arc::clone(ctx), reg.register("mpro")))
+    let exec = ExecutionContext::new(Arc::clone(ctx));
+    let scan =
+        RankScan::new(Arc::clone(table), Arc::clone(index), 0, &exec, "scan").expect("rank-scan");
+    Box::new(MProOp::new(Box::new(scan), vec![1, 2], &exec, "mpro"))
 }
 
 fn bench_mpro(c: &mut Criterion) {

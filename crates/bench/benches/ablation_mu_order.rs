@@ -32,17 +32,27 @@ fn bench_mu_order(c: &mut Criterion) {
     query.bool_predicates = vec![jc1.clone(), filter_a.clone(), filter_b.clone()];
 
     let left = LogicalPlan::rank_scan(&a, 0).select(filter_a).rank(1);
-    let right_f3_first =
-        LogicalPlan::rank_scan(&b_table, 2).select(filter_b.clone()).rank(3);
-    let right_f4_first =
-        LogicalPlan::rank_scan(&b_table, 3).select(filter_b.clone()).rank(2);
+    let right_f3_first = LogicalPlan::rank_scan(&b_table, 2)
+        .select(filter_b.clone())
+        .rank(3);
+    let right_f4_first = LogicalPlan::rank_scan(&b_table, 3)
+        .select(filter_b.clone())
+        .rank(2);
     let plan_f3_first = left
         .clone()
-        .join(right_f3_first, Some(jc1.clone()), JoinAlgorithm::HashRankJoin)
+        .join(
+            right_f3_first,
+            Some(jc1.clone()),
+            JoinAlgorithm::HashRankJoin,
+        )
         .limit(k);
     let plan_f4_first = left
         .clone()
-        .join(right_f4_first, Some(jc1.clone()), JoinAlgorithm::HashRankJoin)
+        .join(
+            right_f4_first,
+            Some(jc1.clone()),
+            JoinAlgorithm::HashRankJoin,
+        )
         .limit(k);
     // All µ above the join (no push-down).
     let plan_mu_above = LogicalPlan::rank_scan(&a, 0)
@@ -65,7 +75,10 @@ fn bench_mu_order(c: &mut Criterion) {
     ] {
         group.bench_function(label, |bench| {
             bench.iter(|| {
-                execute_query_plan(&query, plan, catalog).expect("execution").tuples.len()
+                execute_query_plan(&query, plan, catalog)
+                    .expect("execution")
+                    .tuples
+                    .len()
             })
         });
     }

@@ -18,8 +18,12 @@ use ranksql_optimizer::{
 };
 use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
 
-const STRATEGIES: [&str; 4] =
-    ["dp_exhaustive", "dp_heuristic", "rule_based", "rule_based_small_budget"];
+const STRATEGIES: [&str; 4] = [
+    "dp_exhaustive",
+    "dp_heuristic",
+    "rule_based",
+    "rule_based_small_budget",
+];
 
 fn optimize_with(
     strategy: &str,
@@ -59,7 +63,10 @@ fn optimize_with(
             Arc::clone(estimator),
             CostModel::default(),
         )
-        .with_config(RuleBasedConfig { max_plans: 300, max_costed: 60 })
+        .with_config(RuleBasedConfig {
+            max_plans: 300,
+            max_costed: 60,
+        })
         .optimize()
         .expect("plan"),
         other => unreachable!("unknown strategy {other}"),
@@ -101,9 +108,17 @@ fn bench_rulebased(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_rulebased");
     group.sample_size(10);
     for strategy in STRATEGIES {
-        group.bench_with_input(BenchmarkId::new("search", strategy), &strategy, |b, strategy| {
-            b.iter(|| optimize_with(strategy, &workload, &estimator).stats.plans_considered)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("search", strategy),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    optimize_with(strategy, &workload, &estimator)
+                        .stats
+                        .plans_considered
+                })
+            },
+        );
     }
     group.finish();
 }

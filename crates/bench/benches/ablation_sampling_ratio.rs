@@ -45,15 +45,13 @@ fn bench_sampling_ratio(c: &mut Criterion) {
 
     // Real cardinalities of plan 3's operators (measured once).
     let plan = build_plan(&workload, PaperPlan::Plan3).expect("plan3");
-    let result =
-        execute_query_plan(&workload.query, &plan, &workload.catalog).expect("execution");
+    let result = execute_query_plan(&workload.query, &plan, &workload.catalog).expect("execution");
     let real = result.metrics.output_cardinalities();
 
     // One-off accuracy report per ratio.
     for &ratio in &RATIOS {
-        let estimator =
-            SamplingEstimator::build(&workload.query, &workload.catalog, ratio, 0xF16)
-                .expect("estimator");
+        let estimator = SamplingEstimator::build(&workload.query, &workload.catalog, ratio, 0xF16)
+            .expect("estimator");
         let estimated = estimator.estimate_per_operator(&plan).expect("estimates");
         eprintln!(
             "sample ratio {:>6.3}: geometric-mean ratio error {:.2}x over {} operators",

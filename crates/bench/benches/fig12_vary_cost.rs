@@ -14,7 +14,11 @@ fn set_cost(workload: &mut SyntheticWorkload, cost: u64) {
         .ranking
         .predicates()
         .iter()
-        .map(|p| RankPredicate { name: p.name.clone(), source: p.source.clone(), cost })
+        .map(|p| RankPredicate {
+            name: p.name.clone(),
+            source: p.source.clone(),
+            cost,
+        })
         .collect();
     workload.query.ranking =
         RankingContext::new(predicates, workload.query.ranking.scoring().clone());

@@ -24,18 +24,14 @@ fn bench_fig12a(c: &mut Criterion) {
         workload.query.k = k;
         for plan_kind in PaperPlan::all() {
             let plan = build_plan(&workload, plan_kind).expect("plan");
-            group.bench_with_input(
-                BenchmarkId::new(plan_kind.name(), k),
-                &plan,
-                |b, plan| {
-                    b.iter(|| {
-                        execute_query_plan(&workload.query, plan, &workload.catalog)
-                            .expect("execution")
-                            .tuples
-                            .len()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(plan_kind.name(), k), &plan, |b, plan| {
+                b.iter(|| {
+                    execute_query_plan(&workload.query, plan, &workload.catalog)
+                        .expect("execution")
+                        .tuples
+                        .len()
+                })
+            });
         }
     }
     group.finish();

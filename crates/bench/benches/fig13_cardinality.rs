@@ -44,13 +44,19 @@ fn bench_fig13(c: &mut Criterion) {
     });
     for plan_kind in [PaperPlan::Plan3, PaperPlan::Plan4] {
         let plan = build_plan(&workload, plan_kind).expect("plan");
-        let estimator =
-            SamplingEstimator::build(&workload.query, &workload.catalog, 0.02, 0xF16)
-                .expect("estimator");
+        let estimator = SamplingEstimator::build(&workload.query, &workload.catalog, 0.02, 0xF16)
+            .expect("estimator");
         group.bench_with_input(
             BenchmarkId::new("estimate_per_operator", plan_kind.name()),
             &plan,
-            |b, plan| b.iter(|| estimator.estimate_per_operator(plan).expect("estimates").len()),
+            |b, plan| {
+                b.iter(|| {
+                    estimator
+                        .estimate_per_operator(plan)
+                        .expect("estimates")
+                        .len()
+                })
+            },
         );
     }
     group.finish();

@@ -1,11 +1,18 @@
 //! Micro-benchmarks of the individual rank-aware operators against their
-//! traditional counterparts: µ + rank-scan vs sort, HRJN vs hash-join + sort.
+//! traditional counterparts: µ + rank-scan vs sort, HRJN vs hash-join + sort
+//! — plus the sequential-scan hot path, where the current move-out-of-the-
+//! snapshot scheme is compared against the historical clone-per-tuple
+//! baseline it replaced.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ranksql_algebra::{JoinAlgorithm, LogicalPlan};
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranksql_algebra::{JoinAlgorithm, LogicalPlan, PhysicalPlan};
 use ranksql_common::BitSet64;
-use ranksql_executor::execute_query_plan;
-use ranksql_expr::BoolExpr;
+use ranksql_executor::{
+    execute_physical_plan, execute_query_plan, operator::drain, scan::SeqScan, ExecutionContext,
+};
+use ranksql_expr::{BoolExpr, RankedTuple};
 use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
 
 fn bench_operators(c: &mut Criterion) {
@@ -26,7 +33,9 @@ fn bench_operators(c: &mut Criterion) {
     let mut single = workload.query.clone();
     single.tables = vec!["A".into()];
     single.bool_predicates = vec![];
-    let single_sort = LogicalPlan::scan(&a).sort(BitSet64::from_indices([0, 1])).limit(k);
+    let single_sort = LogicalPlan::scan(&a)
+        .sort(BitSet64::from_indices([0, 1]))
+        .limit(k);
     let single_rank = LogicalPlan::rank_scan(&a, 0).rank(1).limit(k);
 
     // Two-table top-k join.
@@ -35,7 +44,11 @@ fn bench_operators(c: &mut Criterion) {
     join_query.bool_predicates = vec![BoolExpr::col_eq_col("A.jc1", "B.jc1")];
     let jc1 = BoolExpr::col_eq_col("A.jc1", "B.jc1");
     let join_traditional = LogicalPlan::scan(&a)
-        .join(LogicalPlan::scan(&b), Some(jc1.clone()), JoinAlgorithm::Hash)
+        .join(
+            LogicalPlan::scan(&b),
+            Some(jc1.clone()),
+            JoinAlgorithm::Hash,
+        )
         .sort(BitSet64::from_indices([0, 1, 2, 3]))
         .limit(k);
     let join_hrjn = LogicalPlan::rank_scan(&a, 0)
@@ -56,10 +69,74 @@ fn bench_operators(c: &mut Criterion) {
         ("join/hrjn", &join_query, &join_hrjn),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), plan, |bench, plan| {
-            bench.iter(|| execute_query_plan(query, plan, catalog).expect("execution").tuples.len())
+            bench.iter(|| {
+                execute_query_plan(query, plan, catalog)
+                    .expect("execution")
+                    .tuples
+                    .len()
+            })
         });
     }
     group.finish();
+
+    // ------------------------------------------------------------------
+    // Scan hot path: the SeqScan operator moves tuples out of its snapshot
+    // (one copy total); the baseline reproduces the historical scheme of
+    // cloning every tuple out of a retained snapshot (two copies, with a
+    // TupleId allocation per clone before TupleId's inline representation).
+    // ------------------------------------------------------------------
+    let mut scan_group = c.benchmark_group("seq_scan_hot_path");
+    scan_group.sample_size(10);
+    let ranking = Arc::clone(&workload.query.ranking);
+    let n_preds = ranking.num_predicates();
+    scan_group.bench_function("snapshot_move", |bench| {
+        bench.iter(|| {
+            // Current scheme: the snapshot is the only copy; tuples are
+            // moved out of it.
+            let mut out = Vec::with_capacity(a.row_count());
+            for t in a.scan() {
+                out.push(RankedTuple::unranked(t, n_preds));
+            }
+            black_box(out.len())
+        })
+    });
+    scan_group.bench_function("snapshot_clone_per_tuple", |bench| {
+        bench.iter(|| {
+            // Historical scheme: the snapshot is retained and every
+            // produced tuple is cloned out of it a second time.
+            let snapshot = a.scan();
+            let mut out = Vec::with_capacity(snapshot.len());
+            #[allow(clippy::needless_range_loop)] // reproduces the indexed-clone scheme verbatim
+            for i in 0..snapshot.len() {
+                out.push(RankedTuple::unranked(snapshot[i].clone(), n_preds));
+            }
+            black_box(out.len())
+        })
+    });
+    scan_group.bench_function("seq_scan_operator_drain", |bench| {
+        // The full operator, including metrics and tuple-budget accounting.
+        bench.iter(|| {
+            let exec = ExecutionContext::new(Arc::clone(&ranking));
+            let mut scan = SeqScan::new(&a, &exec, "seqscan");
+            black_box(drain(&mut scan).expect("scan").len())
+        })
+    });
+    scan_group.finish();
+
+    // Physical-plan execution (the IR path the Database uses end to end).
+    let mut physical_group = c.benchmark_group("physical_plan_execution");
+    physical_group.sample_size(10);
+    let physical = PhysicalPlan::from_logical(&join_hrjn).expect("lowering");
+    physical_group.bench_function("hrjn_topk_via_physical_ir", |bench| {
+        bench.iter(|| {
+            let exec = ExecutionContext::new(Arc::clone(&workload.query.ranking));
+            execute_physical_plan(&physical, catalog, &exec)
+                .expect("execution")
+                .tuples
+                .len()
+        })
+    });
+    physical_group.finish();
 }
 
 criterion_group!(benches, bench_operators);

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use ranksql_bench::experiments::fig13_to_json;
 use ranksql_bench::{run_fig12a, run_fig12b, run_fig12c, run_fig12d, run_fig13};
 use ranksql_workload::SyntheticConfig;
 
@@ -48,7 +49,11 @@ fn main() {
     println!(
         "RankSQL paper experiments ({} configuration)\n\
          base parameters: s = {}, j = {}, c = {}, k = {}\n",
-        if full { "full paper-scale" } else { "scaled-down" },
+        if full {
+            "full paper-scale"
+        } else {
+            "scaled-down"
+        },
         base.table_size,
         base.join_selectivity,
         base.predicate_cost,
@@ -60,22 +65,22 @@ fn main() {
     println!("==== Figure 12(a): execution time vs k ====");
     let a = run_fig12a(&base, &ks).expect("fig12a");
     println!("{}", a.to_table());
-    json.insert("fig12a", serde_json::to_value(&a).expect("serialise"));
+    json.insert("fig12a", a.to_json());
 
     println!("==== Figure 12(b): execution time vs predicate cost c ====");
     let b = run_fig12b(&base, &costs).expect("fig12b");
     println!("{}", b.to_table());
-    json.insert("fig12b", serde_json::to_value(&b).expect("serialise"));
+    json.insert("fig12b", b.to_json());
 
     println!("==== Figure 12(c): execution time vs join selectivity j ====");
     let c = run_fig12c(&base, &sels).expect("fig12c");
     println!("{}", c.to_table());
-    json.insert("fig12c", serde_json::to_value(&c).expect("serialise"));
+    json.insert("fig12c", c.to_json());
 
     println!("==== Figure 12(d): execution time vs table size s (plans 2-4) ====");
     let d = run_fig12d(&base, &sizes).expect("fig12d");
     println!("{}", d.to_table());
-    json.insert("fig12d", serde_json::to_value(&d).expect("serialise"));
+    json.insert("fig12d", d.to_json());
 
     println!("==== Figure 13: real vs estimated operator output cardinalities ====");
     let ratio = if full { 0.001 } else { 0.02 };
@@ -90,11 +95,14 @@ fn main() {
             r.plan, r.operator_index, r.operator, r.real, r.estimated
         );
     }
-    json.insert("fig13", serde_json::to_value(&rows).expect("serialise"));
+    json.insert("fig13", fig13_to_json(&rows));
 
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&json).expect("serialise"))
-            .expect("write json");
+        let body: Vec<String> = json
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v}"))
+            .collect();
+        std::fs::write(&path, format!("{{\n{}\n}}\n", body.join(",\n"))).expect("write json");
         println!("\nraw series written to {path}");
     }
 }

@@ -7,12 +7,11 @@ use ranksql_executor::execute_query_plan;
 use ranksql_expr::{RankPredicate, RankingContext};
 use ranksql_optimizer::SamplingEstimator;
 use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
-use serde::Serialize;
 
 use crate::plans::{build_plan, PaperPlan};
 
 /// One measured point of a sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// The swept parameter's value (k, c, j or s).
     pub x: f64,
@@ -29,7 +28,7 @@ pub struct Measurement {
 }
 
 /// A complete series for one figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentSeries {
     /// Figure identifier (e.g. `"fig12a"`).
     pub id: String,
@@ -55,13 +54,81 @@ impl ExperimentSeries {
         }
         out
     }
+
+    /// Renders the series as a JSON array (hand-rolled: the build container
+    /// has no crates.io access, so there is no serde to derive from).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"x\":{},\"plan\":{},\"seconds\":{},\"predicate_evaluations\":{},\"tuples_scanned\":{},\"results\":{}}}",
+                    json_f64(m.x),
+                    json_string(&m.plan),
+                    json_f64(m.seconds),
+                    m.predicate_evaluations,
+                    m.tuples_scanned,
+                    m.results
+                )
+            })
+            .collect();
+        format!(
+            "{{\"id\":{},\"x_label\":{},\"rows\":[{}]}}",
+            json_string(&self.id),
+            json_string(&self.x_label),
+            rows.join(",")
+        )
+    }
 }
 
-fn run_one(
-    workload: &SyntheticWorkload,
-    which: PaperPlan,
-    x: f64,
-) -> Result<Measurement> {
+/// Renders a Figure 13 row set as a JSON array.
+pub fn fig13_to_json(rows: &[Fig13Row]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"plan\":{},\"operator_index\":{},\"operator\":{},\"real\":{},\"estimated\":{}}}",
+                json_string(&r.plan),
+                r.operator_index,
+                json_string(&r.operator),
+                r.real,
+                json_f64(r.estimated)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number (JSON has no NaN/∞ literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn run_one(workload: &SyntheticWorkload, which: PaperPlan, x: f64) -> Result<Measurement> {
     let plan = build_plan(workload, which)?;
     let start = Instant::now();
     let result = execute_query_plan(&workload.query, &plan, &workload.catalog)?;
@@ -91,7 +158,11 @@ fn with_predicate_cost(workload: &mut SyntheticWorkload, cost: u64) {
         .ranking
         .predicates()
         .iter()
-        .map(|p| RankPredicate { name: p.name.clone(), source: p.source.clone(), cost })
+        .map(|p| RankPredicate {
+            name: p.name.clone(),
+            source: p.source.clone(),
+            cost,
+        })
         .collect();
     workload.query.ranking =
         RankingContext::new(predicates, workload.query.ranking.scoring().clone());
@@ -108,7 +179,11 @@ pub fn run_fig12a(base: &SyntheticConfig, ks: &[usize]) -> Result<ExperimentSeri
             rows.push(run_one(&workload, plan, k as f64)?);
         }
     }
-    Ok(ExperimentSeries { id: "fig12a".into(), x_label: "k".into(), rows })
+    Ok(ExperimentSeries {
+        id: "fig12a".into(),
+        x_label: "k".into(),
+        rows,
+    })
 }
 
 /// Figure 12(b): execution time vs ranking-predicate cost `c`
@@ -122,7 +197,11 @@ pub fn run_fig12b(base: &SyntheticConfig, costs: &[u64]) -> Result<ExperimentSer
             rows.push(run_one(&workload, plan, c as f64)?);
         }
     }
-    Ok(ExperimentSeries { id: "fig12b".into(), x_label: "c (unit costs)".into(), rows })
+    Ok(ExperimentSeries {
+        id: "fig12b".into(),
+        x_label: "c (unit costs)".into(),
+        rows,
+    })
 }
 
 /// Figure 12(c): execution time vs join selectivity `j`
@@ -137,7 +216,11 @@ pub fn run_fig12c(base: &SyntheticConfig, selectivities: &[f64]) -> Result<Exper
             rows.push(run_one(&workload, plan, j)?);
         }
     }
-    Ok(ExperimentSeries { id: "fig12c".into(), x_label: "join selectivity".into(), rows })
+    Ok(ExperimentSeries {
+        id: "fig12c".into(),
+        x_label: "join selectivity".into(),
+        rows,
+    })
 }
 
 /// Figure 12(d): execution time vs table size `s`
@@ -153,11 +236,15 @@ pub fn run_fig12d(base: &SyntheticConfig, sizes: &[usize]) -> Result<ExperimentS
             rows.push(run_one(&workload, plan, s as f64)?);
         }
     }
-    Ok(ExperimentSeries { id: "fig12d".into(), x_label: "table size".into(), rows })
+    Ok(ExperimentSeries {
+        id: "fig12d".into(),
+        x_label: "table size".into(),
+        rows,
+    })
 }
 
 /// One operator's real vs estimated output cardinality (Figure 13).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13Row {
     /// Which plan the operator belongs to (`plan3` or `plan4`).
     pub plan: String,
@@ -177,16 +264,24 @@ pub fn run_fig13(base: &SyntheticConfig, sample_ratio: f64) -> Result<Vec<Fig13R
     let workload = SyntheticWorkload::generate(base.clone())?;
     let estimator =
         SamplingEstimator::build(&workload.query, &workload.catalog, sample_ratio, 0xF16)?;
+    let cost_model = ranksql_optimizer::CostModel::default();
     let mut rows = Vec::new();
     for which in [PaperPlan::Plan3, PaperPlan::Plan4] {
         let plan = build_plan(&workload, which)?;
-        let estimated = estimator.estimate_per_operator(&plan)?;
+        // Lower with per-node estimates: the annotated physical tree pairs
+        // one-to-one (post-order) with the executor's metric registration.
+        let physical = ranksql_optimizer::lower_with_estimates(
+            &plan,
+            &workload.query.ranking,
+            &estimator,
+            &cost_model,
+        )?;
+        let estimated =
+            ranksql_optimizer::physical_estimates(&physical, Some(&workload.query.ranking));
         let result = execute_query_plan(&workload.query, &plan, &workload.catalog)?;
         let real = result.metrics.output_cardinalities();
         assert_eq!(estimated.len(), real.len());
-        for (i, ((label, est), (_, real_card))) in
-            estimated.iter().zip(real.iter()).enumerate()
-        {
+        for (i, ((label, est), (_, real_card))) in estimated.iter().zip(real.iter()).enumerate() {
             rows.push(Fig13Row {
                 plan: which.name().to_owned(),
                 operator_index: i,

@@ -25,7 +25,12 @@ pub enum PaperPlan {
 impl PaperPlan {
     /// All four plans in paper order.
     pub fn all() -> [PaperPlan; 4] {
-        [PaperPlan::Plan1, PaperPlan::Plan2, PaperPlan::Plan3, PaperPlan::Plan4]
+        [
+            PaperPlan::Plan1,
+            PaperPlan::Plan2,
+            PaperPlan::Plan3,
+            PaperPlan::Plan4,
+        ]
     }
 
     /// The plans that remain feasible at very large table sizes (the paper
@@ -69,7 +74,11 @@ pub fn build_plan(workload: &SyntheticWorkload, which: PaperPlan) -> Result<Logi
                 Some(jc1),
                 JoinAlgorithm::SortMerge,
             )
-            .join(LogicalPlan::index_scan(&c, "C.jc2"), Some(jc2), JoinAlgorithm::SortMerge)
+            .join(
+                LogicalPlan::index_scan(&c, "C.jc2"),
+                Some(jc2),
+                JoinAlgorithm::SortMerge,
+            )
             .sort(BitSet64::all(5))
             .limit(k),
         PaperPlan::Plan2 => LogicalPlan::rank_scan(&a, 0)
@@ -80,7 +89,11 @@ pub fn build_plan(workload: &SyntheticWorkload, which: PaperPlan) -> Result<Logi
                 Some(jc1),
                 JoinAlgorithm::HashRankJoin,
             )
-            .join(LogicalPlan::rank_scan(&c, 4), Some(jc2), JoinAlgorithm::HashRankJoin)
+            .join(
+                LogicalPlan::rank_scan(&c, 4),
+                Some(jc2),
+                JoinAlgorithm::HashRankJoin,
+            )
             .limit(k),
         PaperPlan::Plan3 => LogicalPlan::rank_scan(&a, 0)
             .select(filter_a)
@@ -90,7 +103,11 @@ pub fn build_plan(workload: &SyntheticWorkload, which: PaperPlan) -> Result<Logi
                 Some(jc1),
                 JoinAlgorithm::HashRankJoin,
             )
-            .join(LogicalPlan::rank_scan(&c, 4), Some(jc2), JoinAlgorithm::HashRankJoin)
+            .join(
+                LogicalPlan::rank_scan(&c, 4),
+                Some(jc2),
+                JoinAlgorithm::HashRankJoin,
+            )
             .limit(k),
         PaperPlan::Plan4 => LogicalPlan::index_scan(&a, "A.jc1")
             .select(filter_a)
@@ -103,7 +120,11 @@ pub fn build_plan(workload: &SyntheticWorkload, which: PaperPlan) -> Result<Logi
             .rank(1)
             .rank(2)
             .rank(3)
-            .join(LogicalPlan::rank_scan(&c, 4), Some(jc2), JoinAlgorithm::HashRankJoin)
+            .join(
+                LogicalPlan::rank_scan(&c, 4),
+                Some(jc2),
+                JoinAlgorithm::HashRankJoin,
+            )
             .limit(k),
     };
     Ok(plan)
@@ -144,8 +165,7 @@ mod tests {
 
     #[test]
     fn plan_shapes_match_figure11() {
-        let workload =
-            SyntheticWorkload::generate(SyntheticConfig::small(100)).unwrap();
+        let workload = SyntheticWorkload::generate(SyntheticConfig::small(100)).unwrap();
         let p1 = build_plan(&workload, PaperPlan::Plan1).unwrap();
         assert!(p1.has_blocking_sort());
         assert_eq!(p1.rank_operator_count(), 0);

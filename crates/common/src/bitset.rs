@@ -8,10 +8,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A set of small indices (`0..64`) packed into a `u64`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct BitSet64(u64);
 
 impl BitSet64 {
@@ -116,7 +114,11 @@ impl BitSet64 {
     /// Enumerates every subset of this set (including the empty set and the
     /// set itself).  Used by the DP enumerator to split signatures.
     pub fn subsets(self) -> SubsetIter {
-        SubsetIter { universe: self.0, current: 0, done: false }
+        SubsetIter {
+            universe: self.0,
+            current: 0,
+            done: false,
+        }
     }
 }
 

@@ -1,0 +1,65 @@
+//! Abstract plan-cost units.
+//!
+//! [`Cost`] lives in the common crate (rather than the optimizer) because
+//! the physical plan IR in `ranksql-algebra` annotates every node with its
+//! estimated cost, and the executor reports it back through `explain` —
+//! three layers share the type.
+
+use std::ops::Add;
+
+/// A plan cost in abstract cost units (comparable, additive).
+///
+/// The absolute scale is meaningless; costs are only ever compared against
+/// each other within one cost model.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Cost(pub f64);
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost(0.0);
+    /// An effectively infinite cost (used for pruned / infeasible plans).
+    pub const INFINITE: Cost = Cost(f64::INFINITY);
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this cost is finite.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost(self.0 + rhs.0)
+    }
+}
+
+impl Eq for Cost {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_arithmetic_and_ordering() {
+        assert_eq!(Cost(1.0) + Cost(2.0), Cost(3.0));
+        assert!(Cost(1.0) < Cost(2.0));
+        assert!(Cost::INFINITE > Cost(1e12));
+        assert!(!Cost::INFINITE.is_finite());
+        assert!(Cost::ZERO.is_finite());
+        assert_eq!(Cost(5.0).value(), 5.0);
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bitset;
+pub mod cost;
 pub mod error;
 pub mod schema;
 pub mod score;
@@ -25,6 +26,7 @@ pub mod tuple;
 pub mod value;
 
 pub use bitset::BitSet64;
+pub use cost::Cost;
 pub use error::{RankSqlError, Result};
 pub use schema::{Field, Schema};
 pub use score::Score;

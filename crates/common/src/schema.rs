@@ -3,13 +3,11 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{RankSqlError, Result};
 use crate::value::DataType;
 
 /// A single column description.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
     /// Optional relation qualifier (e.g. `"Hotel"` in `Hotel.price`).
     pub relation: Option<String>,
@@ -22,7 +20,11 @@ pub struct Field {
 impl Field {
     /// Creates an unqualified field.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { relation: None, name: name.into(), data_type }
+        Field {
+            relation: None,
+            name: name.into(),
+            data_type,
+        }
     }
 
     /// Creates a field qualified by a relation name.
@@ -31,7 +33,11 @@ impl Field {
         name: impl Into<String>,
         data_type: DataType,
     ) -> Self {
-        Field { relation: Some(relation.into()), name: name.into(), data_type }
+        Field {
+            relation: Some(relation.into()),
+            name: name.into(),
+            data_type,
+        }
     }
 
     /// Returns the fully qualified `relation.name` (or just `name`).
@@ -44,7 +50,11 @@ impl Field {
 
     /// Returns a copy of this field re-qualified with `relation`.
     pub fn with_relation(&self, relation: impl Into<String>) -> Field {
-        Field { relation: Some(relation.into()), name: self.name.clone(), data_type: self.data_type }
+        Field {
+            relation: Some(relation.into()),
+            name: self.name.clone(),
+            data_type: self.data_type,
+        }
     }
 
     /// Whether a `[rel.]name` reference matches this field.
@@ -70,7 +80,7 @@ impl fmt::Display for Field {
 ///
 /// Schemas are cheaply clonable (`Arc` internally) because every tuple stream
 /// and plan node carries one.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Arc<Vec<Field>>,
 }
@@ -78,7 +88,9 @@ pub struct Schema {
 impl Schema {
     /// Creates a schema from fields.
     pub fn new(fields: Vec<Field>) -> Self {
-        Schema { fields: Arc::new(fields) }
+        Schema {
+            fields: Arc::new(fields),
+        }
     }
 
     /// An empty schema.
@@ -150,7 +162,12 @@ impl Schema {
 
     /// Returns a schema with all fields re-qualified by `relation`.
     pub fn qualify_all(&self, relation: &str) -> Schema {
-        Schema::new(self.fields.iter().map(|f| f.with_relation(relation)).collect())
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| f.with_relation(relation))
+                .collect(),
+        )
     }
 }
 
@@ -197,7 +214,10 @@ mod tests {
     #[test]
     fn unqualified_lookup_detects_ambiguity() {
         let s = abc_schema();
-        assert!(matches!(s.index_of(None, "x"), Err(RankSqlError::Schema(_))));
+        assert!(matches!(
+            s.index_of(None, "x"),
+            Err(RankSqlError::Schema(_))
+        ));
         assert_eq!(s.index_of(None, "y").unwrap(), 1);
     }
 
@@ -229,7 +249,10 @@ mod tests {
 
     #[test]
     fn qualify_all_rewrites_relation() {
-        let s = Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::Utf8)]);
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+        ]);
         let q = s.qualify_all("T");
         assert_eq!(q.field(0).qualified_name(), "T.a");
         assert_eq!(q.field(1).qualified_name(), "T.b");

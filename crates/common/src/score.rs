@@ -4,15 +4,13 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A ranking score: an `f64` with a *total* order.
 ///
 /// Ranking-predicate scores and maximal-possible scores (`F_P[t]`, Property 1
 /// of the paper) are represented by this type so they can be used directly as
 /// priority-queue and B-tree keys.  `NaN` is ordered below every other score
 /// (a tuple with an undefined score can never displace a ranked one).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Score(pub f64);
 
 impl Score {
@@ -113,7 +111,7 @@ mod tests {
 
     #[test]
     fn total_order_with_nan_lowest() {
-        let mut v = vec![Score(0.5), Score(f64::NAN), Score(1.5), Score(-1.0)];
+        let mut v = [Score(0.5), Score(f64::NAN), Score(1.5), Score(-1.0)];
         v.sort();
         assert!(v[0].0.is_nan());
         assert_eq!(v[1], Score(-1.0));

@@ -3,9 +3,19 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
+
+#[derive(Debug, Clone)]
+enum IdParts {
+    /// A single-constituent (base-table or synthetic) identity, stored
+    /// inline: cloning a base tuple allocates nothing, which matters on the
+    /// scan hot path where every snapshot clone copies N identities.
+    Single([(u32, u64); 1]),
+    /// A join identity (≥ 2 constituents, sorted); `Arc`-shared so cloning
+    /// join results into ranking queues and hash tables is one refcount
+    /// bump instead of a heap allocation.
+    Joined(Arc<[(u32, u64)]>),
+}
 
 /// The identity of a tuple.
 ///
@@ -18,45 +28,97 @@ use crate::value::Value;
 ///    e.g. by unique tuple IDs"), and
 /// 2. duplicate detection for the set operators (∪, ∩, −) and for counting
 ///    distinct tuples in the cardinality estimator.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+///
+/// Equality, ordering and hashing are all defined over [`TupleId::parts`],
+/// regardless of the internal representation.
 pub struct TupleId {
-    /// Sorted list of `(table_id, row_index)` constituents.
-    parts: Vec<(u32, u64)>,
+    parts: IdParts,
 }
 
 impl TupleId {
     /// Identity of a base-table tuple.
     pub fn base(table_id: u32, row_index: u64) -> Self {
-        TupleId { parts: vec![(table_id, row_index)] }
+        TupleId {
+            parts: IdParts::Single([(table_id, row_index)]),
+        }
     }
 
     /// An identity for tuples synthesised outside any table (e.g. literals in
     /// tests); uses table id `u32::MAX`.
     pub fn synthetic(n: u64) -> Self {
-        TupleId { parts: vec![(u32::MAX, n)] }
+        TupleId::base(u32::MAX, n)
     }
 
     /// Combines two identities (join / product): the result is the multiset
     /// union of constituents kept in sorted order so that combination is
     /// commutative and associative.
     pub fn combine(&self, other: &TupleId) -> TupleId {
-        let mut parts = Vec::with_capacity(self.parts.len() + other.parts.len());
-        parts.extend_from_slice(&self.parts);
-        parts.extend_from_slice(&other.parts);
+        let a = self.parts();
+        let b = other.parts();
+        let mut parts = Vec::with_capacity(a.len() + b.len());
+        parts.extend_from_slice(a);
+        parts.extend_from_slice(b);
         parts.sort_unstable();
-        TupleId { parts }
+        TupleId {
+            parts: IdParts::Joined(parts.into()),
+        }
     }
 
     /// The constituent `(table_id, row_index)` pairs.
     pub fn parts(&self) -> &[(u32, u64)] {
-        &self.parts
+        match &self.parts {
+            IdParts::Single(one) => one,
+            IdParts::Joined(many) => many,
+        }
+    }
+}
+
+impl Clone for TupleId {
+    fn clone(&self) -> Self {
+        TupleId {
+            parts: self.parts.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TupleId")
+            .field("parts", &self.parts())
+            .finish()
+    }
+}
+
+impl PartialEq for TupleId {
+    fn eq(&self, other: &Self) -> bool {
+        self.parts() == other.parts()
+    }
+}
+
+impl Eq for TupleId {}
+
+impl std::hash::Hash for TupleId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.parts().hash(state);
+    }
+}
+
+impl PartialOrd for TupleId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TupleId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.parts().cmp(other.parts())
     }
 }
 
 impl fmt::Display for TupleId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "#")?;
-        for (i, (t, r)) in self.parts.iter().enumerate() {
+        for (i, (t, r)) in self.parts().iter().enumerate() {
             if i > 0 {
                 write!(f, "+")?;
             }
@@ -74,7 +136,7 @@ impl fmt::Display for TupleId {
 ///
 /// The value vector is shared (`Arc`) because tuples are buffered in priority
 /// queues, hash tables and sample caches simultaneously.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tuple {
     id: TupleId,
     values: Arc<Vec<Value>>,
@@ -83,7 +145,10 @@ pub struct Tuple {
 impl Tuple {
     /// Creates a tuple with an explicit identity.
     pub fn new(id: TupleId, values: Vec<Value>) -> Self {
-        Tuple { id, values: Arc::new(values) }
+        Tuple {
+            id,
+            values: Arc::new(values),
+        }
     }
 
     /// Creates a synthetic tuple (identity derived from `n`).
@@ -116,13 +181,19 @@ impl Tuple {
         let mut values = Vec::with_capacity(self.arity() + other.arity());
         values.extend_from_slice(self.values());
         values.extend_from_slice(other.values());
-        Tuple { id: self.id.combine(&other.id), values: Arc::new(values) }
+        Tuple {
+            id: self.id.combine(&other.id),
+            values: Arc::new(values),
+        }
     }
 
     /// Projects this tuple onto the given column indices (keeping identity).
     pub fn project(&self, indices: &[usize]) -> Tuple {
         let values = indices.iter().map(|&i| self.values[i].clone()).collect();
-        Tuple { id: self.id.clone(), values: Arc::new(values) }
+        Tuple {
+            id: self.id.clone(),
+            values: Arc::new(values),
+        }
     }
 }
 
@@ -176,7 +247,10 @@ mod tests {
 
     #[test]
     fn project_keeps_identity() {
-        let t = Tuple::new(TupleId::base(0, 7), vec![Value::from(1), Value::from(2), Value::from(3)]);
+        let t = Tuple::new(
+            TupleId::base(0, 7),
+            vec![Value::from(1), Value::from(2), Value::from(3)],
+        );
         let p = t.project(&[2, 0]);
         assert_eq!(p.values(), &[Value::from(3), Value::from(1)]);
         assert_eq!(p.id(), t.id());
@@ -192,7 +266,11 @@ mod tests {
 
     #[test]
     fn tuple_ids_provide_total_order_for_tie_breaking() {
-        let mut ids = vec![TupleId::base(1, 2), TupleId::base(0, 9), TupleId::base(1, 0)];
+        let mut ids = [
+            TupleId::base(1, 2),
+            TupleId::base(0, 9),
+            TupleId::base(1, 0),
+        ];
         ids.sort();
         assert_eq!(ids[0], TupleId::base(0, 9));
         assert_eq!(ids[1], TupleId::base(1, 0));

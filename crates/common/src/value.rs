@@ -3,10 +3,8 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The logical type of a [`Value`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int64,
@@ -47,7 +45,7 @@ impl fmt::Display for DataType {
 /// compare numerically across `Int64`/`Float64`, `NaN` sorts after all other
 /// floats, and values of different non-numeric types compare by a fixed type
 /// rank. Equality follows the same rules (so `Int64(1) == Float64(1.0)`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL.
     Null,
@@ -289,7 +287,10 @@ mod tests {
     #[test]
     fn negative_zero_equals_zero_and_hashes_alike() {
         assert_eq!(Value::Float64(-0.0), Value::Float64(0.0));
-        assert_eq!(hash_of(&Value::Float64(-0.0)), hash_of(&Value::Float64(0.0)));
+        assert_eq!(
+            hash_of(&Value::Float64(-0.0)),
+            hash_of(&Value::Float64(0.0))
+        );
     }
 
     #[test]

@@ -78,7 +78,9 @@ impl QueryBuilder {
     /// Builds the query, validating the pieces.
     pub fn build(self) -> Result<RankQuery> {
         if self.tables.is_empty() {
-            return Err(RankSqlError::Plan("a query needs at least one table".into()));
+            return Err(RankSqlError::Plan(
+                "a query needs at least one table".into(),
+            ));
         }
         let k = self
             .k

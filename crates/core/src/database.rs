@@ -2,9 +2,9 @@
 
 use std::sync::Arc;
 
-use ranksql_algebra::{LogicalPlan, RankQuery};
+use ranksql_algebra::{LogicalPlan, PhysicalPlan, RankQuery};
 use ranksql_common::{Result, Schema, Value};
-use ranksql_executor::execute_query_plan;
+use ranksql_executor::{execute_physical_plan, ExecutionContext};
 use ranksql_optimizer::{OptimizedPlan, OptimizerConfig, OptimizerMode, RankOptimizer};
 use ranksql_storage::{Catalog, Table};
 
@@ -43,12 +43,18 @@ impl Default for Database {
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
-        Database { catalog: Catalog::new(), optimizer_config: OptimizerConfig::default() }
+        Database {
+            catalog: Catalog::new(),
+            optimizer_config: OptimizerConfig::default(),
+        }
     }
 
     /// Creates a database with a custom optimizer configuration.
     pub fn with_optimizer_config(config: OptimizerConfig) -> Self {
-        Database { catalog: Catalog::new(), optimizer_config: config }
+        Database {
+            catalog: Catalog::new(),
+            optimizer_config: config,
+        }
     }
 
     /// The underlying catalog.
@@ -109,8 +115,10 @@ impl Database {
         match mode {
             PlanMode::Canonical => {
                 let plan = query.canonical_plan(&self.catalog)?;
+                let physical = PhysicalPlan::from_logical(&plan)?;
                 Ok(OptimizedPlan {
                     plan,
+                    physical,
                     cost: ranksql_optimizer::Cost::ZERO,
                     estimated_cardinality: query.k as f64,
                     stats: Default::default(),
@@ -147,7 +155,9 @@ impl Database {
         }
     }
 
-    /// Returns a human-readable explanation of the plan chosen for a query.
+    /// Returns a human-readable explanation of the plan chosen for a query:
+    /// the logical tree and the physical tree the executor will run, the
+    /// latter with the optimizer's per-node cost and cardinality estimates.
     pub fn explain(&self, query: &RankQuery, mode: PlanMode) -> Result<String> {
         let optimized = self.plan(query, mode)?;
         let mut out = String::new();
@@ -157,7 +167,10 @@ impl Database {
             optimized.cost.value(),
             optimized.estimated_cardinality
         ));
+        out.push_str("logical plan:\n");
         out.push_str(&optimized.plan.explain(Some(&query.ranking)));
+        out.push_str("physical plan:\n");
+        out.push_str(&optimized.physical.explain(Some(&query.ranking)));
         Ok(out)
     }
 
@@ -166,16 +179,28 @@ impl Database {
         self.execute_with_mode(query, PlanMode::RankAware)
     }
 
-    /// Plans under `mode` and executes a query.
+    /// Plans under `mode` and executes the planned physical plan.
     pub fn execute_with_mode(&self, query: &RankQuery, mode: PlanMode) -> Result<QueryResult> {
         let optimized = self.plan(query, mode)?;
-        self.execute_plan(query, &optimized.plan)
+        self.execute_physical(query, &optimized.physical)
     }
 
-    /// Executes an explicit plan (e.g. one of the paper's hand-built plans).
+    /// Executes an explicit logical plan (e.g. one of the paper's hand-built
+    /// plans) by structurally lowering it first.
     pub fn execute_plan(&self, query: &RankQuery, plan: &LogicalPlan) -> Result<QueryResult> {
-        let execution = execute_query_plan(query, plan, &self.catalog)?;
-        QueryResult::from_execution(query, plan, execution)
+        let physical = PhysicalPlan::from_logical(plan)?;
+        self.execute_physical(query, &physical)
+    }
+
+    /// Executes a physical plan directly.
+    pub fn execute_physical(
+        &self,
+        query: &RankQuery,
+        physical: &PhysicalPlan,
+    ) -> Result<QueryResult> {
+        let exec = ExecutionContext::new(Arc::clone(&query.ranking));
+        let execution = execute_physical_plan(physical, &self.catalog, &exec)?;
+        QueryResult::from_execution(query, physical, execution)
     }
 }
 
@@ -249,7 +274,10 @@ mod tests {
     #[test]
     fn all_modes_agree() {
         let (db, query) = db_with_data();
-        let reference = db.execute_with_mode(&query, PlanMode::Canonical).unwrap().scores();
+        let reference = db
+            .execute_with_mode(&query, PlanMode::Canonical)
+            .unwrap()
+            .scores();
         for mode in [
             PlanMode::RankAware,
             PlanMode::RankAwareExhaustive,
@@ -280,7 +308,9 @@ mod tests {
         assert_eq!(table.row_count(), 2);
         assert_eq!(table.schema().len(), 3);
 
-        let appended = db.load_csv("Hotel", "name,city,quality\nlodge,1,0.5\n", &options).unwrap();
+        let appended = db
+            .load_csv("Hotel", "name,city,quality\nlodge,1,0.5\n", &options)
+            .unwrap();
         assert_eq!(appended, 1);
         assert_eq!(db.catalog().table("Hotel").unwrap().row_count(), 3);
 
@@ -301,7 +331,8 @@ mod tests {
     #[test]
     fn insert_batch_and_catalog_access() {
         let db = Database::new();
-        db.create_table("T", Schema::new(vec![Field::new("x", DataType::Int64)])).unwrap();
+        db.create_table("T", Schema::new(vec![Field::new("x", DataType::Int64)]))
+            .unwrap();
         let n = db
             .insert_batch("T", (0..5i64).map(|i| vec![Value::from(i)]))
             .unwrap();

@@ -43,12 +43,13 @@ pub fn parse_topk_query(sql: &str) -> Result<RankQuery> {
     // slicing panic.
     let clauses_in_order = select_pos + "select".len() <= from_pos
         && from_pos + "from".len() <= where_pos.unwrap_or(order_pos)
-        && where_pos.map(|w| w + " where ".len() <= order_pos).unwrap_or(true)
+        && where_pos
+            .map(|w| w + " where ".len() <= order_pos)
+            .unwrap_or(true)
         && order_pos + " order by ".len() <= limit_pos;
     if !clauses_in_order {
         return Err(RankSqlError::Parse(
-            "clauses must appear in the order SELECT … FROM … [WHERE …] ORDER BY … LIMIT …"
-                .into(),
+            "clauses must appear in the order SELECT … FROM … [WHERE …] ORDER BY … LIMIT …".into(),
         ));
     }
 
@@ -96,7 +97,9 @@ pub fn parse_topk_query(sql: &str) -> Result<RankQuery> {
         predicates.push(parse_rank_term(term.trim(), predicates.len())?);
     }
     if predicates.is_empty() {
-        return Err(RankSqlError::Parse("ORDER BY lists no ranking predicates".into()));
+        return Err(RankSqlError::Parse(
+            "ORDER BY lists no ranking predicates".into(),
+        ));
     }
 
     // LIMIT
@@ -169,7 +172,11 @@ fn parse_condition(conjunct: &str) -> Result<BoolExpr> {
         }
     }
     if let Some((l, r)) = conjunct.split_once('=') {
-        return Ok(BoolExpr::compare(parse_operand(l), CompareOp::Eq, parse_operand(r)));
+        return Ok(BoolExpr::compare(
+            parse_operand(l),
+            CompareOp::Eq,
+            parse_operand(r),
+        ));
     }
     // A bare boolean column.
     let col = conjunct.trim();
@@ -186,9 +193,10 @@ fn parse_rank_term(term: &str, index: usize) -> Result<RankPredicate> {
     // Optional trailing `COST n`.
     let (term, cost) = match term.to_lowercase().find(" cost ") {
         Some(pos) => {
-            let cost: u64 = term[pos + " cost ".len()..].trim().parse().map_err(|_| {
-                RankSqlError::Parse(format!("invalid COST annotation in `{term}`"))
-            })?;
+            let cost: u64 = term[pos + " cost ".len()..]
+                .trim()
+                .parse()
+                .map_err(|_| RankSqlError::Parse(format!("invalid COST annotation in `{term}`")))?;
             (term[..pos].trim(), cost)
         }
         None => (term, 0),
@@ -201,11 +209,17 @@ fn parse_rank_term(term: &str, index: usize) -> Result<RankPredicate> {
         let name = term[..open].trim();
         let column = term[open + 1..close].trim();
         if name.is_empty() || column.is_empty() {
-            return Err(RankSqlError::Parse(format!("malformed ranking predicate `{term}`")));
+            return Err(RankSqlError::Parse(format!(
+                "malformed ranking predicate `{term}`"
+            )));
         }
         return Ok(RankPredicate::attribute_with_cost(name, column, cost));
     }
-    let name = if term.contains('.') { term.replace('.', "_") } else { format!("p{index}") };
+    let name = if term.contains('.') {
+        term.replace('.', "_")
+    } else {
+        format!("p{index}")
+    };
     Ok(RankPredicate::attribute_with_cost(name, term, cost))
 }
 
@@ -222,7 +236,10 @@ mod tests {
              LIMIT 10",
         )
         .unwrap();
-        assert_eq!(q.tables, vec!["A".to_string(), "B".to_string(), "C".to_string()]);
+        assert_eq!(
+            q.tables,
+            vec!["A".to_string(), "B".to_string(), "C".to_string()]
+        );
         assert_eq!(q.bool_predicates.len(), 4);
         assert_eq!(q.num_rank_predicates(), 5);
         assert_eq!(q.ranking.predicate(0).name, "f1");
@@ -284,10 +301,13 @@ mod tests {
         )
         .unwrap();
         for i in 0..20i64 {
-            db.insert("T", vec![Value::from(i), Value::from((i as f64) / 20.0)]).unwrap();
+            db.insert("T", vec![Value::from(i), Value::from((i as f64) / 20.0)])
+                .unwrap();
         }
         let q = parse_topk_query("SELECT * FROM T ORDER BY T.good LIMIT 3").unwrap();
-        let r = db.execute_with_mode(&q, crate::PlanMode::Canonical).unwrap();
+        let r = db
+            .execute_with_mode(&q, crate::PlanMode::Canonical)
+            .unwrap();
         assert_eq!(r.rows.len(), 3);
         assert_eq!(r.rows[0].tuple.value(0), &Value::from(19));
     }

@@ -4,10 +4,10 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ranksql_algebra::{LogicalPlan, RankQuery};
+use ranksql_algebra::{PhysicalPlan, RankQuery};
 use ranksql_common::{Result, Schema};
 use ranksql_executor::{ExecutionResult, MetricsRegistry};
-use ranksql_expr::RankedTuple;
+use ranksql_expr::{RankedTuple, RankingContext};
 
 /// The result of executing a top-k query.
 #[derive(Debug)]
@@ -16,6 +16,8 @@ pub struct QueryResult {
     pub rows: Vec<RankedTuple>,
     /// The schema of the rows.
     pub schema: Schema,
+    /// The physical plan that produced the rows.
+    pub physical: PhysicalPlan,
     /// Final query scores of the rows (same order).
     scores: Vec<f64>,
     /// Per-operator runtime metrics of the executed plan.
@@ -27,13 +29,13 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
-    /// Builds a result from a finished execution.
+    /// Builds a result from a finished execution of `physical`.
     pub fn from_execution(
         query: &RankQuery,
-        plan: &LogicalPlan,
+        physical: &PhysicalPlan,
         execution: ExecutionResult,
     ) -> Result<Self> {
-        let schema = plan.schema()?;
+        let schema = physical.schema()?;
         let scores = execution
             .tuples
             .iter()
@@ -42,11 +44,19 @@ impl QueryResult {
         Ok(QueryResult {
             rows: execution.tuples,
             schema,
+            physical: physical.clone(),
             scores,
             metrics: execution.metrics,
             elapsed: execution.elapsed,
             predicate_evaluations: execution.predicate_evaluations,
         })
+    }
+
+    /// The executed physical tree annotated with the actual number of
+    /// tuples every operator produced (`EXPLAIN ANALYZE`-style).
+    pub fn explain_analyze(&self, ctx: Option<&RankingContext>) -> String {
+        self.physical
+            .explain_with_actuals(ctx, &self.metrics.output_cardinalities())
     }
 
     /// The final score of each returned row, best first.
@@ -105,7 +115,8 @@ mod tests {
         )
         .unwrap();
         for (n, s) in [("a", 0.3), ("b", 0.9), ("c", 0.6)] {
-            db.insert("T", vec![Value::from(n), Value::from(s)]).unwrap();
+            db.insert("T", vec![Value::from(n), Value::from(s)])
+                .unwrap();
         }
         let q = QueryBuilder::new()
             .table("T")
@@ -113,7 +124,9 @@ mod tests {
             .limit(2)
             .build()
             .unwrap();
-        let r = db.execute_with_mode(&q, crate::PlanMode::Canonical).unwrap();
+        let r = db
+            .execute_with_mode(&q, crate::PlanMode::Canonical)
+            .unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.scores(), vec![0.9, 0.6]);
         let table = r.to_table();

@@ -1,139 +1,236 @@
-//! Lowering logical plans to physical operator trees and driving execution.
+//! Building operator trees from the physical plan IR and driving execution.
+//!
+//! The executor consumes **only** [`PhysicalPlan`]: every physical decision
+//! (scan strategy, join algorithm, sort fusion, probe scheduling) was made
+//! by whoever produced the plan — the optimizer's lowering or the
+//! structural [`PhysicalPlan::from_logical`] mapping.  [`build_operator`] is
+//! a mechanical walk that instantiates the named operator for every node,
+//! threading one [`ExecutionContext`] through all constructors.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ranksql_algebra::{JoinAlgorithm, LogicalPlan, ScanAccess, SetOpKind};
+use ranksql_algebra::{LogicalPlan, PhysicalOp, PhysicalPlan, SetOpKind};
 use ranksql_common::{RankSqlError, Result};
 use ranksql_expr::{RankedTuple, RankingContext};
 use ranksql_storage::{BTreeIndex, Catalog, ScoreIndex};
 
+use crate::context::ExecutionContext;
 use crate::filter::{Filter, Project};
 use crate::join::{HashJoin, NestedLoopJoin, SortMergeJoin};
 use crate::metrics::MetricsRegistry;
+use crate::mpro::MProOp;
 use crate::operator::{drain, BoxedOperator};
 use crate::rank::RankOp;
 use crate::rank_join::RankJoin;
 use crate::scan::{AttributeIndexScan, RankScan, SeqScan};
 use crate::set_ops::{ExceptOp, IntersectOp, UnionOp};
-use crate::sort_limit::{LimitOp, SortOp};
+use crate::sort_limit::{LimitOp, SortLimitOp, SortOp};
 
-/// Lowers a logical plan to a physical operator tree.
+/// Checks that a plan's ranking-predicate index exists in the context.
+fn check_predicate(ctx: &RankingContext, predicate: usize) -> Result<()> {
+    if predicate >= ctx.num_predicates() {
+        return Err(RankSqlError::Plan(format!(
+            "plan references predicate #{predicate} but the query has only {}",
+            ctx.num_predicates()
+        )));
+    }
+    Ok(())
+}
+
+/// Lowers a physical plan to an operator tree.
 ///
-/// Operators register their metrics in `registry` bottom-up (inputs before
-/// parents), so the registration order is deterministic for a given plan
-/// shape — the cardinality-estimation experiment relies on this to pair real
-/// and estimated cardinalities per operator.
+/// Operators register their metrics in the context's registry bottom-up
+/// (inputs before parents), so the registration order is a deterministic
+/// post-order walk of `plan` — the cardinality-estimation experiment and
+/// `explain_with_actuals` rely on this to pair real and estimated
+/// cardinalities per operator.
 ///
-/// Rank-scans require a score index on the scanned table; if none exists one
+/// Rank-scans and attribute-index scans require an index on the scanned
+/// table; if none exists (or a previous one was invalidated by inserts) one
 /// is built on the fly and cached on the table, mirroring the paper's
 /// assumption that such indexes are available as access paths.
 pub fn build_operator(
-    plan: &LogicalPlan,
+    plan: &PhysicalPlan,
     catalog: &Catalog,
-    ctx: &Arc<RankingContext>,
-    registry: &MetricsRegistry,
+    exec: &ExecutionContext,
 ) -> Result<BoxedOperator> {
-    match plan {
-        LogicalPlan::Scan { table, access, .. } => {
+    let label = plan.node_label(Some(exec.ranking()));
+    match &plan.op {
+        PhysicalOp::SeqScan { table, .. } => {
             let table = catalog.table(table)?;
-            match access {
-                ScanAccess::Sequential => {
-                    let m = registry.register(plan.node_label(Some(ctx)));
-                    Ok(Box::new(SeqScan::new(&table, Arc::clone(ctx), m)))
-                }
-                ScanAccess::RankIndex { predicate } => {
-                    let pred = ctx.predicate(*predicate);
-                    let index = match table.score_index(&pred.name) {
-                        Some(idx) => idx,
-                        None => {
-                            let built = ScoreIndex::build(pred, table.schema(), &table.scan())?;
-                            table.add_score_index(built)
-                        }
-                    };
-                    let m = registry.register(plan.node_label(Some(ctx)));
-                    Ok(Box::new(RankScan::new(table, index, *predicate, Arc::clone(ctx), m)?))
-                }
-                ScanAccess::AttributeIndex { column } => {
-                    let index = match table.btree_index(column) {
-                        Some(idx) => idx,
-                        None => {
-                            let built = BTreeIndex::build(column, table.schema(), &table.scan())?;
-                            table.add_btree_index(built)
-                        }
-                    };
-                    let m = registry.register(plan.node_label(Some(ctx)));
-                    Ok(Box::new(AttributeIndexScan::new(table, index, Arc::clone(ctx), m)))
-                }
-            }
+            Ok(Box::new(SeqScan::new(&table, exec, label)))
         }
-        LogicalPlan::Select { input, predicate } => {
-            let child = build_operator(input, catalog, ctx, registry)?;
-            let m = registry.register(plan.node_label(Some(ctx)));
-            Ok(Box::new(Filter::new(child, predicate, m)?))
-        }
-        LogicalPlan::Project { input, columns } => {
-            let child = build_operator(input, catalog, ctx, registry)?;
-            let m = registry.register(plan.node_label(Some(ctx)));
-            Ok(Box::new(Project::new(child, columns, m)?))
-        }
-        LogicalPlan::Rank { input, predicate } => {
-            if *predicate >= ctx.num_predicates() {
-                return Err(RankSqlError::Plan(format!(
-                    "rank operator references predicate #{predicate} but the query has only {}",
-                    ctx.num_predicates()
-                )));
-            }
-            let child = build_operator(input, catalog, ctx, registry)?;
-            let m = registry.register(plan.node_label(Some(ctx)));
-            Ok(Box::new(RankOp::new(child, *predicate, Arc::clone(ctx), m)))
-        }
-        LogicalPlan::Join { left, right, condition, algorithm } => {
-            let l = build_operator(left, catalog, ctx, registry)?;
-            let r = build_operator(right, catalog, ctx, registry)?;
-            let m = registry.register(plan.node_label(Some(ctx)));
-            let op: BoxedOperator = match algorithm {
-                JoinAlgorithm::NestedLoop => {
-                    Box::new(NestedLoopJoin::new(l, r, condition.as_ref(), m)?)
-                }
-                JoinAlgorithm::Hash => Box::new(HashJoin::new(l, r, condition.as_ref(), m)?),
-                JoinAlgorithm::SortMerge => {
-                    Box::new(SortMergeJoin::new(l, r, condition.as_ref(), m)?)
-                }
-                JoinAlgorithm::HashRankJoin => {
-                    Box::new(RankJoin::hrjn(l, r, condition.as_ref(), Arc::clone(ctx), m)?)
-                }
-                JoinAlgorithm::NestedLoopRankJoin => {
-                    Box::new(RankJoin::nrjn(l, r, condition.as_ref(), Arc::clone(ctx), m)?)
+        PhysicalOp::RankScan {
+            table, predicate, ..
+        } => {
+            check_predicate(exec.ranking(), *predicate)?;
+            let table = catalog.table(table)?;
+            let pred = exec.ranking().predicate(*predicate);
+            // A cached index invalidated between its build and caching (the
+            // insert/cache race) is treated like a missing one: rebuilt over
+            // the current rows and swapped into the cache.
+            let index = match table.score_index(&pred.name) {
+                Some(idx) if idx.indexed_rows() == table.row_count() => idx,
+                _ => {
+                    let built = ScoreIndex::build(pred, table.schema(), &table.scan())?;
+                    table.add_score_index(built)
                 }
             };
-            Ok(op)
+            Ok(Box::new(RankScan::new(
+                table, index, *predicate, exec, label,
+            )?))
         }
-        LogicalPlan::SetOp { kind, left, right } => {
-            let l = build_operator(left, catalog, ctx, registry)?;
-            let r = build_operator(right, catalog, ctx, registry)?;
+        PhysicalOp::AttributeIndexScan { table, column, .. } => {
+            let table = catalog.table(table)?;
+            let index = match table.btree_index(column) {
+                Some(idx) if idx.indexed_rows() == table.row_count() => idx,
+                _ => {
+                    let built = BTreeIndex::build(column, table.schema(), &table.scan())?;
+                    table.add_btree_index(built)
+                }
+            };
+            Ok(Box::new(AttributeIndexScan::new(
+                table, index, exec, label,
+            )?))
+        }
+        PhysicalOp::Filter { input, predicate } => {
+            let child = build_operator(input, catalog, exec)?;
+            Ok(Box::new(Filter::new(child, predicate, exec, label)?))
+        }
+        PhysicalOp::Project { input, columns } => {
+            let child = build_operator(input, catalog, exec)?;
+            Ok(Box::new(Project::new(child, columns, exec, label)?))
+        }
+        PhysicalOp::RankMaterialize { input, predicate } => {
+            check_predicate(exec.ranking(), *predicate)?;
+            let child = build_operator(input, catalog, exec)?;
+            Ok(Box::new(RankOp::new(child, *predicate, exec, label)))
+        }
+        PhysicalOp::MproProbe { input, schedule } => {
+            for &p in schedule {
+                check_predicate(exec.ranking(), p)?;
+            }
+            let child = build_operator(input, catalog, exec)?;
+            Ok(Box::new(MProOp::new(child, schedule.clone(), exec, label)))
+        }
+        PhysicalOp::NestedLoopsJoin {
+            left,
+            right,
+            condition,
+        } => {
+            let l = build_operator(left, catalog, exec)?;
+            let r = build_operator(right, catalog, exec)?;
+            Ok(Box::new(NestedLoopJoin::new(
+                l,
+                r,
+                condition.as_ref(),
+                exec,
+                label,
+            )?))
+        }
+        PhysicalOp::HashJoin {
+            left,
+            right,
+            condition,
+        } => {
+            let l = build_operator(left, catalog, exec)?;
+            let r = build_operator(right, catalog, exec)?;
+            Ok(Box::new(HashJoin::new(
+                l,
+                r,
+                condition.as_ref(),
+                exec,
+                label,
+            )?))
+        }
+        PhysicalOp::SortMergeJoin {
+            left,
+            right,
+            condition,
+        } => {
+            let l = build_operator(left, catalog, exec)?;
+            let r = build_operator(right, catalog, exec)?;
+            Ok(Box::new(SortMergeJoin::new(
+                l,
+                r,
+                condition.as_ref(),
+                exec,
+                label,
+            )?))
+        }
+        PhysicalOp::HashRankJoin {
+            left,
+            right,
+            condition,
+        } => {
+            let l = build_operator(left, catalog, exec)?;
+            let r = build_operator(right, catalog, exec)?;
+            Ok(Box::new(RankJoin::hrjn(
+                l,
+                r,
+                condition.as_ref(),
+                exec,
+                label,
+            )?))
+        }
+        PhysicalOp::NestedLoopsRankJoin {
+            left,
+            right,
+            condition,
+        } => {
+            let l = build_operator(left, catalog, exec)?;
+            let r = build_operator(right, catalog, exec)?;
+            Ok(Box::new(RankJoin::nrjn(
+                l,
+                r,
+                condition.as_ref(),
+                exec,
+                label,
+            )?))
+        }
+        PhysicalOp::SetOp { kind, left, right } => {
+            let l = build_operator(left, catalog, exec)?;
+            let r = build_operator(right, catalog, exec)?;
             if l.schema().len() != r.schema().len() {
                 return Err(RankSqlError::Plan(
                     "set operation inputs are not union compatible".into(),
                 ));
             }
-            let m = registry.register(plan.node_label(Some(ctx)));
             let op: BoxedOperator = match kind {
-                SetOpKind::Union => Box::new(UnionOp::new(l, r, Arc::clone(ctx), m)),
-                SetOpKind::Intersect => Box::new(IntersectOp::new(l, r, Arc::clone(ctx), m)),
-                SetOpKind::Except => Box::new(ExceptOp::new(l, r, Arc::clone(ctx), m)),
+                SetOpKind::Union => Box::new(UnionOp::new(l, r, exec, label)),
+                SetOpKind::Intersect => Box::new(IntersectOp::new(l, r, exec, label)),
+                SetOpKind::Except => Box::new(ExceptOp::new(l, r, exec, label)),
             };
             Ok(op)
         }
-        LogicalPlan::Sort { input, predicates } => {
-            let child = build_operator(input, catalog, ctx, registry)?;
-            let m = registry.register(plan.node_label(Some(ctx)));
-            Ok(Box::new(SortOp::new(child, *predicates, Arc::clone(ctx), m)))
+        PhysicalOp::Sort { input, predicates } => {
+            for p in predicates.iter() {
+                check_predicate(exec.ranking(), p)?;
+            }
+            let child = build_operator(input, catalog, exec)?;
+            Ok(Box::new(SortOp::new(child, *predicates, exec, label)))
         }
-        LogicalPlan::Limit { input, k } => {
-            let child = build_operator(input, catalog, ctx, registry)?;
-            let m = registry.register(plan.node_label(Some(ctx)));
-            Ok(Box::new(LimitOp::new(child, *k, m)))
+        PhysicalOp::SortLimit {
+            input,
+            predicates,
+            k,
+        } => {
+            for p in predicates.iter() {
+                check_predicate(exec.ranking(), p)?;
+            }
+            let child = build_operator(input, catalog, exec)?;
+            Ok(Box::new(SortLimitOp::new(
+                child,
+                *predicates,
+                *k,
+                exec,
+                label,
+            )))
+        }
+        PhysicalOp::Limit { input, k } => {
+            let child = build_operator(input, catalog, exec)?;
+            Ok(Box::new(LimitOp::new(child, *k, exec, label)))
         }
     }
 }
@@ -156,28 +253,54 @@ impl ExecutionResult {
     pub fn total_predicate_evaluations(&self) -> u64 {
         self.predicate_evaluations.iter().sum()
     }
+
+    /// `(label, tuples_out)` per operator in post-order — the series
+    /// [`PhysicalPlan::explain_with_actuals`] pairs against the plan.
+    pub fn actual_cardinalities(&self) -> Vec<(String, u64)> {
+        self.metrics.output_cardinalities()
+    }
 }
 
-/// Builds and fully drains a plan, collecting results and metrics.
+/// Builds and fully drains a physical plan under an explicit execution
+/// context, collecting results and metrics.
 ///
 /// The ranking context's evaluation counters are snapshotted around the run
 /// so that [`ExecutionResult::predicate_evaluations`] reflects only this
 /// execution.
+pub fn execute_physical_plan(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    exec: &ExecutionContext,
+) -> Result<ExecutionResult> {
+    let before = exec.ranking().counters().snapshot();
+    let start = Instant::now();
+    let mut root = build_operator(plan, catalog, exec)?;
+    let tuples = drain(root.as_mut())?;
+    let elapsed = start.elapsed();
+    let after = exec.ranking().counters().snapshot();
+    let predicate_evaluations = after
+        .iter()
+        .zip(before.iter())
+        .map(|(a, b)| a - b)
+        .collect();
+    Ok(ExecutionResult {
+        tuples,
+        metrics: Arc::clone(exec.metrics()),
+        elapsed,
+        predicate_evaluations,
+    })
+}
+
+/// Convenience wrapper: structurally lowers a logical plan (zero-cost
+/// annotations) and executes it with a fresh unlimited context.
 pub fn execute_plan(
     plan: &LogicalPlan,
     catalog: &Catalog,
     ctx: &Arc<RankingContext>,
 ) -> Result<ExecutionResult> {
-    let registry = MetricsRegistry::new();
-    let before = ctx.counters().snapshot();
-    let start = Instant::now();
-    let mut root = build_operator(plan, catalog, ctx, &registry)?;
-    let tuples = drain(root.as_mut())?;
-    let elapsed = start.elapsed();
-    let after = ctx.counters().snapshot();
-    let predicate_evaluations =
-        after.iter().zip(before.iter()).map(|(a, b)| a - b).collect();
-    Ok(ExecutionResult { tuples, metrics: registry, elapsed, predicate_evaluations })
+    let physical = PhysicalPlan::from_logical(plan)?;
+    let exec = ExecutionContext::new(Arc::clone(ctx));
+    execute_physical_plan(&physical, catalog, &exec)
 }
 
 /// Convenience wrapper taking the ranking context from a
@@ -194,7 +317,7 @@ pub fn execute_query_plan(
 mod tests {
     use super::*;
     use crate::oracle::oracle_top_k;
-    use ranksql_algebra::RankQuery;
+    use ranksql_algebra::{JoinAlgorithm, RankQuery, ScanAccess};
     use ranksql_common::{BitSet64, DataType, Field, Schema, Value};
     use ranksql_expr::{BoolExpr, RankPredicate, ScoringFunction};
 
@@ -224,7 +347,12 @@ mod tests {
         for i in 0..rows {
             let a = (i * 7 % 13) as i64;
             let p1 = ((i * 37 % 100) as f64) / 100.0;
-            r.insert(vec![Value::from(a), Value::from(p1), Value::from(i % 3 != 0)]).unwrap();
+            r.insert(vec![
+                Value::from(a),
+                Value::from(p1),
+                Value::from(i % 3 != 0),
+            ])
+            .unwrap();
             let a2 = (i * 5 % 13) as i64;
             let p2 = ((i * 61 % 100) as f64) / 100.0;
             s.insert(vec![Value::from(a2), Value::from(p2)]).unwrap();
@@ -238,7 +366,10 @@ mod tests {
         );
         let query = RankQuery::new(
             vec!["R".into(), "S".into()],
-            vec![BoolExpr::col_eq_col("R.a", "S.a"), BoolExpr::column_is_true("R.flag")],
+            vec![
+                BoolExpr::col_eq_col("R.a", "S.a"),
+                BoolExpr::column_is_true("R.flag"),
+            ],
             ranking,
             5,
         );
@@ -246,7 +377,10 @@ mod tests {
     }
 
     fn scores(query: &RankQuery, tuples: &[RankedTuple]) -> Vec<f64> {
-        tuples.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect()
+        tuples
+            .iter()
+            .map(|t| query.ranking.upper_bound(&t.state).value())
+            .collect()
     }
 
     #[test]
@@ -301,17 +435,58 @@ mod tests {
     fn metrics_and_counters_are_reported() {
         let (cat, query) = setup(30);
         let r = cat.table("R").unwrap();
+        // Sort directly under Limit fuses into one SortLimit operator, so the
+        // physical tree has 3 nodes: SeqScan → Rank_p1 → SortLimit.
         let plan = ranksql_algebra::LogicalPlan::scan(&r)
             .rank(0)
             .sort(BitSet64::singleton(0))
             .limit(3);
         let result = execute_plan(&plan, &cat, &query.ranking).unwrap();
         assert_eq!(result.tuples.len(), 3);
-        assert_eq!(result.metrics.len(), 4);
+        assert_eq!(result.metrics.len(), 3);
+        let labels: Vec<String> = result
+            .actual_cardinalities()
+            .iter()
+            .map(|(l, _)| l.clone())
+            .collect();
+        assert!(labels[2].starts_with("SortLimit["), "{labels:?}");
         assert_eq!(result.predicate_evaluations[0], 30);
         assert_eq!(result.predicate_evaluations[1], 0);
         assert_eq!(result.total_predicate_evaluations(), 30);
         assert!(result.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn fused_sort_limit_matches_unfused_sort_plus_limit() {
+        let (cat, query) = setup(60);
+        let r = cat.table("R").unwrap();
+        let logical = ranksql_algebra::LogicalPlan::scan(&r)
+            .sort(BitSet64::singleton(0))
+            .limit(7);
+        // Fused execution (the default structural lowering).
+        let fused = execute_plan(&logical, &cat, &query.ranking).unwrap();
+        // Hand-built unfused physical plan: Sort then Limit as two nodes.
+        let scan = PhysicalPlan::from_logical(&ranksql_algebra::LogicalPlan::scan(&r)).unwrap();
+        let unfused = PhysicalPlan::unestimated(PhysicalOp::Limit {
+            input: Box::new(PhysicalPlan::unestimated(PhysicalOp::Sort {
+                input: Box::new(scan),
+                predicates: BitSet64::singleton(0),
+            })),
+            k: 7,
+        });
+        let exec = ExecutionContext::new(Arc::clone(&query.ranking));
+        let reference = execute_physical_plan(&unfused, &cat, &exec).unwrap();
+        assert_eq!(
+            scores(&query, &fused.tuples),
+            scores(&query, &reference.tuples)
+        );
+        let ids_fused: Vec<_> = fused.tuples.iter().map(|t| t.tuple.id().clone()).collect();
+        let ids_ref: Vec<_> = reference
+            .tuples
+            .iter()
+            .map(|t| t.tuple.id().clone())
+            .collect();
+        assert_eq!(ids_fused, ids_ref);
     }
 
     #[test]
@@ -323,6 +498,83 @@ mod tests {
         let result = execute_plan(&plan, &cat, &query.ranking).unwrap();
         assert_eq!(result.tuples.len(), 2);
         assert!(r.score_index("p1").is_some());
+    }
+
+    #[test]
+    fn rank_scan_recovers_after_inserts_invalidate_the_index() {
+        let (cat, query) = setup(10);
+        let r = cat.table("R").unwrap();
+        let plan = ranksql_algebra::LogicalPlan::rank_scan(&r, 0).limit(3);
+        execute_plan(&plan, &cat, &query.ranking).unwrap();
+        assert!(r.score_index("p1").is_some());
+
+        // Insert a new best row: the cached index is dropped and rebuilt, so
+        // the new row must surface as the top result (a stale index would
+        // silently miss it).
+        r.insert(vec![Value::from(1), Value::from(0.999), Value::from(true)])
+            .unwrap();
+        assert!(
+            r.score_index("p1").is_none(),
+            "insert must drop the stale index"
+        );
+        let result = execute_plan(&plan, &cat, &query.ranking).unwrap();
+        let top = query.ranking.upper_bound(&result.tuples[0].state).value();
+        let n = query.ranking.num_predicates() as f64;
+        assert!((top - (0.999 + (n - 1.0))).abs() < 1e-9, "top={top}");
+    }
+
+    #[test]
+    fn stale_cached_index_is_rebuilt_not_fatal() {
+        let (cat, query) = setup(10);
+        let r = cat.table("R").unwrap();
+        let pred = query.ranking.predicate(0);
+        // Simulate the insert/cache race: an index built before an insert
+        // ends up cached on the table after it.
+        let stale = ScoreIndex::build(pred, r.schema(), &r.scan()).unwrap();
+        r.insert(vec![Value::from(1), Value::from(0.999), Value::from(true)])
+            .unwrap();
+        r.add_score_index(stale);
+        assert_ne!(r.score_index("p1").unwrap().indexed_rows(), r.row_count());
+
+        // The executor must treat the stale cache entry like a missing
+        // index: rebuild, swap it in, and return the current top row.
+        let plan = ranksql_algebra::LogicalPlan::rank_scan(&r, 0).limit(1);
+        let result = execute_plan(&plan, &cat, &query.ranking).unwrap();
+        let top = query.ranking.upper_bound(&result.tuples[0].state).value();
+        assert!((top - (0.999 + 1.0)).abs() < 1e-9, "top={top}");
+        assert_eq!(r.score_index("p1").unwrap().indexed_rows(), r.row_count());
+    }
+
+    #[test]
+    fn stale_index_handles_are_rejected_with_a_catalog_error() {
+        let (cat, query) = setup(10);
+        let r = cat.table("R").unwrap();
+        let pred = query.ranking.predicate(0);
+        let stale = Arc::new(ScoreIndex::build(pred, r.schema(), &r.scan()).unwrap());
+        r.insert(vec![Value::from(1), Value::from(0.5), Value::from(true)])
+            .unwrap();
+        let exec = ExecutionContext::new(Arc::clone(&query.ranking));
+        let err = match RankScan::new(Arc::clone(&r), stale, 0, &exec, "RankScan") {
+            Err(e) => e,
+            Ok(_) => panic!("stale index handle must be rejected"),
+        };
+        assert!(matches!(err, RankSqlError::Catalog(_)), "{err:?}");
+        assert!(err.to_string().contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn tuple_budget_aborts_runaway_scans() {
+        let (cat, query) = setup(30);
+        let plan = query.canonical_plan(&cat).unwrap();
+        let physical = PhysicalPlan::from_logical(&plan).unwrap();
+        // The canonical plan scans 30 + 30 tuples; a budget of 10 must trip.
+        let exec = ExecutionContext::with_budget(Arc::clone(&query.ranking), 10);
+        let err = execute_physical_plan(&physical, &cat, &exec).unwrap_err();
+        assert!(err.to_string().contains("tuple budget exceeded"), "{err}");
+        // An ample budget executes normally.
+        let exec = ExecutionContext::with_budget(Arc::clone(&query.ranking), 100);
+        let ok = execute_physical_plan(&physical, &cat, &exec).unwrap();
+        assert_eq!(ok.tuples.len(), query.k.min(ok.tuples.len()));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! The per-execution context threaded through every physical operator.
+//!
+//! Before this existed, every operator constructor took an ad-hoc pair of
+//! `Arc<RankingContext>` + `metrics.register(...)` arguments wired by hand
+//! in the plan-lowering code.  [`ExecutionContext`] bundles everything an
+//! operator needs from its execution environment — the query's ranking
+//! context, the shared metrics registry, and the tuple budget used for
+//! early-stop / runaway-query protection — behind one cheaply clonable
+//! handle, so adding an execution-wide facility (e.g. a partition count for
+//! parallel scans) no longer means touching every constructor signature.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ranksql_common::{RankSqlError, Result};
+use ranksql_expr::RankingContext;
+
+use crate::metrics::{MetricsRegistry, OperatorMetrics};
+
+/// A shared budget of tuples an execution may materialise from its scans.
+///
+/// Exceeding the budget aborts the query with an execution error — a
+/// guard-rail for top-k queries that accidentally degenerate into full
+/// materialisation.  The default is unlimited.
+#[derive(Debug)]
+pub struct TupleBudget {
+    limit: u64,
+    used: AtomicU64,
+}
+
+impl TupleBudget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        TupleBudget {
+            limit: u64::MAX,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// A budget of at most `limit` scan-produced tuples.
+    pub fn limited(limit: u64) -> Self {
+        TupleBudget {
+            limit,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// Charges `n` tuples, failing if the budget is exhausted.
+    pub fn charge(&self, n: u64) -> Result<()> {
+        let used = self.used.fetch_add(n, Ordering::Relaxed) + n;
+        if used > self.limit {
+            return Err(RankSqlError::Execution(format!(
+                "tuple budget exceeded: execution touched {used} tuples (budget {})",
+                self.limit
+            )));
+        }
+        Ok(())
+    }
+
+    /// Tuples charged so far.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The budget limit (`u64::MAX` when unlimited).
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+/// Everything a physical operator needs from its execution environment.
+///
+/// Cloning is cheap (three `Arc`s); each query execution creates one context
+/// and threads it through `build_operator` into every operator constructor.
+#[derive(Debug, Clone)]
+pub struct ExecutionContext {
+    ranking: Arc<RankingContext>,
+    metrics: Arc<MetricsRegistry>,
+    budget: Arc<TupleBudget>,
+}
+
+impl ExecutionContext {
+    /// A context for one execution of a query with the given ranking
+    /// context, a fresh metrics registry and an unlimited tuple budget.
+    pub fn new(ranking: Arc<RankingContext>) -> Self {
+        ExecutionContext {
+            ranking,
+            metrics: MetricsRegistry::new(),
+            budget: Arc::new(TupleBudget::unlimited()),
+        }
+    }
+
+    /// Like [`ExecutionContext::new`] but aborting execution after the scans
+    /// have produced `limit` tuples.
+    pub fn with_budget(ranking: Arc<RankingContext>, limit: u64) -> Self {
+        ExecutionContext {
+            ranking,
+            metrics: MetricsRegistry::new(),
+            budget: Arc::new(TupleBudget::limited(limit)),
+        }
+    }
+
+    /// The query's ranking context.
+    pub fn ranking(&self) -> &Arc<RankingContext> {
+        &self.ranking
+    }
+
+    /// A clone of the ranking context handle (for operators that store it).
+    pub fn ranking_arc(&self) -> Arc<RankingContext> {
+        Arc::clone(&self.ranking)
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Registers an operator's metrics under `label`.
+    ///
+    /// Operators register during construction, bottom-up (inputs before
+    /// parents), so registration order is a post-order walk of the physical
+    /// plan — the pairing invariant `explain_with_actuals` relies on.
+    pub fn register(&self, label: impl Into<String>) -> Arc<OperatorMetrics> {
+        self.metrics.register(label)
+    }
+
+    /// The tuple budget shared by this execution's scans.
+    pub fn budget(&self) -> &Arc<TupleBudget> {
+        &self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksql_expr::{RankPredicate, ScoringFunction};
+
+    fn ranking() -> Arc<RankingContext> {
+        RankingContext::new(
+            vec![RankPredicate::attribute("p", "T.p")],
+            ScoringFunction::Sum,
+        )
+    }
+
+    #[test]
+    fn budget_charges_and_trips() {
+        let b = TupleBudget::limited(3);
+        assert!(b.charge(2).is_ok());
+        assert!(b.charge(1).is_ok());
+        assert_eq!(b.used(), 3);
+        let err = b.charge(1).unwrap_err();
+        assert!(err.to_string().contains("tuple budget exceeded"), "{err}");
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = TupleBudget::unlimited();
+        assert!(b.charge(u64::MAX / 2).is_ok());
+        assert_eq!(b.limit(), u64::MAX);
+    }
+
+    #[test]
+    fn context_registers_operators_in_order() {
+        let exec = ExecutionContext::new(ranking());
+        exec.register("a");
+        exec.register("b");
+        let names: Vec<String> = exec.metrics().snapshot().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(exec.ranking().num_predicates(), 1);
+        let clone = exec.clone();
+        clone.register("c");
+        assert_eq!(exec.metrics().len(), 3, "clones share the registry");
+    }
+}

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use ranksql_common::{Result, Schema};
 use ranksql_expr::{BoolExpr, BoundBoolExpr, RankedTuple};
 
+use crate::context::ExecutionContext;
 use crate::metrics::OperatorMetrics;
 use crate::operator::{BoxedOperator, PhysicalOperator};
 
@@ -22,11 +23,17 @@ impl Filter {
     pub fn new(
         input: BoxedOperator,
         predicate: &BoolExpr,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Result<Self> {
         let schema = input.schema().clone();
         let bound = predicate.bind(&schema)?;
-        Ok(Filter { input, predicate: bound, schema, metrics })
+        Ok(Filter {
+            input,
+            predicate: bound,
+            schema,
+            metrics: exec.register(label),
+        })
     }
 }
 
@@ -67,7 +74,8 @@ impl Project {
     pub fn new(
         input: BoxedOperator,
         columns: &[String],
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Result<Self> {
         let in_schema = input.schema().clone();
         let mut indices = Vec::with_capacity(columns.len());
@@ -75,7 +83,12 @@ impl Project {
             indices.push(in_schema.index_of_str(c)?);
         }
         let schema = in_schema.project(&indices);
-        Ok(Project { input, indices, schema, metrics })
+        Ok(Project {
+            input,
+            indices,
+            schema,
+            metrics: exec.register(label),
+        })
     }
 }
 
@@ -104,7 +117,6 @@ impl PhysicalOperator for Project {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::MetricsRegistry;
     use crate::operator::drain;
     use crate::scan::SeqScan;
     use ranksql_common::{DataType, Field, Value};
@@ -123,20 +135,24 @@ mod tests {
             .unwrap()
     }
 
-    fn scan(t: &Table, reg: &MetricsRegistry) -> BoxedOperator {
-        Box::new(SeqScan::new(t, RankingContext::unranked(), reg.register("scan")))
+    fn exec() -> ExecutionContext {
+        ExecutionContext::new(RankingContext::unranked())
+    }
+
+    fn scan(t: &Table, exec: &ExecutionContext) -> BoxedOperator {
+        Box::new(SeqScan::new(t, exec, "scan"))
     }
 
     #[test]
     fn filter_keeps_matching_tuples_only() {
         let t = table();
-        let reg = MetricsRegistry::new();
+        let exec = exec();
         let pred = BoolExpr::compare(ScalarExpr::col("R.a"), CompareOp::GtEq, ScalarExpr::lit(5));
-        let mut f = Filter::new(scan(&t, &reg), &pred, reg.register("filter")).unwrap();
+        let mut f = Filter::new(scan(&t, &exec), &pred, &exec, "filter").unwrap();
         let out = drain(&mut f).unwrap();
         assert_eq!(out.len(), 5);
         assert!(out.iter().all(|t| t.tuple.value(0).as_i64().unwrap() >= 5));
-        let m = reg.snapshot();
+        let m = exec.metrics().snapshot();
         assert_eq!(m[1].tuples_in(), 10);
         assert_eq!(m[1].tuples_out(), 5);
     }
@@ -144,26 +160,25 @@ mod tests {
     #[test]
     fn filter_on_boolean_column() {
         let t = table();
-        let reg = MetricsRegistry::new();
+        let exec = exec();
         let pred = BoolExpr::column_is_true("R.b");
-        let mut f = Filter::new(scan(&t, &reg), &pred, reg.register("filter")).unwrap();
+        let mut f = Filter::new(scan(&t, &exec), &pred, &exec, "filter").unwrap();
         assert_eq!(drain(&mut f).unwrap().len(), 5);
     }
 
     #[test]
     fn filter_bind_error_on_unknown_column() {
         let t = table();
-        let reg = MetricsRegistry::new();
+        let exec = exec();
         let pred = BoolExpr::column_is_true("R.zzz");
-        assert!(Filter::new(scan(&t, &reg), &pred, reg.register("filter")).is_err());
+        assert!(Filter::new(scan(&t, &exec), &pred, &exec, "filter").is_err());
     }
 
     #[test]
     fn project_narrows_schema_and_keeps_identity() {
         let t = table();
-        let reg = MetricsRegistry::new();
-        let mut p =
-            Project::new(scan(&t, &reg), &["R.b".to_owned()], reg.register("proj")).unwrap();
+        let exec = exec();
+        let mut p = Project::new(scan(&t, &exec), &["R.b".to_owned()], &exec, "proj").unwrap();
         assert_eq!(p.schema().len(), 1);
         let out = drain(&mut p).unwrap();
         assert_eq!(out.len(), 10);
@@ -174,7 +189,7 @@ mod tests {
     #[test]
     fn project_unknown_column_errors() {
         let t = table();
-        let reg = MetricsRegistry::new();
-        assert!(Project::new(scan(&t, &reg), &["R.zzz".to_owned()], reg.register("proj")).is_err());
+        let exec = exec();
+        assert!(Project::new(scan(&t, &exec), &["R.zzz".to_owned()], &exec, "proj").is_err());
     }
 }

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use ranksql_common::{RankSqlError, Result, Schema, Value};
 use ranksql_expr::{BoolExpr, BoundBoolExpr, CompareOp, RankedTuple, ScalarExpr};
 
+use crate::context::ExecutionContext;
 use crate::metrics::OperatorMetrics;
 use crate::operator::{BoxedOperator, PhysicalOperator};
 
@@ -32,13 +33,12 @@ pub struct JoinKeys {
 /// A conjunct of the form `L.col = R.col` (either orientation) where one side
 /// resolves against the left schema and the other against the right schema
 /// becomes a key pair; every other conjunct goes to the residual.
-pub fn extract_join_keys(
-    condition: Option<&BoolExpr>,
-    left: &Schema,
-    right: &Schema,
-) -> JoinKeys {
+pub fn extract_join_keys(condition: Option<&BoolExpr>, left: &Schema, right: &Schema) -> JoinKeys {
     let Some(condition) = condition else {
-        return JoinKeys { keys: vec![], residual: None };
+        return JoinKeys {
+            keys: vec![],
+            residual: None,
+        };
     };
     let mut keys = Vec::new();
     let mut residual = Vec::new();
@@ -64,11 +64,17 @@ pub fn extract_join_keys(
         }
         residual.push(conjunct);
     }
-    JoinKeys { keys, residual: BoolExpr::conjoin(residual) }
+    JoinKeys {
+        keys,
+        residual: BoolExpr::conjoin(residual),
+    }
 }
 
 fn key_values(tuple: &RankedTuple, indices: &[usize], side_offset: usize) -> Vec<Value> {
-    indices.iter().map(|&i| tuple.tuple.value(i + side_offset).clone()).collect()
+    indices
+        .iter()
+        .map(|&i| tuple.tuple.value(i + side_offset).clone())
+        .collect()
 }
 
 /// Binds the condition to evaluate on joined tuples (residual for equi-joins,
@@ -96,8 +102,10 @@ impl NestedLoopJoin {
         left: BoxedOperator,
         right: BoxedOperator,
         condition: Option<&BoolExpr>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Result<Self> {
+        let metrics = exec.register(label);
         let schema = left.schema().join(right.schema());
         let bound = bind_on_joined(condition, &schema)?;
         Ok(NestedLoopJoin {
@@ -189,8 +197,10 @@ impl HashJoin {
         left: BoxedOperator,
         right: BoxedOperator,
         condition: Option<&BoolExpr>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Result<Self> {
+        let metrics = exec.register(label);
         let keys = extract_join_keys(condition, left.schema(), right.schema());
         if keys.keys.is_empty() {
             return Err(RankSqlError::Execution(
@@ -295,8 +305,10 @@ impl SortMergeJoin {
         left: BoxedOperator,
         right: BoxedOperator,
         condition: Option<&BoolExpr>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Result<Self> {
+        let metrics = exec.register(label);
         let keys = extract_join_keys(condition, left.schema(), right.schema());
         if keys.keys.is_empty() {
             return Err(RankSqlError::Execution(
@@ -337,8 +349,8 @@ impl SortMergeJoin {
             self.metrics.add_in(1);
             r_rows.push(t);
         }
-        l_rows.sort_by(|a, b| key_values(a, &left_keys, 0).cmp(&key_values(b, &left_keys, 0)));
-        r_rows.sort_by(|a, b| key_values(a, &right_keys, 0).cmp(&key_values(b, &right_keys, 0)));
+        l_rows.sort_by_key(|a| key_values(a, &left_keys, 0));
+        r_rows.sort_by_key(|a| key_values(a, &right_keys, 0));
 
         let mut out = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
@@ -397,7 +409,6 @@ impl PhysicalOperator for SortMergeJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::MetricsRegistry;
     use crate::operator::drain;
     use crate::scan::SeqScan;
     use ranksql_common::{DataType, Field};
@@ -438,15 +449,22 @@ mod tests {
             .unwrap()
     }
 
-    fn scan(t: &Table, reg: &MetricsRegistry) -> BoxedOperator {
-        Box::new(SeqScan::new(t, RankingContext::unranked(), reg.register("scan")))
+    fn exec() -> ExecutionContext {
+        ExecutionContext::new(RankingContext::unranked())
+    }
+
+    fn scan(t: &Table, exec: &ExecutionContext) -> BoxedOperator {
+        Box::new(SeqScan::new(t, exec, "scan"))
     }
 
     fn join_result_pairs(out: &[RankedTuple]) -> Vec<(i64, i64)> {
         let mut pairs: Vec<(i64, i64)> = out
             .iter()
             .map(|t| {
-                (t.tuple.value(0).as_i64().unwrap(), t.tuple.value(3).as_i64().unwrap())
+                (
+                    t.tuple.value(0).as_i64().unwrap(),
+                    t.tuple.value(3).as_i64().unwrap(),
+                )
             })
             .collect();
         pairs.sort();
@@ -484,15 +502,11 @@ mod tests {
     fn nested_loop_join_matches_expected() {
         let r = table_r();
         let s = table_s();
-        let reg = MetricsRegistry::new();
+        let exec = exec();
         let cond = BoolExpr::col_eq_col("R.a", "S.a");
-        let mut j = NestedLoopJoin::new(
-            scan(&r, &reg),
-            scan(&s, &reg),
-            Some(&cond),
-            reg.register("nlj"),
-        )
-        .unwrap();
+        let mut j =
+            NestedLoopJoin::new(scan(&r, &exec), scan(&s, &exec), Some(&cond), &exec, "nlj")
+                .unwrap();
         let out = drain(&mut j).unwrap();
         assert_eq!(join_result_pairs(&out), expected_pairs());
         assert_eq!(out[0].tuple.arity(), 4);
@@ -502,10 +516,9 @@ mod tests {
     fn cross_join_produces_product() {
         let r = table_r();
         let s = table_s();
-        let reg = MetricsRegistry::new();
+        let exec = exec();
         let mut j =
-            NestedLoopJoin::new(scan(&r, &reg), scan(&s, &reg), None, reg.register("nlj"))
-                .unwrap();
+            NestedLoopJoin::new(scan(&r, &exec), scan(&s, &exec), None, &exec, "nlj").unwrap();
         assert_eq!(drain(&mut j).unwrap().len(), 16);
     }
 
@@ -513,11 +526,10 @@ mod tests {
     fn hash_join_matches_expected() {
         let r = table_r();
         let s = table_s();
-        let reg = MetricsRegistry::new();
+        let exec = exec();
         let cond = BoolExpr::col_eq_col("R.a", "S.a");
         let mut j =
-            HashJoin::new(scan(&r, &reg), scan(&s, &reg), Some(&cond), reg.register("hj"))
-                .unwrap();
+            HashJoin::new(scan(&r, &exec), scan(&s, &exec), Some(&cond), &exec, "hj").unwrap();
         let out = drain(&mut j).unwrap();
         assert_eq!(join_result_pairs(&out), expected_pairs());
     }
@@ -526,34 +538,23 @@ mod tests {
     fn hash_join_requires_equi_key() {
         let r = table_r();
         let s = table_s();
-        let reg = MetricsRegistry::new();
+        let exec = exec();
         let cond = BoolExpr::compare(
             ScalarExpr::col("R.x"),
             CompareOp::Lt,
             ScalarExpr::col("S.y"),
         );
-        assert!(HashJoin::new(
-            scan(&r, &reg),
-            scan(&s, &reg),
-            Some(&cond),
-            reg.register("hj")
-        )
-        .is_err());
+        assert!(HashJoin::new(scan(&r, &exec), scan(&s, &exec), Some(&cond), &exec, "hj").is_err());
     }
 
     #[test]
     fn sort_merge_join_matches_expected() {
         let r = table_r();
         let s = table_s();
-        let reg = MetricsRegistry::new();
+        let exec = exec();
         let cond = BoolExpr::col_eq_col("R.a", "S.a");
-        let mut j = SortMergeJoin::new(
-            scan(&r, &reg),
-            scan(&s, &reg),
-            Some(&cond),
-            reg.register("smj"),
-        )
-        .unwrap();
+        let mut j = SortMergeJoin::new(scan(&r, &exec), scan(&s, &exec), Some(&cond), &exec, "smj")
+            .unwrap();
         let out = drain(&mut j).unwrap();
         assert_eq!(join_result_pairs(&out), expected_pairs());
     }
@@ -562,7 +563,7 @@ mod tests {
     fn residual_condition_filters_join_results() {
         let r = table_r();
         let s = table_s();
-        let reg = MetricsRegistry::new();
+        let exec = exec();
         // R.a = S.a AND R.x + S.y < 200  → keeps only (1,100)x2 pairs
         // (10+100, 40+100); (3,300/301) pairs exceed 200.
         let cond = BoolExpr::col_eq_col("R.a", "S.a").and(BoolExpr::compare(
@@ -573,31 +574,25 @@ mod tests {
         for mk in ["hash", "smj", "nlj"] {
             let op: BoxedOperator = match mk {
                 "hash" => Box::new(
-                    HashJoin::new(scan(&r, &reg), scan(&s, &reg), Some(&cond), reg.register("j"))
+                    HashJoin::new(scan(&r, &exec), scan(&s, &exec), Some(&cond), &exec, "j")
                         .unwrap(),
                 ),
                 "smj" => Box::new(
-                    SortMergeJoin::new(
-                        scan(&r, &reg),
-                        scan(&s, &reg),
-                        Some(&cond),
-                        reg.register("j"),
-                    )
-                    .unwrap(),
+                    SortMergeJoin::new(scan(&r, &exec), scan(&s, &exec), Some(&cond), &exec, "j")
+                        .unwrap(),
                 ),
                 _ => Box::new(
-                    NestedLoopJoin::new(
-                        scan(&r, &reg),
-                        scan(&s, &reg),
-                        Some(&cond),
-                        reg.register("j"),
-                    )
-                    .unwrap(),
+                    NestedLoopJoin::new(scan(&r, &exec), scan(&s, &exec), Some(&cond), &exec, "j")
+                        .unwrap(),
                 ),
             };
             let mut op = op;
             let out = drain(op.as_mut()).unwrap();
-            assert_eq!(join_result_pairs(&out), vec![(1, 100), (1, 100)], "algorithm {mk}");
+            assert_eq!(
+                join_result_pairs(&out),
+                vec![(1, 100), (1, 100)],
+                "algorithm {mk}"
+            );
         }
     }
 
@@ -605,10 +600,9 @@ mod tests {
     fn joins_report_unranked() {
         let r = table_r();
         let s = table_s();
-        let reg = MetricsRegistry::new();
+        let exec = exec();
         let cond = BoolExpr::col_eq_col("R.a", "S.a");
-        let j = HashJoin::new(scan(&r, &reg), scan(&s, &reg), Some(&cond), reg.register("hj"))
-            .unwrap();
+        let j = HashJoin::new(scan(&r, &exec), scan(&s, &exec), Some(&cond), &exec, "hj").unwrap();
         assert!(!j.is_ranked());
     }
 }

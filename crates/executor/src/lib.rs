@@ -20,14 +20,22 @@
 //! | HRJN, NRJN rank-joins | [`rank_join`] | yes |
 //! | sort (τ, materialise-then-sort), top-k limit (λ) | [`sort_limit`] | sort: blocking |
 //! | union, intersection, difference | [`set_ops`] | intersection/difference incremental |
+//! | fused top-k sort (τ+λ, bounded heap) | [`sort_limit`] | blocking, `O(k)` memory |
 //!
-//! [`build::build_operator`] lowers a [`ranksql_algebra::LogicalPlan`] to an
-//! operator tree, and [`build::execute_plan`] drives it to completion.
+//! The executor consumes the [`ranksql_algebra::PhysicalPlan`] IR:
+//! [`build::build_operator`] instantiates the named operator for every node
+//! — a mechanical walk with no physical decisions left in it — threading
+//! one [`ExecutionContext`] (ranking context, metrics registry, tuple
+//! budget) through every operator constructor.
+//! [`build::execute_physical_plan`] drives a plan to completion;
+//! [`build::execute_plan`] / [`build::execute_query_plan`] accept a
+//! [`ranksql_algebra::LogicalPlan`] and lower it structurally first.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod build;
+pub mod context;
 pub mod filter;
 pub mod join;
 pub mod metrics;
@@ -40,7 +48,10 @@ pub mod scan;
 pub mod set_ops;
 pub mod sort_limit;
 
-pub use build::{build_operator, execute_plan, execute_query_plan, ExecutionResult};
+pub use build::{
+    build_operator, execute_physical_plan, execute_plan, execute_query_plan, ExecutionResult,
+};
+pub use context::{ExecutionContext, TupleBudget};
 pub use metrics::{MetricsRegistry, OperatorMetrics};
 pub use mpro::MProOp;
 pub use operator::{BoxedOperator, PhysicalOperator};

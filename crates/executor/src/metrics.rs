@@ -96,7 +96,11 @@ impl MetricsRegistry {
     /// `(name, tuples_out)` pairs in registration order — the series plotted
     /// by Figure 13.
     pub fn output_cardinalities(&self) -> Vec<(String, u64)> {
-        self.ops.lock().iter().map(|m| (m.name(), m.tuples_out())).collect()
+        self.ops
+            .lock()
+            .iter()
+            .map(|m| (m.name(), m.tuples_out()))
+            .collect()
     }
 
     /// Number of registered operators.

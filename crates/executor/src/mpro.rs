@@ -26,6 +26,7 @@ use std::sync::Arc;
 use ranksql_common::{Result, Schema, Score};
 use ranksql_expr::{RankedTuple, RankingContext};
 
+use crate::context::ExecutionContext;
 use crate::metrics::OperatorMetrics;
 use crate::operator::{BoxedOperator, PhysicalOperator, RankingQueue};
 
@@ -59,9 +60,11 @@ impl MProOp {
     pub fn new(
         input: BoxedOperator,
         schedule: Vec<usize>,
-        ctx: Arc<RankingContext>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Self {
+        let ctx = exec.ranking_arc();
+        let metrics = exec.register(label);
         let schema = input.schema().clone();
         let initial_bound = ctx.initial_upper_bound();
         let input_ranked = input.is_ranked();
@@ -95,7 +98,10 @@ impl MProOp {
 
     /// The first predicate of `schedule` the tuple has not evaluated yet.
     fn next_unevaluated(&self, t: &RankedTuple) -> Option<usize> {
-        self.schedule.iter().copied().find(|&p| !t.state.is_evaluated(p))
+        self.schedule
+            .iter()
+            .copied()
+            .find(|&p| !t.state.is_evaluated(p))
     }
 
     /// Whether the queue head is allowed to surface (emit or probe) now,
@@ -130,7 +136,8 @@ impl PhysicalOperator for MProOp {
                         // The probe of `p` on this tuple is *necessary*: the
                         // tuple cannot be emitted or discarded without it.
                         Some(p) => {
-                            self.ctx.evaluate_into(p, &t.tuple, &self.schema, &mut t.state)?;
+                            self.ctx
+                                .evaluate_into(p, &t.tuple, &self.schema, &mut t.state)?;
                             self.probes += 1;
                             self.queue.push(t);
                             self.metrics.observe_buffered(self.queue.len() as u64);
@@ -162,7 +169,6 @@ impl PhysicalOperator for MProOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::MetricsRegistry;
     use crate::operator::{check_rank_order, drain, take};
     use crate::rank::RankOp;
     use crate::scan::{RankScan, SeqScan};
@@ -215,15 +221,11 @@ mod tests {
         )
     }
 
-    fn rank_scan_p3(
-        t: &Arc<Table>,
-        ctx: &Arc<RankingContext>,
-        reg: &MetricsRegistry,
-    ) -> RankScan {
-        let idx =
-            Arc::new(ScoreIndex::build(ctx.predicate(0), t.schema(), &t.scan()).unwrap());
-        RankScan::new(Arc::clone(t), idx, 0, Arc::clone(ctx), reg.register("idxScan_p3(S)"))
-            .unwrap()
+    fn rank_scan_p3(t: &Arc<Table>, exec: &ExecutionContext) -> RankScan {
+        let idx = Arc::new(
+            ScoreIndex::build(exec.ranking().predicate(0), t.schema(), &t.scan()).unwrap(),
+        );
+        RankScan::new(Arc::clone(t), idx, 0, exec, "idxScan_p3(S)").unwrap()
     }
 
     #[test]
@@ -231,10 +233,9 @@ mod tests {
         // Example 3: top-1 of `ORDER BY p3+p4+p5` over S is s2, score 2.55.
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
-        let scan = rank_scan_p3(&t, &ctx, &reg);
-        let mut mpro =
-            MProOp::new(Box::new(scan), vec![1, 2], Arc::clone(&ctx), reg.register("mpro"));
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = rank_scan_p3(&t, &exec);
+        let mut mpro = MProOp::new(Box::new(scan), vec![1, 2], &exec, "mpro");
         let top = take(&mut mpro, 1).unwrap();
         assert_eq!(top.len(), 1);
         assert_eq!(top[0].tuple.value(0), &Value::from(1));
@@ -251,20 +252,17 @@ mod tests {
         let t = table_s();
 
         let ctx_chain = ctx_s();
-        let reg = MetricsRegistry::new();
-        let scan = rank_scan_p3(&t, &ctx_chain, &reg);
-        let mu_p4 =
-            RankOp::new(Box::new(scan), 1, Arc::clone(&ctx_chain), reg.register("mu_p4"));
-        let mut mu_p5 =
-            RankOp::new(Box::new(mu_p4), 2, Arc::clone(&ctx_chain), reg.register("mu_p5"));
+        let exec = ExecutionContext::new(Arc::clone(&ctx_chain));
+        let scan = rank_scan_p3(&t, &exec);
+        let mu_p4 = RankOp::new(Box::new(scan), 1, &exec, "mu_p4");
+        let mut mu_p5 = RankOp::new(Box::new(mu_p4), 2, &exec, "mu_p5");
         let _ = take(&mut mu_p5, 1).unwrap();
         let chain_probes = ctx_chain.counters().count(1) + ctx_chain.counters().count(2);
 
         let ctx_mpro = ctx_s();
-        let reg2 = MetricsRegistry::new();
-        let scan2 = rank_scan_p3(&t, &ctx_mpro, &reg2);
-        let mut mpro =
-            MProOp::new(Box::new(scan2), vec![1, 2], Arc::clone(&ctx_mpro), reg2.register("mpro"));
+        let exec2 = ExecutionContext::new(Arc::clone(&ctx_mpro));
+        let scan2 = rank_scan_p3(&t, &exec2);
+        let mut mpro = MProOp::new(Box::new(scan2), vec![1, 2], &exec2, "mpro");
         let _ = take(&mut mpro, 1).unwrap();
         let mpro_probes = ctx_mpro.counters().count(1) + ctx_mpro.counters().count(2);
 
@@ -279,15 +277,16 @@ mod tests {
         // Same rank-relation as the chain: membership and order identical.
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
-        let scan = rank_scan_p3(&t, &ctx, &reg);
-        let mut mpro =
-            MProOp::new(Box::new(scan), vec![1, 2], Arc::clone(&ctx), reg.register("mpro"));
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = rank_scan_p3(&t, &exec);
+        let mut mpro = MProOp::new(Box::new(scan), vec![1, 2], &exec, "mpro");
         let all = drain(&mut mpro).unwrap();
         assert_eq!(all.len(), 6);
         assert_eq!(check_rank_order(&all, &ctx), None);
-        let scores: Vec<f64> =
-            all.iter().map(|t| ctx.upper_bound(&t.state).value()).collect();
+        let scores: Vec<f64> = all
+            .iter()
+            .map(|t| ctx.upper_bound(&t.state).value())
+            .collect();
         let expected = [2.55, 2.4, 2.05, 1.8, 1.7, 1.6];
         for (s, e) in scores.iter().zip(expected.iter()) {
             assert!((s - e).abs() < 1e-9, "scores {scores:?} != {expected:?}");
@@ -298,10 +297,9 @@ mod tests {
     fn empty_schedule_is_a_pass_through() {
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
-        let scan = rank_scan_p3(&t, &ctx, &reg);
-        let mut mpro =
-            MProOp::new(Box::new(scan), vec![], Arc::clone(&ctx), reg.register("mpro"));
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = rank_scan_p3(&t, &exec);
+        let mut mpro = MProOp::new(Box::new(scan), vec![], &exec, "mpro");
         let all = drain(&mut mpro).unwrap();
         assert_eq!(all.len(), 6);
         // No probes at all: p4, p5 never evaluated.
@@ -316,19 +314,14 @@ mod tests {
     fn unranked_input_is_correct_but_blocking() {
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
-        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("seqscan"));
-        let mut mpro = MProOp::new(
-            Box::new(scan),
-            vec![0, 1, 2],
-            Arc::clone(&ctx),
-            reg.register("mpro"),
-        );
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = SeqScan::new(&t, &exec, "seqscan");
+        let mut mpro = MProOp::new(Box::new(scan), vec![0, 1, 2], &exec, "mpro");
         let top = take(&mut mpro, 2).unwrap();
         assert_eq!(ctx.upper_bound(&top[0].state), Score::new(2.55));
         assert_eq!(ctx.upper_bound(&top[1].state), Score::new(2.4));
         // The whole table had to be read before the first emission.
-        assert_eq!(reg.snapshot()[0].tuples_out(), 6);
+        assert_eq!(exec.metrics().snapshot()[0].tuples_out(), 6);
     }
 
     #[test]
@@ -341,7 +334,10 @@ mod tests {
             ],
             ScoringFunction::Sum,
         );
-        assert_eq!(MProOp::cost_ascending_schedule(&ctx, &[0, 1, 2]), vec![1, 2, 0]);
+        assert_eq!(
+            MProOp::cost_ascending_schedule(&ctx, &[0, 1, 2]),
+            vec![1, 2, 0]
+        );
         assert_eq!(MProOp::cost_ascending_schedule(&ctx, &[2, 0]), vec![2, 0]);
     }
 
@@ -352,24 +348,17 @@ mod tests {
             let t = table_s();
 
             let ctx_chain = ctx_s();
-            let reg = MetricsRegistry::new();
-            let scan = rank_scan_p3(&t, &ctx_chain, &reg);
-            let mu_p4 =
-                RankOp::new(Box::new(scan), 1, Arc::clone(&ctx_chain), reg.register("mu_p4"));
-            let mut mu_p5 =
-                RankOp::new(Box::new(mu_p4), 2, Arc::clone(&ctx_chain), reg.register("mu_p5"));
+            let exec = ExecutionContext::new(Arc::clone(&ctx_chain));
+            let scan = rank_scan_p3(&t, &exec);
+            let mu_p4 = RankOp::new(Box::new(scan), 1, &exec, "mu_p4");
+            let mut mu_p5 = RankOp::new(Box::new(mu_p4), 2, &exec, "mu_p5");
             let chain = take(&mut mu_p5, k).unwrap();
             let chain_probes = ctx_chain.counters().total();
 
             let ctx_mpro = ctx_s();
-            let reg2 = MetricsRegistry::new();
-            let scan2 = rank_scan_p3(&t, &ctx_mpro, &reg2);
-            let mut mpro = MProOp::new(
-                Box::new(scan2),
-                vec![1, 2],
-                Arc::clone(&ctx_mpro),
-                reg2.register("mpro"),
-            );
+            let exec2 = ExecutionContext::new(Arc::clone(&ctx_mpro));
+            let scan2 = rank_scan_p3(&t, &exec2);
+            let mut mpro = MProOp::new(Box::new(scan2), vec![1, 2], &exec2, "mpro");
             let got = take(&mut mpro, k).unwrap();
             let mpro_probes = ctx_mpro.counters().total();
 

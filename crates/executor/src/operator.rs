@@ -90,7 +90,10 @@ pub struct RankingQueue {
 impl RankingQueue {
     /// Creates an empty queue bound to a ranking context.
     pub fn new(ctx: Arc<RankingContext>) -> Self {
-        RankingQueue { heap: BinaryHeap::new(), ctx }
+        RankingQueue {
+            heap: BinaryHeap::new(),
+            ctx,
+        }
     }
 
     /// Buffers a tuple.
@@ -228,7 +231,11 @@ mod tests {
     #[test]
     fn check_rank_order_detects_violations() {
         let ctx = ctx();
-        let good = vec![rt(1, None, None), rt(2, Some(0.5), None), rt(3, Some(0.1), Some(0.1))];
+        let good = vec![
+            rt(1, None, None),
+            rt(2, Some(0.5), None),
+            rt(3, Some(0.1), Some(0.1)),
+        ];
         assert_eq!(check_rank_order(&good, &ctx), None);
         let bad = vec![rt(1, Some(0.1), Some(0.1)), rt(2, None, None)];
         assert_eq!(check_rank_order(&bad, &ctx), Some(1));

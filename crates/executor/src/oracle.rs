@@ -7,10 +7,10 @@
 //! against it; the sampling-based cardinality estimator also reuses it to run
 //! queries over table samples.
 
+use ranksql_algebra::RankQuery;
 use ranksql_common::{Result, Schema, Tuple};
 use ranksql_expr::{RankedTuple, ScoreState};
 use ranksql_storage::Catalog;
-use ranksql_algebra::RankQuery;
 
 /// Executes `query` naively over full tables and returns the top `k` ranked
 /// tuples (ties broken by tuple identity, like everywhere else).
@@ -55,20 +55,25 @@ pub fn oracle_top_k_over_rows(
 
     let mut results: Vec<RankedTuple> = Vec::new();
     let mut stack: Vec<Tuple> = Vec::new();
-    product(rows_per_table, 0, &mut stack, &mut |joined: &Tuple| -> Result<()> {
-        for b in &bound {
-            if !b.eval(joined)? {
-                return Ok(());
+    product(
+        rows_per_table,
+        0,
+        &mut stack,
+        &mut |joined: &Tuple| -> Result<()> {
+            for b in &bound {
+                if !b.eval(joined)? {
+                    return Ok(());
+                }
             }
-        }
-        let mut state = ScoreState::new(n);
-        for i in 0..n {
-            let score = query.ranking.predicate(i).evaluate(joined, schema)?;
-            state.set(i, score.value());
-        }
-        results.push(RankedTuple::new(joined.clone(), state));
-        Ok(())
-    })?;
+            let mut state = ScoreState::new(n);
+            for i in 0..n {
+                let score = query.ranking.predicate(i).evaluate(joined, schema)?;
+                state.set(i, score.value());
+            }
+            results.push(RankedTuple::new(joined.clone(), state));
+            Ok(())
+        },
+    )?;
 
     let scoring = query.ranking.scoring().clone();
     let max_value = query.ranking.max_predicate_value();
@@ -183,9 +188,16 @@ mod tests {
     #[test]
     fn oracle_over_explicit_rows_matches_full_oracle() {
         let (cat, query) = setup();
-        let rows: Vec<Vec<Tuple>> =
-            query.tables.iter().map(|t| cat.table(t).unwrap().scan()).collect();
-        let schema = cat.table("R").unwrap().schema().join(cat.table("S").unwrap().schema());
+        let rows: Vec<Vec<Tuple>> = query
+            .tables
+            .iter()
+            .map(|t| cat.table(t).unwrap().scan())
+            .collect();
+        let schema = cat
+            .table("R")
+            .unwrap()
+            .schema()
+            .join(cat.table("S").unwrap().schema());
         let a = oracle_top_k(&query, &cat).unwrap();
         let b = oracle_top_k_over_rows(&query, &schema, &rows).unwrap();
         assert_eq!(a.len(), b.len());

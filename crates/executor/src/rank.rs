@@ -5,6 +5,7 @@ use std::sync::Arc;
 use ranksql_common::{Result, Schema, Score};
 use ranksql_expr::{RankedTuple, RankingContext};
 
+use crate::context::ExecutionContext;
 use crate::metrics::OperatorMetrics;
 use crate::operator::{BoxedOperator, PhysicalOperator, RankingQueue};
 
@@ -39,9 +40,11 @@ impl RankOp {
     pub fn new(
         input: BoxedOperator,
         predicate: usize,
-        ctx: Arc<RankingContext>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Self {
+        let ctx = exec.ranking_arc();
+        let metrics = exec.register(label);
         let schema = input.schema().clone();
         let initial_bound = ctx.initial_upper_bound();
         let input_ranked = input.is_ranked();
@@ -114,7 +117,6 @@ impl PhysicalOperator for RankOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::MetricsRegistry;
     use crate::operator::{check_rank_order, drain, take};
     use crate::scan::{RankScan, SeqScan};
     use ranksql_common::{DataType, Field, Value};
@@ -167,23 +169,13 @@ mod tests {
     }
 
     /// Builds the plan of Figure 6(b): µ_{p5}(µ_{p4}(idxScan_{p3}(S))).
-    fn figure6b_plan(
-        t: &Arc<Table>,
-        ctx: &Arc<RankingContext>,
-        reg: &MetricsRegistry,
-    ) -> RankOp {
-        let idx =
-            Arc::new(ScoreIndex::build(ctx.predicate(0), t.schema(), &t.scan()).unwrap());
-        let scan = RankScan::new(
-            Arc::clone(t),
-            idx,
-            0,
-            Arc::clone(ctx),
-            reg.register("idxScan_p3(S)"),
-        )
-        .unwrap();
-        let mu_p4 = RankOp::new(Box::new(scan), 1, Arc::clone(ctx), reg.register("mu_p4"));
-        RankOp::new(Box::new(mu_p4), 2, Arc::clone(ctx), reg.register("mu_p5"))
+    fn figure6b_plan(t: &Arc<Table>, exec: &ExecutionContext) -> RankOp {
+        let idx = Arc::new(
+            ScoreIndex::build(exec.ranking().predicate(0), t.schema(), &t.scan()).unwrap(),
+        );
+        let scan = RankScan::new(Arc::clone(t), idx, 0, exec, "idxScan_p3(S)").unwrap();
+        let mu_p4 = RankOp::new(Box::new(scan), 1, exec, "mu_p4");
+        RankOp::new(Box::new(mu_p4), 2, exec, "mu_p5")
     }
 
     #[test]
@@ -192,8 +184,8 @@ mod tests {
         // is s2 with final score 2.55.
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
-        let mut plan = figure6b_plan(&t, &ctx, &reg);
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let mut plan = figure6b_plan(&t, &exec);
         let top = take(&mut plan, 1).unwrap();
         assert_eq!(top.len(), 1);
         assert_eq!(top[0].tuple.value(0), &Value::from(1));
@@ -209,10 +201,10 @@ mod tests {
         // the 6 tuples are read from the scan.
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
-        let mut plan = figure6b_plan(&t, &ctx, &reg);
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let mut plan = figure6b_plan(&t, &exec);
         let _ = take(&mut plan, 1).unwrap();
-        let m = reg.snapshot();
+        let m = exec.metrics().snapshot();
         let by_name = |n: &str| m.iter().find(|x| x.name() == n).unwrap().clone();
         assert_eq!(by_name("idxScan_p3(S)").tuples_out(), 3);
         assert_eq!(by_name("mu_p4").tuples_in(), 3);
@@ -229,15 +221,17 @@ mod tests {
     fn full_drain_is_in_final_score_order() {
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
-        let mut plan = figure6b_plan(&t, &ctx, &reg);
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let mut plan = figure6b_plan(&t, &exec);
         let all = drain(&mut plan).unwrap();
         assert_eq!(all.len(), 6);
         assert_eq!(check_rank_order(&all, &ctx), None);
         // Final order of Figure 6(a)'s sorted relation:
         // s2 (2.55), s1 (2.4), s4 (2.05), s5 (1.8), s3 (1.7), s6 (1.6).
-        let scores: Vec<f64> =
-            all.iter().map(|t| ctx.upper_bound(&t.state).value()).collect();
+        let scores: Vec<f64> = all
+            .iter()
+            .map(|t| ctx.upper_bound(&t.state).value())
+            .collect();
         let expected = [2.55, 2.4, 2.05, 1.8, 1.7, 1.6];
         for (s, e) in scores.iter().zip(expected.iter()) {
             assert!((s - e).abs() < 1e-9, "scores {scores:?} != {expected:?}");
@@ -250,32 +244,23 @@ mod tests {
         // number of tuples processed differs (selectivities are
         // context-sensitive, Section 4.1).
         let t = table_s();
-        let ctx_b = ctx_s();
-        let ctx_c = ctx_s();
-        let reg_b = MetricsRegistry::new();
-        let reg_c = MetricsRegistry::new();
+        let exec_b = ExecutionContext::new(ctx_s());
+        let exec_c = ExecutionContext::new(ctx_s());
 
-        let mut plan_b = figure6b_plan(&t, &ctx_b, &reg_b);
-        let idx =
-            Arc::new(ScoreIndex::build(ctx_c.predicate(0), t.schema(), &t.scan()).unwrap());
-        let scan = RankScan::new(
-            Arc::clone(&t),
-            idx,
-            0,
-            Arc::clone(&ctx_c),
-            reg_c.register("idxScan_p3(S)"),
-        )
-        .unwrap();
-        let mu_p5 = RankOp::new(Box::new(scan), 2, Arc::clone(&ctx_c), reg_c.register("mu_p5"));
-        let mut plan_c =
-            RankOp::new(Box::new(mu_p5), 1, Arc::clone(&ctx_c), reg_c.register("mu_p4"));
+        let mut plan_b = figure6b_plan(&t, &exec_b);
+        let idx = Arc::new(
+            ScoreIndex::build(exec_c.ranking().predicate(0), t.schema(), &t.scan()).unwrap(),
+        );
+        let scan = RankScan::new(Arc::clone(&t), idx, 0, &exec_c, "idxScan_p3(S)").unwrap();
+        let mu_p5 = RankOp::new(Box::new(scan), 2, &exec_c, "mu_p5");
+        let mut plan_c = RankOp::new(Box::new(mu_p5), 1, &exec_c, "mu_p4");
 
         let top_b = take(&mut plan_b, 1).unwrap();
         let top_c = take(&mut plan_c, 1).unwrap();
         assert_eq!(top_b[0].tuple.id(), top_c[0].tuple.id());
         // Figure 6(c): the scan feeds 5 tuples in plan (c) vs 3 in plan (b).
-        let scanned_b = reg_b.snapshot()[0].tuples_out();
-        let scanned_c = reg_c.snapshot()[0].tuples_out();
+        let scanned_b = exec_b.metrics().snapshot()[0].tuples_out();
+        let scanned_c = exec_c.metrics().snapshot()[0].tuples_out();
         assert_eq!(scanned_b, 3);
         assert_eq!(scanned_c, 5);
     }
@@ -284,27 +269,27 @@ mod tests {
     fn rank_over_seq_scan_is_correct_but_blocking() {
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
-        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("seqscan"));
-        let mu = RankOp::new(Box::new(scan), 0, Arc::clone(&ctx), reg.register("mu_p3"));
-        let mu2 = RankOp::new(Box::new(mu), 1, Arc::clone(&ctx), reg.register("mu_p4"));
-        let mut mu3 = RankOp::new(Box::new(mu2), 2, Arc::clone(&ctx), reg.register("mu_p5"));
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = SeqScan::new(&t, &exec, "seqscan");
+        let mu = RankOp::new(Box::new(scan), 0, &exec, "mu_p3");
+        let mu2 = RankOp::new(Box::new(mu), 1, &exec, "mu_p4");
+        let mut mu3 = RankOp::new(Box::new(mu2), 2, &exec, "mu_p5");
         let top = take(&mut mu3, 2).unwrap();
         assert_eq!(ctx.upper_bound(&top[0].state), Score::new(2.55));
         assert_eq!(ctx.upper_bound(&top[1].state), Score::new(2.4));
         // All 6 tuples had to be read by the first µ (the input is unordered
         // in the ranking sense), demonstrating why rank-scans matter.
-        assert_eq!(reg.snapshot()[0].tuples_out(), 6);
+        assert_eq!(exec.metrics().snapshot()[0].tuples_out(), 6);
     }
 
     #[test]
     fn duplicate_rank_operator_is_idempotent() {
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
-        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("seqscan"));
-        let mu = RankOp::new(Box::new(scan), 0, Arc::clone(&ctx), reg.register("mu_p3"));
-        let mut mu_again = RankOp::new(Box::new(mu), 0, Arc::clone(&ctx), reg.register("mu_p3'"));
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = SeqScan::new(&t, &exec, "seqscan");
+        let mu = RankOp::new(Box::new(scan), 0, &exec, "mu_p3");
+        let mut mu_again = RankOp::new(Box::new(mu), 0, &exec, "mu_p3'");
         let all = drain(&mut mu_again).unwrap();
         assert_eq!(all.len(), 6);
         // p3 evaluated once per tuple, not twice.
@@ -319,9 +304,9 @@ mod tests {
             vec![RankPredicate::attribute("p", "E.p")],
             ScoringFunction::Sum,
         );
-        let reg = MetricsRegistry::new();
-        let scan = SeqScan::new(&empty, Arc::clone(&ctx), reg.register("scan"));
-        let mut mu = RankOp::new(Box::new(scan), 0, ctx, reg.register("mu"));
+        let exec = ExecutionContext::new(ctx);
+        let scan = SeqScan::new(&empty, &exec, "scan");
+        let mut mu = RankOp::new(Box::new(scan), 0, &exec, "mu");
         assert!(mu.next().unwrap().is_none());
         assert!(mu.next().unwrap().is_none());
     }

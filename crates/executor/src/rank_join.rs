@@ -14,6 +14,7 @@ use std::sync::Arc;
 use ranksql_common::{Result, Schema, Score, Value};
 use ranksql_expr::{BoolExpr, BoundBoolExpr, RankedTuple, RankingContext, ScoreState};
 
+use crate::context::ExecutionContext;
 use crate::join::extract_join_keys;
 use crate::metrics::OperatorMetrics;
 use crate::operator::{BoxedOperator, PhysicalOperator, RankingQueue};
@@ -56,7 +57,6 @@ impl SideState {
             ranked,
         }
     }
-
 }
 
 /// A rank-aware join.  With `use_hash = true` this is HRJN: matches are found
@@ -86,8 +86,8 @@ impl RankJoin {
         left: BoxedOperator,
         right: BoxedOperator,
         condition: Option<&BoolExpr>,
-        ctx: Arc<RankingContext>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Result<Self> {
         let keys = extract_join_keys(condition, left.schema(), right.schema());
         if keys.keys.is_empty() {
@@ -95,7 +95,15 @@ impl RankJoin {
                 "HRJN requires at least one equi-join condition (use NRJN otherwise)".into(),
             ));
         }
-        Self::build(left, right, condition, keys.keys, true, ctx, metrics)
+        Self::build(
+            left,
+            right,
+            condition,
+            keys.keys,
+            true,
+            exec.ranking_arc(),
+            exec.register(label),
+        )
     }
 
     /// Creates an NRJN operator (arbitrary or absent condition).
@@ -103,10 +111,18 @@ impl RankJoin {
         left: BoxedOperator,
         right: BoxedOperator,
         condition: Option<&BoolExpr>,
-        ctx: Arc<RankingContext>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Result<Self> {
-        Self::build(left, right, condition, Vec::new(), false, ctx, metrics)
+        Self::build(
+            left,
+            right,
+            condition,
+            Vec::new(),
+            false,
+            exec.ranking_arc(),
+            exec.register(label),
+        )
     }
 
     fn build(
@@ -207,8 +223,11 @@ impl RankJoin {
                 this.last_state = Some(t.state.clone());
                 // Find partners on the other side.
                 let partner_indices: Vec<usize> = if self.use_hash {
-                    let key: Vec<Value> =
-                        this.key_cols.iter().map(|&i| t.tuple.value(i).clone()).collect();
+                    let key: Vec<Value> = this
+                        .key_cols
+                        .iter()
+                        .map(|&i| t.tuple.value(i).clone())
+                        .collect();
                     other.hash.get(&key).cloned().unwrap_or_default()
                 } else {
                     (0..other.seen.len()).collect()
@@ -229,8 +248,11 @@ impl RankJoin {
                 }
                 // Register the new tuple on its own side.
                 if self.use_hash {
-                    let key: Vec<Value> =
-                        this.key_cols.iter().map(|&i| t.tuple.value(i).clone()).collect();
+                    let key: Vec<Value> = this
+                        .key_cols
+                        .iter()
+                        .map(|&i| t.tuple.value(i).clone())
+                        .collect();
                     this.hash.entry(key).or_default().push(this.seen.len());
                 }
                 this.seen.push(t);
@@ -293,7 +315,7 @@ impl PhysicalOperator for RankJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::MetricsRegistry;
+    use crate::context::ExecutionContext;
     use crate::operator::{check_rank_order, drain, take};
     use crate::scan::RankScan;
     use ranksql_common::{DataType, Field, Value};
@@ -313,7 +335,12 @@ mod tests {
         Arc::new(
             TableBuilder::new("R", schema)
                 .rows(rows.iter().map(|&(a, b, p1, p2)| {
-                    vec![Value::from(a), Value::from(b), Value::from(p1), Value::from(p2)]
+                    vec![
+                        Value::from(a),
+                        Value::from(b),
+                        Value::from(p1),
+                        Value::from(p2),
+                    ]
                 }))
                 .build(0)
                 .unwrap(),
@@ -371,15 +398,13 @@ mod tests {
     fn rank_scan(
         t: &Arc<Table>,
         pred: usize,
-        ctx: &Arc<RankingContext>,
-        reg: &MetricsRegistry,
+        exec: &ExecutionContext,
         name: &str,
     ) -> BoxedOperator {
-        let idx =
-            Arc::new(ScoreIndex::build(ctx.predicate(pred), t.schema(), &t.scan()).unwrap());
-        Box::new(
-            RankScan::new(Arc::clone(t), idx, pred, Arc::clone(ctx), reg.register(name)).unwrap(),
-        )
+        let idx = Arc::new(
+            ScoreIndex::build(exec.ranking().predicate(pred), t.schema(), &t.scan()).unwrap(),
+        );
+        Box::new(RankScan::new(Arc::clone(t), idx, pred, exec, name).unwrap())
     }
 
     #[test]
@@ -392,13 +417,11 @@ mod tests {
         let r = table_r();
         let s = table_s();
         let ctx = ctx_f3();
-        let reg = MetricsRegistry::new();
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
         let cond = BoolExpr::col_eq_col("R.a", "S.a");
-        let left = rank_scan(&r, 0, &ctx, &reg, "rankscan_p1(R)");
-        let right = rank_scan(&s, 2, &ctx, &reg, "rankscan_p3(S)");
-        let mut join =
-            RankJoin::hrjn(left, right, Some(&cond), Arc::clone(&ctx), reg.register("HRJN"))
-                .unwrap();
+        let left = rank_scan(&r, 0, &exec, "rankscan_p1(R)");
+        let right = rank_scan(&s, 2, &exec, "rankscan_p3(S)");
+        let mut join = RankJoin::hrjn(left, right, Some(&cond), &exec, "HRJN").unwrap();
         let all = drain(&mut join).unwrap();
         assert_eq!(all.len(), 3);
         assert_eq!(check_rank_order(&all, &ctx), None);
@@ -406,7 +429,7 @@ mod tests {
         assert_eq!(ctx.upper_bound(&all[0].state), Score::new(4.8));
         assert_eq!(all[0].tuple.value(0), &Value::from(1)); // R.a
         assert_eq!(all[0].tuple.value(5), &Value::from(1)); // S.c = 1 → s2
-        // Second: r1 ⋈ s3 with bound 4.4.
+                                                            // Second: r1 ⋈ s3 with bound 4.4.
         assert_eq!(ctx.upper_bound(&all[1].state), Score::new(4.4));
         // Third: r2 ⋈ s6 with bound 4.05.
         assert_eq!(ctx.upper_bound(&all[2].state), Score::new(4.05));
@@ -418,23 +441,23 @@ mod tests {
         let s = table_s();
         let cond = BoolExpr::col_eq_col("R.a", "S.a");
         let ctx1 = ctx_f3();
-        let reg1 = MetricsRegistry::new();
+        let exec1 = ExecutionContext::new(Arc::clone(&ctx1));
         let mut hrjn = RankJoin::hrjn(
-            rank_scan(&r, 0, &ctx1, &reg1, "l"),
-            rank_scan(&s, 2, &ctx1, &reg1, "r"),
+            rank_scan(&r, 0, &exec1, "l"),
+            rank_scan(&s, 2, &exec1, "r"),
             Some(&cond),
-            Arc::clone(&ctx1),
-            reg1.register("HRJN"),
+            &exec1,
+            "HRJN",
         )
         .unwrap();
         let ctx2 = ctx_f3();
-        let reg2 = MetricsRegistry::new();
+        let exec2 = ExecutionContext::new(Arc::clone(&ctx2));
         let mut nrjn = RankJoin::nrjn(
-            rank_scan(&r, 0, &ctx2, &reg2, "l"),
-            rank_scan(&s, 2, &ctx2, &reg2, "r"),
+            rank_scan(&r, 0, &exec2, "l"),
+            rank_scan(&s, 2, &exec2, "r"),
             Some(&cond),
-            Arc::clone(&ctx2),
-            reg2.register("NRJN"),
+            &exec2,
+            "NRJN",
         )
         .unwrap();
         let a = drain(&mut hrjn).unwrap();
@@ -451,26 +474,26 @@ mod tests {
         let r = table_r();
         let s = table_s();
         let ctx = ctx_f3();
-        let reg = MetricsRegistry::new();
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
         let theta = BoolExpr::compare(
             ranksql_expr::ScalarExpr::col("R.a"),
             ranksql_expr::CompareOp::Lt,
             ranksql_expr::ScalarExpr::col("S.a"),
         );
         assert!(RankJoin::hrjn(
-            rank_scan(&r, 0, &ctx, &reg, "l"),
-            rank_scan(&s, 2, &ctx, &reg, "r"),
+            rank_scan(&r, 0, &exec, "l"),
+            rank_scan(&s, 2, &exec, "r"),
             Some(&theta),
-            Arc::clone(&ctx),
-            reg.register("HRJN"),
+            &exec,
+            "HRJN",
         )
         .is_err());
         let mut nrjn = RankJoin::nrjn(
-            rank_scan(&r, 0, &ctx, &reg, "l"),
-            rank_scan(&s, 2, &ctx, &reg, "r"),
+            rank_scan(&r, 0, &exec, "l"),
+            rank_scan(&s, 2, &exec, "r"),
             Some(&theta),
-            Arc::clone(&ctx),
-            reg.register("NRJN"),
+            &exec,
+            "NRJN",
         )
         .unwrap();
         let out = drain(&mut nrjn).unwrap();
@@ -485,14 +508,14 @@ mod tests {
         let r = table_r();
         let s = table_s();
         let ctx = ctx_f3();
-        let reg = MetricsRegistry::new();
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
         let cond = BoolExpr::col_eq_col("R.a", "S.a");
         let mut join = RankJoin::hrjn(
-            rank_scan(&r, 0, &ctx, &reg, "left_scan"),
-            rank_scan(&s, 2, &ctx, &reg, "right_scan"),
+            rank_scan(&r, 0, &exec, "left_scan"),
+            rank_scan(&s, 2, &exec, "right_scan"),
             Some(&cond),
-            Arc::clone(&ctx),
-            reg.register("HRJN"),
+            &exec,
+            "HRJN",
         )
         .unwrap();
         let top = take(&mut join, 1).unwrap();
@@ -500,13 +523,17 @@ mod tests {
         assert_eq!(ctx.upper_bound(&top[0].state), Score::new(4.8));
         // The join must not have consumed everything from both sides: with
         // 3 + 6 input tuples, early termination should need fewer pulls.
-        let pulled: u64 = reg
+        let pulled: u64 = exec
+            .metrics()
             .snapshot()
             .iter()
             .filter(|m| m.name().contains("scan"))
             .map(|m| m.tuples_out())
             .sum();
-        assert!(pulled < 9, "HRJN pulled all {pulled} input tuples for a top-1 query");
+        assert!(
+            pulled < 9,
+            "HRJN pulled all {pulled} input tuples for a top-1 query"
+        );
     }
 
     #[test]
@@ -514,13 +541,13 @@ mod tests {
         let r = table_r();
         let s = table_s();
         let ctx = ctx_f3();
-        let reg = MetricsRegistry::new();
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
         let mut join = RankJoin::nrjn(
-            rank_scan(&r, 0, &ctx, &reg, "l"),
-            rank_scan(&s, 2, &ctx, &reg, "r"),
+            rank_scan(&r, 0, &exec, "l"),
+            rank_scan(&s, 2, &exec, "r"),
             None,
-            Arc::clone(&ctx),
-            reg.register("NRJN"),
+            &exec,
+            "NRJN",
         )
         .unwrap();
         let all = drain(&mut join).unwrap();
@@ -532,25 +559,23 @@ mod tests {
     fn empty_side_produces_empty_join() {
         let r = table_r();
         let ctx = ctx_f3();
-        let reg = MetricsRegistry::new();
-        let empty_schema =
-            Schema::new(vec![Field::new("a", DataType::Int64), Field::new("p3", DataType::Float64)])
-                .qualify_all("S");
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let empty_schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("p3", DataType::Float64),
+        ])
+        .qualify_all("S");
         let empty = Arc::new(TableBuilder::new("S", empty_schema).build(9).unwrap());
-        let idx = Arc::new(
-            ScoreIndex::build(ctx.predicate(2), empty.schema(), &empty.scan()).unwrap(),
-        );
-        let right = Box::new(
-            RankScan::new(Arc::clone(&empty), idx, 2, Arc::clone(&ctx), reg.register("r"))
-                .unwrap(),
-        );
+        let idx =
+            Arc::new(ScoreIndex::build(ctx.predicate(2), empty.schema(), &empty.scan()).unwrap());
+        let right = Box::new(RankScan::new(Arc::clone(&empty), idx, 2, &exec, "r").unwrap());
         let cond = BoolExpr::col_eq_col("R.a", "S.a");
         let mut join = RankJoin::hrjn(
-            rank_scan(&r, 0, &ctx, &reg, "l"),
+            rank_scan(&r, 0, &exec, "l"),
             right,
             Some(&cond),
-            Arc::clone(&ctx),
-            reg.register("HRJN"),
+            &exec,
+            "HRJN",
         )
         .unwrap();
         assert!(drain(&mut join).unwrap().is_empty());

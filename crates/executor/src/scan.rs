@@ -7,6 +7,7 @@ use ranksql_common::{RankSqlError, Result, Schema};
 use ranksql_expr::{RankedTuple, RankingContext};
 use ranksql_storage::{BTreeIndex, ScoreIndex, Table};
 
+use crate::context::{ExecutionContext, TupleBudget};
 use crate::metrics::OperatorMetrics;
 use crate::operator::PhysicalOperator;
 
@@ -15,18 +16,29 @@ use crate::operator::PhysicalOperator;
 /// Tuples are emitted in storage order with an empty evaluated-predicate set;
 /// since every tuple then carries the same (maximal) upper bound, the output
 /// is trivially a rank-relation with `P = ∅`.
+///
+/// The scan consumes its snapshot by value: the snapshot itself is the only
+/// copy made, and each `next()` *moves* a tuple out instead of cloning it —
+/// the `operators_micro` bench records the delta against the historical
+/// clone-per-tuple scheme.
 pub struct SeqScan {
     schema: Schema,
-    tuples: Vec<ranksql_common::Tuple>,
-    pos: usize,
+    tuples: std::vec::IntoIter<ranksql_common::Tuple>,
     ctx: Arc<RankingContext>,
     metrics: Arc<OperatorMetrics>,
+    budget: Arc<TupleBudget>,
 }
 
 impl SeqScan {
     /// Creates a sequential scan over `table`.
-    pub fn new(table: &Table, ctx: Arc<RankingContext>, metrics: Arc<OperatorMetrics>) -> Self {
-        SeqScan { schema: table.schema().clone(), tuples: table.scan(), pos: 0, ctx, metrics }
+    pub fn new(table: &Table, exec: &ExecutionContext, label: impl Into<String>) -> Self {
+        SeqScan {
+            schema: table.schema().clone(),
+            tuples: table.scan().into_iter(),
+            ctx: exec.ranking_arc(),
+            metrics: exec.register(label),
+            budget: Arc::clone(exec.budget()),
+        }
     }
 }
 
@@ -36,11 +48,10 @@ impl PhysicalOperator for SeqScan {
     }
 
     fn next(&mut self) -> Result<Option<RankedTuple>> {
-        if self.pos >= self.tuples.len() {
+        let Some(t) = self.tuples.next() else {
             return Ok(None);
-        }
-        let t = self.tuples[self.pos].clone();
-        self.pos += 1;
+        };
+        self.budget.charge(1)?;
         self.metrics.add_in(1);
         self.metrics.add_out(1);
         Ok(Some(RankedTuple::unranked(t, self.ctx.num_predicates())))
@@ -61,23 +72,35 @@ pub struct RankScan {
     pos: usize,
     ctx: Arc<RankingContext>,
     metrics: Arc<OperatorMetrics>,
+    budget: Arc<TupleBudget>,
 }
 
 impl RankScan {
     /// Creates a rank-scan over `table` for the context predicate `predicate`
-    /// using `index` (which must cover that predicate).
+    /// using `index` (which must cover that predicate and be current for the
+    /// table's row count).
     pub fn new(
         table: Arc<Table>,
         index: Arc<ScoreIndex>,
         predicate: usize,
-        ctx: Arc<RankingContext>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Result<Self> {
+        let ctx = exec.ranking_arc();
         let expected = &ctx.predicate(predicate).name;
         if index.predicate_name() != expected {
             return Err(RankSqlError::Execution(format!(
                 "rank-scan index covers predicate `{}` but the plan asks for `{expected}`",
                 index.predicate_name()
+            )));
+        }
+        if index.indexed_rows() != table.row_count() {
+            return Err(RankSqlError::Catalog(format!(
+                "score index on `{}` of table `{}` is stale: built over {} rows, table now has {}",
+                index.predicate_name(),
+                table.name(),
+                index.indexed_rows(),
+                table.row_count()
             )));
         }
         Ok(RankScan {
@@ -87,7 +110,8 @@ impl RankScan {
             predicate,
             pos: 0,
             ctx,
-            metrics,
+            metrics: exec.register(label),
+            budget: Arc::clone(exec.budget()),
         })
     }
 }
@@ -108,6 +132,7 @@ impl PhysicalOperator for RankScan {
                 self.table.name()
             ))
         })?;
+        self.budget.charge(1)?;
         let mut rt = RankedTuple::unranked(tuple, self.ctx.num_predicates());
         rt.state.set(self.predicate, score.value());
         self.metrics.add_in(1);
@@ -128,17 +153,36 @@ pub struct AttributeIndexScan {
     pos: usize,
     ctx: Arc<RankingContext>,
     metrics: Arc<OperatorMetrics>,
+    budget: Arc<TupleBudget>,
 }
 
 impl AttributeIndexScan {
-    /// Creates an ordered attribute scan.
+    /// Creates an ordered attribute scan; the index must be current for the
+    /// table's row count.
     pub fn new(
         table: Arc<Table>,
         index: Arc<BTreeIndex>,
-        ctx: Arc<RankingContext>,
-        metrics: Arc<OperatorMetrics>,
-    ) -> Self {
-        AttributeIndexScan { schema: table.schema().clone(), table, index, pos: 0, ctx, metrics }
+        exec: &ExecutionContext,
+        label: impl Into<String>,
+    ) -> Result<Self> {
+        if index.indexed_rows() != table.row_count() {
+            return Err(RankSqlError::Catalog(format!(
+                "attribute index on `{}` of table `{}` is stale: built over {} rows, table now has {}",
+                index.column_name(),
+                table.name(),
+                index.indexed_rows(),
+                table.row_count()
+            )));
+        }
+        Ok(AttributeIndexScan {
+            schema: table.schema().clone(),
+            table,
+            index,
+            pos: 0,
+            ctx: exec.ranking_arc(),
+            metrics: exec.register(label),
+            budget: Arc::clone(exec.budget()),
+        })
     }
 }
 
@@ -158,9 +202,13 @@ impl PhysicalOperator for AttributeIndexScan {
                 self.table.name()
             ))
         })?;
+        self.budget.charge(1)?;
         self.metrics.add_in(1);
         self.metrics.add_out(1);
-        Ok(Some(RankedTuple::unranked(tuple, self.ctx.num_predicates())))
+        Ok(Some(RankedTuple::unranked(
+            tuple,
+            self.ctx.num_predicates(),
+        )))
     }
 
     fn is_ranked(&self) -> bool {
@@ -173,7 +221,6 @@ impl PhysicalOperator for AttributeIndexScan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::MetricsRegistry;
     use crate::operator::{check_rank_order, drain};
     use ranksql_common::{DataType, Field, Value};
     use ranksql_expr::{RankPredicate, ScoringFunction};
@@ -227,32 +274,31 @@ mod tests {
     fn seq_scan_emits_all_rows_unranked() {
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
-        let mut scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("SeqScan(S)"));
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let mut scan = SeqScan::new(&t, &exec, "SeqScan(S)");
         let all = drain(&mut scan).unwrap();
         assert_eq!(all.len(), 6);
         for rt in &all {
             assert!(rt.state.evaluated().is_empty());
             assert_eq!(ctx.upper_bound(&rt.state), ranksql_common::Score::new(3.0));
         }
-        assert_eq!(reg.output_cardinalities()[0].1, 6);
+        assert_eq!(exec.metrics().output_cardinalities()[0].1, 6);
     }
 
     #[test]
     fn rank_scan_emits_in_descending_p3_order() {
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
-        let idx = Arc::new(
-            ScoreIndex::build(ctx.predicate(0), t.schema(), &t.scan()).unwrap(),
-        );
-        let mut scan =
-            RankScan::new(Arc::clone(&t), idx, 0, Arc::clone(&ctx), reg.register("RankScan"))
-                .unwrap();
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let idx = Arc::new(ScoreIndex::build(ctx.predicate(0), t.schema(), &t.scan()).unwrap());
+        let mut scan = RankScan::new(Arc::clone(&t), idx, 0, &exec, "RankScan").unwrap();
         let all = drain(&mut scan).unwrap();
         assert_eq!(all.len(), 6);
         // Figure 2(f): s2 (p3=0.9) first, upper bound 2.9.
-        assert_eq!(ctx.upper_bound(&all[0].state), ranksql_common::Score::new(2.9));
+        assert_eq!(
+            ctx.upper_bound(&all[0].state),
+            ranksql_common::Score::new(2.9)
+        );
         assert_eq!(all[0].tuple.value(0), &Value::from(1));
         assert_eq!(check_rank_order(&all, &ctx), None);
         // p3 is marked evaluated; p4/p5 are not.
@@ -264,11 +310,11 @@ mod tests {
     fn rank_scan_rejects_mismatched_index() {
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
+        let exec = ExecutionContext::new(ctx);
         let idx_p4 = Arc::new(
-            ScoreIndex::build(ctx.predicate(1), t.schema(), &t.scan()).unwrap(),
+            ScoreIndex::build(exec.ranking().predicate(1), t.schema(), &t.scan()).unwrap(),
         );
-        let err = RankScan::new(Arc::clone(&t), idx_p4, 0, ctx, reg.register("RankScan"));
+        let err = RankScan::new(Arc::clone(&t), idx_p4, 0, &exec, "RankScan");
         assert!(err.is_err());
     }
 
@@ -276,12 +322,14 @@ mod tests {
     fn attribute_index_scan_orders_by_column() {
         let t = table_s();
         let ctx = ctx_s();
-        let reg = MetricsRegistry::new();
+        let exec = ExecutionContext::new(ctx);
         let idx = Arc::new(BTreeIndex::build("S.a", t.schema(), &t.scan()).unwrap());
-        let mut scan =
-            AttributeIndexScan::new(Arc::clone(&t), idx, ctx, reg.register("IdxScan(S.a)"));
+        let mut scan = AttributeIndexScan::new(Arc::clone(&t), idx, &exec, "IdxScan(S.a)").unwrap();
         let all = drain(&mut scan).unwrap();
-        let a_vals: Vec<i64> = all.iter().map(|t| t.tuple.value(0).as_i64().unwrap()).collect();
+        let a_vals: Vec<i64> = all
+            .iter()
+            .map(|t| t.tuple.value(0).as_i64().unwrap())
+            .collect();
         let mut sorted = a_vals.clone();
         sorted.sort();
         assert_eq!(a_vals, sorted);

@@ -24,6 +24,7 @@ use std::sync::Arc;
 use ranksql_common::{Result, Schema, Score, TupleId};
 use ranksql_expr::{RankedTuple, RankingContext};
 
+use crate::context::ExecutionContext;
 use crate::metrics::OperatorMetrics;
 use crate::operator::{BoxedOperator, PhysicalOperator, RankingQueue};
 
@@ -44,11 +45,20 @@ impl UnionOp {
     pub fn new(
         left: BoxedOperator,
         right: BoxedOperator,
-        ctx: Arc<RankingContext>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Self {
         let schema = left.schema().clone();
-        UnionOp { left, right, schema, ctx, metrics, prepared: false, output: Vec::new(), pos: 0 }
+        UnionOp {
+            left,
+            right,
+            schema,
+            ctx: exec.ranking_arc(),
+            metrics: exec.register(label),
+            prepared: false,
+            output: Vec::new(),
+            pos: 0,
+        }
     }
 
     fn prepare(&mut self) -> Result<()> {
@@ -72,8 +82,10 @@ impl UnionOp {
                 }
             }
         }
-        let mut rows: Vec<RankedTuple> =
-            order.into_iter().map(|id| merged.remove(&id).expect("inserted above")).collect();
+        let mut rows: Vec<RankedTuple> = order
+            .into_iter()
+            .map(|id| merged.remove(&id).expect("inserted above"))
+            .collect();
         let scoring = self.ctx.scoring().clone();
         let max_value = self.ctx.max_predicate_value();
         rows.sort_by(|a, b| a.cmp_desc(b, &scoring, max_value));
@@ -133,9 +145,11 @@ impl IntersectOp {
     pub fn new(
         left: BoxedOperator,
         right: BoxedOperator,
-        ctx: Arc<RankingContext>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Self {
+        let ctx = exec.ranking_arc();
+        let metrics = exec.register(label);
         let schema = left.schema().clone();
         let initial = ctx.initial_upper_bound();
         let left_ranked = left.is_ranked();
@@ -178,7 +192,11 @@ impl IntersectOp {
     }
 
     fn advance(&mut self, from_left: bool) -> Result<()> {
-        let next = if from_left { self.left.next()? } else { self.right.next()? };
+        let next = if from_left {
+            self.left.next()?
+        } else {
+            self.right.next()?
+        };
         match next {
             None => {
                 if from_left {
@@ -204,8 +222,7 @@ impl IntersectOp {
                     own_pending.insert(rt.tuple.id().clone(), rt);
                 }
                 self.metrics.observe_buffered(
-                    (self.pending_left.len() + self.pending_right.len() + self.output.len())
-                        as u64,
+                    (self.pending_left.len() + self.pending_right.len() + self.output.len()) as u64,
                 );
             }
         }
@@ -234,9 +251,7 @@ impl PhysicalOperator for IntersectOp {
             // blocking emission); alternate on ties.
             let from_left = if self.left_exhausted {
                 false
-            } else if self.right_exhausted {
-                true
-            } else if self.left_bound > self.right_bound {
+            } else if self.right_exhausted || self.left_bound > self.right_bound {
                 true
             } else if self.right_bound > self.left_bound {
                 false
@@ -265,11 +280,17 @@ impl ExceptOp {
     pub fn new(
         left: BoxedOperator,
         right: BoxedOperator,
-        _ctx: Arc<RankingContext>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Self {
         let schema = left.schema().clone();
-        ExceptOp { left, right: Some(right), excluded: None, schema, metrics }
+        ExceptOp {
+            left,
+            right: Some(right),
+            excluded: None,
+            schema,
+            metrics: exec.register(label),
+        }
     }
 
     fn ensure_excluded(&mut self) -> Result<()> {
@@ -295,7 +316,12 @@ impl PhysicalOperator for ExceptOp {
         self.ensure_excluded()?;
         while let Some(rt) = self.left.next()? {
             self.metrics.add_in(1);
-            if !self.excluded.as_ref().expect("built").contains(rt.tuple.id()) {
+            if !self
+                .excluded
+                .as_ref()
+                .expect("built")
+                .contains(rt.tuple.id())
+            {
                 self.metrics.add_out(1);
                 return Ok(Some(rt));
             }
@@ -311,7 +337,6 @@ impl PhysicalOperator for ExceptOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::MetricsRegistry;
     use crate::operator::{check_rank_order, drain, take};
     use crate::rank::RankOp;
     use crate::scan::{RankScan, SeqScan};
@@ -333,7 +358,12 @@ mod tests {
         Arc::new(
             TableBuilder::new("R", schema)
                 .rows(rows.iter().map(|&(a, b, p1, p2)| {
-                    vec![Value::from(a), Value::from(b), Value::from(p1), Value::from(p2)]
+                    vec![
+                        Value::from(a),
+                        Value::from(b),
+                        Value::from(p1),
+                        Value::from(p2),
+                    ]
                 }))
                 .build(0)
                 .unwrap(),
@@ -353,15 +383,13 @@ mod tests {
     fn rank_scan(
         t: &Arc<Table>,
         pred: usize,
-        ctx: &Arc<RankingContext>,
-        reg: &MetricsRegistry,
+        exec: &ExecutionContext,
         name: &str,
     ) -> BoxedOperator {
-        let idx =
-            Arc::new(ScoreIndex::build(ctx.predicate(pred), t.schema(), &t.scan()).unwrap());
-        Box::new(
-            RankScan::new(Arc::clone(t), idx, pred, Arc::clone(ctx), reg.register(name)).unwrap(),
-        )
+        let idx = Arc::new(
+            ScoreIndex::build(exec.ranking().predicate(pred), t.schema(), &t.scan()).unwrap(),
+        );
+        Box::new(RankScan::new(Arc::clone(t), idx, pred, exec, name).unwrap())
     }
 
     #[test]
@@ -371,16 +399,16 @@ mod tests {
         // rank-scans merged by the incremental intersection.
         let t = table_r();
         let ctx_lhs = ctx_r();
-        let reg = MetricsRegistry::new();
-        let scan = SeqScan::new(&t, Arc::clone(&ctx_lhs), reg.register("seq"));
-        let mu2 = RankOp::new(Box::new(scan), 1, Arc::clone(&ctx_lhs), reg.register("mu_p2"));
-        let mut lhs = RankOp::new(Box::new(mu2), 0, Arc::clone(&ctx_lhs), reg.register("mu_p1"));
+        let exec_lhs = ExecutionContext::new(Arc::clone(&ctx_lhs));
+        let scan = SeqScan::new(&t, &exec_lhs, "seq");
+        let mu2 = RankOp::new(Box::new(scan), 1, &exec_lhs, "mu_p2");
+        let mut lhs = RankOp::new(Box::new(mu2), 0, &exec_lhs, "mu_p1");
 
         let ctx_rhs = ctx_r();
-        let left = rank_scan(&t, 0, &ctx_rhs, &reg, "rs_p1");
-        let right = rank_scan(&t, 1, &ctx_rhs, &reg, "rs_p2");
-        let mut rhs =
-            IntersectOp::new(left, right, Arc::clone(&ctx_rhs), reg.register("intersect"));
+        let exec_rhs = ExecutionContext::new(Arc::clone(&ctx_rhs));
+        let left = rank_scan(&t, 0, &exec_rhs, "rs_p1");
+        let right = rank_scan(&t, 1, &exec_rhs, "rs_p2");
+        let mut rhs = IntersectOp::new(left, right, &exec_rhs, "intersect");
 
         let a = drain(&mut lhs).unwrap();
         let b = drain(&mut rhs).unwrap();
@@ -421,13 +449,14 @@ mod tests {
             ],
             ScoringFunction::Sum,
         );
-        let reg = MetricsRegistry::new();
-        let left = rank_scan(&t, 0, &ctx, &reg, "rs_p1");
-        let right = rank_scan(&t, 1, &ctx, &reg, "rs_p2");
-        let mut op = IntersectOp::new(left, right, Arc::clone(&ctx), reg.register("intersect"));
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let left = rank_scan(&t, 0, &exec, "rs_p1");
+        let right = rank_scan(&t, 1, &exec, "rs_p2");
+        let mut op = IntersectOp::new(left, right, &exec, "intersect");
         let top = take(&mut op, 1).unwrap();
         assert_eq!(ctx.upper_bound(&top[0].state), Score::new(0.99 + 0.98));
-        let pulled: u64 = reg
+        let pulled: u64 = exec
+            .metrics()
             .snapshot()
             .iter()
             .filter(|m| m.name().starts_with("rs_"))
@@ -447,14 +476,17 @@ mod tests {
         // the aggregate order is then the final F1 order of Figure 4(a).
         let t = table_r();
         let ctx = ctx_r();
-        let reg = MetricsRegistry::new();
-        let left = rank_scan(&t, 0, &ctx, &reg, "rs_p1");
-        let right = rank_scan(&t, 1, &ctx, &reg, "rs_p2");
-        let mut op = UnionOp::new(left, right, Arc::clone(&ctx), reg.register("union"));
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let left = rank_scan(&t, 0, &exec, "rs_p1");
+        let right = rank_scan(&t, 1, &exec, "rs_p2");
+        let mut op = UnionOp::new(left, right, &exec, "union");
         let out = drain(&mut op).unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(check_rank_order(&out, &ctx), None);
-        let scores: Vec<f64> = out.iter().map(|t| ctx.upper_bound(&t.state).value()).collect();
+        let scores: Vec<f64> = out
+            .iter()
+            .map(|t| ctx.upper_bound(&t.state).value())
+            .collect();
         assert!((scores[0] - 1.55).abs() < 1e-9);
         assert!((scores[1] - 1.4).abs() < 1e-9);
         assert!((scores[2] - 1.3).abs() < 1e-9);
@@ -464,9 +496,9 @@ mod tests {
     fn union_keeps_tuples_present_on_only_one_side() {
         let t = table_r();
         let ctx = ctx_r();
-        let reg = MetricsRegistry::new();
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
         // Left: only tuples with a >= 2 (r2, r3); right: all three.
-        let left_inner = rank_scan(&t, 0, &ctx, &reg, "rs_p1");
+        let left_inner = rank_scan(&t, 0, &exec, "rs_p1");
         let filter = crate::filter::Filter::new(
             left_inner,
             &ranksql_expr::BoolExpr::compare(
@@ -474,16 +506,19 @@ mod tests {
                 ranksql_expr::CompareOp::GtEq,
                 ranksql_expr::ScalarExpr::lit(2),
             ),
-            reg.register("filter"),
+            &exec,
+            "filter",
         )
         .unwrap();
-        let right = rank_scan(&t, 1, &ctx, &reg, "rs_p2");
-        let mut op =
-            UnionOp::new(Box::new(filter), right, Arc::clone(&ctx), reg.register("union"));
+        let right = rank_scan(&t, 1, &exec, "rs_p2");
+        let mut op = UnionOp::new(Box::new(filter), right, &exec, "union");
         let out = drain(&mut op).unwrap();
         assert_eq!(out.len(), 3);
         // r1 was only on the right, so only p2 is evaluated for it.
-        let r1 = out.iter().find(|t| t.tuple.value(0) == &Value::from(1)).unwrap();
+        let r1 = out
+            .iter()
+            .find(|t| t.tuple.value(0) == &Value::from(1))
+            .unwrap();
         assert!(!r1.state.is_evaluated(0));
         assert!(r1.state.is_evaluated(1));
     }
@@ -494,9 +529,9 @@ mod tests {
         // in the order of P1.  Model R' as a filtered scan excluding a = 2.
         let t = table_r();
         let ctx = ctx_r();
-        let reg = MetricsRegistry::new();
-        let left = rank_scan(&t, 0, &ctx, &reg, "rs_p1");
-        let right_inner = rank_scan(&t, 1, &ctx, &reg, "rs_p2");
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let left = rank_scan(&t, 0, &exec, "rs_p1");
+        let right_inner = rank_scan(&t, 1, &exec, "rs_p2");
         let right = crate::filter::Filter::new(
             right_inner,
             &ranksql_expr::BoolExpr::compare(
@@ -504,15 +539,11 @@ mod tests {
                 ranksql_expr::CompareOp::NotEq,
                 ranksql_expr::ScalarExpr::lit(2),
             ),
-            reg.register("filter"),
+            &exec,
+            "filter",
         )
         .unwrap();
-        let mut op = ExceptOp::new(
-            left,
-            Box::new(right),
-            Arc::clone(&ctx),
-            reg.register("except"),
-        );
+        let mut op = ExceptOp::new(left, Box::new(right), &exec, "except");
         let out = drain(&mut op).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].tuple.value(0), &Value::from(2));
@@ -525,8 +556,8 @@ mod tests {
     fn intersect_with_disjoint_inputs_is_empty() {
         let t = table_r();
         let ctx = ctx_r();
-        let reg = MetricsRegistry::new();
-        let left_inner = rank_scan(&t, 0, &ctx, &reg, "rs_p1");
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let left_inner = rank_scan(&t, 0, &exec, "rs_p1");
         let left = crate::filter::Filter::new(
             left_inner,
             &ranksql_expr::BoolExpr::compare(
@@ -534,10 +565,11 @@ mod tests {
                 ranksql_expr::CompareOp::Lt,
                 ranksql_expr::ScalarExpr::lit(2),
             ),
-            reg.register("f1"),
+            &exec,
+            "f1",
         )
         .unwrap();
-        let right_inner = rank_scan(&t, 1, &ctx, &reg, "rs_p2");
+        let right_inner = rank_scan(&t, 1, &exec, "rs_p2");
         let right = crate::filter::Filter::new(
             right_inner,
             &ranksql_expr::BoolExpr::compare(
@@ -545,15 +577,11 @@ mod tests {
                 ranksql_expr::CompareOp::GtEq,
                 ranksql_expr::ScalarExpr::lit(2),
             ),
-            reg.register("f2"),
+            &exec,
+            "f2",
         )
         .unwrap();
-        let mut op = IntersectOp::new(
-            Box::new(left),
-            Box::new(right),
-            Arc::clone(&ctx),
-            reg.register("intersect"),
-        );
+        let mut op = IntersectOp::new(Box::new(left), Box::new(right), &exec, "intersect");
         assert!(drain(&mut op).unwrap().is_empty());
     }
 }

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use ranksql_common::{BitSet64, Result, Schema};
 use ranksql_expr::{RankedTuple, RankingContext};
 
+use crate::context::ExecutionContext;
 use crate::metrics::OperatorMetrics;
 use crate::operator::{BoxedOperator, PhysicalOperator};
 
@@ -30,11 +31,18 @@ impl SortOp {
     pub fn new(
         input: BoxedOperator,
         predicates: BitSet64,
-        ctx: Arc<RankingContext>,
-        metrics: Arc<OperatorMetrics>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
     ) -> Self {
         let schema = input.schema().clone();
-        SortOp { input, predicates, schema, ctx, metrics, sorted: None }
+        SortOp {
+            input,
+            predicates,
+            schema,
+            ctx: exec.ranking_arc(),
+            metrics: exec.register(label),
+            sorted: None,
+        }
     }
 
     fn prepare(&mut self) -> Result<()> {
@@ -46,7 +54,8 @@ impl SortOp {
             self.metrics.add_in(1);
             for p in self.predicates.iter() {
                 if !rt.state.is_evaluated(p) {
-                    self.ctx.evaluate_into(p, &rt.tuple, &self.schema, &mut rt.state)?;
+                    self.ctx
+                        .evaluate_into(p, &rt.tuple, &self.schema, &mut rt.state)?;
                 }
             }
             rows.push(rt);
@@ -75,6 +84,133 @@ impl PhysicalOperator for SortOp {
     }
 }
 
+/// One buffered tuple of [`SortLimitOp`], ordered so that the heap maximum
+/// is the tuple that sorts *last* under [`RankedTuple::cmp_desc`] — i.e. the
+/// current worst of the kept top-k.
+struct TopKEntry {
+    tuple: RankedTuple,
+    score: ranksql_common::Score,
+}
+
+impl PartialEq for TopKEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for TopKEntry {}
+
+impl PartialOrd for TopKEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TopKEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Mirrors `cmp_desc`: higher score sorts first, ties broken by
+        // ascending tuple id — so `Greater` means "sorts later" (worse).
+        other
+            .score
+            .cmp(&self.score)
+            .then_with(|| self.tuple.tuple.id().cmp(other.tuple.tuple.id()))
+    }
+}
+
+/// The fused top-k sort (τ_F + λ_k): evaluates the missing predicates of
+/// `predicates` like [`SortOp`], but keeps only the best `k` tuples in a
+/// bounded heap instead of materialising and fully sorting the input —
+/// `O(n log k)` comparisons and `O(k)` buffered tuples instead of
+/// `O(n log n)` / `O(n)`.
+///
+/// Emission order is identical to `Limit(Sort(input))`: the shared
+/// [`RankedTuple::cmp_desc`] comparator is a total order (deterministic
+/// tie-break on tuple identity), so keeping the `k` smallest under it and
+/// sorting them equals sorting everything and truncating.
+pub struct SortLimitOp {
+    input: BoxedOperator,
+    predicates: BitSet64,
+    k: usize,
+    schema: Schema,
+    ctx: Arc<RankingContext>,
+    metrics: Arc<OperatorMetrics>,
+    sorted: Option<std::vec::IntoIter<RankedTuple>>,
+}
+
+impl SortLimitOp {
+    /// Creates a fused top-k sort over `predicates` keeping `k` tuples.
+    pub fn new(
+        input: BoxedOperator,
+        predicates: BitSet64,
+        k: usize,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
+    ) -> Self {
+        let schema = input.schema().clone();
+        SortLimitOp {
+            input,
+            predicates,
+            k,
+            schema,
+            ctx: exec.ranking_arc(),
+            metrics: exec.register(label),
+            sorted: None,
+        }
+    }
+
+    fn prepare(&mut self) -> Result<()> {
+        if self.sorted.is_some() {
+            return Ok(());
+        }
+        if self.k == 0 {
+            // The unfused Limit(Sort(x)) never pulls its input for k = 0;
+            // match that and do no work at all.
+            self.sorted = Some(Vec::new().into_iter());
+            return Ok(());
+        }
+        let mut heap: std::collections::BinaryHeap<TopKEntry> =
+            std::collections::BinaryHeap::with_capacity(self.k + 1);
+        while let Some(mut rt) = self.input.next()? {
+            self.metrics.add_in(1);
+            for p in self.predicates.iter() {
+                if !rt.state.is_evaluated(p) {
+                    self.ctx
+                        .evaluate_into(p, &rt.tuple, &self.schema, &mut rt.state)?;
+                }
+            }
+            let score = self.ctx.upper_bound(&rt.state);
+            heap.push(TopKEntry { tuple: rt, score });
+            if heap.len() > self.k {
+                heap.pop();
+            }
+            self.metrics.observe_buffered(heap.len() as u64);
+        }
+        // Ascending heap order = best first (the maximum is the worst kept).
+        let rows: Vec<RankedTuple> = heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| e.tuple)
+            .collect();
+        self.sorted = Some(rows.into_iter());
+        Ok(())
+    }
+}
+
+impl PhysicalOperator for SortLimitOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        self.prepare()?;
+        let next = self.sorted.as_mut().expect("sorted after prepare").next();
+        if next.is_some() {
+            self.metrics.add_out(1);
+        }
+        Ok(next)
+    }
+}
+
 /// The top-k limit operator λ_k: passes through the first `k` tuples of its
 /// (already ranked) input and then stops drawing.
 pub struct LimitOp {
@@ -87,9 +223,20 @@ pub struct LimitOp {
 
 impl LimitOp {
     /// Creates a limit of `k` tuples.
-    pub fn new(input: BoxedOperator, k: usize, metrics: Arc<OperatorMetrics>) -> Self {
+    pub fn new(
+        input: BoxedOperator,
+        k: usize,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
+    ) -> Self {
         let schema = input.schema().clone();
-        LimitOp { input, k, emitted: 0, schema, metrics }
+        LimitOp {
+            input,
+            k,
+            emitted: 0,
+            schema,
+            metrics: exec.register(label),
+        }
     }
 }
 
@@ -121,7 +268,6 @@ impl PhysicalOperator for LimitOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::MetricsRegistry;
     use crate::operator::{check_rank_order, drain};
     use crate::scan::SeqScan;
     use ranksql_common::{DataType, Field, Score, Value};
@@ -146,7 +292,12 @@ mod tests {
         ];
         TableBuilder::new("S", schema)
             .rows(rows.iter().map(|&(a, p3, p4, p5)| {
-                vec![Value::from(a), Value::from(p3), Value::from(p4), Value::from(p5)]
+                vec![
+                    Value::from(a),
+                    Value::from(p3),
+                    Value::from(p4),
+                    Value::from(p5),
+                ]
             }))
             .build(0)
             .unwrap()
@@ -169,14 +320,9 @@ mod tests {
         // every tuple (6 * 3 = 18 evaluations).
         let t = table_s();
         let ctx = ctx();
-        let reg = MetricsRegistry::new();
-        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("seqscan"));
-        let mut sort = SortOp::new(
-            Box::new(scan),
-            BitSet64::all(3),
-            Arc::clone(&ctx),
-            reg.register("sort"),
-        );
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = SeqScan::new(&t, &exec, "seqscan");
+        let mut sort = SortOp::new(Box::new(scan), BitSet64::all(3), &exec, "sort");
         let all = drain(&mut sort).unwrap();
         assert_eq!(all.len(), 6);
         assert_eq!(check_rank_order(&all, &ctx), None);
@@ -190,15 +336,10 @@ mod tests {
     fn sort_skips_predicates_already_evaluated_below() {
         let t = table_s();
         let ctx = ctx();
-        let reg = MetricsRegistry::new();
-        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("seqscan"));
-        let mu = crate::rank::RankOp::new(Box::new(scan), 0, Arc::clone(&ctx), reg.register("mu"));
-        let mut sort = SortOp::new(
-            Box::new(mu),
-            BitSet64::all(3),
-            Arc::clone(&ctx),
-            reg.register("sort"),
-        );
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = SeqScan::new(&t, &exec, "seqscan");
+        let mu = crate::rank::RankOp::new(Box::new(scan), 0, &exec, "mu");
+        let mut sort = SortOp::new(Box::new(mu), BitSet64::all(3), &exec, "sort");
         let _ = drain(&mut sort).unwrap();
         // p3 evaluated by µ (6 times), sort adds only p4 and p5 (12 times).
         assert_eq!(ctx.counters().count(0), 6);
@@ -209,25 +350,78 @@ mod tests {
     fn limit_caps_output_and_stops_pulling() {
         let t = table_s();
         let ctx = ctx();
-        let reg = MetricsRegistry::new();
-        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("seqscan"));
-        let mut limit = LimitOp::new(Box::new(scan), 2, reg.register("limit"));
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = SeqScan::new(&t, &exec, "seqscan");
+        let mut limit = LimitOp::new(Box::new(scan), 2, &exec, "limit");
         let out = drain(&mut limit).unwrap();
         assert_eq!(out.len(), 2);
         // The scan only served 2 tuples.
-        assert_eq!(reg.snapshot()[0].tuples_out(), 2);
+        assert_eq!(exec.metrics().snapshot()[0].tuples_out(), 2);
     }
 
     #[test]
     fn limit_zero_and_oversized_limits() {
         let t = table_s();
         let ctx = ctx();
-        let reg = MetricsRegistry::new();
-        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("s"));
-        let mut l0 = LimitOp::new(Box::new(scan), 0, reg.register("l0"));
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = SeqScan::new(&t, &exec, "s");
+        let mut l0 = LimitOp::new(Box::new(scan), 0, &exec, "l0");
         assert!(drain(&mut l0).unwrap().is_empty());
-        let scan = SeqScan::new(&t, Arc::clone(&ctx), reg.register("s2"));
-        let mut l100 = LimitOp::new(Box::new(scan), 100, reg.register("l100"));
+        let scan = SeqScan::new(&t, &exec, "s2");
+        let mut l100 = LimitOp::new(Box::new(scan), 100, &exec, "l100");
         assert_eq!(drain(&mut l100).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn sort_limit_matches_sort_then_limit() {
+        for k in 0..=7 {
+            let t = table_s();
+            let ctx = ctx();
+            let exec = ExecutionContext::new(Arc::clone(&ctx));
+            let scan = SeqScan::new(&t, &exec, "seqscan");
+            let mut fused =
+                SortLimitOp::new(Box::new(scan), BitSet64::all(3), k, &exec, "sortlimit");
+            let got = drain(&mut fused).unwrap();
+
+            let exec2 = ExecutionContext::new(Arc::clone(&ctx));
+            let scan = SeqScan::new(&t, &exec2, "seqscan");
+            let sort = SortOp::new(Box::new(scan), BitSet64::all(3), &exec2, "sort");
+            let mut limit = LimitOp::new(Box::new(sort), k, &exec2, "limit");
+            let want = drain(&mut limit).unwrap();
+
+            assert_eq!(got.len(), want.len(), "k = {k}");
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert_eq!(g.tuple.id(), w.tuple.id(), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_limit_zero_k_does_no_work() {
+        let t = table_s();
+        let ctx = ctx();
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = SeqScan::new(&t, &exec, "seqscan");
+        let mut fused = SortLimitOp::new(Box::new(scan), BitSet64::all(3), 0, &exec, "topk");
+        assert!(drain(&mut fused).unwrap().is_empty());
+        // Like the unfused Limit(Sort) for k = 0: the input is never pulled
+        // and no predicate is evaluated.
+        assert_eq!(exec.metrics().snapshot()[0].tuples_out(), 0);
+        assert_eq!(ctx.counters().total(), 0);
+    }
+
+    #[test]
+    fn sort_limit_buffers_at_most_k_tuples() {
+        let t = table_s();
+        let ctx = ctx();
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = SeqScan::new(&t, &exec, "seqscan");
+        let mut fused = SortLimitOp::new(Box::new(scan), BitSet64::all(3), 2, &exec, "topk");
+        let out = drain(&mut fused).unwrap();
+        assert_eq!(out.len(), 2);
+        let m = exec.metrics().snapshot();
+        let topk = m.iter().find(|x| x.name() == "topk").unwrap();
+        assert_eq!(topk.tuples_in(), 6);
+        assert!(topk.buffered_peak() <= 2, "peak {}", topk.buffered_peak());
     }
 }

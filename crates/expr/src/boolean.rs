@@ -3,12 +3,11 @@
 use std::fmt;
 
 use ranksql_common::{RankSqlError, Result, Schema, Tuple, Value};
-use serde::{Deserialize, Serialize};
 
 use crate::scalar::{BoundScalarExpr, ColumnRef, ScalarExpr};
 
 /// Comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompareOp {
     /// `=`
     Eq,
@@ -58,7 +57,7 @@ impl fmt::Display for CompareOp {
 /// Boolean predicates restrict *membership* (the traditional dimension of
 /// query processing); they are evaluated with SQL three-valued logic where a
 /// `NULL` comparison makes the tuple fail the filter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BoolExpr {
     /// A comparison between two scalar expressions.
     Compare {
@@ -157,8 +156,11 @@ impl BoolExpr {
 
     /// The relation names referenced (deduplicated, sorted).
     pub fn relations(&self) -> Vec<String> {
-        let mut rels: Vec<String> =
-            self.columns().into_iter().filter_map(|c| c.relation).collect();
+        let mut rels: Vec<String> = self
+            .columns()
+            .into_iter()
+            .filter_map(|c| c.relation)
+            .collect();
         rels.sort();
         rels.dedup();
         rels
@@ -334,21 +336,42 @@ mod tests {
     fn three_valued_logic() {
         let s = schema();
         // NULL AND false = false ; NULL OR true = true ; NOT NULL = NULL.
-        let null_cmp =
-            BoolExpr::compare(ScalarExpr::lit(Value::Null), CompareOp::Eq, ScalarExpr::lit(1));
+        let null_cmp = BoolExpr::compare(
+            ScalarExpr::lit(Value::Null),
+            CompareOp::Eq,
+            ScalarExpr::lit(1),
+        );
         let f = BoolExpr::Literal(false);
         let tr = BoolExpr::Literal(true);
         let tu = t(0, Some(true), 0);
         assert_eq!(
-            null_cmp.clone().and(f).bind(&s).unwrap().eval_tristate(&tu).unwrap(),
+            null_cmp
+                .clone()
+                .and(f)
+                .bind(&s)
+                .unwrap()
+                .eval_tristate(&tu)
+                .unwrap(),
             Some(false)
         );
         assert_eq!(
-            null_cmp.clone().or(tr).bind(&s).unwrap().eval_tristate(&tu).unwrap(),
+            null_cmp
+                .clone()
+                .or(tr)
+                .bind(&s)
+                .unwrap()
+                .eval_tristate(&tu)
+                .unwrap(),
             Some(true)
         );
         assert_eq!(
-            null_cmp.clone().negate().bind(&s).unwrap().eval_tristate(&tu).unwrap(),
+            null_cmp
+                .clone()
+                .negate()
+                .bind(&s)
+                .unwrap()
+                .eval_tristate(&tu)
+                .unwrap(),
             None
         );
         assert!(!null_cmp.eval(&tu, &s).unwrap());

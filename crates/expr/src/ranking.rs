@@ -5,14 +5,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ranksql_common::{RankSqlError, Result, Schema, Score, Tuple};
-use serde::{Deserialize, Serialize};
 
 use crate::scalar::{ColumnRef, ScalarExpr};
 use crate::scoring::ScoringFunction;
 use crate::state::ScoreState;
 
 /// How a ranking predicate computes its score for a tuple.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScoreSource {
     /// The score is stored in (or trivially derived from) a column, e.g. a
     /// pre-computed similarity column; this is the common case in the paper's
@@ -44,7 +43,7 @@ impl ScoreSource {
 /// *unit costs*; evaluating the predicate burns `cost` units of deterministic
 /// CPU work (see [`simulate_cost_units`]) and increments the evaluation
 /// counters, so both wall-clock and analytic costs can be measured.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankPredicate {
     /// Unique name (e.g. `"p1"` or `"cheap(h.price)"`).
     pub name: String,
@@ -75,7 +74,11 @@ impl RankPredicate {
 
     /// A predicate computed by an expression (clamped to `[0,1]`).
     pub fn expression(name: impl Into<String>, expr: ScalarExpr, cost: u64) -> Self {
-        RankPredicate { name: name.into(), source: ScoreSource::Expression(expr), cost }
+        RankPredicate {
+            name: name.into(),
+            source: ScoreSource::Expression(expr),
+            cost,
+        }
     }
 
     /// The relations referenced by this predicate (sorted, deduplicated).
@@ -83,8 +86,12 @@ impl RankPredicate {
     /// A predicate over one relation is a *rank-selection* predicate; over
     /// two or more it is a *rank-join* predicate (Section 2.1).
     pub fn relations(&self) -> Vec<String> {
-        let mut rels: Vec<String> =
-            self.source.columns().into_iter().filter_map(|c| c.relation).collect();
+        let mut rels: Vec<String> = self
+            .source
+            .columns()
+            .into_iter()
+            .filter_map(|c| c.relation)
+            .collect();
         rels.sort();
         rels.dedup();
         rels
@@ -98,7 +105,10 @@ impl RankPredicate {
     /// Whether this predicate can be evaluated on a tuple having `schema`
     /// (i.e. all referenced columns are present).
     pub fn is_evaluable_on(&self, schema: &Schema) -> bool {
-        self.source.columns().iter().all(|c| c.resolve(schema).is_ok())
+        self.source
+            .columns()
+            .iter()
+            .all(|c| c.resolve(schema).is_ok())
     }
 
     /// Evaluates the predicate against a tuple, burning `cost` units of work.
@@ -146,7 +156,9 @@ pub fn simulate_cost_units(units: u64) {
     let mut x: u64 = 0x9E3779B97F4A7C15;
     for _ in 0..units.saturating_mul(COST_UNIT_ITERS) {
         // A cheap LCG step the optimiser cannot elide thanks to black_box.
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         std::hint::black_box(x);
     }
 }
@@ -164,7 +176,9 @@ pub struct EvalCounters {
 impl EvalCounters {
     /// Creates counters for `n` predicates.
     pub fn new(n: usize) -> Self {
-        EvalCounters { per_predicate: (0..n).map(|_| AtomicU64::new(0)).collect() }
+        EvalCounters {
+            per_predicate: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
     }
 
     /// Records one evaluation of predicate `i`.
@@ -176,17 +190,26 @@ impl EvalCounters {
 
     /// The number of evaluations of predicate `i`.
     pub fn count(&self, i: usize) -> u64 {
-        self.per_predicate.get(i).map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
+        self.per_predicate
+            .get(i)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Total evaluations across all predicates.
     pub fn total(&self) -> u64 {
-        self.per_predicate.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.per_predicate
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// All counts as a vector.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.per_predicate.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.per_predicate
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Resets every counter to zero.
@@ -278,7 +301,8 @@ impl RankingContext {
 
     /// The upper bound of a tuple about which nothing has been evaluated.
     pub fn initial_upper_bound(&self) -> Score {
-        self.scoring.initial_upper_bound(self.num_predicates(), self.max_predicate_value)
+        self.scoring
+            .initial_upper_bound(self.num_predicates(), self.max_predicate_value)
     }
 
     /// Evaluates predicate `i` on a tuple (recording the evaluation) and
@@ -344,8 +368,7 @@ mod tests {
     #[test]
     fn expression_predicate() {
         // Score = 1 - |R.p1 - S.p2| as a tiny "closeness" predicate.
-        let expr = ScalarExpr::lit(1.0)
-            .sub(ScalarExpr::col("R.p1").sub(ScalarExpr::col("S.p2")));
+        let expr = ScalarExpr::lit(1.0).sub(ScalarExpr::col("R.p1").sub(ScalarExpr::col("S.p2")));
         let p = RankPredicate::expression("close", expr, 0);
         let s = schema();
         let score = p.evaluate(&tuple(0.6, 0.4), &s).unwrap();
@@ -418,7 +441,10 @@ mod tests {
         simulate_cost_units(2);
         let p = RankPredicate::attribute_with_cost("p1", "R.p1", 1);
         assert_eq!(p.cost, 1);
-        assert_eq!(p.evaluate(&tuple(0.5, 0.5), &schema()).unwrap(), Score::new(0.5));
+        assert_eq!(
+            p.evaluate(&tuple(0.5, 0.5), &schema()).unwrap(),
+            Score::new(0.5)
+        );
     }
 
     #[test]

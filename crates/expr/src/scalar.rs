@@ -3,10 +3,9 @@
 use std::fmt;
 
 use ranksql_common::{RankSqlError, Result, Schema, Tuple, Value};
-use serde::{Deserialize, Serialize};
 
 /// A reference to a column by (optionally qualified) name.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ColumnRef {
     /// Optional relation qualifier.
     pub relation: Option<String>,
@@ -17,12 +16,18 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// An unqualified column reference.
     pub fn new(name: impl Into<String>) -> Self {
-        ColumnRef { relation: None, name: name.into() }
+        ColumnRef {
+            relation: None,
+            name: name.into(),
+        }
     }
 
     /// A qualified column reference (`relation.name`).
     pub fn qualified(relation: impl Into<String>, name: impl Into<String>) -> Self {
-        ColumnRef { relation: Some(relation.into()), name: name.into() }
+        ColumnRef {
+            relation: Some(relation.into()),
+            name: name.into(),
+        }
     }
 
     /// Parses `"rel.name"` or `"name"`.
@@ -49,7 +54,7 @@ impl fmt::Display for ColumnRef {
 }
 
 /// Binary arithmetic operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinaryOp {
     /// Addition.
     Add,
@@ -115,7 +120,7 @@ impl fmt::Display for BinaryOp {
 }
 
 /// A scalar expression tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScalarExpr {
     /// A column reference.
     Column(ColumnRef),
@@ -146,23 +151,43 @@ impl ScalarExpr {
     }
 
     /// Builds `self + other`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not arithmetic on values
     pub fn add(self, other: ScalarExpr) -> Self {
-        ScalarExpr::Binary { op: BinaryOp::Add, left: Box::new(self), right: Box::new(other) }
+        ScalarExpr::Binary {
+            op: BinaryOp::Add,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Builds `self - other`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not arithmetic on values
     pub fn sub(self, other: ScalarExpr) -> Self {
-        ScalarExpr::Binary { op: BinaryOp::Sub, left: Box::new(self), right: Box::new(other) }
+        ScalarExpr::Binary {
+            op: BinaryOp::Sub,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Builds `self * other`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not arithmetic on values
     pub fn mul(self, other: ScalarExpr) -> Self {
-        ScalarExpr::Binary { op: BinaryOp::Mul, left: Box::new(self), right: Box::new(other) }
+        ScalarExpr::Binary {
+            op: BinaryOp::Mul,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Builds `self / other`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not arithmetic on values
     pub fn div(self, other: ScalarExpr) -> Self {
-        ScalarExpr::Binary { op: BinaryOp::Div, left: Box::new(self), right: Box::new(other) }
+        ScalarExpr::Binary {
+            op: BinaryOp::Div,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// All column references appearing in this expression.
@@ -186,8 +211,11 @@ impl ScalarExpr {
 
     /// The relation names referenced by this expression (deduplicated).
     pub fn relations(&self) -> Vec<String> {
-        let mut rels: Vec<String> =
-            self.columns().into_iter().filter_map(|c| c.relation).collect();
+        let mut rels: Vec<String> = self
+            .columns()
+            .into_iter()
+            .filter_map(|c| c.relation)
+            .collect();
         rels.sort();
         rels.dedup();
         rels
@@ -250,14 +278,12 @@ impl BoundScalarExpr {
     /// Evaluates the expression against a tuple.
     pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
         match self {
-            BoundScalarExpr::Column(i) => {
-                tuple.values().get(*i).cloned().ok_or_else(|| {
-                    RankSqlError::Expression(format!(
-                        "column index {i} out of bounds for tuple of arity {}",
-                        tuple.arity()
-                    ))
-                })
-            }
+            BoundScalarExpr::Column(i) => tuple.values().get(*i).cloned().ok_or_else(|| {
+                RankSqlError::Expression(format!(
+                    "column index {i} out of bounds for tuple of arity {}",
+                    tuple.arity()
+                ))
+            }),
             BoundScalarExpr::Literal(v) => Ok(v.clone()),
             BoundScalarExpr::Binary { op, left, right } => {
                 let l = left.eval(tuple)?;
@@ -342,7 +368,9 @@ mod tests {
 
     #[test]
     fn columns_and_relations() {
-        let e = ScalarExpr::col("R.a").add(ScalarExpr::col("S.a")).mul(ScalarExpr::col("R.b"));
+        let e = ScalarExpr::col("R.a")
+            .add(ScalarExpr::col("S.a"))
+            .mul(ScalarExpr::col("R.b"));
         assert_eq!(e.columns().len(), 3);
         assert_eq!(e.relations(), vec!["R".to_string(), "S".to_string()]);
     }

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use ranksql_common::Score;
-use serde::{Deserialize, Serialize};
 
 /// A monotonic scoring function `F(p1, ..., pn)` combining the scores of the
 /// query's ranking predicates into one overall query score.
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// rank-aware operator rely on.  The paper uses summation throughout; the
 /// other variants are provided because the model explicitly allows "other
 /// monotonic functions such as multiplication, weighted average, and so on".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScoringFunction {
     /// `p1 + p2 + ... + pn` (the paper's default).
     Sum,
@@ -143,10 +142,16 @@ mod tests {
 
     #[test]
     fn product_min_max_average() {
-        assert_eq!(ScoringFunction::Product.combine(&[0.5, 0.5]), Score::new(0.25));
+        assert_eq!(
+            ScoringFunction::Product.combine(&[0.5, 0.5]),
+            Score::new(0.25)
+        );
         assert_eq!(ScoringFunction::Min.combine(&[0.3, 0.7]), Score::new(0.3));
         assert_eq!(ScoringFunction::Max.combine(&[0.3, 0.7]), Score::new(0.7));
-        assert_eq!(ScoringFunction::Average.combine(&[0.0, 1.0]), Score::new(0.5));
+        assert_eq!(
+            ScoringFunction::Average.combine(&[0.0, 1.0]),
+            Score::new(0.5)
+        );
     }
 
     #[test]
@@ -168,7 +173,13 @@ mod tests {
         for f in fns {
             for mask in 0..8u32 {
                 let partial: Vec<Option<f64>> = (0..3)
-                    .map(|i| if mask & (1 << i) != 0 { Some(full[i]) } else { None })
+                    .map(|i| {
+                        if mask & (1 << i) != 0 {
+                            Some(full[i])
+                        } else {
+                            None
+                        }
+                    })
                     .collect();
                 assert!(
                     f.upper_bound(&partial, 1.0) >= f.combine(&full),

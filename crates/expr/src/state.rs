@@ -3,7 +3,6 @@
 use std::cmp::Ordering;
 
 use ranksql_common::{BitSet64, Score, Tuple};
-use serde::{Deserialize, Serialize};
 
 use crate::scoring::ScoringFunction;
 
@@ -15,7 +14,7 @@ use crate::scoring::ScoringFunction;
 /// `ScoreState` is the per-tuple record of `P` and the evaluated scores; the
 /// upper bound is obtained by substituting the maximal predicate value for
 /// every unevaluated predicate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoreState {
     evaluated: BitSet64,
     /// Evaluated scores; positions not in `evaluated` are meaningless.
@@ -25,7 +24,10 @@ pub struct ScoreState {
 impl ScoreState {
     /// A state over `n` predicates with nothing evaluated.
     pub fn new(n: usize) -> Self {
-        ScoreState { evaluated: BitSet64::EMPTY, values: vec![0.0; n] }
+        ScoreState {
+            evaluated: BitSet64::EMPTY,
+            values: vec![0.0; n],
+        }
     }
 
     /// Number of predicates tracked.
@@ -74,7 +76,13 @@ impl ScoreState {
     pub fn upper_bound(&self, scoring: &ScoringFunction, max_value: f64) -> Score {
         // Fast path: build the filled vector without the Option indirection.
         let filled: Vec<f64> = (0..self.values.len())
-            .map(|i| if self.evaluated.contains(i) { self.values[i] } else { max_value })
+            .map(|i| {
+                if self.evaluated.contains(i) {
+                    self.values[i]
+                } else {
+                    max_value
+                }
+            })
             .collect();
         scoring.combine(&filled)
     }
@@ -87,7 +95,11 @@ impl ScoreState {
     /// operators) or for tuples over disjoint relations (joins), so the
     /// values agree whenever they overlap.
     pub fn merge(&self, other: &ScoreState) -> ScoreState {
-        debug_assert_eq!(self.arity(), other.arity(), "merging states of different arity");
+        debug_assert_eq!(
+            self.arity(),
+            other.arity(),
+            "merging states of different arity"
+        );
         let mut out = self.clone();
         for i in other.evaluated.iter() {
             if !out.evaluated.contains(i) {
@@ -100,7 +112,7 @@ impl ScoreState {
 
 /// A tuple travelling through a ranking query plan together with its score
 /// state.  This is the unit of data flow between rank-aware operators.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankedTuple {
     /// The tuple.
     pub tuple: Tuple,
@@ -111,7 +123,10 @@ pub struct RankedTuple {
 impl RankedTuple {
     /// Wraps a tuple with a fresh (unevaluated) state over `n` predicates.
     pub fn unranked(tuple: Tuple, n: usize) -> Self {
-        RankedTuple { tuple, state: ScoreState::new(n) }
+        RankedTuple {
+            tuple,
+            state: ScoreState::new(n),
+        }
     }
 
     /// Wraps a tuple with a given state.

@@ -1,50 +1,15 @@
 //! The cost model: combines scan, predicate-evaluation, join, sort and
 //! buffering costs over estimated cardinalities.
 
-use std::ops::Add;
-
 use ranksql_algebra::{JoinAlgorithm, LogicalPlan, ScanAccess, SetOpKind};
 use ranksql_common::Result;
 use ranksql_expr::RankingContext;
 
 use crate::sampling::SamplingEstimator;
 
-/// A plan cost in abstract cost units (comparable, additive).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-pub struct Cost(pub f64);
-
-impl Cost {
-    /// Zero cost.
-    pub const ZERO: Cost = Cost(0.0);
-    /// An effectively infinite cost (used for pruned / infeasible plans).
-    pub const INFINITE: Cost = Cost(f64::INFINITY);
-
-    /// The raw value.
-    pub fn value(self) -> f64 {
-        self.0
-    }
-
-    /// Whether this cost is finite.
-    pub fn is_finite(self) -> bool {
-        self.0.is_finite()
-    }
-}
-
-impl Add for Cost {
-    type Output = Cost;
-    fn add(self, rhs: Cost) -> Cost {
-        Cost(self.0 + rhs.0)
-    }
-}
-
-impl Eq for Cost {}
-
-#[allow(clippy::derive_ord_xor_partial_ord)]
-impl Ord for Cost {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
-    }
-}
+/// Re-exported from `ranksql-common`, where the physical plan IR also uses
+/// it for per-node annotations.
+pub use ranksql_common::Cost;
 
 /// Tunable constants of the cost model.
 ///
@@ -132,7 +97,12 @@ impl CostModel {
                     + Cost(child_card * self.rank_eval(ctx, *predicate))
                     + Cost(child_card * self.buffer_tuple)
             }
-            LogicalPlan::Join { left, right, algorithm, .. } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                algorithm,
+                ..
+            } => {
                 let (lc, lcard) = self.cost_plan(left, ctx, estimator)?;
                 let (rc, rcard) = self.cost_plan(right, ctx, estimator)?;
                 let io = match algorithm {
@@ -152,9 +122,7 @@ impl CostModel {
                 let (lc, lcard) = self.cost_plan(left, ctx, estimator)?;
                 let (rc, rcard) = self.cost_plan(right, ctx, estimator)?;
                 let own = match kind {
-                    SetOpKind::Union | SetOpKind::Intersect => {
-                        (lcard + rcard) * self.buffer_tuple
-                    }
+                    SetOpKind::Union | SetOpKind::Intersect => (lcard + rcard) * self.buffer_tuple,
                     SetOpKind::Except => rcard * self.buffer_tuple + lcard * self.bool_eval,
                 };
                 lc + rc + Cost(own)
@@ -179,16 +147,6 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn cost_arithmetic_and_ordering() {
-        assert_eq!(Cost(1.0) + Cost(2.0), Cost(3.0));
-        assert!(Cost(1.0) < Cost(2.0));
-        assert!(Cost::INFINITE > Cost(1e12));
-        assert!(!Cost::INFINITE.is_finite());
-        assert!(Cost::ZERO.is_finite());
-        assert_eq!(Cost(5.0).value(), 5.0);
-    }
 
     #[test]
     fn default_constants_are_positive() {

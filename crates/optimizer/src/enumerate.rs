@@ -68,11 +68,18 @@ impl<'a> DpOptimizer<'a> {
         cost_model: CostModel,
         heuristic: bool,
     ) -> Self {
-        DpOptimizer { query, catalog, estimator, cost_model, heuristic }
+        DpOptimizer {
+            query,
+            catalog,
+            estimator,
+            cost_model,
+            heuristic,
+        }
     }
 
     fn cost(&self, plan: &LogicalPlan) -> Result<(Cost, f64)> {
-        self.cost_model.cost_plan(plan, &self.query.ranking, &self.estimator)
+        self.cost_model
+            .cost_plan(plan, &self.query.ranking, &self.estimator)
     }
 
     /// Runs the enumeration and returns the best complete plan (wrapped in
@@ -104,8 +111,8 @@ impl<'a> DpOptimizer<'a> {
                 for sp in pred_sets {
                     let mut best: Option<Candidate> = None;
                     let consider = |plan: LogicalPlan,
-                                        stats: &mut EnumerationStats,
-                                        best: &mut Option<Candidate>|
+                                    stats: &mut EnumerationStats,
+                                    best: &mut Option<Candidate>|
                      -> Result<()> {
                         let (cost, card) = self.cost(&plan)?;
                         stats.plans_considered += 1;
@@ -125,10 +132,10 @@ impl<'a> DpOptimizer<'a> {
                     // rankPlan: append µ_p on (SR, SP − {p}).
                     for p in sp.iter() {
                         let child_sig = (sr.bits(), sp.difference(BitSet64::singleton(p)).bits());
-                        let Some(child) = memo.get(&child_sig) else { continue };
-                        if self.heuristic
-                            && self.better_rank_exists(child, p, sp, evaluable)?
-                        {
+                        let Some(child) = memo.get(&child_sig) else {
+                            continue;
+                        };
+                        if self.heuristic && self.better_rank_exists(child, p, sp, evaluable)? {
                             continue;
                         }
                         let plan = child.plan.clone().rank(p);
@@ -160,9 +167,7 @@ impl<'a> DpOptimizer<'a> {
                                 ) else {
                                     continue;
                                 };
-                                for plan in
-                                    self.join_plans(left, right, sr1, sr2, sp)?
-                                {
+                                for plan in self.join_plans(left, right, sr1, sr2, sp)? {
                                     consider(plan, &mut stats, &mut best)?;
                                 }
                             }
@@ -189,7 +194,19 @@ impl<'a> DpOptimizer<'a> {
             plan = plan.project(cols.clone());
         }
         let (cost, card) = self.cost(&plan)?;
-        Ok(OptimizedPlan { plan, cost, estimated_cardinality: card, stats })
+        let physical = crate::lower::lower_with_estimates(
+            &plan,
+            &self.query.ranking,
+            &self.estimator,
+            &self.cost_model,
+        )?;
+        Ok(OptimizedPlan {
+            plan,
+            physical,
+            cost,
+            estimated_cardinality: card,
+            stats,
+        })
     }
 
     /// The greedy rank-metric heuristic (Figure 10): do not append `µ_pu` on
@@ -292,18 +309,29 @@ impl<'a> DpOptimizer<'a> {
         // traditional implementations compete.
         let algorithms: Vec<JoinAlgorithm> = if !sp.is_empty() {
             if has_equi {
-                vec![JoinAlgorithm::HashRankJoin, JoinAlgorithm::NestedLoopRankJoin]
+                vec![
+                    JoinAlgorithm::HashRankJoin,
+                    JoinAlgorithm::NestedLoopRankJoin,
+                ]
             } else {
                 vec![JoinAlgorithm::NestedLoopRankJoin]
             }
         } else if has_equi {
-            vec![JoinAlgorithm::Hash, JoinAlgorithm::SortMerge, JoinAlgorithm::NestedLoop]
+            vec![
+                JoinAlgorithm::Hash,
+                JoinAlgorithm::SortMerge,
+                JoinAlgorithm::NestedLoop,
+            ]
         } else {
             vec![JoinAlgorithm::NestedLoop]
         };
         Ok(algorithms
             .into_iter()
-            .map(|alg| left.plan.clone().join(right.plan.clone(), condition.clone(), alg))
+            .map(|alg| {
+                left.plan
+                    .clone()
+                    .join(right.plan.clone(), condition.clone(), alg)
+            })
             .collect())
     }
 }
@@ -370,7 +398,9 @@ mod tests {
 
     fn optimize(query: &RankQuery, cat: &Catalog, heuristic: bool) -> OptimizedPlan {
         let est = Arc::new(SamplingEstimator::build(query, cat, 0.1, 42).unwrap());
-        DpOptimizer::new(query, cat, est, CostModel::default(), heuristic).optimize().unwrap()
+        DpOptimizer::new(query, cat, est, CostModel::default(), heuristic)
+            .optimize()
+            .unwrap()
     }
 
     #[test]
@@ -386,7 +416,9 @@ mod tests {
         let result = execute_query_plan(&query, &opt.plan, &cat).unwrap();
         let oracle = oracle_top_k(&query, &cat).unwrap();
         let s = |ts: &[ranksql_expr::RankedTuple]| -> Vec<f64> {
-            ts.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect()
+            ts.iter()
+                .map(|t| query.ranking.upper_bound(&t.state).value())
+                .collect()
         };
         assert_eq!(s(&result.tuples), s(&oracle));
     }

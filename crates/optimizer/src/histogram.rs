@@ -76,19 +76,31 @@ impl ScoreHistogram {
         for m in &mut mass {
             *m /= total;
         }
-        ScoreHistogram { lo: 0.0, hi: 1.0, mass }
+        ScoreHistogram {
+            lo: 0.0,
+            hi: 1.0,
+            mass,
+        }
     }
 
     /// The uniform distribution over `[0, 1]`.
     pub fn uniform(buckets: usize) -> Self {
         assert!(buckets > 0, "a histogram needs at least one bucket");
-        ScoreHistogram { lo: 0.0, hi: 1.0, mass: vec![1.0 / buckets as f64; buckets] }
+        ScoreHistogram {
+            lo: 0.0,
+            hi: 1.0,
+            mass: vec![1.0 / buckets as f64; buckets],
+        }
     }
 
     /// A point mass at `value` (the distribution of an unevaluated predicate's
     /// maximal-possible contribution).
     pub fn point(value: f64) -> Self {
-        ScoreHistogram { lo: value, hi: value, mass: vec![1.0] }
+        ScoreHistogram {
+            lo: value,
+            hi: value,
+            mass: vec![1.0],
+        }
     }
 
     /// Lower bound of the support.
@@ -121,13 +133,24 @@ impl ScoreHistogram {
 
     /// The expected value of the distribution.
     pub fn mean(&self) -> f64 {
-        self.mass.iter().enumerate().map(|(i, m)| m * self.midpoint(i)).sum()
+        self.mass
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m * self.midpoint(i))
+            .sum()
     }
 
     /// Scales the support by a non-negative factor (used for weighted sums).
     pub fn scale_values(&self, w: f64) -> Self {
-        assert!(w >= 0.0, "scores can only be scaled by non-negative weights");
-        ScoreHistogram { lo: self.lo * w, hi: self.hi * w, mass: self.mass.clone() }
+        assert!(
+            w >= 0.0,
+            "scores can only be scaled by non-negative weights"
+        );
+        ScoreHistogram {
+            lo: self.lo * w,
+            hi: self.hi * w,
+            mass: self.mass.clone(),
+        }
     }
 
     /// The distribution of the sum of two independent scores.
@@ -198,7 +221,11 @@ impl ScoreHistogram {
             if next * population >= k {
                 // Interpolate inside bucket i.
                 let needed = k / population - above;
-                let frac = if self.mass[i] > 0.0 { (needed / self.mass[i]).clamp(0.0, 1.0) } else { 0.0 };
+                let frac = if self.mass[i] > 0.0 {
+                    (needed / self.mass[i]).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
                 return self.lo + width * (i as f64 + 1.0 - frac);
             }
             above = next;
@@ -252,7 +279,9 @@ impl HistogramEstimator {
             )));
         }
         if buckets == 0 {
-            return Err(RankSqlError::Optimizer("bucket count must be positive".into()));
+            return Err(RankSqlError::Optimizer(
+                "bucket count must be positive".into(),
+            ));
         }
         let mut stats = HashMap::new();
         for name in &query.tables {
@@ -310,8 +339,7 @@ impl HistogramEstimator {
     /// Estimates `x` from the distribution of *complete* scores and the
     /// estimated number of qualifying (post-filter, post-join) results.
     fn estimate_x(&self, query: &RankQuery) -> Result<Score> {
-        let mut qualified: f64 =
-            query.tables.iter().map(|t| self.table_rows(t)).product();
+        let mut qualified: f64 = query.tables.iter().map(|t| self.table_rows(t)).product();
         for pred in &query.bool_predicates {
             qualified *= self.bool_selectivity(pred);
         }
@@ -327,7 +355,10 @@ impl HistogramEstimator {
     }
 
     fn table_rows(&self, table: &str) -> f64 {
-        self.stats.get(table).map(|s| s.row_count as f64).unwrap_or(0.0)
+        self.stats
+            .get(table)
+            .map(|s| s.row_count as f64)
+            .unwrap_or(0.0)
     }
 
     fn column_stats(&self, col: &ColumnRef) -> Option<&ranksql_storage::ColumnStatistics> {
@@ -427,11 +458,11 @@ impl HistogramEstimator {
             _ => return None,
         };
         let mut acc: Option<ScoreHistogram> = None;
-        for i in 0..n {
+        for (i, weight) in weights.iter().enumerate() {
             let h = if evaluated.contains(i) {
-                self.predicate_histograms[i].scale_values(weights[i])
+                self.predicate_histograms[i].scale_values(*weight)
             } else {
-                ScoreHistogram::point(max_value * weights[i])
+                ScoreHistogram::point(max_value * weight)
             };
             acc = Some(match acc {
                 None => h,
@@ -465,13 +496,19 @@ impl HistogramEstimator {
                 self.membership_cardinality(input)
             }
             LogicalPlan::Sort { input, .. } => self.membership_cardinality(input),
-            LogicalPlan::Limit { input, k } => {
-                self.membership_cardinality(input).min(*k as f64)
-            }
-            LogicalPlan::Join { left, right, condition, .. } => {
+            LogicalPlan::Limit { input, k } => self.membership_cardinality(input).min(*k as f64),
+            LogicalPlan::Join {
+                left,
+                right,
+                condition,
+                ..
+            } => {
                 let l = self.membership_cardinality(left);
                 let r = self.membership_cardinality(right);
-                let sel = condition.as_ref().map(|c| self.bool_selectivity(c)).unwrap_or(1.0);
+                let sel = condition
+                    .as_ref()
+                    .map(|c| self.bool_selectivity(c))
+                    .unwrap_or(1.0);
                 l * r * sel
             }
             LogicalPlan::SetOp { kind, left, right } => {
@@ -506,8 +543,7 @@ impl HistogramEstimator {
             LogicalPlan::Rank { input, .. } => {
                 // µ re-orders the membership of its input by P ∪ {p}; it only
                 // has to emit the tuples that can still reach the threshold.
-                self.membership_cardinality(input)
-                    * self.rank_fraction(plan.evaluated_predicates())
+                self.membership_cardinality(input) * self.rank_fraction(plan.evaluated_predicates())
             }
             LogicalPlan::Join { algorithm, .. } => {
                 let membership = self.membership_cardinality(plan);
@@ -518,15 +554,12 @@ impl HistogramEstimator {
                 }
             }
             LogicalPlan::SetOp { .. } => {
-                self.membership_cardinality(plan)
-                    * self.rank_fraction(plan.evaluated_predicates())
+                self.membership_cardinality(plan) * self.rank_fraction(plan.evaluated_predicates())
             }
             // The blocking sort emits its whole input (that is what makes it
             // blocking); only the limit above it cuts the stream.
             LogicalPlan::Sort { input, .. } => self.membership_cardinality(input),
-            LogicalPlan::Limit { input, k } => {
-                self.estimate_cardinality(input)?.min(*k as f64)
-            }
+            LogicalPlan::Limit { input, k } => self.estimate_cardinality(input)?.min(*k as f64),
         };
         Ok(est.max(0.0))
     }
@@ -675,7 +708,10 @@ mod tests {
         );
         let query = RankQuery::new(
             vec!["A".into(), "B".into()],
-            vec![BoolExpr::col_eq_col("A.jc", "B.jc"), BoolExpr::column_is_true("A.b")],
+            vec![
+                BoolExpr::col_eq_col("A.jc", "B.jc"),
+                BoolExpr::column_is_true("A.b"),
+            ],
             ranking,
             10,
         );
@@ -696,7 +732,10 @@ mod tests {
         let (cat, query) = setup(2000);
         let est = HistogramEstimator::build(&query, &cat, 0.2, 7).unwrap();
         let x = est.x_threshold().value();
-        assert!(x > 1.0 && x <= 2.0, "x = {x} outside the plausible range for k = 10");
+        assert!(
+            x > 1.0 && x <= 2.0,
+            "x = {x} outside the plausible range for k = 10"
+        );
     }
 
     #[test]
@@ -708,7 +747,10 @@ mod tests {
         assert!((est.estimate_cardinality(&scan).unwrap() - 1000.0).abs() < 1e-9);
         let rank_scan = LogicalPlan::rank_scan(&a, 0);
         let card = est.estimate_cardinality(&rank_scan).unwrap();
-        assert!(card < 1000.0, "rank-scan estimate {card} should be below the table size");
+        assert!(
+            card < 1000.0,
+            "rank-scan estimate {card} should be below the table size"
+        );
         assert!(card > 0.0);
     }
 
@@ -746,7 +788,10 @@ mod tests {
             JoinAlgorithm::HashRankJoin,
         );
         let rank_card = est.estimate_cardinality(&rank_plan).unwrap();
-        assert!(rank_card < card, "rank-aware join {rank_card} should be below {card}");
+        assert!(
+            rank_card < card,
+            "rank-aware join {rank_card} should be below {card}"
+        );
     }
 
     #[test]

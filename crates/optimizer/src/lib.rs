@@ -25,19 +25,21 @@
 pub mod cost;
 pub mod enumerate;
 pub mod histogram;
+pub mod lower;
 pub mod rulebased;
 pub mod sampling;
 pub mod traditional;
 
 use std::sync::Arc;
 
-use ranksql_algebra::{LogicalPlan, RankQuery};
+use ranksql_algebra::{LogicalPlan, PhysicalPlan, RankQuery};
 use ranksql_common::Result;
 use ranksql_storage::Catalog;
 
 pub use cost::{Cost, CostModel};
 pub use enumerate::{DpOptimizer, EnumerationStats};
 pub use histogram::{HistogramEstimator, ScoreHistogram};
+pub use lower::{fuse_mu_chains, lower_with_estimates, physical_estimates};
 pub use rulebased::{RuleBasedConfig, RuleBasedOptimizer};
 pub use sampling::SamplingEstimator;
 pub use traditional::optimize_traditional;
@@ -74,6 +76,11 @@ pub struct OptimizerConfig {
     /// return it if it is cheaper (it can win when joins are very selective,
     /// cf. Figure 12(c)).
     pub compare_with_traditional: bool,
+    /// Whether physical lowering fuses chains of two or more µ operators
+    /// into one MPro minimal-probing operator (scheduled cheapest predicate
+    /// first).  Off by default so the default plans mirror the paper's
+    /// µ-chain execution model.
+    pub fuse_mu_chains: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -83,6 +90,7 @@ impl Default for OptimizerConfig {
             sample_ratio: 0.01,
             seed: 0xC0FFEE,
             compare_with_traditional: true,
+            fuse_mu_chains: false,
         }
     }
 }
@@ -92,6 +100,9 @@ impl Default for OptimizerConfig {
 pub struct OptimizedPlan {
     /// The chosen plan (already wrapped in the top-k limit).
     pub plan: LogicalPlan,
+    /// The physical plan the executor will run, with per-node cost and
+    /// cardinality estimates.
+    pub physical: PhysicalPlan,
     /// Its estimated cost.
     pub cost: Cost,
     /// Estimated cardinality of the plan root before the limit.
@@ -124,6 +135,15 @@ impl RankOptimizer {
 
     /// Optimizes a query against a catalog.
     pub fn optimize(&self, query: &RankQuery, catalog: &Catalog) -> Result<OptimizedPlan> {
+        let mut best = self.search(query, catalog)?;
+        if self.config.fuse_mu_chains {
+            best.physical = lower::fuse_mu_chains(best.physical, &query.ranking);
+        }
+        Ok(best)
+    }
+
+    /// Runs the configured search strategy without post-lowering rewrites.
+    fn search(&self, query: &RankQuery, catalog: &Catalog) -> Result<OptimizedPlan> {
         let estimator = Arc::new(SamplingEstimator::build(
             query,
             catalog,
@@ -157,7 +177,13 @@ impl RankOptimizer {
             }
             OptimizerMode::RankAwareExhaustive | OptimizerMode::RankAwareHeuristic => {
                 let heuristic = self.config.mode == OptimizerMode::RankAwareHeuristic;
-                let dp = DpOptimizer::new(query, catalog, Arc::clone(&estimator), cost_model.clone(), heuristic);
+                let dp = DpOptimizer::new(
+                    query,
+                    catalog,
+                    Arc::clone(&estimator),
+                    cost_model.clone(),
+                    heuristic,
+                );
                 let mut best = dp.optimize()?;
                 if self.config.compare_with_traditional {
                     let trad =
@@ -224,7 +250,10 @@ mod tests {
         );
         let query = RankQuery::new(
             vec!["A".into(), "B".into()],
-            vec![BoolExpr::col_eq_col("A.jc", "B.jc"), BoolExpr::column_is_true("A.b")],
+            vec![
+                BoolExpr::col_eq_col("A.jc", "B.jc"),
+                BoolExpr::column_is_true("A.b"),
+            ],
             ranking,
             5,
         );
@@ -287,6 +316,41 @@ mod tests {
             "expected a rank-aware plan, got:\n{}",
             chosen.plan.explain(Some(&query.ranking))
         );
+    }
+
+    #[test]
+    fn mpro_fusion_keeps_results_identical() {
+        use ranksql_executor::{execute_physical_plan, ExecutionContext};
+
+        let (cat, mut query) = setup(300);
+        // Expensive predicates force µ operators into the chosen plan.
+        query.ranking = RankingContext::new(
+            vec![
+                RankPredicate::attribute_with_cost("p1", "A.p1", 100),
+                RankPredicate::attribute_with_cost("p2", "B.p2", 300),
+            ],
+            ScoringFunction::Sum,
+        );
+        let oracle: Vec<f64> = oracle_top_k(&query, &cat)
+            .unwrap()
+            .iter()
+            .map(|t| query.ranking.upper_bound(&t.state).value())
+            .collect();
+        let opt = RankOptimizer::new(OptimizerConfig {
+            mode: OptimizerMode::RankAwareHeuristic,
+            sample_ratio: 0.1,
+            fuse_mu_chains: true,
+            ..OptimizerConfig::default()
+        });
+        let chosen = opt.optimize(&query, &cat).unwrap();
+        let exec = ExecutionContext::new(std::sync::Arc::clone(&query.ranking));
+        let result = execute_physical_plan(&chosen.physical, &cat, &exec).unwrap();
+        let scores: Vec<f64> = result
+            .tuples
+            .iter()
+            .map(|t| query.ranking.upper_bound(&t.state).value())
+            .collect();
+        assert_eq!(scores, oracle);
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub struct RuleBasedConfig {
 
 impl Default for RuleBasedConfig {
     fn default() -> Self {
-        RuleBasedConfig { max_plans: 2000, max_costed: 400 }
+        RuleBasedConfig {
+            max_plans: 2000,
+            max_costed: 400,
+        }
     }
 }
 
@@ -94,7 +97,8 @@ impl<'a> RuleBasedOptimizer<'a> {
     }
 
     fn cost(&self, plan: &LogicalPlan) -> Result<(Cost, f64)> {
-        self.cost_model.cost_plan(plan, &self.query.ranking, &self.estimator)
+        self.cost_model
+            .cost_plan(plan, &self.query.ranking, &self.estimator)
     }
 
     /// Runs the search and returns the cheapest complete plan found.
@@ -108,9 +112,12 @@ impl<'a> RuleBasedOptimizer<'a> {
         // the best ranking-blind join order (which gives the search a good
         // membership-dimension starting point for free).
         let mut seeds = vec![self.query.canonical_plan(self.catalog)?];
-        if let Ok(trad) =
-            traditional::optimize_traditional(self.query, self.catalog, &self.estimator, &self.cost_model)
-        {
+        if let Ok(trad) = traditional::optimize_traditional(
+            self.query,
+            self.catalog,
+            &self.estimator,
+            &self.cost_model,
+        ) {
             seeds.push(trad.plan);
         }
 
@@ -169,7 +176,19 @@ impl<'a> RuleBasedOptimizer<'a> {
         let (plan, cost, card) = best.ok_or_else(|| {
             RankSqlError::Optimizer("rule-based search found no complete plan".into())
         })?;
-        Ok(OptimizedPlan { plan, cost, estimated_cardinality: card, stats })
+        let physical = crate::lower::lower_with_estimates(
+            &plan,
+            &self.query.ranking,
+            &self.estimator,
+            &self.cost_model,
+        )?;
+        Ok(OptimizedPlan {
+            plan,
+            physical,
+            cost,
+            estimated_cardinality: card,
+            stats,
+        })
     }
 
     /// A plan is complete when it evaluates every ranking predicate of the
@@ -223,7 +242,12 @@ impl<'a> RuleBasedOptimizer<'a> {
         // The predicate must be a rank-selection over exactly the scanned
         // table (rank-join predicates cannot be served by a single index).
         let check_scan = |scan: &LogicalPlan| -> Option<LogicalPlan> {
-            let LogicalPlan::Scan { table, schema, access: ScanAccess::Sequential } = scan else {
+            let LogicalPlan::Scan {
+                table,
+                schema,
+                access: ScanAccess::Sequential,
+            } = scan
+            else {
                 return None;
             };
             let ti = self.query.table_index(table).ok()?;
@@ -234,16 +258,19 @@ impl<'a> RuleBasedOptimizer<'a> {
             Some(LogicalPlan::Scan {
                 table: table.clone(),
                 schema: schema.clone(),
-                access: ScanAccess::RankIndex { predicate: *predicate },
+                access: ScanAccess::RankIndex {
+                    predicate: *predicate,
+                },
             })
         };
         match &**input {
             // µ_p(SeqScan(T))  →  RankScan_p(T)
             scan @ LogicalPlan::Scan { .. } => check_scan(scan),
             // µ_p(σ_c(SeqScan(T)))  →  σ_c(RankScan_p(T))   (scan-based selection)
-            LogicalPlan::Select { input: scan, predicate: cond } => {
-                check_scan(scan).map(|rank_scan| rank_scan.select(cond.clone()))
-            }
+            LogicalPlan::Select {
+                input: scan,
+                predicate: cond,
+            } => check_scan(scan).map(|rank_scan| rank_scan.select(cond.clone())),
             _ => None,
         }
     }
@@ -259,7 +286,13 @@ impl<'a> RuleBasedOptimizer<'a> {
     /// traditional algorithms compete.
     fn join_algorithm_alternatives(&self, plan: &LogicalPlan) -> Vec<LogicalPlan> {
         let mut out = Vec::new();
-        if let LogicalPlan::Join { left, right, condition, algorithm } = plan {
+        if let LogicalPlan::Join {
+            left,
+            right,
+            condition,
+            algorithm,
+        } = plan
+        {
             let ranked = !plan.evaluated_predicates().is_empty();
             let has_equi = condition
                 .as_ref()
@@ -278,12 +311,19 @@ impl<'a> RuleBasedOptimizer<'a> {
                 .unwrap_or(false);
             let admissible: Vec<JoinAlgorithm> = if ranked {
                 if has_equi {
-                    vec![JoinAlgorithm::HashRankJoin, JoinAlgorithm::NestedLoopRankJoin]
+                    vec![
+                        JoinAlgorithm::HashRankJoin,
+                        JoinAlgorithm::NestedLoopRankJoin,
+                    ]
                 } else {
                     vec![JoinAlgorithm::NestedLoopRankJoin]
                 }
             } else if has_equi {
-                vec![JoinAlgorithm::Hash, JoinAlgorithm::SortMerge, JoinAlgorithm::NestedLoop]
+                vec![
+                    JoinAlgorithm::Hash,
+                    JoinAlgorithm::SortMerge,
+                    JoinAlgorithm::NestedLoop,
+                ]
             } else {
                 vec![JoinAlgorithm::NestedLoop]
             };
@@ -361,7 +401,10 @@ mod tests {
         );
         let query = RankQuery::new(
             vec!["A".into(), "B".into()],
-            vec![BoolExpr::col_eq_col("A.jc", "B.jc"), BoolExpr::column_is_true("A.b")],
+            vec![
+                BoolExpr::col_eq_col("A.jc", "B.jc"),
+                BoolExpr::column_is_true("A.b"),
+            ],
             ranking,
             5,
         );
@@ -370,7 +413,9 @@ mod tests {
 
     fn optimize(query: &RankQuery, cat: &Catalog) -> OptimizedPlan {
         let est = Arc::new(SamplingEstimator::build(query, cat, 0.1, 7).unwrap());
-        RuleBasedOptimizer::new(query, cat, est, CostModel::default()).optimize().unwrap()
+        RuleBasedOptimizer::new(query, cat, est, CostModel::default())
+            .optimize()
+            .unwrap()
     }
 
     #[test]
@@ -380,7 +425,9 @@ mod tests {
         let result = execute_query_plan(&query, &opt.plan, &cat).unwrap();
         let oracle = oracle_top_k(&query, &cat).unwrap();
         let s = |ts: &[ranksql_expr::RankedTuple]| -> Vec<f64> {
-            ts.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect()
+            ts.iter()
+                .map(|t| query.ranking.upper_bound(&t.state).value())
+                .collect()
         };
         assert_eq!(s(&result.tuples), s(&oracle));
     }
@@ -411,13 +458,19 @@ mod tests {
         let merged = rb.merge_rank_into_scan(&plan);
         assert!(merged.iter().any(|p| matches!(
             p,
-            LogicalPlan::Scan { access: ScanAccess::RankIndex { predicate: 0 }, .. }
+            LogicalPlan::Scan {
+                access: ScanAccess::RankIndex { predicate: 0 },
+                ..
+            }
         )));
         // Through a selection as well (scan-based selection).
-        let plan = LogicalPlan::scan(&table).select(BoolExpr::column_is_true("A.b")).rank(0);
+        let plan = LogicalPlan::scan(&table)
+            .select(BoolExpr::column_is_true("A.b"))
+            .rank(0);
         let merged = rb.merge_rank_into_scan(&plan);
-        assert!(merged.iter().any(|p| matches!(p, LogicalPlan::Select { .. })
-            && p.evaluated_predicates().contains(0)));
+        assert!(merged.iter().any(
+            |p| matches!(p, LogicalPlan::Select { .. }) && p.evaluated_predicates().contains(0)
+        ));
         // Not for a predicate that lives on another table.
         let plan = LogicalPlan::scan(&table).rank(1);
         assert!(rb.merge_rank_into_scan(&plan).is_empty());
@@ -438,12 +491,19 @@ mod tests {
             JoinAlgorithm::NestedLoop,
         );
         let alts = rb.join_algorithm_alternatives(&plain);
-        assert!(alts
-            .iter()
-            .any(|p| matches!(p, LogicalPlan::Join { algorithm: JoinAlgorithm::Hash, .. })));
+        assert!(alts.iter().any(|p| matches!(
+            p,
+            LogicalPlan::Join {
+                algorithm: JoinAlgorithm::Hash,
+                ..
+            }
+        )));
         assert!(!alts.iter().any(|p| matches!(
             p,
-            LogicalPlan::Join { algorithm: JoinAlgorithm::HashRankJoin, .. }
+            LogicalPlan::Join {
+                algorithm: JoinAlgorithm::HashRankJoin,
+                ..
+            }
         )));
         // Ranked join: only rank-aware algorithms offered.
         let ranked = LogicalPlan::rank_scan(&a, 0).join(
@@ -463,7 +523,10 @@ mod tests {
         let (cat, query) = setup(100);
         let est = Arc::new(SamplingEstimator::build(&query, &cat, 0.2, 7).unwrap());
         let opt = RuleBasedOptimizer::new(&query, &cat, est, CostModel::default())
-            .with_config(RuleBasedConfig { max_plans: 3, max_costed: 3 })
+            .with_config(RuleBasedConfig {
+                max_plans: 3,
+                max_costed: 3,
+            })
             .optimize()
             .unwrap();
         // With almost no budget the best plan is one of the seeds, which is
@@ -480,7 +543,8 @@ mod tests {
             // Build an estimator over a trivial catalog/table so construction
             // succeeds; optimize() must still reject the empty query.
             let c = Catalog::new();
-            c.create_table("T", Schema::new(vec![Field::new("x", DataType::Int64)])).unwrap();
+            c.create_table("T", Schema::new(vec![Field::new("x", DataType::Int64)]))
+                .unwrap();
             let q = RankQuery::new(vec!["T".into()], vec![], RankingContext::unranked(), 1);
             SamplingEstimator::build(&q, &c, 0.5, 1).unwrap()
         };

@@ -17,6 +17,7 @@
 //!    * unary operator over subplan `P'`: `card = u · card(P') / card_s(P')`;
 //!    * binary operator over `P1`, `P2`:
 //!      `card = u · (card(P1)/card_s(P1) + card(P2)/card_s(P2)) / 2`,
+//!
 //!    where `card_s` is the subplan's output cardinality observed during the
 //!    sample execution and `card` its previously estimated cardinality.
 
@@ -75,8 +76,11 @@ impl SamplingEstimator {
             let table = catalog.table(name)?;
             let sample = sample_fraction(&table, sample_ratio, seed);
             let full_rows = table.row_count() as f64;
-            let achieved =
-                if full_rows > 0.0 { sample.len() as f64 / full_rows } else { sample_ratio };
+            let achieved = if full_rows > 0.0 {
+                sample.len() as f64 / full_rows
+            } else {
+                sample_ratio
+            };
             // Re-create the table (same name/schema) holding only the sample.
             let schema_unqualified = ranksql_common::Schema::new(
                 table
@@ -142,12 +146,17 @@ impl SamplingEstimator {
                     RankSqlError::Optimizer(format!("no cardinality for table `{table}`"))
                 })
             }
-            _ => Err(RankSqlError::Optimizer("table_cardinality expects a scan node".into())),
+            _ => Err(RankSqlError::Optimizer(
+                "table_cardinality expects a scan node".into(),
+            )),
         }
     }
 
     fn ratio_for(&self, table: &str) -> f64 {
-        self.ratios.get(table).copied().unwrap_or(self.nominal_ratio)
+        self.ratios
+            .get(table)
+            .copied()
+            .unwrap_or(self.nominal_ratio)
     }
 
     /// Executes `plan` over the samples and returns the per-operator output
@@ -160,8 +169,12 @@ impl SamplingEstimator {
             .iter()
             .filter(|t| self.est_ctx.upper_bound(&t.state) >= self.x_threshold)
             .count() as f64;
-        let cards: Vec<u64> =
-            result.metrics.snapshot().iter().map(|m| m.tuples_out()).collect();
+        let cards: Vec<u64> = result
+            .metrics
+            .snapshot()
+            .iter()
+            .map(|m| m.tuples_out())
+            .collect();
         Ok((cards, u))
     }
 
@@ -188,8 +201,10 @@ impl SamplingEstimator {
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. } => {
                 let child_est = self.estimate_cardinality(input)?;
-                let child_sample =
-                    sample_cards.get(input.node_count() - 1).copied().unwrap_or(0) as f64;
+                let child_sample = sample_cards
+                    .get(input.node_count() - 1)
+                    .copied()
+                    .unwrap_or(0) as f64;
                 let scale = child_est / child_sample.max(ZERO_SMOOTHING);
                 let scaled = u.max(ZERO_SMOOTHING) * scale;
                 // A limit caps the true cardinality at k.
@@ -202,8 +217,10 @@ impl SamplingEstimator {
             LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
                 let left_est = self.estimate_cardinality(left)?;
                 let right_est = self.estimate_cardinality(right)?;
-                let left_sample =
-                    sample_cards.get(left.node_count() - 1).copied().unwrap_or(0) as f64;
+                let left_sample = sample_cards
+                    .get(left.node_count() - 1)
+                    .copied()
+                    .unwrap_or(0) as f64;
                 let right_sample = sample_cards
                     .get(left.node_count() + right.node_count() - 1)
                     .copied()
@@ -226,11 +243,7 @@ impl SamplingEstimator {
         Ok(out)
     }
 
-    fn walk_estimates(
-        &self,
-        plan: &LogicalPlan,
-        out: &mut Vec<(String, f64)>,
-    ) -> Result<()> {
+    fn walk_estimates(&self, plan: &LogicalPlan, out: &mut Vec<(String, f64)>) -> Result<()> {
         for child in plan.children() {
             self.walk_estimates(child, out)?;
         }
@@ -291,7 +304,10 @@ mod tests {
         );
         let query = RankQuery::new(
             vec!["A".into(), "B".into()],
-            vec![BoolExpr::col_eq_col("A.jc", "B.jc"), BoolExpr::column_is_true("A.b")],
+            vec![
+                BoolExpr::col_eq_col("A.jc", "B.jc"),
+                BoolExpr::column_is_true("A.b"),
+            ],
             ranking,
             10,
         );
@@ -311,7 +327,10 @@ mod tests {
         let (cat, query) = setup(2000);
         let est = SamplingEstimator::build(&query, &cat, 0.05, 7).unwrap();
         let x = est.x_threshold().value();
-        assert!(x > 0.0 && x <= 2.0, "x' = {x} outside the feasible score range");
+        assert!(
+            x > 0.0 && x <= 2.0,
+            "x' = {x} outside the feasible score range"
+        );
     }
 
     #[test]
@@ -352,7 +371,10 @@ mod tests {
         // the table.
         let plan = LogicalPlan::rank_scan(&a, 0);
         let card = est.estimate_cardinality(&plan).unwrap();
-        assert!(card < 2000.0, "rank-scan estimate {card} should be below the table size");
+        assert!(
+            card < 2000.0,
+            "rank-scan estimate {card} should be below the table size"
+        );
         assert!(card > 0.0);
     }
 

@@ -35,9 +35,7 @@ pub fn optimize_traditional(
         let table = catalog.table(name)?;
         let sr = BitSet64::singleton(ti);
         let mut plan = LogicalPlan::scan(&table);
-        if let Some(filter) =
-            ranksql_expr::BoolExpr::conjoin(query.bool_predicates_on(sr)?)
-        {
+        if let Some(filter) = ranksql_expr::BoolExpr::conjoin(query.bool_predicates_on(sr)?) {
             plan = plan.select(filter);
         }
         let (cost, _) = cost_model.cost_plan(&plan, &query.ranking, estimator)?;
@@ -64,10 +62,8 @@ pub fn optimize_traditional(
                 let condition = ranksql_expr::BoolExpr::conjoin(join_preds);
                 // Avoid Cartesian products unless the subset is disconnected.
                 if condition.is_none() && size > 1 {
-                    let connected_split_exists = sr
-                        .subsets()
-                        .filter(|s| !s.is_empty() && *s != sr)
-                        .any(|s| {
+                    let connected_split_exists =
+                        sr.subsets().filter(|s| !s.is_empty() && *s != sr).any(|s| {
                             query
                                 .join_predicates_between(s, sr.difference(s))
                                 .map(|p| !p.is_empty())
@@ -78,7 +74,11 @@ pub fn optimize_traditional(
                     }
                 }
                 let algorithms: &[JoinAlgorithm] = if condition.is_some() {
-                    &[JoinAlgorithm::Hash, JoinAlgorithm::SortMerge, JoinAlgorithm::NestedLoop]
+                    &[
+                        JoinAlgorithm::Hash,
+                        JoinAlgorithm::SortMerge,
+                        JoinAlgorithm::NestedLoop,
+                    ]
                 } else {
                     &[JoinAlgorithm::NestedLoop]
                 };
@@ -136,7 +136,15 @@ pub fn optimize_traditional(
         plan = plan.project(cols.clone());
     }
     let (cost, card) = cost_model.cost_plan(&plan, &query.ranking, estimator)?;
-    Ok(OptimizedPlan { plan, cost, estimated_cardinality: card, stats })
+    let physical =
+        crate::lower::lower_with_estimates(&plan, &query.ranking, estimator, cost_model)?;
+    Ok(OptimizedPlan {
+        plan,
+        physical,
+        cost,
+        estimated_cardinality: card,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -207,7 +215,9 @@ mod tests {
         let result = ranksql_executor::execute_query_plan(&query, &opt.plan, &cat).unwrap();
         let oracle = ranksql_executor::oracle_top_k(&query, &cat).unwrap();
         let s = |ts: &[ranksql_expr::RankedTuple]| -> Vec<f64> {
-            ts.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect()
+            ts.iter()
+                .map(|t| query.ranking.upper_bound(&t.state).value())
+                .collect()
         };
         assert_eq!(s(&result.tuples), s(&oracle));
     }

@@ -36,7 +36,9 @@ impl Catalog {
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<Table>> {
         let mut inner = self.inner.write();
         if inner.tables.contains_key(name) {
-            return Err(RankSqlError::Catalog(format!("table `{name}` already exists")));
+            return Err(RankSqlError::Catalog(format!(
+                "table `{name}` already exists"
+            )));
         }
         let id = inner.next_id;
         inner.next_id += 1;
@@ -50,7 +52,9 @@ impl Catalog {
         let mut inner = self.inner.write();
         let name = table.name().to_owned();
         if inner.tables.contains_key(&name) {
-            return Err(RankSqlError::Catalog(format!("table `{name}` already exists")));
+            return Err(RankSqlError::Catalog(format!(
+                "table `{name}` already exists"
+            )));
         }
         inner.next_id = inner.next_id.max(table.id() + 1);
         let arc = Arc::new(table);

@@ -41,7 +41,9 @@ impl Default for CsvOptions {
 
 impl CsvOptions {
     fn is_null(&self, raw: &str) -> bool {
-        self.null_markers.iter().any(|m| m.eq_ignore_ascii_case(raw))
+        self.null_markers
+            .iter()
+            .any(|m| m.eq_ignore_ascii_case(raw))
     }
 }
 
@@ -155,7 +157,9 @@ pub fn infer_schema(text: &str, options: &CsvOptions) -> Result<Schema> {
         .ok_or_else(|| RankSqlError::Storage("cannot infer a schema from empty input".into()))?;
     let names = split_record(header, options.delimiter);
     if names.iter().any(|n| n.trim().is_empty()) {
-        return Err(RankSqlError::Storage("header contains an empty column name".into()));
+        return Err(RankSqlError::Storage(
+            "header contains an empty column name".into(),
+        ));
     }
 
     // Start from the narrowest guess and widen as counter-examples appear.
@@ -182,9 +186,7 @@ pub fn infer_schema(text: &str, options: &CsvOptions) -> Result<Schema> {
     let fields = names
         .iter()
         .zip(types.iter().zip(saw_value.iter()))
-        .map(|(name, (ty, saw))| {
-            Field::new(name.trim(), if *saw { *ty } else { DataType::Utf8 })
-        })
+        .map(|(name, (ty, saw))| Field::new(name.trim(), if *saw { *ty } else { DataType::Utf8 }))
         .collect();
     Ok(Schema::new(fields))
 }
@@ -203,7 +205,12 @@ fn widen(current: DataType, sample: &str) -> DataType {
             DataType::Null => false,
         }
     };
-    let ladder = [DataType::Bool, DataType::Int64, DataType::Float64, DataType::Utf8];
+    let ladder = [
+        DataType::Bool,
+        DataType::Int64,
+        DataType::Float64,
+        DataType::Utf8,
+    ];
     let start = ladder.iter().position(|t| *t == current).unwrap_or(0);
     for ty in &ladder[start..] {
         if accepts(*ty) {
@@ -256,7 +263,11 @@ mod tests {
 
     #[test]
     fn no_header_and_custom_delimiter() {
-        let options = CsvOptions { delimiter: ';', has_header: false, ..CsvOptions::default() };
+        let options = CsvOptions {
+            delimiter: ';',
+            has_header: false,
+            ..CsvOptions::default()
+        };
         let text = "1;x;0.5;yes\n2;y;1.5;no\n";
         let rows = parse_csv(text, &schema(), &options).unwrap();
         assert_eq!(rows.len(), 2);

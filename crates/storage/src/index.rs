@@ -43,13 +43,19 @@ impl ScoreIndex {
             entries.push((score, i as u64));
         }
         entries.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        Ok(ScoreIndex { predicate_name: predicate.name.clone(), entries })
+        Ok(ScoreIndex {
+            predicate_name: predicate.name.clone(),
+            entries,
+        })
     }
 
     /// Builds a score index from precomputed `(score, row_index)` pairs.
     pub fn from_entries(predicate_name: impl Into<String>, mut entries: Vec<(Score, u64)>) -> Self {
         entries.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        ScoreIndex { predicate_name: predicate_name.into(), entries }
+        ScoreIndex {
+            predicate_name: predicate_name.into(),
+            entries,
+        }
     }
 
     /// The ranking predicate this index covers.
@@ -65,6 +71,12 @@ impl ScoreIndex {
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Number of table rows this index covered when it was built; an index
+    /// whose coverage differs from the table's current row count is stale.
+    pub fn indexed_rows(&self) -> usize {
+        self.entries.len()
     }
 
     /// The entries in descending-score order.
@@ -100,7 +112,11 @@ impl BTreeIndex {
             .map(|(i, t)| (t.value(column_index).clone(), i as u64))
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-        Ok(BTreeIndex { column_name: column.to_owned(), column_index, entries })
+        Ok(BTreeIndex {
+            column_name: column.to_owned(),
+            column_index,
+            entries,
+        })
     }
 
     /// The indexed column name.
@@ -121,6 +137,12 @@ impl BTreeIndex {
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Number of table rows this index covered when it was built; an index
+    /// whose coverage differs from the table's current row count is stale.
+    pub fn indexed_rows(&self) -> usize {
+        self.entries.len()
     }
 
     /// Entries in ascending value order.
@@ -167,9 +189,16 @@ impl HashIndex {
         let column_index = schema.index_of_str(column)?;
         let mut buckets: HashMap<Value, Vec<u64>> = HashMap::new();
         for (i, t) in tuples.iter().enumerate() {
-            buckets.entry(t.value(column_index).clone()).or_default().push(i as u64);
+            buckets
+                .entry(t.value(column_index).clone())
+                .or_default()
+                .push(i as u64);
         }
-        Ok(HashIndex { column_name: column.to_owned(), column_index, buckets })
+        Ok(HashIndex {
+            column_name: column.to_owned(),
+            column_index,
+            buckets,
+        })
     }
 
     /// The indexed column name.
@@ -211,7 +240,10 @@ mod tests {
         rows.iter()
             .enumerate()
             .map(|(i, &(a, p3))| {
-                Tuple::new(TupleId::base(0, i as u64), vec![Value::from(a), Value::from(p3)])
+                Tuple::new(
+                    TupleId::base(0, i as u64),
+                    vec![Value::from(a), Value::from(p3)],
+                )
             })
             .collect()
     }
@@ -230,7 +262,11 @@ mod tests {
 
     #[test]
     fn score_index_tie_break_by_row() {
-        let entries = vec![(Score::new(0.5), 3), (Score::new(0.5), 1), (Score::new(0.9), 2)];
+        let entries = vec![
+            (Score::new(0.5), 3),
+            (Score::new(0.5), 1),
+            (Score::new(0.9), 2),
+        ];
         let idx = ScoreIndex::from_entries("p", entries);
         let order: Vec<u64> = idx.entries().iter().map(|&(_, r)| r).collect();
         assert_eq!(order, vec![2, 1, 3]);

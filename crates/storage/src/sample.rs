@@ -106,11 +106,11 @@ mod tests {
         // should be near the population mean (4999.5).
         let t = table(10_000);
         let s = reservoir_sample(&t, 1000, 11);
-        let mean: f64 = s
-            .iter()
-            .map(|t| t.value(0).as_f64().unwrap())
-            .sum::<f64>()
-            / s.len() as f64;
-        assert!((mean - 4999.5).abs() < 500.0, "sample mean {mean} too far from 4999.5");
+        let mean: f64 =
+            s.iter().map(|t| t.value(0).as_f64().unwrap()).sum::<f64>() / s.len() as f64;
+        assert!(
+            (mean - 4999.5).abs() < 500.0,
+            "sample mean {mean} too far from 4999.5"
+        );
     }
 }

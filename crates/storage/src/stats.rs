@@ -122,7 +122,11 @@ impl TableStatistics {
                     }
                 }
             }
-            let (min, max) = if numeric > 0 { (Some(min), Some(max)) } else { (None, None) };
+            let (min, max) = if numeric > 0 {
+                (Some(min), Some(max))
+            } else {
+                (None, None)
+            };
             // Histogram pass (numeric columns only).
             let mut histogram = Vec::new();
             if let (Some(lo), Some(hi)) = (min, max) {
@@ -147,16 +151,26 @@ impl TableStatistics {
                 distinct_count: distinct.len(),
                 min,
                 max,
-                true_fraction: if bools > 0 { Some(trues as f64 / bools as f64) } else { None },
+                true_fraction: if bools > 0 {
+                    Some(trues as f64 / bools as f64)
+                } else {
+                    None
+                },
                 histogram,
             });
         }
-        Ok(TableStatistics { table: table.name().to_owned(), row_count: tuples.len(), columns })
+        Ok(TableStatistics {
+            table: table.name().to_owned(),
+            row_count: tuples.len(),
+            columns,
+        })
     }
 
     /// Statistics for the column with the given qualified name.
     pub fn column(&self, name: &str) -> Option<&ColumnStatistics> {
-        self.columns.iter().find(|c| c.name == name || c.name.ends_with(&format!(".{name}")))
+        self.columns
+            .iter()
+            .find(|c| c.name == name || c.name.ends_with(&format!(".{name}")))
     }
 }
 
@@ -205,7 +219,10 @@ mod tests {
         let score = stats.column("T.score").unwrap();
         assert!(!score.histogram.is_empty());
         let sel = score.le_selectivity(0.5);
-        assert!((sel - 0.5).abs() < 0.1, "selectivity {sel} should be near 0.5");
+        assert!(
+            (sel - 0.5).abs() < 0.1,
+            "selectivity {sel} should be near 0.5"
+        );
         assert_eq!(score.le_selectivity(-1.0), 0.0);
         assert_eq!(score.le_selectivity(2.0), 1.0);
     }

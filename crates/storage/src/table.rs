@@ -3,6 +3,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use parking_lot::RwLock;
 use ranksql_common::{RankSqlError, Result, Schema, Tuple, TupleId, Value};
 
@@ -22,6 +24,9 @@ pub struct Table {
     score_indexes: RwLock<Vec<Arc<ScoreIndex>>>,
     btree_indexes: RwLock<Vec<Arc<BTreeIndex>>>,
     hash_indexes: RwLock<Vec<Arc<HashIndex>>>,
+    /// Fast-path flag so the insert hot loop skips index invalidation when
+    /// no index was ever built.
+    has_indexes: AtomicBool,
 }
 
 impl Table {
@@ -38,6 +43,7 @@ impl Table {
             score_indexes: RwLock::new(Vec::new()),
             btree_indexes: RwLock::new(Vec::new()),
             hash_indexes: RwLock::new(Vec::new()),
+            has_indexes: AtomicBool::new(false),
         }
     }
 
@@ -69,8 +75,13 @@ impl Table {
     /// Appends a row, validating its arity.  Returns the new row's index.
     ///
     /// Appending invalidates previously built indexes — they describe only
-    /// the prefix of the table that existed when they were created — so in
-    /// this engine rows are loaded first and indexes created afterwards.
+    /// the prefix of the table that existed when they were created — so the
+    /// insert *drops* every cached index: subsequent lookups return `None`
+    /// and the access path rebuilds over the full table.  Callers that held
+    /// on to an index handle across the insert are caught by the executor,
+    /// which checks [`ScoreIndex::indexed_rows`] /
+    /// [`BTreeIndex::indexed_rows`] against the table's row count and
+    /// reports a catalog error for the stale handle.
     pub fn insert(&self, values: Vec<Value>) -> Result<u64> {
         if values.len() != self.schema.len() {
             return Err(RankSqlError::Catalog(format!(
@@ -81,9 +92,22 @@ impl Table {
             )));
         }
         let mut rows = self.rows.write();
+        if self.has_indexes.load(Ordering::Acquire) {
+            self.drop_stale_indexes();
+        }
         let idx = rows.len() as u64;
         rows.push(Tuple::new(TupleId::base(self.id, idx), values));
         Ok(idx)
+    }
+
+    /// Drops every cached index (called under the row write lock, so a
+    /// concurrent scan either sees the old rows with the old indexes or the
+    /// new rows with no indexes).
+    fn drop_stale_indexes(&self) {
+        self.score_indexes.write().clear();
+        self.btree_indexes.write().clear();
+        self.hash_indexes.write().clear();
+        self.has_indexes.store(false, Ordering::Release);
     }
 
     /// Appends many rows.
@@ -109,24 +133,37 @@ impl Table {
         self.rows.read().clone()
     }
 
-    /// Registers a score (rank) index.
+    /// Registers a score (rank) index, replacing any previous index on the
+    /// same predicate (so rebuilding after an invalidating insert never
+    /// leaves a stale sibling to be looked up first).
     pub fn add_score_index(&self, index: ScoreIndex) -> Arc<ScoreIndex> {
         let arc = Arc::new(index);
-        self.score_indexes.write().push(Arc::clone(&arc));
+        let mut indexes = self.score_indexes.write();
+        indexes.retain(|i| i.predicate_name() != arc.predicate_name());
+        indexes.push(Arc::clone(&arc));
+        self.has_indexes.store(true, Ordering::Release);
         arc
     }
 
-    /// Registers an ordered attribute index.
+    /// Registers an ordered attribute index, replacing any previous index on
+    /// the same column.
     pub fn add_btree_index(&self, index: BTreeIndex) -> Arc<BTreeIndex> {
         let arc = Arc::new(index);
-        self.btree_indexes.write().push(Arc::clone(&arc));
+        let mut indexes = self.btree_indexes.write();
+        indexes.retain(|i| i.column_name() != arc.column_name());
+        indexes.push(Arc::clone(&arc));
+        self.has_indexes.store(true, Ordering::Release);
         arc
     }
 
-    /// Registers a hash index.
+    /// Registers a hash index, replacing any previous index on the same
+    /// column.
     pub fn add_hash_index(&self, index: HashIndex) -> Arc<HashIndex> {
         let arc = Arc::new(index);
-        self.hash_indexes.write().push(Arc::clone(&arc));
+        let mut indexes = self.hash_indexes.write();
+        indexes.retain(|i| i.column_name() != arc.column_name());
+        indexes.push(Arc::clone(&arc));
+        self.has_indexes.store(true, Ordering::Release);
         arc
     }
 
@@ -141,17 +178,29 @@ impl Table {
 
     /// Finds an ordered attribute index by column name.
     pub fn btree_index(&self, column: &str) -> Option<Arc<BTreeIndex>> {
-        self.btree_indexes.read().iter().find(|i| i.column_name() == column).cloned()
+        self.btree_indexes
+            .read()
+            .iter()
+            .find(|i| i.column_name() == column)
+            .cloned()
     }
 
     /// Finds a hash index by column name.
     pub fn hash_index(&self, column: &str) -> Option<Arc<HashIndex>> {
-        self.hash_indexes.read().iter().find(|i| i.column_name() == column).cloned()
+        self.hash_indexes
+            .read()
+            .iter()
+            .find(|i| i.column_name() == column)
+            .cloned()
     }
 
     /// Names of ranking predicates that have a score index on this table.
     pub fn score_index_names(&self) -> Vec<String> {
-        self.score_indexes.read().iter().map(|i| i.predicate_name().to_owned()).collect()
+        self.score_indexes
+            .read()
+            .iter()
+            .map(|i| i.predicate_name().to_owned())
+            .collect()
     }
 }
 
@@ -177,7 +226,11 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Starts building a table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        TableBuilder { name: name.into(), schema, rows: Vec::new() }
+        TableBuilder {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a row.
@@ -256,6 +309,44 @@ mod tests {
         assert_eq!(t.row_count(), 3);
         assert_eq!(t.id(), 7);
         assert_eq!(t.name(), "T");
+    }
+
+    #[test]
+    fn insert_after_index_drops_stale_indexes() {
+        use crate::index::{BTreeIndex, HashIndex, ScoreIndex};
+        use ranksql_expr::RankPredicate;
+
+        let t = Table::new(1, "T", schema());
+        t.insert(vec![Value::from(1), Value::from(0.5)]).unwrap();
+        t.insert(vec![Value::from(2), Value::from(0.9)]).unwrap();
+
+        let pred = RankPredicate::attribute("b", "T.b");
+        let score = ScoreIndex::build(&pred, t.schema(), &t.scan()).unwrap();
+        let held_handle = t.add_score_index(score);
+        t.add_btree_index(BTreeIndex::build("T.a", t.schema(), &t.scan()).unwrap());
+        t.add_hash_index(HashIndex::build("T.a", t.schema(), &t.scan()).unwrap());
+        assert!(t.score_index("b").is_some());
+        assert!(t.btree_index("T.a").is_some());
+        assert!(t.hash_index("T.a").is_some());
+
+        // Appending a row invalidates all of them: lookups now miss, so the
+        // next access path rebuilds over the full table instead of silently
+        // scanning a stale prefix.
+        t.insert(vec![Value::from(3), Value::from(0.1)]).unwrap();
+        assert!(t.score_index("b").is_none());
+        assert!(t.btree_index("T.a").is_none());
+        assert!(t.hash_index("T.a").is_none());
+        assert!(t.score_index_names().is_empty());
+
+        // A handle held across the insert is detectably stale.
+        assert_eq!(held_handle.indexed_rows(), 2);
+        assert_eq!(t.row_count(), 3);
+
+        // Rebuilt indexes cover the new row and survive until the next write.
+        let rebuilt = ScoreIndex::build(&pred, t.schema(), &t.scan()).unwrap();
+        assert_eq!(rebuilt.indexed_rows(), 3);
+        t.add_score_index(rebuilt);
+        assert!(t.score_index("b").is_some());
     }
 
     #[test]

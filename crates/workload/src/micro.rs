@@ -21,8 +21,13 @@ pub fn relation_r(catalog: &Catalog) -> Arc<Table> {
         )
         .expect("fresh catalog");
     for (a, b, p1, p2) in [(1, 2, 0.9, 0.65), (2, 3, 0.8, 0.5), (3, 4, 0.7, 0.7)] {
-        t.insert(vec![Value::from(a), Value::from(b), Value::from(p1), Value::from(p2)])
-            .expect("arity matches");
+        t.insert(vec![
+            Value::from(a),
+            Value::from(b),
+            Value::from(p1),
+            Value::from(p2),
+        ])
+        .expect("arity matches");
     }
     t
 }
@@ -41,8 +46,13 @@ pub fn relation_r_prime(catalog: &Catalog) -> Arc<Table> {
         )
         .expect("fresh catalog");
     for (a, b, p1, p2) in [(1, 2, 0.9, 0.65), (3, 4, 0.7, 0.7), (5, 1, 0.75, 0.6)] {
-        t.insert(vec![Value::from(a), Value::from(b), Value::from(p1), Value::from(p2)])
-            .expect("arity matches");
+        t.insert(vec![
+            Value::from(a),
+            Value::from(b),
+            Value::from(p1),
+            Value::from(p2),
+        ])
+        .expect("arity matches");
     }
     t
 }

@@ -33,7 +33,14 @@ pub struct TripConfig {
 
 impl Default for TripConfig {
     fn default() -> Self {
-        TripConfig { hotels: 200, restaurants: 150, museums: 60, areas: 12, k: 5, seed: 7 }
+        TripConfig {
+            hotels: 200,
+            restaurants: 150,
+            museums: 60,
+            areas: 12,
+            k: 5,
+            seed: 7,
+        }
     }
 }
 
@@ -186,7 +193,14 @@ mod tests {
 
     #[test]
     fn small_configs_work() {
-        let cfg = TripConfig { hotels: 10, restaurants: 10, museums: 5, areas: 3, k: 2, seed: 1 };
+        let cfg = TripConfig {
+            hotels: 10,
+            restaurants: 10,
+            museums: 5,
+            areas: 3,
+            k: 2,
+            seed: 1,
+        };
         let w = TripWorkload::generate(cfg).unwrap();
         assert_eq!(w.catalog.table("Museum").unwrap().row_count(), 5);
         assert_eq!(w.query.k, 2);

@@ -34,7 +34,7 @@ use ranksql::executor::mpro::MProOp;
 use ranksql::executor::operator::take;
 use ranksql::executor::rank::RankOp;
 use ranksql::executor::scan::RankScan;
-use ranksql::executor::{MetricsRegistry, PhysicalOperator};
+use ranksql::executor::{ExecutionContext, PhysicalOperator};
 use ranksql::expr::{RankPredicate, RankingContext, ScoringFunction};
 use ranksql::storage::{ScoreIndex, Table, TableBuilder};
 
@@ -73,11 +73,7 @@ fn ranking() -> Arc<RankingContext> {
             // The price predicate is cheap (it is backed by a score index).
             RankPredicate::attribute("cheap", "Hotel.cheapness"),
             // The review and location predicates are expensive to evaluate.
-            RankPredicate::attribute_with_cost(
-                "review",
-                "Hotel.review",
-                EXPENSIVE_PREDICATE_COST,
-            ),
+            RankPredicate::attribute_with_cost("review", "Hotel.review", EXPENSIVE_PREDICATE_COST),
             RankPredicate::attribute_with_cost(
                 "location",
                 "Hotel.location",
@@ -93,17 +89,17 @@ fn build_chain(
     index: &Arc<ScoreIndex>,
     ctx: &Arc<RankingContext>,
 ) -> Box<dyn PhysicalOperator> {
-    let reg = MetricsRegistry::new();
+    let exec = ExecutionContext::new(Arc::clone(ctx));
     let scan = RankScan::new(
         Arc::clone(table),
         Arc::clone(index),
         0,
-        Arc::clone(ctx),
-        reg.register("rank-scan(cheap)"),
+        &exec,
+        "rank-scan(cheap)",
     )
     .expect("rank-scan");
-    let mu_review = RankOp::new(Box::new(scan), 1, Arc::clone(ctx), reg.register("mu(review)"));
-    Box::new(RankOp::new(Box::new(mu_review), 2, Arc::clone(ctx), reg.register("mu(location)")))
+    let mu_review = RankOp::new(Box::new(scan), 1, &exec, "mu(review)");
+    Box::new(RankOp::new(Box::new(mu_review), 2, &exec, "mu(location)"))
 }
 
 fn build_mpro(
@@ -111,27 +107,31 @@ fn build_mpro(
     index: &Arc<ScoreIndex>,
     ctx: &Arc<RankingContext>,
 ) -> Box<dyn PhysicalOperator> {
-    let reg = MetricsRegistry::new();
+    let exec = ExecutionContext::new(Arc::clone(ctx));
     let scan = RankScan::new(
         Arc::clone(table),
         Arc::clone(index),
         0,
-        Arc::clone(ctx),
-        reg.register("rank-scan(cheap)"),
+        &exec,
+        "rank-scan(cheap)",
     )
     .expect("rank-scan");
     Box::new(MProOp::new(
         Box::new(scan),
         vec![1, 2],
-        Arc::clone(ctx),
-        reg.register("mpro(review,location)"),
+        &exec,
+        "mpro(review,location)",
     ))
 }
 
 fn main() -> ranksql::Result<()> {
     let table = hotel_table();
     let base_ctx = ranking();
-    let index = Arc::new(ScoreIndex::build(base_ctx.predicate(0), table.schema(), &table.scan())?);
+    let index = Arc::new(ScoreIndex::build(
+        base_ctx.predicate(0),
+        table.schema(),
+        &table.scan(),
+    )?);
 
     println!(
         "{} hotels ranked by cheapness + review + location; review and location cost {} units per call\n",

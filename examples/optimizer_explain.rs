@@ -30,8 +30,7 @@ fn main() -> ranksql::Result<()> {
     // ------------------------------------------------------------------
     // 1. The sampling-based cardinality estimator.
     // ------------------------------------------------------------------
-    let estimator =
-        Arc::new(SamplingEstimator::build(query, &workload.catalog, 0.02, 7)?);
+    let estimator = Arc::new(SamplingEstimator::build(query, &workload.catalog, 0.02, 7)?);
     println!(
         "\nsampling estimator: 2% sample, estimated k-th score x' = {}",
         estimator.x_threshold()
@@ -63,7 +62,11 @@ fn main() -> ranksql::Result<()> {
         let plan = dp.optimize()?;
         println!(
             "\n==== {} enumeration ====",
-            if heuristic { "heuristic (left-deep + rank metric)" } else { "exhaustive 2-D" }
+            if heuristic {
+                "heuristic (left-deep + rank metric)"
+            } else {
+                "exhaustive 2-D"
+            }
         );
         println!(
             "plans considered: {}, signatures kept: {}, enumeration time: {:?}",
@@ -76,7 +79,10 @@ fn main() -> ranksql::Result<()> {
     // ------------------------------------------------------------------
     // 3. The full optimizer entry point, including the traditional baseline.
     // ------------------------------------------------------------------
-    for mode in [OptimizerMode::Traditional, OptimizerMode::RankAwareHeuristic] {
+    for mode in [
+        OptimizerMode::Traditional,
+        OptimizerMode::RankAwareHeuristic,
+    ] {
         let optimizer = RankOptimizer::new(OptimizerConfig {
             mode,
             sample_ratio: 0.02,

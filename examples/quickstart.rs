@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use ranksql::{
-    parse_topk_query, BoolExpr, Database, DataType, Field, JoinAlgorithm, LogicalPlan, PlanMode,
+    parse_topk_query, BoolExpr, DataType, Database, Field, JoinAlgorithm, LogicalPlan, PlanMode,
     QueryBuilder, RankPredicate, Schema, Value,
 };
 
@@ -43,7 +43,12 @@ fn main() -> ranksql::Result<()> {
     for (name, city, food, value) in restaurants {
         db.insert(
             "Restaurant",
-            vec![Value::from(name), Value::from(city), Value::from(food), Value::from(value)],
+            vec![
+                Value::from(name),
+                Value::from(city),
+                Value::from(food),
+                Value::from(value),
+            ],
         )?;
     }
     let hotels = [
@@ -53,7 +58,10 @@ fn main() -> ranksql::Result<()> {
         ("Budget Stay", 0, 0.50),
     ];
     for (name, city, comfort) in hotels {
-        db.insert("Hotel", vec![Value::from(name), Value::from(city), Value::from(comfort)])?;
+        db.insert(
+            "Hotel",
+            vec![Value::from(name), Value::from(city), Value::from(comfort)],
+        )?;
     }
 
     // ------------------------------------------------------------------
@@ -85,7 +93,11 @@ fn main() -> ranksql::Result<()> {
         .rank_predicate(RankPredicate::attribute("comfort", "Hotel.comfort"))
         .limit(3)
         .build()?;
-    for mode in [PlanMode::Canonical, PlanMode::Traditional, PlanMode::RankAware] {
+    for mode in [
+        PlanMode::Canonical,
+        PlanMode::Traditional,
+        PlanMode::RankAware,
+    ] {
         let r = db.execute_with_mode(&built, mode)?;
         println!(
             "{mode:?}: best score {:.4}, {} predicate evaluations, {:?}",

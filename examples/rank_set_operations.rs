@@ -26,7 +26,7 @@ use ranksql::executor::{
     rank::RankOp,
     scan::{RankScan, SeqScan},
     set_ops::{ExceptOp, IntersectOp, UnionOp},
-    MetricsRegistry, PhysicalOperator,
+    ExecutionContext, PhysicalOperator,
 };
 use ranksql::expr::{BoolExpr, RankPredicate, RankedTuple, RankingContext, ScoringFunction};
 use ranksql::storage::{Catalog, ScoreIndex, Table};
@@ -89,17 +89,20 @@ fn ranking_context() -> Arc<RankingContext> {
 fn rank_scan(
     papers: &Arc<Table>,
     pred: usize,
-    ctx: &Arc<RankingContext>,
-    reg: &MetricsRegistry,
+    exec: &ExecutionContext,
     name: &str,
 ) -> ranksql::Result<Box<dyn PhysicalOperator>> {
-    let index = Arc::new(ScoreIndex::build(ctx.predicate(pred), papers.schema(), &papers.scan())?);
+    let index = Arc::new(ScoreIndex::build(
+        exec.ranking().predicate(pred),
+        papers.schema(),
+        &papers.scan(),
+    )?);
     Ok(Box::new(RankScan::new(
         Arc::clone(papers),
         index,
         pred,
-        Arc::clone(ctx),
-        reg.register(name),
+        exec,
+        name,
     )?))
 }
 
@@ -108,18 +111,22 @@ fn ranked_list(
     papers: &Arc<Table>,
     pred: usize,
     list_column: &str,
-    ctx: &Arc<RankingContext>,
-    reg: &MetricsRegistry,
+    exec: &ExecutionContext,
     name: &str,
 ) -> ranksql::Result<Box<dyn PhysicalOperator>> {
-    let scan = rank_scan(papers, pred, ctx, reg, &format!("{name} scan"))?;
+    let scan = rank_scan(papers, pred, exec, &format!("{name} scan"))?;
     let filter = BoolExpr::column_is_true(list_column);
-    Ok(Box::new(ranksql::executor::filter::Filter::new(scan, &filter, reg.register(name))?))
+    Ok(Box::new(ranksql::executor::filter::Filter::new(
+        scan, &filter, exec, name,
+    )?))
 }
 
 fn print_top(title: &str, ctx: &RankingContext, tuples: &[RankedTuple]) {
     println!("{title}");
-    println!("    {:>6}  {:>9}  {:>9}  {:>12}", "id", "relevance", "citations", "upper bound");
+    println!(
+        "    {:>6}  {:>9}  {:>9}  {:>12}",
+        "id", "relevance", "citations", "upper bound"
+    );
     for t in tuples {
         println!(
             "    {:>6}  {:>9}  {:>9}  {:>12.4}",
@@ -145,31 +152,39 @@ fn ranked_list_algebra(papers: &Arc<Table>, ctx: &Arc<RankingContext>) -> ranksq
 
     // Intersection: papers on both lists, ordered by the aggregate order
     // rel + cit (both predicates are evaluated across the two operands).
-    let reg = MetricsRegistry::new();
-    let a = ranked_list(papers, 0, "Papers.list_a", ctx, &reg, "list A")?;
-    let b = ranked_list(papers, 1, "Papers.list_b", ctx, &reg, "list B")?;
-    let mut intersect = IntersectOp::new(a, b, Arc::clone(ctx), reg.register("∩"));
+    let exec = ExecutionContext::new(Arc::clone(ctx));
+    let a = ranked_list(papers, 0, "Papers.list_a", &exec, "list A")?;
+    let b = ranked_list(papers, 1, "Papers.list_b", &exec, "list B")?;
+    let mut intersect = IntersectOp::new(a, b, &exec, "∩");
     let both = take(&mut intersect, K)?;
-    print_top("papers on BOTH lists (∩), aggregate order rel + cit:", ctx, &both);
+    print_top(
+        "papers on BOTH lists (∩), aggregate order rel + cit:",
+        ctx,
+        &both,
+    );
 
     // Union: papers on either list; a paper reached from both sides carries
     // both evaluated predicates, one reached from a single side keeps the
     // other predicate at its upper bound.
-    let reg = MetricsRegistry::new();
-    let a = ranked_list(papers, 0, "Papers.list_a", ctx, &reg, "list A")?;
-    let b = ranked_list(papers, 1, "Papers.list_b", ctx, &reg, "list B")?;
-    let mut union = UnionOp::new(a, b, Arc::clone(ctx), reg.register("∪"));
+    let exec = ExecutionContext::new(Arc::clone(ctx));
+    let a = ranked_list(papers, 0, "Papers.list_a", &exec, "list A")?;
+    let b = ranked_list(papers, 1, "Papers.list_b", &exec, "list B")?;
+    let mut union = UnionOp::new(a, b, &exec, "∪");
     let either = take(&mut union, K)?;
     print_top("papers on EITHER list (∪):", ctx, &either);
 
     // Difference: papers on list A but not on list B; the output keeps the
     // outer operand's order (by `rel` only), per Figure 3.
-    let reg = MetricsRegistry::new();
-    let a = ranked_list(papers, 0, "Papers.list_a", ctx, &reg, "list A")?;
-    let b = ranked_list(papers, 1, "Papers.list_b", ctx, &reg, "list B")?;
-    let mut except = ExceptOp::new(a, b, Arc::clone(ctx), reg.register("−"));
+    let exec = ExecutionContext::new(Arc::clone(ctx));
+    let a = ranked_list(papers, 0, "Papers.list_a", &exec, "list A")?;
+    let b = ranked_list(papers, 1, "Papers.list_b", &exec, "list B")?;
+    let mut except = ExceptOp::new(a, b, &exec, "−");
     let only_a = take(&mut except, K)?;
-    print_top("papers on list A but NOT list B (−), ordered by rel:", ctx, &only_a);
+    print_top(
+        "papers on list A but NOT list B (−), ordered by rel:",
+        ctx,
+        &only_a,
+    );
     Ok(())
 }
 
@@ -184,19 +199,19 @@ fn multiple_scan_law(papers: &Arc<Table>, _shared: &Arc<RankingContext>) -> rank
     // (Fresh contexts so the evaluation counters of the two strategies do not
     // mix.)
     let ctx_a = ranking_context();
-    let reg_a = MetricsRegistry::new();
-    let scan = SeqScan::new(papers, Arc::clone(&ctx_a), reg_a.register("seq-scan"));
-    let mu_cit = RankOp::new(Box::new(scan), 1, Arc::clone(&ctx_a), reg_a.register("µ_cit"));
-    let mut chain = RankOp::new(Box::new(mu_cit), 0, Arc::clone(&ctx_a), reg_a.register("µ_rel"));
+    let exec_a = ExecutionContext::new(Arc::clone(&ctx_a));
+    let scan = SeqScan::new(papers, &exec_a, "seq-scan");
+    let mu_cit = RankOp::new(Box::new(scan), 1, &exec_a, "µ_cit");
+    let mut chain = RankOp::new(Box::new(mu_cit), 0, &exec_a, "µ_rel");
     let top_chain = take(&mut chain, K)?;
 
     // Strategy B: µ_rel(Papers) ∩ µ_cit(Papers) — two rank-scans merged by the
     // incremental rank-aware intersection.
     let ctx_b = ranking_context();
-    let reg_b = MetricsRegistry::new();
-    let left = rank_scan(papers, 0, &ctx_b, &reg_b, "rank-scan rel")?;
-    let right = rank_scan(papers, 1, &ctx_b, &reg_b, "rank-scan cit")?;
-    let mut multi = IntersectOp::new(left, right, Arc::clone(&ctx_b), reg_b.register("∩"));
+    let exec_b = ExecutionContext::new(Arc::clone(&ctx_b));
+    let left = rank_scan(papers, 0, &exec_b, "rank-scan rel")?;
+    let right = rank_scan(papers, 1, &exec_b, "rank-scan cit")?;
+    let mut multi = IntersectOp::new(left, right, &exec_b, "∩");
     let top_multi = take(&mut multi, K)?;
 
     println!("top-{K} overall scores under both strategies:");
@@ -210,10 +225,18 @@ fn multiple_scan_law(papers: &Arc<Table>, _shared: &Arc<RankingContext>) -> rank
     }
 
     println!("\noperator work (tuples in → out):");
-    for (label, reg) in [("µ chain over seq-scan", &reg_a), ("rank-scan ∩ rank-scan", &reg_b)] {
+    for (label, exec) in [
+        ("µ chain over seq-scan", &exec_a),
+        ("rank-scan ∩ rank-scan", &exec_b),
+    ] {
         println!("  {label}:");
-        for m in reg.snapshot() {
-            println!("    {:<16} {:>8} → {:<8}", m.name(), m.tuples_in(), m.tuples_out());
+        for m in exec.metrics().snapshot() {
+            println!(
+                "    {:<16} {:>8} → {:<8}",
+                m.name(),
+                m.tuples_in(),
+                m.tuples_out()
+            );
         }
     }
     println!(

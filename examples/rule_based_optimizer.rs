@@ -22,9 +22,14 @@ fn main() -> ranksql::Result<()> {
     // A scaled-down instance of the paper's synthetic workload (Section 6)
     // with moderately expensive ranking predicates so the plan choice
     // actually matters.
+    // Costing in the rule-based search executes candidate plans over the
+    // sample tables, and its seed set includes the canonical cross-product
+    // plan — sample size drives the search cost cubically, so this example
+    // keeps the tables small enough for the full mode comparison to finish
+    // in seconds.
     let config = SyntheticConfig {
-        table_size: 4_000,
-        join_selectivity: 0.0025,
+        table_size: 1_200,
+        join_selectivity: 0.008,
         predicate_cost: 20,
         k: 10,
         ..SyntheticConfig::default()
@@ -38,9 +43,18 @@ fn main() -> ranksql::Result<()> {
 
     let modes = [
         ("traditional (ranking-blind)", OptimizerMode::Traditional),
-        ("2-D DP, exhaustive (Fig. 8)", OptimizerMode::RankAwareExhaustive),
-        ("2-D DP + heuristics (Fig. 10)", OptimizerMode::RankAwareHeuristic),
-        ("rule-based (Volcano-style)", OptimizerMode::RankAwareRuleBased),
+        (
+            "2-D DP, exhaustive (Fig. 8)",
+            OptimizerMode::RankAwareExhaustive,
+        ),
+        (
+            "2-D DP + heuristics (Fig. 10)",
+            OptimizerMode::RankAwareHeuristic,
+        ),
+        (
+            "rule-based (Volcano-style)",
+            OptimizerMode::RankAwareRuleBased,
+        ),
     ];
 
     for (label, mode) in modes {

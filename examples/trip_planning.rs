@@ -12,7 +12,12 @@ use ranksql::workload::trip::{TripConfig, TripWorkload};
 use ranksql::{Database, PlanMode};
 
 fn main() -> ranksql::Result<()> {
-    let config = TripConfig { hotels: 400, restaurants: 300, museums: 80, ..TripConfig::default() };
+    let config = TripConfig {
+        hotels: 400,
+        restaurants: 300,
+        museums: 80,
+        ..TripConfig::default()
+    };
     println!(
         "generating trip dataset: {} hotels, {} restaurants, {} museums, top-{}",
         config.hotels, config.restaurants, config.museums, config.k

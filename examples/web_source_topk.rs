@@ -11,7 +11,7 @@
 //! Run with: `cargo run --example web_source_topk --release`
 
 use ranksql::{
-    BoolExpr, Database, DataType, Field, PlanMode, QueryBuilder, RankPredicate, Schema, Value,
+    BoolExpr, DataType, Database, Field, PlanMode, QueryBuilder, RankPredicate, Schema, Value,
 };
 
 fn main() -> ranksql::Result<()> {
@@ -54,10 +54,7 @@ fn main() -> ranksql::Result<()> {
             ],
         )?;
         for _ in 0..3 {
-            db.insert(
-                "Review",
-                vec![Value::from(i), Value::from(next())],
-            )?;
+            db.insert("Review", vec![Value::from(i), Value::from(next())])?;
         }
     }
 
@@ -91,7 +88,10 @@ fn main() -> ranksql::Result<()> {
         println!("best combination score: {:.4}\n", result.scores()[0]);
         summaries.push((mode, result.scores(), result.total_predicate_evaluations()));
     }
-    assert_eq!(summaries[0].1, summaries[1].1, "both plans must return the same top-k");
+    assert_eq!(
+        summaries[0].1, summaries[1].1,
+        "both plans must return the same top-k"
+    );
     println!(
         "identical answers; the rank-aware plan issued {} external calls vs {} for the traditional plan",
         summaries[1].2, summaries[0].2

@@ -52,8 +52,10 @@ mod tests {
             ]),
         )
         .unwrap();
-        db.insert("T", vec![Value::from(1), Value::from(0.4)]).unwrap();
-        db.insert("T", vec![Value::from(2), Value::from(0.8)]).unwrap();
+        db.insert("T", vec![Value::from(1), Value::from(0.4)])
+            .unwrap();
+        db.insert("T", vec![Value::from(2), Value::from(0.8)])
+            .unwrap();
         let q = parse_topk_query("SELECT * FROM T ORDER BY T.p LIMIT 1").unwrap();
         let r = db.execute_with_mode(&q, PlanMode::Canonical).unwrap();
         assert_eq!(r.rows[0].tuple.value(0), &Value::from(2));

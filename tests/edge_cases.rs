@@ -5,8 +5,8 @@
 //! the corner cases too.
 
 use ranksql::{
-    BoolExpr, Database, DataType, Field, PlanMode, QueryBuilder, RankPredicate, RankQuery,
-    Schema, ScoringFunction, Value,
+    BoolExpr, DataType, Database, Field, PlanMode, QueryBuilder, RankPredicate, RankQuery, Schema,
+    ScoringFunction, Value,
 };
 
 const ALL_MODES: [PlanMode; 5] = [
@@ -45,12 +45,20 @@ fn two_table_db(rows: usize) -> Database {
     for i in 0..rows as i64 {
         db.insert(
             "L",
-            vec![Value::from(i), Value::from(i % 7), Value::from(((i * 13) % 100) as f64 / 100.0)],
+            vec![
+                Value::from(i),
+                Value::from(i % 7),
+                Value::from(((i * 13) % 100) as f64 / 100.0),
+            ],
         )
         .unwrap();
         db.insert(
             "R",
-            vec![Value::from(i), Value::from(i % 7), Value::from(((i * 31) % 100) as f64 / 100.0)],
+            vec![
+                Value::from(i),
+                Value::from(i % 7),
+                Value::from(((i * 31) % 100) as f64 / 100.0),
+            ],
         )
         .unwrap();
     }
@@ -74,7 +82,11 @@ fn k_zero_returns_no_rows_in_every_mode() {
     let query = join_query(0);
     for mode in ALL_MODES {
         let r = db.execute_with_mode(&query, mode).unwrap();
-        assert!(r.rows.is_empty(), "mode {mode:?} returned {} rows for k = 0", r.rows.len());
+        assert!(
+            r.rows.is_empty(),
+            "mode {mode:?} returned {} rows for k = 0",
+            r.rows.len()
+        );
     }
 }
 
@@ -90,7 +102,11 @@ fn k_larger_than_result_set_returns_everything() {
     for mode in ALL_MODES {
         let r = db.execute_with_mode(&query, mode).unwrap();
         assert_eq!(r.rows.len(), reference.rows.len(), "mode {mode:?}");
-        assert_eq!(rounded(&r.scores()), rounded(&reference.scores()), "mode {mode:?}");
+        assert_eq!(
+            rounded(&r.scores()),
+            rounded(&reference.scores()),
+            "mode {mode:?}"
+        );
     }
 }
 
@@ -109,7 +125,11 @@ fn one_empty_join_side_yields_empty_results() {
     let db = two_table_db(0);
     // Re-populate only L.
     for i in 0..30i64 {
-        db.insert("L", vec![Value::from(i), Value::from(i % 7), Value::from(0.5)]).unwrap();
+        db.insert(
+            "L",
+            vec![Value::from(i), Value::from(i % 7), Value::from(0.5)],
+        )
+        .unwrap();
     }
     let query = join_query(5);
     for mode in ALL_MODES {
@@ -155,36 +175,14 @@ fn all_scores_tied_returns_k_rows_with_equal_scores() {
     let db = Database::new();
     db.create_table(
         "T",
-        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Float64)]),
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ]),
     )
     .unwrap();
     for i in 0..25i64 {
-        db.insert("T", vec![Value::from(i), Value::from(0.75)]).unwrap();
-    }
-    let query = QueryBuilder::new()
-        .table("T")
-        .rank_predicate(RankPredicate::attribute("p", "T.p"))
-        .limit(10)
-        .build()
-        .unwrap();
-    for mode in ALL_MODES {
-        let r = db.execute_with_mode(&query, mode).unwrap();
-        assert_eq!(r.rows.len(), 10, "mode {mode:?}");
-        assert!(r.scores().iter().all(|s| (s - 0.75).abs() < 1e-12), "mode {mode:?}");
-    }
-}
-
-#[test]
-fn boundary_scores_zero_and_one() {
-    let db = Database::new();
-    db.create_table(
-        "T",
-        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Float64)]),
-    )
-    .unwrap();
-    // Half the rows have the worst possible score, half the best.
-    for i in 0..20i64 {
-        db.insert("T", vec![Value::from(i), Value::from(if i % 2 == 0 { 0.0 } else { 1.0 })])
+        db.insert("T", vec![Value::from(i), Value::from(0.75)])
             .unwrap();
     }
     let query = QueryBuilder::new()
@@ -196,7 +194,48 @@ fn boundary_scores_zero_and_one() {
     for mode in ALL_MODES {
         let r = db.execute_with_mode(&query, mode).unwrap();
         assert_eq!(r.rows.len(), 10, "mode {mode:?}");
-        assert!(r.scores().iter().all(|s| (s - 1.0).abs() < 1e-12), "mode {mode:?}");
+        assert!(
+            r.scores().iter().all(|s| (s - 0.75).abs() < 1e-12),
+            "mode {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn boundary_scores_zero_and_one() {
+    let db = Database::new();
+    db.create_table(
+        "T",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    // Half the rows have the worst possible score, half the best.
+    for i in 0..20i64 {
+        db.insert(
+            "T",
+            vec![
+                Value::from(i),
+                Value::from(if i % 2 == 0 { 0.0 } else { 1.0 }),
+            ],
+        )
+        .unwrap();
+    }
+    let query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(10)
+        .build()
+        .unwrap();
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&query, mode).unwrap();
+        assert_eq!(r.rows.len(), 10, "mode {mode:?}");
+        assert!(
+            r.scores().iter().all(|s| (s - 1.0).abs() < 1e-12),
+            "mode {mode:?}"
+        );
     }
 }
 
@@ -233,7 +272,11 @@ fn projection_with_ranking_keeps_scores_and_narrows_schema() {
     for mode in ALL_MODES {
         let r = db.execute_with_mode(&query, mode).unwrap();
         assert_eq!(r.schema.len(), 2, "mode {mode:?}");
-        assert_eq!(rounded(&r.scores()), rounded(&reference.scores()), "mode {mode:?}");
+        assert_eq!(
+            rounded(&r.scores()),
+            rounded(&reference.scores()),
+            "mode {mode:?}"
+        );
     }
 }
 
@@ -253,14 +296,22 @@ fn weighted_sum_scoring_agrees_across_modes() {
     assert_eq!(reference.rows.len(), 5);
     for mode in ALL_MODES {
         let r = db.execute_with_mode(&query, mode).unwrap();
-        assert_eq!(rounded(&r.scores()), rounded(&reference.scores()), "mode {mode:?}");
+        assert_eq!(
+            rounded(&r.scores()),
+            rounded(&reference.scores()),
+            "mode {mode:?}"
+        );
     }
 }
 
 #[test]
 fn product_and_min_scoring_agree_across_modes() {
     let db = two_table_db(60);
-    for scoring in [ScoringFunction::Product, ScoringFunction::Min, ScoringFunction::Average] {
+    for scoring in [
+        ScoringFunction::Product,
+        ScoringFunction::Min,
+        ScoringFunction::Average,
+    ] {
         let query = QueryBuilder::new()
             .tables(["L", "R"])
             .filter(BoolExpr::col_eq_col("L.jc", "R.jc"))
@@ -298,7 +349,11 @@ fn duplicate_rank_predicate_on_the_same_column_is_allowed() {
     let reference = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
     for mode in ALL_MODES {
         let r = db.execute_with_mode(&query, mode).unwrap();
-        assert_eq!(rounded(&r.scores()), rounded(&reference.scores()), "mode {mode:?}");
+        assert_eq!(
+            rounded(&r.scores()),
+            rounded(&reference.scores()),
+            "mode {mode:?}"
+        );
     }
 }
 
@@ -307,11 +362,15 @@ fn k_equals_result_set_size_exactly() {
     let db = Database::new();
     db.create_table(
         "T",
-        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Float64)]),
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ]),
     )
     .unwrap();
     for i in 0..8i64 {
-        db.insert("T", vec![Value::from(i), Value::from(i as f64 / 10.0)]).unwrap();
+        db.insert("T", vec![Value::from(i), Value::from(i as f64 / 10.0)])
+            .unwrap();
     }
     let query = QueryBuilder::new()
         .table("T")
@@ -335,12 +394,17 @@ fn null_scores_rank_last_and_never_panic() {
     let db = Database::new();
     db.create_table(
         "T",
-        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Float64)]),
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ]),
     )
     .unwrap();
-    db.insert("T", vec![Value::from(1), Value::from(0.9)]).unwrap();
+    db.insert("T", vec![Value::from(1), Value::from(0.9)])
+        .unwrap();
     db.insert("T", vec![Value::from(2), Value::Null]).unwrap();
-    db.insert("T", vec![Value::from(3), Value::from(0.4)]).unwrap();
+    db.insert("T", vec![Value::from(3), Value::from(0.4)])
+        .unwrap();
     let query = QueryBuilder::new()
         .table("T")
         .rank_predicate(RankPredicate::attribute("p", "T.p"))
@@ -361,12 +425,18 @@ fn out_of_range_scores_are_clamped_to_the_unit_interval() {
     let db = Database::new();
     db.create_table(
         "T",
-        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Float64)]),
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ]),
     )
     .unwrap();
-    db.insert("T", vec![Value::from(1), Value::from(7.5)]).unwrap(); // clamps to 1.0
-    db.insert("T", vec![Value::from(2), Value::from(-3.0)]).unwrap(); // clamps to 0.0
-    db.insert("T", vec![Value::from(3), Value::from(0.5)]).unwrap();
+    db.insert("T", vec![Value::from(1), Value::from(7.5)])
+        .unwrap(); // clamps to 1.0
+    db.insert("T", vec![Value::from(2), Value::from(-3.0)])
+        .unwrap(); // clamps to 0.0
+    db.insert("T", vec![Value::from(3), Value::from(0.5)])
+        .unwrap();
     let query = QueryBuilder::new()
         .table("T")
         .rank_predicate(RankPredicate::attribute("p", "T.p"))
@@ -389,11 +459,15 @@ fn three_way_join_with_mixed_predicate_coverage() {
     let db = two_table_db(25);
     db.create_table(
         "M",
-        Schema::new(vec![Field::new("jc", DataType::Int64), Field::new("tag", DataType::Int64)]),
+        Schema::new(vec![
+            Field::new("jc", DataType::Int64),
+            Field::new("tag", DataType::Int64),
+        ]),
     )
     .unwrap();
     for i in 0..25i64 {
-        db.insert("M", vec![Value::from(i % 7), Value::from(i)]).unwrap();
+        db.insert("M", vec![Value::from(i % 7), Value::from(i)])
+            .unwrap();
     }
     let query = QueryBuilder::new()
         .tables(["L", "R", "M"])
@@ -408,6 +482,10 @@ fn three_way_join_with_mixed_predicate_coverage() {
     assert_eq!(reference.rows.len(), 5);
     for mode in ALL_MODES {
         let r = db.execute_with_mode(&query, mode).unwrap();
-        assert_eq!(rounded(&r.scores()), rounded(&reference.scores()), "mode {mode:?}");
+        assert_eq!(
+            rounded(&r.scores()),
+            rounded(&reference.scores()),
+            "mode {mode:?}"
+        );
     }
 }

@@ -51,8 +51,10 @@ fn parsed_query_q_matches_oracle_under_all_plan_modes() {
     .unwrap();
 
     let oracle = oracle_top_k(&query, db.catalog()).unwrap();
-    let expected: Vec<f64> =
-        oracle.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect();
+    let expected: Vec<f64> = oracle
+        .iter()
+        .map(|t| query.ranking.upper_bound(&t.state).value())
+        .collect();
 
     for mode in [
         PlanMode::Canonical,
@@ -137,8 +139,7 @@ fn projection_through_the_facade() {
         )
         .unwrap();
     }
-    let query =
-        parse_topk_query("SELECT T.id FROM T ORDER BY T.p LIMIT 4").unwrap();
+    let query = parse_topk_query("SELECT T.id FROM T ORDER BY T.p LIMIT 4").unwrap();
     let result = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
     assert_eq!(result.schema.len(), 1);
     assert_eq!(result.rows.len(), 4);

@@ -23,7 +23,7 @@ use ranksql::executor::mpro::MProOp;
 use ranksql::executor::operator::{check_rank_order, take};
 use ranksql::executor::rank::RankOp;
 use ranksql::executor::scan::{RankScan, SeqScan};
-use ranksql::executor::{MetricsRegistry, PhysicalOperator};
+use ranksql::executor::{ExecutionContext, PhysicalOperator};
 use ranksql::expr::{RankPredicate, RankingContext, ScoringFunction};
 use ranksql::optimizer::{HistogramEstimator, SamplingEstimator, ScoreHistogram};
 use ranksql::storage::{Catalog, ScoreIndex, Table, TableBuilder};
@@ -92,20 +92,17 @@ fn ctx3() -> Arc<RankingContext> {
 
 fn source(
     table: &Arc<Table>,
-    ctx: &Arc<RankingContext>,
     use_rank_scan: bool,
-    reg: &MetricsRegistry,
+    exec: &ExecutionContext,
 ) -> Box<dyn PhysicalOperator> {
     if use_rank_scan {
         let idx = Arc::new(
-            ScoreIndex::build(ctx.predicate(0), table.schema(), &table.scan()).expect("index"),
+            ScoreIndex::build(exec.ranking().predicate(0), table.schema(), &table.scan())
+                .expect("index"),
         );
-        Box::new(
-            RankScan::new(Arc::clone(table), idx, 0, Arc::clone(ctx), reg.register("scan"))
-                .expect("rank-scan"),
-        )
+        Box::new(RankScan::new(Arc::clone(table), idx, 0, exec, "scan").expect("rank-scan"))
     } else {
-        Box::new(SeqScan::new(table, Arc::clone(ctx), reg.register("scan")))
+        Box::new(SeqScan::new(table, exec, "scan"))
     }
 }
 
@@ -124,23 +121,22 @@ proptest! {
         // already evaluated by it, otherwise every predicate is evaluated by
         // the chain (prepend µ_p0).
         let ctx_chain = ctx3();
-        let reg = MetricsRegistry::new();
-        let mut chain: Box<dyn PhysicalOperator> =
-            source(&table, &ctx_chain, t.use_rank_scan, &reg);
+        let exec = ExecutionContext::new(Arc::clone(&ctx_chain));
+        let mut chain: Box<dyn PhysicalOperator> = source(&table, t.use_rank_scan, &exec);
         if !t.use_rank_scan {
-            chain = Box::new(RankOp::new(chain, 0, Arc::clone(&ctx_chain), reg.register("mu0")));
+            chain = Box::new(RankOp::new(chain, 0, &exec, "mu0"));
         }
-        chain = Box::new(RankOp::new(chain, 1, Arc::clone(&ctx_chain), reg.register("mu1")));
-        let mut chain = Box::new(RankOp::new(chain, 2, Arc::clone(&ctx_chain), reg.register("mu2")));
+        chain = Box::new(RankOp::new(chain, 1, &exec, "mu1"));
+        let mut chain = Box::new(RankOp::new(chain, 2, &exec, "mu2"));
         let chain_top = take(chain.as_mut(), t.k).expect("chain");
         let chain_probes = ctx_chain.counters().total();
 
         // MPro over the same predicates.
         let ctx_mpro = ctx3();
-        let reg2 = MetricsRegistry::new();
-        let src = source(&table, &ctx_mpro, t.use_rank_scan, &reg2);
+        let exec2 = ExecutionContext::new(Arc::clone(&ctx_mpro));
+        let src = source(&table, t.use_rank_scan, &exec2);
         let schedule = if t.use_rank_scan { vec![1, 2] } else { vec![0, 1, 2] };
-        let mut mpro = MProOp::new(src, schedule, Arc::clone(&ctx_mpro), reg2.register("mpro"));
+        let mut mpro = MProOp::new(src, schedule, &exec2, "mpro");
         let mpro_top = take(&mut mpro, t.k).expect("mpro");
         let mpro_probes = ctx_mpro.counters().total();
 
@@ -246,20 +242,28 @@ fn build_estimator_db(w: &EstimatorWorkload) -> (Catalog, RankQuery) {
     let l = cat
         .create_table(
             "L",
-            Schema::new(vec![Field::new("jc", DataType::Int64), Field::new("p", DataType::Float64)]),
+            Schema::new(vec![
+                Field::new("jc", DataType::Int64),
+                Field::new("p", DataType::Float64),
+            ]),
         )
         .expect("L");
     let r = cat
         .create_table(
             "R",
-            Schema::new(vec![Field::new("jc", DataType::Int64), Field::new("q", DataType::Float64)]),
+            Schema::new(vec![
+                Field::new("jc", DataType::Int64),
+                Field::new("q", DataType::Float64),
+            ]),
         )
         .expect("R");
     for (j, p) in &w.left {
-        l.insert(vec![Value::from(*j), Value::from(*p)]).expect("insert L");
+        l.insert(vec![Value::from(*j), Value::from(*p)])
+            .expect("insert L");
     }
     for (j, q) in &w.right {
-        r.insert(vec![Value::from(*j), Value::from(*q)]).expect("insert R");
+        r.insert(vec![Value::from(*j), Value::from(*q)])
+            .expect("insert R");
     }
     let query = QueryBuilder::new()
         .tables(["L", "R"])

@@ -3,7 +3,7 @@
 //! as silently wrong answers.
 
 use ranksql::{
-    parse_topk_query, BoolExpr, Database, DataType, Field, PlanMode, QueryBuilder, RankPredicate,
+    parse_topk_query, BoolExpr, DataType, Database, Field, PlanMode, QueryBuilder, RankPredicate,
     RankSqlError, Schema, Value,
 };
 
@@ -36,8 +36,16 @@ fn small_db() -> Database {
     )
     .unwrap();
     for i in 0..30i64 {
-        db.insert("T", vec![Value::from(i), Value::from(i % 5), Value::from(0.5)]).unwrap();
-        db.insert("U", vec![Value::from(i), Value::from(i % 5), Value::from(0.25)]).unwrap();
+        db.insert(
+            "T",
+            vec![Value::from(i), Value::from(i % 5), Value::from(0.5)],
+        )
+        .unwrap();
+        db.insert(
+            "U",
+            vec![Value::from(i), Value::from(i % 5), Value::from(0.25)],
+        )
+        .unwrap();
     }
     db
 }
@@ -53,7 +61,10 @@ fn query_over_a_missing_table_is_an_error_in_every_mode() {
         .unwrap();
     for mode in ALL_MODES {
         let err = db.execute_with_mode(&query, mode);
-        assert!(err.is_err(), "mode {mode:?} should fail for a missing table");
+        assert!(
+            err.is_err(),
+            "mode {mode:?} should fail for a missing table"
+        );
     }
 }
 
@@ -68,7 +79,10 @@ fn ranking_predicate_over_a_missing_column_is_an_error() {
         .unwrap();
     for mode in ALL_MODES {
         let err = db.execute_with_mode(&query, mode);
-        assert!(err.is_err(), "mode {mode:?} should fail for a dangling ranking predicate");
+        assert!(
+            err.is_err(),
+            "mode {mode:?} should fail for a dangling ranking predicate"
+        );
     }
 }
 
@@ -84,7 +98,10 @@ fn boolean_predicate_over_a_missing_column_is_an_error() {
         .unwrap();
     for mode in ALL_MODES {
         let err = db.execute_with_mode(&query, mode);
-        assert!(err.is_err(), "mode {mode:?} should fail for a dangling Boolean predicate");
+        assert!(
+            err.is_err(),
+            "mode {mode:?} should fail for a dangling Boolean predicate"
+        );
     }
 }
 
@@ -98,7 +115,10 @@ fn insert_arity_mismatch_is_rejected() {
     // A batch fails on the first bad row and reports an error.
     let err = db.insert_batch(
         "T",
-        vec![vec![Value::from(99), Value::from(0), Value::from(0.1)], vec![Value::from(1)]],
+        vec![
+            vec![Value::from(99), Value::from(0), Value::from(0.1)],
+            vec![Value::from(1)],
+        ],
     );
     assert!(err.is_err());
 }
@@ -174,11 +194,16 @@ fn errors_are_reported_not_panicked_for_mixed_type_scores() {
     let db = Database::new();
     db.create_table(
         "S",
-        Schema::new(vec![Field::new("id", DataType::Int64), Field::new("p", DataType::Utf8)]),
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Utf8),
+        ]),
     )
     .unwrap();
-    db.insert("S", vec![Value::from(1), Value::from("not a number")]).unwrap();
-    db.insert("S", vec![Value::from(2), Value::from("0.9")]).unwrap();
+    db.insert("S", vec![Value::from(1), Value::from("not a number")])
+        .unwrap();
+    db.insert("S", vec![Value::from(2), Value::from("0.9")])
+        .unwrap();
     let query = QueryBuilder::new()
         .table("S")
         .rank_predicate(RankPredicate::attribute("p", "S.p"))
@@ -196,13 +221,17 @@ fn optimizer_rejects_more_relations_than_the_dp_supports() {
     let mut builder = QueryBuilder::new();
     for i in 0..13 {
         let name = format!("T{i}");
-        db.create_table(&name, Schema::new(vec![Field::new("x", DataType::Int64)])).unwrap();
+        db.create_table(&name, Schema::new(vec![Field::new("x", DataType::Int64)]))
+            .unwrap();
         db.insert(&name, vec![Value::from(1)]).unwrap();
         builder = builder.table(name);
     }
     let query = builder.limit(1).build().unwrap();
     let err = db.execute_with_mode(&query, PlanMode::RankAwareExhaustive);
-    assert!(err.is_err(), "13-way join should exceed the DP's relation limit");
+    assert!(
+        err.is_err(),
+        "13-way join should exceed the DP's relation limit"
+    );
 }
 
 #[test]

@@ -17,7 +17,10 @@ use ranksql_optimizer::RankOptimizer;
 use ranksql_storage::Catalog;
 
 fn scores(query: &RankQuery, tuples: &[ranksql::expr::RankedTuple]) -> Vec<f64> {
-    tuples.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect()
+    tuples
+        .iter()
+        .map(|t| query.ranking.upper_bound(&t.state).value())
+        .collect()
 }
 
 fn small_workload() -> SyntheticWorkload {
@@ -103,7 +106,10 @@ fn figure9_signature_lattice() {
     let dp = DpOptimizer::new(&query, &catalog, estimator, CostModel::default(), false);
     let optimized = dp.optimize().unwrap();
     // As in Example 5 the final signature is ({R,S}, {p1,p3,p4}).
-    assert_eq!(optimized.plan.relations(), vec!["R".to_string(), "S".to_string()]);
+    assert_eq!(
+        optimized.plan.relations(),
+        vec!["R".to_string(), "S".to_string()]
+    );
     assert_eq!(optimized.plan.evaluated_predicates(), BitSet64::all(3));
     // Signatures: 2 for R × {∅,{p1}}, 4 for S × subsets of {p3,p4},
     // 8 for RS × subsets of {p1,p3,p4}  → 14 total.
@@ -118,16 +124,19 @@ fn figure9_signature_lattice() {
 #[test]
 fn heuristics_reduce_search_space() {
     let w = small_workload();
-    let estimator =
-        Arc::new(SamplingEstimator::build(&w.query, &w.catalog, 0.05, 3).unwrap());
-    let exhaustive =
-        DpOptimizer::new(&w.query, &w.catalog, Arc::clone(&estimator), CostModel::default(), false)
-            .optimize()
-            .unwrap();
-    let heuristic =
-        DpOptimizer::new(&w.query, &w.catalog, estimator, CostModel::default(), true)
-            .optimize()
-            .unwrap();
+    let estimator = Arc::new(SamplingEstimator::build(&w.query, &w.catalog, 0.05, 3).unwrap());
+    let exhaustive = DpOptimizer::new(
+        &w.query,
+        &w.catalog,
+        Arc::clone(&estimator),
+        CostModel::default(),
+        false,
+    )
+    .optimize()
+    .unwrap();
+    let heuristic = DpOptimizer::new(&w.query, &w.catalog, estimator, CostModel::default(), true)
+        .optimize()
+        .unwrap();
     assert!(heuristic.stats.plans_considered < exhaustive.stats.plans_considered);
     let expected = scores(&w.query, &oracle_top_k(&w.query, &w.catalog).unwrap());
     for plan in [&exhaustive.plan, &heuristic.plan] {
@@ -159,7 +168,10 @@ fn sampling_estimates_track_real_cardinalities() {
         .select(BoolExpr::column_is_true("A.b"))
         .rank(1)
         .join(
-            LogicalPlan::scan(&b).select(BoolExpr::column_is_true("B.b")).rank(2).rank(3),
+            LogicalPlan::scan(&b)
+                .select(BoolExpr::column_is_true("B.b"))
+                .rank(2)
+                .rank(3),
             Some(BoolExpr::col_eq_col("A.jc1", "B.jc1")),
             JoinAlgorithm::HashRankJoin,
         )

@@ -14,7 +14,10 @@ use ranksql_common::BitSet64;
 use ranksql_storage::Catalog;
 
 fn scores(query: &RankQuery, tuples: &[ranksql::expr::RankedTuple]) -> Vec<f64> {
-    tuples.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect()
+    tuples
+        .iter()
+        .map(|t| query.ranking.upper_bound(&t.state).value())
+        .collect()
 }
 
 /// Example 3 / Figure 6: the three equivalent plans over S return the same
@@ -62,7 +65,11 @@ fn figure6_full_order_matches_sorted_relation() {
     let ctx = micro::context_f2();
     let plan = LogicalPlan::rank_scan(&s, 0).rank(1).rank(2);
     let result = execute_plan(&plan, &catalog, &ctx).unwrap();
-    let got: Vec<f64> = result.tuples.iter().map(|t| ctx.upper_bound(&t.state).value()).collect();
+    let got: Vec<f64> = result
+        .tuples
+        .iter()
+        .map(|t| ctx.upper_bound(&t.state).value())
+        .collect();
     let expected = [2.55, 2.4, 2.05, 1.8, 1.7, 1.6];
     assert_eq!(got.len(), expected.len());
     for (g, e) in got.iter().zip(expected.iter()) {
@@ -75,9 +82,13 @@ fn figure6_full_order_matches_sorted_relation() {
 /// plan evaluates fewer expensive predicates.
 #[test]
 fn example1_trip_planning_plans_agree() {
-    let workload =
-        TripWorkload::generate(TripConfig { hotels: 80, restaurants: 60, museums: 30, ..TripConfig::default() })
-            .unwrap();
+    let workload = TripWorkload::generate(TripConfig {
+        hotels: 80,
+        restaurants: 60,
+        museums: 30,
+        ..TripConfig::default()
+    })
+    .unwrap();
     let query = &workload.query;
     let oracle = oracle_top_k(query, &workload.catalog).unwrap();
 
@@ -100,7 +111,10 @@ fn example1_trip_planning_plans_agree() {
             dst.insert(t.values().to_vec()).unwrap();
         }
     }
-    let expected: Vec<f64> = oracle.iter().map(|t| query.ranking.upper_bound(&t.state).value()).collect();
+    let expected: Vec<f64> = oracle
+        .iter()
+        .map(|t| query.ranking.upper_bound(&t.state).value())
+        .collect();
     let mut evals = Vec::new();
     for mode in [PlanMode::Traditional, PlanMode::RankAware] {
         let result = db.execute_with_mode(query, mode).unwrap();
@@ -146,7 +160,11 @@ fn figure11_plans_compute_identical_answers() {
             Some(jc1.clone()),
             JoinAlgorithm::SortMerge,
         )
-        .join(LogicalPlan::scan(&c), Some(jc2.clone()), JoinAlgorithm::SortMerge)
+        .join(
+            LogicalPlan::scan(&c),
+            Some(jc2.clone()),
+            JoinAlgorithm::SortMerge,
+        )
         .sort(BitSet64::all(5))
         .limit(query.k);
 
@@ -159,7 +177,11 @@ fn figure11_plans_compute_identical_answers() {
             Some(jc1.clone()),
             JoinAlgorithm::HashRankJoin,
         )
-        .join(LogicalPlan::rank_scan(&c, 4), Some(jc2.clone()), JoinAlgorithm::HashRankJoin)
+        .join(
+            LogicalPlan::rank_scan(&c, 4),
+            Some(jc2.clone()),
+            JoinAlgorithm::HashRankJoin,
+        )
         .limit(query.k);
 
     // Plan 3: like plan 2 but sequential scans + µ for table B.
@@ -171,18 +193,30 @@ fn figure11_plans_compute_identical_answers() {
             Some(jc1.clone()),
             JoinAlgorithm::HashRankJoin,
         )
-        .join(LogicalPlan::rank_scan(&c, 4), Some(jc2.clone()), JoinAlgorithm::HashRankJoin)
+        .join(
+            LogicalPlan::rank_scan(&c, 4),
+            Some(jc2.clone()),
+            JoinAlgorithm::HashRankJoin,
+        )
         .limit(query.k);
 
     // Plan 4: µ operators above a traditional sort-merge join, then HRJN.
     let plan4 = LogicalPlan::scan(&a)
         .select(fa)
-        .join(LogicalPlan::scan(&b).select(fb), Some(jc1), JoinAlgorithm::SortMerge)
+        .join(
+            LogicalPlan::scan(&b).select(fb),
+            Some(jc1),
+            JoinAlgorithm::SortMerge,
+        )
         .rank(0)
         .rank(1)
         .rank(2)
         .rank(3)
-        .join(LogicalPlan::rank_scan(&c, 4), Some(jc2), JoinAlgorithm::HashRankJoin)
+        .join(
+            LogicalPlan::rank_scan(&c, 4),
+            Some(jc2),
+            JoinAlgorithm::HashRankJoin,
+        )
         .limit(query.k);
 
     let expected = scores(query, &oracle_top_k(query, catalog).unwrap());

@@ -17,7 +17,7 @@ use proptest::prelude::*;
 use ranksql::expr::{RankPredicate, RankingContext, ScoringFunction};
 use ranksql::storage::Catalog;
 use ranksql::{
-    parse_topk_query, BoolExpr, Database, DataType, Field, PlanMode, QueryBuilder, RankQuery,
+    parse_topk_query, BoolExpr, DataType, Database, Field, PlanMode, QueryBuilder, RankQuery,
     Schema, Value,
 };
 
@@ -76,10 +76,15 @@ fn build_database(w: &JoinWorkload) -> (Database, RankQuery) {
     )
     .unwrap();
     for &(jc, p1, flag) in &w.r_rows {
-        db.insert("R", vec![Value::from(jc), Value::from(p1), Value::from(flag)]).unwrap();
+        db.insert(
+            "R",
+            vec![Value::from(jc), Value::from(p1), Value::from(flag)],
+        )
+        .unwrap();
     }
     for &(jc, p2, p3) in &w.s_rows {
-        db.insert("S", vec![Value::from(jc), Value::from(p2), Value::from(p3)]).unwrap();
+        db.insert("S", vec![Value::from(jc), Value::from(p2), Value::from(p3)])
+            .unwrap();
     }
     let query = QueryBuilder::new()
         .tables(["R", "S"])

@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate (no crates.io access in the
+//! build container).
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.  Instead of
+//! criterion's statistical machinery it times a fixed wall-clock window per
+//! benchmark and prints mean ns/iteration — enough to compare operators and
+//! catch large regressions without any external dependency.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_id.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// An id that is just a parameter rendering.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure under measurement; drives the timed iterations.
+pub struct Bencher {
+    /// Accumulated (total_elapsed, iterations) after `iter` returns.
+    result: Option<(Duration, u64)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly within the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.budget || iters == 0 {
+            black_box(f());
+            iters += 1;
+            elapsed = start.elapsed();
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.result = Some((elapsed, iters));
+    }
+}
+
+fn run_one(group: &str, id: &BenchmarkId, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        result: None,
+        budget,
+    };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!(
+                "bench {group}/{}: {per_iter:.0} ns/iter ({iters} iterations)",
+                id.id
+            );
+        }
+        None => println!(
+            "bench {group}/{}: no measurement (iter was never called)",
+            id.id
+        ),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness keys effort on wall
+    /// clock, not sample counts, so smaller sample sizes shrink the budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n <= 10 {
+            self.budget = Duration::from_millis(20);
+        }
+        self
+    }
+
+    /// Accepted for API compatibility (no-op).
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget.min(Duration::from_millis(200));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.budget, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into(), self.budget, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: Duration::from_millis(50),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("bench", &id.into(), Duration::from_millis(50), &mut f);
+        self
+    }
+
+    /// Accepted for API compatibility (command-line arguments are ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group function running each target against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("s").id, "s");
+    }
+}
