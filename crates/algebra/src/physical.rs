@@ -165,6 +165,38 @@ pub enum PhysicalOp {
     },
 }
 
+/// Runtime actuals of one executed physical operator, paired against plan
+/// nodes by `explain_with_actuals`.
+///
+/// Produced by the executor's metrics registry in post-order (children
+/// before parents) — the same order in which operators register during plan
+/// lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorActuals {
+    /// The operator label, matching [`PhysicalPlan::node_label`].
+    pub label: String,
+    /// Number of tuples the operator actually produced.
+    pub rows: u64,
+    /// Number of non-empty batches the operator emitted through the batched
+    /// pull path (0 when driven tuple-at-a-time).
+    pub batches: u64,
+    /// Mean number of tuples per emitted batch (0 when no batch was
+    /// emitted).
+    pub mean_batch_fill: f64,
+}
+
+impl OperatorActuals {
+    /// Actuals carrying only a tuple count (no batch statistics).
+    pub fn rows_only(label: impl Into<String>, rows: u64) -> Self {
+        OperatorActuals {
+            label: label.into(),
+            rows,
+            batches: 0,
+            mean_batch_fill: 0.0,
+        }
+    }
+}
+
 /// A physical plan node: a [`PhysicalOp`] plus the optimizer's per-node
 /// estimates.
 #[derive(Debug, Clone, PartialEq)]
@@ -472,16 +504,18 @@ impl PhysicalPlan {
         out
     }
 
-    /// Explain output annotated with the actual tuples each operator
-    /// produced, paired from a post-order `(label, tuples_out)` series as
-    /// recorded by the executor's metrics registry.
+    /// Explain output annotated with the runtime actuals of each operator
+    /// (tuples produced, and — when the plan ran through the batched pull
+    /// path — batch count and mean batch fill), paired from a post-order
+    /// [`OperatorActuals`] series as recorded by the executor's metrics
+    /// registry.
     pub fn explain_with_actuals(
         &self,
         ctx: Option<&RankingContext>,
-        actuals: &[(String, u64)],
+        actuals: &[OperatorActuals],
     ) -> String {
         let mut out = String::new();
-        let mut remaining: Vec<(String, u64)> = actuals.to_vec();
+        let mut remaining: Vec<OperatorActuals> = actuals.to_vec();
         let mut actuals = Some(&mut remaining);
         self.explain_into(ctx, 0, &mut actuals, &mut out);
         out
@@ -491,7 +525,7 @@ impl PhysicalPlan {
         &self,
         ctx: Option<&RankingContext>,
         depth: usize,
-        actuals: &mut Option<&mut Vec<(String, u64)>>,
+        actuals: &mut Option<&mut Vec<OperatorActuals>>,
         out: &mut String,
     ) {
         use std::fmt::Write as _;
@@ -507,10 +541,19 @@ impl PhysicalPlan {
         let actual = actuals
             .as_mut()
             .and_then(|a| {
-                let pos = a.iter().position(|(name, _)| *name == label)?;
-                Some(a.remove(pos).1)
+                let pos = a.iter().position(|x| x.label == label)?;
+                Some(a.remove(pos))
             })
-            .map(|n| format!(", actual_rows={n}"))
+            .map(|a| {
+                if a.batches > 0 {
+                    format!(
+                        ", actual_rows={}, batches={}, mean_batch_fill={:.1}",
+                        a.rows, a.batches, a.mean_batch_fill
+                    )
+                } else {
+                    format!(", actual_rows={}", a.rows)
+                }
+            })
             .unwrap_or_default();
         let _ = writeln!(
             out,
@@ -635,15 +678,23 @@ mod tests {
         let logical = LogicalPlan::scan(&r).rank(0).limit(2);
         let physical = PhysicalPlan::from_logical(&logical).unwrap();
         let actuals = vec![
-            ("SeqScan(R)".to_owned(), 10),
-            ("Rank_p1".to_owned(), 5),
-            ("Limit[2]".to_owned(), 2),
+            OperatorActuals {
+                label: "SeqScan(R)".to_owned(),
+                rows: 10,
+                batches: 2,
+                mean_batch_fill: 5.0,
+            },
+            OperatorActuals::rows_only("Rank_p1", 5),
+            OperatorActuals::rows_only("Limit[2]", 2),
         ];
         let text = physical.explain_with_actuals(Some(&ctx()), &actuals);
         assert!(
-            text.contains("SeqScan(R) (cost=0.0, est_rows=0.0, actual_rows=10)"),
+            text.contains(
+                "SeqScan(R) (cost=0.0, est_rows=0.0, actual_rows=10, batches=2, mean_batch_fill=5.0)"
+            ),
             "{text}"
         );
+        // Operators without batch statistics keep the rows-only annotation.
         assert!(
             text.contains("Limit[2] (cost=0.0, est_rows=0.0, actual_rows=2)"),
             "{text}"

@@ -12,11 +12,14 @@
 //! * [`Score`] — a total-ordered wrapper over `f64` used for ranking scores.
 //! * [`BitSet64`] — a small, copyable bitset used for relation sets and
 //!   ranking-predicate sets (the two *dimensions* of the optimizer).
+//! * [`Batch`] — the reusable chunk buffer of the executor's vectorized
+//!   (batched) pull interface.
 //! * [`RankSqlError`] — the error type used across the workspace.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod bitset;
 pub mod cost;
 pub mod error;
@@ -25,6 +28,7 @@ pub mod score;
 pub mod tuple;
 pub mod value;
 
+pub use batch::{Batch, DEFAULT_BATCH_SIZE};
 pub use bitset::BitSet64;
 pub use cost::Cost;
 pub use error::{RankSqlError, Result};

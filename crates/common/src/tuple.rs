@@ -55,6 +55,15 @@ impl TupleId {
     pub fn combine(&self, other: &TupleId) -> TupleId {
         let a = self.parts();
         let b = other.parts();
+        // Base ⋈ base is the overwhelmingly common case on the join hot
+        // path: order the two constituents directly, skipping the
+        // intermediate vector and the sort.
+        if let ([x], [y]) = (a, b) {
+            let pair = if x <= y { [*x, *y] } else { [*y, *x] };
+            return TupleId {
+                parts: IdParts::Joined(Arc::from(pair.as_slice())),
+            };
+        }
         let mut parts = Vec::with_capacity(a.len() + b.len());
         parts.extend_from_slice(a);
         parts.extend_from_slice(b);

@@ -52,11 +52,13 @@ impl QueryResult {
         })
     }
 
-    /// The executed physical tree annotated with the actual number of
-    /// tuples every operator produced (`EXPLAIN ANALYZE`-style).
+    /// The executed physical tree annotated with each operator's runtime
+    /// actuals (`EXPLAIN ANALYZE`-style): tuples produced, and — for
+    /// operators that ran through the batched pull path — the number of
+    /// batches emitted and the mean batch fill.
     pub fn explain_analyze(&self, ctx: Option<&RankingContext>) -> String {
         self.physical
-            .explain_with_actuals(ctx, &self.metrics.output_cardinalities())
+            .explain_with_actuals(ctx, &self.metrics.operator_actuals())
     }
 
     /// The final score of each returned row, best first.

@@ -20,7 +20,7 @@ use crate::filter::{Filter, Project};
 use crate::join::{HashJoin, NestedLoopJoin, SortMergeJoin};
 use crate::metrics::MetricsRegistry;
 use crate::mpro::MProOp;
-use crate::operator::{drain, BoxedOperator};
+use crate::operator::{drain_batched, BoxedOperator};
 use crate::rank::RankOp;
 use crate::rank_join::RankJoin;
 use crate::scan::{AttributeIndexScan, RankScan, SeqScan};
@@ -254,15 +254,26 @@ impl ExecutionResult {
         self.predicate_evaluations.iter().sum()
     }
 
-    /// `(label, tuples_out)` per operator in post-order — the series
-    /// [`PhysicalPlan::explain_with_actuals`] pairs against the plan.
+    /// `(label, tuples_out)` per operator in post-order.
     pub fn actual_cardinalities(&self) -> Vec<(String, u64)> {
         self.metrics.output_cardinalities()
+    }
+
+    /// Per-operator runtime actuals (tuples, batches, mean batch fill) in
+    /// post-order — the series [`PhysicalPlan::explain_with_actuals`] pairs
+    /// against the plan.
+    pub fn operator_actuals(&self) -> Vec<ranksql_algebra::OperatorActuals> {
+        self.metrics.operator_actuals()
     }
 }
 
 /// Builds and fully drains a physical plan under an explicit execution
 /// context, collecting results and metrics.
+///
+/// The root is driven through the batched pull interface with the context's
+/// [`ExecutionContext::batch_size`], so the whole tree runs vectorized;
+/// plans whose root is a `Limit` still stop early because `Limit` caps what
+/// it requests from its input per batch.
 ///
 /// The ranking context's evaluation counters are snapshotted around the run
 /// so that [`ExecutionResult::predicate_evaluations`] reflects only this
@@ -275,7 +286,7 @@ pub fn execute_physical_plan(
     let before = exec.ranking().counters().snapshot();
     let start = Instant::now();
     let mut root = build_operator(plan, catalog, exec)?;
-    let tuples = drain(root.as_mut())?;
+    let tuples = drain_batched(root.as_mut(), exec.batch_size())?;
     let elapsed = start.elapsed();
     let after = exec.ranking().counters().snapshot();
     let predicate_evaluations = after

@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ranksql_common::{RankSqlError, Result};
+use ranksql_common::{RankSqlError, Result, DEFAULT_BATCH_SIZE};
 use ranksql_expr::RankingContext;
 
 use crate::metrics::{MetricsRegistry, OperatorMetrics};
@@ -77,16 +77,19 @@ pub struct ExecutionContext {
     ranking: Arc<RankingContext>,
     metrics: Arc<MetricsRegistry>,
     budget: Arc<TupleBudget>,
+    batch_size: usize,
 }
 
 impl ExecutionContext {
     /// A context for one execution of a query with the given ranking
-    /// context, a fresh metrics registry and an unlimited tuple budget.
+    /// context, a fresh metrics registry, an unlimited tuple budget and the
+    /// default batch size.
     pub fn new(ranking: Arc<RankingContext>) -> Self {
         ExecutionContext {
             ranking,
             metrics: MetricsRegistry::new(),
             budget: Arc::new(TupleBudget::unlimited()),
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -94,10 +97,25 @@ impl ExecutionContext {
     /// have produced `limit` tuples.
     pub fn with_budget(ranking: Arc<RankingContext>, limit: u64) -> Self {
         ExecutionContext {
+            batch_size: DEFAULT_BATCH_SIZE,
             ranking,
             metrics: MetricsRegistry::new(),
             budget: Arc::new(TupleBudget::limited(limit)),
         }
+    }
+
+    /// Overrides the batch size used by the batched execution path
+    /// (clamped to at least 1).  `1` effectively degrades batched pulls to
+    /// tuple-at-a-time execution.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// The number of tuples moved per batched pull.  Blocking operators also
+    /// use this to size the chunks they drain their inputs with.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
     }
 
     /// The query's ranking context.

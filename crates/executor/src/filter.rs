@@ -7,7 +7,7 @@ use ranksql_expr::{BoolExpr, BoundBoolExpr, RankedTuple};
 
 use crate::context::ExecutionContext;
 use crate::metrics::OperatorMetrics;
-use crate::operator::{BoxedOperator, PhysicalOperator};
+use crate::operator::{Batch, BoxedOperator, PhysicalOperator};
 
 /// Selection σ_c: filters membership, keeps the input order untouched
 /// (`σ_c(R_P) ≡ (σ_c R)_P`, Figure 3).
@@ -16,6 +16,9 @@ pub struct Filter {
     predicate: BoundBoolExpr,
     schema: Schema,
     metrics: Arc<OperatorMetrics>,
+    /// Scratch buffer for batched input pulls; always fully consumed before
+    /// a batched call returns, so tuple- and batch-driven pulls can mix.
+    in_buf: Batch,
 }
 
 impl Filter {
@@ -33,6 +36,7 @@ impl Filter {
             predicate: bound,
             schema,
             metrics: exec.register(label),
+            in_buf: Batch::new(),
         })
     }
 }
@@ -53,6 +57,34 @@ impl PhysicalOperator for Filter {
         Ok(None)
     }
 
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        // Pull input chunks of at most the still-missing count, so the
+        // output can never overshoot `max` however selective the predicate
+        // is; loop until the chunk is full or the input dries up.
+        let mut produced = 0;
+        let mut pulled = 0u64;
+        while produced < max {
+            self.in_buf.clear();
+            let n = self.input.next_batch(max - produced, &mut self.in_buf)?;
+            if n == 0 {
+                break;
+            }
+            pulled += n as u64;
+            for rt in self.in_buf.drain(..) {
+                if self.predicate.eval(&rt.tuple)? {
+                    out.push(rt);
+                    produced += 1;
+                }
+            }
+        }
+        self.metrics.add_in(pulled);
+        if produced > 0 {
+            self.metrics.add_out(produced as u64);
+            self.metrics.add_batch();
+        }
+        Ok(produced)
+    }
+
     fn is_ranked(&self) -> bool {
         self.input.is_ranked()
     }
@@ -67,6 +99,8 @@ pub struct Project {
     indices: Vec<usize>,
     schema: Schema,
     metrics: Arc<OperatorMetrics>,
+    /// Scratch buffer for batched input pulls (fully consumed per call).
+    in_buf: Batch,
 }
 
 impl Project {
@@ -88,6 +122,7 @@ impl Project {
             indices,
             schema,
             metrics: exec.register(label),
+            in_buf: Batch::new(),
         })
     }
 }
@@ -107,6 +142,21 @@ impl PhysicalOperator for Project {
             }
             None => Ok(None),
         }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        self.in_buf.clear();
+        let n = self.input.next_batch(max, &mut self.in_buf)?;
+        for rt in self.in_buf.drain(..) {
+            let projected = rt.tuple.project(&self.indices);
+            out.push(RankedTuple::new(projected, rt.state));
+        }
+        if n > 0 {
+            self.metrics.add_in(n as u64);
+            self.metrics.add_out(n as u64);
+            self.metrics.add_batch();
+        }
+        Ok(n)
     }
 
     fn is_ranked(&self) -> bool {

@@ -7,15 +7,16 @@
 //! are the joins a conventional engine would use in the materialise-then-sort
 //! plans the paper compares against (Plan 1 and Plan 4 of Figure 11).
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use ranksql_common::{RankSqlError, Result, Schema, Value};
 use ranksql_expr::{BoolExpr, BoundBoolExpr, CompareOp, RankedTuple, ScalarExpr};
 
 use crate::context::ExecutionContext;
+use crate::fxhash::FxHashMap;
 use crate::metrics::OperatorMetrics;
-use crate::operator::{BoxedOperator, PhysicalOperator};
+use crate::operator::{Batch, BoxedOperator, PhysicalOperator};
 
 /// Equi-join keys extracted from a join condition, plus whatever part of the
 /// condition is not a simple column equality (the *residual*, evaluated on
@@ -77,6 +78,24 @@ fn key_values(tuple: &RankedTuple, indices: &[usize], side_offset: usize) -> Vec
         .collect()
 }
 
+/// Looks up `t`'s join partners without allocating a key per probe:
+/// single-column keys probe with a borrowed one-element slice
+/// (`Vec<Value>: Borrow<[Value]>`), multi-column keys reuse `scratch`.
+fn probe_matches<'a>(
+    table: &'a FxHashMap<Vec<Value>, Vec<RankedTuple>>,
+    key_cols: &[usize],
+    scratch: &mut Vec<Value>,
+    t: &RankedTuple,
+) -> Option<&'a Vec<RankedTuple>> {
+    if let [col] = key_cols {
+        table.get(std::slice::from_ref(t.tuple.value(*col)))
+    } else {
+        scratch.clear();
+        scratch.extend(key_cols.iter().map(|&i| t.tuple.value(i).clone()));
+        table.get(scratch.as_slice())
+    }
+}
+
 /// Binds the condition to evaluate on joined tuples (residual for equi-joins,
 /// or the full condition for nested loops).
 fn bind_on_joined(condition: Option<&BoolExpr>, joined: &Schema) -> Result<Option<BoundBoolExpr>> {
@@ -94,6 +113,7 @@ pub struct NestedLoopJoin {
     current_left: Option<RankedTuple>,
     right_pos: usize,
     metrics: Arc<OperatorMetrics>,
+    batch_size: usize,
 }
 
 impl NestedLoopJoin {
@@ -117,6 +137,7 @@ impl NestedLoopJoin {
             current_left: None,
             right_pos: 0,
             metrics,
+            batch_size: exec.batch_size(),
         })
     }
 
@@ -124,9 +145,15 @@ impl NestedLoopJoin {
         if self.right_rows.is_none() {
             let mut right = self.right.take().expect("right input present");
             let mut rows = Vec::new();
-            while let Some(t) = right.next()? {
-                self.metrics.add_in(1);
-                rows.push(t);
+            let mut buf = Batch::with_capacity(self.batch_size);
+            loop {
+                buf.clear();
+                let n = right.next_batch(self.batch_size, &mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                self.metrics.add_in(n as u64);
+                rows.append(&mut buf);
             }
             self.right_rows = Some(rows);
         }
@@ -171,6 +198,26 @@ impl PhysicalOperator for NestedLoopJoin {
         }
     }
 
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        // The per-output work (a pass over the inner relation) dwarfs
+        // dispatch, so the batched path reuses the tuple loop; batching
+        // still pays off through the vectorized inner materialisation.
+        let mut n = 0;
+        while n < max {
+            match self.next()? {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            self.metrics.add_batch();
+        }
+        Ok(n)
+    }
+
     fn is_ranked(&self) -> bool {
         false
     }
@@ -181,14 +228,22 @@ impl PhysicalOperator for NestedLoopJoin {
 pub struct HashJoin {
     left: BoxedOperator,
     right: Option<BoxedOperator>,
-    table: Option<HashMap<Vec<Value>, Vec<RankedTuple>>>,
-    keys: Vec<(usize, usize)>,
+    table: Option<FxHashMap<Vec<Value>, Vec<RankedTuple>>>,
+    left_key_cols: Vec<usize>,
+    right_key_cols: Vec<usize>,
     residual: Option<BoundBoolExpr>,
     schema: Schema,
     current_left: Option<RankedTuple>,
     current_matches: Vec<RankedTuple>,
     match_pos: usize,
     metrics: Arc<OperatorMetrics>,
+    batch_size: usize,
+    /// Probe-side tuples pulled in batches but not yet consumed.
+    left_buf: VecDeque<RankedTuple>,
+    left_scratch: Batch,
+    left_done: bool,
+    /// Reusable key buffer for multi-column probes.
+    probe_key: Vec<Value>,
 }
 
 impl HashJoin {
@@ -213,29 +268,79 @@ impl HashJoin {
             left,
             right: Some(right),
             table: None,
-            keys: keys.keys,
+            left_key_cols: keys.keys.iter().map(|&(l, _)| l).collect(),
+            right_key_cols: keys.keys.iter().map(|&(_, r)| r).collect(),
             residual,
             schema,
             current_left: None,
             current_matches: Vec::new(),
             match_pos: 0,
             metrics,
+            batch_size: exec.batch_size(),
+            left_buf: VecDeque::new(),
+            left_scratch: Batch::new(),
+            left_done: false,
+            probe_key: Vec::new(),
         })
     }
 
     fn ensure_built(&mut self) -> Result<()> {
         if self.table.is_none() {
             let mut right = self.right.take().expect("right input present");
-            let right_keys: Vec<usize> = self.keys.iter().map(|&(_, r)| r).collect();
-            let mut table: HashMap<Vec<Value>, Vec<RankedTuple>> = HashMap::new();
-            while let Some(t) = right.next()? {
-                self.metrics.add_in(1);
-                let key = key_values(&t, &right_keys, 0);
-                table.entry(key).or_default().push(t);
+            let mut table: FxHashMap<Vec<Value>, Vec<RankedTuple>> = FxHashMap::default();
+            let mut buf = Batch::with_capacity(self.batch_size);
+            loop {
+                buf.clear();
+                let n = right.next_batch(self.batch_size, &mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                self.metrics.add_in(n as u64);
+                for t in buf.drain(..) {
+                    let key = key_values(&t, &self.right_key_cols, 0);
+                    table.entry(key).or_default().push(t);
+                }
             }
             self.table = Some(table);
         }
         Ok(())
+    }
+
+    /// Draws the next probe-side tuple, refilling the internal buffer with a
+    /// batch of up to `refill` tuples when it runs dry.  `refill = 1` keeps
+    /// tuple-driven pulls tuple-at-a-time.
+    fn next_left(&mut self, refill: usize) -> Result<Option<RankedTuple>> {
+        if self.left_buf.is_empty() && !self.left_done {
+            self.left_scratch.clear();
+            let n = self
+                .left
+                .next_batch(refill.max(1), &mut self.left_scratch)?;
+            if n == 0 {
+                self.left_done = true;
+            } else {
+                self.metrics.add_in(n as u64);
+                self.left_buf.extend(self.left_scratch.drain(..));
+            }
+        }
+        Ok(self.left_buf.pop_front())
+    }
+
+    /// Advances to the next probe tuple and looks up its matches.  Returns
+    /// `false` when the probe side is exhausted.
+    fn advance_probe(&mut self, refill: usize) -> Result<bool> {
+        match self.next_left(refill)? {
+            Some(t) => {
+                let table = self.table.as_ref().expect("hash table built");
+                self.current_matches =
+                    probe_matches(table, &self.left_key_cols, &mut self.probe_key, &t)
+                        .cloned()
+                        .unwrap_or_default();
+                self.match_pos = 0;
+                self.current_left = Some(t);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 }
 
@@ -246,7 +351,6 @@ impl PhysicalOperator for HashJoin {
 
     fn next(&mut self) -> Result<Option<RankedTuple>> {
         self.ensure_built()?;
-        let left_keys: Vec<usize> = self.keys.iter().map(|&(l, _)| l).collect();
         loop {
             while self.match_pos < self.current_matches.len() {
                 let right = &self.current_matches[self.match_pos];
@@ -262,23 +366,69 @@ impl PhysicalOperator for HashJoin {
                     return Ok(Some(joined));
                 }
             }
-            match self.left.next()? {
-                Some(t) => {
-                    self.metrics.add_in(1);
-                    let key = key_values(&t, &left_keys, 0);
-                    self.current_matches = self
-                        .table
-                        .as_ref()
-                        .expect("hash table built")
-                        .get(&key)
-                        .cloned()
-                        .unwrap_or_default();
-                    self.match_pos = 0;
-                    self.current_left = Some(t);
-                }
-                None => return Ok(None),
+            if !self.advance_probe(1)? {
+                return Ok(None);
             }
         }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        self.ensure_built()?;
+        let mut produced = 0;
+        'fill: while produced < max {
+            // Flush matches suspended by a previous (full) batch first.
+            while self.match_pos < self.current_matches.len() {
+                if produced == max {
+                    break 'fill;
+                }
+                let right = &self.current_matches[self.match_pos];
+                self.match_pos += 1;
+                let left = self.current_left.as_ref().expect("left set while matching");
+                let joined = left.join(right);
+                let passes = match &self.residual {
+                    Some(c) => c.eval(&joined.tuple)?,
+                    None => true,
+                };
+                if passes {
+                    out.push(joined);
+                    produced += 1;
+                }
+            }
+            let Some(t) = self.next_left(max)? else {
+                break;
+            };
+            let table = self.table.as_ref().expect("hash table built");
+            let Some(matches) = probe_matches(table, &self.left_key_cols, &mut self.probe_key, &t)
+            else {
+                continue;
+            };
+            if produced + matches.len() <= max {
+                // Fast path: the whole match group fits in this batch, so it
+                // can be joined straight out of the hash table — no cloning,
+                // no suspension state (the per-probe group clone is what the
+                // tuple path pays to be resumable after every single tuple).
+                for right in matches {
+                    let joined = t.join(right);
+                    let passes = match &self.residual {
+                        Some(c) => c.eval(&joined.tuple)?,
+                        None => true,
+                    };
+                    if passes {
+                        out.push(joined);
+                        produced += 1;
+                    }
+                }
+            } else {
+                self.current_matches = matches.clone();
+                self.match_pos = 0;
+                self.current_left = Some(t);
+            }
+        }
+        if produced > 0 {
+            self.metrics.add_out(produced as u64);
+            self.metrics.add_batch();
+        }
+        Ok(produced)
     }
 
     fn is_ranked(&self) -> bool {
@@ -297,6 +447,7 @@ pub struct SortMergeJoin {
     right: Option<BoxedOperator>,
     keys: Vec<(usize, usize)>,
     residual: Option<BoundBoolExpr>,
+    batch_size: usize,
 }
 
 impl SortMergeJoin {
@@ -326,6 +477,7 @@ impl SortMergeJoin {
             right: Some(right),
             keys: keys.keys,
             residual,
+            batch_size: exec.batch_size(),
         })
     }
 
@@ -339,15 +491,26 @@ impl SortMergeJoin {
         let left_keys: Vec<usize> = self.keys.iter().map(|&(l, _)| l).collect();
         let right_keys: Vec<usize> = self.keys.iter().map(|&(_, r)| r).collect();
 
+        let mut buf = Batch::with_capacity(self.batch_size);
         let mut l_rows = Vec::new();
-        while let Some(t) = left.next()? {
-            self.metrics.add_in(1);
-            l_rows.push(t);
+        loop {
+            buf.clear();
+            let n = left.next_batch(self.batch_size, &mut buf)?;
+            if n == 0 {
+                break;
+            }
+            self.metrics.add_in(n as u64);
+            l_rows.append(&mut buf);
         }
         let mut r_rows = Vec::new();
-        while let Some(t) = right.next()? {
-            self.metrics.add_in(1);
-            r_rows.push(t);
+        loop {
+            buf.clear();
+            let n = right.next_batch(self.batch_size, &mut buf)?;
+            if n == 0 {
+                break;
+            }
+            self.metrics.add_in(n as u64);
+            r_rows.append(&mut buf);
         }
         l_rows.sort_by_key(|a| key_values(a, &left_keys, 0));
         r_rows.sort_by_key(|a| key_values(a, &right_keys, 0));
@@ -399,6 +562,24 @@ impl PhysicalOperator for SortMergeJoin {
     fn next(&mut self) -> Result<Option<RankedTuple>> {
         self.prepare()?;
         Ok(self.output.next())
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        self.prepare()?;
+        let mut n = 0;
+        while n < max {
+            match self.output.next() {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            self.metrics.add_batch();
+        }
+        Ok(n)
     }
 
     fn is_ranked(&self) -> bool {

@@ -26,10 +26,22 @@
 //! [`build::build_operator`] instantiates the named operator for every node
 //! — a mechanical walk with no physical decisions left in it — threading
 //! one [`ExecutionContext`] (ranking context, metrics registry, tuple
-//! budget) through every operator constructor.
+//! budget, batch size) through every operator constructor.
 //! [`build::execute_physical_plan`] drives a plan to completion;
 //! [`build::execute_plan`] / [`build::execute_query_plan`] accept a
 //! [`ranksql_algebra::LogicalPlan`] and lower it structurally first.
+//!
+//! **Batched (vectorized) execution.** Every operator additionally exposes
+//! [`operator::PhysicalOperator::next_batch`], which moves tuples in
+//! reusable [`operator::Batch`] chunks instead of one virtual call per
+//! tuple.  Membership-oriented operators (scans, σ/π, the traditional
+//! joins, sorts, limits, ∪/−) implement it natively — amortizing dispatch,
+//! metric updates and budget accounting over the chunk — while the
+//! rank-aware operators (µ, MPro, HRJN/NRJN, ∩) use a tuple-at-a-time
+//! adapter that preserves the paper's incremental top-k semantics exactly.
+//! The root driver ([`build::execute_physical_plan`]) pulls batches of
+//! [`ExecutionContext::batch_size`] tuples, and blocking operators drain
+//! their inputs in chunks of the same size.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,6 +49,7 @@
 pub mod build;
 pub mod context;
 pub mod filter;
+pub mod fxhash;
 pub mod join;
 pub mod metrics;
 pub mod mpro;
@@ -54,5 +67,5 @@ pub use build::{
 pub use context::{ExecutionContext, TupleBudget};
 pub use metrics::{MetricsRegistry, OperatorMetrics};
 pub use mpro::MProOp;
-pub use operator::{BoxedOperator, PhysicalOperator};
+pub use operator::{drain, drain_batched, Batch, BoxedOperator, PhysicalOperator};
 pub use oracle::oracle_top_k;

@@ -18,6 +18,7 @@ pub struct OperatorMetrics {
     name: Mutex<String>,
     tuples_in: AtomicU64,
     tuples_out: AtomicU64,
+    batches_out: AtomicU64,
     buffered_peak: AtomicU64,
 }
 
@@ -44,6 +45,11 @@ impl OperatorMetrics {
         self.tuples_out.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one non-empty batch emitted through the batched pull path.
+    pub fn add_batch(&self) {
+        self.batches_out.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records the current number of buffered tuples, keeping the maximum.
     pub fn observe_buffered(&self, n: u64) {
         self.buffered_peak.fetch_max(n, Ordering::Relaxed);
@@ -57,6 +63,25 @@ impl OperatorMetrics {
     /// Tuples emitted.
     pub fn tuples_out(&self) -> u64 {
         self.tuples_out.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty batches emitted through the batched pull path (0 when the
+    /// operator was only ever driven tuple-at-a-time).
+    pub fn batches_out(&self) -> u64 {
+        self.batches_out.load(Ordering::Relaxed)
+    }
+
+    /// Mean number of tuples per emitted batch (0 when no batch was
+    /// emitted).  A fill far below the configured batch size means the
+    /// operator trickles tuples out — expected for incremental rank-aware
+    /// operators under small `k`, suspicious for scans and filters.
+    pub fn mean_batch_fill(&self) -> f64 {
+        let batches = self.batches_out();
+        if batches == 0 {
+            0.0
+        } else {
+            self.tuples_out() as f64 / batches as f64
+        }
     }
 
     /// Peak number of buffered tuples (priority queues, hash tables).
@@ -100,6 +125,22 @@ impl MetricsRegistry {
             .lock()
             .iter()
             .map(|m| (m.name(), m.tuples_out()))
+            .collect()
+    }
+
+    /// Per-operator runtime actuals (tuples, batches, mean batch fill) in
+    /// registration order — the series `explain_with_actuals` pairs against
+    /// the physical plan.
+    pub fn operator_actuals(&self) -> Vec<ranksql_algebra::OperatorActuals> {
+        self.ops
+            .lock()
+            .iter()
+            .map(|m| ranksql_algebra::OperatorActuals {
+                label: m.name(),
+                rows: m.tuples_out(),
+                batches: m.batches_out(),
+                mean_batch_fill: m.mean_batch_fill(),
+            })
             .collect()
     }
 

@@ -1,9 +1,9 @@
 //! The MPro-style multi-predicate rank operator (minimal probing).
 //!
 //! The paper notes (Section 4.2) that the physical µ operator "is a special
-//! case (because it schedules one predicate) of the algorithms (MPro [4],
-//! Upper [2]) for scheduling random object accesses in middleware top-k query
-//! evaluation".  This module supplies the general case: a single operator
+//! case (because it schedules one predicate) of the algorithms (MPro \[4\],
+//! Upper \[2\]) for scheduling random object accesses in middleware top-k
+//! query evaluation".  This module supplies the general case: a single operator
 //! that is responsible for a *set* of ranking predicates and probes them
 //! lazily, one predicate of one tuple at a time, only when that probe is
 //! *necessary* for deciding the next output.
@@ -28,7 +28,7 @@ use ranksql_expr::{RankedTuple, RankingContext};
 
 use crate::context::ExecutionContext;
 use crate::metrics::OperatorMetrics;
-use crate::operator::{BoxedOperator, PhysicalOperator, RankingQueue};
+use crate::operator::{Batch, BoxedOperator, PhysicalOperator, RankingQueue};
 
 /// A multi-predicate rank operator with minimal-probing scheduling.
 ///
@@ -163,6 +163,26 @@ impl PhysicalOperator for MProOp {
                 }
             }
         }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        // Minimal probing is inherently tuple-at-a-time: batching the loop
+        // would not change which probes are necessary, so only the hand-off
+        // (and batch accounting) is chunked.
+        let mut n = 0;
+        while n < max {
+            match self.next()? {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            self.metrics.add_batch();
+        }
+        Ok(n)
     }
 }
 

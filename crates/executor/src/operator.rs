@@ -7,6 +7,10 @@ use std::sync::Arc;
 use ranksql_common::{Result, Schema, Score};
 use ranksql_expr::{RankedTuple, RankingContext};
 
+/// A chunk of [`RankedTuple`]s flowing between batched operators — the
+/// executor's instantiation of the reusable [`ranksql_common::Batch`] buffer.
+pub type Batch = ranksql_common::Batch<RankedTuple>;
+
 /// A Volcano-style physical operator producing [`RankedTuple`]s on demand.
 ///
 /// The paper's iterator interface is `Open` / `GetNext` / `Close`; in Rust
@@ -19,12 +23,44 @@ use ranksql_expr::{RankedTuple, RankingContext};
 /// [`RankingContext`]; this is the incremental execution model of
 /// Section 4.1.  Operators that are not rank-aware (traditional joins, plain
 /// sort inputs) make no ordering promise.
+///
+/// **Batched pull.** [`PhysicalOperator::next_batch`] is the vectorized form
+/// of `next`: it appends up to `max` tuples to a caller-owned [`Batch`] and
+/// returns how many it appended, amortizing virtual dispatch, metric updates
+/// and budget accounting over the whole chunk.  A batch is always a
+/// contiguous chunk of the same tuple stream `next` would produce, so both
+/// contracts (membership *and* emission order) carry over unchanged; the two
+/// entry points share state and may be mixed freely on one operator.
+/// Membership-oriented operators (scans, filters, traditional joins, sorts,
+/// limits) override it with genuinely vectorized inner loops; rank-aware
+/// operators keep the tuple-at-a-time default below, which preserves the
+/// paper's incremental top-k semantics — a consumer asking for a small batch
+/// never forces more probing or input consumption than `max` calls to `next`
+/// would.
 pub trait PhysicalOperator {
     /// The schema of emitted tuples.
     fn schema(&self) -> &Schema;
 
     /// Produces the next tuple, or `None` when the stream is exhausted.
     fn next(&mut self) -> Result<Option<RankedTuple>>;
+
+    /// Appends up to `max` tuples to `out`, returning how many were appended.
+    ///
+    /// A return of `0` (with `max > 0`) means the stream is exhausted.  The
+    /// default implementation adapts [`PhysicalOperator::next`].
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        let mut n = 0;
+        while n < max {
+            match self.next()? {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(n)
+    }
 
     /// Whether this operator's output respects the rank-relational ordering
     /// contract.
@@ -138,6 +174,22 @@ pub fn drain(op: &mut dyn PhysicalOperator) -> Result<Vec<RankedTuple>> {
         out.push(t);
     }
     Ok(out)
+}
+
+/// Drains an operator completely through the batched interface, pulling
+/// chunks of `batch_size` tuples at a time.
+pub fn drain_batched(op: &mut dyn PhysicalOperator, batch_size: usize) -> Result<Vec<RankedTuple>> {
+    let batch_size = batch_size.max(1);
+    let mut batch = Batch::with_capacity(batch_size);
+    let mut out = Vec::new();
+    loop {
+        batch.clear();
+        let n = op.next_batch(batch_size, &mut batch)?;
+        if n == 0 {
+            return Ok(out);
+        }
+        out.append(&mut batch);
+    }
 }
 
 /// Draws at most `k` tuples from an operator.

@@ -7,7 +7,7 @@ use ranksql_expr::{RankedTuple, RankingContext};
 
 use crate::context::ExecutionContext;
 use crate::metrics::OperatorMetrics;
-use crate::operator::{BoxedOperator, PhysicalOperator, RankingQueue};
+use crate::operator::{Batch, BoxedOperator, PhysicalOperator, RankingQueue};
 
 /// The physical rank operator µ_p (Section 4.1 / Example 3).
 ///
@@ -111,6 +111,26 @@ impl PhysicalOperator for RankOp {
                 }
             }
         }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        // Incremental rank-aware operator: keep the tuple-at-a-time loop so
+        // µ never draws more input than `max` emissions require; the batch
+        // only adds chunked hand-off (and batch accounting) upstream.
+        let mut n = 0;
+        while n < max {
+            match self.next()? {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            self.metrics.add_batch();
+        }
+        Ok(n)
     }
 }
 

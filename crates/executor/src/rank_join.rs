@@ -8,16 +8,17 @@
 //! soon as the requested results are guaranteed — which is what makes
 //! ranking plans' cost proportional to `k`.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use ranksql_common::{Result, Schema, Score, Value};
 use ranksql_expr::{BoolExpr, BoundBoolExpr, RankedTuple, RankingContext, ScoreState};
 
+use crate::fxhash::FxHashMap;
+
 use crate::context::ExecutionContext;
 use crate::join::extract_join_keys;
 use crate::metrics::OperatorMetrics;
-use crate::operator::{BoxedOperator, PhysicalOperator, RankingQueue};
+use crate::operator::{Batch, BoxedOperator, PhysicalOperator, RankingQueue};
 
 /// Which side to pull from next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +33,7 @@ struct SideState {
     /// All tuples drawn so far.
     seen: Vec<RankedTuple>,
     /// Hash table from join-key values to indices into `seen` (HRJN only).
-    hash: HashMap<Vec<Value>, Vec<usize>>,
+    hash: FxHashMap<Vec<Value>, Vec<usize>>,
     /// Key column indices within this side's schema.
     key_cols: Vec<usize>,
     /// Score state of the first (best) tuple drawn.
@@ -49,7 +50,7 @@ impl SideState {
         SideState {
             input,
             seen: Vec::new(),
-            hash: HashMap::new(),
+            hash: FxHashMap::default(),
             key_cols,
             top_state: None,
             last_state: None,
@@ -309,6 +310,26 @@ impl PhysicalOperator for RankJoin {
                 }
             }
         }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        // Rank-joins emit against the HRJN threshold one tuple at a time;
+        // the adapter keeps that exact and only chunks the hand-off, so a
+        // top-k consumer never forces extra input consumption.
+        let mut n = 0;
+        while n < max {
+            match self.next()? {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            self.metrics.add_batch();
+        }
+        Ok(n)
     }
 }
 

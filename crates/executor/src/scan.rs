@@ -9,7 +9,7 @@ use ranksql_storage::{BTreeIndex, ScoreIndex, Table};
 
 use crate::context::{ExecutionContext, TupleBudget};
 use crate::metrics::OperatorMetrics;
-use crate::operator::PhysicalOperator;
+use crate::operator::{Batch, PhysicalOperator};
 
 /// Sequential (heap) scan.
 ///
@@ -55,6 +55,27 @@ impl PhysicalOperator for SeqScan {
         self.metrics.add_in(1);
         self.metrics.add_out(1);
         Ok(Some(RankedTuple::unranked(t, self.ctx.num_predicates())))
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        // Vectorized scan: one budget charge, one metrics update and one
+        // exact reservation for the whole chunk instead of per tuple.
+        let n_preds = self.ctx.num_predicates();
+        let before = out.len();
+        out.extend(
+            self.tuples
+                .by_ref()
+                .take(max)
+                .map(|t| RankedTuple::unranked(t, n_preds)),
+        );
+        let n = out.len() - before;
+        if n > 0 {
+            self.budget.charge(n as u64)?;
+            self.metrics.add_in(n as u64);
+            self.metrics.add_out(n as u64);
+            self.metrics.add_batch();
+        }
+        Ok(n)
     }
 }
 
@@ -139,6 +160,36 @@ impl PhysicalOperator for RankScan {
         self.metrics.add_out(1);
         Ok(Some(rt))
     }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        // A batch is a contiguous run of index entries, so the descending
+        // score order is preserved exactly.
+        let n_preds = self.ctx.num_predicates();
+        let mut n = 0;
+        while n < max {
+            let Some((score, row)) = self.index.get(self.pos) else {
+                break;
+            };
+            self.pos += 1;
+            let tuple = self.table.tuple(row).ok_or_else(|| {
+                RankSqlError::Execution(format!(
+                    "rank-scan index references missing row {row} of table `{}`",
+                    self.table.name()
+                ))
+            })?;
+            let mut rt = RankedTuple::unranked(tuple, n_preds);
+            rt.state.set(self.predicate, score.value());
+            out.push(rt);
+            n += 1;
+        }
+        if n > 0 {
+            self.budget.charge(n as u64)?;
+            self.metrics.add_in(n as u64);
+            self.metrics.add_out(n as u64);
+            self.metrics.add_batch();
+        }
+        Ok(n)
+    }
 }
 
 /// Ordered scan over an attribute index (ascending attribute order).
@@ -209,6 +260,32 @@ impl PhysicalOperator for AttributeIndexScan {
             tuple,
             self.ctx.num_predicates(),
         )))
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        let n_preds = self.ctx.num_predicates();
+        let mut n = 0;
+        while n < max {
+            let Some(&(_, row)) = self.index.entries().get(self.pos) else {
+                break;
+            };
+            self.pos += 1;
+            let tuple = self.table.tuple(row).ok_or_else(|| {
+                RankSqlError::Execution(format!(
+                    "attribute index references missing row {row} of table `{}`",
+                    self.table.name()
+                ))
+            })?;
+            out.push(RankedTuple::unranked(tuple, n_preds));
+            n += 1;
+        }
+        if n > 0 {
+            self.budget.charge(n as u64)?;
+            self.metrics.add_in(n as u64);
+            self.metrics.add_out(n as u64);
+            self.metrics.add_batch();
+        }
+        Ok(n)
     }
 
     fn is_ranked(&self) -> bool {

@@ -7,9 +7,9 @@
 //!   tuple contribute their evaluated predicates to one output tuple);
 //! * `R_{P1} − S_{P2}` — membership as usual, output ordered by `P1` only.
 //!
-//! Tuples are identified by their [`TupleId`](ranksql_common::TupleId) (set
-//! semantics over provenance), matching Proposition 6's multiple-scan law
-//! where both operands range over the same base relation.
+//! Tuples are identified by their [`TupleId`] (set semantics over
+//! provenance), matching Proposition 6's multiple-scan law where both
+//! operands range over the same base relation.
 //!
 //! The intersection is *incremental*: a tuple can be emitted as soon as both
 //! of its occurrences have been seen and its merged upper bound dominates the
@@ -26,7 +26,7 @@ use ranksql_expr::{RankedTuple, RankingContext};
 
 use crate::context::ExecutionContext;
 use crate::metrics::OperatorMetrics;
-use crate::operator::{BoxedOperator, PhysicalOperator, RankingQueue};
+use crate::operator::{Batch, BoxedOperator, PhysicalOperator, RankingQueue};
 
 /// Rank-aware union (set semantics by tuple identity).
 pub struct UnionOp {
@@ -35,9 +35,8 @@ pub struct UnionOp {
     schema: Schema,
     ctx: Arc<RankingContext>,
     metrics: Arc<OperatorMetrics>,
-    prepared: bool,
-    output: Vec<RankedTuple>,
-    pos: usize,
+    output: Option<std::vec::IntoIter<RankedTuple>>,
+    batch_size: usize,
 }
 
 impl UnionOp {
@@ -55,29 +54,35 @@ impl UnionOp {
             schema,
             ctx: exec.ranking_arc(),
             metrics: exec.register(label),
-            prepared: false,
-            output: Vec::new(),
-            pos: 0,
+            output: None,
+            batch_size: exec.batch_size(),
         }
     }
 
     fn prepare(&mut self) -> Result<()> {
-        if self.prepared {
+        if self.output.is_some() {
             return Ok(());
         }
-        self.prepared = true;
         let mut merged: HashMap<TupleId, RankedTuple> = HashMap::new();
         let mut order: Vec<TupleId> = Vec::new();
+        let mut buf = Batch::with_capacity(self.batch_size);
         for input in [&mut self.left, &mut self.right] {
-            while let Some(rt) = input.next()? {
-                self.metrics.add_in(1);
-                match merged.get_mut(rt.tuple.id()) {
-                    Some(existing) => {
-                        existing.state = existing.state.merge(&rt.state);
-                    }
-                    None => {
-                        order.push(rt.tuple.id().clone());
-                        merged.insert(rt.tuple.id().clone(), rt);
+            loop {
+                buf.clear();
+                let n = input.next_batch(self.batch_size, &mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                self.metrics.add_in(n as u64);
+                for rt in buf.drain(..) {
+                    match merged.get_mut(rt.tuple.id()) {
+                        Some(existing) => {
+                            existing.state = existing.state.merge(&rt.state);
+                        }
+                        None => {
+                            order.push(rt.tuple.id().clone());
+                            merged.insert(rt.tuple.id().clone(), rt);
+                        }
                     }
                 }
             }
@@ -90,7 +95,7 @@ impl UnionOp {
         let max_value = self.ctx.max_predicate_value();
         rows.sort_by(|a, b| a.cmp_desc(b, &scoring, max_value));
         self.metrics.observe_buffered(rows.len() as u64);
-        self.output = rows;
+        self.output = Some(rows.into_iter());
         Ok(())
     }
 }
@@ -102,13 +107,31 @@ impl PhysicalOperator for UnionOp {
 
     fn next(&mut self) -> Result<Option<RankedTuple>> {
         self.prepare()?;
-        if self.pos >= self.output.len() {
-            return Ok(None);
+        let next = self.output.as_mut().expect("prepared").next();
+        if next.is_some() {
+            self.metrics.add_out(1);
         }
-        let t = self.output[self.pos].clone();
-        self.pos += 1;
-        self.metrics.add_out(1);
-        Ok(Some(t))
+        Ok(next)
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        self.prepare()?;
+        let output = self.output.as_mut().expect("prepared");
+        let mut n = 0;
+        while n < max {
+            match output.next() {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            self.metrics.add_out(n as u64);
+            self.metrics.add_batch();
+        }
+        Ok(n)
     }
 }
 
@@ -262,6 +285,25 @@ impl PhysicalOperator for IntersectOp {
             self.advance(from_left)?;
         }
     }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        // Incremental rank-aware operator: the tuple-at-a-time adapter keeps
+        // the emission threshold exact — only batch accounting is added.
+        let mut n = 0;
+        while n < max {
+            match self.next()? {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            self.metrics.add_batch();
+        }
+        Ok(n)
+    }
 }
 
 /// Rank-aware difference: `R_{P1} − S_{P2}` keeps the outer input's order and
@@ -273,6 +315,9 @@ pub struct ExceptOp {
     excluded: Option<HashSet<TupleId>>,
     schema: Schema,
     metrics: Arc<OperatorMetrics>,
+    batch_size: usize,
+    /// Scratch buffer for batched left-side pulls (fully consumed per call).
+    in_buf: Batch,
 }
 
 impl ExceptOp {
@@ -290,6 +335,8 @@ impl ExceptOp {
             excluded: None,
             schema,
             metrics: exec.register(label),
+            batch_size: exec.batch_size(),
+            in_buf: Batch::new(),
         }
     }
 
@@ -297,9 +344,17 @@ impl ExceptOp {
         if self.excluded.is_none() {
             let mut right = self.right.take().expect("right present");
             let mut set = HashSet::new();
-            while let Some(rt) = right.next()? {
-                self.metrics.add_in(1);
-                set.insert(rt.tuple.id().clone());
+            let mut buf = Batch::with_capacity(self.batch_size);
+            loop {
+                buf.clear();
+                let n = right.next_batch(self.batch_size, &mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                self.metrics.add_in(n as u64);
+                for rt in buf.drain(..) {
+                    set.insert(rt.tuple.id().clone());
+                }
             }
             self.excluded = Some(set);
         }
@@ -327,6 +382,33 @@ impl PhysicalOperator for ExceptOp {
             }
         }
         Ok(None)
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        self.ensure_excluded()?;
+        let mut produced = 0;
+        let mut pulled = 0u64;
+        while produced < max {
+            self.in_buf.clear();
+            let n = self.left.next_batch(max - produced, &mut self.in_buf)?;
+            if n == 0 {
+                break;
+            }
+            pulled += n as u64;
+            let excluded = self.excluded.as_ref().expect("built");
+            for rt in self.in_buf.drain(..) {
+                if !excluded.contains(rt.tuple.id()) {
+                    out.push(rt);
+                    produced += 1;
+                }
+            }
+        }
+        self.metrics.add_in(pulled);
+        if produced > 0 {
+            self.metrics.add_out(produced as u64);
+            self.metrics.add_batch();
+        }
+        Ok(produced)
     }
 
     fn is_ranked(&self) -> bool {

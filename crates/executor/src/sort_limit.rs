@@ -7,7 +7,7 @@ use ranksql_expr::{RankedTuple, RankingContext};
 
 use crate::context::ExecutionContext;
 use crate::metrics::OperatorMetrics;
-use crate::operator::{BoxedOperator, PhysicalOperator};
+use crate::operator::{Batch, BoxedOperator, PhysicalOperator};
 
 /// The monolithic sort operator τ_F of the canonical plan: drains its input
 /// completely, evaluates every still-missing ranking predicate of
@@ -24,6 +24,7 @@ pub struct SortOp {
     ctx: Arc<RankingContext>,
     metrics: Arc<OperatorMetrics>,
     sorted: Option<std::vec::IntoIter<RankedTuple>>,
+    batch_size: usize,
 }
 
 impl SortOp {
@@ -42,6 +43,7 @@ impl SortOp {
             ctx: exec.ranking_arc(),
             metrics: exec.register(label),
             sorted: None,
+            batch_size: exec.batch_size(),
         }
     }
 
@@ -50,15 +52,23 @@ impl SortOp {
             return Ok(());
         }
         let mut rows = Vec::new();
-        while let Some(mut rt) = self.input.next()? {
-            self.metrics.add_in(1);
-            for p in self.predicates.iter() {
-                if !rt.state.is_evaluated(p) {
-                    self.ctx
-                        .evaluate_into(p, &rt.tuple, &self.schema, &mut rt.state)?;
-                }
+        let mut buf = Batch::with_capacity(self.batch_size);
+        loop {
+            buf.clear();
+            let n = self.input.next_batch(self.batch_size, &mut buf)?;
+            if n == 0 {
+                break;
             }
-            rows.push(rt);
+            self.metrics.add_in(n as u64);
+            for mut rt in buf.drain(..) {
+                for p in self.predicates.iter() {
+                    if !rt.state.is_evaluated(p) {
+                        self.ctx
+                            .evaluate_into(p, &rt.tuple, &self.schema, &mut rt.state)?;
+                    }
+                }
+                rows.push(rt);
+            }
         }
         let scoring = self.ctx.scoring().clone();
         let max_value = self.ctx.max_predicate_value();
@@ -81,6 +91,26 @@ impl PhysicalOperator for SortOp {
             self.metrics.add_out(1);
         }
         Ok(next)
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        self.prepare()?;
+        let sorted = self.sorted.as_mut().expect("sorted after prepare");
+        let mut n = 0;
+        while n < max {
+            match sorted.next() {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            self.metrics.add_out(n as u64);
+            self.metrics.add_batch();
+        }
+        Ok(n)
     }
 }
 
@@ -135,6 +165,7 @@ pub struct SortLimitOp {
     ctx: Arc<RankingContext>,
     metrics: Arc<OperatorMetrics>,
     sorted: Option<std::vec::IntoIter<RankedTuple>>,
+    batch_size: usize,
 }
 
 impl SortLimitOp {
@@ -155,6 +186,7 @@ impl SortLimitOp {
             ctx: exec.ranking_arc(),
             metrics: exec.register(label),
             sorted: None,
+            batch_size: exec.batch_size(),
         }
     }
 
@@ -170,18 +202,26 @@ impl SortLimitOp {
         }
         let mut heap: std::collections::BinaryHeap<TopKEntry> =
             std::collections::BinaryHeap::with_capacity(self.k + 1);
-        while let Some(mut rt) = self.input.next()? {
-            self.metrics.add_in(1);
-            for p in self.predicates.iter() {
-                if !rt.state.is_evaluated(p) {
-                    self.ctx
-                        .evaluate_into(p, &rt.tuple, &self.schema, &mut rt.state)?;
-                }
+        let mut buf = Batch::with_capacity(self.batch_size);
+        loop {
+            buf.clear();
+            let n = self.input.next_batch(self.batch_size, &mut buf)?;
+            if n == 0 {
+                break;
             }
-            let score = self.ctx.upper_bound(&rt.state);
-            heap.push(TopKEntry { tuple: rt, score });
-            if heap.len() > self.k {
-                heap.pop();
+            self.metrics.add_in(n as u64);
+            for mut rt in buf.drain(..) {
+                for p in self.predicates.iter() {
+                    if !rt.state.is_evaluated(p) {
+                        self.ctx
+                            .evaluate_into(p, &rt.tuple, &self.schema, &mut rt.state)?;
+                    }
+                }
+                let score = self.ctx.upper_bound(&rt.state);
+                heap.push(TopKEntry { tuple: rt, score });
+                if heap.len() > self.k {
+                    heap.pop();
+                }
             }
             self.metrics.observe_buffered(heap.len() as u64);
         }
@@ -208,6 +248,26 @@ impl PhysicalOperator for SortLimitOp {
             self.metrics.add_out(1);
         }
         Ok(next)
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        self.prepare()?;
+        let sorted = self.sorted.as_mut().expect("sorted after prepare");
+        let mut n = 0;
+        while n < max {
+            match sorted.next() {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n > 0 {
+            self.metrics.add_out(n as u64);
+            self.metrics.add_batch();
+        }
+        Ok(n)
     }
 }
 
@@ -258,6 +318,23 @@ impl PhysicalOperator for LimitOp {
             }
             None => Ok(None),
         }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        // Never ask the input for more than the limit still allows, so the
+        // early-stop property of λ_k carries over to batched pulls.
+        let want = max.min(self.k - self.emitted.min(self.k));
+        if want == 0 {
+            return Ok(0);
+        }
+        let n = self.input.next_batch(want, out)?;
+        self.emitted += n;
+        if n > 0 {
+            self.metrics.add_in(n as u64);
+            self.metrics.add_out(n as u64);
+            self.metrics.add_batch();
+        }
+        Ok(n)
     }
 
     fn is_ranked(&self) -> bool {

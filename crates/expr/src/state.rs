@@ -6,6 +6,59 @@ use ranksql_common::{BitSet64, Score, Tuple};
 
 use crate::scoring::ScoringFunction;
 
+/// Score storage: queries rarely rank by more than a handful of predicates,
+/// so the scores live inline in the state (no heap allocation per tuple) up
+/// to [`INLINE_PREDICATES`]; wider ranking contexts spill to a `Vec`.
+///
+/// Unused inline slots stay `0.0`, so the derived `PartialEq` matches the
+/// previous `Vec`-based semantics (unevaluated positions are always `0.0`).
+#[derive(Debug, Clone, PartialEq)]
+enum Values {
+    Inline {
+        len: u8,
+        data: [f64; INLINE_PREDICATES],
+    },
+    Heap(Vec<f64>),
+}
+
+/// Maximum number of ranking predicates stored inline in a [`ScoreState`]
+/// without a heap allocation.
+pub const INLINE_PREDICATES: usize = 6;
+
+impl Values {
+    fn new(n: usize) -> Self {
+        if n <= INLINE_PREDICATES {
+            Values::Inline {
+                len: n as u8,
+                data: [0.0; INLINE_PREDICATES],
+            }
+        } else {
+            Values::Heap(vec![0.0; n])
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Values::Inline { len, .. } => *len as usize,
+            Values::Heap(v) => v.len(),
+        }
+    }
+
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            Values::Inline { len, data } => &data[..*len as usize],
+            Values::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [f64] {
+        match self {
+            Values::Inline { len, data } => &mut data[..*len as usize],
+            Values::Heap(v) => v,
+        }
+    }
+}
+
 /// Which of a query's ranking predicates have been evaluated for a tuple, and
 /// with what scores.
 ///
@@ -18,15 +71,23 @@ use crate::scoring::ScoringFunction;
 pub struct ScoreState {
     evaluated: BitSet64,
     /// Evaluated scores; positions not in `evaluated` are meaningless.
-    values: Vec<f64>,
+    values: Values,
 }
 
 impl ScoreState {
     /// A state over `n` predicates with nothing evaluated.
+    ///
+    /// Panics if `n > 64` — the `BitSet64` tracking the evaluated set (and
+    /// the stack buffer in [`ScoreState::upper_bound`]) cap the engine at 64
+    /// ranking predicates per query.
     pub fn new(n: usize) -> Self {
+        assert!(
+            n <= 64,
+            "at most 64 ranking predicates are supported, got {n}"
+        );
         ScoreState {
             evaluated: BitSet64::EMPTY,
-            values: vec![0.0; n],
+            values: Values::new(n),
         }
     }
 
@@ -52,15 +113,16 @@ impl ScoreState {
 
     /// Records the score of predicate `i`.
     pub fn set(&mut self, i: usize, score: f64) {
-        assert!(i < self.values.len(), "predicate index {i} out of range");
-        self.values[i] = score;
+        let values = self.values.as_mut_slice();
+        assert!(i < values.len(), "predicate index {i} out of range");
+        values[i] = score;
         self.evaluated.insert(i);
     }
 
     /// The evaluated score of predicate `i`, if present.
     pub fn get(&self, i: usize) -> Option<f64> {
         if self.is_evaluated(i) {
-            Some(self.values[i])
+            Some(self.values.as_slice()[i])
         } else {
             None
         }
@@ -68,23 +130,26 @@ impl ScoreState {
 
     /// The score vector as `Option`s (None = not yet evaluated).
     pub fn as_partial(&self) -> Vec<Option<f64>> {
-        (0..self.values.len()).map(|i| self.get(i)).collect()
+        (0..self.arity()).map(|i| self.get(i)).collect()
     }
 
     /// The maximal-possible score `F_P[t]` (Property 1): unevaluated
     /// predicates contribute `max_value`.
     pub fn upper_bound(&self, scoring: &ScoringFunction, max_value: f64) -> Score {
-        // Fast path: build the filled vector without the Option indirection.
-        let filled: Vec<f64> = (0..self.values.len())
-            .map(|i| {
-                if self.evaluated.contains(i) {
-                    self.values[i]
-                } else {
-                    max_value
-                }
-            })
-            .collect();
-        scoring.combine(&filled)
+        // Hot path (ranking queues call this once per push): fill a stack
+        // buffer instead of allocating.  `BitSet64` caps the predicate count
+        // at 64, so the fixed buffer always suffices.
+        let values = self.values.as_slice();
+        let mut buf = [0.0f64; 64];
+        let filled = &mut buf[..values.len()];
+        for (i, slot) in filled.iter_mut().enumerate() {
+            *slot = if self.evaluated.contains(i) {
+                values[i]
+            } else {
+                max_value
+            };
+        }
+        scoring.combine(filled)
     }
 
     /// Merges two score states over the same predicate universe (used by
@@ -103,7 +168,7 @@ impl ScoreState {
         let mut out = self.clone();
         for i in other.evaluated.iter() {
             if !out.evaluated.contains(i) {
-                out.set(i, other.values[i]);
+                out.set(i, other.values.as_slice()[i]);
             }
         }
         out

@@ -1,23 +1,14 @@
 //! RankSQL — rank-aware relational query processing in Rust.
 //!
 //! This is the umbrella crate of the workspace: it re-exports the public API
-//! of every component so applications can depend on a single crate.  See the
-//! [README](https://github.com/ranksql/ranksql-rs) and `DESIGN.md` for the
-//! architecture, and the `examples/` directory for runnable end-to-end
-//! programs.
-//!
-//! * [`core`](ranksql_core) — the [`Database`] facade, [`QueryBuilder`] and
-//!   the SQL-ish top-k parser.
-//! * [`algebra`](ranksql_algebra) — the rank-relational algebra: logical
-//!   plans and the algebraic laws of Figure 5.
-//! * [`executor`](ranksql_executor) — pipelined rank-aware physical
-//!   operators (µ, rank-scan, HRJN/NRJN, rank-aware set operations).
-//! * [`optimizer`](ranksql_optimizer) — two-dimensional plan enumeration and
-//!   sampling-based cardinality estimation.
-//! * [`storage`](ranksql_storage) — the in-memory tables, indexes and
-//!   statistics the engine runs on.
-//! * [`workload`](ranksql_workload) — generators for the paper's datasets.
-
+//! of every component ([`core`], [`algebra`], [`executor`], [`optimizer`],
+//! [`storage`], [`expr`], [`common`], [`workload`]) so applications can
+//! depend on a single crate.  The crate front page below is the repository
+//! README, included verbatim so its quickstart snippet is compiled and run
+//! as a doctest; see `ARCHITECTURE.md` in the repository for the crate DAG
+//! and execution model, and the `examples/` directory for runnable
+//! end-to-end programs.
+#![doc = include_str!("../README.md")]
 #![warn(missing_docs)]
 
 pub use ranksql_algebra as algebra;

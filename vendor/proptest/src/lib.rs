@@ -4,7 +4,7 @@
 //! Implements the subset of the proptest API this workspace's property
 //! tests use: the [`proptest!`] macro with `#![proptest_config(...)]`,
 //! [`Strategy`] with `prop_map`, range and tuple strategies,
-//! [`collection::vec`], [`Just`], `any::<T>()`, [`prop_oneof!`],
+//! [`collection::vec`], [`strategy::Just`], `any::<T>()`, [`prop_oneof!`],
 //! [`prop_assert!`] and [`prop_assert_eq!`].
 //!
 //! Compared to the real crate there is **no shrinking** and no persisted
@@ -329,7 +329,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
