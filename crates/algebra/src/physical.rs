@@ -25,6 +25,28 @@ use ranksql_expr::{BoolExpr, RankingContext};
 
 use crate::plan::{JoinAlgorithm, LogicalPlan, ScanAccess, SetOpKind};
 
+/// How an [`Exchange`](PhysicalOp::Exchange) reassembles the outputs of its
+/// parallel partitions into one serial stream.
+///
+/// Both strategies are **deterministic**: `Concat` glues partition outputs
+/// back together in morsel order (reproducing the serial emission order
+/// exactly), and `Ordered` merges rank-sorted partition streams under the
+/// total order of `RankedTuple::cmp_desc` (descending score, ties broken by
+/// tuple identity) — so the merged stream is byte-identical across any
+/// thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeMerge {
+    /// Concatenate partition outputs in morsel (scan) order.
+    Concat,
+    /// K-way merge of rank-ordered partition streams; `limit` keeps only the
+    /// global top `k` of the merged stream (used when the partitions run a
+    /// per-partition top-k sort).
+    Ordered {
+        /// Number of tuples to keep from the merged stream (`None` = all).
+        limit: Option<usize>,
+    },
+}
+
 /// A physical operator node; children are embedded [`PhysicalPlan`]s.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalOp {
@@ -162,6 +184,30 @@ pub enum PhysicalOp {
         input: Box<PhysicalPlan>,
         /// Number of tuples to keep.
         k: usize,
+    },
+    /// Gather boundary of morsel-driven parallel execution: the input
+    /// subtree (which must contain exactly one [`Repartition`]
+    /// marking its driving scan) is instantiated once per morsel, the
+    /// morsels run across the execution context's worker pool, and the
+    /// per-morsel outputs are reassembled deterministically according to
+    /// `merge`.  With `threads = 1` the same machinery runs inline on the
+    /// caller's thread — the serial degradation path.
+    ///
+    /// [`Repartition`]: PhysicalOp::Repartition
+    Exchange {
+        /// The parallel subtree (spine of parallel-safe operators over one
+        /// `Repartition`-marked scan).
+        input: Box<PhysicalPlan>,
+        /// How partition outputs are merged back into one stream.
+        merge: ExchangeMerge,
+    },
+    /// Partitioning boundary of morsel-driven parallel execution: marks the
+    /// sequential scan whose rows are handed out to workers as contiguous
+    /// morsel ranges.  Outside an [`Exchange`](PhysicalOp::Exchange) subtree
+    /// it degrades to a transparent pass-through of its scan.
+    Repartition {
+        /// The driving scan (must be a `SeqScan`).
+        input: Box<PhysicalPlan>,
     },
 }
 
@@ -342,7 +388,9 @@ impl PhysicalPlan {
             | PhysicalOp::MproProbe { input, .. }
             | PhysicalOp::Sort { input, .. }
             | PhysicalOp::SortLimit { input, .. }
-            | PhysicalOp::Limit { input, .. } => input.schema(),
+            | PhysicalOp::Limit { input, .. }
+            | PhysicalOp::Exchange { input, .. }
+            | PhysicalOp::Repartition { input } => input.schema(),
             PhysicalOp::Project { input, columns } => {
                 let s = input.schema()?;
                 let mut indices = Vec::with_capacity(columns.len());
@@ -385,7 +433,9 @@ impl PhysicalPlan {
             | PhysicalOp::MproProbe { input, .. }
             | PhysicalOp::Sort { input, .. }
             | PhysicalOp::SortLimit { input, .. }
-            | PhysicalOp::Limit { input, .. } => vec![input],
+            | PhysicalOp::Limit { input, .. }
+            | PhysicalOp::Exchange { input, .. }
+            | PhysicalOp::Repartition { input } => vec![input],
             PhysicalOp::NestedLoopsJoin { left, right, .. }
             | PhysicalOp::HashJoin { left, right, .. }
             | PhysicalOp::SortMergeJoin { left, right, .. }
@@ -430,6 +480,14 @@ impl PhysicalPlan {
                 | PhysicalOp::HashRankJoin { .. }
                 | PhysicalOp::NestedLoopsRankJoin { .. }
         ) || self.children().iter().any(|c| c.is_rank_aware())
+    }
+
+    /// Whether this subtree contains an [`Exchange`](PhysicalOp::Exchange)
+    /// node (i.e. has already been parallelized — the optimizer's
+    /// parallelization pass is a no-op on such plans).
+    pub fn contains_exchange(&self) -> bool {
+        matches!(self.op, PhysicalOp::Exchange { .. })
+            || self.children().iter().any(|c| c.contains_exchange())
     }
 
     /// A one-line name of this node for explain output and operator metrics.
@@ -494,6 +552,12 @@ impl PhysicalPlan {
                 format!("SortLimit[{}; k={k}]", names.join("+"))
             }
             PhysicalOp::Limit { k, .. } => format!("Limit[{k}]"),
+            PhysicalOp::Exchange { merge, .. } => match merge {
+                ExchangeMerge::Concat => "Exchange(concat)".to_owned(),
+                ExchangeMerge::Ordered { limit: None } => "Exchange(merge)".to_owned(),
+                ExchangeMerge::Ordered { limit: Some(k) } => format!("Exchange(merge; k={k})"),
+            },
+            PhysicalOp::Repartition { .. } => "Repartition(morsels)".to_owned(),
         }
     }
 
@@ -670,6 +734,35 @@ mod tests {
         });
         assert_eq!(mpro.node_label(Some(&ctx())), "MPro[p1→p2]");
         assert!(mpro.is_rank_aware());
+    }
+
+    #[test]
+    fn exchange_and_repartition_are_transparent_in_the_ir() {
+        let r = table("R", 0);
+        let scan = PhysicalPlan::from_logical(&LogicalPlan::scan(&r)).unwrap();
+        let schema_len = scan.schema().unwrap().len();
+        let spine = PhysicalPlan::unestimated(PhysicalOp::Repartition {
+            input: Box::new(scan),
+        });
+        let exchange = PhysicalPlan::unestimated(PhysicalOp::Exchange {
+            input: Box::new(spine),
+            merge: ExchangeMerge::Ordered { limit: Some(3) },
+        });
+        assert_eq!(exchange.schema().unwrap().len(), schema_len);
+        assert_eq!(exchange.node_count(), 3);
+        assert!(!exchange.is_rank_aware());
+        assert!(exchange.contains_exchange());
+        assert_eq!(exchange.node_label(None), "Exchange(merge; k=3)");
+        let concat = PhysicalPlan::unestimated(PhysicalOp::Exchange {
+            input: Box::new(PhysicalPlan::from_logical(&LogicalPlan::scan(&r)).unwrap()),
+            merge: ExchangeMerge::Concat,
+        });
+        assert_eq!(concat.node_label(None), "Exchange(concat)");
+        let text = exchange.explain(None);
+        assert!(text.contains("Repartition(morsels)"), "{text}");
+        // A plan without an exchange reports so.
+        let plain = PhysicalPlan::from_logical(&LogicalPlan::scan(&r)).unwrap();
+        assert!(!plain.contains_exchange());
     }
 
     #[test]

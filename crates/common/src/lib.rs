@@ -14,6 +14,8 @@
 //!   ranking-predicate sets (the two *dimensions* of the optimizer).
 //! * [`Batch`] — the reusable chunk buffer of the executor's vectorized
 //!   (batched) pull interface.
+//! * [`WorkerPool`] — the scoped-thread pool underneath morsel-driven
+//!   parallel execution.
 //! * [`RankSqlError`] — the error type used across the workspace.
 
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod batch;
 pub mod bitset;
 pub mod cost;
 pub mod error;
+pub mod pool;
 pub mod schema;
 pub mod score;
 pub mod tuple;
@@ -32,6 +35,7 @@ pub use batch::{Batch, DEFAULT_BATCH_SIZE};
 pub use bitset::BitSet64;
 pub use cost::Cost;
 pub use error::{RankSqlError, Result};
+pub use pool::{default_thread_count, morsel_ranges, WorkerPool, DEFAULT_MORSEL_SIZE, MAX_THREADS};
 pub use schema::{Field, Schema};
 pub use score::Score;
 pub use tuple::{Tuple, TupleId};

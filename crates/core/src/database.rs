@@ -32,6 +32,12 @@ pub enum PlanMode {
 pub struct Database {
     catalog: Catalog,
     optimizer_config: OptimizerConfig,
+    /// Worker threads for morsel-driven parallel execution.  With more than
+    /// one thread, planning runs the optimizer's parallelization pass
+    /// (inserting `Exchange`/`Repartition` under parallel-safe subtrees) and
+    /// execution fans morsels across that many workers.  Defaults to the
+    /// `RANKSQL_THREADS` environment variable (or 1 = serial).
+    threads: usize,
 }
 
 impl Default for Database {
@@ -46,15 +52,35 @@ impl Database {
         Database {
             catalog: Catalog::new(),
             optimizer_config: OptimizerConfig::default(),
+            threads: ranksql_common::default_thread_count(),
         }
     }
 
     /// Creates a database with a custom optimizer configuration.
     pub fn with_optimizer_config(config: OptimizerConfig) -> Self {
         Database {
-            catalog: Catalog::new(),
             optimizer_config: config,
+            ..Database::new()
         }
+    }
+
+    /// Sets the worker-thread budget for parallel execution (builder form;
+    /// clamped to at least 1).  `1` keeps planning and execution fully
+    /// serial.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Sets the worker-thread budget for parallel execution (clamped to at
+    /// least 1).  Takes effect for subsequently planned queries.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.clamp(1, ranksql_common::MAX_THREADS);
+    }
+
+    /// The configured worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The underlying catalog.
@@ -111,7 +137,27 @@ impl Database {
     }
 
     /// Plans a query under the given mode without executing it.
+    ///
+    /// With a thread budget above 1 the returned physical plan has been
+    /// through the optimizer's parallelization pass: parallel-safe subtrees
+    /// are wrapped in `Exchange`/`Repartition` nodes, which the executor
+    /// fans across the worker pool.
     pub fn plan(&self, query: &RankQuery, mode: PlanMode) -> Result<OptimizedPlan> {
+        let mut optimized = self.plan_serial(query, mode)?;
+        if self.threads > 1 {
+            optimized.physical = ranksql_optimizer::parallelize(optimized.physical, self.threads);
+            // The pass keeps cumulative per-node costs coherent, so the
+            // plan's headline cost is the rewritten root's.
+            optimized.cost = optimized.physical.estimated_cost;
+        }
+        Ok(optimized)
+    }
+
+    /// Plans with the per-mode optimizer configuration.  `RankOptimizer`
+    /// always produces serial plans; parallelization happens exactly once,
+    /// in [`Database::plan`], under the database's own thread budget.
+    fn plan_serial(&self, query: &RankQuery, mode: PlanMode) -> Result<OptimizedPlan> {
+        let serial_config = self.optimizer_config.clone();
         match mode {
             PlanMode::Canonical => {
                 let plan = query.canonical_plan(&self.catalog)?;
@@ -127,28 +173,28 @@ impl Database {
             PlanMode::Traditional => {
                 let cfg = OptimizerConfig {
                     mode: OptimizerMode::Traditional,
-                    ..self.optimizer_config.clone()
+                    ..serial_config.clone()
                 };
                 RankOptimizer::new(cfg).optimize(query, &self.catalog)
             }
             PlanMode::RankAware => {
                 let cfg = OptimizerConfig {
                     mode: OptimizerMode::RankAwareHeuristic,
-                    ..self.optimizer_config.clone()
+                    ..serial_config.clone()
                 };
                 RankOptimizer::new(cfg).optimize(query, &self.catalog)
             }
             PlanMode::RankAwareExhaustive => {
                 let cfg = OptimizerConfig {
                     mode: OptimizerMode::RankAwareExhaustive,
-                    ..self.optimizer_config.clone()
+                    ..serial_config.clone()
                 };
                 RankOptimizer::new(cfg).optimize(query, &self.catalog)
             }
             PlanMode::RankAwareRuleBased => {
                 let cfg = OptimizerConfig {
                     mode: OptimizerMode::RankAwareRuleBased,
-                    ..self.optimizer_config.clone()
+                    ..serial_config.clone()
                 };
                 RankOptimizer::new(cfg).optimize(query, &self.catalog)
             }
@@ -198,7 +244,7 @@ impl Database {
         query: &RankQuery,
         physical: &PhysicalPlan,
     ) -> Result<QueryResult> {
-        let exec = ExecutionContext::new(Arc::clone(&query.ranking));
+        let exec = ExecutionContext::new(Arc::clone(&query.ranking)).with_threads(self.threads);
         let execution = execute_physical_plan(physical, &self.catalog, &exec)?;
         QueryResult::from_execution(query, physical, execution)
     }
@@ -287,6 +333,36 @@ mod tests {
             let r = db.execute_with_mode(&query, mode).unwrap();
             assert_eq!(r.scores(), reference, "mode {mode:?}");
         }
+    }
+
+    #[test]
+    fn parallel_execution_agrees_with_serial_in_every_mode() {
+        let (mut db, query) = db_with_data();
+        db.set_threads(1);
+        let reference = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+        let ref_ids: Vec<_> = reference
+            .rows
+            .iter()
+            .map(|t| t.tuple.id().clone())
+            .collect();
+        db.set_threads(4);
+        // The parallel canonical plan actually contains an exchange.
+        let text = db.explain(&query, PlanMode::Canonical).unwrap();
+        assert!(text.contains("Exchange"), "{text}");
+        assert!(text.contains("Repartition(morsels)"), "{text}");
+        for mode in [
+            PlanMode::Canonical,
+            PlanMode::RankAware,
+            PlanMode::RankAwareExhaustive,
+            PlanMode::RankAwareRuleBased,
+            PlanMode::Traditional,
+        ] {
+            let r = db.execute_with_mode(&query, mode).unwrap();
+            assert_eq!(r.scores(), reference.scores(), "mode {mode:?}");
+            let ids: Vec<_> = r.rows.iter().map(|t| t.tuple.id().clone()).collect();
+            assert_eq!(ids, ref_ids, "mode {mode:?}");
+        }
+        assert_eq!(db.threads(), 4);
     }
 
     #[test]

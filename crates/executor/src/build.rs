@@ -16,6 +16,7 @@ use ranksql_expr::{RankedTuple, RankingContext};
 use ranksql_storage::{BTreeIndex, Catalog, ScoreIndex};
 
 use crate::context::ExecutionContext;
+use crate::exchange::{ExchangeOp, RepartitionPassthrough};
 use crate::filter::{Filter, Project};
 use crate::join::{HashJoin, NestedLoopJoin, SortMergeJoin};
 use crate::metrics::MetricsRegistry;
@@ -231,6 +232,15 @@ pub fn build_operator(
         PhysicalOp::Limit { input, k } => {
             let child = build_operator(input, catalog, exec)?;
             Ok(Box::new(LimitOp::new(child, *k, exec, label)))
+        }
+        PhysicalOp::Exchange { input, merge } => Ok(Box::new(ExchangeOp::new(
+            input, *merge, catalog, exec, label,
+        )?)),
+        PhysicalOp::Repartition { input } => {
+            // Outside an exchange the repartition marker is transparent:
+            // build the scan and forward it.
+            let child = build_operator(input, catalog, exec)?;
+            Ok(Box::new(RepartitionPassthrough::new(child, exec, label)))
         }
     }
 }

@@ -9,10 +9,13 @@
 //! handle, so adding an execution-wide facility (e.g. a partition count for
 //! parallel scans) no longer means touching every constructor signature.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use ranksql_common::{RankSqlError, Result, DEFAULT_BATCH_SIZE};
+use ranksql_common::{
+    default_thread_count, RankSqlError, Result, DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_SIZE,
+    MAX_THREADS,
+};
 use ranksql_expr::RankingContext;
 
 use crate::metrics::{MetricsRegistry, OperatorMetrics};
@@ -68,16 +71,37 @@ impl TupleBudget {
     }
 }
 
+/// Pre-registered operator-metrics handles handed to the per-morsel operator
+/// instances of a parallel `Exchange` subtree.
+///
+/// The exchange registers each spine operator's metrics exactly once (in
+/// post-order, like serial lowering); every morsel instance then *reuses*
+/// those handles instead of registering new ones, so per-operator counters
+/// aggregate across all workers and the registry keeps one entry per plan
+/// node regardless of morsel count.  Handles are consumed in registration
+/// order through a per-instance cursor — morsel pipelines are built by the
+/// same deterministic walk that registered the handles, so the i-th
+/// `register` call of an instance is the i-th spine operator.
+#[derive(Debug)]
+struct PresetMetrics {
+    handles: Arc<Vec<Arc<OperatorMetrics>>>,
+    next: AtomicUsize,
+}
+
 /// Everything a physical operator needs from its execution environment.
 ///
-/// Cloning is cheap (three `Arc`s); each query execution creates one context
-/// and threads it through `build_operator` into every operator constructor.
+/// Cloning is cheap (a handful of `Arc`s); each query execution creates one
+/// context and threads it through `build_operator` into every operator
+/// constructor.
 #[derive(Debug, Clone)]
 pub struct ExecutionContext {
     ranking: Arc<RankingContext>,
     metrics: Arc<MetricsRegistry>,
     budget: Arc<TupleBudget>,
     batch_size: usize,
+    threads: usize,
+    morsel_size: usize,
+    preset: Option<Arc<PresetMetrics>>,
 }
 
 impl ExecutionContext {
@@ -90,6 +114,9 @@ impl ExecutionContext {
             metrics: MetricsRegistry::new(),
             budget: Arc::new(TupleBudget::unlimited()),
             batch_size: DEFAULT_BATCH_SIZE,
+            threads: default_thread_count(),
+            morsel_size: DEFAULT_MORSEL_SIZE,
+            preset: None,
         }
     }
 
@@ -97,10 +124,8 @@ impl ExecutionContext {
     /// have produced `limit` tuples.
     pub fn with_budget(ranking: Arc<RankingContext>, limit: u64) -> Self {
         ExecutionContext {
-            batch_size: DEFAULT_BATCH_SIZE,
-            ranking,
-            metrics: MetricsRegistry::new(),
             budget: Arc::new(TupleBudget::limited(limit)),
+            ..ExecutionContext::new(ranking)
         }
     }
 
@@ -116,6 +141,49 @@ impl ExecutionContext {
     /// use this to size the chunks they drain their inputs with.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// Overrides the number of worker threads `Exchange` operators fan
+    /// morsels across (clamped to `1..=`[`MAX_THREADS`]).  `1` runs parallel
+    /// plans inline on the calling thread — the serial degradation path.
+    ///
+    /// The default is [`default_thread_count`] (the `RANKSQL_THREADS`
+    /// environment variable, or 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.clamp(1, MAX_THREADS);
+        self
+    }
+
+    /// The number of worker threads available to `Exchange` operators.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Overrides the number of base-table rows per morsel (clamped to at
+    /// least 1).  Results are morsel-size independent; this only tunes the
+    /// work-stealing granularity.
+    pub fn with_morsel_size(mut self, morsel_size: usize) -> Self {
+        self.morsel_size = morsel_size.max(1);
+        self
+    }
+
+    /// Rows per morsel handed to each parallel worker.
+    pub fn morsel_size(&self) -> usize {
+        self.morsel_size
+    }
+
+    /// A context for one per-morsel operator-pipeline instance: `register`
+    /// hands back the pre-registered `handles` in order instead of creating
+    /// new registry entries, so all instances of one plan node share one
+    /// metrics handle.  Each call starts a fresh cursor — use one instance
+    /// context per morsel pipeline.
+    pub(crate) fn with_preset_metrics(&self, handles: Arc<Vec<Arc<OperatorMetrics>>>) -> Self {
+        let mut ctx = self.clone();
+        ctx.preset = Some(Arc::new(PresetMetrics {
+            handles,
+            next: AtomicUsize::new(0),
+        }));
+        ctx
     }
 
     /// The query's ranking context.
@@ -138,7 +206,18 @@ impl ExecutionContext {
     /// Operators register during construction, bottom-up (inputs before
     /// parents), so registration order is a post-order walk of the physical
     /// plan — the pairing invariant `explain_with_actuals` relies on.
+    ///
+    /// In a per-morsel instance context (see
+    /// `ExecutionContext::with_preset_metrics`) the pre-registered shared
+    /// handle is returned instead, so parallel workers aggregate into the
+    /// same per-operator counters.
     pub fn register(&self, label: impl Into<String>) -> Arc<OperatorMetrics> {
+        if let Some(preset) = &self.preset {
+            let i = preset.next.fetch_add(1, Ordering::Relaxed);
+            if let Some(handle) = preset.handles.get(i) {
+                return Arc::clone(handle);
+            }
+        }
         self.metrics.register(label)
     }
 
@@ -175,6 +254,35 @@ mod tests {
         let b = TupleBudget::unlimited();
         assert!(b.charge(u64::MAX / 2).is_ok());
         assert_eq!(b.limit(), u64::MAX);
+    }
+
+    #[test]
+    fn preset_metrics_reuse_registered_handles() {
+        let exec = ExecutionContext::new(ranking());
+        let a = exec.register("a");
+        let b = exec.register("b");
+        let handles = Arc::new(vec![Arc::clone(&a), Arc::clone(&b)]);
+        let inst = exec.with_preset_metrics(Arc::clone(&handles));
+        inst.register("a").add_out(1);
+        inst.register("b").add_out(2);
+        assert_eq!(a.tuples_out(), 1);
+        assert_eq!(b.tuples_out(), 2);
+        assert_eq!(exec.metrics().len(), 2, "instances must not re-register");
+        // A second instance starts a fresh cursor over the same handles.
+        let inst2 = exec.with_preset_metrics(handles);
+        inst2.register("a").add_out(5);
+        assert_eq!(a.tuples_out(), 6);
+    }
+
+    #[test]
+    fn threads_and_morsel_size_clamp() {
+        let exec = ExecutionContext::new(ranking())
+            .with_threads(0)
+            .with_morsel_size(0);
+        assert_eq!(exec.threads(), 1);
+        assert_eq!(exec.morsel_size(), 1);
+        let exec = exec.with_threads(1 << 20);
+        assert_eq!(exec.threads(), ranksql_common::MAX_THREADS);
     }
 
     #[test]

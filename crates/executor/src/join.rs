@@ -71,6 +71,37 @@ pub fn extract_join_keys(condition: Option<&BoolExpr>, left: &Schema, right: &Sc
     }
 }
 
+/// The build-side hash table of a [`HashJoin`]: join-key values → build
+/// tuples in input order.
+///
+/// Shared behind an `Arc` so that the morsel-parallel probe instances of an
+/// `Exchange` subtree can all probe one table built exactly once.
+pub type JoinTable = FxHashMap<Vec<Value>, Vec<RankedTuple>>;
+
+/// Inserts build-side rows into a [`JoinTable`], keyed by `key_cols`.  Rows
+/// keep their input order within each key group — the property that makes
+/// hash-join output order deterministic.  This is the *only* keying logic:
+/// both the serial build (`HashJoin::ensure_built`, batch by batch) and the
+/// exchange's shared prebuilt table go through it, so the two paths cannot
+/// drift apart.
+pub fn insert_into_join_table(
+    table: &mut JoinTable,
+    rows: impl IntoIterator<Item = RankedTuple>,
+    key_cols: &[usize],
+) {
+    for t in rows {
+        let key = key_values(&t, key_cols, 0);
+        table.entry(key).or_default().push(t);
+    }
+}
+
+/// Builds a [`JoinTable`] over already-drained build-side rows in one shot.
+pub fn build_join_table(rows: Vec<RankedTuple>, key_cols: &[usize]) -> JoinTable {
+    let mut table = JoinTable::default();
+    insert_into_join_table(&mut table, rows, key_cols);
+    table
+}
+
 fn key_values(tuple: &RankedTuple, indices: &[usize], side_offset: usize) -> Vec<Value> {
     indices
         .iter()
@@ -82,7 +113,7 @@ fn key_values(tuple: &RankedTuple, indices: &[usize], side_offset: usize) -> Vec
 /// single-column keys probe with a borrowed one-element slice
 /// (`Vec<Value>: Borrow<[Value]>`), multi-column keys reuse `scratch`.
 fn probe_matches<'a>(
-    table: &'a FxHashMap<Vec<Value>, Vec<RankedTuple>>,
+    table: &'a JoinTable,
     key_cols: &[usize],
     scratch: &mut Vec<Value>,
     t: &RankedTuple,
@@ -106,7 +137,7 @@ fn bind_on_joined(condition: Option<&BoolExpr>, joined: &Schema) -> Result<Optio
 /// for every left tuple.  Supports arbitrary (or absent = cross) conditions.
 pub struct NestedLoopJoin {
     left: BoxedOperator,
-    right_rows: Option<Vec<RankedTuple>>,
+    right_rows: Option<Arc<Vec<RankedTuple>>>,
     right: Option<BoxedOperator>,
     condition: Option<BoundBoolExpr>,
     schema: Schema,
@@ -141,6 +172,34 @@ impl NestedLoopJoin {
         })
     }
 
+    /// Creates a nested-loops join over an inner relation materialised
+    /// elsewhere (the parallel exchange drains it once and shares it across
+    /// all morsel instances).  `schema` is the precomputed joined schema;
+    /// metrics for the inner rows are accounted by whoever materialised
+    /// them.
+    pub(crate) fn with_prebuilt(
+        left: BoxedOperator,
+        schema: Schema,
+        condition: Option<&BoolExpr>,
+        right_rows: Arc<Vec<RankedTuple>>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
+    ) -> Result<Self> {
+        let metrics = exec.register(label);
+        let bound = bind_on_joined(condition, &schema)?;
+        Ok(NestedLoopJoin {
+            left,
+            right_rows: Some(right_rows),
+            right: None,
+            condition: bound,
+            schema,
+            current_left: None,
+            right_pos: 0,
+            metrics,
+            batch_size: exec.batch_size(),
+        })
+    }
+
     fn ensure_right_materialised(&mut self) -> Result<()> {
         if self.right_rows.is_none() {
             let mut right = self.right.take().expect("right input present");
@@ -155,7 +214,7 @@ impl NestedLoopJoin {
                 self.metrics.add_in(n as u64);
                 rows.append(&mut buf);
             }
-            self.right_rows = Some(rows);
+            self.right_rows = Some(Arc::new(rows));
         }
         Ok(())
     }
@@ -228,7 +287,7 @@ impl PhysicalOperator for NestedLoopJoin {
 pub struct HashJoin {
     left: BoxedOperator,
     right: Option<BoxedOperator>,
-    table: Option<FxHashMap<Vec<Value>, Vec<RankedTuple>>>,
+    table: Option<Arc<JoinTable>>,
     left_key_cols: Vec<usize>,
     right_key_cols: Vec<usize>,
     residual: Option<BoundBoolExpr>,
@@ -284,10 +343,47 @@ impl HashJoin {
         })
     }
 
+    /// Creates a hash join probing a table built elsewhere (the parallel
+    /// exchange builds it once and shares it across all morsel instances).
+    /// `schema`, `left_key_cols` and `residual` are the joined schema, probe
+    /// key columns and non-equi remainder the exchange extracted once when
+    /// it built the table; metrics for the build rows are accounted by
+    /// whoever built it.
+    pub(crate) fn with_prebuilt(
+        left: BoxedOperator,
+        schema: Schema,
+        left_key_cols: Vec<usize>,
+        residual: Option<&BoolExpr>,
+        table: Arc<JoinTable>,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
+    ) -> Result<Self> {
+        let metrics = exec.register(label);
+        let residual = bind_on_joined(residual, &schema)?;
+        Ok(HashJoin {
+            left,
+            right: None,
+            table: Some(table),
+            left_key_cols,
+            right_key_cols: Vec::new(),
+            residual,
+            schema,
+            current_left: None,
+            current_matches: Vec::new(),
+            match_pos: 0,
+            metrics,
+            batch_size: exec.batch_size(),
+            left_buf: VecDeque::new(),
+            left_scratch: Batch::new(),
+            left_done: false,
+            probe_key: Vec::new(),
+        })
+    }
+
     fn ensure_built(&mut self) -> Result<()> {
         if self.table.is_none() {
             let mut right = self.right.take().expect("right input present");
-            let mut table: FxHashMap<Vec<Value>, Vec<RankedTuple>> = FxHashMap::default();
+            let mut table = JoinTable::default();
             let mut buf = Batch::with_capacity(self.batch_size);
             loop {
                 buf.clear();
@@ -296,12 +392,9 @@ impl HashJoin {
                     break;
                 }
                 self.metrics.add_in(n as u64);
-                for t in buf.drain(..) {
-                    let key = key_values(&t, &self.right_key_cols, 0);
-                    table.entry(key).or_default().push(t);
-                }
+                insert_into_join_table(&mut table, buf.drain(..), &self.right_key_cols);
             }
-            self.table = Some(table);
+            self.table = Some(Arc::new(table));
         }
         Ok(())
     }
@@ -332,7 +425,7 @@ impl HashJoin {
             Some(t) => {
                 let table = self.table.as_ref().expect("hash table built");
                 self.current_matches =
-                    probe_matches(table, &self.left_key_cols, &mut self.probe_key, &t)
+                    probe_matches(table.as_ref(), &self.left_key_cols, &mut self.probe_key, &t)
                         .cloned()
                         .unwrap_or_default();
                 self.match_pos = 0;
@@ -398,7 +491,8 @@ impl PhysicalOperator for HashJoin {
                 break;
             };
             let table = self.table.as_ref().expect("hash table built");
-            let Some(matches) = probe_matches(table, &self.left_key_cols, &mut self.probe_key, &t)
+            let Some(matches) =
+                probe_matches(table.as_ref(), &self.left_key_cols, &mut self.probe_key, &t)
             else {
                 continue;
             };

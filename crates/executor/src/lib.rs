@@ -21,6 +21,7 @@
 //! | sort (τ, materialise-then-sort), top-k limit (λ) | [`sort_limit`] | sort: blocking |
 //! | union, intersection, difference | [`set_ops`] | intersection/difference incremental |
 //! | fused top-k sort (τ+λ, bounded heap) | [`sort_limit`] | blocking, `O(k)` memory |
+//! | exchange / repartition (morsel-parallel gather + partitioning) | [`exchange`] | deterministic merge |
 //!
 //! The executor consumes the [`ranksql_algebra::PhysicalPlan`] IR:
 //! [`build::build_operator`] instantiates the named operator for every node
@@ -42,12 +43,20 @@
 //! The root driver ([`build::execute_physical_plan`]) pulls batches of
 //! [`ExecutionContext::batch_size`] tuples, and blocking operators drain
 //! their inputs in chunks of the same size.
+//!
+//! **Morsel-driven parallelism.** Plans whose parallel-safe subtrees were
+//! wrapped in `Exchange`/`Repartition` nodes (the optimizer's
+//! `parallelize` pass) fan morsels of the driving scan across a scoped
+//! worker pool of [`ExecutionContext::threads`] threads and reassemble the
+//! outputs deterministically — byte-identical to serial execution for any
+//! thread count; see the [`exchange`] module.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod build;
 pub mod context;
+pub mod exchange;
 pub mod filter;
 pub mod fxhash;
 pub mod join;
@@ -65,6 +74,7 @@ pub use build::{
     build_operator, execute_physical_plan, execute_plan, execute_query_plan, ExecutionResult,
 };
 pub use context::{ExecutionContext, TupleBudget};
+pub use exchange::{ExchangeOp, RepartitionPassthrough};
 pub use metrics::{MetricsRegistry, OperatorMetrics};
 pub use mpro::MProOp;
 pub use operator::{drain, drain_batched, Batch, BoxedOperator, PhysicalOperator};

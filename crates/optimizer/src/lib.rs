@@ -26,6 +26,7 @@ pub mod cost;
 pub mod enumerate;
 pub mod histogram;
 pub mod lower;
+pub mod parallel;
 pub mod rulebased;
 pub mod sampling;
 pub mod traditional;
@@ -40,6 +41,7 @@ pub use cost::{Cost, CostModel};
 pub use enumerate::{DpOptimizer, EnumerationStats};
 pub use histogram::{HistogramEstimator, ScoreHistogram};
 pub use lower::{fuse_mu_chains, lower_with_estimates, physical_estimates};
+pub use parallel::parallelize;
 pub use rulebased::{RuleBasedConfig, RuleBasedOptimizer};
 pub use sampling::SamplingEstimator;
 pub use traditional::optimize_traditional;
@@ -134,6 +136,11 @@ impl RankOptimizer {
     }
 
     /// Optimizes a query against a catalog.
+    ///
+    /// The returned plan is always serial; morsel-driven parallelization is
+    /// a separate, explicit post-pass ([`parallelize`]) owned by whoever
+    /// knows the runtime thread budget (e.g. `Database::plan`), so exactly
+    /// one layer decides plan parallelism.
     pub fn optimize(&self, query: &RankQuery, catalog: &Catalog) -> Result<OptimizedPlan> {
         let mut best = self.search(query, catalog)?;
         if self.config.fuse_mu_chains {

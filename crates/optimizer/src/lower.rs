@@ -282,6 +282,13 @@ pub fn fuse_mu_chains(plan: PhysicalPlan, ctx: &RankingContext) -> PhysicalPlan 
             input: Box::new(fuse_mu_chains(*input, ctx)),
             k,
         },
+        PhysicalOp::Exchange { input, merge } => PhysicalOp::Exchange {
+            input: Box::new(fuse_mu_chains(*input, ctx)),
+            merge,
+        },
+        PhysicalOp::Repartition { input } => PhysicalOp::Repartition {
+            input: Box::new(fuse_mu_chains(*input, ctx)),
+        },
         leaf @ (PhysicalOp::SeqScan { .. }
         | PhysicalOp::RankScan { .. }
         | PhysicalOp::AttributeIndexScan { .. }

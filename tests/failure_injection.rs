@@ -255,3 +255,72 @@ fn failed_execution_leaves_the_database_usable() {
     let r = db.execute(&good).unwrap();
     assert_eq!(r.rows.len(), 3);
 }
+
+#[test]
+fn erroring_parallel_worker_surfaces_a_clean_query_error_and_no_deadlock() {
+    // A tuple budget that trips mid-morsel makes workers fail while others
+    // are still running: the failure must surface as one clean
+    // `RankSqlError` — never a deadlock, never partial results.
+    let db = small_db().with_threads(4);
+    let query = QueryBuilder::new()
+        .tables(["T", "U"])
+        .filter(BoolExpr::col_eq_col("T.jc", "U.jc"))
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .rank_predicate(RankPredicate::attribute("q", "U.q"))
+        .limit(3)
+        .build()
+        .unwrap();
+    let physical = db.plan(&query, PlanMode::Canonical).unwrap().physical;
+    assert!(physical.contains_exchange(), "{}", physical.explain(None));
+
+    // Both tables have 30 rows.  A budget of 45 survives the build-side
+    // materialisation (30 tuples, drained once during exchange preparation)
+    // and trips *inside the probe-side morsel workers* — the scenario this
+    // test is about: concurrent workers failing mid-morsel.
+    let exec = ranksql::executor::ExecutionContext::with_budget(query.ranking.clone(), 45)
+        .with_threads(4)
+        .with_morsel_size(4);
+    let err = ranksql::executor::execute_physical_plan(&physical, db.catalog(), &exec).unwrap_err();
+    assert!(matches!(err, RankSqlError::Execution(_)), "{err:?}");
+    assert!(err.to_string().contains("tuple budget exceeded"), "{err}");
+
+    // The database (and the same plan) stays fully usable afterwards.
+    let r = db.execute_physical(&query, &physical).unwrap();
+    assert_eq!(r.rows.len(), 3);
+}
+
+#[test]
+fn panicking_worker_becomes_an_error_and_the_pool_is_reusable() {
+    // The worker pool converts a panicking task into a clean execution
+    // error, cancels the rest of the run, and — being stateless — keeps
+    // working for the next query.
+    let pool = ranksql::common::WorkerPool::new(4);
+    let err = pool
+        .run(32, |i| {
+            if i == 5 {
+                panic!("injected mid-morsel panic");
+            }
+            Ok(i)
+        })
+        .unwrap_err();
+    assert!(matches!(err, RankSqlError::Execution(_)), "{err:?}");
+    assert!(err.to_string().contains("worker thread panicked"), "{err}");
+    assert!(
+        err.to_string().contains("injected mid-morsel panic"),
+        "{err}"
+    );
+
+    let out = pool.run(4, |i| Ok(i * 10)).unwrap();
+    assert_eq!(out, vec![0, 10, 20, 30]);
+
+    // And a real parallel query through the same machinery still succeeds.
+    let db = small_db().with_threads(4);
+    let query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(2)
+        .build()
+        .unwrap();
+    let r = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+    assert_eq!(r.rows.len(), 2);
+}

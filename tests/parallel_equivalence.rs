@@ -1,0 +1,242 @@
+//! Cross-thread determinism of morsel-driven parallel execution.
+//!
+//! The parallel engine promises that execution is a pure *scheduling*
+//! choice: for every plan mode, the parallelized plan must produce exactly
+//! the ordered top-k result of serial batch execution and of tuple-at-a-time
+//! execution — same tuples, same order, same scores — for any worker-thread
+//! count, any batch size and any morsel size.  In the spirit of black-box
+//! equivalence checkers (the snapshot-isolation checker and HISTEX lineage
+//! in PAPERS.md), these properties drive randomized workloads through all
+//! five `PlanMode`s and compare the executions pairwise.
+//!
+//! A companion regression test pins the metrics-aggregation contract: the
+//! per-operator `rows_out` / `batches_out` / `mean_batch_fill` series of
+//! `explain_analyze` must be *identical* (not merely summable) across any
+//! thread count, because morsel partitioning — never the worker count —
+//! determines what each operator processes.
+
+use proptest::prelude::*;
+
+use ranksql::executor::{execute_physical_plan, ExecutionContext};
+use ranksql::expr::RankPredicate;
+use ranksql::{
+    BoolExpr, DataType, Database, Field, PlanMode, QueryBuilder, RankQuery, Schema, Value,
+};
+
+const ALL_MODES: [PlanMode; 5] = [
+    PlanMode::Canonical,
+    PlanMode::Traditional,
+    PlanMode::RankAware,
+    PlanMode::RankAwareExhaustive,
+    PlanMode::RankAwareRuleBased,
+];
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A randomly generated two-table join workload plus execution knobs.
+#[derive(Debug, Clone)]
+struct Workload {
+    /// Rows of table R: (join column, p1 score, boolean flag).
+    r_rows: Vec<(i64, f64, bool)>,
+    /// Rows of table S: (join column, p2 score).
+    s_rows: Vec<(i64, f64)>,
+    /// Requested result size.
+    k: usize,
+    /// Batch size for the parallel executions.
+    batch_size: usize,
+    /// Morsel size for the parallel executions.
+    morsel_size: usize,
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    (
+        proptest::collection::vec((0..6i64, 0.0..1.0f64, any::<bool>()), 1..30),
+        proptest::collection::vec((0..6i64, 0.0..1.0f64), 1..30),
+        1..10usize,
+        1..512usize,
+        1..64usize,
+    )
+        .prop_map(|(r_rows, s_rows, k, batch_size, morsel_size)| Workload {
+            r_rows,
+            s_rows,
+            k,
+            batch_size,
+            morsel_size,
+        })
+}
+
+fn build_database(w: &Workload) -> (Database, RankQuery) {
+    let db = Database::new();
+    db.create_table(
+        "R",
+        Schema::new(vec![
+            Field::new("jc", DataType::Int64),
+            Field::new("p1", DataType::Float64),
+            Field::new("flag", DataType::Bool),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "S",
+        Schema::new(vec![
+            Field::new("jc", DataType::Int64),
+            Field::new("p2", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    for &(jc, p1, flag) in &w.r_rows {
+        db.insert(
+            "R",
+            vec![Value::from(jc), Value::from(p1), Value::from(flag)],
+        )
+        .unwrap();
+    }
+    for &(jc, p2) in &w.s_rows {
+        db.insert("S", vec![Value::from(jc), Value::from(p2)])
+            .unwrap();
+    }
+    let query = QueryBuilder::new()
+        .tables(["R", "S"])
+        .filter(BoolExpr::col_eq_col("R.jc", "S.jc"))
+        .rank_predicate(RankPredicate::attribute("p1", "R.p1"))
+        .rank_predicate(RankPredicate::attribute("p2", "S.p2"))
+        .limit(w.k)
+        .build()
+        .unwrap();
+    (db, query)
+}
+
+/// `(tuple id, score)` fingerprint of an ordered result.
+fn fingerprint(
+    query: &RankQuery,
+    tuples: &[ranksql::expr::RankedTuple],
+) -> Vec<(ranksql::Tuple, f64)> {
+    tuples
+        .iter()
+        .map(|t| (t.tuple.clone(), query.ranking.upper_bound(&t.state).value()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Parallel execution ≡ serial batch execution ≡ tuple-mode execution,
+    /// for all five plan modes, sweeping thread counts {1, 2, 4, 8} under
+    /// random batch and morsel sizes.
+    #[test]
+    fn parallel_equals_serial_and_tuple_mode_for_all_plan_modes(w in workload()) {
+        let (mut db, query) = build_database(&w);
+        for mode in ALL_MODES {
+            // Serial reference plan (no exchanges) executed two ways.
+            db.set_threads(1);
+            let serial_plan = db.plan(&query, mode).unwrap().physical;
+            prop_assert!(!serial_plan.contains_exchange());
+
+            let batch_exec = ExecutionContext::new(query.ranking.clone());
+            let serial = execute_physical_plan(&serial_plan, db.catalog(), &batch_exec).unwrap();
+            let reference = fingerprint(&query, &serial.tuples);
+
+            let tuple_exec = ExecutionContext::new(query.ranking.clone()).with_batch_size(1);
+            let tuple = execute_physical_plan(&serial_plan, db.catalog(), &tuple_exec).unwrap();
+            prop_assert_eq!(
+                &fingerprint(&query, &tuple.tuples),
+                &reference,
+                "mode {:?}: tuple mode diverged from serial batch mode",
+                mode
+            );
+
+            // Parallelized plan executed across the thread sweep.
+            db.set_threads(4);
+            let parallel_plan = db.plan(&query, mode).unwrap().physical;
+            for threads in THREAD_COUNTS {
+                let exec = ExecutionContext::new(query.ranking.clone())
+                    .with_threads(threads)
+                    .with_batch_size(w.batch_size)
+                    .with_morsel_size(w.morsel_size);
+                let parallel =
+                    execute_physical_plan(&parallel_plan, db.catalog(), &exec).unwrap();
+                prop_assert_eq!(
+                    &fingerprint(&query, &parallel.tuples),
+                    &reference,
+                    "mode {:?}, threads {}, batch {}, morsel {}: parallel diverged",
+                    mode,
+                    threads,
+                    w.batch_size,
+                    w.morsel_size
+                );
+            }
+        }
+    }
+}
+
+/// Regression: the per-operator actuals of `explain_analyze` (`rows_out`,
+/// `batches_out`, `mean_batch_fill`) are identical across any thread count —
+/// aggregation across workers must neither lose nor duplicate updates, and
+/// batch counts are a function of the (fixed) morsel and batch sizes only.
+#[test]
+fn per_operator_actuals_are_identical_across_thread_counts() {
+    let w = Workload {
+        r_rows: (0..120)
+            .map(|i| (i % 7, ((i * 37 % 100) as f64) / 100.0, i % 3 != 0))
+            .collect(),
+        s_rows: (0..90)
+            .map(|i| (i % 7, ((i * 61 % 100) as f64) / 100.0))
+            .collect(),
+        k: 6,
+        batch_size: 16,
+        morsel_size: 8,
+    };
+    let (mut db, query) = build_database(&w);
+    db.set_threads(4);
+    let plan = db.plan(&query, PlanMode::Canonical).unwrap().physical;
+    assert!(plan.contains_exchange(), "{}", plan.explain(None));
+
+    let run = |threads: usize| {
+        let exec = ExecutionContext::new(query.ranking.clone())
+            .with_threads(threads)
+            .with_batch_size(w.batch_size)
+            .with_morsel_size(w.morsel_size);
+        let result = execute_physical_plan(&plan, db.catalog(), &exec).unwrap();
+        result.operator_actuals()
+    };
+
+    let reference = run(1);
+    assert_eq!(reference.len(), plan.node_count());
+    assert!(reference.iter().any(|a| a.batches > 0));
+    for threads in [2, 4, 8] {
+        let actuals = run(threads);
+        assert_eq!(actuals.len(), reference.len(), "threads={threads}");
+        for (a, r) in actuals.iter().zip(reference.iter()) {
+            assert_eq!(a.label, r.label, "threads={threads}");
+            assert_eq!(a.rows, r.rows, "threads={threads}, op {}", a.label);
+            assert_eq!(a.batches, r.batches, "threads={threads}, op {}", a.label);
+            assert!(
+                (a.mean_batch_fill - r.mean_batch_fill).abs() < 1e-12,
+                "threads={threads}, op {}: {} vs {}",
+                a.label,
+                a.mean_batch_fill,
+                r.mean_batch_fill
+            );
+        }
+    }
+}
+
+/// The parallelized `explain_analyze` output names the exchange machinery
+/// and stays truthful (per-node actual rows present).
+#[test]
+fn explain_analyze_reports_exchange_nodes() {
+    let w = Workload {
+        r_rows: (0..50).map(|i| (i % 5, (i as f64) / 50.0, true)).collect(),
+        s_rows: (0..50).map(|i| (i % 5, (i as f64) / 50.0)).collect(),
+        k: 5,
+        batch_size: 32,
+        morsel_size: 16,
+    };
+    let (mut db, query) = build_database(&w);
+    db.set_threads(4);
+    let result = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+    let analyzed = result.explain_analyze(Some(&query.ranking));
+    assert!(analyzed.contains("Exchange"), "{analyzed}");
+    assert!(analyzed.contains("Repartition(morsels)"), "{analyzed}");
+    assert!(analyzed.contains("actual_rows="), "{analyzed}");
+}
