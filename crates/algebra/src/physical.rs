@@ -469,6 +469,204 @@ impl PhysicalPlan {
         out.push(self);
     }
 
+    /// The parameter slots referenced by any predicate in this plan
+    /// (sorted, deduplicated).
+    pub fn param_slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        match &self.op {
+            PhysicalOp::Filter { predicate, .. } => out.extend(predicate.param_slots()),
+            PhysicalOp::NestedLoopsJoin {
+                condition: Some(c), ..
+            }
+            | PhysicalOp::HashJoin {
+                condition: Some(c), ..
+            }
+            | PhysicalOp::SortMergeJoin {
+                condition: Some(c), ..
+            }
+            | PhysicalOp::HashRankJoin {
+                condition: Some(c), ..
+            }
+            | PhysicalOp::NestedLoopsRankJoin {
+                condition: Some(c), ..
+            } => out.extend(c.param_slots()),
+            _ => {}
+        }
+        for c in self.children() {
+            out.extend(c.param_slots());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Rebinds every parameter slot in the plan's filter predicates and join
+    /// conditions to the value at its index in `values`, preserving the
+    /// per-node cost and cardinality estimates.
+    ///
+    /// This is the executor-side half of prepared statements: a cached
+    /// physical plan (optimized once, containing `$i` parameter slots) is
+    /// re-bound to fresh constants without re-running the optimizer.
+    pub fn with_params(&self, values: &[ranksql_common::Value]) -> Result<PhysicalPlan> {
+        let rebind = |c: &Option<BoolExpr>| -> Result<Option<BoolExpr>> {
+            c.as_ref().map(|c| c.with_params(values)).transpose()
+        };
+        let child = |input: &PhysicalPlan| -> Result<Box<PhysicalPlan>> {
+            Ok(Box::new(input.with_params(values)?))
+        };
+        let op = match &self.op {
+            PhysicalOp::Filter { input, predicate } => PhysicalOp::Filter {
+                input: child(input)?,
+                predicate: predicate.with_params(values)?,
+            },
+            PhysicalOp::NestedLoopsJoin {
+                left,
+                right,
+                condition,
+            } => PhysicalOp::NestedLoopsJoin {
+                left: child(left)?,
+                right: child(right)?,
+                condition: rebind(condition)?,
+            },
+            PhysicalOp::HashJoin {
+                left,
+                right,
+                condition,
+            } => PhysicalOp::HashJoin {
+                left: child(left)?,
+                right: child(right)?,
+                condition: rebind(condition)?,
+            },
+            PhysicalOp::SortMergeJoin {
+                left,
+                right,
+                condition,
+            } => PhysicalOp::SortMergeJoin {
+                left: child(left)?,
+                right: child(right)?,
+                condition: rebind(condition)?,
+            },
+            PhysicalOp::HashRankJoin {
+                left,
+                right,
+                condition,
+            } => PhysicalOp::HashRankJoin {
+                left: child(left)?,
+                right: child(right)?,
+                condition: rebind(condition)?,
+            },
+            PhysicalOp::NestedLoopsRankJoin {
+                left,
+                right,
+                condition,
+            } => PhysicalOp::NestedLoopsRankJoin {
+                left: child(left)?,
+                right: child(right)?,
+                condition: rebind(condition)?,
+            },
+            PhysicalOp::Project { input, columns } => PhysicalOp::Project {
+                input: child(input)?,
+                columns: columns.clone(),
+            },
+            PhysicalOp::RankMaterialize { input, predicate } => PhysicalOp::RankMaterialize {
+                input: child(input)?,
+                predicate: *predicate,
+            },
+            PhysicalOp::MproProbe { input, schedule } => PhysicalOp::MproProbe {
+                input: child(input)?,
+                schedule: schedule.clone(),
+            },
+            PhysicalOp::SetOp { kind, left, right } => PhysicalOp::SetOp {
+                kind: *kind,
+                left: child(left)?,
+                right: child(right)?,
+            },
+            PhysicalOp::Sort { input, predicates } => PhysicalOp::Sort {
+                input: child(input)?,
+                predicates: *predicates,
+            },
+            PhysicalOp::SortLimit {
+                input,
+                predicates,
+                k,
+            } => PhysicalOp::SortLimit {
+                input: child(input)?,
+                predicates: *predicates,
+                k: *k,
+            },
+            PhysicalOp::Limit { input, k } => PhysicalOp::Limit {
+                input: child(input)?,
+                k: *k,
+            },
+            PhysicalOp::Exchange { input, merge } => PhysicalOp::Exchange {
+                input: child(input)?,
+                merge: *merge,
+            },
+            PhysicalOp::Repartition { input } => PhysicalOp::Repartition {
+                input: child(input)?,
+            },
+            leaf @ (PhysicalOp::SeqScan { .. }
+            | PhysicalOp::RankScan { .. }
+            | PhysicalOp::AttributeIndexScan { .. }) => leaf.clone(),
+        };
+        Ok(PhysicalPlan {
+            op,
+            estimated_cost: self.estimated_cost,
+            estimated_rows: self.estimated_rows,
+        })
+    }
+
+    /// Rewrites every top-k cap of exactly `old_k` tuples — `Limit` and
+    /// `SortLimit` nodes and `Exchange(merge; k)` re-limits — to `new_k`,
+    /// preserving estimates.  In plans produced from a [`crate::RankQuery`]
+    /// every such cap derives from the query's own `k` (including the
+    /// per-partition top-k sorts the parallelization pass plants under an
+    /// ordered exchange), so the value match is exact.
+    pub fn with_limit(&self, old_k: usize, new_k: usize) -> PhysicalPlan {
+        let mut op = self.op.clone();
+        match &mut op {
+            PhysicalOp::Limit { k, .. } if *k == old_k => *k = new_k,
+            PhysicalOp::SortLimit { k, .. } if *k == old_k => *k = new_k,
+            PhysicalOp::Exchange {
+                merge: ExchangeMerge::Ordered { limit: Some(k) },
+                ..
+            } if *k == old_k => *k = new_k,
+            _ => {}
+        }
+        // Recurse through whichever children the (possibly rewritten) node
+        // has; every variant stores children behind `Box<PhysicalPlan>`.
+        match &mut op {
+            PhysicalOp::Filter { input, .. }
+            | PhysicalOp::Project { input, .. }
+            | PhysicalOp::RankMaterialize { input, .. }
+            | PhysicalOp::MproProbe { input, .. }
+            | PhysicalOp::Sort { input, .. }
+            | PhysicalOp::SortLimit { input, .. }
+            | PhysicalOp::Limit { input, .. }
+            | PhysicalOp::Exchange { input, .. }
+            | PhysicalOp::Repartition { input } => {
+                **input = input.with_limit(old_k, new_k);
+            }
+            PhysicalOp::NestedLoopsJoin { left, right, .. }
+            | PhysicalOp::HashJoin { left, right, .. }
+            | PhysicalOp::SortMergeJoin { left, right, .. }
+            | PhysicalOp::HashRankJoin { left, right, .. }
+            | PhysicalOp::NestedLoopsRankJoin { left, right, .. }
+            | PhysicalOp::SetOp { left, right, .. } => {
+                **left = left.with_limit(old_k, new_k);
+                **right = right.with_limit(old_k, new_k);
+            }
+            PhysicalOp::SeqScan { .. }
+            | PhysicalOp::RankScan { .. }
+            | PhysicalOp::AttributeIndexScan { .. } => {}
+        }
+        PhysicalPlan {
+            op,
+            estimated_cost: self.estimated_cost,
+            estimated_rows: self.estimated_rows,
+        }
+    }
+
     /// Whether this subtree contains a rank-aware operator (rank-scan, µ,
     /// MPro, HRJN, NRJN).
     pub fn is_rank_aware(&self) -> bool {

@@ -245,6 +245,86 @@ impl LogicalPlan {
     // Properties
     // ---------------------------------------------------------------------
 
+    // ---------------------------------------------------------------------
+    // Prepared-statement rebinding
+    // ---------------------------------------------------------------------
+
+    /// The parameter slots referenced by any predicate in this plan
+    /// (sorted, deduplicated).
+    pub fn param_slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        match self {
+            LogicalPlan::Select { predicate, .. } => out.extend(predicate.param_slots()),
+            LogicalPlan::Join {
+                condition: Some(c), ..
+            } => out.extend(c.param_slots()),
+            _ => {}
+        }
+        for c in self.children() {
+            out.extend(c.param_slots());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Rebinds every parameter slot in the plan's selection predicates and
+    /// join conditions to the value at its index in `values`.
+    pub fn with_params(&self, values: &[ranksql_common::Value]) -> Result<LogicalPlan> {
+        Ok(match self {
+            LogicalPlan::Select { input, predicate } => LogicalPlan::Select {
+                input: Box::new(input.with_params(values)?),
+                predicate: predicate.with_params(values)?,
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                condition,
+                algorithm,
+            } => LogicalPlan::Join {
+                left: Box::new(left.with_params(values)?),
+                right: Box::new(right.with_params(values)?),
+                condition: condition
+                    .as_ref()
+                    .map(|c| c.with_params(values))
+                    .transpose()?,
+                algorithm: *algorithm,
+            },
+            LogicalPlan::Scan { .. } => self.clone(),
+            other => {
+                let children = other
+                    .children()
+                    .into_iter()
+                    .map(|c| c.with_params(values))
+                    .collect::<Result<Vec<_>>>()?;
+                other.with_children(children)
+            }
+        })
+    }
+
+    /// Rewrites every `Limit` node keeping exactly `old_k` tuples to keep
+    /// `new_k` instead — how a cached plan shape is re-bound to a different
+    /// top-k without re-optimizing.  In plans produced from a
+    /// [`RankQuery`](crate::RankQuery)
+    /// the only limits are the query's own `k`, so the value match is exact.
+    pub fn with_limit(&self, old_k: usize, new_k: usize) -> LogicalPlan {
+        let rebound = match self {
+            LogicalPlan::Limit { input, k } if *k == old_k => {
+                return LogicalPlan::Limit {
+                    input: Box::new(input.with_limit(old_k, new_k)),
+                    k: new_k,
+                }
+            }
+            other => other,
+        };
+        let children = rebound
+            .children()
+            .into_iter()
+            .map(|c| c.with_limit(old_k, new_k))
+            .collect();
+        rebound.with_children(children)
+    }
+
     /// The output schema of this plan.
     pub fn schema(&self) -> Result<Schema> {
         match self {

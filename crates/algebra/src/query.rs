@@ -29,6 +29,10 @@ pub struct RankQuery {
     pub k: usize,
     /// Optional projection (qualified column names); `None` = `SELECT *`.
     pub projection: Option<Vec<String>>,
+    /// Whether `k` is a prepared-statement placeholder (`LIMIT ?`): the
+    /// stored `k` is then only a default and a binding must supply the real
+    /// value before execution.
+    pub k_is_param: bool,
 }
 
 impl RankQuery {
@@ -45,6 +49,7 @@ impl RankQuery {
             ranking,
             k,
             projection: None,
+            k_is_param: false,
         }
     }
 
@@ -52,6 +57,77 @@ impl RankQuery {
     pub fn with_projection(mut self, columns: Vec<String>) -> Self {
         self.projection = Some(columns);
         self
+    }
+
+    /// Marks `k` as a prepared-statement placeholder (`LIMIT ?`).
+    pub fn with_k_param(mut self) -> Self {
+        self.k_is_param = true;
+        self
+    }
+
+    /// The parameter slots referenced anywhere in the query — Boolean
+    /// predicates and ranking-predicate expressions (sorted, deduplicated).
+    pub fn param_slots(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .bool_predicates
+            .iter()
+            .flat_map(|p| p.param_slots())
+            .collect();
+        out.extend(self.ranking.param_slots());
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// One entry per parameter slot with its currently bound value: `None`
+    /// when any occurrence of the slot is still unbound (an execution must
+    /// supply it), `Some` when every occurrence carries a value (which then
+    /// serves as the default for re-binding).  Sorted by slot.
+    pub fn param_bindings(&self) -> Vec<(usize, Option<ranksql_common::Value>)> {
+        let mut merged: std::collections::BTreeMap<usize, Option<ranksql_common::Value>> =
+            std::collections::BTreeMap::new();
+        let occurrences = self
+            .bool_predicates
+            .iter()
+            .flat_map(|p| p.param_bindings())
+            .chain(self.ranking.param_bindings());
+        for (slot, value) in occurrences {
+            match merged.entry(slot) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(value);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    // An unbound occurrence makes the whole slot unbound.
+                    if value.is_none() {
+                        e.insert(None);
+                    }
+                }
+            }
+        }
+        merged.into_iter().collect()
+    }
+
+    /// A copy of the query with every parameter slot bound to the value at
+    /// its index in `values` (fresh ranking context with fresh counters).
+    pub fn with_params(&self, values: &[ranksql_common::Value]) -> Result<RankQuery> {
+        let bool_predicates = self
+            .bool_predicates
+            .iter()
+            .map(|p| p.with_params(values))
+            .collect::<Result<Vec<_>>>()?;
+        let ranking = if self.ranking.param_slots().is_empty() {
+            Arc::clone(&self.ranking)
+        } else {
+            self.ranking.with_params(values)?
+        };
+        Ok(RankQuery {
+            tables: self.tables.clone(),
+            bool_predicates,
+            ranking,
+            k: self.k,
+            projection: self.projection.clone(),
+            k_is_param: self.k_is_param,
+        })
     }
 
     /// Number of ranking predicates `n`.

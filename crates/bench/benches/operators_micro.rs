@@ -214,6 +214,51 @@ fn bench_operators(c: &mut Criterion) {
         })
     });
     physical_group.finish();
+
+    // Prepared-statement plan cache: a cache hit (re-bind a cached shape)
+    // vs a cold execution that pays the full parse + optimize every time.
+    let mut prepared_group = c.benchmark_group("prepared_vs_cold");
+    prepared_group.sample_size(10);
+    let db = workload.database().expect("database");
+    let sql = "SELECT * FROM A, B WHERE A.jc1 = B.jc1 AND A.p1 > ? \
+               ORDER BY f1(A.p1) + f2(A.p2) + f3(B.p1) + f4(B.p2) LIMIT 10";
+    let session = db.session();
+    let prepared = session.prepare(sql).expect("prepare");
+    // Warm the cache once so the hot path below measures pure re-binding.
+    prepared
+        .bind(ranksql_core::Params::new().set(0, 0.1f64))
+        .expect("bind")
+        .execute()
+        .expect("execute");
+    prepared_group.bench_function("plan_cache_hit", |bench| {
+        bench.iter(|| {
+            let result = prepared
+                .bind(ranksql_core::Params::new().set(0, black_box(0.1f64)))
+                .expect("bind")
+                .execute()
+                .expect("execute");
+            assert!(result.plan_cache.expect("prepared").hit);
+            black_box(result.rows.len())
+        })
+    });
+    prepared_group.bench_function("cold_parse_optimize_execute", |bench| {
+        bench.iter(|| {
+            // Dropping the cached shapes forces the full parse + optimize
+            // on every iteration — the cost a hit amortises away.
+            db.clear_plan_cache();
+            let result = db
+                .session()
+                .prepare(sql)
+                .expect("prepare")
+                .bind(ranksql_core::Params::new().set(0, black_box(0.1f64)))
+                .expect("bind")
+                .execute()
+                .expect("execute");
+            assert!(!result.plan_cache.expect("prepared").hit);
+            black_box(result.rows.len())
+        })
+    });
+    prepared_group.finish();
 }
 
 criterion_group!(benches, bench_operators);

@@ -1,14 +1,19 @@
-//! The `Database` facade: catalog + optimizer + executor in one handle.
+//! The `Database` facade: catalog + optimizer + executor + plan cache in
+//! one handle.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use ranksql_algebra::{LogicalPlan, PhysicalPlan, RankQuery};
 use ranksql_common::{Result, Schema, Value};
-use ranksql_executor::{execute_physical_plan, ExecutionContext};
 use ranksql_optimizer::{OptimizedPlan, OptimizerConfig, OptimizerMode, RankOptimizer};
 use ranksql_storage::{Catalog, Table};
 
+use crate::cursor::Cursor;
 use crate::result::QueryResult;
+use crate::session::{Session, SessionSettings};
 
 /// How a query should be planned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,16 +33,154 @@ pub enum PlanMode {
     Canonical,
 }
 
-/// An embedded RankSQL database: owns a catalog and executes top-k queries.
+/// Aggregate plan-cache counters of a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Bindings that reused a cached plan shape.
+    pub hits: u64,
+    /// Bindings that had to run the optimizer.
+    pub misses: u64,
+    /// Cached plan shapes currently held.
+    pub entries: usize,
+}
+
+/// The plan-cache outcome of one `bind`: whether *this* binding hit, plus
+/// the cache counters at that moment.  Surfaced on
+/// [`QueryResult::plan_cache`](crate::QueryResult) and in
+/// `explain_analyze` output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheLookup {
+    /// Whether the binding reused a cached plan.
+    pub hit: bool,
+    /// Cache counters at bind time.
+    pub stats: PlanCacheStats,
+}
+
+impl PlanCacheLookup {
+    /// The one-line rendering used by `explain_analyze`.
+    pub fn to_line(&self) -> String {
+        format!(
+            "plan cache: {} (hits={}, misses={}, entries={})",
+            if self.hit { "hit" } else { "miss" },
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.entries
+        )
+    }
+}
+
+/// One cached plan shape: the optimizer output (whose expressions carry
+/// re-bindable `$i` parameter slots) plus the `k` it was planned with, so a
+/// binding with a different `k` knows which limit value to rewrite.
+#[derive(Debug)]
+pub(crate) struct CachedPlan {
+    pub(crate) plan: OptimizedPlan,
+    pub(crate) k: usize,
+}
+
+/// The most cached plan shapes a database holds; reaching the cap evicts an
+/// arbitrary entry (misses stay cheap to serve, memory stays bounded even
+/// when ad-hoc queries with distinct literal shapes stream through the
+/// eager wrappers).
+const PLAN_CACHE_CAP: usize = 512;
+
+/// The database-wide plan cache, keyed by
+/// [`ranksql_optimizer::normalized_cache_key`] (query shape + mode +
+/// threads; never bound values, `k`, or weights) plus the referenced
+/// tables' log₂ size buckets — so a cached shape is re-costed once a table
+/// grows or shrinks by about 2×, bounding plan staleness under mutation.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCache {
+    map: Mutex<HashMap<String, Arc<CachedPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Looks a key up, recording a hit when present.
+    pub(crate) fn lookup(&self, key: &str) -> Option<(Arc<CachedPlan>, PlanCacheLookup)> {
+        let entry = Arc::clone(self.map.lock().get(key)?);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some((
+            entry,
+            PlanCacheLookup {
+                hit: true,
+                stats: self.stats(),
+            },
+        ))
+    }
+
+    /// Builds and inserts the plan for `key`, recording a miss.  The builder
+    /// runs outside the lock (optimization is slow); if another thread
+    /// populated the key meanwhile, its entry wins and ours is dropped.
+    pub(crate) fn populate(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<(OptimizedPlan, usize)>,
+    ) -> Result<(Arc<CachedPlan>, PlanCacheLookup)> {
+        let (plan, k) = build()?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(CachedPlan { plan, k });
+        let entry = {
+            let mut map = self.map.lock();
+            if map.len() >= PLAN_CACHE_CAP && !map.contains_key(key) {
+                // Arbitrary-entry eviction: enough to bound memory; hot
+                // shapes repopulate in one optimize.
+                if let Some(evict) = map.keys().next().cloned() {
+                    map.remove(&evict);
+                }
+            }
+            Arc::clone(
+                map.entry(key.to_owned())
+                    .or_insert_with(|| Arc::clone(&entry)),
+            )
+        };
+        Ok((
+            entry,
+            PlanCacheLookup {
+                hit: false,
+                stats: self.stats(),
+            },
+        ))
+    }
+
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().len(),
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+/// An embedded RankSQL database: owns the catalog and the plan cache, and
+/// executes top-k queries.
+///
+/// Per-caller execution settings (plan mode, threads, batch size, budgets)
+/// live on [`Session`]; `Database` keeps only what is shared across
+/// callers.  `Database::execute*` remain as thin compatibility wrappers
+/// over `session().prepare_query(..).bind(..).cursor()`.
 pub struct Database {
     catalog: Catalog,
     optimizer_config: OptimizerConfig,
-    /// Worker threads for morsel-driven parallel execution.  With more than
-    /// one thread, planning runs the optimizer's parallelization pass
-    /// (inserting `Exchange`/`Repartition` under parallel-safe subtrees) and
-    /// execution fans morsels across that many workers.  Defaults to the
-    /// `RANKSQL_THREADS` environment variable (or 1 = serial).
-    threads: usize,
+    /// Defaults handed to new sessions (and used by the compatibility
+    /// wrappers); the deprecated thread setters mutate these.
+    default_settings: SessionSettings,
+    plan_cache: PlanCache,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.catalog.table_names())
+            .field("default_settings", &self.default_settings)
+            .field("plan_cache", &self.plan_cache.stats())
+            .finish()
+    }
 }
 
 impl Default for Database {
@@ -52,7 +195,8 @@ impl Database {
         Database {
             catalog: Catalog::new(),
             optimizer_config: OptimizerConfig::default(),
-            threads: ranksql_common::default_thread_count(),
+            default_settings: SessionSettings::default(),
+            plan_cache: PlanCache::default(),
         }
     }
 
@@ -64,23 +208,54 @@ impl Database {
         }
     }
 
+    /// Opens a [`Session`] carrying this database's default settings;
+    /// configure it further with the session's `with_*` builders.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self, self.default_settings.clone())
+    }
+
     /// Sets the worker-thread budget for parallel execution (builder form;
     /// clamped to at least 1).  `1` keeps planning and execution fully
     /// serial.
+    #[deprecated(
+        since = "0.2.0",
+        note = "execution settings moved to `Session`: use `db.session().with_threads(n)`; \
+                this shim only changes the default handed to new sessions"
+    )]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.set_threads(threads);
+        self.default_settings.threads = threads.clamp(1, ranksql_common::MAX_THREADS);
         self
     }
 
     /// Sets the worker-thread budget for parallel execution (clamped to at
     /// least 1).  Takes effect for subsequently planned queries.
+    #[deprecated(
+        since = "0.2.0",
+        note = "execution settings moved to `Session`: use `db.session().with_threads(n)`; \
+                this shim only changes the default handed to new sessions"
+    )]
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.clamp(1, ranksql_common::MAX_THREADS);
+        self.default_settings.threads = threads.clamp(1, ranksql_common::MAX_THREADS);
     }
 
-    /// The configured worker-thread budget.
+    /// The worker-thread budget new sessions (and the compatibility
+    /// wrappers) default to.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.default_settings.threads
+    }
+
+    /// Aggregate plan-cache counters (hits, misses, cached shapes).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Drops every cached plan shape (counters are kept).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.clear();
+    }
+
+    pub(crate) fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// The underlying catalog.
@@ -143,9 +318,20 @@ impl Database {
     /// are wrapped in `Exchange`/`Repartition` nodes, which the executor
     /// fans across the worker pool.
     pub fn plan(&self, query: &RankQuery, mode: PlanMode) -> Result<OptimizedPlan> {
+        self.plan_with_threads(query, mode, self.default_settings.threads)
+    }
+
+    /// Plans under `mode` with an explicit worker-thread budget (the
+    /// session-aware form of [`Database::plan`]).
+    pub(crate) fn plan_with_threads(
+        &self,
+        query: &RankQuery,
+        mode: PlanMode,
+        threads: usize,
+    ) -> Result<OptimizedPlan> {
         let mut optimized = self.plan_serial(query, mode)?;
-        if self.threads > 1 {
-            optimized.physical = ranksql_optimizer::parallelize(optimized.physical, self.threads);
+        if threads > 1 {
+            optimized.physical = ranksql_optimizer::parallelize(optimized.physical, threads);
             // The pass keeps cumulative per-node costs coherent, so the
             // plan's headline cost is the rewritten root's.
             optimized.cost = optimized.physical.estimated_cost;
@@ -221,32 +407,45 @@ impl Database {
     }
 
     /// Plans (rank-aware, heuristic) and executes a query.
+    ///
+    /// Compatibility wrapper over the Session API: equivalent to
+    /// `db.session().execute(query)` — it prepares, binds no parameters,
+    /// opens a cursor and drains it, hitting the plan cache like any
+    /// prepared execution.
     pub fn execute(&self, query: &RankQuery) -> Result<QueryResult> {
-        self.execute_with_mode(query, PlanMode::RankAware)
+        self.session().execute(query)
     }
 
-    /// Plans under `mode` and executes the planned physical plan.
+    /// Plans under `mode` and executes the planned physical plan
+    /// (compatibility wrapper over `session().with_mode(mode).execute()`).
     pub fn execute_with_mode(&self, query: &RankQuery, mode: PlanMode) -> Result<QueryResult> {
-        let optimized = self.plan(query, mode)?;
-        self.execute_physical(query, &optimized.physical)
+        self.session().with_mode(mode).execute(query)
     }
 
-    /// Executes an explicit logical plan (e.g. one of the paper's hand-built
-    /// plans) by structurally lowering it first.
+    /// Executes an explicit logical plan (e.g. one of the paper's
+    /// hand-built plans) by structurally lowering it first.  Hand-built
+    /// plans bypass the plan cache — there is no query shape to key them by.
     pub fn execute_plan(&self, query: &RankQuery, plan: &LogicalPlan) -> Result<QueryResult> {
         let physical = PhysicalPlan::from_logical(plan)?;
         self.execute_physical(query, &physical)
     }
 
-    /// Executes a physical plan directly.
+    /// Executes a physical plan directly (compatibility wrapper: opens a
+    /// [`Cursor`] over the plan and drains it).
     pub fn execute_physical(
         &self,
         query: &RankQuery,
         physical: &PhysicalPlan,
     ) -> Result<QueryResult> {
-        let exec = ExecutionContext::new(Arc::clone(&query.ranking)).with_threads(self.threads);
-        let execution = execute_physical_plan(physical, &self.catalog, &exec)?;
-        QueryResult::from_execution(query, physical, execution)
+        self.cursor_for_physical(query, physical.clone())?
+            .into_result()
+    }
+
+    /// Opens a streaming cursor over an explicit physical plan under the
+    /// database's default settings (the non-draining form of
+    /// [`Database::execute_physical`]).
+    pub fn cursor_for_physical(&self, query: &RankQuery, physical: PhysicalPlan) -> Result<Cursor> {
+        Cursor::open(&self.catalog, &self.default_settings, query, physical, None)
     }
 }
 
@@ -336,6 +535,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the legacy thread-setter shims on purpose
     fn parallel_execution_agrees_with_serial_in_every_mode() {
         let (mut db, query) = db_with_data();
         db.set_threads(1);

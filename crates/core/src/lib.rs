@@ -45,14 +45,20 @@
 #![warn(rust_2018_idioms)]
 
 pub mod builder;
+pub mod cursor;
 pub mod database;
 pub mod parser;
+pub mod prepared;
 pub mod result;
+pub mod session;
 
 pub use builder::QueryBuilder;
-pub use database::{Database, PlanMode};
-pub use parser::parse_topk_query;
+pub use cursor::{Cursor, CursorRows};
+pub use database::{Database, PlanCacheLookup, PlanCacheStats, PlanMode};
+pub use parser::{parse_topk_query, ParseError};
+pub use prepared::{BoundQuery, Params, PreparedQuery};
 pub use result::QueryResult;
+pub use session::{Session, SessionSettings};
 
 // Re-export the main vocabulary so downstream users need only this crate.
 pub use ranksql_algebra::{JoinAlgorithm, LogicalPlan, RankQuery, ScanAccess, SetOpKind};

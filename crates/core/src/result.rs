@@ -9,6 +9,8 @@ use ranksql_common::{Result, Schema};
 use ranksql_executor::{ExecutionResult, MetricsRegistry};
 use ranksql_expr::{RankedTuple, RankingContext};
 
+use crate::database::PlanCacheLookup;
+
 /// The result of executing a top-k query.
 #[derive(Debug)]
 pub struct QueryResult {
@@ -26,6 +28,9 @@ pub struct QueryResult {
     pub elapsed: Duration,
     /// Number of evaluations of each ranking predicate during execution.
     pub predicate_evaluations: Vec<u64>,
+    /// The plan-cache outcome when this execution came through a prepared
+    /// statement (`None` for hand-built plans executed directly).
+    pub plan_cache: Option<PlanCacheLookup>,
 }
 
 impl QueryResult {
@@ -35,11 +40,21 @@ impl QueryResult {
         physical: &PhysicalPlan,
         execution: ExecutionResult,
     ) -> Result<Self> {
+        QueryResult::from_ranking(&query.ranking, physical, execution)
+    }
+
+    /// Like [`QueryResult::from_execution`] but taking the ranking context
+    /// directly (what a [`Cursor`](crate::Cursor) holds).
+    pub fn from_ranking(
+        ranking: &Arc<RankingContext>,
+        physical: &PhysicalPlan,
+        execution: ExecutionResult,
+    ) -> Result<Self> {
         let schema = physical.schema()?;
         let scores = execution
             .tuples
             .iter()
-            .map(|t| query.ranking.upper_bound(&t.state).value())
+            .map(|t| ranking.upper_bound(&t.state).value())
             .collect();
         Ok(QueryResult {
             rows: execution.tuples,
@@ -49,16 +64,24 @@ impl QueryResult {
             metrics: execution.metrics,
             elapsed: execution.elapsed,
             predicate_evaluations: execution.predicate_evaluations,
+            plan_cache: None,
         })
     }
 
     /// The executed physical tree annotated with each operator's runtime
     /// actuals (`EXPLAIN ANALYZE`-style): tuples produced, and — for
     /// operators that ran through the batched pull path — the number of
-    /// batches emitted and the mean batch fill.
+    /// batches emitted and the mean batch fill.  Executions that came
+    /// through a prepared statement are prefixed with the plan-cache
+    /// outcome (`plan cache: hit (hits=…, misses=…, entries=…)`).
     pub fn explain_analyze(&self, ctx: Option<&RankingContext>) -> String {
-        self.physical
-            .explain_with_actuals(ctx, &self.metrics.operator_actuals())
+        let plan = self
+            .physical
+            .explain_with_actuals(ctx, &self.metrics.operator_actuals());
+        match &self.plan_cache {
+            Some(cache) => format!("{}\n{plan}", cache.to_line()),
+            None => plan,
+        }
     }
 
     /// The final score of each returned row, best first.

@@ -470,6 +470,10 @@ pub struct ExchangeOp {
     schema: Schema,
     metrics: Arc<OperatorMetrics>,
     ordered: bool,
+    /// Whether the merge re-limits the stream (`Ordered { limit: Some(_) }`):
+    /// such an exchange discards tuples beyond the cap (as do the
+    /// per-partition top-k sorts feeding it), so it can never be extended.
+    limited: bool,
     run: Option<RunState>,
     merged: Option<std::vec::IntoIter<RankedTuple>>,
 }
@@ -494,6 +498,7 @@ impl ExchangeOp {
             schema,
             metrics,
             ordered: matches!(merge, ExchangeMerge::Ordered { .. }),
+            limited: matches!(merge, ExchangeMerge::Ordered { limit: Some(_) }),
             run: Some(RunState {
                 spine,
                 handles: Arc::new(handles),
@@ -569,6 +574,18 @@ impl PhysicalOperator for ExchangeOp {
         // An ordered merge emits in non-increasing complete-score order; a
         // concat makes no ordering promise of its own.
         self.ordered
+    }
+
+    fn can_extend_limit(&self) -> bool {
+        // Concat and unlimited ordered merges materialise the *complete*
+        // partition outputs — no discard, nothing to raise.  A re-limiting
+        // merge (and the per-partition top-k sorts feeding it) discards
+        // beyond k, so it cannot be extended after the fact.
+        !self.limited
+    }
+
+    fn extend_limit(&mut self, _extra: usize) -> bool {
+        !self.limited
     }
 }
 
@@ -687,6 +704,14 @@ impl PhysicalOperator for RepartitionPassthrough {
 
     fn is_ranked(&self) -> bool {
         self.inner.is_ranked()
+    }
+
+    fn can_extend_limit(&self) -> bool {
+        self.inner.can_extend_limit()
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        self.inner.extend_limit(extra)
     }
 }
 

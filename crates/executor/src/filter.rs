@@ -88,6 +88,14 @@ impl PhysicalOperator for Filter {
     fn is_ranked(&self) -> bool {
         self.input.is_ranked()
     }
+
+    fn can_extend_limit(&self) -> bool {
+        self.input.can_extend_limit()
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        self.input.extend_limit(extra)
+    }
 }
 
 /// Projection π: keeps membership and order, narrows the value vector.
@@ -161,6 +169,14 @@ impl PhysicalOperator for Project {
 
     fn is_ranked(&self) -> bool {
         self.input.is_ranked()
+    }
+
+    fn can_extend_limit(&self) -> bool {
+        self.input.can_extend_limit()
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        self.input.extend_limit(extra)
     }
 }
 

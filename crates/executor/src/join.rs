@@ -280,6 +280,16 @@ impl PhysicalOperator for NestedLoopJoin {
     fn is_ranked(&self) -> bool {
         false
     }
+
+    fn can_extend_limit(&self) -> bool {
+        self.left.can_extend_limit() && self.right.as_ref().is_none_or(|r| r.can_extend_limit())
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        // The inner side is (or will be) fully materialised — no discard; a
+        // pre-built shared inner (`with_prebuilt`) is complete by definition.
+        self.left.extend_limit(extra) & self.right.as_mut().is_none_or(|r| r.extend_limit(extra))
+    }
 }
 
 /// Hash join: builds a hash table on the right input's join keys and probes
@@ -528,6 +538,16 @@ impl PhysicalOperator for HashJoin {
     fn is_ranked(&self) -> bool {
         false
     }
+
+    fn can_extend_limit(&self) -> bool {
+        self.left.can_extend_limit() && self.right.as_ref().is_none_or(|r| r.can_extend_limit())
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        // The build side is (or will be) fully hashed — no discard; a
+        // pre-built shared table (`with_prebuilt`) is complete by definition.
+        self.left.extend_limit(extra) & self.right.as_mut().is_none_or(|r| r.extend_limit(extra))
+    }
 }
 
 /// Sort-merge join: materialises and sorts both inputs on the join keys, then
@@ -678,6 +698,18 @@ impl PhysicalOperator for SortMergeJoin {
 
     fn is_ranked(&self) -> bool {
         false
+    }
+
+    fn can_extend_limit(&self) -> bool {
+        self.left.as_ref().is_none_or(|l| l.can_extend_limit())
+            && self.right.as_ref().is_none_or(|r| r.can_extend_limit())
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        // Both sides are fully materialised into the sorted output buffer —
+        // nothing was discarded, so no cap exists at this node.
+        self.left.as_mut().is_none_or(|l| l.extend_limit(extra))
+            & self.right.as_mut().is_none_or(|r| r.extend_limit(extra))
     }
 }
 

@@ -184,6 +184,15 @@ impl PhysicalOperator for MProOp {
         }
         Ok(n)
     }
+
+    fn can_extend_limit(&self) -> bool {
+        self.input.can_extend_limit()
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        // MPro buffers but never discards; extension only concerns the input.
+        self.input.extend_limit(extra)
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,37 @@ pub trait PhysicalOperator {
     fn is_ranked(&self) -> bool {
         true
     }
+
+    /// Whether this subtree could serve tuples beyond its current top-k cap
+    /// if [`PhysicalOperator::extend_limit`] were called — `false` when some
+    /// operator discarded tuples beyond recovery (a bounded-heap top-k sort
+    /// that already materialised, an ordered exchange that already
+    /// re-limited its merge).
+    ///
+    /// This is the *pure* query half of top-k extension: callers (e.g.
+    /// `Cursor::fetch_more`) check it over the whole tree before mutating
+    /// anything, so a refusal leaves every cap untouched.  The default is
+    /// conservative (`false`); operators that impose no cap return `true`
+    /// and order/membership-preserving operators forward to their inputs.
+    fn can_extend_limit(&self) -> bool {
+        false
+    }
+
+    /// Raises every top-k cap this subtree imposes by `extra` tuples, so an
+    /// exhausted stream can resume — the executor half of
+    /// `Cursor::fetch_more`.  Returns whether the subtree accepted the
+    /// extension (the same answer as [`PhysicalOperator::can_extend_limit`]).
+    ///
+    /// Call [`PhysicalOperator::can_extend_limit`] first: invoking this on a
+    /// tree that cannot extend may have raised caps in *sibling* subtrees by
+    /// the time the refusing operator is reached.  Incremental rank-aware
+    /// operators (µ, MPro, HRJN/NRJN) buffer but never discard, which is
+    /// exactly why top-k extension is cheap on the paper's pipelined
+    /// ranking plans.
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        let _ = extra;
+        false
+    }
 }
 
 /// A boxed physical operator.

@@ -132,6 +132,16 @@ impl PhysicalOperator for RankOp {
         }
         Ok(n)
     }
+
+    fn can_extend_limit(&self) -> bool {
+        self.input.can_extend_limit()
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        // µ buffers but never discards: everything still unemitted sits in
+        // the ranking queue, so extension is just a matter of the input.
+        self.input.extend_limit(extra)
+    }
 }
 
 #[cfg(test)]

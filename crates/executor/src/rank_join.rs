@@ -331,6 +331,17 @@ impl PhysicalOperator for RankJoin {
         }
         Ok(n)
     }
+
+    fn can_extend_limit(&self) -> bool {
+        self.left.input.can_extend_limit() && self.right.input.can_extend_limit()
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        // HRJN/NRJN buffer every drawn tuple in their side states and the
+        // output queue — nothing is discarded, so extending a top-k just
+        // resumes the incremental join where it stopped.
+        self.left.input.extend_limit(extra) & self.right.input.extend_limit(extra)
+    }
 }
 
 #[cfg(test)]

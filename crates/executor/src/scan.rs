@@ -77,6 +77,14 @@ impl PhysicalOperator for SeqScan {
         }
         Ok(n)
     }
+
+    fn can_extend_limit(&self) -> bool {
+        true // A scan imposes no top-k cap.
+    }
+
+    fn extend_limit(&mut self, _extra: usize) -> bool {
+        true // A scan imposes no top-k cap.
+    }
 }
 
 /// Rank-scan (`idxScan_p`): emits tuples in descending order of one ranking
@@ -190,6 +198,14 @@ impl PhysicalOperator for RankScan {
         }
         Ok(n)
     }
+
+    fn can_extend_limit(&self) -> bool {
+        true // A scan imposes no top-k cap.
+    }
+
+    fn extend_limit(&mut self, _extra: usize) -> bool {
+        true // A scan imposes no top-k cap.
+    }
 }
 
 /// Ordered scan over an attribute index (ascending attribute order).
@@ -292,6 +308,14 @@ impl PhysicalOperator for AttributeIndexScan {
         // Ordered by the attribute, not by upper bound — but with P = ∅ all
         // upper bounds are equal, so the rank contract still holds.
         true
+    }
+
+    fn can_extend_limit(&self) -> bool {
+        true // A scan imposes no top-k cap.
+    }
+
+    fn extend_limit(&mut self, _extra: usize) -> bool {
+        true // A scan imposes no top-k cap.
     }
 }
 

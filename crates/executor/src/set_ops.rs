@@ -133,6 +133,15 @@ impl PhysicalOperator for UnionOp {
         }
         Ok(n)
     }
+
+    fn can_extend_limit(&self) -> bool {
+        self.left.can_extend_limit() && self.right.can_extend_limit()
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        // Both inputs are fully merged into the output buffer — no discard.
+        self.left.extend_limit(extra) & self.right.extend_limit(extra)
+    }
 }
 
 /// Rank-aware, incremental intersection.
@@ -304,6 +313,15 @@ impl PhysicalOperator for IntersectOp {
         }
         Ok(n)
     }
+
+    fn can_extend_limit(&self) -> bool {
+        self.left.can_extend_limit() && self.right.can_extend_limit()
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        // Incremental: drawn tuples are buffered, never discarded.
+        self.left.extend_limit(extra) & self.right.extend_limit(extra)
+    }
 }
 
 /// Rank-aware difference: `R_{P1} − S_{P2}` keeps the outer input's order and
@@ -413,6 +431,16 @@ impl PhysicalOperator for ExceptOp {
 
     fn is_ranked(&self) -> bool {
         self.left.is_ranked()
+    }
+
+    fn can_extend_limit(&self) -> bool {
+        self.left.can_extend_limit() && self.right.as_ref().is_none_or(|r| r.can_extend_limit())
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        // The subtrahend is (or will be) fully drained into the exclusion
+        // set; only the streaming outer side matters for extension.
+        self.left.extend_limit(extra) & self.right.as_mut().is_none_or(|r| r.extend_limit(extra))
     }
 }
 

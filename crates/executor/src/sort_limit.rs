@@ -112,6 +112,20 @@ impl PhysicalOperator for SortOp {
         }
         Ok(n)
     }
+
+    fn can_extend_limit(&self) -> bool {
+        // A full sort materialises *everything* — nothing is discarded, so
+        // no cap exists here; before materialisation defer to the input.
+        self.sorted.is_some() || self.input.can_extend_limit()
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        if self.sorted.is_none() {
+            self.input.extend_limit(extra)
+        } else {
+            true
+        }
+    }
 }
 
 /// One buffered tuple of [`SortLimitOp`], ordered so that the heap maximum
@@ -269,6 +283,26 @@ impl PhysicalOperator for SortLimitOp {
         }
         Ok(n)
     }
+
+    fn can_extend_limit(&self) -> bool {
+        // The bounded heap throws tuples beyond k away while materialising:
+        // once that has happened the extension tuples are gone for good and
+        // the caller must re-plan with a larger k.  Before the first pull
+        // the cap can still simply be raised.
+        self.sorted.is_none() && self.input.can_extend_limit()
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        if self.sorted.is_some() {
+            return false;
+        }
+        if self.input.extend_limit(extra) {
+            self.k = self.k.saturating_add(extra);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// The top-k limit operator λ_k: passes through the first `k` tuples of its
@@ -339,6 +373,21 @@ impl PhysicalOperator for LimitOp {
 
     fn is_ranked(&self) -> bool {
         self.input.is_ranked()
+    }
+
+    fn can_extend_limit(&self) -> bool {
+        // λ_k only stops *drawing*; the input below still holds its state,
+        // so raising k resumes exactly where the stream stopped.
+        self.input.can_extend_limit()
+    }
+
+    fn extend_limit(&mut self, extra: usize) -> bool {
+        if self.input.extend_limit(extra) {
+            self.k = self.k.saturating_add(extra);
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -485,6 +534,45 @@ mod tests {
         // and no predicate is evaluated.
         assert_eq!(exec.metrics().snapshot()[0].tuples_out(), 0);
         assert_eq!(ctx.counters().total(), 0);
+    }
+
+    #[test]
+    fn limit_extends_but_materialized_sort_limit_refuses() {
+        let t = table_s();
+        let ctx = ctx();
+        let exec = ExecutionContext::new(Arc::clone(&ctx));
+        // λ_2 over µ over a scan: take 2, extend by 2, take 2 more — the
+        // stream resumes exactly where it stopped.
+        let scan = SeqScan::new(&t, &exec, "s");
+        let mu = crate::rank::RankOp::new(Box::new(scan), 0, &exec, "mu");
+        let mut limit = LimitOp::new(Box::new(mu), 2, &exec, "l");
+        let first = drain(&mut limit).unwrap();
+        assert_eq!(first.len(), 2);
+        assert!(limit.can_extend_limit());
+        assert!(limit.extend_limit(2));
+        let more = drain(&mut limit).unwrap();
+        assert_eq!(more.len(), 2);
+        // Together they equal a single k=4 run.
+        let exec2 = ExecutionContext::new(Arc::clone(&ctx));
+        let scan = SeqScan::new(&t, &exec2, "s");
+        let mu = crate::rank::RankOp::new(Box::new(scan), 0, &exec2, "mu");
+        let mut l4 = LimitOp::new(Box::new(mu), 4, &exec2, "l4");
+        let want = drain(&mut l4).unwrap();
+        let got: Vec<_> = first.iter().chain(more.iter()).collect();
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!(g.tuple.id(), w.tuple.id());
+        }
+
+        // A bounded-heap top-k that already materialised discarded its
+        // losers; extension must refuse.
+        let scan = SeqScan::new(&t, &exec, "s2");
+        let mut fused = SortLimitOp::new(Box::new(scan), BitSet64::all(3), 2, &exec, "topk");
+        assert!(fused.can_extend_limit());
+        assert!(fused.extend_limit(1), "pre-materialisation extension is ok");
+        assert_eq!(fused.k, 3);
+        let _ = drain(&mut fused).unwrap();
+        assert!(!fused.can_extend_limit());
+        assert!(!fused.extend_limit(1));
     }
 
     #[test]

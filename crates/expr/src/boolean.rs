@@ -154,6 +154,76 @@ impl BoolExpr {
         }
     }
 
+    /// The parameter slots referenced by this predicate (sorted,
+    /// deduplicated).
+    pub fn param_slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<usize>) {
+        match self {
+            BoolExpr::Compare { left, right, .. } => {
+                out.extend(left.param_slots());
+                out.extend(right.param_slots());
+            }
+            BoolExpr::And(l, r) | BoolExpr::Or(l, r) => {
+                l.collect_params(out);
+                r.collect_params(out);
+            }
+            BoolExpr::Not(e) => e.collect_params(out),
+            BoolExpr::Column(_) | BoolExpr::Literal(_) => {}
+        }
+    }
+
+    /// Every parameter occurrence with its currently bound value (`None` =
+    /// unbound), in syntactic order.
+    pub fn param_bindings(&self) -> Vec<(usize, Option<Value>)> {
+        let mut out = Vec::new();
+        self.collect_param_bindings(&mut out);
+        out
+    }
+
+    fn collect_param_bindings(&self, out: &mut Vec<(usize, Option<Value>)>) {
+        match self {
+            BoolExpr::Compare { left, right, .. } => {
+                out.extend(left.param_bindings());
+                out.extend(right.param_bindings());
+            }
+            BoolExpr::And(l, r) | BoolExpr::Or(l, r) => {
+                l.collect_param_bindings(out);
+                r.collect_param_bindings(out);
+            }
+            BoolExpr::Not(e) => e.collect_param_bindings(out),
+            BoolExpr::Column(_) | BoolExpr::Literal(_) => {}
+        }
+    }
+
+    /// Rebinds every parameter slot in the predicate to the value at its
+    /// index in `values` (see [`ScalarExpr::with_params`]).
+    pub fn with_params(&self, values: &[Value]) -> Result<BoolExpr> {
+        Ok(match self {
+            BoolExpr::Compare { op, left, right } => BoolExpr::Compare {
+                op: *op,
+                left: left.with_params(values)?,
+                right: right.with_params(values)?,
+            },
+            BoolExpr::And(l, r) => BoolExpr::And(
+                Box::new(l.with_params(values)?),
+                Box::new(r.with_params(values)?),
+            ),
+            BoolExpr::Or(l, r) => BoolExpr::Or(
+                Box::new(l.with_params(values)?),
+                Box::new(r.with_params(values)?),
+            ),
+            BoolExpr::Not(e) => BoolExpr::Not(Box::new(e.with_params(values)?)),
+            BoolExpr::Column(_) | BoolExpr::Literal(_) => self.clone(),
+        })
+    }
+
     /// The relation names referenced (deduplicated, sorted).
     pub fn relations(&self) -> Vec<String> {
         let mut rels: Vec<String> = self

@@ -32,6 +32,20 @@ impl ScoreSource {
             ScoreSource::Expression(e) => e.columns(),
         }
     }
+
+    fn param_slots(&self) -> Vec<usize> {
+        match self {
+            ScoreSource::Attribute(_) => Vec::new(),
+            ScoreSource::Expression(e) => e.param_slots(),
+        }
+    }
+
+    fn with_params(&self, values: &[ranksql_common::Value]) -> Result<ScoreSource> {
+        Ok(match self {
+            ScoreSource::Attribute(c) => ScoreSource::Attribute(c.clone()),
+            ScoreSource::Expression(e) => ScoreSource::Expression(e.with_params(values)?),
+        })
+    }
 }
 
 /// A ranking predicate `p_i`: produces a score in `[0, 1]` for a tuple, at a
@@ -100,6 +114,31 @@ impl RankPredicate {
     /// Whether this is a rank-join predicate (references ≥ 2 relations).
     pub fn is_join_predicate(&self) -> bool {
         self.relations().len() >= 2
+    }
+
+    /// The parameter slots referenced by this predicate's score expression
+    /// (sorted, deduplicated; empty for attribute predicates).
+    pub fn param_slots(&self) -> Vec<usize> {
+        self.source.param_slots()
+    }
+
+    /// Every parameter occurrence in the score expression with its
+    /// currently bound value (`None` = unbound).
+    pub fn param_bindings(&self) -> Vec<(usize, Option<ranksql_common::Value>)> {
+        match &self.source {
+            ScoreSource::Attribute(_) => Vec::new(),
+            ScoreSource::Expression(e) => e.param_bindings(),
+        }
+    }
+
+    /// Rebinds every parameter slot in the predicate's score expression to
+    /// the value at its index in `values`.
+    pub fn with_params(&self, values: &[ranksql_common::Value]) -> Result<RankPredicate> {
+        Ok(RankPredicate {
+            name: self.name.clone(),
+            source: self.source.with_params(values)?,
+            cost: self.cost,
+        })
     }
 
     /// Whether this predicate can be evaluated on a tuple having `schema`
@@ -249,6 +288,46 @@ impl RankingContext {
     /// A context with no ranking predicates (a purely Boolean query).
     pub fn unranked() -> Arc<Self> {
         RankingContext::new(Vec::new(), ScoringFunction::Sum)
+    }
+
+    /// A context with the same predicates but a different scoring function
+    /// (fresh evaluation counters) — how prepared statements re-bind
+    /// ranking weights without re-planning.
+    pub fn with_scoring(&self, scoring: ScoringFunction) -> Arc<Self> {
+        RankingContext::new(self.predicates.clone(), scoring)
+    }
+
+    /// The parameter slots referenced by any predicate's score expression
+    /// (sorted, deduplicated).
+    pub fn param_slots(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .predicates
+            .iter()
+            .flat_map(|p| p.param_slots())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Every parameter occurrence in any predicate's score expression with
+    /// its currently bound value (`None` = unbound).
+    pub fn param_bindings(&self) -> Vec<(usize, Option<ranksql_common::Value>)> {
+        self.predicates
+            .iter()
+            .flat_map(|p| p.param_bindings())
+            .collect()
+    }
+
+    /// A context (fresh counters) with every parameter slot in expression
+    /// predicates rebound to the value at its index in `values`.
+    pub fn with_params(&self, values: &[ranksql_common::Value]) -> Result<Arc<Self>> {
+        let predicates = self
+            .predicates
+            .iter()
+            .map(|p| p.with_params(values))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RankingContext::new(predicates, self.scoring.clone()))
     }
 
     /// Number of ranking predicates.

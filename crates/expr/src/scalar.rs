@@ -137,12 +137,30 @@ pub enum ScalarExpr {
     },
     /// Negation (`-expr`).
     Negate(Box<ScalarExpr>),
+    /// A prepared-statement parameter slot (displayed as `$index`).
+    ///
+    /// A parameter starts *unbound* (`value: None`); binding replaces the
+    /// value in place while keeping the slot index, so a plan containing
+    /// bound parameters can be re-bound with fresh values without
+    /// re-optimizing — the expression *shape* (and therefore its display
+    /// form, used for plan-cache keys) is independent of the bound value.
+    Param {
+        /// Zero-based parameter slot.
+        index: usize,
+        /// The currently bound value (`None` until bound).
+        value: Option<Value>,
+    },
 }
 
 impl ScalarExpr {
     /// Shorthand for a column reference expression.
     pub fn col(name: &str) -> Self {
         ScalarExpr::Column(ColumnRef::parse(name))
+    }
+
+    /// Shorthand for an unbound parameter slot (`$index`).
+    pub fn param(index: usize) -> Self {
+        ScalarExpr::Param { index, value: None }
     }
 
     /// Shorthand for a literal expression.
@@ -200,13 +218,83 @@ impl ScalarExpr {
     fn collect_columns(&self, out: &mut Vec<ColumnRef>) {
         match self {
             ScalarExpr::Column(c) => out.push(c.clone()),
-            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Literal(_) | ScalarExpr::Param { .. } => {}
             ScalarExpr::Binary { left, right, .. } => {
                 left.collect_columns(out);
                 right.collect_columns(out);
             }
             ScalarExpr::Negate(e) => e.collect_columns(out),
         }
+    }
+
+    /// The parameter slots referenced by this expression (sorted,
+    /// deduplicated).
+    pub fn param_slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<usize>) {
+        match self {
+            ScalarExpr::Param { index, .. } => out.push(*index),
+            ScalarExpr::Column(_) | ScalarExpr::Literal(_) => {}
+            ScalarExpr::Binary { left, right, .. } => {
+                left.collect_params(out);
+                right.collect_params(out);
+            }
+            ScalarExpr::Negate(e) => e.collect_params(out),
+        }
+    }
+
+    /// Every parameter occurrence with its currently bound value (`None` =
+    /// unbound), in syntactic order; used to let already-bound values act
+    /// as defaults when a statement is re-bound.
+    pub fn param_bindings(&self) -> Vec<(usize, Option<Value>)> {
+        let mut out = Vec::new();
+        self.collect_param_bindings(&mut out);
+        out
+    }
+
+    fn collect_param_bindings(&self, out: &mut Vec<(usize, Option<Value>)>) {
+        match self {
+            ScalarExpr::Param { index, value } => out.push((*index, value.clone())),
+            ScalarExpr::Column(_) | ScalarExpr::Literal(_) => {}
+            ScalarExpr::Binary { left, right, .. } => {
+                left.collect_param_bindings(out);
+                right.collect_param_bindings(out);
+            }
+            ScalarExpr::Negate(e) => e.collect_param_bindings(out),
+        }
+    }
+
+    /// Rebinds every parameter slot in the expression to the value at its
+    /// index in `values`, leaving everything else untouched.  Fails if a
+    /// slot has no corresponding value.
+    pub fn with_params(&self, values: &[Value]) -> Result<ScalarExpr> {
+        Ok(match self {
+            ScalarExpr::Param { index, .. } => {
+                let value = values.get(*index).cloned().ok_or_else(|| {
+                    RankSqlError::Expression(format!(
+                        "no value bound for parameter ${index} ({} values supplied)",
+                        values.len()
+                    ))
+                })?;
+                ScalarExpr::Param {
+                    index: *index,
+                    value: Some(value),
+                }
+            }
+            ScalarExpr::Column(_) | ScalarExpr::Literal(_) => self.clone(),
+            ScalarExpr::Binary { op, left, right } => ScalarExpr::Binary {
+                op: *op,
+                left: Box::new(left.with_params(values)?),
+                right: Box::new(right.with_params(values)?),
+            },
+            ScalarExpr::Negate(e) => ScalarExpr::Negate(Box::new(e.with_params(values)?)),
+        })
     }
 
     /// The relation names referenced by this expression (deduplicated).
@@ -227,6 +315,14 @@ impl ScalarExpr {
         Ok(match self {
             ScalarExpr::Column(c) => BoundScalarExpr::Column(c.resolve(schema)?),
             ScalarExpr::Literal(v) => BoundScalarExpr::Literal(v.clone()),
+            ScalarExpr::Param { index, value } => match value {
+                Some(v) => BoundScalarExpr::Literal(v.clone()),
+                None => {
+                    return Err(RankSqlError::Expression(format!(
+                        "parameter ${index} is unbound; bind a value before execution"
+                    )))
+                }
+            },
             ScalarExpr::Binary { op, left, right } => BoundScalarExpr::Binary {
                 op: *op,
                 left: Box::new(left.bind(schema)?),
@@ -250,6 +346,9 @@ impl fmt::Display for ScalarExpr {
             ScalarExpr::Literal(v) => write!(f, "{v}"),
             ScalarExpr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
             ScalarExpr::Negate(e) => write!(f, "(-{e})"),
+            // The bound value is deliberately NOT shown: the display form is
+            // the normalized shape plan-cache keys are built from.
+            ScalarExpr::Param { index, .. } => write!(f, "${index}"),
         }
     }
 }
@@ -386,6 +485,28 @@ mod tests {
     fn unknown_column_errors_at_bind_time() {
         let e = ScalarExpr::col("R.zzz");
         assert!(e.bind(&schema()).is_err());
+    }
+
+    #[test]
+    fn params_display_bind_and_rebind() {
+        // Shape (display) is value-independent: the cache-key property.
+        let e = ScalarExpr::col("R.a").add(ScalarExpr::param(0));
+        assert_eq!(e.to_string(), "(R.a + $0)");
+        assert_eq!(e.param_slots(), vec![0]);
+        // Unbound parameters refuse to bind/evaluate.
+        let err = e.eval(&tuple(), &schema()).unwrap_err();
+        assert!(err.to_string().contains("unbound"), "{err}");
+        // Binding substitutes the value but keeps the slot (and display).
+        let bound = e.with_params(&[Value::from(10)]).unwrap();
+        assert_eq!(bound.to_string(), "(R.a + $0)");
+        assert_eq!(bound.eval(&tuple(), &schema()).unwrap(), Value::from(14));
+        // Re-binding replaces the value in place.
+        let rebound = bound.with_params(&[Value::from(100)]).unwrap();
+        assert_eq!(rebound.eval(&tuple(), &schema()).unwrap(), Value::from(104));
+        // A slot with no supplied value is an error.
+        assert!(e.with_params(&[]).is_err());
+        // Params are invisible to column collection.
+        assert_eq!(bound.columns().len(), 1);
     }
 
     #[test]

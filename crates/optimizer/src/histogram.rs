@@ -397,6 +397,14 @@ impl HistogramEstimator {
     }
 
     fn compare_selectivity(&self, op: CompareOp, left: &ScalarExpr, right: &ScalarExpr) -> f64 {
+        // A *bound* prepared-statement parameter estimates like the literal
+        // it currently carries (an unbound one falls back to the default
+        // selectivity below, like any other opaque operand).
+        let literal_of = |e: &ScalarExpr| match e {
+            ScalarExpr::Literal(v) => Some(v.clone()),
+            ScalarExpr::Param { value: Some(v), .. } => Some(v.clone()),
+            _ => None,
+        };
         match (left, right) {
             (ScalarExpr::Column(l), ScalarExpr::Column(r)) => {
                 let dl = self.column_stats(l).map(|c| c.distinct_count).unwrap_or(0);
@@ -408,15 +416,17 @@ impl HistogramEstimator {
                     _ => DEFAULT_SELECTIVITY,
                 }
             }
-            (ScalarExpr::Column(c), ScalarExpr::Literal(v))
-            | (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => {
+            (ScalarExpr::Column(c), other) | (other, ScalarExpr::Column(c))
+                if literal_of(other).is_some() =>
+            {
+                let v = literal_of(other).expect("guard checked");
                 let stats = match self.column_stats(c) {
                     Some(s) => s,
                     None => return DEFAULT_SELECTIVITY,
                 };
                 let lit = v.as_f64();
                 // Orient the operator so the column is on the left.
-                let oriented = if matches!(left, ScalarExpr::Literal(_)) {
+                let oriented = if !matches!(left, ScalarExpr::Column(_)) {
                     match op {
                         CompareOp::Lt => CompareOp::Gt,
                         CompareOp::LtEq => CompareOp::GtEq,

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod cost;
 pub mod enumerate;
 pub mod histogram;
@@ -37,6 +38,7 @@ use ranksql_algebra::{LogicalPlan, PhysicalPlan, RankQuery};
 use ranksql_common::Result;
 use ranksql_storage::Catalog;
 
+pub use cache::normalized_cache_key;
 pub use cost::{Cost, CostModel};
 pub use enumerate::{DpOptimizer, EnumerationStats};
 pub use histogram::{HistogramEstimator, ScoreHistogram};

@@ -18,9 +18,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod db;
 pub mod micro;
 pub mod synthetic;
 pub mod trip;
 
+pub use db::catalog_into_database;
 pub use synthetic::{SyntheticConfig, SyntheticWorkload};
 pub use trip::TripWorkload;

@@ -53,6 +53,13 @@ pub struct TripWorkload {
 }
 
 impl TripWorkload {
+    /// Copies the generated tables into a fresh [`ranksql_core::Database`]
+    /// so the workload can be driven through the Session/prepared-statement
+    /// API.
+    pub fn database(&self) -> Result<ranksql_core::Database> {
+        crate::db::catalog_into_database(&self.catalog)
+    }
+
     /// Generates the trip-planning dataset and query.
     pub fn generate(config: TripConfig) -> Result<Self> {
         let catalog = Catalog::new();

@@ -176,16 +176,60 @@ fn main() -> ranksql::Result<()> {
         );
     }
 
-    // Incremental consumption: the top hotel is available after probing only
-    // a handful of reviews — no materialisation, no full sort.
-    let ctx = RankingContext::new(base_ctx.predicates().to_vec(), base_ctx.scoring().clone());
-    let mut op = build_mpro(&table, &index, &ctx);
-    let first = op.next()?.expect("at least one hotel");
+    // Incremental consumption through the public Session/Cursor API: the
+    // top hotel is available after probing only a handful of reviews — no
+    // materialisation, no full sort — and `fetch_more` keeps extending the
+    // top-k from where the operators stopped.
+    let db = ranksql::Database::new();
+    db.create_table(
+        "Hotel",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("cheapness", DataType::Float64),
+            Field::new("review", DataType::Float64),
+            Field::new("location", DataType::Float64),
+        ]),
+    )?;
+    db.insert_batch(
+        "Hotel",
+        table.scan().into_iter().map(|t| t.values().to_vec()),
+    )?;
+    let query = ranksql::QueryBuilder::new()
+        .table("Hotel")
+        .rank_predicate(RankPredicate::attribute("cheap", "Hotel.cheapness"))
+        .rank_predicate(RankPredicate::attribute_with_cost(
+            "review",
+            "Hotel.review",
+            EXPENSIVE_PREDICATE_COST,
+        ))
+        .rank_predicate(RankPredicate::attribute_with_cost(
+            "location",
+            "Hotel.location",
+            EXPENSIVE_PREDICATE_COST,
+        ))
+        .limit(3)
+        .build()?;
+    let session = db.session();
+    let before = query.ranking.counters().snapshot();
+    let mut cursor = session
+        .prepare_query(query.clone())?
+        .bind(ranksql::Params::none())?
+        .cursor()?;
+    let first = cursor.next()?.expect("at least one hotel");
+    let after = query.ranking.counters().snapshot();
     println!(
-        "\nfirst result (hotel {}) produced after {} expensive probes out of {} hotels",
+        "\nfirst result (hotel {}) streamed through a Cursor after {} expensive probes out of {} hotels",
         first.tuple.value(0),
-        ctx.counters().count(1) + ctx.counters().count(2),
+        (after[1] - before[1]) + (after[2] - before[2]),
         HOTELS
     );
+    let _rest = cursor.drain()?;
+    let extension = cursor.fetch_more(3)?;
+    println!(
+        "fetch_more(3) extended the top-{} to {} hotels by resuming the incremental operators",
+        query.k,
+        cursor.rows_emitted()
+    );
+    assert_eq!(extension.len(), 3);
     Ok(())
 }

@@ -93,5 +93,39 @@ fn main() -> ranksql::Result<()> {
         println!("estimated cost {:.1}", optimized.cost.value());
         println!("{}", optimized.plan.explain(Some(&query.ranking)));
     }
+
+    // ------------------------------------------------------------------
+    // 4. The same comparison through the public Session surface: sessions
+    //    carry the plan mode, `explain` shows what a caller would run, and
+    //    repeated prepared executions hit the database's plan cache.
+    // ------------------------------------------------------------------
+    let db = workload.database()?;
+    for mode in [ranksql::PlanMode::Traditional, ranksql::PlanMode::RankAware] {
+        let session = db.session().with_mode(mode);
+        println!("\n==== Session explain, mode {mode:?} ====");
+        println!("{}", session.explain(query)?);
+        let prepared = session.prepare_query(query.clone())?;
+        let cold = prepared.execute()?;
+        let hot = prepared.execute()?;
+        assert_eq!(cold.scores(), hot.scores());
+        println!(
+            "prepared twice: first binding {}, second binding {}",
+            if cold.plan_cache.map(|c| c.hit).unwrap_or(false) {
+                "hit"
+            } else {
+                "missed (optimized + cached)"
+            },
+            if hot.plan_cache.map(|c| c.hit).unwrap_or(false) {
+                "hit the cache"
+            } else {
+                "missed"
+            },
+        );
+    }
+    let stats = db.plan_cache_stats();
+    println!(
+        "\nplan cache: {} hits, {} misses, {} cached shapes",
+        stats.hits, stats.misses, stats.entries
+    );
     Ok(())
 }

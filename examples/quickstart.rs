@@ -2,6 +2,14 @@
 //! through the SQL-ish parser, through the query builder, and against an
 //! explicit hand-built ranking plan.
 //!
+//! This example deliberately sticks to the **legacy eager wrappers**
+//! (`Database::execute`, `execute_with_mode`, `execute_plan`) to prove they
+//! keep working unchanged: since the Session API landed they are thin shims
+//! over `session().prepare_query(..).bind(..).cursor()`, so they hit the
+//! plan cache like any prepared execution.  For the request-oriented surface
+//! — sessions, prepared statements with `?` parameters, streaming cursors,
+//! `fetch_more` — see the README quickstart and the other examples.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use ranksql::{

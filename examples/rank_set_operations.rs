@@ -18,19 +18,18 @@
 //!    rank-scans merged by the incremental intersection, with the amount of
 //!    work compared side by side.
 //!
+//! Set operations sit below the SQL/QueryBuilder surface, so the plans are
+//! hand-built `LogicalPlan`s — but everything *runs* through the public
+//! streaming API: `Database::cursor_for_physical` opens a lazy [`Cursor`]
+//! over the live operator tree and `take(k)` pulls exactly the top k.
+//!
+//! [`Cursor`]: ranksql::Cursor
+//!
 //! Run with: `cargo run --example rank_set_operations --release`
 
-use std::sync::Arc;
-
-use ranksql::executor::{
-    rank::RankOp,
-    scan::{RankScan, SeqScan},
-    set_ops::{ExceptOp, IntersectOp, UnionOp},
-    ExecutionContext, PhysicalOperator,
-};
+use ranksql::algebra::{PhysicalPlan, SetOpKind};
 use ranksql::expr::{BoolExpr, RankPredicate, RankedTuple, RankingContext, ScoringFunction};
-use ranksql::storage::{Catalog, ScoreIndex, Table};
-use ranksql::{DataType, Field, Schema, Value};
+use ranksql::{Cursor, DataType, Database, Field, LogicalPlan, RankQuery, Schema, Value};
 
 /// Number of papers in the synthetic catalog.
 const N_PAPERS: i64 = 20_000;
@@ -38,20 +37,19 @@ const N_PAPERS: i64 = 20_000;
 const K: usize = 10;
 
 fn main() -> ranksql::Result<()> {
-    let catalog = Catalog::new();
-    let papers = build_catalog(&catalog)?;
-    let ctx = ranking_context();
+    let db = build_database()?;
 
-    ranked_list_algebra(&papers, &ctx)?;
-    multiple_scan_law(&papers, &ctx)?;
+    ranked_list_algebra(&db)?;
+    multiple_scan_law(&db)?;
     Ok(())
 }
 
 /// A synthetic paper catalog: id, relevance score, citation score and two
 /// Boolean reading-list flags.  Scores are decorrelated on purpose — that is
 /// the regime where stopping early on ranked streams pays off.
-fn build_catalog(catalog: &Catalog) -> ranksql::Result<Arc<Table>> {
-    let papers = catalog.create_table(
+fn build_database() -> ranksql::Result<Database> {
+    let db = Database::new();
+    db.create_table(
         "Papers",
         Schema::new(vec![
             Field::new("id", DataType::Int64),
@@ -61,64 +59,48 @@ fn build_catalog(catalog: &Catalog) -> ranksql::Result<Arc<Table>> {
             Field::new("list_b", DataType::Bool),
         ]),
     )?;
-    for i in 0..N_PAPERS {
-        let relevance = ((i * 7_919) % 10_000) as f64 / 10_000.0;
-        let citations = ((i * 104_729) % 10_000) as f64 / 10_000.0;
-        papers.insert(vec![
-            Value::from(i),
-            Value::from(relevance),
-            Value::from(citations),
-            Value::from(i % 3 == 0),
-            Value::from(i % 5 == 0),
-        ])?;
-    }
-    Ok(papers)
+    db.insert_batch(
+        "Papers",
+        (0..N_PAPERS).map(|i| {
+            let relevance = ((i * 7_919) % 10_000) as f64 / 10_000.0;
+            let citations = ((i * 104_729) % 10_000) as f64 / 10_000.0;
+            vec![
+                Value::from(i),
+                Value::from(relevance),
+                Value::from(citations),
+                Value::from(i % 3 == 0),
+                Value::from(i % 5 == 0),
+            ]
+        }),
+    )?;
+    Ok(db)
 }
 
-fn ranking_context() -> Arc<RankingContext> {
-    RankingContext::new(
-        vec![
-            RankPredicate::attribute("rel", "Papers.relevance"),
-            RankPredicate::attribute("cit", "Papers.citations"),
-        ],
-        ScoringFunction::Sum,
+/// The shared query frame: one table, the two ranking predicates, top-K.
+fn paper_query() -> RankQuery {
+    RankQuery::new(
+        vec!["Papers".into()],
+        vec![],
+        RankingContext::new(
+            vec![
+                RankPredicate::attribute("rel", "Papers.relevance"),
+                RankPredicate::attribute("cit", "Papers.citations"),
+            ],
+            ScoringFunction::Sum,
+        ),
+        K,
     )
 }
 
-/// A rank-scan over `papers` in descending order of context predicate `pred`.
-fn rank_scan(
-    papers: &Arc<Table>,
-    pred: usize,
-    exec: &ExecutionContext,
-    name: &str,
-) -> ranksql::Result<Box<dyn PhysicalOperator>> {
-    let index = Arc::new(ScoreIndex::build(
-        exec.ranking().predicate(pred),
-        papers.schema(),
-        &papers.scan(),
-    )?);
-    Ok(Box::new(RankScan::new(
-        Arc::clone(papers),
-        index,
-        pred,
-        exec,
-        name,
-    )?))
+/// Opens a streaming cursor over a hand-built logical plan.
+fn open(db: &Database, query: &RankQuery, plan: &LogicalPlan) -> ranksql::Result<Cursor> {
+    db.cursor_for_physical(query, PhysicalPlan::from_logical(plan)?)
 }
 
-/// A rank-scan restricted to one reading list (scan-based selection).
-fn ranked_list(
-    papers: &Arc<Table>,
-    pred: usize,
-    list_column: &str,
-    exec: &ExecutionContext,
-    name: &str,
-) -> ranksql::Result<Box<dyn PhysicalOperator>> {
-    let scan = rank_scan(papers, pred, exec, &format!("{name} scan"))?;
-    let filter = BoolExpr::column_is_true(list_column);
-    Ok(Box::new(ranksql::executor::filter::Filter::new(
-        scan, &filter, exec, name,
-    )?))
+/// A rank-scan over `Papers` restricted to one reading list.
+fn ranked_list(db: &Database, pred: usize, list_column: &str) -> ranksql::Result<LogicalPlan> {
+    let papers = db.catalog().table("Papers")?;
+    Ok(LogicalPlan::rank_scan(&papers, pred).select(BoolExpr::column_is_true(list_column)))
 }
 
 fn print_top(title: &str, ctx: &RankingContext, tuples: &[RankedTuple]) {
@@ -143,48 +125,31 @@ fn print_top(title: &str, ctx: &RankingContext, tuples: &[RankedTuple]) {
 // Part 1: ∪ / ∩ / − over two ranked reading lists
 // ---------------------------------------------------------------------------
 
-fn ranked_list_algebra(papers: &Arc<Table>, ctx: &Arc<RankingContext>) -> ranksql::Result<()> {
+fn ranked_list_algebra(db: &Database) -> ranksql::Result<()> {
     println!("== Rank-aware set operations over two ranked reading lists ==\n");
     println!(
         "list A = papers on reading list A, ranked by relevance (predicate `rel`)\n\
          list B = papers on reading list B, ranked by citations (predicate `cit`)\n"
     );
 
-    // Intersection: papers on both lists, ordered by the aggregate order
-    // rel + cit (both predicates are evaluated across the two operands).
-    let exec = ExecutionContext::new(Arc::clone(ctx));
-    let a = ranked_list(papers, 0, "Papers.list_a", &exec, "list A")?;
-    let b = ranked_list(papers, 1, "Papers.list_b", &exec, "list B")?;
-    let mut intersect = IntersectOp::new(a, b, &exec, "∩");
-    let both = take(&mut intersect, K)?;
-    print_top(
-        "papers on BOTH lists (∩), aggregate order rel + cit:",
-        ctx,
-        &both,
-    );
-
-    // Union: papers on either list; a paper reached from both sides carries
-    // both evaluated predicates, one reached from a single side keeps the
-    // other predicate at its upper bound.
-    let exec = ExecutionContext::new(Arc::clone(ctx));
-    let a = ranked_list(papers, 0, "Papers.list_a", &exec, "list A")?;
-    let b = ranked_list(papers, 1, "Papers.list_b", &exec, "list B")?;
-    let mut union = UnionOp::new(a, b, &exec, "∪");
-    let either = take(&mut union, K)?;
-    print_top("papers on EITHER list (∪):", ctx, &either);
-
-    // Difference: papers on list A but not on list B; the output keeps the
-    // outer operand's order (by `rel` only), per Figure 3.
-    let exec = ExecutionContext::new(Arc::clone(ctx));
-    let a = ranked_list(papers, 0, "Papers.list_a", &exec, "list A")?;
-    let b = ranked_list(papers, 1, "Papers.list_b", &exec, "list B")?;
-    let mut except = ExceptOp::new(a, b, &exec, "−");
-    let only_a = take(&mut except, K)?;
-    print_top(
-        "papers on list A but NOT list B (−), ordered by rel:",
-        ctx,
-        &only_a,
-    );
+    for (kind, title) in [
+        (
+            SetOpKind::Intersect,
+            "papers on BOTH lists (∩), aggregate order rel + cit:",
+        ),
+        (SetOpKind::Union, "papers on EITHER list (∪):"),
+        (
+            SetOpKind::Except,
+            "papers on list A but NOT list B (−), ordered by rel:",
+        ),
+    ] {
+        let query = paper_query();
+        let plan =
+            ranked_list(db, 0, "Papers.list_a")?.set_op(kind, ranked_list(db, 1, "Papers.list_b")?);
+        let mut cursor = open(db, &query, &plan)?;
+        let top = cursor.take(K)?;
+        print_top(title, &query.ranking, &top);
+    }
     Ok(())
 }
 
@@ -192,45 +157,43 @@ fn ranked_list_algebra(papers: &Arc<Table>, ctx: &Arc<RankingContext>) -> ranksq
 // Part 2: the multiple-scan law (Proposition 6)
 // ---------------------------------------------------------------------------
 
-fn multiple_scan_law(papers: &Arc<Table>, _shared: &Arc<RankingContext>) -> ranksql::Result<()> {
+fn multiple_scan_law(db: &Database) -> ranksql::Result<()> {
     println!("== Proposition 6: µ_rel(µ_cit(Papers)) ≡ µ_rel(Papers) ∩ µ_cit(Papers) ==\n");
+    let papers = db.catalog().table("Papers")?;
 
     // Strategy A: µ_rel(µ_cit(seqScan(Papers))) — one pass over the table.
-    // (Fresh contexts so the evaluation counters of the two strategies do not
-    // mix.)
-    let ctx_a = ranking_context();
-    let exec_a = ExecutionContext::new(Arc::clone(&ctx_a));
-    let scan = SeqScan::new(papers, &exec_a, "seq-scan");
-    let mu_cit = RankOp::new(Box::new(scan), 1, &exec_a, "µ_cit");
-    let mut chain = RankOp::new(Box::new(mu_cit), 0, &exec_a, "µ_rel");
-    let top_chain = take(&mut chain, K)?;
+    // (Separate queries so the evaluation counters of the two strategies do
+    // not mix.)
+    let query_a = paper_query();
+    let chain = LogicalPlan::scan(&papers).rank(1).rank(0);
+    let mut cursor_a = open(db, &query_a, &chain)?;
+    let top_chain = cursor_a.take(K)?;
 
-    // Strategy B: µ_rel(Papers) ∩ µ_cit(Papers) — two rank-scans merged by the
-    // incremental rank-aware intersection.
-    let ctx_b = ranking_context();
-    let exec_b = ExecutionContext::new(Arc::clone(&ctx_b));
-    let left = rank_scan(papers, 0, &exec_b, "rank-scan rel")?;
-    let right = rank_scan(papers, 1, &exec_b, "rank-scan cit")?;
-    let mut multi = IntersectOp::new(left, right, &exec_b, "∩");
-    let top_multi = take(&mut multi, K)?;
+    // Strategy B: µ_rel(Papers) ∩ µ_cit(Papers) — two rank-scans merged by
+    // the incremental rank-aware intersection.
+    let query_b = paper_query();
+    let multi = LogicalPlan::rank_scan(&papers, 0)
+        .set_op(SetOpKind::Intersect, LogicalPlan::rank_scan(&papers, 1));
+    let mut cursor_b = open(db, &query_b, &multi)?;
+    let top_multi = cursor_b.take(K)?;
 
     println!("top-{K} overall scores under both strategies:");
     println!("    {:>12}  {:>14}", "µ chain", "multiple-scan");
     for (a, b) in top_chain.iter().zip(top_multi.iter()) {
         println!(
             "    {:>12.4}  {:>14.4}",
-            ctx_a.upper_bound(&a.state).value(),
-            ctx_b.upper_bound(&b.state).value()
+            query_a.ranking.upper_bound(&a.state).value(),
+            query_b.ranking.upper_bound(&b.state).value()
         );
     }
 
     println!("\noperator work (tuples in → out):");
-    for (label, exec) in [
-        ("µ chain over seq-scan", &exec_a),
-        ("rank-scan ∩ rank-scan", &exec_b),
+    for (label, cursor) in [
+        ("µ chain over seq-scan", &cursor_a),
+        ("rank-scan ∩ rank-scan", &cursor_b),
     ] {
         println!("  {label}:");
-        for m in exec.metrics().snapshot() {
+        for m in cursor.metrics().snapshot() {
             println!(
                 "    {:<16} {:>8} → {:<8}",
                 m.name(),
@@ -245,15 +208,4 @@ fn multiple_scan_law(papers: &Arc<Table>, _shared: &Arc<RankingContext>) -> rank
          touches only the prefixes of the two ranked scans that the top-{K} answer requires."
     );
     Ok(())
-}
-
-fn take(op: &mut dyn PhysicalOperator, k: usize) -> ranksql::Result<Vec<RankedTuple>> {
-    let mut out = Vec::with_capacity(k);
-    while out.len() < k {
-        match op.next()? {
-            Some(t) => out.push(t),
-            None => break,
-        }
-    }
-    Ok(out)
 }

@@ -14,7 +14,6 @@
 //!
 //! Run with: `cargo run --example rule_based_optimizer --release`
 
-use ranksql::executor::execute_query_plan;
 use ranksql::workload::{SyntheticConfig, SyntheticWorkload};
 use ranksql::{OptimizerConfig, OptimizerMode, RankOptimizer};
 
@@ -40,6 +39,8 @@ fn main() -> ranksql::Result<()> {
     );
     let workload = SyntheticWorkload::generate(config)?;
     workload.build_indexes()?;
+    // The chosen plans execute through the public cursor-backed engine.
+    let db = workload.database()?;
 
     let modes = [
         ("traditional (ranking-blind)", OptimizerMode::Traditional),
@@ -66,12 +67,9 @@ fn main() -> ranksql::Result<()> {
         });
         let chosen = optimizer.optimize(&workload.query, &workload.catalog)?;
 
-        // Execute the chosen plan and collect runtime metrics.  Counters are
-        // reset so each strategy reports only its own work.
-        workload.query.ranking.counters().reset();
-        let started = std::time::Instant::now();
-        let result = execute_query_plan(&workload.query, &chosen.plan, &workload.catalog)?;
-        let elapsed = started.elapsed();
+        // Execute the chosen plan through `Database::execute_plan` (the
+        // cursor-backed compatibility wrapper) and collect runtime metrics.
+        let result = db.execute_plan(&workload.query, &chosen.plan)?;
         let scanned: u64 = result
             .metrics
             .snapshot()
@@ -89,8 +87,8 @@ fn main() -> ranksql::Result<()> {
         println!("{}", chosen.plan.explain(Some(&workload.query.ranking)));
         println!(
             "execution: {} results in {:.1} ms, {} predicate evaluations, {} tuples scanned\n",
-            result.tuples.len(),
-            elapsed.as_secs_f64() * 1e3,
+            result.rows.len(),
+            result.elapsed.as_secs_f64() * 1e3,
             result.total_predicate_evaluations(),
             scanned
         );

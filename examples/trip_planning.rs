@@ -4,12 +4,15 @@
 //!
 //! The example contrasts the traditional materialise-then-sort plan with the
 //! rank-aware plan the optimizer picks (Figure 7 of the paper), reporting how
-//! many times each expensive ranking predicate was evaluated under each plan.
+//! many times each expensive ranking predicate was evaluated under each plan
+//! — driven through the Session API: one session per plan mode, a prepared
+//! query executed against the shared plan cache, and a streaming cursor to
+//! show that the first trip surfaces long before the plan is drained.
 //!
 //! Run with: `cargo run --example trip_planning --release`
 
 use ranksql::workload::trip::{TripConfig, TripWorkload};
-use ranksql::{Database, PlanMode};
+use ranksql::{Params, PlanMode};
 
 fn main() -> ranksql::Result<()> {
     let config = TripConfig {
@@ -23,25 +26,17 @@ fn main() -> ranksql::Result<()> {
         config.hotels, config.restaurants, config.museums, config.k
     );
     let workload = TripWorkload::generate(config)?;
-
-    // Wrap the generated catalog in a Database facade by moving the tables in.
-    let db = Database::new();
-    for name in workload.catalog.table_names() {
-        let table = workload.catalog.table(&name)?;
-        let created = db.create_table(&name, strip_qualifiers(table.schema()))?;
-        for t in table.scan() {
-            created.insert(t.values().to_vec())?;
-        }
-    }
+    let db = workload.database()?;
     let query = workload.query;
 
     println!("\nquery: hotel ⋈ restaurant ⋈ museum, Italian only, hotel+restaurant < $100,");
     println!("ranked by cheap(hotel) + close(hotel, restaurant) + related(museum, dinosaur)\n");
 
     for mode in [PlanMode::Traditional, PlanMode::RankAware] {
+        let session = db.session().with_mode(mode);
         println!("==== {mode:?} ====");
-        println!("{}", db.explain(&query, mode)?);
-        let result = db.execute_with_mode(&query, mode)?;
+        println!("{}", session.explain(&query)?);
+        let result = session.execute(&query)?;
         println!(
             "\nelapsed: {:?}; ranking-predicate evaluations: cheap={}, close={}, related={}",
             result.elapsed,
@@ -51,17 +46,23 @@ fn main() -> ranksql::Result<()> {
         );
         println!("top results:\n{result}");
     }
-    Ok(())
-}
 
-/// The workload qualifies fields by table name; `Database::create_table`
-/// re-qualifies on its own, so strip the qualifiers before re-creating.
-fn strip_qualifiers(schema: &ranksql::Schema) -> ranksql::Schema {
-    ranksql::Schema::new(
-        schema
-            .fields()
-            .iter()
-            .map(|f| ranksql::Field::new(f.name.clone(), f.data_type))
-            .collect(),
-    )
+    // The same query once more, now as a prepared statement with a
+    // streaming cursor: the plan comes out of the cache (the eager run
+    // above populated it) and the best trip is available after the first
+    // pull — no drain.
+    let session = db.session();
+    let prepared = session.prepare_query(query.clone())?;
+    let bound = prepared.bind(Params::none())?;
+    let close_calls_before = query.ranking.counters().count(1);
+    let mut cursor = bound.cursor()?;
+    if let Some(best) = cursor.next()? {
+        println!(
+            "streamed best trip (score {:.4}) after evaluating close() only {} times",
+            cursor.score(&best),
+            query.ranking.counters().count(1) - close_calls_before
+        );
+    }
+    println!("\n{}", cursor.explain_analyze());
+    Ok(())
 }

@@ -4,14 +4,21 @@
 //!
 //! A product catalog is joined with a review table; two ranking predicates
 //! model an external price-comparison lookup (cost 200 units) and a
-//! sentiment-analysis call (cost 400 units).  The example shows how the
-//! rank-aware plan evaluates far fewer expensive predicates than the
-//! materialise-then-sort plan while returning the same top-k.
+//! sentiment-analysis call (cost 400 units).  The example shows, through the
+//! Session / prepared-statement / Cursor API, how
+//!
+//! * the rank-aware plan issues far fewer expensive "external calls" than
+//!   the materialise-then-sort plan for the same answer,
+//! * a *prepared* query with a `?` category filter is optimized once and
+//!   re-bound per category (plan-cache hits), and
+//! * a streaming cursor surfaces the best product after a handful of calls
+//!   and `fetch_more` extends the top-k without restarting.
 //!
 //! Run with: `cargo run --example web_source_topk --release`
 
 use ranksql::{
-    BoolExpr, DataType, Database, Field, PlanMode, QueryBuilder, RankPredicate, Schema, Value,
+    BoolExpr, CompareOp, DataType, Database, Field, Params, PlanMode, QueryBuilder, RankPredicate,
+    ScalarExpr, Schema, Value,
 };
 
 fn main() -> ranksql::Result<()> {
@@ -79,7 +86,7 @@ fn main() -> ranksql::Result<()> {
     println!("top-10 in-stock products by deal quality + review sentiment\n");
     let mut summaries = Vec::new();
     for mode in [PlanMode::Traditional, PlanMode::RankAware] {
-        let result = db.execute_with_mode(&query, mode)?;
+        let result = db.session().with_mode(mode).execute(&query)?;
         println!("==== {mode:?} ====");
         println!(
             "elapsed {:?}; external calls: price-API = {}, sentiment-API = {}",
@@ -96,5 +103,74 @@ fn main() -> ranksql::Result<()> {
         "identical answers; the rank-aware plan issued {} external calls vs {} for the traditional plan",
         summaries[1].2, summaries[0].2
     );
+
+    // ------------------------------------------------------------------
+    // A per-category service endpoint: prepare once, bind per request.
+    // ------------------------------------------------------------------
+    let by_category = QueryBuilder::new()
+        .tables(["Product", "Review"])
+        .filter(BoolExpr::col_eq_col("Product.id", "Review.product_id"))
+        .filter(BoolExpr::column_is_true("Product.in_stock"))
+        .filter(BoolExpr::compare(
+            ScalarExpr::col("Product.category"),
+            CompareOp::Eq,
+            ScalarExpr::param(0),
+        ))
+        .rank_predicate(RankPredicate::attribute_with_cost(
+            "best_deal",
+            "Product.deal_score",
+            200,
+        ))
+        .rank_predicate(RankPredicate::attribute_with_cost(
+            "sentiment",
+            "Review.sentiment",
+            400,
+        ))
+        .limit(3)
+        .build()?;
+    let session = db.session();
+    let prepared = session.prepare_query(by_category)?;
+    println!("\nprepared per-category top-3 (filter constant is a `?` slot):");
+    for category in [0i64, 7, 19] {
+        let bound = prepared.bind(Params::new().set(0, category))?;
+        let result = bound.execute()?;
+        println!(
+            "  category {category:>2}: best score {:.4}  ({}, {} external calls)",
+            result.scores().first().copied().unwrap_or(f64::NAN),
+            if result.plan_cache.map(|c| c.hit).unwrap_or(false) {
+                "plan-cache hit"
+            } else {
+                "cold plan"
+            },
+            result.total_predicate_evaluations(),
+        );
+    }
+    let stats = db.plan_cache_stats();
+    println!(
+        "plan cache after the loop: {} hits, {} misses, {} shapes",
+        stats.hits, stats.misses, stats.entries
+    );
+
+    // ------------------------------------------------------------------
+    // Streaming: first result, then "a few more" — without re-executing.
+    // ------------------------------------------------------------------
+    let mut cursor = prepared.bind(Params::new().set(0, 7i64))?.cursor()?;
+    let first = cursor.take(1)?;
+    println!(
+        "\nstreamed best of category 7: score {:.4} (only {} rows pulled so far)",
+        first.first().map(|t| cursor.score(t)).unwrap_or(f64::NAN),
+        cursor.rows_emitted()
+    );
+    let _rest = cursor.drain()?;
+    match cursor.fetch_more(2) {
+        Ok(_) => println!(
+            "fetch_more(2) extended the top-3 to {} rows total — the incremental \
+             rank-join resumed instead of restarting",
+            cursor.rows_emitted()
+        ),
+        // A cost-based choice may legitimately pick a blocking top-k sort
+        // here; such plans refuse extension instead of recomputing silently.
+        Err(e) => println!("extension unavailable for this plan shape: {e}"),
+    }
     Ok(())
 }

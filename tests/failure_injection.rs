@@ -261,7 +261,8 @@ fn erroring_parallel_worker_surfaces_a_clean_query_error_and_no_deadlock() {
     // A tuple budget that trips mid-morsel makes workers fail while others
     // are still running: the failure must surface as one clean
     // `RankSqlError` — never a deadlock, never partial results.
-    let db = small_db().with_threads(4);
+    let db = small_db();
+    let session = db.session().with_threads(4);
     let query = QueryBuilder::new()
         .tables(["T", "U"])
         .filter(BoolExpr::col_eq_col("T.jc", "U.jc"))
@@ -270,7 +271,11 @@ fn erroring_parallel_worker_surfaces_a_clean_query_error_and_no_deadlock() {
         .limit(3)
         .build()
         .unwrap();
-    let physical = db.plan(&query, PlanMode::Canonical).unwrap().physical;
+    let physical = session
+        .with_mode(PlanMode::Canonical)
+        .plan(&query)
+        .unwrap()
+        .physical;
     assert!(physical.contains_exchange(), "{}", physical.explain(None));
 
     // Both tables have 30 rows.  A budget of 45 survives the build-side
@@ -314,13 +319,18 @@ fn panicking_worker_becomes_an_error_and_the_pool_is_reusable() {
     assert_eq!(out, vec![0, 10, 20, 30]);
 
     // And a real parallel query through the same machinery still succeeds.
-    let db = small_db().with_threads(4);
+    let db = small_db();
     let query = QueryBuilder::new()
         .table("T")
         .rank_predicate(RankPredicate::attribute("p", "T.p"))
         .limit(2)
         .build()
         .unwrap();
-    let r = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+    let r = db
+        .session()
+        .with_mode(PlanMode::Canonical)
+        .with_threads(4)
+        .execute(&query)
+        .unwrap();
     assert_eq!(r.rows.len(), 2);
 }

@@ -125,11 +125,16 @@ proptest! {
     /// random batch and morsel sizes.
     #[test]
     fn parallel_equals_serial_and_tuple_mode_for_all_plan_modes(w in workload()) {
-        let (mut db, query) = build_database(&w);
+        let (db, query) = build_database(&w);
         for mode in ALL_MODES {
             // Serial reference plan (no exchanges) executed two ways.
-            db.set_threads(1);
-            let serial_plan = db.plan(&query, mode).unwrap().physical;
+            let serial_plan = db
+                .session()
+                .with_mode(mode)
+                .with_threads(1)
+                .plan(&query)
+                .unwrap()
+                .physical;
             prop_assert!(!serial_plan.contains_exchange());
 
             let batch_exec = ExecutionContext::new(query.ranking.clone());
@@ -146,8 +151,13 @@ proptest! {
             );
 
             // Parallelized plan executed across the thread sweep.
-            db.set_threads(4);
-            let parallel_plan = db.plan(&query, mode).unwrap().physical;
+            let parallel_plan = db
+                .session()
+                .with_mode(mode)
+                .with_threads(4)
+                .plan(&query)
+                .unwrap()
+                .physical;
             for threads in THREAD_COUNTS {
                 let exec = ExecutionContext::new(query.ranking.clone())
                     .with_threads(threads)
@@ -186,9 +196,14 @@ fn per_operator_actuals_are_identical_across_thread_counts() {
         batch_size: 16,
         morsel_size: 8,
     };
-    let (mut db, query) = build_database(&w);
-    db.set_threads(4);
-    let plan = db.plan(&query, PlanMode::Canonical).unwrap().physical;
+    let (db, query) = build_database(&w);
+    let plan = db
+        .session()
+        .with_mode(PlanMode::Canonical)
+        .with_threads(4)
+        .plan(&query)
+        .unwrap()
+        .physical;
     assert!(plan.contains_exchange(), "{}", plan.explain(None));
 
     let run = |threads: usize| {
@@ -232,9 +247,13 @@ fn explain_analyze_reports_exchange_nodes() {
         batch_size: 32,
         morsel_size: 16,
     };
-    let (mut db, query) = build_database(&w);
-    db.set_threads(4);
-    let result = db.execute_with_mode(&query, PlanMode::Canonical).unwrap();
+    let (db, query) = build_database(&w);
+    let result = db
+        .session()
+        .with_mode(PlanMode::Canonical)
+        .with_threads(4)
+        .execute(&query)
+        .unwrap();
     let analyzed = result.explain_analyze(Some(&query.ranking));
     assert!(analyzed.contains("Exchange"), "{analyzed}");
     assert!(analyzed.contains("Repartition(morsels)"), "{analyzed}");

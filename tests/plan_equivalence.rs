@@ -298,10 +298,15 @@ fn explain_analyze_reports_actual_cardinalities() {
     let result = db.execute_with_mode(&query, PlanMode::RankAware).unwrap();
     let analyzed = result.explain_analyze(Some(&query.ranking));
     assert!(analyzed.contains("actual_rows="), "{analyzed}");
-    // The root produced exactly the returned rows.
-    let first_line = analyzed.lines().next().unwrap();
+    // Executions through the (session-backed) wrappers surface the
+    // plan-cache outcome first...
+    let mut lines = analyzed.lines();
+    let cache_line = lines.next().unwrap();
+    assert!(cache_line.starts_with("plan cache:"), "{analyzed}");
+    // ...and the plan root produced exactly the returned rows.
+    let first_plan_line = lines.next().unwrap();
     assert!(
-        first_line.contains(&format!("actual_rows={}", result.rows.len())),
+        first_plan_line.contains(&format!("actual_rows={}", result.rows.len())),
         "{analyzed}"
     );
 }
