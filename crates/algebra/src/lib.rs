@@ -31,6 +31,6 @@ pub mod plan;
 pub mod query;
 
 pub use laws::{equivalent_plans, Rewrite, RewriteRule};
-pub use physical::{ExchangeMerge, OperatorActuals, PhysicalOp, PhysicalPlan};
+pub use physical::{ColumnarScan, ExchangeMerge, OperatorActuals, PhysicalOp, PhysicalPlan};
 pub use plan::{JoinAlgorithm, LogicalPlan, ScanAccess, SetOpKind};
 pub use query::RankQuery;

@@ -47,6 +47,28 @@ pub enum ExchangeMerge {
     },
 }
 
+/// Columnar-backend annotation of a sequential scan: produced by the
+/// optimizer's `columnarize` pass when the database's storage backend is
+/// columnar.  The executor lowers an annotated scan to a `ColumnScan` that
+/// reads the table's [`ColumnTable`] projection block by block.
+///
+/// [`ColumnTable`]: ranksql_storage::ColumnTable
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnarScan {
+    /// A σ predicate fused into the scan (a conjunction of simple
+    /// column-vs-constant comparisons): evaluated column-at-a-time against
+    /// the typed column vectors, with zone maps skipping blocks whose value
+    /// range cannot satisfy it.  Rows are materialised into tuples only
+    /// *after* they pass — late materialisation on the σ spine.
+    pub pushed_filter: Option<BoolExpr>,
+    /// Whether the scan may additionally skip blocks whose maximal possible
+    /// *query score* (zone-map maxima through the scoring function) cannot
+    /// beat the downstream top-k's current threshold.  Set only when the
+    /// scan feeds a `SortLimit` through an order/membership-preserving σ/π
+    /// chain, so pruning can never change results — only `tuples_scanned`.
+    pub zone_prune: bool,
+}
+
 /// A physical operator node; children are embedded [`PhysicalPlan`]s.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalOp {
@@ -56,6 +78,8 @@ pub enum PhysicalOp {
         table: String,
         /// Snapshot of the table schema.
         schema: Schema,
+        /// Columnar-backend annotation (`None` = plain row scan).
+        columnar: Option<ColumnarScan>,
     },
     /// Score-index scan emitting tuples in descending order of one ranking
     /// predicate (the paper's `idxScan_p`).
@@ -243,6 +267,110 @@ impl OperatorActuals {
     }
 }
 
+impl PhysicalOp {
+    /// Rebuilds this operator with `f` applied to every direct child plan
+    /// (leaves are returned unchanged).  The one exhaustive child walk
+    /// rewrite passes share, so adding a `PhysicalOp` variant only needs
+    /// its children threaded here.
+    pub fn map_children(self, mut f: impl FnMut(PhysicalPlan) -> PhysicalPlan) -> PhysicalOp {
+        match self {
+            PhysicalOp::Filter { input, predicate } => PhysicalOp::Filter {
+                input: Box::new(f(*input)),
+                predicate,
+            },
+            PhysicalOp::Project { input, columns } => PhysicalOp::Project {
+                input: Box::new(f(*input)),
+                columns,
+            },
+            PhysicalOp::RankMaterialize { input, predicate } => PhysicalOp::RankMaterialize {
+                input: Box::new(f(*input)),
+                predicate,
+            },
+            PhysicalOp::MproProbe { input, schedule } => PhysicalOp::MproProbe {
+                input: Box::new(f(*input)),
+                schedule,
+            },
+            PhysicalOp::Sort { input, predicates } => PhysicalOp::Sort {
+                input: Box::new(f(*input)),
+                predicates,
+            },
+            PhysicalOp::SortLimit {
+                input,
+                predicates,
+                k,
+            } => PhysicalOp::SortLimit {
+                input: Box::new(f(*input)),
+                predicates,
+                k,
+            },
+            PhysicalOp::Limit { input, k } => PhysicalOp::Limit {
+                input: Box::new(f(*input)),
+                k,
+            },
+            PhysicalOp::Exchange { input, merge } => PhysicalOp::Exchange {
+                input: Box::new(f(*input)),
+                merge,
+            },
+            PhysicalOp::Repartition { input } => PhysicalOp::Repartition {
+                input: Box::new(f(*input)),
+            },
+            PhysicalOp::NestedLoopsJoin {
+                left,
+                right,
+                condition,
+            } => PhysicalOp::NestedLoopsJoin {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+                condition,
+            },
+            PhysicalOp::HashJoin {
+                left,
+                right,
+                condition,
+            } => PhysicalOp::HashJoin {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+                condition,
+            },
+            PhysicalOp::SortMergeJoin {
+                left,
+                right,
+                condition,
+            } => PhysicalOp::SortMergeJoin {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+                condition,
+            },
+            PhysicalOp::HashRankJoin {
+                left,
+                right,
+                condition,
+            } => PhysicalOp::HashRankJoin {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+                condition,
+            },
+            PhysicalOp::NestedLoopsRankJoin {
+                left,
+                right,
+                condition,
+            } => PhysicalOp::NestedLoopsRankJoin {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+                condition,
+            },
+            PhysicalOp::SetOp { kind, left, right } => PhysicalOp::SetOp {
+                kind,
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+            },
+            leaf @ (PhysicalOp::SeqScan { .. }
+            | PhysicalOp::RankScan { .. }
+            | PhysicalOp::AttributeIndexScan { .. }) => leaf,
+        }
+    }
+}
+
 /// A physical plan node: a [`PhysicalOp`] plus the optimizer's per-node
 /// estimates.
 #[derive(Debug, Clone, PartialEq)]
@@ -299,6 +427,7 @@ impl PhysicalPlan {
                 ScanAccess::Sequential => PhysicalOp::SeqScan {
                     table: table.clone(),
                     schema: schema.clone(),
+                    columnar: None,
                 },
                 ScanAccess::RankIndex { predicate } => PhysicalOp::RankScan {
                     table: table.clone(),
@@ -475,6 +604,14 @@ impl PhysicalPlan {
         let mut out = Vec::new();
         match &self.op {
             PhysicalOp::Filter { predicate, .. } => out.extend(predicate.param_slots()),
+            PhysicalOp::SeqScan {
+                columnar:
+                    Some(ColumnarScan {
+                        pushed_filter: Some(f),
+                        ..
+                    }),
+                ..
+            } => out.extend(f.param_slots()),
             PhysicalOp::NestedLoopsJoin {
                 condition: Some(c), ..
             }
@@ -605,6 +742,18 @@ impl PhysicalPlan {
             PhysicalOp::Repartition { input } => PhysicalOp::Repartition {
                 input: child(input)?,
             },
+            PhysicalOp::SeqScan {
+                table,
+                schema,
+                columnar: Some(c),
+            } => PhysicalOp::SeqScan {
+                table: table.clone(),
+                schema: schema.clone(),
+                columnar: Some(ColumnarScan {
+                    pushed_filter: rebind(&c.pushed_filter)?,
+                    zone_prune: c.zone_prune,
+                }),
+            },
             leaf @ (PhysicalOp::SeqScan { .. }
             | PhysicalOp::RankScan { .. }
             | PhysicalOp::AttributeIndexScan { .. }) => leaf.clone(),
@@ -709,7 +858,25 @@ impl PhysicalPlan {
             }
         };
         match &self.op {
-            PhysicalOp::SeqScan { table, .. } => format!("SeqScan({table})"),
+            PhysicalOp::SeqScan {
+                table,
+                columnar: None,
+                ..
+            } => format!("SeqScan({table})"),
+            PhysicalOp::SeqScan {
+                table,
+                columnar: Some(c),
+                ..
+            } => {
+                let mut label = format!("ColumnScan({table})");
+                if let Some(f) = &c.pushed_filter {
+                    let _ = std::fmt::Write::write_fmt(&mut label, format_args!("[σ {f}]"));
+                }
+                if c.zone_prune {
+                    label.push_str("[zone-prune]");
+                }
+                label
+            }
             PhysicalOp::RankScan {
                 table, predicate, ..
             } => {

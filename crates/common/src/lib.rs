@@ -39,4 +39,4 @@ pub use pool::{default_thread_count, morsel_ranges, WorkerPool, DEFAULT_MORSEL_S
 pub use schema::{Field, Schema};
 pub use score::Score;
 pub use tuple::{Tuple, TupleId};
-pub use value::{DataType, Value};
+pub use value::{cmp_f64_total, DataType, Value};

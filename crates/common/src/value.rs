@@ -127,12 +127,22 @@ impl Value {
     /// Compares two floats with a total order: `NaN` sorts greater than
     /// every non-NaN value and equal to itself.
     fn cmp_f64(a: f64, b: f64) -> Ordering {
-        match (a.is_nan(), b.is_nan()) {
-            (true, true) => Ordering::Equal,
-            (true, false) => Ordering::Greater,
-            (false, true) => Ordering::Less,
-            (false, false) => a.partial_cmp(&b).expect("non-NaN floats compare"),
-        }
+        cmp_f64_total(a, b)
+    }
+}
+
+/// The total order over `f64` that [`Value`] comparisons use: `NaN` sorts
+/// greater than every non-NaN value and equal to itself.
+///
+/// Public because the columnar zone maps fold block minima/maxima with this
+/// exact order — their pruning soundness depends on matching the order the
+/// executor's filters see, so there must be one definition.
+pub fn cmp_f64_total(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN floats compare"),
     }
 }
 

@@ -77,7 +77,15 @@ impl Cursor {
         physical: PhysicalPlan,
         plan_cache: Option<PlanCacheLookup>,
     ) -> Result<Cursor> {
-        let ranking = Arc::clone(&query.ranking);
+        // On columnar plans, tighten every upper bound with the tables'
+        // zone-map score maxima: rank-aware operators (µ, MPro, HRJN/NRJN)
+        // then emit earlier and probe less.  Caps never change results —
+        // they are valid per-predicate maxima — and row-backend plans get
+        // `None`, keeping their historical bounds bit for bit.
+        let ranking = match ranksql_executor::zone_score_caps(&query.ranking, catalog, &physical) {
+            Some(caps) => query.ranking.with_predicate_caps(caps),
+            None => Arc::clone(&query.ranking),
+        };
         let exec = match settings.tuple_budget {
             Some(b) => ExecutionContext::with_budget(Arc::clone(&ranking), b),
             None => ExecutionContext::new(Arc::clone(&ranking)),
@@ -258,6 +266,8 @@ impl Cursor {
             metrics: Arc::clone(self.exec.metrics()),
             elapsed,
             predicate_evaluations,
+            tuples_scanned: self.exec.budget().used(),
+            blocks_pruned: self.exec.blocks_pruned(),
         };
         let mut result = QueryResult::from_ranking(&self.ranking, &self.physical, execution)?;
         result.plan_cache = self.plan_cache;

@@ -9,7 +9,7 @@ use parking_lot::Mutex;
 use ranksql_algebra::{LogicalPlan, PhysicalPlan, RankQuery};
 use ranksql_common::{Result, Schema, Value};
 use ranksql_optimizer::{OptimizedPlan, OptimizerConfig, OptimizerMode, RankOptimizer};
-use ranksql_storage::{Catalog, Table};
+use ranksql_storage::{Catalog, StorageBackend, Table};
 
 use crate::cursor::Cursor;
 use crate::result::QueryResult;
@@ -78,28 +78,54 @@ pub(crate) struct CachedPlan {
     pub(crate) k: usize,
 }
 
-/// The most cached plan shapes a database holds; reaching the cap evicts an
-/// arbitrary entry (misses stay cheap to serve, memory stays bounded even
-/// when ad-hoc queries with distinct literal shapes stream through the
-/// eager wrappers).
+/// One cache slot: the plan plus its last-touched tick for LRU eviction.
+#[derive(Debug)]
+struct CacheSlot {
+    plan: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+/// The most cached plan shapes a database holds; reaching the cap evicts the
+/// **least recently used** entry, so hot shapes survive storms of ad-hoc
+/// queries with distinct literal shapes streaming through the eager
+/// wrappers.
 const PLAN_CACHE_CAP: usize = 512;
 
 /// The database-wide plan cache, keyed by
 /// [`ranksql_optimizer::normalized_cache_key`] (query shape + mode +
-/// threads; never bound values, `k`, or weights) plus the referenced
-/// tables' log₂ size buckets — so a cached shape is re-costed once a table
-/// grows or shrinks by about 2×, bounding plan staleness under mutation.
+/// threads + storage backend; never bound values, `k`, or weights) plus the
+/// referenced tables' log₂ size buckets — so a cached shape is re-costed
+/// once a table grows or shrinks by about 2×, bounding plan staleness under
+/// mutation.
+///
+/// Bounded by [`PLAN_CACHE_CAP`] with true LRU eviction: every lookup stamps
+/// the entry with a monotonically increasing tick, and inserting into a full
+/// cache removes the entry with the smallest tick (an `O(cap)` scan — cheap
+/// against the optimizer call that preceded every insert).
 #[derive(Debug, Default)]
 pub(crate) struct PlanCache {
-    map: Mutex<HashMap<String, Arc<CachedPlan>>>,
+    map: Mutex<HashMap<String, CacheSlot>>,
+    /// Monotonic access clock for LRU stamps.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl PlanCache {
-    /// Looks a key up, recording a hit when present.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks a key up, recording a hit (and refreshing the entry's LRU
+    /// stamp) when present.
     pub(crate) fn lookup(&self, key: &str) -> Option<(Arc<CachedPlan>, PlanCacheLookup)> {
-        let entry = Arc::clone(self.map.lock().get(key)?);
+        let tick = self.tick();
+        let entry = {
+            let mut map = self.map.lock();
+            let slot = map.get_mut(key)?;
+            slot.last_used = tick;
+            Arc::clone(&slot.plan)
+        };
         self.hits.fetch_add(1, Ordering::Relaxed);
         Some((
             entry,
@@ -121,19 +147,25 @@ impl PlanCache {
         let (plan, k) = build()?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(CachedPlan { plan, k });
+        let tick = self.tick();
         let entry = {
             let mut map = self.map.lock();
             if map.len() >= PLAN_CACHE_CAP && !map.contains_key(key) {
-                // Arbitrary-entry eviction: enough to bound memory; hot
-                // shapes repopulate in one optimize.
-                if let Some(evict) = map.keys().next().cloned() {
+                // LRU eviction: drop the entry with the oldest stamp.
+                if let Some(evict) = map
+                    .iter()
+                    .min_by_key(|(_, slot)| slot.last_used)
+                    .map(|(k, _)| k.clone())
+                {
                     map.remove(&evict);
                 }
             }
-            Arc::clone(
-                map.entry(key.to_owned())
-                    .or_insert_with(|| Arc::clone(&entry)),
-            )
+            let slot = map.entry(key.to_owned()).or_insert_with(|| CacheSlot {
+                plan: Arc::clone(&entry),
+                last_used: tick,
+            });
+            slot.last_used = slot.last_used.max(tick);
+            Arc::clone(&slot.plan)
         };
         Ok((
             entry,
@@ -244,6 +276,33 @@ impl Database {
         self.default_settings.threads
     }
 
+    /// Picks the storage backend new sessions (and the compatibility
+    /// wrappers) plan against (builder form).  With
+    /// [`StorageBackend::Columnar`] the planner runs the `columnarize`
+    /// pass: sequential scans read the tables' columnar projections, simple
+    /// filters are pushed into the scans, and top-k spines zone-prune
+    /// blocks.  Results are identical across backends — only access paths
+    /// and `tuples_scanned` change.
+    pub fn with_storage_backend(mut self, backend: StorageBackend) -> Self {
+        self.default_settings.backend = backend;
+        self
+    }
+
+    /// The storage backend new sessions default to.
+    pub fn storage_backend(&self) -> StorageBackend {
+        self.default_settings.backend
+    }
+
+    /// Eagerly builds (and caches) the columnar projection of every table —
+    /// workload loaders call this so first-query latency does not pay the
+    /// projection build.
+    pub fn prebuild_columnar(&self) -> Result<()> {
+        for name in self.catalog.table_names() {
+            self.catalog.table(&name)?.columnar();
+        }
+        Ok(())
+    }
+
     /// Aggregate plan-cache counters (hits, misses, cached shapes).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plan_cache.stats()
@@ -318,18 +377,36 @@ impl Database {
     /// are wrapped in `Exchange`/`Repartition` nodes, which the executor
     /// fans across the worker pool.
     pub fn plan(&self, query: &RankQuery, mode: PlanMode) -> Result<OptimizedPlan> {
-        self.plan_with_threads(query, mode, self.default_settings.threads)
+        self.plan_with_settings(
+            query,
+            mode,
+            self.default_settings.threads,
+            self.default_settings.backend,
+        )
     }
 
-    /// Plans under `mode` with an explicit worker-thread budget (the
-    /// session-aware form of [`Database::plan`]).
-    pub(crate) fn plan_with_threads(
+    /// Plans under `mode` with an explicit worker-thread budget and storage
+    /// backend (the session-aware form of [`Database::plan`]).
+    ///
+    /// Pass order: serial optimization → `columnarize` (annotate scans,
+    /// push filters, mark zone pruning) → `parallelize` (wrap spines in
+    /// exchanges; it treats columnar scans like any sequential scan, so
+    /// columnar morsels flow through the exchange path).
+    pub(crate) fn plan_with_settings(
         &self,
         query: &RankQuery,
         mode: PlanMode,
         threads: usize,
+        backend: StorageBackend,
     ) -> Result<OptimizedPlan> {
         let mut optimized = self.plan_serial(query, mode)?;
+        if backend == StorageBackend::Columnar {
+            optimized.physical = ranksql_optimizer::columnarize(
+                optimized.physical,
+                &ranksql_optimizer::CostModel::default(),
+            );
+            optimized.cost = optimized.physical.estimated_cost;
+        }
         if threads > 1 {
             optimized.physical = ranksql_optimizer::parallelize(optimized.physical, threads);
             // The pass keeps cumulative per-node costs coherent, so the
@@ -453,6 +530,7 @@ impl Database {
 mod tests {
     use super::*;
     use crate::builder::QueryBuilder;
+    use crate::prepared::Params;
     use ranksql_common::{DataType, Field};
     use ranksql_expr::{BoolExpr, RankPredicate};
 
@@ -602,6 +680,65 @@ mod tests {
 
         // Malformed input is rejected with a storage error.
         assert!(db.load_csv("Hotel", "name,city\nx,1\n", &options).is_err());
+    }
+
+    /// Regression for the LRU plan cache: a hot shape that is re-bound
+    /// throughout an eviction storm of distinct cold shapes must survive —
+    /// the old arbitrary-entry eviction could drop it at any point.
+    #[test]
+    fn lru_plan_cache_keeps_the_hottest_shape_through_an_eviction_storm() {
+        let db = Database::new();
+        db.create_table("T", Schema::new(vec![Field::new("x", DataType::Int64)]))
+            .unwrap();
+        db.insert("T", vec![Value::from(1)]).unwrap();
+        let query_with_filter = |lit: i64| {
+            QueryBuilder::new()
+                .table("T")
+                .filter(BoolExpr::compare(
+                    ranksql_expr::ScalarExpr::col("T.x"),
+                    ranksql_expr::CompareOp::Lt,
+                    ranksql_expr::ScalarExpr::lit(lit),
+                ))
+                .limit(1)
+                .build()
+                .unwrap()
+        };
+        // Canonical mode keeps planning cheap; each distinct literal is a
+        // distinct cached shape.
+        let session = db.session().with_mode(PlanMode::Canonical);
+        let hot = session.prepare_query(query_with_filter(-1)).unwrap();
+        hot.execute().unwrap();
+        assert_eq!(db.plan_cache_stats().misses, 1);
+
+        // Storm: well over PLAN_CACHE_CAP distinct shapes, touching the hot
+        // shape every 50 preparations so its LRU stamp stays fresh.
+        for i in 0..(PLAN_CACHE_CAP as i64 + 100) {
+            session
+                .prepare_query(query_with_filter(i))
+                .unwrap()
+                .execute()
+                .unwrap();
+            if i % 50 == 0 {
+                assert!(
+                    hot.bind(Params::none()).unwrap().cache_hit(),
+                    "hot shape evicted during the storm (i = {i})"
+                );
+            }
+        }
+        let stats = db.plan_cache_stats();
+        assert!(stats.entries <= PLAN_CACHE_CAP, "cap enforced: {stats:?}");
+        assert!(
+            hot.bind(Params::none()).unwrap().cache_hit(),
+            "the hottest shape must survive the eviction storm"
+        );
+        // A cold shape from the start of the storm was evicted (it was the
+        // least recently used); re-binding it re-optimizes.
+        assert!(!session
+            .prepare_query(query_with_filter(0))
+            .unwrap()
+            .bind(Params::none())
+            .unwrap()
+            .cache_hit());
     }
 
     #[test]

@@ -106,6 +106,7 @@ impl<'db> PreparedQuery<'db> {
             &template,
             &format!("{:?}", settings.mode),
             settings.threads,
+            settings.backend.tag(),
         );
         Ok(PreparedQuery {
             db,
@@ -232,7 +233,12 @@ impl<'db> PreparedQuery<'db> {
             Some(hit) => hit,
             None => self.db.plan_cache().populate(&key, || {
                 self.db
-                    .plan_with_threads(&query, self.settings.mode, self.settings.threads)
+                    .plan_with_settings(
+                        &query,
+                        self.settings.mode,
+                        self.settings.threads,
+                        self.settings.backend,
+                    )
                     .map(|plan| (plan, query.k))
             })?,
         };

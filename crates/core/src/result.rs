@@ -28,6 +28,16 @@ pub struct QueryResult {
     pub elapsed: Duration,
     /// Number of evaluations of each ranking predicate during execution.
     pub predicate_evaluations: Vec<u64>,
+    /// Tuples the scans actually examined.  Zone-map pruning on the
+    /// columnar backend lowers this — and only this — for identical
+    /// results.
+    pub tuples_scanned: u64,
+    /// Zone-map prune events (block ranges skipped by filter or score
+    /// pruning); 0 on the row backend.  Serially this equals the number of
+    /// skipped blocks; under morsel-parallel execution a block overlapping
+    /// several morsels may count once per morsel — `tuples_scanned` carries
+    /// the exact row savings.
+    pub blocks_pruned: u64,
     /// The plan-cache outcome when this execution came through a prepared
     /// statement (`None` for hand-built plans executed directly).
     pub plan_cache: Option<PlanCacheLookup>,
@@ -64,6 +74,8 @@ impl QueryResult {
             metrics: execution.metrics,
             elapsed: execution.elapsed,
             predicate_evaluations: execution.predicate_evaluations,
+            tuples_scanned: execution.tuples_scanned,
+            blocks_pruned: execution.blocks_pruned,
             plan_cache: None,
         })
     }

@@ -12,10 +12,11 @@ use std::time::{Duration, Instant};
 
 use ranksql_algebra::{LogicalPlan, PhysicalOp, PhysicalPlan, SetOpKind};
 use ranksql_common::{RankSqlError, Result};
-use ranksql_expr::{RankedTuple, RankingContext};
+use ranksql_expr::{RankedTuple, RankingContext, ScoreSource};
 use ranksql_storage::{BTreeIndex, Catalog, ScoreIndex};
 
-use crate::context::ExecutionContext;
+use crate::column_scan::ColumnScan;
+use crate::context::{ExecutionContext, TopKThreshold};
 use crate::exchange::{ExchangeOp, RepartitionPassthrough};
 use crate::filter::{Filter, Project};
 use crate::join::{HashJoin, NestedLoopJoin, SortMergeJoin};
@@ -27,6 +28,86 @@ use crate::rank_join::RankJoin;
 use crate::scan::{AttributeIndexScan, RankScan, SeqScan};
 use crate::set_ops::{ExceptOp, IntersectOp, UnionOp};
 use crate::sort_limit::{LimitOp, SortLimitOp, SortOp};
+
+/// Whether `plan` is a σ/π (or transparent `Repartition`) chain over a
+/// zone-pruning columnar scan — the pattern under which a `SortLimit` and
+/// its scan share a [`TopKThreshold`].
+fn spine_has_pruning_scan(plan: &PhysicalPlan) -> bool {
+    match &plan.op {
+        PhysicalOp::SeqScan {
+            columnar: Some(c), ..
+        } => c.zone_prune,
+        PhysicalOp::Filter { input, .. }
+        | PhysicalOp::Project { input, .. }
+        | PhysicalOp::Repartition { input } => spine_has_pruning_scan(input),
+        _ => false,
+    }
+}
+
+/// Collects the names of tables the plan reads through columnar scans.
+fn columnar_scanned_tables(plan: &PhysicalPlan, out: &mut Vec<String>) {
+    if let PhysicalOp::SeqScan {
+        table,
+        columnar: Some(_),
+        ..
+    } = &plan.op
+    {
+        if !out.iter().any(|t| t == table) {
+            out.push(table.clone());
+        }
+    }
+    for c in plan.children() {
+        columnar_scanned_tables(c, out);
+    }
+}
+
+/// Data-derived per-predicate score maxima for a columnar plan: for every
+/// ranking predicate that reads an attribute of a **columnar-scanned**
+/// table, the table-wide zone-map maximum of that column (clamped into
+/// `[0, 1]`); everything else keeps the global predicate maximum.
+///
+/// Only tables the plan actually column-scans contribute — their
+/// projections exist (or are about to be built by the scan) anyway, so
+/// deriving a cap never forces an `O(rows)` projection build for a table
+/// the plan only rank-scans.
+///
+/// Returns `None` for plans without a columnar scan, so row-backend
+/// executions keep their exact historical upper bounds (and byte-identical
+/// intermediate streams).  Install the caps with
+/// [`RankingContext::with_predicate_caps`]; rank-aware operators (µ, MPro,
+/// HRJN/NRJN) then consume the zone maps through every upper bound they
+/// compute — emitting earlier and probing less, without changing results.
+pub fn zone_score_caps(
+    ranking: &RankingContext,
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+) -> Option<Vec<f64>> {
+    let mut tables = Vec::new();
+    columnar_scanned_tables(plan, &mut tables);
+    if tables.is_empty() {
+        return None;
+    }
+    let caps = ranking
+        .predicates()
+        .iter()
+        .map(|p| match &p.source {
+            ScoreSource::Attribute(c) => c
+                .relation
+                .as_ref()
+                .filter(|rel| tables.iter().any(|t| t == *rel))
+                .and_then(|rel| catalog.table(rel).ok())
+                .and_then(|t| {
+                    let ct = t.columnar();
+                    c.resolve(ct.schema())
+                        .ok()
+                        .and_then(|col| ct.table_score_max(col))
+                })
+                .unwrap_or_else(|| ranking.max_predicate_value()),
+            ScoreSource::Expression(_) => ranking.max_predicate_value(),
+        })
+        .collect();
+    Some(caps)
+}
 
 /// Checks that a plan's ranking-predicate index exists in the context.
 fn check_predicate(ctx: &RankingContext, predicate: usize) -> Result<()> {
@@ -58,9 +139,20 @@ pub fn build_operator(
 ) -> Result<BoxedOperator> {
     let label = plan.node_label(Some(exec.ranking()));
     match &plan.op {
-        PhysicalOp::SeqScan { table, .. } => {
+        PhysicalOp::SeqScan {
+            table, columnar, ..
+        } => {
             let table = catalog.table(table)?;
-            Ok(Box::new(SeqScan::new(&table, exec, label)))
+            match columnar {
+                None => Ok(Box::new(SeqScan::new(&table, exec, label))),
+                Some(c) => Ok(Box::new(ColumnScan::new(
+                    table.columnar(),
+                    c.pushed_filter.as_ref(),
+                    c.zone_prune,
+                    exec,
+                    label,
+                )?)),
+            }
         }
         PhysicalOp::RankScan {
             table, predicate, ..
@@ -220,14 +312,25 @@ pub fn build_operator(
             for p in predicates.iter() {
                 check_predicate(exec.ranking(), p)?;
             }
+            // Zone-map score pruning: when this top-k sits on a σ/π spine
+            // over a zone-pruning columnar scan, hand the pair a shared
+            // threshold cell — the heap publishes its worst kept score, the
+            // scan skips blocks that cannot beat it.  The push/pop protocol
+            // is strictly nested because the verified spine is a linear
+            // operator chain (no other SortLimit can be built in between).
+            let cell = if spine_has_pruning_scan(input) {
+                let cell = Arc::new(TopKThreshold::new());
+                exec.push_prune_threshold(Arc::clone(&cell));
+                Some(cell)
+            } else {
+                None
+            };
             let child = build_operator(input, catalog, exec)?;
-            Ok(Box::new(SortLimitOp::new(
-                child,
-                *predicates,
-                *k,
-                exec,
-                label,
-            )))
+            let mut op = SortLimitOp::new(child, *predicates, *k, exec, label);
+            if let Some(cell) = cell {
+                op = op.with_threshold(cell);
+            }
+            Ok(Box::new(op))
         }
         PhysicalOp::Limit { input, k } => {
             let child = build_operator(input, catalog, exec)?;
@@ -256,6 +359,15 @@ pub struct ExecutionResult {
     pub elapsed: Duration,
     /// Per-predicate evaluation counts accumulated during this execution.
     pub predicate_evaluations: Vec<u64>,
+    /// Tuples the scans actually examined (zone-map pruning lowers this —
+    /// and only this — for identical results).
+    pub tuples_scanned: u64,
+    /// Zone-map prune events: block ranges skipped by filter or score
+    /// pruning.  Serially this equals the number of skipped blocks; under
+    /// morsel-parallel execution a block overlapping several morsels may
+    /// count once per morsel (the exact row savings are in
+    /// `tuples_scanned`).
+    pub blocks_pruned: u64,
 }
 
 impl ExecutionResult {
@@ -294,6 +406,8 @@ pub fn execute_physical_plan(
     exec: &ExecutionContext,
 ) -> Result<ExecutionResult> {
     let before = exec.ranking().counters().snapshot();
+    let scanned_before = exec.budget().used();
+    let pruned_before = exec.blocks_pruned();
     let start = Instant::now();
     let mut root = build_operator(plan, catalog, exec)?;
     let tuples = drain_batched(root.as_mut(), exec.batch_size())?;
@@ -309,6 +423,8 @@ pub fn execute_physical_plan(
         metrics: Arc::clone(exec.metrics()),
         elapsed,
         predicate_evaluations,
+        tuples_scanned: exec.budget().used() - scanned_before,
+        blocks_pruned: exec.blocks_pruned() - pruned_before,
     })
 }
 

@@ -1,0 +1,729 @@
+//! The columnar table scan: block-at-a-time reads over a
+//! [`ColumnTable`] with zone-map pruning and late materialisation.
+//!
+//! A [`ColumnScan`] implements the same contract as [`SeqScan`] (storage
+//! order, `P = ∅`) but reads the table's columnar projection instead of the
+//! row heap:
+//!
+//! * a **pushed-down filter** (a conjunction of simple column-vs-constant
+//!   comparisons, fused into the scan by the optimizer's `columnarize`
+//!   pass) is evaluated directly against the typed column vectors; row
+//!   tuples are materialised only for rows that pass — the σ spine never
+//!   assembles a tuple it immediately drops;
+//! * **zone-map filter pruning** skips whole blocks whose per-block
+//!   min/max cannot satisfy the pushed filter;
+//! * **zone-map score pruning** skips blocks whose maximal possible query
+//!   score (block score maxima through the scoring function, other
+//!   predicates at their caps) is strictly below the downstream top-k's
+//!   current threshold (see [`TopKThreshold`]).
+//!
+//! Pruned blocks are never examined: their rows are charged to neither the
+//! tuple budget nor the scan's `tuples_in` counter, which is exactly the
+//! `tuples_scanned` reduction the zone-map regression tests assert.
+//!
+//! [`SeqScan`]: crate::scan::SeqScan
+
+use std::cmp::Ordering;
+use std::ops::Range;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use ranksql_common::{Result, Schema};
+use ranksql_expr::{
+    BoolExpr, BoundBoolExpr, CompareOp, RankedTuple, RankingContext, ScalarExpr, ScoreSource,
+};
+use ranksql_storage::{cmp_f64_total, ColumnSlice, ColumnTable, ColumnZones};
+
+use crate::context::{ExecutionContext, TopKThreshold, TupleBudget};
+use crate::metrics::OperatorMetrics;
+use crate::operator::{Batch, PhysicalOperator};
+
+/// One compiled conjunct of a pushed-down filter: a typed comparison the
+/// scan evaluates straight on a column vector (and range-checks against the
+/// column's zone maps).
+#[derive(Debug, Clone, Copy)]
+enum TypedCompare {
+    /// `Int64` column vs `Int64` constant — exact integer comparison,
+    /// matching `Value`'s same-type semantics.
+    I64 { col: usize, op: CompareOp, rhs: i64 },
+    /// `Int64` column vs `Float64` constant — compared as `f64`, matching
+    /// `Value`'s cross-type semantics (monotone `i64 → f64` conversion
+    /// keeps zone checks sound).
+    I64AsF64 { col: usize, op: CompareOp, rhs: f64 },
+    /// `Float64` column vs numeric constant.
+    F64 { col: usize, op: CompareOp, rhs: f64 },
+}
+
+/// The compiled form of a pushed-down filter.
+#[derive(Debug)]
+enum CompiledFilter {
+    /// Every conjunct compiled to a typed column comparison.
+    Typed(Vec<TypedCompare>),
+    /// At least one conjunct could not be compiled (mixed column, string
+    /// comparison, arithmetic): rows are materialised first and the bound
+    /// predicate is evaluated on the tuple — same semantics as a `Filter`
+    /// operator, minus the pruning.
+    Fallback(BoundBoolExpr),
+}
+
+/// Applies `op` to an ordering obtained from the engine's total value
+/// order.
+fn op_matches(op: CompareOp, ord: Ordering) -> bool {
+    match op {
+        CompareOp::Eq => ord == Ordering::Equal,
+        CompareOp::NotEq => ord != Ordering::Equal,
+        CompareOp::Lt => ord == Ordering::Less,
+        CompareOp::LtEq => ord != Ordering::Greater,
+        CompareOp::Gt => ord == Ordering::Greater,
+        CompareOp::GtEq => ord != Ordering::Less,
+    }
+}
+
+/// Mirrors an operator for swapped operands (`lit OP col` → `col OP' lit`).
+fn flip(op: CompareOp) -> CompareOp {
+    match op {
+        CompareOp::Lt => CompareOp::Gt,
+        CompareOp::LtEq => CompareOp::GtEq,
+        CompareOp::Gt => CompareOp::Lt,
+        CompareOp::GtEq => CompareOp::LtEq,
+        CompareOp::Eq | CompareOp::NotEq => op,
+    }
+}
+
+/// A scalar operand that is constant at execution time: a literal or a
+/// bound parameter.
+fn const_operand(e: &ScalarExpr) -> Option<&ranksql_common::Value> {
+    match e {
+        ScalarExpr::Literal(v) => Some(v),
+        ScalarExpr::Param { value: Some(v), .. } => Some(v),
+        _ => None,
+    }
+}
+
+/// Tries to compile one conjunct to a typed comparison.
+fn compile_conjunct(
+    conjunct: &BoolExpr,
+    schema: &Schema,
+    table: &ColumnTable,
+) -> Option<TypedCompare> {
+    let BoolExpr::Compare { op, left, right } = conjunct else {
+        return None;
+    };
+    let (col_ref, op, value) = match (left, right) {
+        (ScalarExpr::Column(c), rhs) => (c, *op, const_operand(rhs)?),
+        (lhs, ScalarExpr::Column(c)) => (c, flip(*op), const_operand(lhs)?),
+        _ => return None,
+    };
+    let col = col_ref.resolve(schema).ok()?;
+    match (table.column_slice(col), value) {
+        (ColumnSlice::Int64(_), ranksql_common::Value::Int64(v)) => {
+            Some(TypedCompare::I64 { col, op, rhs: *v })
+        }
+        (ColumnSlice::Int64(_), ranksql_common::Value::Float64(v)) => {
+            Some(TypedCompare::I64AsF64 { col, op, rhs: *v })
+        }
+        (ColumnSlice::Float64(_), v) => v
+            .as_f64()
+            .filter(|_| v.data_type().is_numeric())
+            .map(|rhs| TypedCompare::F64 { col, op, rhs }),
+        _ => None,
+    }
+}
+
+impl TypedCompare {
+    /// Appends the rows of `range` that pass this comparison to `sel`.
+    /// The column type is matched once; the inner loop runs over the dense
+    /// typed slice (semantics identical to the `Value` comparison the
+    /// row-backend `Filter` would perform).
+    fn filter_range_into(&self, table: &ColumnTable, range: Range<usize>, sel: &mut Vec<u32>) {
+        match *self {
+            TypedCompare::I64 { col, op, rhs } => {
+                let ColumnSlice::Int64(v) = table.column_slice(col) else {
+                    unreachable!("compiled against an Int64 column");
+                };
+                for row in range {
+                    if op_matches(op, v[row].cmp(&rhs)) {
+                        sel.push(row as u32);
+                    }
+                }
+            }
+            TypedCompare::I64AsF64 { col, op, rhs } => {
+                let ColumnSlice::Int64(v) = table.column_slice(col) else {
+                    unreachable!("compiled against an Int64 column");
+                };
+                for row in range {
+                    if op_matches(op, cmp_f64_total(v[row] as f64, rhs)) {
+                        sel.push(row as u32);
+                    }
+                }
+            }
+            TypedCompare::F64 { col, op, rhs } => {
+                let ColumnSlice::Float64(v) = table.column_slice(col) else {
+                    unreachable!("compiled against a Float64 column");
+                };
+                for row in range {
+                    if op_matches(op, cmp_f64_total(v[row], rhs)) {
+                        sel.push(row as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retains in `sel` only the rows that also pass this comparison.
+    fn filter_sel_in_place(&self, table: &ColumnTable, sel: &mut Vec<u32>) {
+        match *self {
+            TypedCompare::I64 { col, op, rhs } => {
+                let ColumnSlice::Int64(v) = table.column_slice(col) else {
+                    unreachable!("compiled against an Int64 column");
+                };
+                sel.retain(|&row| op_matches(op, v[row as usize].cmp(&rhs)));
+            }
+            TypedCompare::I64AsF64 { col, op, rhs } => {
+                let ColumnSlice::Int64(v) = table.column_slice(col) else {
+                    unreachable!("compiled against an Int64 column");
+                };
+                sel.retain(|&row| op_matches(op, cmp_f64_total(v[row as usize] as f64, rhs)));
+            }
+            TypedCompare::F64 { col, op, rhs } => {
+                let ColumnSlice::Float64(v) = table.column_slice(col) else {
+                    unreachable!("compiled against a Float64 column");
+                };
+                sel.retain(|&row| op_matches(op, cmp_f64_total(v[row as usize], rhs)));
+            }
+        }
+    }
+
+    /// Whether any value in `block` *may* satisfy this comparison, judged by
+    /// the block's zone map.  `true` when in doubt (no zones).
+    fn block_may_match(&self, table: &ColumnTable, block: usize) -> bool {
+        let zones = table.zones(self.col());
+        match (*self, zones) {
+            (TypedCompare::I64 { op, rhs, .. }, Some(ColumnZones::Int64(z))) => {
+                let (min, max) = z[block];
+                range_may_match(op, min.cmp(&rhs), max.cmp(&rhs))
+            }
+            (TypedCompare::I64AsF64 { op, rhs, .. }, Some(ColumnZones::Int64(z))) => {
+                let (min, max) = z[block];
+                range_may_match(
+                    op,
+                    cmp_f64_total(min as f64, rhs),
+                    cmp_f64_total(max as f64, rhs),
+                )
+            }
+            (TypedCompare::F64 { op, rhs, .. }, Some(ColumnZones::Float64(z))) => {
+                let (min, max) = z[block];
+                range_may_match(op, cmp_f64_total(min, rhs), cmp_f64_total(max, rhs))
+            }
+            _ => true,
+        }
+    }
+
+    fn col(&self) -> usize {
+        match *self {
+            TypedCompare::I64 { col, .. }
+            | TypedCompare::I64AsF64 { col, .. }
+            | TypedCompare::F64 { col, .. } => col,
+        }
+    }
+}
+
+/// Whether a value range `[min, max]` (orderings of its endpoints against
+/// the constant) can contain a value satisfying `op`.
+fn range_may_match(op: CompareOp, min_vs: Ordering, max_vs: Ordering) -> bool {
+    match op {
+        CompareOp::Eq => min_vs != Ordering::Greater && max_vs != Ordering::Less,
+        // The range collapses to exactly the constant only if both ends
+        // equal it.
+        CompareOp::NotEq => !(min_vs == Ordering::Equal && max_vs == Ordering::Equal),
+        CompareOp::Lt => min_vs == Ordering::Less,
+        CompareOp::LtEq => min_vs != Ordering::Greater,
+        CompareOp::Gt => max_vs == Ordering::Greater,
+        CompareOp::GtEq => max_vs != Ordering::Less,
+    }
+}
+
+/// Columnar sequential scan (see the module docs).
+///
+/// Like [`SeqScan`](crate::scan::SeqScan) the output is storage-ordered with
+/// `P = ∅`; a pushed filter only removes rows, never re-orders them, so
+/// results are byte-identical to `Filter(SeqScan)` over the row backend.
+pub struct ColumnScan {
+    table: Arc<ColumnTable>,
+    schema: Schema,
+    filter: Option<CompiledFilter>,
+    /// Top-k threshold raised by the downstream `SortLimit` (score pruning).
+    prune_cell: Option<Arc<TopKThreshold>>,
+    /// Per ranking predicate: the scan column its score is read from, when
+    /// it is a zone-mapped attribute of this table.
+    pred_cols: Vec<Option<usize>>,
+    ctx: Arc<RankingContext>,
+    metrics: Arc<OperatorMetrics>,
+    /// Second metrics handle updated in lockstep (the `Repartition` node of
+    /// the morsel path); `None` on the serial path.
+    repart_metrics: Option<Arc<OperatorMetrics>>,
+    budget: Arc<TupleBudget>,
+    pruned_counter: Arc<AtomicU64>,
+    /// Absolute row range this scan covers (the whole table serially, one
+    /// morsel under an exchange).
+    end: usize,
+    /// Absolute cursor; rows before it are emitted or skipped.
+    pos: usize,
+    /// End of the currently admitted block (`pos == block_end` → advance).
+    block_end: usize,
+    /// Selection vector of the current block under a fully compiled filter
+    /// (reused across blocks); rows before `sel_pos` are already emitted.
+    sel: Vec<u32>,
+    sel_pos: usize,
+    /// Scratch used by the tuple-at-a-time `next`.
+    scratch: Batch,
+}
+
+impl ColumnScan {
+    /// Creates a columnar scan over the whole table.
+    ///
+    /// `pushed_filter` and `zone_prune` come from the plan's
+    /// [`ColumnarScan`](ranksql_algebra::ColumnarScan) annotation; when
+    /// `zone_prune` is set the constructor adopts the threshold cell pushed
+    /// by the enclosing `SortLimit` (absent cell = pruning stays off, which
+    /// is always safe).
+    pub fn new(
+        table: Arc<ColumnTable>,
+        pushed_filter: Option<&BoolExpr>,
+        zone_prune: bool,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
+    ) -> Result<Self> {
+        let metrics = exec.register(label);
+        Self::build(table, pushed_filter, zone_prune, exec, metrics, None, None)
+    }
+
+    /// Creates a columnar scan over one morsel `range`, sharing the
+    /// pre-registered metrics handles and the spine-wide threshold cell.
+    pub(crate) fn for_morsel(
+        table: Arc<ColumnTable>,
+        range: (usize, usize),
+        pushed_filter: Option<&BoolExpr>,
+        cell: Option<Arc<TopKThreshold>>,
+        exec: &ExecutionContext,
+        scan_label: &str,
+        repart_label: &str,
+    ) -> Result<Self> {
+        let metrics = exec.register(scan_label.to_owned());
+        let repart = exec.register(repart_label.to_owned());
+        let mut scan = Self::build(
+            table,
+            pushed_filter,
+            false,
+            exec,
+            metrics,
+            Some(repart),
+            cell,
+        )?;
+        scan.pos = range.0;
+        scan.end = range.1;
+        Ok(scan)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        table: Arc<ColumnTable>,
+        pushed_filter: Option<&BoolExpr>,
+        pop_cell: bool,
+        exec: &ExecutionContext,
+        metrics: Arc<OperatorMetrics>,
+        repart_metrics: Option<Arc<OperatorMetrics>>,
+        cell: Option<Arc<TopKThreshold>>,
+    ) -> Result<Self> {
+        let schema = table.schema().clone();
+        let filter = match pushed_filter {
+            None => None,
+            Some(f) => {
+                let compiled: Option<Vec<TypedCompare>> = f
+                    .split_conjuncts()
+                    .iter()
+                    .map(|c| compile_conjunct(c, &schema, &table))
+                    .collect();
+                Some(match compiled {
+                    Some(cmps) => CompiledFilter::Typed(cmps),
+                    None => CompiledFilter::Fallback(f.bind(&schema)?),
+                })
+            }
+        };
+        let ctx = exec.ranking_arc();
+        let pred_cols = (0..ctx.num_predicates())
+            .map(|i| match &ctx.predicate(i).source {
+                ScoreSource::Attribute(c) => c
+                    .resolve(&schema)
+                    .ok()
+                    .filter(|&col| table.score_zone_max(col, 0).is_some()),
+                ScoreSource::Expression(_) => None,
+            })
+            .collect();
+        let prune_cell = cell.or_else(|| {
+            if pop_cell {
+                exec.pop_prune_threshold()
+            } else {
+                None
+            }
+        });
+        Ok(ColumnScan {
+            end: table.row_count(),
+            table,
+            schema,
+            filter,
+            prune_cell,
+            pred_cols,
+            ctx,
+            metrics,
+            repart_metrics,
+            budget: Arc::clone(exec.budget()),
+            pruned_counter: Arc::clone(exec.blocks_pruned_counter()),
+            pos: 0,
+            block_end: 0,
+            sel: Vec::new(),
+            sel_pos: 0,
+            scratch: Batch::new(),
+        })
+    }
+
+    /// The maximal possible query score of any tuple in `block`: block
+    /// score maxima for this table's zone-mapped attribute predicates, the
+    /// context's per-predicate caps for everything else.
+    fn block_score_bound(&self, block: usize) -> f64 {
+        let mut buf = [0.0f64; 64];
+        let n = self.pred_cols.len();
+        for (i, slot) in buf[..n].iter_mut().enumerate() {
+            *slot = match self.pred_cols[i] {
+                Some(col) => self
+                    .table
+                    .score_zone_max(col, block)
+                    .unwrap_or_else(|| self.ctx.max_value_for(i)),
+                None => self.ctx.max_value_for(i),
+            };
+        }
+        self.ctx.scoring().combine(&buf[..n]).value()
+    }
+
+    /// Whether the current block still has rows (or selected rows) to emit.
+    fn block_has_pending(&self) -> bool {
+        match &self.filter {
+            Some(CompiledFilter::Typed(_)) => {
+                self.sel_pos < self.sel.len() || self.pos < self.block_end
+            }
+            _ => self.pos < self.block_end,
+        }
+    }
+
+    /// Advances to the next admitted (non-pruned) block (zone checks run
+    /// once per block here); returns `false` when the scan range is
+    /// exhausted.
+    fn advance_block(&mut self) -> Result<bool> {
+        use ranksql_storage::COLUMN_BLOCK_ROWS;
+        while self.pos < self.end {
+            let block = self.pos / COLUMN_BLOCK_ROWS;
+            let block_rows = self.table.block_rows(block);
+            let end = block_rows.end.min(self.end);
+            // Zone-map filter pruning.
+            if let Some(CompiledFilter::Typed(cmps)) = &self.filter {
+                if cmps.iter().any(|c| !c.block_may_match(&self.table, block)) {
+                    self.pruned_counter
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.pos = end;
+                    continue;
+                }
+            }
+            // Zone-map score pruning against the top-k threshold.
+            if let Some(cell) = &self.prune_cell {
+                if cell.prunes(self.block_score_bound(block)) {
+                    self.pruned_counter
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.pos = end;
+                    continue;
+                }
+            }
+            self.block_end = end;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Minimum rows filtered per demand-driven chunk of the typed path —
+    /// small enough that tight tuple budgets behave like the row backend's
+    /// per-demand charging, large enough to amortize the chunk setup.
+    const MIN_FILTER_CHUNK: usize = 64;
+
+    /// Filters the next chunk of the current admitted block into the
+    /// selection vector (demand-driven: roughly `want` rows at a time, so
+    /// the tuple budget is charged in step with what the consumer actually
+    /// pulls — matching the row backend's `Filter(SeqScan)` granularity,
+    /// where tight budgets must trip identically across backends).
+    fn filter_next_chunk(&mut self, want: usize, cmps: &[TypedCompare]) -> Result<()> {
+        let chunk_end = self
+            .pos
+            .saturating_add(want.max(Self::MIN_FILTER_CHUNK))
+            .min(self.block_end);
+        self.sel.clear();
+        self.sel_pos = 0;
+        let (first, rest) = cmps.split_first().expect("typed filter is non-empty");
+        first.filter_range_into(&self.table, self.pos..chunk_end, &mut self.sel);
+        for c in rest {
+            if self.sel.is_empty() {
+                break;
+            }
+            c.filter_sel_in_place(&self.table, &mut self.sel);
+        }
+        let examined = (chunk_end - self.pos) as u64;
+        self.pos = chunk_end;
+        self.charge_examined(examined)
+    }
+
+    /// Records examined rows against the tuple budget and scan metrics.
+    fn charge_examined(&self, n: u64) -> Result<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        self.budget.charge(n)?;
+        self.metrics.add_in(n);
+        if let Some(m) = &self.repart_metrics {
+            m.add_in(n);
+        }
+        Ok(())
+    }
+
+    /// Core fill loop shared by `next` and `next_batch`.
+    fn fill(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        let n_preds = self.ctx.num_predicates();
+        let before = out.len();
+        let mut examined: u64 = 0;
+        while out.len() - before < max {
+            if !self.block_has_pending() && !self.advance_block()? {
+                break;
+            }
+            let want = max - (out.len() - before);
+            match &self.filter {
+                None => {
+                    let take = want.min(self.block_end - self.pos);
+                    for row in self.pos..self.pos + take {
+                        out.push(RankedTuple::unranked(self.table.tuple(row), n_preds));
+                    }
+                    self.pos += take;
+                    examined += take as u64;
+                }
+                Some(CompiledFilter::Typed(cmps)) => {
+                    if self.sel_pos >= self.sel.len() {
+                        let cmps = cmps.clone();
+                        self.filter_next_chunk(want, &cmps)?;
+                        continue;
+                    }
+                    let take = want.min(self.sel.len() - self.sel_pos);
+                    for &row in &self.sel[self.sel_pos..self.sel_pos + take] {
+                        out.push(RankedTuple::unranked(
+                            self.table.tuple(row as usize),
+                            n_preds,
+                        ));
+                    }
+                    self.sel_pos += take;
+                }
+                Some(CompiledFilter::Fallback(bound)) => {
+                    while self.pos < self.block_end && out.len() - before < max {
+                        let row = self.pos;
+                        self.pos += 1;
+                        examined += 1;
+                        let tuple = self.table.tuple(row);
+                        if bound.eval(&tuple)? {
+                            out.push(RankedTuple::unranked(tuple, n_preds));
+                        }
+                    }
+                }
+            }
+        }
+        let produced = out.len() - before;
+        self.charge_examined(examined)?;
+        if produced > 0 {
+            self.metrics.add_out(produced as u64);
+            self.metrics.add_batch();
+            if let Some(m) = &self.repart_metrics {
+                m.add_out(produced as u64);
+                m.add_batch();
+            }
+        }
+        Ok(produced)
+    }
+}
+
+impl PhysicalOperator for ColumnScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<RankedTuple>> {
+        self.scratch.clear();
+        let mut scratch = std::mem::replace(&mut self.scratch, Batch::new());
+        let n = self.fill(1, &mut scratch);
+        let tuple = scratch.pop();
+        self.scratch = scratch;
+        n?;
+        Ok(tuple)
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> Result<usize> {
+        self.fill(max, out)
+    }
+
+    fn can_extend_limit(&self) -> bool {
+        true // A scan imposes no top-k cap.
+    }
+
+    fn extend_limit(&mut self, _extra: usize) -> bool {
+        true // A scan imposes no top-k cap.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::drain_batched;
+    use ranksql_common::{DataType, Field, Value};
+    use ranksql_expr::{RankPredicate, ScoringFunction};
+    use ranksql_storage::TableBuilder;
+
+    fn table(rows: usize) -> ranksql_storage::Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ])
+        .qualify_all("T");
+        TableBuilder::new("T", schema)
+            .rows((0..rows).map(|i| {
+                vec![
+                    Value::from(i as i64),
+                    Value::from(((i * 37) % 100) as f64 / 100.0),
+                ]
+            }))
+            .build(0)
+            .unwrap()
+    }
+
+    fn ctx() -> Arc<RankingContext> {
+        RankingContext::new(
+            vec![RankPredicate::attribute("p", "T.p")],
+            ScoringFunction::Sum,
+        )
+    }
+
+    #[test]
+    fn plain_columnar_scan_matches_row_scan() {
+        let t = table(3000);
+        let exec = ExecutionContext::new(ctx());
+        let mut scan = ColumnScan::new(t.columnar(), None, false, &exec, "cs").unwrap();
+        let got = drain_batched(&mut scan, 512).unwrap();
+        let want = t.scan();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!(g.tuple.id(), w.id());
+            assert_eq!(g.tuple.values(), w.values());
+        }
+    }
+
+    #[test]
+    fn pushed_filter_matches_value_semantics_and_prunes_blocks() {
+        let t = table(4000);
+        let exec = ExecutionContext::new(ctx());
+        // id < 100 lives entirely in the first block: blocks 1..4 prune.
+        let filter = BoolExpr::compare(
+            ScalarExpr::col("T.id"),
+            CompareOp::Lt,
+            ScalarExpr::lit(100i64),
+        );
+        let mut scan = ColumnScan::new(t.columnar(), Some(&filter), false, &exec, "cs").unwrap();
+        let got = drain_batched(&mut scan, 1024).unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(exec.blocks_pruned(), 3, "3 of 4 blocks skipped");
+        // Only the first block's rows were examined.
+        assert_eq!(exec.budget().used(), 1024);
+    }
+
+    #[test]
+    fn score_pruning_skips_blocks_below_the_threshold() {
+        let t = table(4096);
+        let exec = ExecutionContext::new(ctx());
+        let cell = Arc::new(TopKThreshold::new());
+        exec.push_prune_threshold(Arc::clone(&cell));
+        let mut scan = ColumnScan::new(t.columnar(), None, true, &exec, "cs").unwrap();
+        // p scores are < 1.0 everywhere; an impossible threshold prunes
+        // every block the scan has not yet entered.
+        cell.raise(2.0);
+        let got = drain_batched(&mut scan, 1024).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(exec.blocks_pruned(), 4);
+        assert_eq!(exec.budget().used(), 0, "pruned rows are never examined");
+        // An unset cell prunes nothing.
+        let exec2 = ExecutionContext::new(ctx());
+        let cell2 = Arc::new(TopKThreshold::new());
+        exec2.push_prune_threshold(cell2);
+        let mut scan2 = ColumnScan::new(t.columnar(), None, true, &exec2, "cs").unwrap();
+        assert_eq!(drain_batched(&mut scan2, 1024).unwrap().len(), 4096);
+    }
+
+    /// Regression: the fused-filter path must charge the tuple budget in
+    /// step with consumer demand (like the row backend's `Filter(SeqScan)`,
+    /// which pulls scan chunks of the still-missing count) — a tight budget
+    /// that succeeds on the row backend must not spuriously trip here just
+    /// because a whole 1024-row block was filtered eagerly.
+    #[test]
+    fn fused_filter_charges_budget_per_demand_not_per_block() {
+        let t = table(4096);
+        let exec = ExecutionContext::with_budget(ctx(), 300);
+        let filter = BoolExpr::compare(
+            ScalarExpr::col("T.p"),
+            CompareOp::GtEq,
+            ScalarExpr::lit(0.5),
+        );
+        let mut scan = ColumnScan::new(t.columnar(), Some(&filter), false, &exec, "cs").unwrap();
+        let mut out = Batch::new();
+        let n = scan.next_batch(5, &mut out).unwrap();
+        assert_eq!(n, 5);
+        assert!(
+            exec.budget().used() <= 300,
+            "pulling 5 rows must not charge a whole block (charged {})",
+            exec.budget().used()
+        );
+    }
+
+    #[test]
+    fn fallback_filter_keeps_semantics_on_generic_columns() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Utf8)]).qualify_all("G");
+        let t = TableBuilder::new("G", schema)
+            .rows([
+                vec![Value::from("b")],
+                vec![Value::from("a")],
+                vec![Value::from("c")],
+            ])
+            .build(0)
+            .unwrap();
+        let exec = ExecutionContext::new(RankingContext::unranked());
+        let filter = BoolExpr::compare(
+            ScalarExpr::col("G.x"),
+            CompareOp::GtEq,
+            ScalarExpr::lit("b"),
+        );
+        let mut scan = ColumnScan::new(t.columnar(), Some(&filter), false, &exec, "cs").unwrap();
+        let got = drain_batched(&mut scan, 8).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].tuple.value(0), &Value::from("b"));
+    }
+
+    #[test]
+    fn threshold_cell_raises_monotonically() {
+        let cell = TopKThreshold::new();
+        assert!(!cell.prunes(f64::NEG_INFINITY));
+        cell.raise(1.5);
+        cell.raise(0.5); // lower: ignored
+        cell.raise(f64::NAN); // NaN: ignored
+        assert_eq!(cell.get(), 1.5);
+        assert!(cell.prunes(1.4));
+        assert!(!cell.prunes(1.5), "ties are never pruned");
+        assert!(cell.prunes(f64::NAN), "NaN bounds sort below everything");
+    }
+}

@@ -12,13 +12,77 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use ranksql_common::{
-    default_thread_count, RankSqlError, Result, DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_SIZE,
+    default_thread_count, RankSqlError, Result, Score, DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_SIZE,
     MAX_THREADS,
 };
 use ranksql_expr::RankingContext;
 
 use crate::metrics::{MetricsRegistry, OperatorMetrics};
+
+/// A monotonically rising lower bound on the k-th best score a top-k
+/// consumer will keep — the feedback channel of zone-map score pruning.
+///
+/// A `SortLimit` raises the cell to its bounded heap's current worst kept
+/// score once the heap holds `k` tuples; the columnar scan feeding it skips
+/// any block whose zone-map score bound is *strictly* below the cell (a
+/// strictly worse tuple is discarded by the heap immediately, so skipping it
+/// cannot change results — ties are never pruned, preserving the
+/// deterministic tuple-id tie-break).  Thread-safe: parallel morsel
+/// pipelines share one cell per plan-node pair.
+#[derive(Debug)]
+pub struct TopKThreshold {
+    /// Bit pattern of the current threshold (`f64::NEG_INFINITY` = unset).
+    bits: AtomicU64,
+}
+
+impl Default for TopKThreshold {
+    fn default() -> Self {
+        TopKThreshold::new()
+    }
+}
+
+impl TopKThreshold {
+    /// An unset threshold (nothing can be pruned against it).
+    pub fn new() -> Self {
+        TopKThreshold {
+            bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Raises the threshold to `score` if it is higher than the current
+    /// value (under the total [`Score`] order, so `NaN` never raises).
+    pub fn raise(&self, score: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            if Score::new(score) <= Score::new(f64::from_bits(cur)) {
+                return;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                score.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// The current threshold (`f64::NEG_INFINITY` when unset).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Whether a block with maximal possible score `bound` can be skipped:
+    /// only when the threshold is set and the bound is *strictly* below it.
+    pub fn prunes(&self, bound: f64) -> bool {
+        let t = self.get();
+        t > f64::NEG_INFINITY && Score::new(bound) < Score::new(t)
+    }
+}
 
 /// A shared budget of tuples an execution may materialise from its scans.
 ///
@@ -102,6 +166,18 @@ pub struct ExecutionContext {
     threads: usize,
     morsel_size: usize,
     preset: Option<Arc<PresetMetrics>>,
+    /// Hand-off stack wiring a `SortLimit` to the zone-pruning columnar scan
+    /// on its σ/π spine during plan lowering: the `SortLimit` arm of
+    /// `build_operator` pushes a fresh [`TopKThreshold`] before building its
+    /// input, the scan pops it.  Shared across clones so the exchange path
+    /// sees the same stack; strictly nested because the verified spine
+    /// pattern is a linear operator chain.
+    prune_cells: Arc<Mutex<Vec<Arc<TopKThreshold>>>>,
+    /// Zone-map prune events during this execution (block ranges skipped by
+    /// filter or score pruning), aggregated across all scans and workers.
+    /// Serially one event = one block; a block overlapping several morsels
+    /// may count once per morsel.
+    blocks_pruned: Arc<AtomicU64>,
 }
 
 impl ExecutionContext {
@@ -117,6 +193,8 @@ impl ExecutionContext {
             threads: default_thread_count(),
             morsel_size: DEFAULT_MORSEL_SIZE,
             preset: None,
+            prune_cells: Arc::new(Mutex::new(Vec::new())),
+            blocks_pruned: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -224,6 +302,35 @@ impl ExecutionContext {
     /// The tuple budget shared by this execution's scans.
     pub fn budget(&self) -> &Arc<TupleBudget> {
         &self.budget
+    }
+
+    /// Pushes a top-k threshold cell for the zone-pruning scan currently
+    /// being lowered (called by the `SortLimit` arm of `build_operator`
+    /// before it builds its input spine).
+    pub fn push_prune_threshold(&self, cell: Arc<TopKThreshold>) {
+        self.prune_cells.lock().push(cell);
+    }
+
+    /// Pops the pending top-k threshold cell, if one was pushed by an
+    /// enclosing `SortLimit` (called by the columnar scan's constructor).
+    pub fn pop_prune_threshold(&self) -> Option<Arc<TopKThreshold>> {
+        self.prune_cells.lock().pop()
+    }
+
+    /// Records `n` columnar blocks skipped by zone maps.
+    pub fn add_blocks_pruned(&self, n: u64) {
+        self.blocks_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Columnar blocks skipped by zone maps so far in this execution.
+    pub fn blocks_pruned(&self) -> u64 {
+        self.blocks_pruned.load(Ordering::Relaxed)
+    }
+
+    /// The shared pruned-blocks counter (stored by columnar scans so the
+    /// hot loop skips the context indirection).
+    pub(crate) fn blocks_pruned_counter(&self) -> &Arc<AtomicU64> {
+        &self.blocks_pruned
     }
 }
 

@@ -42,7 +42,8 @@ use ranksql_expr::{BoolExpr, RankedTuple, RankingContext};
 use ranksql_storage::Catalog;
 
 use crate::build::build_operator;
-use crate::context::{ExecutionContext, TupleBudget};
+use crate::column_scan::ColumnScan;
+use crate::context::{ExecutionContext, TopKThreshold, TupleBudget};
 use crate::filter::{Filter, Project};
 use crate::join::{build_join_table, extract_join_keys, HashJoin, JoinTable};
 use crate::metrics::OperatorMetrics;
@@ -148,6 +149,18 @@ enum SpineNode {
         scan_label: String,
         repart_label: String,
     },
+    /// `Repartition(ColumnScan)` — the columnar morsel source.  All morsel
+    /// instances read the one shared [`ColumnTable`] projection; the
+    /// optional threshold cell is shared with the per-partition `SortLimit`
+    /// instances (see [`SpineNode::threshold_cell`]), so a threshold raised
+    /// by any worker prunes blocks for every worker.
+    MorselColumnar {
+        table: Arc<ranksql_storage::ColumnTable>,
+        pushed_filter: Option<BoolExpr>,
+        cell: Option<Arc<TopKThreshold>>,
+        scan_label: String,
+        repart_label: String,
+    },
     /// Selection σ on the spine.
     Filter {
         input: Box<SpineNode>,
@@ -201,12 +214,25 @@ impl SpineNode {
     fn base_rows(&self) -> usize {
         match self {
             SpineNode::Morsel { rows, .. } => rows.len(),
+            SpineNode::MorselColumnar { table, .. } => table.row_count(),
             SpineNode::Filter { input, .. }
             | SpineNode::Project { input, .. }
             | SpineNode::Sort { input, .. }
             | SpineNode::SortLimit { input, .. } => input.base_rows(),
             SpineNode::HashJoin { probe, .. } => probe.base_rows(),
             SpineNode::NestedLoops { outer, .. } => outer.base_rows(),
+        }
+    }
+
+    /// The zone-pruning threshold cell of this spine's σ/π chain, if its
+    /// driving scan is a zone-pruning columnar scan.
+    fn threshold_cell(&self) -> Option<Arc<TopKThreshold>> {
+        match self {
+            SpineNode::MorselColumnar { cell, .. } => cell.clone(),
+            SpineNode::Filter { input, .. } | SpineNode::Project { input, .. } => {
+                input.threshold_cell()
+            }
+            _ => None,
         }
     }
 
@@ -230,6 +256,22 @@ impl SpineNode {
                 repart_label,
                 exec,
             ))),
+            SpineNode::MorselColumnar {
+                table,
+                pushed_filter,
+                cell,
+                scan_label,
+                repart_label,
+                ..
+            } => Ok(Box::new(ColumnScan::for_morsel(
+                Arc::clone(table),
+                range,
+                pushed_filter.as_ref(),
+                cell.clone(),
+                exec,
+                scan_label,
+                repart_label,
+            )?)),
             SpineNode::Filter {
                 input,
                 predicate,
@@ -306,14 +348,17 @@ impl SpineNode {
                 k,
                 label,
             } => {
+                let cell = input.threshold_cell();
                 let child = input.instantiate(range, exec)?;
-                Ok(Box::new(SortLimitOp::new(
-                    child,
-                    *predicates,
-                    *k,
-                    exec,
-                    label.clone(),
-                )))
+                let mut op = SortLimitOp::new(child, *predicates, *k, exec, label.clone());
+                // Per-partition top-k instances share the spine's threshold
+                // cell with the morsel scans: any partition's k-th best
+                // score is a valid global bound (at least k tuples beat it),
+                // so cross-worker pruning stays result-preserving.
+                if let Some(cell) = cell {
+                    op = op.with_threshold(cell);
+                }
+                Ok(Box::new(op))
             }
         }
     }
@@ -333,23 +378,34 @@ fn prepare_spine(
     let label = plan.node_label(Some(exec.ranking()));
     match &plan.op {
         PhysicalOp::Repartition { input } => {
-            let PhysicalOp::SeqScan { table, .. } = &input.op else {
+            let PhysicalOp::SeqScan {
+                table, columnar, ..
+            } = &input.op
+            else {
                 return Err(RankSqlError::Plan(format!(
                     "Repartition must mark a sequential scan, found `{}`",
                     input.node_label(Some(exec.ranking()))
                 )));
             };
             let table = catalog.table(table)?;
-            let rows = Arc::new(table.scan());
             let scan_label = input.node_label(Some(exec.ranking()));
             handles.push(exec.register(scan_label.clone()));
             handles.push(exec.register(label.clone()));
-            Ok(SpineNode::Morsel {
-                rows,
-                schema: table.schema().clone(),
-                scan_label,
-                repart_label: label,
-            })
+            match columnar {
+                None => Ok(SpineNode::Morsel {
+                    rows: Arc::new(table.scan()),
+                    schema: table.schema().clone(),
+                    scan_label,
+                    repart_label: label,
+                }),
+                Some(c) => Ok(SpineNode::MorselColumnar {
+                    table: table.columnar(),
+                    pushed_filter: c.pushed_filter.clone(),
+                    cell: c.zone_prune.then(|| Arc::new(TopKThreshold::new())),
+                    scan_label,
+                    repart_label: label,
+                }),
+            }
         }
         PhysicalOp::Filter { input, predicate } => {
             let child = prepare_spine(input, catalog, exec, handles)?;
@@ -770,6 +826,7 @@ mod tests {
         PhysicalPlan::unestimated(PhysicalOp::SeqScan {
             table: name.to_owned(),
             schema: t.schema().clone(),
+            columnar: None,
         })
     }
 

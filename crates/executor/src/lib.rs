@@ -55,6 +55,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod build;
+pub mod column_scan;
 pub mod context;
 pub mod exchange;
 pub mod filter;
@@ -71,9 +72,11 @@ pub mod set_ops;
 pub mod sort_limit;
 
 pub use build::{
-    build_operator, execute_physical_plan, execute_plan, execute_query_plan, ExecutionResult,
+    build_operator, execute_physical_plan, execute_plan, execute_query_plan, zone_score_caps,
+    ExecutionResult,
 };
-pub use context::{ExecutionContext, TupleBudget};
+pub use column_scan::ColumnScan;
+pub use context::{ExecutionContext, TopKThreshold, TupleBudget};
 pub use exchange::{ExchangeOp, RepartitionPassthrough};
 pub use metrics::{MetricsRegistry, OperatorMetrics};
 pub use mpro::MProOp;

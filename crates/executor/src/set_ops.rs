@@ -91,9 +91,8 @@ impl UnionOp {
             .into_iter()
             .map(|id| merged.remove(&id).expect("inserted above"))
             .collect();
-        let scoring = self.ctx.scoring().clone();
-        let max_value = self.ctx.max_predicate_value();
-        rows.sort_by(|a, b| a.cmp_desc(b, &scoring, max_value));
+        let ctx = Arc::clone(&self.ctx);
+        rows.sort_by(|a, b| ctx.cmp_desc(a, b));
         self.metrics.observe_buffered(rows.len() as u64);
         self.output = Some(rows.into_iter());
         Ok(())

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use ranksql_common::{BitSet64, Result, Schema};
 use ranksql_expr::{RankedTuple, RankingContext};
 
-use crate::context::ExecutionContext;
+use crate::context::{ExecutionContext, TopKThreshold};
 use crate::metrics::OperatorMetrics;
 use crate::operator::{Batch, BoxedOperator, PhysicalOperator};
 
@@ -70,9 +70,11 @@ impl SortOp {
                 rows.push(rt);
             }
         }
-        let scoring = self.ctx.scoring().clone();
-        let max_value = self.ctx.max_predicate_value();
-        rows.sort_by(|a, b| a.cmp_desc(b, &scoring, max_value));
+        // Context-aware comparator: identical to `cmp_desc` under the
+        // global predicate maximum, and consistent with the capped bounds
+        // the rest of the pipeline uses when zone-map caps are installed.
+        let ctx = Arc::clone(&self.ctx);
+        rows.sort_by(|a, b| ctx.cmp_desc(a, b));
         self.metrics.observe_buffered(rows.len() as u64);
         self.sorted = Some(rows.into_iter());
         Ok(())
@@ -180,6 +182,10 @@ pub struct SortLimitOp {
     metrics: Arc<OperatorMetrics>,
     sorted: Option<std::vec::IntoIter<RankedTuple>>,
     batch_size: usize,
+    /// Zone-pruning feedback channel: once the bounded heap holds `k`
+    /// tuples, its worst kept score is published here so the columnar scan
+    /// on this operator's σ/π spine can skip blocks that cannot beat it.
+    threshold: Option<Arc<TopKThreshold>>,
 }
 
 impl SortLimitOp {
@@ -201,7 +207,15 @@ impl SortLimitOp {
             metrics: exec.register(label),
             sorted: None,
             batch_size: exec.batch_size(),
+            threshold: None,
         }
+    }
+
+    /// Attaches the top-k threshold cell shared with the zone-pruning
+    /// columnar scan feeding this operator.
+    pub fn with_threshold(mut self, cell: Arc<TopKThreshold>) -> Self {
+        self.threshold = Some(cell);
+        self
     }
 
     fn prepare(&mut self) -> Result<()> {
@@ -238,6 +252,18 @@ impl SortLimitOp {
                 }
             }
             self.metrics.observe_buffered(heap.len() as u64);
+            // A full heap's worst kept score is a hard lower bound on the
+            // k-th best result: publish it so the scan below can zone-prune.
+            // Strictly-below tuples would be pushed and immediately popped,
+            // so skipping them upstream cannot change the kept set (ties
+            // are never pruned — the id tie-break stays deterministic).
+            if let Some(cell) = &self.threshold {
+                if heap.len() == self.k {
+                    if let Some(worst) = heap.peek() {
+                        cell.raise(worst.score.value());
+                    }
+                }
+            }
         }
         // Ascending heap order = best first (the maximum is the worst kept).
         let rows: Vec<RankedTuple> = heap

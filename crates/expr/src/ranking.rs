@@ -271,6 +271,14 @@ pub struct RankingContext {
     scoring: ScoringFunction,
     counters: EvalCounters,
     max_predicate_value: f64,
+    /// Optional data-derived per-predicate score maxima (e.g. columnar
+    /// zone-map maxima): unevaluated predicate `i` contributes
+    /// `predicate_caps[i]` to upper bounds instead of the global
+    /// `max_predicate_value`.  Tighter bounds mean rank-aware operators
+    /// (µ, MPro, HRJN/NRJN) emit earlier and probe less — without changing
+    /// results, because any valid cap still dominates every reachable final
+    /// score.
+    predicate_caps: Option<Vec<f64>>,
 }
 
 impl RankingContext {
@@ -282,7 +290,49 @@ impl RankingContext {
             scoring,
             counters: EvalCounters::new(n),
             max_predicate_value: 1.0,
+            predicate_caps: None,
         })
+    }
+
+    /// A context (fresh counters) whose upper bounds substitute the given
+    /// per-predicate maxima for unevaluated predicates.
+    ///
+    /// Callers must pass *valid* upper bounds — every reachable score of
+    /// predicate `i` must be `≤ caps[i]` (zone-map maxima are, by
+    /// construction).  Caps are clamped into `[0, max_predicate_value]`; a
+    /// `NaN` cap falls back to the global maximum (conservative).
+    pub fn with_predicate_caps(&self, caps: Vec<f64>) -> Arc<Self> {
+        assert_eq!(
+            caps.len(),
+            self.predicates.len(),
+            "one cap per ranking predicate"
+        );
+        let max = self.max_predicate_value;
+        let caps = caps
+            .into_iter()
+            .map(|c| if c.is_nan() { max } else { c.clamp(0.0, max) })
+            .collect();
+        Arc::new(RankingContext {
+            predicates: self.predicates.clone(),
+            scoring: self.scoring.clone(),
+            counters: EvalCounters::new(self.predicates.len()),
+            max_predicate_value: max,
+            predicate_caps: Some(caps),
+        })
+    }
+
+    /// The data-derived per-predicate score maxima, if installed.
+    pub fn predicate_caps(&self) -> Option<&[f64]> {
+        self.predicate_caps.as_deref()
+    }
+
+    /// The maximal possible score of predicate `i` under the installed caps
+    /// (the global maximum when no caps are installed).
+    pub fn max_value_for(&self, i: usize) -> f64 {
+        self.predicate_caps
+            .as_ref()
+            .and_then(|c| c.get(i).copied())
+            .unwrap_or(self.max_predicate_value)
     }
 
     /// A context with no ranking predicates (a purely Boolean query).
@@ -292,9 +342,16 @@ impl RankingContext {
 
     /// A context with the same predicates but a different scoring function
     /// (fresh evaluation counters) — how prepared statements re-bind
-    /// ranking weights without re-planning.
+    /// ranking weights without re-planning.  Installed predicate caps are
+    /// preserved.
     pub fn with_scoring(&self, scoring: ScoringFunction) -> Arc<Self> {
-        RankingContext::new(self.predicates.clone(), scoring)
+        Arc::new(RankingContext {
+            predicates: self.predicates.clone(),
+            scoring,
+            counters: EvalCounters::new(self.predicates.len()),
+            max_predicate_value: self.max_predicate_value,
+            predicate_caps: self.predicate_caps.clone(),
+        })
     }
 
     /// The parameter slots referenced by any predicate's score expression
@@ -327,7 +384,13 @@ impl RankingContext {
             .iter()
             .map(|p| p.with_params(values))
             .collect::<Result<Vec<_>>>()?;
-        Ok(RankingContext::new(predicates, self.scoring.clone()))
+        Ok(Arc::new(RankingContext {
+            counters: EvalCounters::new(predicates.len()),
+            predicates,
+            scoring: self.scoring.clone(),
+            max_predicate_value: self.max_predicate_value,
+            predicate_caps: self.predicate_caps.clone(),
+        }))
     }
 
     /// Number of ranking predicates.
@@ -373,15 +436,39 @@ impl RankingContext {
         ScoreState::new(self.num_predicates())
     }
 
-    /// The maximal-possible score `F_P[t]` for a score state.
+    /// The maximal-possible score `F_P[t]` for a score state (per-predicate
+    /// caps applied when installed).
     pub fn upper_bound(&self, state: &ScoreState) -> Score {
-        state.upper_bound(&self.scoring, self.max_predicate_value)
+        match &self.predicate_caps {
+            Some(caps) => state.upper_bound_capped(&self.scoring, caps),
+            None => state.upper_bound(&self.scoring, self.max_predicate_value),
+        }
     }
 
     /// The upper bound of a tuple about which nothing has been evaluated.
     pub fn initial_upper_bound(&self) -> Score {
-        self.scoring
-            .initial_upper_bound(self.num_predicates(), self.max_predicate_value)
+        match &self.predicate_caps {
+            Some(caps) => self.scoring.combine(caps),
+            None => self
+                .scoring
+                .initial_upper_bound(self.num_predicates(), self.max_predicate_value),
+        }
+    }
+
+    /// The total order ranked streams are compared in: descending
+    /// maximal-possible score (caps applied), ties broken by ascending tuple
+    /// identity.  The context-aware form of
+    /// [`RankedTuple::cmp_desc`](crate::state::RankedTuple::cmp_desc) —
+    /// operators must use this one so capped and uncapped executions order
+    /// buffered tuples consistently.
+    pub fn cmp_desc(
+        &self,
+        a: &crate::state::RankedTuple,
+        b: &crate::state::RankedTuple,
+    ) -> std::cmp::Ordering {
+        self.upper_bound(&b.state)
+            .cmp(&self.upper_bound(&a.state))
+            .then_with(|| a.tuple.id().cmp(b.tuple.id()))
     }
 
     /// Evaluates predicate `i` on a tuple (recording the evaluation) and

@@ -152,6 +152,25 @@ impl ScoreState {
         scoring.combine(filled)
     }
 
+    /// Like [`ScoreState::upper_bound`] but with a *per-predicate* maximum:
+    /// unevaluated predicate `i` contributes `caps[i]` instead of one global
+    /// maximum.  Callers supply data-derived caps (e.g. zone-map maxima), so
+    /// the bound is tighter but still dominates every reachable final score.
+    pub fn upper_bound_capped(&self, scoring: &ScoringFunction, caps: &[f64]) -> Score {
+        let values = self.values.as_slice();
+        debug_assert_eq!(caps.len(), values.len(), "cap arity mismatch");
+        let mut buf = [0.0f64; 64];
+        let filled = &mut buf[..values.len()];
+        for (i, slot) in filled.iter_mut().enumerate() {
+            *slot = if self.evaluated.contains(i) {
+                values[i]
+            } else {
+                caps[i]
+            };
+        }
+        scoring.combine(filled)
+    }
+
     /// Merges two score states over the same predicate universe (used by
     /// binary operators: the output order is induced by `P1 ∪ P2`).
     ///

@@ -21,6 +21,12 @@ pub use ranksql_common::Cost;
 pub struct CostModel {
     /// Cost of producing one tuple from a sequential scan.
     pub seq_tuple: f64,
+    /// Cost of producing one tuple from a *columnar* sequential scan
+    /// (dense typed vectors, no per-tuple indirection; the `columnarize`
+    /// pass re-costs annotated scans with this constant).  Zone-map
+    /// pruning makes the realized cost lower still — the estimate is the
+    /// no-pruning upper bound.
+    pub columnar_tuple: f64,
     /// Cost of producing one tuple from an index (rank or attribute) scan.
     pub index_tuple: f64,
     /// Cost of evaluating a Boolean predicate on one tuple.
@@ -41,6 +47,7 @@ impl Default for CostModel {
     fn default() -> Self {
         CostModel {
             seq_tuple: 1.0,
+            columnar_tuple: 0.4,
             index_tuple: 1.2,
             bool_eval: 0.1,
             rank_eval_unit: 2.0,

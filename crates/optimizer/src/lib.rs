@@ -23,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod columnar;
 pub mod cost;
 pub mod enumerate;
 pub mod histogram;
@@ -39,6 +40,7 @@ use ranksql_common::Result;
 use ranksql_storage::Catalog;
 
 pub use cache::normalized_cache_key;
+pub use columnar::columnarize;
 pub use cost::{Cost, CostModel};
 pub use enumerate::{DpOptimizer, EnumerationStats};
 pub use histogram::{HistogramEstimator, ScoreHistogram};

@@ -66,6 +66,7 @@ pub fn lower_with_estimates(
             ScanAccess::Sequential => PhysicalOp::SeqScan {
                 table: table.clone(),
                 schema: schema.clone(),
+                columnar: None,
             },
             ScanAccess::RankIndex { predicate } => PhysicalOp::RankScan {
                 table: table.clone(),

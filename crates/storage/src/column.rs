@@ -1,0 +1,454 @@
+//! Column-major table storage with per-block zone maps.
+//!
+//! A [`ColumnTable`] is the columnar projection of a row-major
+//! [`Table`]: every attribute is stored in its own dense,
+//! type-specialised vector, logically split into fixed-size blocks of
+//! [`COLUMN_BLOCK_ROWS`] rows.  For each *purely numeric* column every block
+//! carries a **zone map** — the min/max of the block's values — which lets a
+//! columnar scan skip whole blocks:
+//!
+//! * **filter pruning** — a pushed-down comparison (`σ p1 ≥ 0.9`) skips
+//!   blocks whose value range cannot satisfy the predicate;
+//! * **score pruning** — a top-k consumer skips blocks whose *maximal
+//!   possible query score* (the scoring function over the blocks' clamped
+//!   score maxima) cannot beat the current k-th best score.
+//!
+//! The layout follows the buffer/block structure of classic columnar engines
+//! (fixed-row blocks, per-block metadata); the executor's `ColumnScan` fills
+//! its output batches from the column vectors directly and materialises row
+//! tuples only for rows that survive the pushed filter — late
+//! materialisation on the σ/π spine.
+
+use std::fmt;
+use std::ops::Range;
+
+use ranksql_common::{Schema, Tuple, TupleId, Value};
+
+use crate::table::Table;
+
+/// Rows per columnar block (the zone-map granularity).
+pub const COLUMN_BLOCK_ROWS: usize = 1024;
+
+/// Which physical layout a table (or a scan over it) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageBackend {
+    /// Row-major heap of tuples (the seed layout).
+    #[default]
+    Row,
+    /// Column-major blocks with zone maps ([`ColumnTable`]).
+    Columnar,
+}
+
+impl StorageBackend {
+    /// Stable lowercase tag used in plan-cache keys and explain output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            StorageBackend::Row => "row",
+            StorageBackend::Columnar => "columnar",
+        }
+    }
+}
+
+impl fmt::Display for StorageBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Per-block min/max of one numeric column, in the column's native type.
+///
+/// Int64 zones stay exact (no float rounding), so integer pushed filters can
+/// prune without conservative widening.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColumnZones<'a> {
+    /// Zones of an `Int64` column.
+    Int64(&'a [(i64, i64)]),
+    /// Zones of a `Float64` column.  `NaN` values are folded with the same
+    /// total order [`Value`] uses (`NaN` sorts greatest), so the max
+    /// dominates every value the way `Value` comparisons see them.
+    Float64(&'a [(f64, f64)]),
+}
+
+/// Type-specialised column storage.
+#[derive(Debug)]
+enum ColumnData {
+    /// Every value is `Value::Int64`.
+    Int64(Vec<i64>),
+    /// Every value is `Value::Float64`.
+    Float64(Vec<f64>),
+    /// Mixed types, strings, booleans or NULLs — stored as dynamic values
+    /// (no zone maps: range pruning over mixed types is unsound under the
+    /// cross-type total order).
+    Generic(Vec<Value>),
+}
+
+/// A borrowed view of one column's values.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnSlice<'a> {
+    /// Dense `i64` values.
+    Int64(&'a [i64]),
+    /// Dense `f64` values.
+    Float64(&'a [f64]),
+    /// Dynamic values (mixed / non-numeric columns).
+    Generic(&'a [Value]),
+}
+
+/// One column: its data plus per-block zone metadata (numeric columns only).
+#[derive(Debug)]
+struct Column {
+    data: ColumnData,
+    /// Raw per-block min/max in the native type (`None` for generic
+    /// columns).
+    zones_i64: Option<Vec<(i64, i64)>>,
+    zones_f64: Option<Vec<(f64, f64)>>,
+    /// Per-block maximum of the column's values *as ranking scores*:
+    /// clamped into `[0, 1]`, `NaN` ignored (a `NaN` score sorts below every
+    /// ranked tuple, so it never lifts a block's score bound).
+    /// `f64::NEG_INFINITY` for empty blocks.  `None` for generic columns.
+    score_max: Option<Vec<f64>>,
+}
+
+/// The columnar projection of a [`Table`]: per-attribute vectors in
+/// fixed-size blocks, each numeric column carrying per-block zone maps.
+///
+/// Built once from a row snapshot (see [`Table::columnar`], which caches the
+/// projection and invalidates it on insert, like the table's indexes) and
+/// shared read-only across scans.
+#[derive(Debug)]
+pub struct ColumnTable {
+    table_id: u32,
+    name: String,
+    schema: Schema,
+    row_count: usize,
+    columns: Vec<Column>,
+}
+
+impl ColumnTable {
+    /// Builds the columnar projection of a row table (one full snapshot
+    /// scan).
+    pub fn from_table(table: &Table) -> Self {
+        let rows = table.scan();
+        let schema = table.schema().clone();
+        let n_cols = schema.len();
+        let mut columns = Vec::with_capacity(n_cols);
+        for col in 0..n_cols {
+            columns.push(build_column(&rows, col));
+        }
+        ColumnTable {
+            table_id: table.id(),
+            name: table.name().to_owned(),
+            schema,
+            row_count: rows.len(),
+            columns,
+        }
+    }
+
+    /// The id of the table this projection was built from.
+    pub fn table_id(&self) -> u32 {
+        self.table_id
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Number of blocks (`ceil(rows / COLUMN_BLOCK_ROWS)`).
+    pub fn num_blocks(&self) -> usize {
+        self.row_count.div_ceil(COLUMN_BLOCK_ROWS)
+    }
+
+    /// The row range of block `block`.
+    pub fn block_rows(&self, block: usize) -> Range<usize> {
+        let start = block * COLUMN_BLOCK_ROWS;
+        start..((start + COLUMN_BLOCK_ROWS).min(self.row_count))
+    }
+
+    /// A borrowed view of one column's values.
+    pub fn column_slice(&self, column: usize) -> ColumnSlice<'_> {
+        match &self.columns[column].data {
+            ColumnData::Int64(v) => ColumnSlice::Int64(v),
+            ColumnData::Float64(v) => ColumnSlice::Float64(v),
+            ColumnData::Generic(v) => ColumnSlice::Generic(v),
+        }
+    }
+
+    /// The per-block zone maps of a column (`None` for non-numeric / mixed
+    /// columns, which cannot be range-pruned soundly).
+    pub fn zones(&self, column: usize) -> Option<ColumnZones<'_>> {
+        let c = &self.columns[column];
+        if let Some(z) = &c.zones_i64 {
+            return Some(ColumnZones::Int64(z));
+        }
+        c.zones_f64.as_deref().map(ColumnZones::Float64)
+    }
+
+    /// The maximal possible *ranking score* of column `column` within
+    /// `block`: the block maximum clamped into `[0, 1]` (`NaN` ignored).
+    /// `None` when the column carries no zone maps.
+    pub fn score_zone_max(&self, column: usize, block: usize) -> Option<f64> {
+        self.columns[column]
+            .score_max
+            .as_ref()
+            .and_then(|m| m.get(block).copied())
+    }
+
+    /// The maximal possible ranking score of column `column` over the whole
+    /// table (the fold of every block's [`ColumnTable::score_zone_max`]).
+    /// `None` when the column carries no zone maps.
+    pub fn table_score_max(&self, column: usize) -> Option<f64> {
+        self.columns[column]
+            .score_max
+            .as_ref()
+            .map(|m| m.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// The value at `(row, column)` (reconstructed from the typed storage).
+    pub fn value(&self, row: usize, column: usize) -> Value {
+        match &self.columns[column].data {
+            ColumnData::Int64(v) => Value::Int64(v[row]),
+            ColumnData::Float64(v) => Value::Float64(v[row]),
+            ColumnData::Generic(v) => v[row].clone(),
+        }
+    }
+
+    /// Materialises the full tuple of `row` (identity
+    /// `(table_id, row)` — identical to the row backend's, so results are
+    /// byte-compatible across backends).
+    pub fn tuple(&self, row: usize) -> Tuple {
+        let mut values = Vec::with_capacity(self.columns.len());
+        for col in &self.columns {
+            values.push(match &col.data {
+                ColumnData::Int64(v) => Value::Int64(v[row]),
+                ColumnData::Float64(v) => Value::Float64(v[row]),
+                ColumnData::Generic(v) => v[row].clone(),
+            });
+        }
+        Tuple::new(TupleId::base(self.table_id, row as u64), values)
+    }
+}
+
+/// Classifies and packs one column, computing its zone maps.
+fn build_column(rows: &[Tuple], col: usize) -> Column {
+    let mut all_i64 = true;
+    let mut all_f64 = true;
+    for t in rows {
+        match t.value(col) {
+            Value::Int64(_) => all_f64 = false,
+            Value::Float64(_) => all_i64 = false,
+            _ => {
+                all_i64 = false;
+                all_f64 = false;
+                break;
+            }
+        }
+        if !all_i64 && !all_f64 {
+            break;
+        }
+    }
+    if all_i64 {
+        let data: Vec<i64> = rows
+            .iter()
+            .map(|t| match t.value(col) {
+                Value::Int64(v) => *v,
+                _ => unreachable!("classified as pure Int64"),
+            })
+            .collect();
+        let zones = per_block(&data, |chunk| {
+            let min = chunk.iter().copied().min().expect("non-empty block");
+            let max = chunk.iter().copied().max().expect("non-empty block");
+            (min, max)
+        });
+        let score_max = per_block(&data, |chunk| {
+            chunk
+                .iter()
+                .map(|&v| (v as f64).clamp(0.0, 1.0))
+                .fold(f64::NEG_INFINITY, f64::max)
+        });
+        Column {
+            data: ColumnData::Int64(data),
+            zones_i64: Some(zones),
+            zones_f64: None,
+            score_max: Some(score_max),
+        }
+    } else if all_f64 {
+        let data: Vec<f64> = rows
+            .iter()
+            .map(|t| match t.value(col) {
+                Value::Float64(v) => *v,
+                _ => unreachable!("classified as pure Float64"),
+            })
+            .collect();
+        // Fold with the same total order `Value` comparisons use: NaN sorts
+        // greatest, so the max dominates every value as the filter sees it.
+        let zones = per_block(&data, |chunk| {
+            let mut min = chunk[0];
+            let mut max = chunk[0];
+            for &v in &chunk[1..] {
+                if cmp_f64_total(v, min).is_lt() {
+                    min = v;
+                }
+                if cmp_f64_total(v, max).is_gt() {
+                    max = v;
+                }
+            }
+            (min, max)
+        });
+        let score_max = per_block(&data, |chunk| {
+            chunk
+                .iter()
+                .filter(|v| !v.is_nan())
+                .map(|&v| v.clamp(0.0, 1.0))
+                .fold(f64::NEG_INFINITY, f64::max)
+        });
+        Column {
+            data: ColumnData::Float64(data),
+            zones_i64: None,
+            zones_f64: Some(zones),
+            score_max: Some(score_max),
+        }
+    } else {
+        Column {
+            data: ColumnData::Generic(rows.iter().map(|t| t.value(col).clone()).collect()),
+            zones_i64: None,
+            zones_f64: None,
+            score_max: None,
+        }
+    }
+}
+
+/// Maps `f` over the `COLUMN_BLOCK_ROWS`-sized chunks of a column.
+fn per_block<T, Z>(data: &[T], f: impl Fn(&[T]) -> Z) -> Vec<Z> {
+    data.chunks(COLUMN_BLOCK_ROWS).map(f).collect()
+}
+
+/// The total order over `f64` used by `Value` comparisons (`NaN` greatest),
+/// re-exported from `ranksql-common` so zone-map folds and the executor's
+/// typed filters share the one definition the soundness argument needs.
+pub use ranksql_common::cmp_f64_total;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use ranksql_common::{DataType, Field};
+
+    fn table(rows: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+            Field::new("name", DataType::Utf8),
+        ])
+        .qualify_all("T");
+        TableBuilder::new("T", schema)
+            .rows((0..rows).map(|i| {
+                vec![
+                    Value::from(i as i64),
+                    Value::from(((i * 37) % 100) as f64 / 100.0),
+                    Value::from(format!("r{i}").as_str()),
+                ]
+            }))
+            .build(3)
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trips_rows_and_identities() {
+        let t = table(10);
+        let c = ColumnTable::from_table(&t);
+        assert_eq!(c.row_count(), 10);
+        assert_eq!(c.num_blocks(), 1);
+        for (i, want) in t.scan().iter().enumerate() {
+            let got = c.tuple(i);
+            assert_eq!(got.id(), want.id());
+            assert_eq!(got.values(), want.values());
+        }
+    }
+
+    #[test]
+    fn blocks_and_zone_maps() {
+        let t = table(COLUMN_BLOCK_ROWS + 100);
+        let c = ColumnTable::from_table(&t);
+        assert_eq!(c.num_blocks(), 2);
+        assert_eq!(c.block_rows(0), 0..COLUMN_BLOCK_ROWS);
+        assert_eq!(c.block_rows(1), COLUMN_BLOCK_ROWS..COLUMN_BLOCK_ROWS + 100);
+        // Int64 zones are exact.
+        match c.zones(0).unwrap() {
+            ColumnZones::Int64(z) => {
+                assert_eq!(z[0], (0, COLUMN_BLOCK_ROWS as i64 - 1));
+                assert_eq!(
+                    z[1],
+                    (COLUMN_BLOCK_ROWS as i64, COLUMN_BLOCK_ROWS as i64 + 99)
+                );
+            }
+            other => panic!("expected Int64 zones, got {other:?}"),
+        }
+        // Float64 zones cover [0, 0.99].
+        match c.zones(1).unwrap() {
+            ColumnZones::Float64(z) => {
+                assert!(z[0].0 >= 0.0 && z[0].1 <= 0.99 + 1e-12);
+            }
+            other => panic!("expected Float64 zones, got {other:?}"),
+        }
+        // Utf8 columns carry no zones.
+        assert!(c.zones(2).is_none());
+        assert!(c.score_zone_max(2, 0).is_none());
+        // Score maxima are clamped into [0, 1].
+        let s = c.score_zone_max(0, 1).unwrap();
+        assert_eq!(s, 1.0, "large integers clamp to 1.0 as scores");
+        assert!(c.table_score_max(1).unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn nan_dominates_value_zones_but_not_score_zones() {
+        let schema = Schema::new(vec![Field::new("p", DataType::Float64)]).qualify_all("N");
+        let t = TableBuilder::new("N", schema)
+            .rows([
+                vec![Value::from(0.4)],
+                vec![Value::from(f64::NAN)],
+                vec![Value::from(0.2)],
+            ])
+            .build(0)
+            .unwrap();
+        let c = ColumnTable::from_table(&t);
+        match c.zones(0).unwrap() {
+            ColumnZones::Float64(z) => {
+                assert_eq!(z[0].0, 0.2);
+                assert!(z[0].1.is_nan(), "NaN sorts greatest in the value order");
+            }
+            other => panic!("{other:?}"),
+        }
+        // NaN scores sort below everything, so they never lift the bound.
+        assert_eq!(c.score_zone_max(0, 0), Some(0.4));
+    }
+
+    #[test]
+    fn mixed_columns_fall_back_to_generic() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]).qualify_all("M");
+        let t = TableBuilder::new("M", schema)
+            .rows([vec![Value::from(1)], vec![Value::from(2.5)]])
+            .build(0)
+            .unwrap();
+        let c = ColumnTable::from_table(&t);
+        assert!(matches!(c.column_slice(0), ColumnSlice::Generic(_)));
+        assert!(c.zones(0).is_none());
+        assert_eq!(c.value(1, 0), Value::from(2.5));
+    }
+
+    #[test]
+    fn backend_tags_render() {
+        assert_eq!(StorageBackend::Row.to_string(), "row");
+        assert_eq!(StorageBackend::Columnar.to_string(), "columnar");
+        assert_eq!(StorageBackend::default(), StorageBackend::Row);
+    }
+}

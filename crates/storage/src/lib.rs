@@ -23,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod catalog;
+pub mod column;
 pub mod csv;
 pub mod index;
 pub mod sample;
@@ -30,6 +31,9 @@ pub mod stats;
 pub mod table;
 
 pub use catalog::Catalog;
+pub use column::{
+    cmp_f64_total, ColumnSlice, ColumnTable, ColumnZones, StorageBackend, COLUMN_BLOCK_ROWS,
+};
 pub use csv::{infer_schema, parse_csv, CsvOptions};
 pub use index::{BTreeIndex, HashIndex, ScoreIndex};
 pub use sample::{reservoir_sample, sample_fraction};

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use parking_lot::RwLock;
 use ranksql_common::{RankSqlError, Result, Schema, Tuple, TupleId, Value};
 
+use crate::column::ColumnTable;
 use crate::index::{BTreeIndex, HashIndex, ScoreIndex};
 
 /// An append-only, in-memory table.
@@ -27,6 +28,12 @@ pub struct Table {
     /// Fast-path flag so the insert hot loop skips index invalidation when
     /// no index was ever built.
     has_indexes: AtomicBool,
+    /// Cached columnar projection (see [`Table::columnar`]); dropped on
+    /// insert like the indexes.
+    columnar: RwLock<Option<Arc<ColumnTable>>>,
+    /// Fast-path flag so the insert hot loop skips columnar invalidation
+    /// when no projection was ever built.
+    has_columnar: AtomicBool,
 }
 
 impl Table {
@@ -44,6 +51,8 @@ impl Table {
             btree_indexes: RwLock::new(Vec::new()),
             hash_indexes: RwLock::new(Vec::new()),
             has_indexes: AtomicBool::new(false),
+            columnar: RwLock::new(None),
+            has_columnar: AtomicBool::new(false),
         }
     }
 
@@ -95,6 +104,10 @@ impl Table {
         if self.has_indexes.load(Ordering::Acquire) {
             self.drop_stale_indexes();
         }
+        if self.has_columnar.load(Ordering::Acquire) {
+            *self.columnar.write() = None;
+            self.has_columnar.store(false, Ordering::Release);
+        }
         let idx = rows.len() as u64;
         rows.push(Tuple::new(TupleId::base(self.id, idx), values));
         Ok(idx)
@@ -131,6 +144,22 @@ impl Table {
     /// A snapshot of all tuples (cheap clones: values are `Arc`-shared).
     pub fn scan(&self) -> Vec<Tuple> {
         self.rows.read().clone()
+    }
+
+    /// The columnar projection of this table (see [`ColumnTable`]), built on
+    /// first use and cached; inserts drop the cached projection (like the
+    /// indexes), so a returned handle is always consistent with the rows at
+    /// the time of the call.
+    pub fn columnar(&self) -> Arc<ColumnTable> {
+        if let Some(c) = self.columnar.read().as_ref() {
+            if c.row_count() == self.row_count() {
+                return Arc::clone(c);
+            }
+        }
+        let built = Arc::new(ColumnTable::from_table(self));
+        *self.columnar.write() = Some(Arc::clone(&built));
+        self.has_columnar.store(true, Ordering::Release);
+        built
     }
 
     /// Registers a score (rank) index, replacing any previous index on the

@@ -9,11 +9,24 @@
 
 use ranksql_common::{Field, Result, Schema};
 use ranksql_core::Database;
-use ranksql_storage::Catalog;
+use ranksql_storage::{Catalog, StorageBackend};
 
-/// Copies every table of a generated catalog into a fresh [`Database`].
+/// Copies every table of a generated catalog into a fresh [`Database`]
+/// (row backend).
 pub fn catalog_into_database(catalog: &Catalog) -> Result<Database> {
-    let db = Database::new();
+    catalog_into_database_with_backend(catalog, StorageBackend::Row)
+}
+
+/// Copies every table of a generated catalog into a fresh [`Database`]
+/// planning against `backend`.  With [`StorageBackend::Columnar`] the
+/// loader *populates both layouts*: rows are inserted into the heap tables
+/// and every columnar projection (with its zone maps) is pre-built, so the
+/// first query pays no projection-build latency.
+pub fn catalog_into_database_with_backend(
+    catalog: &Catalog,
+    backend: StorageBackend,
+) -> Result<Database> {
+    let db = Database::new().with_storage_backend(backend);
     for name in catalog.table_names() {
         let table = catalog.table(&name)?;
         let schema = Schema::new(
@@ -26,6 +39,9 @@ pub fn catalog_into_database(catalog: &Catalog) -> Result<Database> {
         );
         let created = db.create_table(&name, schema)?;
         created.insert_batch(table.scan().into_iter().map(|t| t.values().to_vec()))?;
+    }
+    if backend == StorageBackend::Columnar {
+        db.prebuild_columnar()?;
     }
     Ok(db)
 }

@@ -23,6 +23,6 @@ pub mod micro;
 pub mod synthetic;
 pub mod trip;
 
-pub use db::catalog_into_database;
+pub use db::{catalog_into_database, catalog_into_database_with_backend};
 pub use synthetic::{SyntheticConfig, SyntheticWorkload};
 pub use trip::TripWorkload;

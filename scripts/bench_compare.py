@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json run against the committed baseline.
+
+Three checks:
+
+1. **Baseline ratios** — every benchmark shared by both documents is
+   compared as `current / baseline`.  Ratios outside `1 ± tolerance` print
+   a warning (advisory); a ratio above `1 + tolerance` in one of the *hard*
+   groups — the scan groups, whose regressions this PR's storage work must
+   never reintroduce — fails the script.
+2. **Presence** — a hard group that is missing or empty in the current run
+   fails the script: a renamed group or a drifted output format must never
+   turn the gate green by producing nothing to compare.
+3. **Within-run ratio** — machine-independent sanity of the columnar claim:
+   `columnar_vs_row/columnar/scan_filter` must beat
+   `columnar_vs_row/row/scan_filter` from the *same run* by at least
+   `--min-columnar-speedup` (default 1.15×; the bench demonstrates ~2×, so
+   the floor leaves headroom for noisy runners).
+
+CI runners differ from the machine that recorded the baseline, so the
+default tolerance is deliberately loose (±25 %, overridable with
+`BENCH_GATE_TOLERANCE`) and only sustained scan regressions hard-fail.
+Regenerate the baseline with `scripts/bench-json.sh bench/baseline.json`
+when a deliberate performance change shifts the numbers.
+
+Usage:
+    python3 scripts/bench_compare.py bench/baseline.json BENCH_PR5.json \
+        [--tolerance 0.25] [--hard-groups seq_scan_hot_path,columnar_vs_row]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_HARD_GROUPS = ["seq_scan_hot_path", "columnar_vs_row"]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25")),
+    )
+    ap.add_argument("--hard-groups", default=",".join(DEFAULT_HARD_GROUPS))
+    ap.add_argument("--min-columnar-speedup", type=float, default=1.15)
+    args = ap.parse_args()
+    hard = {g.strip() for g in args.hard_groups.split(",") if g.strip()}
+
+    with open(args.baseline) as f:
+        baseline = json.load(f).get("groups", {})
+    with open(args.current) as f:
+        current = json.load(f).get("groups", {})
+
+    failures = []
+    warnings = []
+
+    # 2. Presence: hard groups must have measurements in the current run.
+    for group in sorted(hard):
+        if not current.get(group):
+            failures.append(
+                f"hard group `{group}` produced no measurements in the current run "
+                "(renamed group or drifted bench output format?)"
+            )
+
+    # 1. Baseline ratios.
+    for group, benches in sorted(current.items()):
+        base_group = baseline.get(group, {})
+        for name, ns in sorted(benches.items()):
+            base = base_group.get(name)
+            if not base:
+                print(f"  new   {group}/{name}: {ns:.0f} ns/iter (no baseline)")
+                continue
+            ratio = ns / base
+            marker = "ok    "
+            if ratio > 1 + args.tolerance:
+                marker = "SLOWER"
+                (failures if group in hard else warnings).append(
+                    f"{group}/{name}: {ratio:.2f}x of baseline ({ns:.0f} vs {base:.0f} ns)"
+                )
+            elif ratio < 1 - args.tolerance:
+                marker = "faster"
+            print(f"  {marker} {group}/{name}: {ratio:5.2f}x ({ns:.0f} vs {base:.0f} ns)")
+
+    # 3. Within-run columnar speedup (machine-independent).  The two bench
+    # names are load-bearing: if either disappears (rename, output drift)
+    # this check must fail rather than silently evaporate.
+    cvr = current.get("columnar_vs_row", {})
+    row = cvr.get("row/scan_filter")
+    col = cvr.get("columnar/scan_filter")
+    if row and col:
+        speedup = row / col
+        print(f"  within-run columnar/scan_filter speedup: {speedup:.2f}x")
+        if speedup < args.min_columnar_speedup:
+            failures.append(
+                f"columnar_vs_row within-run speedup {speedup:.2f}x is below the "
+                f"{args.min_columnar_speedup:.2f}x floor"
+            )
+    elif cvr:
+        failures.append(
+            "columnar_vs_row is missing row/scan_filter or columnar/scan_filter — "
+            "the within-run speedup gate has nothing to compare (renamed benches?)"
+        )
+
+    for w in warnings:
+        # GitHub Actions annotation; harmless noise elsewhere.
+        print(f"::warning title=bench regression (advisory)::{w}")
+    if failures:
+        for f_ in failures:
+            print(f"::error title=scan-group bench regression::{f_}")
+        print(
+            f"FAIL: {len(failures)} hard failure(s) (tolerance {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: no hard regressions ({len(warnings)} advisory warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ pub use ranksql_core::{
     RankingContext, ScalarExpr, ScoringFunction, Session, SessionSettings,
 };
 pub use ranksql_optimizer::{OptimizedPlan, RankOptimizer};
+pub use ranksql_storage::StorageBackend;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,322 @@
+//! Cross-backend equivalence of the storage layer.
+//!
+//! The columnar backend (`ColumnTable` + zone maps, PR 5) promises that the
+//! physical layout is a pure *access-path* choice: for every plan mode,
+//! thread count, batch size and morsel size, planning against
+//! `StorageBackend::Columnar` must produce exactly the ordered top-k result
+//! of the row backend — same tuples, same order, same scores.  The proptest
+//! below drives randomized workloads through all five `PlanMode`s and
+//! compares the two backends pairwise.
+//!
+//! Companion regression tests pin the zone-map contract: score pruning on a
+//! selective top-k reduces `tuples_scanned` (and skips whole blocks) while
+//! the result stays byte-identical, and pushed-down filters show up in
+//! `explain` as `ColumnScan(..)[σ ..]` annotations.
+
+use proptest::prelude::*;
+
+use ranksql::expr::RankPredicate;
+use ranksql::{
+    BoolExpr, CompareOp, DataType, Database, Field, PlanMode, QueryBuilder, RankQuery, ScalarExpr,
+    Schema, StorageBackend, Value,
+};
+
+const ALL_MODES: [PlanMode; 5] = [
+    PlanMode::Canonical,
+    PlanMode::Traditional,
+    PlanMode::RankAware,
+    PlanMode::RankAwareExhaustive,
+    PlanMode::RankAwareRuleBased,
+];
+
+/// A randomly generated two-table join workload plus execution knobs.
+#[derive(Debug, Clone)]
+struct Workload {
+    r_rows: Vec<(i64, f64, bool)>,
+    s_rows: Vec<(i64, f64)>,
+    k: usize,
+    batch_size: usize,
+    morsel_size: usize,
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    (
+        proptest::collection::vec((0..6i64, 0.0..1.0f64, any::<bool>()), 1..30),
+        proptest::collection::vec((0..6i64, 0.0..1.0f64), 1..30),
+        1..10usize,
+        1..512usize,
+        1..64usize,
+    )
+        .prop_map(|(r_rows, s_rows, k, batch_size, morsel_size)| Workload {
+            r_rows,
+            s_rows,
+            k,
+            batch_size,
+            morsel_size,
+        })
+}
+
+fn build_database(w: &Workload, backend: StorageBackend) -> (Database, RankQuery) {
+    let db = Database::new().with_storage_backend(backend);
+    db.create_table(
+        "R",
+        Schema::new(vec![
+            Field::new("jc", DataType::Int64),
+            Field::new("p1", DataType::Float64),
+            Field::new("flag", DataType::Bool),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "S",
+        Schema::new(vec![
+            Field::new("jc", DataType::Int64),
+            Field::new("p2", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    for &(jc, p1, flag) in &w.r_rows {
+        db.insert(
+            "R",
+            vec![Value::from(jc), Value::from(p1), Value::from(flag)],
+        )
+        .unwrap();
+    }
+    for &(jc, p2) in &w.s_rows {
+        db.insert("S", vec![Value::from(jc), Value::from(p2)])
+            .unwrap();
+    }
+    let query = QueryBuilder::new()
+        .tables(["R", "S"])
+        .filter(BoolExpr::col_eq_col("R.jc", "S.jc"))
+        .filter(BoolExpr::compare(
+            ScalarExpr::col("R.p1"),
+            CompareOp::GtEq,
+            ScalarExpr::lit(0.1),
+        ))
+        .rank_predicate(RankPredicate::attribute("p1", "R.p1"))
+        .rank_predicate(RankPredicate::attribute("p2", "S.p2"))
+        .limit(w.k)
+        .build()
+        .unwrap();
+    (db, query)
+}
+
+/// `(tuple, score)` fingerprint of an ordered result (byte-identical order).
+fn fingerprint(result: &ranksql::QueryResult) -> Vec<(ranksql::Tuple, f64)> {
+    result
+        .rows
+        .iter()
+        .zip(result.scores())
+        .map(|(t, s)| (t.tuple.clone(), s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Columnar backend ≡ row backend for all five plan modes, at 1 and 4
+    /// worker threads, under random batch and morsel sizes.
+    #[test]
+    fn columnar_equals_row_for_all_plan_modes_and_thread_counts(w in workload()) {
+        let (row_db, query) = build_database(&w, StorageBackend::Row);
+        let (col_db, _) = build_database(&w, StorageBackend::Columnar);
+        for mode in ALL_MODES {
+            for threads in [1usize, 4] {
+                let run = |db: &Database| {
+                    db.session()
+                        .with_mode(mode)
+                        .with_threads(threads)
+                        .with_batch_size(w.batch_size)
+                        .with_morsel_size(w.morsel_size)
+                        .execute(&query)
+                        .unwrap()
+                };
+                let row = run(&row_db);
+                let col = run(&col_db);
+                prop_assert_eq!(
+                    fingerprint(&col),
+                    fingerprint(&row),
+                    "mode {:?}, threads {}, batch {}, morsel {}: backends diverged",
+                    mode,
+                    threads,
+                    w.batch_size,
+                    w.morsel_size
+                );
+            }
+        }
+    }
+}
+
+/// A single-table database large enough to span many columnar blocks, with
+/// a score column whose high values cluster in a few blocks — the shape
+/// zone-map score pruning exploits.
+fn clustered_db(backend: StorageBackend, rows: i64) -> (Database, RankQuery) {
+    let db = Database::new().with_storage_backend(backend);
+    db.create_table(
+        "T",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    // Scores fall with the row index: the best scores live in the first
+    // block, so once the top-k heap fills there, every later block's zone
+    // max is strictly below the threshold.
+    db.insert_batch(
+        "T",
+        (0..rows).map(|i| vec![Value::from(i), Value::from((rows - i) as f64 / rows as f64)]),
+    )
+    .unwrap();
+    let query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(5)
+        .build()
+        .unwrap();
+    (db, query)
+}
+
+/// Regression: zone-map score pruning on a selective top-k changes
+/// `tuples_scanned` (and only that) — results are byte-identical to the
+/// row backend, and whole blocks are demonstrably skipped.
+#[test]
+fn zone_map_pruning_reduces_tuples_scanned_without_changing_results() {
+    const ROWS: i64 = 8192; // 8 columnar blocks
+    let (row_db, query) = clustered_db(StorageBackend::Row, ROWS);
+    let (col_db, _) = clustered_db(StorageBackend::Columnar, ROWS);
+
+    // Traditional mode plans SortLimit(σ/π(scan)) — the zone-prune spine.
+    let run = |db: &Database| {
+        db.session()
+            .with_mode(PlanMode::Traditional)
+            .with_threads(1)
+            .execute(&query)
+            .unwrap()
+    };
+    let row = run(&row_db);
+    let col = run(&col_db);
+
+    assert_eq!(fingerprint(&col), fingerprint(&row), "results must agree");
+    assert_eq!(row.tuples_scanned, ROWS as u64, "row backend scans all");
+    assert!(
+        col.tuples_scanned < row.tuples_scanned,
+        "zone-map pruning must reduce tuples_scanned: columnar {} vs row {}",
+        col.tuples_scanned,
+        row.tuples_scanned
+    );
+    assert!(
+        col.blocks_pruned > 0,
+        "whole blocks must be skipped (got {})",
+        col.blocks_pruned
+    );
+    assert_eq!(row.blocks_pruned, 0, "the row backend has no blocks");
+
+    // The plan advertises the pruning annotation.
+    let plan = col_db
+        .session()
+        .with_mode(PlanMode::Traditional)
+        .with_threads(1)
+        .plan(&query)
+        .unwrap()
+        .physical;
+    let text = plan.explain(Some(&query.ranking));
+    assert!(text.contains("ColumnScan(T)"), "{text}");
+    assert!(text.contains("[zone-prune]"), "{text}");
+}
+
+/// Zone pruning also composes with the morsel-parallel exchange path: the
+/// per-partition top-k heaps share one threshold cell, results stay
+/// identical to serial row execution.
+#[test]
+fn zone_map_pruning_is_safe_under_parallel_execution() {
+    const ROWS: i64 = 8192;
+    let (row_db, query) = clustered_db(StorageBackend::Row, ROWS);
+    let (col_db, _) = clustered_db(StorageBackend::Columnar, ROWS);
+    let reference = fingerprint(
+        &row_db
+            .session()
+            .with_mode(PlanMode::Traditional)
+            .with_threads(1)
+            .execute(&query)
+            .unwrap(),
+    );
+    for threads in [2usize, 4] {
+        let col = col_db
+            .session()
+            .with_mode(PlanMode::Traditional)
+            .with_threads(threads)
+            .with_morsel_size(512)
+            .execute(&query)
+            .unwrap();
+        assert_eq!(fingerprint(&col), reference, "threads={threads}");
+        assert!(
+            col.tuples_scanned <= ROWS as u64,
+            "threads={threads}: scanned {}",
+            col.tuples_scanned
+        );
+    }
+}
+
+/// Pushed-down filters: `Filter(SeqScan)` fuses into `ColumnScan[σ ..]` on
+/// the columnar backend, zone maps skip blocks the filter cannot match, and
+/// results equal the row backend's.
+#[test]
+fn pushed_filters_fuse_prune_and_agree_with_row_backend() {
+    const ROWS: i64 = 8192;
+    let (row_db, _) = clustered_db(StorageBackend::Row, ROWS);
+    let (col_db, _) = clustered_db(StorageBackend::Columnar, ROWS);
+    // `id < 1000` lives entirely in the first columnar block.
+    let query = QueryBuilder::new()
+        .table("T")
+        .filter(BoolExpr::compare(
+            ScalarExpr::col("T.id"),
+            CompareOp::Lt,
+            ScalarExpr::lit(1000i64),
+        ))
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(5)
+        .build()
+        .unwrap();
+    let run = |db: &Database| {
+        db.session()
+            .with_mode(PlanMode::Traditional)
+            .with_threads(1)
+            .execute(&query)
+            .unwrap()
+    };
+    let row = run(&row_db);
+    let col = run(&col_db);
+    assert_eq!(fingerprint(&col), fingerprint(&row));
+    assert!(
+        col.tuples_scanned <= 1024,
+        "only the first block may be examined, scanned {}",
+        col.tuples_scanned
+    );
+    let text = col.physical.explain(None);
+    assert!(text.contains("[σ T.id < 1000]"), "{text}");
+}
+
+/// Prepared statements key the plan cache per backend: the same shape
+/// planned against row and columnar storage must not share an entry.
+#[test]
+fn plan_cache_keys_separate_backends() {
+    let (db, query) = clustered_db(StorageBackend::Row, 64);
+    let row_key = db
+        .session()
+        .prepare_query(query.clone())
+        .unwrap()
+        .cache_key()
+        .to_owned();
+    let col_key = db
+        .session()
+        .with_storage_backend(StorageBackend::Columnar)
+        .prepare_query(query)
+        .unwrap()
+        .cache_key()
+        .to_owned();
+    assert_ne!(row_key, col_key);
+    assert!(row_key.contains("backend=row"), "{row_key}");
+    assert!(col_key.contains("backend=columnar"), "{col_key}");
+}
