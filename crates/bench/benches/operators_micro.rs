@@ -10,12 +10,35 @@ use std::sync::Arc;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ranksql_algebra::{JoinAlgorithm, LogicalPlan, PhysicalPlan};
 use ranksql_common::BitSet64;
+use ranksql_executor::kernel;
 use ranksql_executor::{
     build_operator, drain, drain_batched, execute_physical_plan, execute_query_plan, scan::SeqScan,
     ExecutionContext,
 };
 use ranksql_expr::{BoolExpr, CompareOp, RankedTuple, ScalarExpr};
 use ranksql_workload::{SyntheticConfig, SyntheticWorkload};
+
+/// The per-row branchy selection loop `kernel::select_f64` replaced: one
+/// total-order comparison and one data-dependent branch per row (the
+/// historical `ColumnScan` filter code).  Kept here as the measured
+/// baseline for the within-run kernel-speedup gate.
+fn branchy_select_f64(vals: &[f64], base: u32, sel: &mut Vec<u32>, op: CompareOp, rhs: f64) {
+    use std::cmp::Ordering;
+    for (i, v) in vals.iter().enumerate() {
+        let ord = ranksql_common::cmp_f64_total(*v, rhs);
+        let keep = match op {
+            CompareOp::Eq => ord == Ordering::Equal,
+            CompareOp::NotEq => ord != Ordering::Equal,
+            CompareOp::Lt => ord == Ordering::Less,
+            CompareOp::LtEq => ord != Ordering::Greater,
+            CompareOp::Gt => ord == Ordering::Greater,
+            CompareOp::GtEq => ord != Ordering::Less,
+        };
+        if keep {
+            sel.push(base + i as u32);
+        }
+    }
+}
 
 fn bench_operators(c: &mut Criterion) {
     let config = SyntheticConfig {
@@ -258,6 +281,57 @@ fn bench_operators(c: &mut Criterion) {
             })
         });
     }
+
+    // Raw compare kernels: the auto-vectorised branch-free select
+    // (`ranksql_executor::kernel`) against the per-row branchy loop it
+    // replaced, on data whose pass/fail pattern is unpredictable (the
+    // branchy loop's worst case and the common one for real filters).
+    // `scripts/bench_compare.py` gates the within-run speedup at >= 1.15x.
+    let kernel_vals: Vec<f64> = {
+        // SplitMix64-style mix keeps the branch outcome pattern-free.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        (0..64 * 1024)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                (z ^ (z >> 31)) as f64 / u64::MAX as f64
+            })
+            .collect()
+    };
+    let rhs = 0.5; // ~50 % selectivity: maximally unpredictable branches
+    let mut branchy_sel: Vec<u32> = Vec::new();
+    let mut kernel_sel: Vec<u32> = Vec::new();
+    kernel::select_f64(&kernel_vals, 0, &mut kernel_sel, CompareOp::GtEq, rhs);
+    branchy_select_f64(&kernel_vals, 0, &mut branchy_sel, CompareOp::GtEq, rhs);
+    assert_eq!(branchy_sel, kernel_sel, "kernel and baseline must agree");
+    cvr.bench_function("row/kernel_select_f64", |bench| {
+        bench.iter(|| {
+            let mut sel = Vec::new();
+            branchy_select_f64(
+                black_box(&kernel_vals),
+                0,
+                &mut sel,
+                CompareOp::GtEq,
+                black_box(rhs),
+            );
+            black_box(sel.len())
+        })
+    });
+    cvr.bench_function("kernel/select_f64", |bench| {
+        bench.iter(|| {
+            let mut sel = Vec::new();
+            kernel::select_f64(
+                black_box(&kernel_vals),
+                0,
+                &mut sel,
+                CompareOp::GtEq,
+                black_box(rhs),
+            );
+            black_box(sel.len())
+        })
+    });
     cvr.finish();
 
     // Physical-plan execution (the IR path the Database uses end to end).

@@ -22,17 +22,41 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use ranksql_algebra::{PhysicalPlan, RankQuery};
+use ranksql_algebra::{PhysicalOp, PhysicalPlan, RankQuery};
 use ranksql_common::{RankSqlError, Result, Schema};
 use ranksql_executor::{
     build_operator, Batch, BoxedOperator, ExecutionContext, ExecutionResult, MetricsRegistry,
 };
 use ranksql_expr::{RankedTuple, RankingContext};
-use ranksql_storage::Catalog;
+use ranksql_storage::{Catalog, StatsCatalog};
 
 use crate::database::PlanCacheLookup;
-use crate::result::QueryResult;
+use crate::result::{stats_line, QueryResult};
 use crate::session::SessionSettings;
+
+/// Snapshots the statistics catalog of every table the plan scans — but
+/// only the *already built* ones ([`ranksql_storage::Table::cached_stats`]),
+/// so opening a cursor never pays for a statistics build the planner did
+/// not do itself.  Plans that went through the optimizer have them (the
+/// estimators prime the catalogs); canonical-mode plans usually yield none.
+fn planner_table_stats(catalog: &Catalog, plan: &PhysicalPlan) -> Vec<(String, StatsCatalog)> {
+    let mut stats: Vec<(String, StatsCatalog)> = Vec::new();
+    for node in plan.post_order() {
+        let table = match &node.op {
+            PhysicalOp::SeqScan { table, .. }
+            | PhysicalOp::RankScan { table, .. }
+            | PhysicalOp::AttributeIndexScan { table, .. } => table,
+            _ => continue,
+        };
+        if stats.iter().any(|(name, _)| name == table) {
+            continue;
+        }
+        if let Some(cached) = catalog.table(table).ok().and_then(|t| t.cached_stats()) {
+            stats.push((table.clone(), cached));
+        }
+    }
+    stats
+}
 
 /// A streaming handle over one live query execution.
 ///
@@ -53,6 +77,7 @@ pub struct Cursor {
     start: Instant,
     counters_before: Vec<u64>,
     plan_cache: Option<PlanCacheLookup>,
+    table_stats: Vec<(String, StatsCatalog)>,
     exhausted: bool,
     emitted: u64,
 }
@@ -94,6 +119,7 @@ impl Cursor {
         .with_batch_size(settings.batch_size)
         .with_morsel_size(settings.morsel_size);
         let counters_before = ranking.counters().snapshot();
+        let table_stats = planner_table_stats(catalog, &physical);
         let start = Instant::now();
         let root = build_operator(&physical, catalog, &exec)?;
         let schema = physical.schema()?;
@@ -106,6 +132,7 @@ impl Cursor {
             start,
             counters_before,
             plan_cache,
+            table_stats,
             exhausted: false,
             emitted: 0,
         })
@@ -233,12 +260,24 @@ impl Cursor {
         Ok(out)
     }
 
+    /// The referenced tables' statistics catalogs as they stood when this
+    /// cursor opened (the statistics the planner had available); empty when
+    /// no scanned table had built statistics.
+    pub fn table_stats(&self) -> &[(String, StatsCatalog)] {
+        &self.table_stats
+    }
+
     /// The executed plan annotated with live per-operator actuals, plus the
-    /// plan-cache outcome when this cursor came from a prepared statement.
+    /// plan-cache outcome when this cursor came from a prepared statement
+    /// and one `statistics[T]` line per scanned table with built statistics.
     pub fn explain_analyze(&self) -> String {
         let mut out = String::new();
         if let Some(cache) = &self.plan_cache {
             out.push_str(&cache.to_line());
+            out.push('\n');
+        }
+        for (table, catalog) in &self.table_stats {
+            out.push_str(&stats_line(table, catalog));
             out.push('\n');
         }
         out.push_str(
@@ -271,6 +310,7 @@ impl Cursor {
         };
         let mut result = QueryResult::from_ranking(&self.ranking, &self.physical, execution)?;
         result.plan_cache = self.plan_cache;
+        result.table_stats = self.table_stats;
         Ok(result)
     }
 }

@@ -1,7 +1,7 @@
 //! The `Database` facade: catalog + optimizer + executor + plan cache in
 //! one handle.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -91,6 +91,47 @@ struct CacheSlot {
 /// wrappers.
 const PLAN_CACHE_CAP: usize = 512;
 
+/// Map + access log of the plan cache, guarded by one mutex so LRU order
+/// and membership can never disagree.
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<String, CacheSlot>,
+    /// Append-only access log for amortized-O(1) LRU eviction: every touch
+    /// pushes one `(key, stamp)` record.  A record is authoritative only
+    /// while it equals its slot's `last_used`; superseded records are
+    /// discarded lazily — when eviction pops them, or by the occasional
+    /// compaction in [`CacheInner::record_touch`].
+    queue: VecDeque<(String, u64)>,
+}
+
+impl CacheInner {
+    /// Logs a touch of `key` at `tick`, compacting the log when superseded
+    /// records dominate so it stays linear in the live entry count.  The
+    /// compaction scan is paid at most once per `O(len)` touches —
+    /// amortized O(1).
+    fn record_touch(&mut self, key: &str, tick: u64) {
+        self.queue.push_back((key.to_owned(), tick));
+        if self.queue.len() > 2 * self.map.len().max(32) {
+            let map = &self.map;
+            self.queue
+                .retain(|(k, s)| map.get(k).map(|slot| slot.last_used) == Some(*s));
+        }
+    }
+
+    /// Evicts the least-recently-used entry in amortized O(1): records pop
+    /// off the log in stamp order, so the first one still matching its
+    /// slot's `last_used` names the live entry with the globally oldest
+    /// stamp.  Superseded records are dropped for good as they pass by.
+    fn evict_lru(&mut self) {
+        while let Some((k, s)) = self.queue.pop_front() {
+            if self.map.get(&k).map(|slot| slot.last_used) == Some(s) {
+                self.map.remove(&k);
+                return;
+            }
+        }
+    }
+}
+
 /// The database-wide plan cache, keyed by
 /// [`ranksql_optimizer::normalized_cache_key`] (query shape + mode +
 /// threads + storage backend; never bound values, `k`, or weights) plus the
@@ -98,13 +139,15 @@ const PLAN_CACHE_CAP: usize = 512;
 /// once a table grows or shrinks by about 2×, bounding plan staleness under
 /// mutation.
 ///
-/// Bounded by [`PLAN_CACHE_CAP`] with true LRU eviction: every lookup stamps
-/// the entry with a monotonically increasing tick, and inserting into a full
-/// cache removes the entry with the smallest tick (an `O(cap)` scan — cheap
-/// against the optimizer call that preceded every insert).
+/// Bounded by [`PLAN_CACHE_CAP`] with true LRU eviction in amortized O(1):
+/// every touch stamps the entry with a monotonically increasing tick and
+/// appends a record to an access log; inserting into a full cache pops the
+/// log until the first record that still matches its entry's latest stamp —
+/// that entry is the least recently used (the old implementation scanned
+/// the whole map per eviction, `O(cap)` under an ad-hoc query storm).
 #[derive(Debug, Default)]
 pub(crate) struct PlanCache {
-    map: Mutex<HashMap<String, CacheSlot>>,
+    inner: Mutex<CacheInner>,
     /// Monotonic access clock for LRU stamps.
     clock: AtomicU64,
     hits: AtomicU64,
@@ -121,10 +164,12 @@ impl PlanCache {
     pub(crate) fn lookup(&self, key: &str) -> Option<(Arc<CachedPlan>, PlanCacheLookup)> {
         let tick = self.tick();
         let entry = {
-            let mut map = self.map.lock();
-            let slot = map.get_mut(key)?;
+            let mut inner = self.inner.lock();
+            let slot = inner.map.get_mut(key)?;
             slot.last_used = tick;
-            Arc::clone(&slot.plan)
+            let plan = Arc::clone(&slot.plan);
+            inner.record_touch(key, tick);
+            plan
         };
         self.hits.fetch_add(1, Ordering::Relaxed);
         Some((
@@ -149,23 +194,22 @@ impl PlanCache {
         let entry = Arc::new(CachedPlan { plan, k });
         let tick = self.tick();
         let entry = {
-            let mut map = self.map.lock();
-            if map.len() >= PLAN_CACHE_CAP && !map.contains_key(key) {
-                // LRU eviction: drop the entry with the oldest stamp.
-                if let Some(evict) = map
-                    .iter()
-                    .min_by_key(|(_, slot)| slot.last_used)
-                    .map(|(k, _)| k.clone())
-                {
-                    map.remove(&evict);
-                }
+            let mut inner = self.inner.lock();
+            if inner.map.len() >= PLAN_CACHE_CAP && !inner.map.contains_key(key) {
+                inner.evict_lru();
             }
-            let slot = map.entry(key.to_owned()).or_insert_with(|| CacheSlot {
-                plan: Arc::clone(&entry),
-                last_used: tick,
-            });
+            let slot = inner
+                .map
+                .entry(key.to_owned())
+                .or_insert_with(|| CacheSlot {
+                    plan: Arc::clone(&entry),
+                    last_used: tick,
+                });
             slot.last_used = slot.last_used.max(tick);
-            Arc::clone(&slot.plan)
+            let stamp = slot.last_used;
+            let plan = Arc::clone(&slot.plan);
+            inner.record_touch(key, stamp);
+            plan
         };
         Ok((
             entry,
@@ -180,12 +224,14 @@ impl PlanCache {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().len(),
+            entries: self.inner.lock().map.len(),
         }
     }
 
     pub(crate) fn clear(&self) {
-        self.map.lock().clear();
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.queue.clear();
     }
 }
 
@@ -301,6 +347,15 @@ impl Database {
             self.catalog.table(&name)?.columnar();
         }
         Ok(())
+    }
+
+    /// The statistics catalog of a table: per-column null counts, numeric
+    /// min/max, boolean fractions and the staged distinct-count sketch the
+    /// cost model consumes.  Built on first call; afterwards every insert
+    /// folds the new row in incrementally, so repeated calls are cheap and
+    /// never stale.
+    pub fn table_stats(&self, table: &str) -> Result<ranksql_storage::StatsCatalog> {
+        Ok(self.catalog.table(table)?.stats_catalog())
     }
 
     /// Aggregate plan-cache counters (hits, misses, cached shapes).
@@ -739,6 +794,33 @@ mod tests {
             .bind(Params::none())
             .unwrap()
             .cache_hit());
+    }
+
+    #[test]
+    fn table_stats_surface_on_database_and_explain_analyze() {
+        let (db, query) = db_with_data();
+        // Direct exposure: the catalog reflects the loaded data exactly
+        // (60 rows, 6 distinct cities) and stays current across inserts.
+        let stats = db.table_stats("H").unwrap();
+        assert_eq!(stats.row_count, 60);
+        assert_eq!(stats.column("city").unwrap().ndv(), 6);
+        db.insert(
+            "H",
+            vec![Value::from(60i64), Value::from(7i64), Value::from(0.5)],
+        )
+        .unwrap();
+        let stats = db.table_stats("H").unwrap();
+        assert_eq!(stats.row_count, 61);
+        assert_eq!(stats.column("city").unwrap().ndv(), 7);
+
+        // A rank-aware execution went through the estimators, which prime
+        // the per-table catalogs: explain_analyze reports them.
+        let result = db.execute(&query).unwrap();
+        assert_eq!(result.table_stats.len(), 2, "both scanned tables");
+        let text = result.explain_analyze(Some(&query.ranking));
+        assert!(text.contains("statistics[H]: rows=61"), "{text}");
+        assert!(text.contains("city ndv=7"), "{text}");
+        assert!(text.contains("statistics[R]: rows=60"), "{text}");
     }
 
     #[test]

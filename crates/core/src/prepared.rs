@@ -547,7 +547,14 @@ mod tests {
             .with_mode(PlanMode::Canonical)
             .prepare_query(q.clone())
             .unwrap();
-        let c = db.session().with_threads(4).prepare_query(q).unwrap();
+        // Pick an explicit thread count different from whatever the default
+        // session resolved to (RANKSQL_THREADS can make the default 4).
+        let threads = if a.cache_key().contains("threads=4") {
+            2
+        } else {
+            4
+        };
+        let c = db.session().with_threads(threads).prepare_query(q).unwrap();
         assert_ne!(a.cache_key(), b.cache_key());
         assert_ne!(a.cache_key(), c.cache_key());
     }

@@ -8,8 +8,30 @@ use ranksql_algebra::{PhysicalPlan, RankQuery};
 use ranksql_common::{Result, Schema};
 use ranksql_executor::{ExecutionResult, MetricsRegistry};
 use ranksql_expr::{RankedTuple, RankingContext};
+use ranksql_storage::StatsCatalog;
 
 use crate::database::PlanCacheLookup;
+
+/// Renders one `statistics[T]` line for `explain_analyze`: the row count
+/// plus each column's NDV as the planner saw it — `=` when the staged
+/// sketch is still exact (small / array stages), `~` when it comes from the
+/// HLL registers.
+pub(crate) fn stats_line(table: &str, catalog: &StatsCatalog) -> String {
+    let cols: Vec<String> = catalog
+        .columns
+        .iter()
+        .map(|c| {
+            let marker = if c.sketch.is_exact() { '=' } else { '~' };
+            let name = c.name.rsplit('.').next().unwrap_or(&c.name);
+            format!("{name} ndv{marker}{}", c.ndv())
+        })
+        .collect();
+    format!(
+        "statistics[{table}]: rows={} ({})",
+        catalog.row_count,
+        cols.join(", ")
+    )
+}
 
 /// The result of executing a top-k query.
 #[derive(Debug)]
@@ -33,14 +55,19 @@ pub struct QueryResult {
     /// results.
     pub tuples_scanned: u64,
     /// Zone-map prune events (block ranges skipped by filter or score
-    /// pruning); 0 on the row backend.  Serially this equals the number of
-    /// skipped blocks; under morsel-parallel execution a block overlapping
-    /// several morsels may count once per morsel — `tuples_scanned` carries
-    /// the exact row savings.
+    /// pruning); 0 on the row backend.  Counted per distinct (scan, block)
+    /// even under morsel-parallel execution — a block overlapping several
+    /// morsels contributes once.  `tuples_scanned` carries the exact row
+    /// savings.
     pub blocks_pruned: u64,
     /// The plan-cache outcome when this execution came through a prepared
     /// statement (`None` for hand-built plans executed directly).
     pub plan_cache: Option<PlanCacheLookup>,
+    /// Snapshot of each referenced table's statistics catalog as it stood
+    /// when the cursor opened (the statistics the planner had available).
+    /// Empty when no table had built statistics yet — e.g. canonical-mode
+    /// plans that bypass the optimizer.
+    pub table_stats: Vec<(String, StatsCatalog)>,
 }
 
 impl QueryResult {
@@ -77,6 +104,7 @@ impl QueryResult {
             tuples_scanned: execution.tuples_scanned,
             blocks_pruned: execution.blocks_pruned,
             plan_cache: None,
+            table_stats: Vec::new(),
         })
     }
 
@@ -85,15 +113,25 @@ impl QueryResult {
     /// operators that ran through the batched pull path — the number of
     /// batches emitted and the mean batch fill.  Executions that came
     /// through a prepared statement are prefixed with the plan-cache
-    /// outcome (`plan cache: hit (hits=…, misses=…, entries=…)`).
+    /// outcome (`plan cache: hit (hits=…, misses=…, entries=…)`) and one
+    /// `statistics[T]` line per referenced table with built statistics
+    /// (row count and per-column NDV from the staged sketches).
     pub fn explain_analyze(&self, ctx: Option<&RankingContext>) -> String {
-        let plan = self
-            .physical
-            .explain_with_actuals(ctx, &self.metrics.operator_actuals());
-        match &self.plan_cache {
-            Some(cache) => format!("{}\n{plan}", cache.to_line()),
-            None => plan,
+        let mut out = String::new();
+        if let Some(cache) = &self.plan_cache {
+            out.push_str(&cache.to_line());
+            out.push('\n');
         }
+        for (table, catalog) in &self.table_stats {
+            out.push_str(&stats_line(table, catalog));
+            out.push('\n');
+        }
+        out.push_str(
+            &self
+                .physical
+                .explain_with_actuals(ctx, &self.metrics.operator_actuals()),
+        );
+        out
     }
 
     /// The final score of each returned row, best first.

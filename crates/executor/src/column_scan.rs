@@ -35,6 +35,7 @@ use ranksql_expr::{
 use ranksql_storage::{cmp_f64_total, ColumnSlice, ColumnTable, ColumnZones};
 
 use crate::context::{ExecutionContext, TopKThreshold, TupleBudget};
+use crate::kernel;
 use crate::metrics::OperatorMetrics;
 use crate::operator::{Batch, PhysicalOperator};
 
@@ -64,19 +65,6 @@ enum CompiledFilter {
     /// predicate is evaluated on the tuple — same semantics as a `Filter`
     /// operator, minus the pruning.
     Fallback(BoundBoolExpr),
-}
-
-/// Applies `op` to an ordering obtained from the engine's total value
-/// order.
-fn op_matches(op: CompareOp, ord: Ordering) -> bool {
-    match op {
-        CompareOp::Eq => ord == Ordering::Equal,
-        CompareOp::NotEq => ord != Ordering::Equal,
-        CompareOp::Lt => ord == Ordering::Less,
-        CompareOp::LtEq => ord != Ordering::Greater,
-        CompareOp::Gt => ord == Ordering::Greater,
-        CompareOp::GtEq => ord != Ordering::Less,
-    }
 }
 
 /// Mirrors an operator for swapped operands (`lit OP col` → `col OP' lit`).
@@ -132,64 +120,55 @@ fn compile_conjunct(
 
 impl TypedCompare {
     /// Appends the rows of `range` that pass this comparison to `sel`.
-    /// The column type is matched once; the inner loop runs over the dense
-    /// typed slice (semantics identical to the `Value` comparison the
-    /// row-backend `Filter` would perform).
+    /// The column type and operator are matched once; the inner loops are
+    /// the branch-free chunked kernels of [`crate::kernel`] (semantics
+    /// identical to the `Value` comparison the row-backend `Filter` would
+    /// perform, including `cmp_f64_total` NaN / signed-zero handling).
     fn filter_range_into(&self, table: &ColumnTable, range: Range<usize>, sel: &mut Vec<u32>) {
+        let base = range.start as u32;
         match *self {
             TypedCompare::I64 { col, op, rhs } => {
                 let ColumnSlice::Int64(v) = table.column_slice(col) else {
                     unreachable!("compiled against an Int64 column");
                 };
-                for row in range {
-                    if op_matches(op, v[row].cmp(&rhs)) {
-                        sel.push(row as u32);
-                    }
-                }
+                kernel::select_i64(&v[range], base, sel, op, rhs);
             }
             TypedCompare::I64AsF64 { col, op, rhs } => {
                 let ColumnSlice::Int64(v) = table.column_slice(col) else {
                     unreachable!("compiled against an Int64 column");
                 };
-                for row in range {
-                    if op_matches(op, cmp_f64_total(v[row] as f64, rhs)) {
-                        sel.push(row as u32);
-                    }
-                }
+                kernel::select_i64_as_f64(&v[range], base, sel, op, rhs);
             }
             TypedCompare::F64 { col, op, rhs } => {
                 let ColumnSlice::Float64(v) = table.column_slice(col) else {
                     unreachable!("compiled against a Float64 column");
                 };
-                for row in range {
-                    if op_matches(op, cmp_f64_total(v[row], rhs)) {
-                        sel.push(row as u32);
-                    }
-                }
+                kernel::select_f64(&v[range], base, sel, op, rhs);
             }
         }
     }
 
-    /// Retains in `sel` only the rows that also pass this comparison.
+    /// Retains in `sel` only the rows that also pass this comparison,
+    /// compacting the selection vector in place with branch-free writes.
     fn filter_sel_in_place(&self, table: &ColumnTable, sel: &mut Vec<u32>) {
         match *self {
             TypedCompare::I64 { col, op, rhs } => {
                 let ColumnSlice::Int64(v) = table.column_slice(col) else {
                     unreachable!("compiled against an Int64 column");
                 };
-                sel.retain(|&row| op_matches(op, v[row as usize].cmp(&rhs)));
+                kernel::refine_i64(v, sel, op, rhs);
             }
             TypedCompare::I64AsF64 { col, op, rhs } => {
                 let ColumnSlice::Int64(v) = table.column_slice(col) else {
                     unreachable!("compiled against an Int64 column");
                 };
-                sel.retain(|&row| op_matches(op, cmp_f64_total(v[row as usize] as f64, rhs)));
+                kernel::refine_i64_as_f64(v, sel, op, rhs);
             }
             TypedCompare::F64 { col, op, rhs } => {
                 let ColumnSlice::Float64(v) = table.column_slice(col) else {
                     unreachable!("compiled against a Float64 column");
                 };
-                sel.retain(|&row| op_matches(op, cmp_f64_total(v[row as usize], rhs)));
+                kernel::refine_f64(v, sel, op, rhs);
             }
         }
     }
@@ -264,6 +243,11 @@ pub struct ColumnScan {
     repart_metrics: Option<Arc<OperatorMetrics>>,
     budget: Arc<TupleBudget>,
     pruned_counter: Arc<AtomicU64>,
+    /// One bit per block of the scanned table, set when this scan (or, on
+    /// the morsel path, any sibling morsel of the same spine sharing this
+    /// map) counted the block as pruned — so a block overlapping several
+    /// morsels contributes exactly once to `blocks_pruned`.
+    pruned_blocks: Arc<Vec<AtomicU64>>,
     /// Absolute row range this scan covers (the whole table serially, one
     /// morsel under an exchange).
     end: usize,
@@ -295,16 +279,27 @@ impl ColumnScan {
         label: impl Into<String>,
     ) -> Result<Self> {
         let metrics = exec.register(label);
-        Self::build(table, pushed_filter, zone_prune, exec, metrics, None, None)
+        Self::build(
+            table,
+            pushed_filter,
+            zone_prune,
+            exec,
+            metrics,
+            None,
+            None,
+            None,
+        )
     }
 
     /// Creates a columnar scan over one morsel `range`, sharing the
     /// pre-registered metrics handles and the spine-wide threshold cell.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn for_morsel(
         table: Arc<ColumnTable>,
         range: (usize, usize),
         pushed_filter: Option<&BoolExpr>,
         cell: Option<Arc<TopKThreshold>>,
+        pruned_blocks: Arc<Vec<AtomicU64>>,
         exec: &ExecutionContext,
         scan_label: &str,
         repart_label: &str,
@@ -319,10 +314,24 @@ impl ColumnScan {
             metrics,
             Some(repart),
             cell,
+            Some(pruned_blocks),
         )?;
         scan.pos = range.0;
         scan.end = range.1;
         Ok(scan)
+    }
+
+    /// Allocates the per-(table, block) prune-dedup bitmap for a scan of
+    /// `table`; the morsel path creates it once per spine and hands clones
+    /// to every morsel instance.
+    pub(crate) fn pruned_block_map(table: &ColumnTable) -> Arc<Vec<AtomicU64>> {
+        use ranksql_storage::COLUMN_BLOCK_ROWS;
+        let blocks = table.row_count().div_ceil(COLUMN_BLOCK_ROWS);
+        Arc::new(
+            (0..blocks.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -334,6 +343,7 @@ impl ColumnScan {
         metrics: Arc<OperatorMetrics>,
         repart_metrics: Option<Arc<OperatorMetrics>>,
         cell: Option<Arc<TopKThreshold>>,
+        pruned_blocks: Option<Arc<Vec<AtomicU64>>>,
     ) -> Result<Self> {
         let schema = table.schema().clone();
         let filter = match pushed_filter {
@@ -367,8 +377,10 @@ impl ColumnScan {
                 None
             }
         });
+        let pruned_blocks = pruned_blocks.unwrap_or_else(|| Self::pruned_block_map(&table));
         Ok(ColumnScan {
             end: table.row_count(),
+            pruned_blocks,
             table,
             schema,
             filter,
@@ -405,6 +417,18 @@ impl ColumnScan {
         self.ctx.scoring().combine(&buf[..n]).value()
     }
 
+    /// Counts `block` as pruned, once per (table, block) across every scan
+    /// sharing this scan's dedup bitmap: the first setter of the block's
+    /// bit increments the global counter, later morsels overlapping the
+    /// same block see the bit already set and skip it.
+    fn count_pruned(&self, block: usize) {
+        use std::sync::atomic::Ordering;
+        let bit = 1u64 << (block % 64);
+        if self.pruned_blocks[block / 64].fetch_or(bit, Ordering::Relaxed) & bit == 0 {
+            self.pruned_counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Whether the current block still has rows (or selected rows) to emit.
     fn block_has_pending(&self) -> bool {
         match &self.filter {
@@ -427,8 +451,7 @@ impl ColumnScan {
             // Zone-map filter pruning.
             if let Some(CompiledFilter::Typed(cmps)) = &self.filter {
                 if cmps.iter().any(|c| !c.block_may_match(&self.table, block)) {
-                    self.pruned_counter
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.count_pruned(block);
                     self.pos = end;
                     continue;
                 }
@@ -436,8 +459,7 @@ impl ColumnScan {
             // Zone-map score pruning against the top-k threshold.
             if let Some(cell) = &self.prune_cell {
                 if cell.prunes(self.block_score_bound(block)) {
-                    self.pruned_counter
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.count_pruned(block);
                     self.pos = end;
                     continue;
                 }

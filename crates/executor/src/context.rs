@@ -175,8 +175,10 @@ pub struct ExecutionContext {
     prune_cells: Arc<Mutex<Vec<Arc<TopKThreshold>>>>,
     /// Zone-map prune events during this execution (block ranges skipped by
     /// filter or score pruning), aggregated across all scans and workers.
-    /// Serially one event = one block; a block overlapping several morsels
-    /// may count once per morsel.
+    /// Deduplicated per (scan, block): each scan spine carries a block
+    /// bitmap shared by its morsel instances, so a block overlapping
+    /// several morsels counts once — serially and in parallel, one event =
+    /// one distinct block.
     blocks_pruned: Arc<AtomicU64>,
 }
 

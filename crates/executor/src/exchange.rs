@@ -158,6 +158,9 @@ enum SpineNode {
         table: Arc<ranksql_storage::ColumnTable>,
         pushed_filter: Option<BoolExpr>,
         cell: Option<Arc<TopKThreshold>>,
+        /// Spine-wide prune-dedup bitmap: a block overlapping several
+        /// morsels is counted in `blocks_pruned` by the first morsel only.
+        pruned_blocks: Arc<Vec<std::sync::atomic::AtomicU64>>,
         scan_label: String,
         repart_label: String,
     },
@@ -260,6 +263,7 @@ impl SpineNode {
                 table,
                 pushed_filter,
                 cell,
+                pruned_blocks,
                 scan_label,
                 repart_label,
                 ..
@@ -268,6 +272,7 @@ impl SpineNode {
                 range,
                 pushed_filter.as_ref(),
                 cell.clone(),
+                Arc::clone(pruned_blocks),
                 exec,
                 scan_label,
                 repart_label,
@@ -398,13 +403,18 @@ fn prepare_spine(
                     scan_label,
                     repart_label: label,
                 }),
-                Some(c) => Ok(SpineNode::MorselColumnar {
-                    table: table.columnar(),
-                    pushed_filter: c.pushed_filter.clone(),
-                    cell: c.zone_prune.then(|| Arc::new(TopKThreshold::new())),
-                    scan_label,
-                    repart_label: label,
-                }),
+                Some(c) => {
+                    let columnar = table.columnar();
+                    let pruned_blocks = ColumnScan::pruned_block_map(&columnar);
+                    Ok(SpineNode::MorselColumnar {
+                        table: columnar,
+                        pushed_filter: c.pushed_filter.clone(),
+                        cell: c.zone_prune.then(|| Arc::new(TopKThreshold::new())),
+                        pruned_blocks,
+                        scan_label,
+                        repart_label: label,
+                    })
+                }
             }
         }
         PhysicalOp::Filter { input, predicate } => {

@@ -1,0 +1,328 @@
+//! Branch-free columnar comparison kernels.
+//!
+//! These are the hot inner loops of the columnar scan's pushed-down filter
+//! (`crates/executor/src/column_scan.rs`): compare a typed column slice
+//! against a constant and produce / refine a selection vector of matching
+//! row numbers.  They are written the way rustc auto-vectorizes best:
+//!
+//! * the operator is matched **once**, outside the loop, so every loop body
+//!   is a monomorphic comparison closure;
+//! * comparisons run over fixed-width chunks ([`SELECT_LANES`] lanes) of a
+//!   dense slice, filling a flag array — a shape LLVM turns into SIMD
+//!   compares;
+//! * selected row numbers are written **branch-free**: the candidate index
+//!   is stored unconditionally and the output cursor advances by the flag
+//!   (`sel[n] = row; n += keep as usize`), so the loop carries no
+//!   data-dependent branch for the predictor to miss on.
+//!
+//! Floating-point kernels implement the engine's *total order*
+//! ([`ranksql_storage::cmp_f64_total`]): `NaN == NaN`, `NaN` sorts greater
+//! than every number, and `-0.0 == 0.0`.  For a non-NaN constant that
+//! collapses to native comparisons plus an `x.is_nan()` OR-term on `Gt` /
+//! `GtEq`; a NaN constant degenerates to constant-or-NaN-test kernels.
+//! The unit tests pin every operator against the `cmp_f64_total` oracle.
+
+use ranksql_expr::CompareOp;
+
+/// Lanes per fixed-width chunk of the select kernels.  64 flags fit two
+/// cache lines and give the auto-vectorizer full vectors at every width
+/// the MSRV targets.
+pub const SELECT_LANES: usize = 64;
+
+/// Appends `base + i` to `sel` for every lane `i` of `vals` where `keep`
+/// holds, using chunked compares and branch-free select writes.
+#[inline]
+fn select_into<T: Copy>(
+    vals: &[T],
+    base: u32,
+    sel: &mut Vec<u32>,
+    keep: impl Fn(T) -> bool + Copy,
+) {
+    let start = sel.len();
+    // Reserve the worst case up front so the pack loop stores without
+    // capacity checks; truncated back to the real count below.
+    sel.resize(start + vals.len(), 0);
+    let mut n = start;
+    let mut row = base;
+    let mut flags = [false; SELECT_LANES];
+    let mut chunks = vals.chunks_exact(SELECT_LANES);
+    for chunk in &mut chunks {
+        // Compare phase: monomorphic, no side effects — vectorizable.
+        for (f, &v) in flags.iter_mut().zip(chunk) {
+            *f = keep(v);
+        }
+        // Pack phase: branch-free select writes.
+        for (i, &f) in flags.iter().enumerate() {
+            sel[n] = row + i as u32;
+            n += f as usize;
+        }
+        row += SELECT_LANES as u32;
+    }
+    for (i, &v) in chunks.remainder().iter().enumerate() {
+        sel[n] = row + i as u32;
+        n += keep(v) as usize;
+    }
+    sel.truncate(n);
+}
+
+/// Keeps in `sel` only the rows whose value passes `keep`, compacting in
+/// place with the same branch-free cursor advance as [`select_into`].
+#[inline]
+fn refine_sel<T: Copy>(vals: &[T], sel: &mut Vec<u32>, keep: impl Fn(T) -> bool + Copy) {
+    let mut n = 0usize;
+    for i in 0..sel.len() {
+        let row = sel[i];
+        sel[n] = row;
+        n += keep(vals[row as usize]) as usize;
+    }
+    sel.truncate(n);
+}
+
+/// `Int64` column vs `Int64` constant: appends matching rows of `vals`
+/// (numbered from `base`) to `sel`.
+#[inline]
+pub fn select_i64(vals: &[i64], base: u32, sel: &mut Vec<u32>, op: CompareOp, rhs: i64) {
+    match op {
+        CompareOp::Eq => select_into(vals, base, sel, move |x| x == rhs),
+        CompareOp::NotEq => select_into(vals, base, sel, move |x| x != rhs),
+        CompareOp::Lt => select_into(vals, base, sel, move |x| x < rhs),
+        CompareOp::LtEq => select_into(vals, base, sel, move |x| x <= rhs),
+        CompareOp::Gt => select_into(vals, base, sel, move |x| x > rhs),
+        CompareOp::GtEq => select_into(vals, base, sel, move |x| x >= rhs),
+    }
+}
+
+/// `Int64` column vs `Int64` constant: refines `sel` in place.
+#[inline]
+pub fn refine_i64(vals: &[i64], sel: &mut Vec<u32>, op: CompareOp, rhs: i64) {
+    match op {
+        CompareOp::Eq => refine_sel(vals, sel, move |x| x == rhs),
+        CompareOp::NotEq => refine_sel(vals, sel, move |x| x != rhs),
+        CompareOp::Lt => refine_sel(vals, sel, move |x| x < rhs),
+        CompareOp::LtEq => refine_sel(vals, sel, move |x| x <= rhs),
+        CompareOp::Gt => refine_sel(vals, sel, move |x| x > rhs),
+        CompareOp::GtEq => refine_sel(vals, sel, move |x| x >= rhs),
+    }
+}
+
+/// Runs `action` with the branch-free total-order keep-closure for
+/// `x OP rhs` under `cmp_f64_total` semantics.  `to_f64` lifts the slice's
+/// element type (identity for `f64`, a monotone cast for `i64`).
+macro_rules! with_f64_total_kernel {
+    ($op:expr, $rhs:expr, $to_f64:expr, |$keep:ident| $action:expr) => {{
+        let rhs: f64 = $rhs;
+        let to = $to_f64;
+        if rhs.is_nan() {
+            // In the total order NaN equals NaN and exceeds every number.
+            match $op {
+                CompareOp::Eq | CompareOp::GtEq => {
+                    let $keep = move |x| to(x).is_nan();
+                    $action
+                }
+                CompareOp::NotEq | CompareOp::Lt => {
+                    let $keep = move |x| !to(x).is_nan();
+                    $action
+                }
+                CompareOp::LtEq => {
+                    let $keep = move |_x| true;
+                    $action
+                }
+                CompareOp::Gt => {
+                    let $keep = move |_x| false;
+                    $action
+                }
+            }
+        } else {
+            match $op {
+                CompareOp::Eq => {
+                    let $keep = move |x| to(x) == rhs;
+                    $action
+                }
+                CompareOp::NotEq => {
+                    let $keep = move |x| to(x) != rhs;
+                    $action
+                }
+                CompareOp::Lt => {
+                    let $keep = move |x| to(x) < rhs;
+                    $action
+                }
+                CompareOp::LtEq => {
+                    let $keep = move |x| to(x) <= rhs;
+                    $action
+                }
+                CompareOp::Gt => {
+                    let $keep = move |x| {
+                        let v = to(x);
+                        v > rhs || v.is_nan()
+                    };
+                    $action
+                }
+                CompareOp::GtEq => {
+                    let $keep = move |x| {
+                        let v = to(x);
+                        v >= rhs || v.is_nan()
+                    };
+                    $action
+                }
+            }
+        }
+    }};
+}
+
+/// `Float64` column vs numeric constant under the engine's total order:
+/// appends matching rows of `vals` (numbered from `base`) to `sel`.
+#[inline]
+pub fn select_f64(vals: &[f64], base: u32, sel: &mut Vec<u32>, op: CompareOp, rhs: f64) {
+    with_f64_total_kernel!(op, rhs, |x: f64| x, |keep| select_into(
+        vals, base, sel, keep
+    ))
+}
+
+/// `Float64` column vs numeric constant: refines `sel` in place.
+#[inline]
+pub fn refine_f64(vals: &[f64], sel: &mut Vec<u32>, op: CompareOp, rhs: f64) {
+    with_f64_total_kernel!(op, rhs, |x: f64| x, |keep| refine_sel(vals, sel, keep))
+}
+
+/// `Int64` column vs `Float64` constant (compared as `f64`, the engine's
+/// cross-type semantics): appends matching rows to `sel`.
+#[inline]
+pub fn select_i64_as_f64(vals: &[i64], base: u32, sel: &mut Vec<u32>, op: CompareOp, rhs: f64) {
+    with_f64_total_kernel!(op, rhs, |x: i64| x as f64, |keep| select_into(
+        vals, base, sel, keep
+    ))
+}
+
+/// `Int64` column vs `Float64` constant: refines `sel` in place.
+#[inline]
+pub fn refine_i64_as_f64(vals: &[i64], sel: &mut Vec<u32>, op: CompareOp, rhs: f64) {
+    with_f64_total_kernel!(op, rhs, |x: i64| x as f64, |keep| refine_sel(
+        vals, sel, keep
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksql_storage::cmp_f64_total;
+    use std::cmp::Ordering;
+
+    const OPS: [CompareOp; 6] = [
+        CompareOp::Eq,
+        CompareOp::NotEq,
+        CompareOp::Lt,
+        CompareOp::LtEq,
+        CompareOp::Gt,
+        CompareOp::GtEq,
+    ];
+
+    fn op_matches(op: CompareOp, ord: Ordering) -> bool {
+        match op {
+            CompareOp::Eq => ord == Ordering::Equal,
+            CompareOp::NotEq => ord != Ordering::Equal,
+            CompareOp::Lt => ord == Ordering::Less,
+            CompareOp::LtEq => ord != Ordering::Greater,
+            CompareOp::Gt => ord == Ordering::Greater,
+            CompareOp::GtEq => ord != Ordering::Less,
+        }
+    }
+
+    #[test]
+    fn i64_kernels_match_the_branchy_oracle() {
+        let vals: Vec<i64> = (0..200).map(|i| (i * 37) % 50).collect();
+        for op in OPS {
+            for rhs in [-1i64, 0, 25, 49, 100] {
+                let mut got = vec![7u32]; // pre-existing content is kept
+                select_i64(&vals, 10, &mut got, op, rhs);
+                let mut want = vec![7u32];
+                for (i, &v) in vals.iter().enumerate() {
+                    if op_matches(op, v.cmp(&rhs)) {
+                        want.push(10 + i as u32);
+                    }
+                }
+                assert_eq!(got, want, "select op {op:?} rhs {rhs}");
+
+                let mut sel: Vec<u32> = (0..vals.len() as u32).step_by(3).collect();
+                let oracle: Vec<u32> = sel
+                    .iter()
+                    .copied()
+                    .filter(|&r| op_matches(op, vals[r as usize].cmp(&rhs)))
+                    .collect();
+                refine_i64(&vals, &mut sel, op, rhs);
+                assert_eq!(sel, oracle, "refine op {op:?} rhs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_kernels_match_cmp_f64_total_including_nan_and_signed_zero() {
+        let vals: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            1.5,
+            -3.25,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.5,
+            f64::NAN,
+            2.0,
+        ];
+        for op in OPS {
+            for rhs in [0.0, -0.0, 0.5, f64::NAN, f64::INFINITY, -10.0] {
+                let mut got = Vec::new();
+                select_f64(&vals, 0, &mut got, op, rhs);
+                let want: Vec<u32> = vals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| op_matches(op, cmp_f64_total(v, rhs)))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(got, want, "select op {op:?} rhs {rhs}");
+
+                let mut sel: Vec<u32> = (0..vals.len() as u32).collect();
+                refine_f64(&vals, &mut sel, op, rhs);
+                assert_eq!(sel, want, "refine op {op:?} rhs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn i64_as_f64_kernels_match_the_cast_oracle() {
+        let vals: Vec<i64> = (-100..100).map(|i| i * 3).collect();
+        for op in OPS {
+            for rhs in [0.5, -0.0, 150.0, f64::NAN] {
+                let mut got = Vec::new();
+                select_i64_as_f64(&vals, 0, &mut got, op, rhs);
+                let want: Vec<u32> = vals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| op_matches(op, cmp_f64_total(v as f64, rhs)))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(got, want, "select op {op:?} rhs {rhs}");
+
+                let mut sel: Vec<u32> = (0..vals.len() as u32).rev().collect();
+                let oracle: Vec<u32> = sel
+                    .iter()
+                    .copied()
+                    .filter(|&r| op_matches(op, cmp_f64_total(vals[r as usize] as f64, rhs)))
+                    .collect();
+                refine_i64_as_f64(&vals, &mut sel, op, rhs);
+                assert_eq!(sel, oracle, "refine op {op:?} rhs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_are_handled() {
+        // Lengths straddling the lane width exercise the remainder path.
+        for len in [0usize, 1, 63, 64, 65, 128, 200] {
+            let vals: Vec<i64> = (0..len as i64).collect();
+            let mut sel = Vec::new();
+            select_i64(&vals, 0, &mut sel, CompareOp::GtEq, 0);
+            assert_eq!(sel.len(), len);
+            assert!(sel.iter().enumerate().all(|(i, &r)| r == i as u32));
+        }
+    }
+}

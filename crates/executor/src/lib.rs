@@ -61,6 +61,7 @@ pub mod exchange;
 pub mod filter;
 pub mod fxhash;
 pub mod join;
+pub mod kernel;
 pub mod metrics;
 pub mod mpro;
 pub mod operator;

@@ -231,6 +231,7 @@ impl SortLimitOp {
         let mut heap: std::collections::BinaryHeap<TopKEntry> =
             std::collections::BinaryHeap::with_capacity(self.k + 1);
         let mut buf = Batch::with_capacity(self.batch_size);
+        let mut scores: Vec<ranksql_common::Score> = Vec::with_capacity(self.batch_size);
         loop {
             buf.clear();
             let n = self.input.next_batch(self.batch_size, &mut buf)?;
@@ -238,14 +239,38 @@ impl SortLimitOp {
                 break;
             }
             self.metrics.add_in(n as u64);
-            for mut rt in buf.drain(..) {
+            // Score phase: one tight pass over the batch evaluating the
+            // still-missing predicates and the completed scores into a
+            // scratch column, keeping the heap bookkeeping out of the
+            // evaluation loop.
+            scores.clear();
+            for rt in buf.iter_mut() {
                 for p in self.predicates.iter() {
                     if !rt.state.is_evaluated(p) {
                         self.ctx
                             .evaluate_into(p, &rt.tuple, &self.schema, &mut rt.state)?;
                     }
                 }
-                let score = self.ctx.upper_bound(&rt.state);
+                scores.push(self.ctx.upper_bound(&rt.state));
+            }
+            // Heap phase.  Once the heap is full, a candidate that sorts
+            // *after* the current worst kept entry under `cmp_desc` (lower
+            // score, or an equal score with a later tuple id) would be
+            // pushed and immediately popped again — reject it with one
+            // comparison instead of `O(log k)` heap churn.  The kept set
+            // and its order are exactly those of the push-then-pop loop.
+            for (rt, score) in buf.drain(..).zip(scores.drain(..)) {
+                if heap.len() == self.k {
+                    let worst = heap.peek().expect("k > 0 and heap is full");
+                    let loses = match score.cmp(&worst.score) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => rt.tuple.id() > worst.tuple.tuple.id(),
+                        std::cmp::Ordering::Greater => false,
+                    };
+                    if loses {
+                        continue;
+                    }
+                }
                 heap.push(TopKEntry { tuple: rt, score });
                 if heap.len() > self.k {
                     heap.pop();

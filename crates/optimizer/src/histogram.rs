@@ -27,12 +27,14 @@
 //! bench `ablation_estimators` compares the accuracy and estimation overhead
 //! of this estimator against the paper's sampling-based one.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use ranksql_algebra::{LogicalPlan, RankQuery, ScanAccess, SetOpKind};
-use ranksql_common::{BitSet64, RankSqlError, Result, Score};
+use ranksql_common::{BitSet64, RankSqlError, Result, Score, Value};
 use ranksql_expr::{BoolExpr, ColumnRef, CompareOp, RankingContext, ScalarExpr, ScoringFunction};
-use ranksql_storage::{sample_fraction, Catalog, TableStatistics};
+use ranksql_storage::{
+    sample_fraction, Catalog, ColumnStatistics, Table, TableStatistics, HISTOGRAM_BUCKETS,
+};
 
 /// Default number of buckets used for score histograms and convolutions.
 pub const SCORE_HISTOGRAM_BUCKETS: usize = 64;
@@ -234,6 +236,115 @@ impl ScoreHistogram {
     }
 }
 
+/// Where the estimator's [`TableStatistics`] come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsSource {
+    /// The table's incrementally maintained statistics catalog: sketch-backed
+    /// distinct counts (exact up to the sketch's array capacity), exact
+    /// null counts, min/max and boolean fractions.  The default.
+    #[default]
+    Catalog,
+    /// Classical sampled statistics: every figure — including the distinct
+    /// count, naively scaled up from the sample — is computed over a
+    /// reservoir sample.  This is the pre-catalog baseline the
+    /// `estimator_error` harness and the `ablation_sketch` bench compare
+    /// the sketches against; its NDV is badly biased for low-cardinality
+    /// columns (a 20 % sample of a 50-distinct join column still sees all
+    /// 50 values, which naive scale-up turns into 250).
+    Sampled,
+}
+
+/// Computes [`TableStatistics`] from a reservoir sample, the classical
+/// baseline for [`StatsSource::Sampled`]: distinct counts are counted
+/// exactly *within the sample* and scaled by the inverse sampling ratio
+/// (capped at the row count), everything else is taken from the sample
+/// as-is.
+pub fn sampled_statistics(table: &Table, ratio: f64, seed: u64) -> Result<TableStatistics> {
+    let sample = sample_fraction(table, ratio, seed);
+    let row_count = table.row_count();
+    let achieved = if row_count > 0 {
+        (sample.len() as f64 / row_count as f64).max(f64::EPSILON)
+    } else {
+        ratio
+    };
+    let schema = table.schema();
+    let mut columns = Vec::with_capacity(schema.len());
+    for (ci, field) in schema.fields().iter().enumerate() {
+        let mut non_null = 0usize;
+        let mut nulls = 0usize;
+        let mut distinct: HashSet<Value> = HashSet::new();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut numeric = 0usize;
+        let mut trues = 0usize;
+        let mut bools = 0usize;
+        for t in &sample {
+            let v = t.value(ci);
+            if v.is_null() {
+                nulls += 1;
+                continue;
+            }
+            non_null += 1;
+            distinct.insert(v.clone());
+            if let Some(x) = v.as_f64() {
+                numeric += 1;
+                min = min.min(x);
+                max = max.max(x);
+            }
+            if let Value::Bool(b) = v {
+                bools += 1;
+                if *b {
+                    trues += 1;
+                }
+            }
+        }
+        let (min, max) = if numeric > 0 {
+            (Some(min), Some(max))
+        } else {
+            (None, None)
+        };
+        let mut histogram = Vec::new();
+        if let (Some(lo), Some(hi)) = (min, max) {
+            if hi > lo {
+                histogram = vec![0usize; HISTOGRAM_BUCKETS];
+                let width = (hi - lo) / HISTOGRAM_BUCKETS as f64;
+                for t in &sample {
+                    if let Some(x) = t.value(ci).as_f64() {
+                        let mut b = ((x - lo) / width) as usize;
+                        if b >= HISTOGRAM_BUCKETS {
+                            b = HISTOGRAM_BUCKETS - 1;
+                        }
+                        histogram[b] += 1;
+                    }
+                }
+            }
+        }
+        // Naive distinct-count scale-up (the classical estimator the
+        // sketch catalog replaces): d_sample / ratio, capped at the row
+        // count.
+        let scaled_distinct = ((distinct.len() as f64 / achieved).round() as usize).min(row_count);
+        columns.push(ColumnStatistics {
+            name: field.qualified_name(),
+            non_null_count: ((non_null as f64 / achieved).round() as usize).min(row_count),
+            null_count: ((nulls as f64 / achieved).round() as usize).min(row_count),
+            distinct_count: scaled_distinct,
+            min,
+            max,
+            true_fraction: if bools > 0 {
+                Some(trues as f64 / bools as f64)
+            } else {
+                None
+            },
+            histogram,
+        });
+    }
+    Ok(TableStatistics {
+        table: table.name().to_owned(),
+        row_count,
+        columns,
+    })
+}
+
 /// The histogram-based (analytic) cardinality estimator.
 pub struct HistogramEstimator {
     /// Per-table statistics (row counts, distinct counts, boolean fractions).
@@ -273,6 +384,27 @@ impl HistogramEstimator {
         seed: u64,
         buckets: usize,
     ) -> Result<Self> {
+        Self::build_with_stats_source(
+            query,
+            catalog,
+            sample_ratio,
+            seed,
+            buckets,
+            StatsSource::default(),
+        )
+    }
+
+    /// [`HistogramEstimator::build`] with explicit bucket count and
+    /// statistics source (catalog-backed sketches vs the classical sampled
+    /// baseline — see [`StatsSource`]).
+    pub fn build_with_stats_source(
+        query: &RankQuery,
+        catalog: &Catalog,
+        sample_ratio: f64,
+        seed: u64,
+        buckets: usize,
+        source: StatsSource,
+    ) -> Result<Self> {
         if !(sample_ratio > 0.0 && sample_ratio <= 1.0) {
             return Err(RankSqlError::Optimizer(format!(
                 "sample ratio must be in (0, 1], got {sample_ratio}"
@@ -286,7 +418,11 @@ impl HistogramEstimator {
         let mut stats = HashMap::new();
         for name in &query.tables {
             let table = catalog.table(name)?;
-            stats.insert(name.clone(), TableStatistics::compute(&table)?);
+            let table_stats = match source {
+                StatsSource::Catalog => TableStatistics::compute(&table)?,
+                StatsSource::Sampled => sampled_statistics(&table, sample_ratio, seed)?,
+            };
+            stats.insert(name.clone(), table_stats);
         }
 
         let ctx = RankingContext::new(

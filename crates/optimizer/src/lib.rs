@@ -43,7 +43,7 @@ pub use cache::normalized_cache_key;
 pub use columnar::columnarize;
 pub use cost::{Cost, CostModel};
 pub use enumerate::{DpOptimizer, EnumerationStats};
-pub use histogram::{HistogramEstimator, ScoreHistogram};
+pub use histogram::{sampled_statistics, HistogramEstimator, ScoreHistogram, StatsSource};
 pub use lower::{fuse_mu_chains, lower_with_estimates, physical_estimates};
 pub use parallel::parallelize;
 pub use rulebased::{RuleBasedConfig, RuleBasedOptimizer};

@@ -28,7 +28,7 @@ use parking_lot::Mutex;
 use ranksql_algebra::{LogicalPlan, RankQuery};
 use ranksql_common::{RankSqlError, Result, Score};
 use ranksql_executor::{execute_plan, oracle_top_k};
-use ranksql_expr::RankingContext;
+use ranksql_expr::{BoolExpr, CompareOp, RankingContext, ScalarExpr};
 use ranksql_storage::{sample_fraction, Catalog};
 
 /// Smoothing count used when a sample execution produces zero tuples, so that
@@ -54,6 +54,12 @@ pub struct SamplingEstimator {
     memo: Mutex<HashMap<String, f64>>,
     /// The nominal sampling ratio requested.
     nominal_ratio: f64,
+    /// Qualified-column-name → sketch NDV, snapshotted from each query
+    /// table's statistics catalog.  Consulted when a sample execution of a
+    /// join produces *no* qualifying output (random sampling over joins
+    /// under-produces, [CMN99]): the analytic `|L|·|R| / max(ndv)` estimate
+    /// from the sketches is sharper there than scaled zero-smoothing.
+    column_ndv: HashMap<String, f64>,
 }
 
 impl SamplingEstimator {
@@ -72,8 +78,12 @@ impl SamplingEstimator {
         let sample_catalog = Catalog::new();
         let mut full_catalog_rows = HashMap::new();
         let mut ratios = HashMap::new();
+        let mut column_ndv = HashMap::new();
         for name in &query.tables {
             let table = catalog.table(name)?;
+            for summary in &table.stats_catalog().columns {
+                column_ndv.insert(summary.name.clone(), summary.ndv() as f64);
+            }
             let sample = sample_fraction(&table, sample_ratio, seed);
             let full_rows = table.row_count() as f64;
             let achieved = if full_rows > 0.0 {
@@ -125,6 +135,7 @@ impl SamplingEstimator {
             est_ctx,
             memo: Mutex::new(HashMap::new()),
             nominal_ratio: sample_ratio,
+            column_ndv,
         })
     }
 
@@ -217,6 +228,20 @@ impl SamplingEstimator {
             LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
                 let left_est = self.estimate_cardinality(left)?;
                 let right_est = self.estimate_cardinality(right)?;
+                // A join whose sample execution produced no qualifying
+                // output gives the scaling rule nothing to work with; the
+                // sketch-NDV analytic estimate is sharper than smoothing.
+                if u == 0.0 {
+                    if let LogicalPlan::Join {
+                        condition: Some(cond),
+                        ..
+                    } = plan
+                    {
+                        if let Some(sel) = self.equi_join_selectivity(cond) {
+                            return Ok((left_est * right_est * sel).max(0.0));
+                        }
+                    }
+                }
                 let left_sample = sample_cards
                     .get(left.node_count() - 1)
                     .copied()
@@ -232,6 +257,40 @@ impl SamplingEstimator {
             }
         };
         Ok(estimate.max(0.0))
+    }
+
+    /// The analytic selectivity of a conjunction of column-equality
+    /// predicates, `Π 1 / max(ndv_left, ndv_right)` with sketch NDVs from
+    /// the statistics catalog; `None` when the condition contains anything
+    /// the sketches cannot analyse.
+    fn equi_join_selectivity(&self, cond: &BoolExpr) -> Option<f64> {
+        match cond {
+            BoolExpr::And(l, r) => {
+                Some(self.equi_join_selectivity(l)? * self.equi_join_selectivity(r)?)
+            }
+            BoolExpr::Compare {
+                op: CompareOp::Eq,
+                left: ScalarExpr::Column(l),
+                right: ScalarExpr::Column(r),
+            } => {
+                let ndv = |c: &ranksql_expr::ColumnRef| {
+                    let key = match &c.relation {
+                        Some(rel) => format!("{rel}.{}", c.name),
+                        None => c.name.clone(),
+                    };
+                    self.column_ndv.get(&key).copied().or_else(|| {
+                        let suffix = format!(".{}", c.name);
+                        self.column_ndv
+                            .iter()
+                            .find(|(name, _)| *name == &c.name || name.ends_with(&suffix))
+                            .map(|(_, v)| *v)
+                    })
+                };
+                let d = ndv(l)?.max(ndv(r)?).max(1.0);
+                Some(1.0 / d)
+            }
+            _ => None,
+        }
     }
 
     /// Estimated output cardinality of every operator in `plan`, post-order
@@ -395,6 +454,69 @@ mod tests {
         let per_op = est.estimate_per_operator(&plan).unwrap();
         assert_eq!(per_op.len(), 3);
         assert!(per_op[2].0.contains("HashJoin"));
+    }
+
+    #[test]
+    fn blind_sample_join_falls_back_to_sketch_ndv_estimate() {
+        // A key–key join (1000 distinct on both sides, B stored in reverse
+        // key order): a 0.4 % sample (4 rows per side) almost surely holds
+        // no common key, so the sample execution of the join produces no
+        // qualifying output.  The estimator must then use the analytic
+        // sketch-NDV form |A|·|B| / max(ndv) = 1000 instead of scaled
+        // zero-smoothing (which would claim ~125 for an arbitrary join).
+        let cat = Catalog::new();
+        let a = cat
+            .create_table(
+                "A",
+                Schema::new(vec![
+                    Field::new("jc", DataType::Int64),
+                    Field::new("p1", DataType::Float64),
+                ]),
+            )
+            .unwrap();
+        let b = cat
+            .create_table(
+                "B",
+                Schema::new(vec![
+                    Field::new("jc", DataType::Int64),
+                    Field::new("p2", DataType::Float64),
+                ]),
+            )
+            .unwrap();
+        for i in 0..1000i64 {
+            a.insert(vec![Value::from(i), Value::from((i % 100) as f64 / 100.0)])
+                .unwrap();
+            b.insert(vec![
+                Value::from(999 - i),
+                Value::from(((i * 7) % 100) as f64 / 100.0),
+            ])
+            .unwrap();
+        }
+        let ranking = RankingContext::new(
+            vec![
+                RankPredicate::attribute("p1", "A.p1"),
+                RankPredicate::attribute("p2", "B.p2"),
+            ],
+            ScoringFunction::Sum,
+        );
+        let query = RankQuery::new(
+            vec!["A".into(), "B".into()],
+            vec![BoolExpr::col_eq_col("A.jc", "B.jc")],
+            ranking,
+            10,
+        );
+        let est = SamplingEstimator::build(&query, &cat, 0.004, 5).unwrap();
+        let plan = LogicalPlan::scan(&a).join(
+            LogicalPlan::scan(&b),
+            Some(BoolExpr::col_eq_col("A.jc", "B.jc")),
+            JoinAlgorithm::Hash,
+        );
+        let card = est.estimate_cardinality(&plan).unwrap();
+        // The true cardinality is 1000 (every key matches exactly once).
+        assert!(
+            (card - 1000.0).abs() < 1.0,
+            "join estimate {card} should hit the analytic 1000"
+        );
     }
 
     #[test]

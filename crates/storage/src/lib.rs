@@ -12,7 +12,10 @@
 //!   index, providing *interesting orders* for merge joins), and
 //!   [`index::HashIndex`] (equi-join lookups).
 //! * [`stats::TableStatistics`] — row counts, per-column distinct counts and
-//!   histograms used by the classical half of the cost model.
+//!   histograms used by the classical half of the cost model, backed by
+//!   [`stats::StatsCatalog`] — the per-column summaries (staged
+//!   [`sketch::DistinctSketch`] NDV, min/max, null counts) every table
+//!   maintains incrementally on insert.
 //! * [`sample`] — reservoir sampling used by the optimizer's sampling-based
 //!   cardinality estimator (Section 5.2 of the paper).
 //! * [`csv`] — a dependency-free CSV reader (with optional schema inference)
@@ -27,6 +30,7 @@ pub mod column;
 pub mod csv;
 pub mod index;
 pub mod sample;
+pub mod sketch;
 pub mod stats;
 pub mod table;
 
@@ -37,5 +41,8 @@ pub use column::{
 pub use csv::{infer_schema, parse_csv, CsvOptions};
 pub use index::{BTreeIndex, HashIndex, ScoreIndex};
 pub use sample::{reservoir_sample, sample_fraction};
-pub use stats::{ColumnStatistics, TableStatistics};
+pub use sketch::{stable_value_hash, DistinctSketch, ARRAY_CAPACITY, HLL_PRECISION};
+pub use stats::{
+    ColumnStatistics, ColumnSummary, StatsCatalog, TableStatistics, HISTOGRAM_BUCKETS,
+};
 pub use table::{Table, TableBuilder};

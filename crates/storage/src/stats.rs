@@ -1,9 +1,23 @@
 //! Table and column statistics for the classical half of the cost model.
+//!
+//! Two layers live here:
+//!
+//! * [`StatsCatalog`] — the incrementally maintained per-column summaries a
+//!   [`Table`] carries: null / non-null counts, numeric min/max, boolean
+//!   true counts and a staged [`DistinctSketch`] for the NDV.  Summaries
+//!   are built per 1024-row block ([`crate::column::COLUMN_BLOCK_ROWS`],
+//!   the zone-map granularity) and merged, and [`Table::insert`] folds each
+//!   new row into them in place instead of invalidating anything.
+//! * [`TableStatistics`] — the classical snapshot (distinct counts,
+//!   histograms, selectivity arithmetic) the optimizer consumes.  It now
+//!   reads everything except the histogram off the catalog, so building it
+//!   costs one histogram pass instead of an exact `HashSet` scan per
+//!   column.
 
-use std::collections::HashSet;
+use ranksql_common::{Result, Schema, Tuple, Value};
 
-use ranksql_common::{Result, Value};
-
+use crate::column::COLUMN_BLOCK_ROWS;
+use crate::sketch::DistinctSketch;
 use crate::table::Table;
 
 /// Number of buckets used by equi-width histograms.
@@ -76,6 +90,158 @@ impl ColumnStatistics {
     }
 }
 
+/// Incrementally maintained summary of one column.
+///
+/// Everything in here is a streaming aggregate: one value can be folded in
+/// ([`ColumnSummary::observe`]) and two summaries over disjoint row ranges
+/// can be merged ([`ColumnSummary::merge`]), which is what lets the insert
+/// path keep statistics fresh without rescanning the column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Qualified column name.
+    pub name: String,
+    /// Number of non-null values observed.
+    pub non_null_count: usize,
+    /// Number of nulls observed.
+    pub null_count: usize,
+    /// Minimum numeric value (if any numeric value was observed).
+    pub min: Option<f64>,
+    /// Maximum numeric value (if any numeric value was observed).
+    pub max: Option<f64>,
+    /// Number of boolean values observed.
+    pub bool_count: usize,
+    /// Number of boolean `true` values observed.
+    pub true_count: usize,
+    /// Staged distinct-count sketch over the non-null values.
+    pub sketch: DistinctSketch,
+}
+
+impl ColumnSummary {
+    /// An empty summary for a column.
+    pub fn empty(name: impl Into<String>) -> Self {
+        ColumnSummary {
+            name: name.into(),
+            non_null_count: 0,
+            null_count: 0,
+            min: None,
+            max: None,
+            bool_count: 0,
+            true_count: 0,
+            sketch: DistinctSketch::new(),
+        }
+    }
+
+    /// Folds one value into the summary.
+    pub fn observe(&mut self, v: &Value) {
+        if v.is_null() {
+            self.null_count += 1;
+            return;
+        }
+        self.non_null_count += 1;
+        self.sketch.insert(v);
+        if let Some(x) = v.as_f64() {
+            self.min = Some(self.min.map_or(x, |m| m.min(x)));
+            self.max = Some(self.max.map_or(x, |m| m.max(x)));
+        }
+        if let Value::Bool(b) = v {
+            self.bool_count += 1;
+            if *b {
+                self.true_count += 1;
+            }
+        }
+    }
+
+    /// Merges a summary over a disjoint row range into this one.
+    pub fn merge(&mut self, other: &ColumnSummary) {
+        self.non_null_count += other.non_null_count;
+        self.null_count += other.null_count;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.bool_count += other.bool_count;
+        self.true_count += other.true_count;
+        self.sketch.merge(&other.sketch);
+    }
+
+    /// Estimated (exact below the sketch's array capacity) distinct count.
+    pub fn ndv(&self) -> usize {
+        self.sketch.estimate()
+    }
+
+    /// Fraction of boolean values that are `true`, if the column held any.
+    pub fn true_fraction(&self) -> Option<f64> {
+        (self.bool_count > 0).then(|| self.true_count as f64 / self.bool_count as f64)
+    }
+}
+
+/// The incrementally maintained statistics catalog of a table: one
+/// [`ColumnSummary`] per schema column plus the row count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsCatalog {
+    /// Number of rows the summaries cover.
+    pub row_count: usize,
+    /// Per-column summaries, in schema order.
+    pub columns: Vec<ColumnSummary>,
+}
+
+impl StatsCatalog {
+    /// An empty catalog for a schema.
+    pub fn empty(schema: &Schema) -> Self {
+        StatsCatalog {
+            row_count: 0,
+            columns: schema
+                .fields()
+                .iter()
+                .map(|f| ColumnSummary::empty(f.qualified_name()))
+                .collect(),
+        }
+    }
+
+    /// Builds a catalog from a row snapshot by folding per-1024-row block
+    /// partials (the zone-map granularity), exercising the same merge the
+    /// incremental insert path relies on.
+    pub fn build(schema: &Schema, rows: &[Tuple]) -> Self {
+        let mut total = StatsCatalog::empty(schema);
+        for block in rows.chunks(COLUMN_BLOCK_ROWS) {
+            let mut partial = StatsCatalog::empty(schema);
+            for t in block {
+                partial.observe_row(t.values());
+            }
+            total.merge(&partial);
+        }
+        total
+    }
+
+    /// Folds one row into the catalog (the insert hot path).
+    pub fn observe_row(&mut self, values: &[Value]) {
+        self.row_count += 1;
+        for (c, v) in self.columns.iter_mut().zip(values) {
+            c.observe(v);
+        }
+    }
+
+    /// Merges a catalog over a disjoint row range into this one.
+    pub fn merge(&mut self, other: &StatsCatalog) {
+        self.row_count += other.row_count;
+        for (c, o) in self.columns.iter_mut().zip(&other.columns) {
+            c.merge(o);
+        }
+    }
+
+    /// The summary for the column with the given (possibly unqualified)
+    /// name.
+    pub fn column(&self, name: &str) -> Option<&ColumnSummary> {
+        self.columns
+            .iter()
+            .find(|c| c.name == name || c.name.ends_with(&format!(".{name}")))
+    }
+}
+
 /// Statistics for a whole table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableStatistics {
@@ -88,48 +254,21 @@ pub struct TableStatistics {
 }
 
 impl TableStatistics {
-    /// Computes statistics by a full scan of the table.
+    /// Computes statistics for a table.
+    ///
+    /// Counts, min/max, distinct counts and boolean fractions come straight
+    /// off the table's incrementally maintained [`StatsCatalog`] (sketch
+    /// NDV: exact up to the sketch's array capacity); only the equi-width
+    /// histograms still need a pass over the rows, because bucket bounds
+    /// depend on the final min/max.
     pub fn compute(table: &Table) -> Result<TableStatistics> {
-        let schema = table.schema();
+        let catalog = table.stats_catalog();
         let tuples = table.scan();
-        let mut columns = Vec::with_capacity(schema.len());
-        for (ci, field) in schema.fields().iter().enumerate() {
-            let mut non_null = 0usize;
-            let mut nulls = 0usize;
-            let mut distinct: HashSet<Value> = HashSet::new();
-            let mut min = f64::INFINITY;
-            let mut max = f64::NEG_INFINITY;
-            let mut numeric = 0usize;
-            let mut trues = 0usize;
-            let mut bools = 0usize;
-            for t in &tuples {
-                let v = t.value(ci);
-                if v.is_null() {
-                    nulls += 1;
-                    continue;
-                }
-                non_null += 1;
-                distinct.insert(v.clone());
-                if let Some(x) = v.as_f64() {
-                    numeric += 1;
-                    min = min.min(x);
-                    max = max.max(x);
-                }
-                if let Value::Bool(b) = v {
-                    bools += 1;
-                    if *b {
-                        trues += 1;
-                    }
-                }
-            }
-            let (min, max) = if numeric > 0 {
-                (Some(min), Some(max))
-            } else {
-                (None, None)
-            };
-            // Histogram pass (numeric columns only).
+        let mut columns = Vec::with_capacity(catalog.columns.len());
+        for (ci, summary) in catalog.columns.iter().enumerate() {
+            // Histogram pass (numeric columns with a non-degenerate range).
             let mut histogram = Vec::new();
-            if let (Some(lo), Some(hi)) = (min, max) {
+            if let (Some(lo), Some(hi)) = (summary.min, summary.max) {
                 if hi > lo {
                     histogram = vec![0usize; HISTOGRAM_BUCKETS];
                     let width = (hi - lo) / HISTOGRAM_BUCKETS as f64;
@@ -145,23 +284,19 @@ impl TableStatistics {
                 }
             }
             columns.push(ColumnStatistics {
-                name: field.qualified_name(),
-                non_null_count: non_null,
-                null_count: nulls,
-                distinct_count: distinct.len(),
-                min,
-                max,
-                true_fraction: if bools > 0 {
-                    Some(trues as f64 / bools as f64)
-                } else {
-                    None
-                },
+                name: summary.name.clone(),
+                non_null_count: summary.non_null_count,
+                null_count: summary.null_count,
+                distinct_count: summary.ndv(),
+                min: summary.min,
+                max: summary.max,
+                true_fraction: summary.true_fraction(),
                 histogram,
             });
         }
         Ok(TableStatistics {
             table: table.name().to_owned(),
-            row_count: tuples.len(),
+            row_count: catalog.row_count,
             columns,
         })
     }

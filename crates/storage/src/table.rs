@@ -10,6 +10,7 @@ use ranksql_common::{RankSqlError, Result, Schema, Tuple, TupleId, Value};
 
 use crate::column::ColumnTable;
 use crate::index::{BTreeIndex, HashIndex, ScoreIndex};
+use crate::stats::StatsCatalog;
 
 /// An append-only, in-memory table.
 ///
@@ -34,6 +35,13 @@ pub struct Table {
     /// Fast-path flag so the insert hot loop skips columnar invalidation
     /// when no projection was ever built.
     has_columnar: AtomicBool,
+    /// Incrementally maintained statistics catalog (see
+    /// [`Table::stats_catalog`]).  Unlike the indexes and the columnar
+    /// projection, inserts *update* it in place instead of dropping it.
+    stats: RwLock<Option<StatsCatalog>>,
+    /// Fast-path flag so the insert hot loop skips statistics maintenance
+    /// when the catalog was never built.
+    has_stats: AtomicBool,
 }
 
 impl Table {
@@ -53,6 +61,8 @@ impl Table {
             has_indexes: AtomicBool::new(false),
             columnar: RwLock::new(None),
             has_columnar: AtomicBool::new(false),
+            stats: RwLock::new(None),
+            has_stats: AtomicBool::new(false),
         }
     }
 
@@ -108,6 +118,15 @@ impl Table {
             *self.columnar.write() = None;
             self.has_columnar.store(false, Ordering::Release);
         }
+        // Statistics are maintained *incrementally*: the new row is folded
+        // into the catalog's streaming summaries (sketch, min/max, counts)
+        // under the row write lock — no invalidate-and-rebuild like the
+        // structures above, whose contents cannot absorb an append.
+        if self.has_stats.load(Ordering::Acquire) {
+            if let Some(catalog) = self.stats.write().as_mut() {
+                catalog.observe_row(&values);
+            }
+        }
         let idx = rows.len() as u64;
         rows.push(Tuple::new(TupleId::base(self.id, idx), values));
         Ok(idx)
@@ -160,6 +179,37 @@ impl Table {
         *self.columnar.write() = Some(Arc::clone(&built));
         self.has_columnar.store(true, Ordering::Release);
         built
+    }
+
+    /// The table's statistics catalog: per-column null counts, numeric
+    /// min/max, boolean fractions and a staged distinct-count sketch.
+    ///
+    /// Built from the rows (as merged per-1024-row block partials, the
+    /// zone-map granularity) on first use; afterwards every
+    /// [`Table::insert`] folds the new row in, so repeated calls are O(1)
+    /// in the table size and never observe a stale snapshot.
+    pub fn stats_catalog(&self) -> StatsCatalog {
+        // The row read lock is held across the build so a concurrent insert
+        // (which takes the row *write* lock) cannot slip a row between the
+        // snapshot and the publication of the catalog.
+        let rows = self.rows.read();
+        if let Some(c) = self.stats.read().as_ref() {
+            if c.row_count == rows.len() {
+                return c.clone();
+            }
+        }
+        let built = StatsCatalog::build(&self.schema, &rows);
+        *self.stats.write() = Some(built.clone());
+        self.has_stats.store(true, Ordering::Release);
+        built
+    }
+
+    /// The statistics catalog if one has already been built (by a prior
+    /// [`Table::stats_catalog`] call, typically the optimizer's), without
+    /// forcing a build — `None` on a cold table.  The incrementally
+    /// maintained catalog is never stale, so no freshness check is needed.
+    pub fn cached_stats(&self) -> Option<StatsCatalog> {
+        self.stats.read().clone()
     }
 
     /// Registers a score (rank) index, replacing any previous index on the
@@ -376,6 +426,56 @@ mod tests {
         assert_eq!(rebuilt.indexed_rows(), 3);
         t.add_score_index(rebuilt);
         assert!(t.score_index("b").is_some());
+    }
+
+    #[test]
+    fn stats_catalog_is_maintained_incrementally_on_insert() {
+        let t = Table::new(1, "T", schema());
+        for i in 0..10i64 {
+            t.insert(vec![Value::from(i % 4), Value::from(i as f64 / 10.0)])
+                .unwrap();
+        }
+        let first = t.stats_catalog();
+        assert_eq!(first.row_count, 10);
+        assert_eq!(first.column("a").unwrap().ndv(), 4);
+        assert_eq!(first.column("b").unwrap().max, Some(0.9));
+
+        // Inserts after the catalog exists fold into it (no invalidation):
+        // the next read sees the new row without a rebuild.
+        t.insert(vec![Value::from(99), Value::from(2.5)]).unwrap();
+        let second = t.stats_catalog();
+        assert_eq!(second.row_count, 11);
+        assert_eq!(second.column("a").unwrap().ndv(), 5);
+        assert_eq!(second.column("T.b").unwrap().max, Some(2.5));
+        assert_eq!(second.column("a").unwrap().null_count, 0);
+
+        // Nulls are counted, not sketched.
+        t.insert(vec![Value::Null, Value::from(0.0)]).unwrap();
+        let third = t.stats_catalog();
+        assert_eq!(third.column("a").unwrap().null_count, 1);
+        assert_eq!(third.column("a").unwrap().ndv(), 5);
+    }
+
+    #[test]
+    fn stats_catalog_incremental_path_matches_from_scratch_build() {
+        let warm = Table::new(1, "T", schema());
+        let cold = Table::new(1, "T", schema());
+        for i in 0..50i64 {
+            warm.insert(vec![Value::from(i % 7), Value::from(i as f64)])
+                .unwrap();
+            cold.insert(vec![Value::from(i % 7), Value::from(i as f64)])
+                .unwrap();
+        }
+        // Build warm's catalog early so the remaining inserts take the
+        // incremental path; cold builds from scratch at the end.
+        let _ = warm.stats_catalog();
+        for i in 50..200i64 {
+            warm.insert(vec![Value::from(i % 7), Value::from(i as f64)])
+                .unwrap();
+            cold.insert(vec![Value::from(i % 7), Value::from(i as f64)])
+                .unwrap();
+        }
+        assert_eq!(warm.stats_catalog(), cold.stats_catalog());
     }
 
     #[test]

@@ -11,11 +11,15 @@ Three checks:
 2. **Presence** — a hard group that is missing or empty in the current run
    fails the script: a renamed group or a drifted output format must never
    turn the gate green by producing nothing to compare.
-3. **Within-run ratio** — machine-independent sanity of the columnar claim:
+3. **Within-run ratios** — machine-independent sanity of the perf claims,
+   compared inside the *same run* so runner speed cancels out:
    `columnar_vs_row/columnar/scan_filter` must beat
-   `columnar_vs_row/row/scan_filter` from the *same run* by at least
-   `--min-columnar-speedup` (default 1.15×; the bench demonstrates ~2×, so
-   the floor leaves headroom for noisy runners).
+   `columnar_vs_row/row/scan_filter` by at least `--min-columnar-speedup`,
+   and the branch-free compare kernel `columnar_vs_row/kernel/select_f64`
+   must beat the per-row branchy baseline
+   `columnar_vs_row/row/kernel_select_f64` by at least
+   `--min-kernel-speedup` (both default 1.15×; the benches demonstrate
+   ~2×+, so the floors leave headroom for noisy runners).
 
 CI runners differ from the machine that recorded the baseline, so the
 default tolerance is deliberately loose (±25 %, overridable with
@@ -24,7 +28,7 @@ Regenerate the baseline with `scripts/bench-json.sh bench/baseline.json`
 when a deliberate performance change shifts the numbers.
 
 Usage:
-    python3 scripts/bench_compare.py bench/baseline.json BENCH_PR5.json \
+    python3 scripts/bench_compare.py bench/baseline.json BENCH_PR6.json \
         [--tolerance 0.25] [--hard-groups seq_scan_hot_path,columnar_vs_row]
 """
 
@@ -33,7 +37,7 @@ import json
 import os
 import sys
 
-DEFAULT_HARD_GROUPS = ["seq_scan_hot_path", "columnar_vs_row"]
+DEFAULT_HARD_GROUPS = ["seq_scan_hot_path", "columnar_vs_row", "ablation_sketch"]
 
 
 def main() -> int:
@@ -47,6 +51,7 @@ def main() -> int:
     )
     ap.add_argument("--hard-groups", default=",".join(DEFAULT_HARD_GROUPS))
     ap.add_argument("--min-columnar-speedup", type=float, default=1.15)
+    ap.add_argument("--min-kernel-speedup", type=float, default=1.15)
     args = ap.parse_args()
     hard = {g.strip() for g in args.hard_groups.split(",") if g.strip()}
 
@@ -85,25 +90,32 @@ def main() -> int:
                 marker = "faster"
             print(f"  {marker} {group}/{name}: {ratio:5.2f}x ({ns:.0f} vs {base:.0f} ns)")
 
-    # 3. Within-run columnar speedup (machine-independent).  The two bench
-    # names are load-bearing: if either disappears (rename, output drift)
-    # this check must fail rather than silently evaporate.
+    # 3. Within-run speedups (machine-independent).  The bench names are
+    # load-bearing: if one disappears (rename, output drift) its check must
+    # fail rather than silently evaporate.
     cvr = current.get("columnar_vs_row", {})
-    row = cvr.get("row/scan_filter")
-    col = cvr.get("columnar/scan_filter")
-    if row and col:
-        speedup = row / col
-        print(f"  within-run columnar/scan_filter speedup: {speedup:.2f}x")
-        if speedup < args.min_columnar_speedup:
+    for label, base_name, fast_name, floor in [
+        ("columnar/scan_filter", "row/scan_filter", "columnar/scan_filter",
+         args.min_columnar_speedup),
+        ("kernel/select_f64", "row/kernel_select_f64", "kernel/select_f64",
+         args.min_kernel_speedup),
+    ]:
+        base = cvr.get(base_name)
+        fast = cvr.get(fast_name)
+        if base and fast:
+            speedup = base / fast
+            print(f"  within-run {label} speedup: {speedup:.2f}x")
+            if speedup < floor:
+                failures.append(
+                    f"columnar_vs_row within-run {label} speedup {speedup:.2f}x "
+                    f"is below the {floor:.2f}x floor"
+                )
+        elif cvr:
             failures.append(
-                f"columnar_vs_row within-run speedup {speedup:.2f}x is below the "
-                f"{args.min_columnar_speedup:.2f}x floor"
+                f"columnar_vs_row is missing {base_name} or {fast_name} — "
+                f"the within-run {label} speedup gate has nothing to compare "
+                "(renamed benches?)"
             )
-    elif cvr:
-        failures.append(
-            "columnar_vs_row is missing row/scan_filter or columnar/scan_filter — "
-            "the within-run speedup gate has nothing to compare (renamed benches?)"
-        )
 
     for w in warnings:
         # GitHub Actions annotation; harmless noise elsewhere.

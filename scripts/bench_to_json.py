@@ -17,8 +17,9 @@ emits a JSON document:
     }
 
 Usage:
-    cargo bench -p ranksql-bench --bench operators_micro | \
-        python3 scripts/bench_to_json.py --out BENCH_PR5.json
+    { cargo bench -p ranksql-bench --bench operators_micro && \
+      cargo bench -p ranksql-bench --bench ablation_sketch; } | \
+        python3 scripts/bench_to_json.py --out BENCH_PR6.json
 
 Pass `--groups a,b,c` to override the default pinned groups; pass several
 bench outputs by concatenating them on stdin.
@@ -36,6 +37,7 @@ DEFAULT_GROUPS = [
     "batch_vs_tuple",
     "prepared_vs_cold",
     "columnar_vs_row",
+    "ablation_sketch",
 ]
 
 LINE = re.compile(

@@ -1,0 +1,354 @@
+//! Figure-13-style estimator-error harness.
+//!
+//! Measures *real vs. estimated* cardinality over a query suite whose true
+//! cardinalities are computed exactly in-test, and compares three
+//! estimator configurations:
+//!
+//! 1. `HistogramEstimator` with [`StatsSource::Catalog`] — the sketch-backed
+//!    statistics catalog this PR introduces (NDV exact up to the sketch's
+//!    array capacity),
+//! 2. `HistogramEstimator` with [`StatsSource::Sampled`] — the classical
+//!    sampled-statistics baseline whose naive NDV scale-up is badly biased
+//!    for low-cardinality join columns, and
+//! 3. `SamplingEstimator` — sampling-*execution* estimation (run the plan
+//!    over reservoir samples and scale up).
+//!
+//! The headline assertion mirrors the paper's Figure-13 claim shape: the
+//! sketch-driven catalog's mean relative error is strictly below the
+//! sampled-statistics baseline, and no worse than sampling execution.
+//!
+//! The second half of the file holds property tests pinning the *algebra*
+//! that makes incremental maintenance sound: merging per-block sketch
+//! partials is indistinguishable from a from-scratch build, and a table
+//! catalog maintained incrementally across inserts equals a cold rebuild.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use ranksql::algebra::{JoinAlgorithm, LogicalPlan};
+use ranksql::expr::RankPredicate;
+use ranksql::optimizer::{HistogramEstimator, SamplingEstimator, StatsSource};
+use ranksql::storage::{Catalog, DistinctSketch, StatsCatalog, Table};
+use ranksql::{
+    BoolExpr, CompareOp, DataType, Field, RankQuery, RankingContext, ScalarExpr, Schema,
+    ScoringFunction, Value,
+};
+
+const ROWS: usize = 2000;
+/// `jc = i % DISTINCT` — 40 distinct join values, 50 rows each, exactly.
+const DISTINCT: usize = 40;
+const SAMPLE_RATIO: f64 = 0.2;
+const SEED: u64 = 7;
+const BUCKETS: usize = 16;
+
+/// Two-table catalog with a low-cardinality join column: the regime where
+/// naive sampled NDV scale-up is most wrong (a 20 % sample still sees all
+/// 40 values, which scale-up turns into 200).
+fn setup(rows: usize) -> (Catalog, RankQuery) {
+    let cat = Catalog::new();
+    let a = cat
+        .create_table(
+            "A",
+            Schema::new(vec![
+                Field::new("jc", DataType::Int64),
+                Field::new("p1", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+    let b = cat
+        .create_table(
+            "B",
+            Schema::new(vec![
+                Field::new("jc", DataType::Int64),
+                Field::new("p2", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+    for i in 0..rows {
+        a.insert(vec![
+            Value::from((i % DISTINCT) as i64),
+            Value::from(((i * 37) % 1000) as f64 / 1000.0),
+        ])
+        .unwrap();
+        b.insert(vec![
+            Value::from((i % DISTINCT) as i64),
+            Value::from(((i * 61) % 1000) as f64 / 1000.0),
+        ])
+        .unwrap();
+    }
+    let ranking = RankingContext::new(
+        vec![
+            RankPredicate::attribute("p1", "A.p1"),
+            RankPredicate::attribute("p2", "B.p2"),
+        ],
+        ScoringFunction::Sum,
+    );
+    let query = RankQuery::new(
+        vec!["A".into(), "B".into()],
+        vec![BoolExpr::col_eq_col("A.jc", "B.jc")],
+        ranking,
+        10,
+    );
+    (cat, query)
+}
+
+/// The membership query suite with exactly computable true cardinalities.
+/// Rank-aware operators are deliberately absent: their output depends on
+/// the score threshold `x`, which is itself an estimate — this harness
+/// isolates the *statistics* error the catalog is meant to fix.
+fn suite(cat: &Catalog) -> Vec<(&'static str, LogicalPlan, f64)> {
+    let a = cat.table("A").unwrap();
+    let b = cat.table("B").unwrap();
+    // Exact value counts, computed from the data (not from n/DISTINCT), so
+    // the truths stay correct if the generator above ever changes.
+    let count_eq = |t: &Table, v: i64| {
+        t.scan()
+            .iter()
+            .filter(|tup| tup.value(0) == &Value::from(v))
+            .count() as f64
+    };
+    let mut counts_a: HashMap<i64, f64> = HashMap::new();
+    let mut counts_b: HashMap<i64, f64> = HashMap::new();
+    for tup in a.scan() {
+        if let Some(v) = tup.value(0).as_i64() {
+            *counts_a.entry(v).or_default() += 1.0;
+        }
+    }
+    for tup in b.scan() {
+        if let Some(v) = tup.value(0).as_i64() {
+            *counts_b.entry(v).or_default() += 1.0;
+        }
+    }
+    let true_join: f64 = counts_a
+        .iter()
+        .map(|(v, ca)| ca * counts_b.get(v).copied().unwrap_or(0.0))
+        .sum();
+
+    let jc_eq = |col: &str, v: i64| {
+        BoolExpr::compare(ScalarExpr::col(col), CompareOp::Eq, ScalarExpr::lit(v))
+    };
+    let join = || {
+        LogicalPlan::scan(&a).join(
+            LogicalPlan::scan(&b),
+            Some(BoolExpr::col_eq_col("A.jc", "B.jc")),
+            JoinAlgorithm::Hash,
+        )
+    };
+    vec![
+        ("scan A", LogicalPlan::scan(&a), a.row_count() as f64),
+        (
+            "sigma A.jc = 7",
+            LogicalPlan::scan(&a).select(jc_eq("A.jc", 7)),
+            count_eq(&a, 7),
+        ),
+        (
+            "sigma B.jc = 11",
+            LogicalPlan::scan(&b).select(jc_eq("B.jc", 11)),
+            count_eq(&b, 11),
+        ),
+        ("A join B on jc", join(), true_join),
+        (
+            "sigma jc = 3 over A join B",
+            join().select(jc_eq("A.jc", 3)),
+            counts_a.get(&3).copied().unwrap_or(0.0) * counts_b.get(&3).copied().unwrap_or(0.0),
+        ),
+    ]
+}
+
+/// Mean relative error of `estimate` over the suite, `|est - true| / true`.
+fn mean_relative_error(
+    suite: &[(&'static str, LogicalPlan, f64)],
+    mut estimate: impl FnMut(&LogicalPlan) -> f64,
+) -> f64 {
+    let total: f64 = suite
+        .iter()
+        .map(|(name, plan, truth)| {
+            assert!(*truth > 0.0, "{name}: degenerate truth");
+            let est = estimate(plan);
+            (est - truth).abs() / truth
+        })
+        .sum();
+    total / suite.len() as f64
+}
+
+#[test]
+fn sketch_catalog_beats_sampled_statistics_and_sampling_execution() {
+    let (cat, query) = setup(ROWS);
+    let suite = suite(&cat);
+
+    let catalog_est = HistogramEstimator::build_with_stats_source(
+        &query,
+        &cat,
+        SAMPLE_RATIO,
+        SEED,
+        BUCKETS,
+        StatsSource::Catalog,
+    )
+    .unwrap();
+    let sampled_est = HistogramEstimator::build_with_stats_source(
+        &query,
+        &cat,
+        SAMPLE_RATIO,
+        SEED,
+        BUCKETS,
+        StatsSource::Sampled,
+    )
+    .unwrap();
+    let sampling_exec = SamplingEstimator::build(&query, &cat, SAMPLE_RATIO, SEED).unwrap();
+
+    let e_catalog = mean_relative_error(&suite, |p| catalog_est.estimate_cardinality(p).unwrap());
+    let e_sampled = mean_relative_error(&suite, |p| sampled_est.estimate_cardinality(p).unwrap());
+    let e_exec = mean_relative_error(&suite, |p| sampling_exec.estimate_cardinality(p).unwrap());
+
+    // The catalog NDV (40 distinct, well inside the sketch's exact array
+    // stage) makes the 1/d selectivities exact, so its suite error is
+    // essentially zero; the naive scaled-sample NDV (~200) inflates d by
+    // 5x and lands around 0.8 relative error on every d-driven estimate.
+    assert!(
+        e_catalog < e_sampled,
+        "sketch catalog (err {e_catalog:.4}) should beat sampled statistics (err {e_sampled:.4})"
+    );
+    assert!(
+        e_catalog <= e_exec + 1e-9,
+        "sketch catalog (err {e_catalog:.4}) should be no worse than \
+         sampling execution (err {e_exec:.4})"
+    );
+    assert!(
+        e_catalog < 0.05,
+        "exact-stage sketches should make suite error near zero, got {e_catalog:.4}"
+    );
+    assert!(
+        e_sampled > 0.5,
+        "the sampled-NDV baseline should be visibly wrong here, got {e_sampled:.4}"
+    );
+}
+
+#[test]
+fn hll_stage_ndv_error_stays_below_naive_sample_scale_up() {
+    // Mid-cardinality regime: 4 000 distinct keys over 20 000 rows pushes
+    // the sketch past its exact array stage into HLL (approximate), while
+    // naive sample scale-up is at its worst — a 5 % sample sees most of the
+    // 4 000 values more than once, yet scale-up multiplies the ~900 it
+    // sees by 20, wildly overshooting the true count.
+    let cat = Catalog::new();
+    let t = cat
+        .create_table("U", Schema::new(vec![Field::new("k", DataType::Int64)]))
+        .unwrap();
+    let rows = 20_000usize;
+    let n = 4_000usize;
+    for i in 0..rows {
+        t.insert(vec![Value::from((i % n) as i64)]).unwrap();
+    }
+    let stats = t.stats_catalog();
+    let sketch_ndv = stats.column("U.k").unwrap().ndv() as f64;
+    let sketch_err = (sketch_ndv - n as f64).abs() / n as f64;
+    assert!(
+        sketch_err < 0.05,
+        "HLL-stage NDV {sketch_ndv} off by {sketch_err:.3} for true {n}"
+    );
+
+    let sampled = ranksql::optimizer::sampled_statistics(&t, 0.05, SEED).unwrap();
+    let sampled_ndv = sampled.column("U.k").unwrap().distinct_count as f64;
+    let sampled_err = (sampled_ndv - n as f64).abs() / n as f64;
+    assert!(
+        sketch_err <= sampled_err + 1e-9,
+        "sketch NDV err {sketch_err:.3} should not exceed sampled-scale-up err {sampled_err:.3}"
+    );
+}
+
+/// Cold rebuild of a table's statistics from a full scan — the reference
+/// the incrementally maintained catalog must match.  Uses the same table
+/// name as the warm table so the qualified column names line up.
+fn cold_rebuild(schema: &Schema, rows: &[Vec<Value>]) -> StatsCatalog {
+    let cat = Catalog::new();
+    let t = cat.create_table("W", schema.clone()).unwrap();
+    for r in rows {
+        t.insert(r.clone()).unwrap();
+    }
+    t.stats_catalog()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Merging per-block partial sketches is exactly equivalent to one
+    /// from-scratch build over the concatenated stream — the invariant
+    /// that lets `Table::insert` fold 1024-row block partials into the
+    /// catalog instead of rescanning the column.
+    #[test]
+    fn incremental_sketch_merge_equals_from_scratch(
+        hashes in proptest::collection::vec(any::<u64>(), 0..3000usize),
+    ) {
+        let mut whole = DistinctSketch::new();
+        for h in &hashes {
+            whole.insert_hash(*h);
+        }
+        let mut merged = DistinctSketch::new();
+        for block in hashes.chunks(1024) {
+            let mut partial = DistinctSketch::new();
+            for h in block {
+                partial.insert_hash(*h);
+            }
+            merged.merge(&partial);
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// A catalog maintained incrementally across interleaved builds and
+    /// inserts equals a cold rebuild over the same rows, wherever the
+    /// build point falls relative to the data.
+    #[test]
+    fn incremental_table_catalog_equals_cold_rebuild(
+        keys in proptest::collection::vec(0i64..64, 1..300usize),
+        split in 0usize..300,
+    ) {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("x", DataType::Float64),
+        ]);
+        let rows: Vec<Vec<Value>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| vec![Value::from(*k), Value::from(i as f64 / 300.0)])
+            .collect();
+        let split = split.min(rows.len());
+
+        let cat = Catalog::new();
+        let t = cat.create_table("W", schema.clone()).unwrap();
+        for r in &rows[..split] {
+            t.insert(r.clone()).unwrap();
+        }
+        // Force the build mid-stream; the inserts after it must keep the
+        // catalog fresh incrementally.
+        let _ = t.stats_catalog();
+        for r in &rows[split..] {
+            t.insert(r.clone()).unwrap();
+        }
+        let warm = t.cached_stats().expect("catalog was built above");
+        prop_assert_eq!(warm, cold_rebuild(&schema, &rows));
+    }
+}
+
+#[test]
+fn incremental_catalog_survives_block_boundaries() {
+    // Deterministic companion to the property above: the build point and
+    // the follow-up inserts straddle the 1024-row block boundary, so the
+    // partial-block merge path is definitely exercised.
+    let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+    let rows: Vec<Vec<Value>> = (0..2100).map(|i| vec![Value::from(i % 97)]).collect();
+
+    let cat = Catalog::new();
+    let t = cat.create_table("W", schema.clone()).unwrap();
+    for r in &rows[..1500] {
+        t.insert(r.clone()).unwrap();
+    }
+    let mid = t.stats_catalog();
+    assert_eq!(mid.row_count, 1500);
+    for r in &rows[1500..] {
+        t.insert(r.clone()).unwrap();
+    }
+    let warm = t.cached_stats().unwrap();
+    assert_eq!(warm.row_count, 2100);
+    assert_eq!(warm.column("W.k").unwrap().ndv(), 97);
+    assert_eq!(warm, cold_rebuild(&schema, &rows));
+}

@@ -303,8 +303,9 @@ fn explain_analyze_reports_actual_cardinalities() {
     let mut lines = analyzed.lines();
     let cache_line = lines.next().unwrap();
     assert!(cache_line.starts_with("plan cache:"), "{analyzed}");
+    // ...then the statistics snapshot of each referenced table...
+    let first_plan_line = lines.find(|l| !l.starts_with("statistics[")).unwrap();
     // ...and the plan root produced exactly the returned rows.
-    let first_plan_line = lines.next().unwrap();
     assert!(
         first_plan_line.contains(&format!("actual_rows={}", result.rows.len())),
         "{analyzed}"

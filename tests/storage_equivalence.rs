@@ -259,6 +259,48 @@ fn zone_map_pruning_is_safe_under_parallel_execution() {
     }
 }
 
+/// Regression: `blocks_pruned` counts *distinct* blocks, not prune events.
+/// Before the per-(scan, block) dedup bitmap, a block overlapping several
+/// morsels was counted once per morsel, so the same query reported more
+/// pruning under more parallelism.
+#[test]
+fn blocks_pruned_is_deduplicated_across_morsels() {
+    const ROWS: i64 = 8192; // 8 columnar blocks of 1024 rows
+    let (col_db, _) = clustered_db(StorageBackend::Columnar, ROWS);
+    // `id < 1000` admits only block 0: blocks 1..=7 fail the zone check.
+    let query = QueryBuilder::new()
+        .table("T")
+        .filter(BoolExpr::compare(
+            ScalarExpr::col("T.id"),
+            CompareOp::Lt,
+            ScalarExpr::lit(1000i64),
+        ))
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(5)
+        .build()
+        .unwrap();
+    let serial = col_db
+        .session()
+        .with_mode(PlanMode::Traditional)
+        .with_threads(1)
+        .execute(&query)
+        .unwrap();
+    assert_eq!(serial.blocks_pruned, 7, "blocks 1..=7 fail σ id < 1000");
+    for threads in [2usize, 4] {
+        let parallel = col_db
+            .session()
+            .with_mode(PlanMode::Traditional)
+            .with_threads(threads)
+            .with_morsel_size(512) // every block spans two morsels
+            .execute(&query)
+            .unwrap();
+        assert_eq!(
+            parallel.blocks_pruned, serial.blocks_pruned,
+            "threads={threads}: a block overlapping two 512-row morsels must count once"
+        );
+    }
+}
+
 /// Pushed-down filters: `Filter(SeqScan)` fuses into `ColumnScan[σ ..]` on
 /// the columnar backend, zone maps skip blocks the filter cannot match, and
 /// results equal the row backend's.
