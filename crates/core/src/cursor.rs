@@ -102,19 +102,27 @@ impl Cursor {
         physical: PhysicalPlan,
         plan_cache: Option<PlanCacheLookup>,
     ) -> Result<Cursor> {
+        // The cursor's MVCC snapshot: epochs are pinned into this set from
+        // open time on (the caps derivation below pins the column-scanned
+        // tables; `build_operator` pins the rest), and the execution context
+        // runs with the same set — so everything the cursor ever reads,
+        // including later `fetch_more` calls, is the state at open.
+        let epochs = Arc::new(ranksql_storage::EpochSet::new());
         // On columnar plans, tighten every upper bound with the tables'
         // zone-map score maxima: rank-aware operators (µ, MPro, HRJN/NRJN)
         // then emit earlier and probe less.  Caps never change results —
         // they are valid per-predicate maxima — and row-backend plans get
         // `None`, keeping their historical bounds bit for bit.
-        let ranking = match ranksql_executor::zone_score_caps(&query.ranking, catalog, &physical) {
-            Some(caps) => query.ranking.with_predicate_caps(caps),
-            None => Arc::clone(&query.ranking),
-        };
+        let ranking =
+            match ranksql_executor::zone_score_caps(&query.ranking, catalog, &physical, &epochs) {
+                Some(caps) => query.ranking.with_predicate_caps(caps),
+                None => Arc::clone(&query.ranking),
+            };
         let exec = match settings.tuple_budget {
             Some(b) => ExecutionContext::with_budget(Arc::clone(&ranking), b),
             None => ExecutionContext::new(Arc::clone(&ranking)),
         }
+        .with_epochs(epochs)
         .with_threads(settings.threads)
         .with_batch_size(settings.batch_size)
         .with_morsel_size(settings.morsel_size);

@@ -137,10 +137,12 @@ impl<'db> PreparedQuery<'db> {
     }
 
     /// The full cache key for the catalog's *current* table sizes: the
-    /// normalized shape key plus each referenced table's log₂ row-count
-    /// bucket.  Bucketing (rather than exact counts) keeps steady inserts
-    /// from defeating the cache while bounding how stale a cached plan's
-    /// cost assumptions can get before it is re-optimized.
+    /// normalized shape key plus each referenced table's log₂
+    /// epoch-ordinal bucket (the epoch ordinal *is* the row count — tables
+    /// are append-only, so the watermark doubles as the version).
+    /// Bucketing (rather than exact ordinals) keeps steady inserts from
+    /// defeating the cache while bounding how stale a cached plan's cost
+    /// assumptions can get before it is re-optimized.
     fn size_bucketed_key(&self) -> Result<String> {
         use std::fmt::Write as _;
         let mut key = self.cache_key.clone();
@@ -149,8 +151,8 @@ impl<'db> PreparedQuery<'db> {
             if i > 0 {
                 key.push(',');
             }
-            let rows = self.db.catalog().table(table)?.row_count() as u64;
-            let _ = write!(key, "{}", u64::BITS - rows.leading_zeros());
+            let ordinal = self.db.catalog().table(table)?.epoch_ordinal();
+            let _ = write!(key, "{}", u64::BITS - ordinal.leading_zeros());
         }
         Ok(key)
     }

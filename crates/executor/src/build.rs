@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use ranksql_algebra::{LogicalPlan, PhysicalOp, PhysicalPlan, SetOpKind};
 use ranksql_common::{RankSqlError, Result};
 use ranksql_expr::{RankedTuple, RankingContext, ScoreSource};
-use ranksql_storage::{BTreeIndex, Catalog, ScoreIndex};
+use ranksql_storage::{BTreeIndex, Catalog, EpochSet, ScoreIndex};
 
 use crate::column_scan::ColumnScan;
 use crate::context::{ExecutionContext, TopKThreshold};
@@ -71,6 +71,11 @@ fn columnar_scanned_tables(plan: &PhysicalPlan, out: &mut Vec<String>) {
 /// deriving a cap never forces an `O(rows)` projection build for a table
 /// the plan only rank-scans.
 ///
+/// The caps are read through `epochs` — the epoch set the execution will
+/// run with — so the fold covers exactly the sealed blocks *and* the frozen
+/// delta tail the scans will stream (a tail row can carry a table's maximal
+/// score; a sealed-only fold would be unsound).
+///
 /// Returns `None` for plans without a columnar scan, so row-backend
 /// executions keep their exact historical upper bounds (and byte-identical
 /// intermediate streams).  Install the caps with
@@ -81,6 +86,7 @@ pub fn zone_score_caps(
     ranking: &RankingContext,
     catalog: &Catalog,
     plan: &PhysicalPlan,
+    epochs: &EpochSet,
 ) -> Option<Vec<f64>> {
     let mut tables = Vec::new();
     columnar_scanned_tables(plan, &mut tables);
@@ -97,10 +103,10 @@ pub fn zone_score_caps(
                 .filter(|rel| tables.iter().any(|t| t == *rel))
                 .and_then(|rel| catalog.table(rel).ok())
                 .and_then(|t| {
-                    let ct = t.columnar();
-                    c.resolve(ct.schema())
+                    let epoch = epochs.pin(&t, true);
+                    c.resolve(t.schema())
                         .ok()
-                        .and_then(|col| ct.table_score_max(col))
+                        .and_then(|col| epoch.score_max(col))
                 })
                 .unwrap_or_else(|| ranking.max_predicate_value()),
             ScoreSource::Expression(_) => ranking.max_predicate_value(),
@@ -128,10 +134,17 @@ fn check_predicate(ctx: &RankingContext, predicate: usize) -> Result<()> {
 /// `explain_with_actuals` rely on this to pair real and estimated
 /// cardinalities per operator.
 ///
+/// Every scan resolves its table through the context's pinned epoch
+/// ([`ExecutionContext::pin_epoch`]), so all access paths of one execution
+/// read the same row-count watermark and concurrent inserts never shift an
+/// open operator tree.
+///
 /// Rank-scans and attribute-index scans require an index on the scanned
-/// table; if none exists (or a previous one was invalidated by inserts) one
-/// is built on the fly and cached on the table, mirroring the paper's
-/// assumption that such indexes are available as access paths.
+/// table; if none exists one is built over the epoch prefix and cached,
+/// and an index lagging the watermark (rows were appended since it was
+/// built) is *extended* over the missing suffix — never rebuilt from
+/// scratch — mirroring the paper's assumption that such indexes are
+/// available as access paths.
 pub fn build_operator(
     plan: &PhysicalPlan,
     catalog: &Catalog,
@@ -145,8 +158,8 @@ pub fn build_operator(
             let table = catalog.table(table)?;
             match columnar {
                 None => Ok(Box::new(SeqScan::new(&table, exec, label))),
-                Some(c) => Ok(Box::new(ColumnScan::new(
-                    table.columnar(),
+                Some(c) => Ok(Box::new(ColumnScan::for_epoch(
+                    &exec.pin_epoch(&table, true),
                     c.pushed_filter.as_ref(),
                     c.zone_prune,
                     exec,
@@ -160,14 +173,33 @@ pub fn build_operator(
             check_predicate(exec.ranking(), *predicate)?;
             let table = catalog.table(table)?;
             let pred = exec.ranking().predicate(*predicate);
-            // A cached index invalidated between its build and caching (the
-            // insert/cache race) is treated like a missing one: rebuilt over
-            // the current rows and swapped into the cache.
+            // The index must cover exactly the pinned epoch's watermark: a
+            // lagging cached index is extended over the missing row suffix
+            // (evaluating the predicate only on the new rows); a missing one
+            // is built over the epoch prefix.  One built past the watermark
+            // (by a later execution) is replaced by a private epoch-local
+            // build without regressing the shared cache.
+            let watermark = exec.pin_epoch(&table, false).row_count();
             let index = match table.score_index(&pred.name) {
-                Some(idx) if idx.indexed_rows() == table.row_count() => idx,
-                _ => {
-                    let built = ScoreIndex::build(pred, table.schema(), &table.scan())?;
-                    table.add_score_index(built)
+                Some(idx) if idx.indexed_rows() == watermark => idx,
+                Some(idx) if idx.indexed_rows() < watermark => {
+                    let first = idx.indexed_rows();
+                    let ext = idx.extended(
+                        pred,
+                        table.schema(),
+                        &table.scan_range(first..watermark),
+                        first as u64,
+                    )?;
+                    table.add_score_index(ext)
+                }
+                cached => {
+                    let built =
+                        ScoreIndex::build(pred, table.schema(), &table.scan_prefix(watermark))?;
+                    if cached.is_none() {
+                        table.add_score_index(built)
+                    } else {
+                        Arc::new(built)
+                    }
                 }
             };
             Ok(Box::new(RankScan::new(
@@ -176,11 +208,23 @@ pub fn build_operator(
         }
         PhysicalOp::AttributeIndexScan { table, column, .. } => {
             let table = catalog.table(table)?;
+            // Same extend-or-build policy as the rank-scan arm above.
+            let watermark = exec.pin_epoch(&table, false).row_count();
             let index = match table.btree_index(column) {
-                Some(idx) if idx.indexed_rows() == table.row_count() => idx,
-                _ => {
-                    let built = BTreeIndex::build(column, table.schema(), &table.scan())?;
-                    table.add_btree_index(built)
+                Some(idx) if idx.indexed_rows() == watermark => idx,
+                Some(idx) if idx.indexed_rows() < watermark => {
+                    let first = idx.indexed_rows();
+                    let ext = idx.extended(&table.scan_range(first..watermark), first as u64);
+                    table.add_btree_index(ext)
+                }
+                cached => {
+                    let built =
+                        BTreeIndex::build(column, table.schema(), &table.scan_prefix(watermark))?;
+                    if cached.is_none() {
+                        table.add_btree_index(built)
+                    } else {
+                        Arc::new(built)
+                    }
                 }
             };
             Ok(Box::new(AttributeIndexScan::new(
@@ -638,43 +682,45 @@ mod tests {
     }
 
     #[test]
-    fn rank_scan_recovers_after_inserts_invalidate_the_index() {
+    fn rank_scan_extends_the_index_after_inserts() {
         let (cat, query) = setup(10);
         let r = cat.table("R").unwrap();
         let plan = ranksql_algebra::LogicalPlan::rank_scan(&r, 0).limit(3);
         execute_plan(&plan, &cat, &query.ranking).unwrap();
         assert!(r.score_index("p1").is_some());
 
-        // Insert a new best row: the cached index is dropped and rebuilt, so
-        // the new row must surface as the top result (a stale index would
-        // silently miss it).
+        // Insert a new best row: the index is kept (it still covers its
+        // epoch prefix) and lags the table by exactly the new row.
         r.insert(vec![Value::from(1), Value::from(0.999), Value::from(true)])
             .unwrap();
-        assert!(
-            r.score_index("p1").is_none(),
-            "insert must drop the stale index"
-        );
+        let kept = r.score_index("p1").expect("insert must keep the index");
+        assert_eq!(kept.indexed_rows(), 10, "kept index covers its epoch");
+
+        // The next execution extends the index over the missing suffix, so
+        // the new row must surface as the top result (a silently stale
+        // index would miss it).
         let result = execute_plan(&plan, &cat, &query.ranking).unwrap();
         let top = query.ranking.upper_bound(&result.tuples[0].state).value();
         let n = query.ranking.num_predicates() as f64;
         assert!((top - (0.999 + (n - 1.0))).abs() < 1e-9, "top={top}");
+        assert_eq!(r.score_index("p1").unwrap().indexed_rows(), 11);
     }
 
     #[test]
-    fn stale_cached_index_is_rebuilt_not_fatal() {
+    fn lagging_cached_index_is_extended_not_fatal() {
         let (cat, query) = setup(10);
         let r = cat.table("R").unwrap();
         let pred = query.ranking.predicate(0);
-        // Simulate the insert/cache race: an index built before an insert
-        // ends up cached on the table after it.
-        let stale = ScoreIndex::build(pred, r.schema(), &r.scan()).unwrap();
+        // An index built before an insert is cached after it: a valid
+        // prefix epoch, lagging the table by one row.
+        let lagging = ScoreIndex::build(pred, r.schema(), &r.scan()).unwrap();
         r.insert(vec![Value::from(1), Value::from(0.999), Value::from(true)])
             .unwrap();
-        r.add_score_index(stale);
+        r.add_score_index(lagging);
         assert_ne!(r.score_index("p1").unwrap().indexed_rows(), r.row_count());
 
-        // The executor must treat the stale cache entry like a missing
-        // index: rebuild, swap it in, and return the current top row.
+        // The executor extends the cached prefix over the missing suffix
+        // and returns the current top row.
         let plan = ranksql_algebra::LogicalPlan::rank_scan(&r, 0).limit(1);
         let result = execute_plan(&plan, &cat, &query.ranking).unwrap();
         let top = query.ranking.upper_bound(&result.tuples[0].state).value();

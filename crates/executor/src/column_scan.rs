@@ -28,11 +28,13 @@ use std::ops::Range;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-use ranksql_common::{Result, Schema};
+use ranksql_common::{Result, Schema, Tuple};
 use ranksql_expr::{
     BoolExpr, BoundBoolExpr, CompareOp, RankedTuple, RankingContext, ScalarExpr, ScoreSource,
 };
-use ranksql_storage::{cmp_f64_total, ColumnSlice, ColumnTable, ColumnZones};
+use ranksql_storage::{
+    cmp_f64_total, ColumnKind, ColumnSlice, ColumnTable, TableEpoch, ZoneEntry, COLUMN_BLOCK_ROWS,
+};
 
 use crate::context::{ExecutionContext, TopKThreshold, TupleBudget};
 use crate::kernel;
@@ -103,14 +105,14 @@ fn compile_conjunct(
         _ => return None,
     };
     let col = col_ref.resolve(schema).ok()?;
-    match (table.column_slice(col), value) {
-        (ColumnSlice::Int64(_), ranksql_common::Value::Int64(v)) => {
+    match (table.column_kind(col), value) {
+        (ColumnKind::Int64, ranksql_common::Value::Int64(v)) => {
             Some(TypedCompare::I64 { col, op, rhs: *v })
         }
-        (ColumnSlice::Int64(_), ranksql_common::Value::Float64(v)) => {
+        (ColumnKind::Int64, ranksql_common::Value::Float64(v)) => {
             Some(TypedCompare::I64AsF64 { col, op, rhs: *v })
         }
-        (ColumnSlice::Float64(_), v) => v
+        (ColumnKind::Float64, v) => v
             .as_f64()
             .filter(|_| v.data_type().is_numeric())
             .map(|rhs| TypedCompare::F64 { col, op, rhs }),
@@ -124,74 +126,77 @@ impl TypedCompare {
     /// the branch-free chunked kernels of [`crate::kernel`] (semantics
     /// identical to the `Value` comparison the row-backend `Filter` would
     /// perform, including `cmp_f64_total` NaN / signed-zero handling).
+    /// `range` never spans a sealed-block boundary (the chunked filter
+    /// clamps to the admitted block's end), so it maps onto one block slice.
     fn filter_range_into(&self, table: &ColumnTable, range: Range<usize>, sel: &mut Vec<u32>) {
+        let block = range.start / COLUMN_BLOCK_ROWS;
+        let block_start = block * COLUMN_BLOCK_ROWS;
+        let local = (range.start - block_start)..(range.end - block_start);
         let base = range.start as u32;
         match *self {
             TypedCompare::I64 { col, op, rhs } => {
-                let ColumnSlice::Int64(v) = table.column_slice(col) else {
+                let ColumnSlice::Int64(v) = table.block_slice(col, block) else {
                     unreachable!("compiled against an Int64 column");
                 };
-                kernel::select_i64(&v[range], base, sel, op, rhs);
+                kernel::select_i64(&v[local], base, sel, op, rhs);
             }
             TypedCompare::I64AsF64 { col, op, rhs } => {
-                let ColumnSlice::Int64(v) = table.column_slice(col) else {
+                let ColumnSlice::Int64(v) = table.block_slice(col, block) else {
                     unreachable!("compiled against an Int64 column");
                 };
-                kernel::select_i64_as_f64(&v[range], base, sel, op, rhs);
+                kernel::select_i64_as_f64(&v[local], base, sel, op, rhs);
             }
             TypedCompare::F64 { col, op, rhs } => {
-                let ColumnSlice::Float64(v) = table.column_slice(col) else {
+                let ColumnSlice::Float64(v) = table.block_slice(col, block) else {
                     unreachable!("compiled against a Float64 column");
                 };
-                kernel::select_f64(&v[range], base, sel, op, rhs);
+                kernel::select_f64(&v[local], base, sel, op, rhs);
             }
         }
     }
 
-    /// Retains in `sel` only the rows that also pass this comparison,
-    /// compacting the selection vector in place with branch-free writes.
-    fn filter_sel_in_place(&self, table: &ColumnTable, sel: &mut Vec<u32>) {
+    /// Retains in `sel` only the rows (table-absolute, all inside `block`)
+    /// that also pass this comparison, compacting the selection vector in
+    /// place with branch-free writes.
+    fn filter_sel_in_place(&self, table: &ColumnTable, block: usize, sel: &mut Vec<u32>) {
+        let base = (block * COLUMN_BLOCK_ROWS) as u32;
         match *self {
             TypedCompare::I64 { col, op, rhs } => {
-                let ColumnSlice::Int64(v) = table.column_slice(col) else {
+                let ColumnSlice::Int64(v) = table.block_slice(col, block) else {
                     unreachable!("compiled against an Int64 column");
                 };
-                kernel::refine_i64(v, sel, op, rhs);
+                kernel::refine_i64(v, base, sel, op, rhs);
             }
             TypedCompare::I64AsF64 { col, op, rhs } => {
-                let ColumnSlice::Int64(v) = table.column_slice(col) else {
+                let ColumnSlice::Int64(v) = table.block_slice(col, block) else {
                     unreachable!("compiled against an Int64 column");
                 };
-                kernel::refine_i64_as_f64(v, sel, op, rhs);
+                kernel::refine_i64_as_f64(v, base, sel, op, rhs);
             }
             TypedCompare::F64 { col, op, rhs } => {
-                let ColumnSlice::Float64(v) = table.column_slice(col) else {
+                let ColumnSlice::Float64(v) = table.block_slice(col, block) else {
                     unreachable!("compiled against a Float64 column");
                 };
-                kernel::refine_f64(v, sel, op, rhs);
+                kernel::refine_f64(v, base, sel, op, rhs);
             }
         }
     }
 
     /// Whether any value in `block` *may* satisfy this comparison, judged by
-    /// the block's zone map.  `true` when in doubt (no zones).
+    /// the block's zone map.  `true` when in doubt (no zone entry).
     fn block_may_match(&self, table: &ColumnTable, block: usize) -> bool {
-        let zones = table.zones(self.col());
-        match (*self, zones) {
-            (TypedCompare::I64 { op, rhs, .. }, Some(ColumnZones::Int64(z))) => {
-                let (min, max) = z[block];
+        match (*self, table.zone(self.col(), block)) {
+            (TypedCompare::I64 { op, rhs, .. }, Some(ZoneEntry::Int64(min, max))) => {
                 range_may_match(op, min.cmp(&rhs), max.cmp(&rhs))
             }
-            (TypedCompare::I64AsF64 { op, rhs, .. }, Some(ColumnZones::Int64(z))) => {
-                let (min, max) = z[block];
+            (TypedCompare::I64AsF64 { op, rhs, .. }, Some(ZoneEntry::Int64(min, max))) => {
                 range_may_match(
                     op,
                     cmp_f64_total(min as f64, rhs),
                     cmp_f64_total(max as f64, rhs),
                 )
             }
-            (TypedCompare::F64 { op, rhs, .. }, Some(ColumnZones::Float64(z))) => {
-                let (min, max) = z[block];
+            (TypedCompare::F64 { op, rhs, .. }, Some(ZoneEntry::Float64(min, max))) => {
                 range_may_match(op, cmp_f64_total(min, rhs), cmp_f64_total(max, rhs))
             }
             _ => true,
@@ -229,8 +234,16 @@ fn range_may_match(op: CompareOp, min_vs: Ordering, max_vs: Ordering) -> bool {
 /// results are byte-identical to `Filter(SeqScan)` over the row backend.
 pub struct ColumnScan {
     table: Arc<ColumnTable>,
+    /// The pinned epoch's frozen delta tail: rows past the sealed blocks,
+    /// in row layout.  Empty when scanning a full-coverage projection.
+    tail: Arc<Vec<Tuple>>,
+    /// First tail row == the sealed projection's row count.
+    sealed_end: usize,
     schema: Schema,
     filter: Option<CompiledFilter>,
+    /// The pushed filter bound for tuple-at-a-time evaluation over the tail
+    /// (row-backend semantics, which the typed kernels match exactly).
+    tail_filter: Option<BoundBoolExpr>,
     /// Top-k threshold raised by the downstream `SortLimit` (score pruning).
     prune_cell: Option<Arc<TopKThreshold>>,
     /// Per ranking predicate: the scan column its score is read from, when
@@ -281,6 +294,38 @@ impl ColumnScan {
         let metrics = exec.register(label);
         Self::build(
             table,
+            Arc::new(Vec::new()),
+            pushed_filter,
+            zone_prune,
+            exec,
+            metrics,
+            None,
+            None,
+            None,
+        )
+    }
+
+    /// Creates a columnar scan over a pinned [`TableEpoch`]: the epoch's
+    /// sealed blocks are scanned block-at-a-time (with pruning) and its
+    /// frozen delta tail is streamed row-at-a-time afterwards, so the scan
+    /// covers exactly the epoch's watermark regardless of concurrent
+    /// inserts.  The epoch must have been pinned with the columnar layout.
+    pub fn for_epoch(
+        epoch: &TableEpoch,
+        pushed_filter: Option<&BoolExpr>,
+        zone_prune: bool,
+        exec: &ExecutionContext,
+        label: impl Into<String>,
+    ) -> Result<Self> {
+        let table = Arc::clone(
+            epoch
+                .columnar()
+                .expect("ColumnScan requires an epoch pinned with the columnar layout"),
+        );
+        let metrics = exec.register(label);
+        Self::build(
+            table,
+            Arc::clone(epoch.tail()),
             pushed_filter,
             zone_prune,
             exec,
@@ -296,6 +341,7 @@ impl ColumnScan {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn for_morsel(
         table: Arc<ColumnTable>,
+        tail: Arc<Vec<Tuple>>,
         range: (usize, usize),
         pushed_filter: Option<&BoolExpr>,
         cell: Option<Arc<TopKThreshold>>,
@@ -308,6 +354,7 @@ impl ColumnScan {
         let repart = exec.register(repart_label.to_owned());
         let mut scan = Self::build(
             table,
+            tail,
             pushed_filter,
             false,
             exec,
@@ -325,7 +372,6 @@ impl ColumnScan {
     /// `table`; the morsel path creates it once per spine and hands clones
     /// to every morsel instance.
     pub(crate) fn pruned_block_map(table: &ColumnTable) -> Arc<Vec<AtomicU64>> {
-        use ranksql_storage::COLUMN_BLOCK_ROWS;
         let blocks = table.row_count().div_ceil(COLUMN_BLOCK_ROWS);
         Arc::new(
             (0..blocks.div_ceil(64))
@@ -337,6 +383,7 @@ impl ColumnScan {
     #[allow(clippy::too_many_arguments)]
     fn build(
         table: Arc<ColumnTable>,
+        tail: Arc<Vec<Tuple>>,
         pushed_filter: Option<&BoolExpr>,
         pop_cell: bool,
         exec: &ExecutionContext,
@@ -360,6 +407,10 @@ impl ColumnScan {
                 })
             }
         };
+        let tail_filter = match pushed_filter {
+            Some(f) if !tail.is_empty() => Some(f.bind(&schema)?),
+            _ => None,
+        };
         let ctx = exec.ranking_arc();
         let pred_cols = (0..ctx.num_predicates())
             .map(|i| match &ctx.predicate(i).source {
@@ -379,11 +430,14 @@ impl ColumnScan {
         });
         let pruned_blocks = pruned_blocks.unwrap_or_else(|| Self::pruned_block_map(&table));
         Ok(ColumnScan {
-            end: table.row_count(),
+            end: table.row_count() + tail.len(),
+            sealed_end: table.row_count(),
             pruned_blocks,
             table,
+            tail,
             schema,
             filter,
+            tail_filter,
             prune_cell,
             pred_cols,
             ctx,
@@ -443,8 +497,8 @@ impl ColumnScan {
     /// once per block here); returns `false` when the scan range is
     /// exhausted.
     fn advance_block(&mut self) -> Result<bool> {
-        use ranksql_storage::COLUMN_BLOCK_ROWS;
-        while self.pos < self.end {
+        let sealed_end = self.sealed_end.min(self.end);
+        while self.pos < sealed_end {
             let block = self.pos / COLUMN_BLOCK_ROWS;
             let block_rows = self.table.block_rows(block);
             let end = block_rows.end.min(self.end);
@@ -487,13 +541,14 @@ impl ColumnScan {
             .min(self.block_end);
         self.sel.clear();
         self.sel_pos = 0;
+        let block = self.pos / COLUMN_BLOCK_ROWS;
         let (first, rest) = cmps.split_first().expect("typed filter is non-empty");
         first.filter_range_into(&self.table, self.pos..chunk_end, &mut self.sel);
         for c in rest {
             if self.sel.is_empty() {
                 break;
             }
-            c.filter_sel_in_place(&self.table, &mut self.sel);
+            c.filter_sel_in_place(&self.table, block, &mut self.sel);
         }
         let examined = (chunk_end - self.pos) as u64;
         self.pos = chunk_end;
@@ -520,7 +575,21 @@ impl ColumnScan {
         let mut examined: u64 = 0;
         while out.len() - before < max {
             if !self.block_has_pending() && !self.advance_block()? {
-                break;
+                // Sealed blocks exhausted: stream the epoch's frozen delta
+                // tail row-at-a-time (row layout, per-row budget charge —
+                // exactly the row backend's granularity).
+                if self.pos >= self.end {
+                    break;
+                }
+                let row = self.pos;
+                self.pos += 1;
+                examined += 1;
+                let tuple = self.tail[row - self.sealed_end].clone();
+                match &self.tail_filter {
+                    Some(bound) if !bound.eval(&tuple)? => {}
+                    _ => out.push(RankedTuple::unranked(tuple, n_preds)),
+                }
+                continue;
             }
             let want = max - (out.len() - before);
             match &self.filter {
@@ -734,6 +803,59 @@ mod tests {
         let got = drain_batched(&mut scan, 8).unwrap();
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].tuple.value(0), &Value::from("b"));
+    }
+
+    #[test]
+    fn epoch_scan_streams_sealed_blocks_plus_frozen_tail() {
+        let t = table(1200);
+        let _ = t.columnar(); // seal coverage at 1200
+        for i in 1200..1500usize {
+            t.insert(vec![
+                Value::from(i as i64),
+                Value::from(((i * 37) % 100) as f64 / 100.0),
+            ])
+            .unwrap();
+        }
+        // No seal boundary was crossed, so the pinned epoch carries a
+        // genuine 300-row tail past the sealed blocks.
+        let epoch = t.pin_epoch(true);
+        assert_eq!(epoch.row_count(), 1500);
+        assert_eq!(epoch.tail().len(), 300);
+
+        let exec = ExecutionContext::new(ctx());
+        let mut scan = ColumnScan::for_epoch(&epoch, None, false, &exec, "cs").unwrap();
+        let got = drain_batched(&mut scan, 256).unwrap();
+        assert_eq!(got.len(), 1500);
+        for (i, g) in got.iter().enumerate() {
+            assert_eq!(g.tuple.value(0), &Value::from(i as i64), "storage order");
+        }
+
+        // A pushed filter applies identically to sealed rows (typed
+        // kernels) and tail rows (bound row-semantics evaluation).
+        let filter = BoolExpr::compare(
+            ScalarExpr::col("T.p"),
+            CompareOp::GtEq,
+            ScalarExpr::lit(0.5),
+        );
+        let exec2 = ExecutionContext::new(ctx());
+        let mut scan2 = ColumnScan::for_epoch(&epoch, Some(&filter), false, &exec2, "cs").unwrap();
+        let got2 = drain_batched(&mut scan2, 256).unwrap();
+        let want: Vec<u64> = (0..1500u64)
+            .filter(|i| ((i * 37) % 100) as f64 / 100.0 >= 0.5)
+            .collect();
+        assert_eq!(got2.len(), want.len());
+        assert!(got2
+            .iter()
+            .zip(&want)
+            .all(|(g, &w)| g.tuple.value(0) == &Value::from(w as i64)));
+        assert_eq!(exec2.budget().used(), 1500, "tail rows are charged per row");
+
+        // Inserts after the pin are invisible to the epoch.
+        t.insert(vec![Value::from(9999i64), Value::from(0.99)])
+            .unwrap();
+        let exec3 = ExecutionContext::new(ctx());
+        let mut scan3 = ColumnScan::for_epoch(&epoch, None, false, &exec3, "cs").unwrap();
+        assert_eq!(drain_batched(&mut scan3, 512).unwrap().len(), 1500);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use ranksql_common::{
     MAX_THREADS,
 };
 use ranksql_expr::RankingContext;
+use ranksql_storage::{EpochSet, Table, TableEpoch};
 
 use crate::metrics::{MetricsRegistry, OperatorMetrics};
 
@@ -173,6 +174,11 @@ pub struct ExecutionContext {
     /// sees the same stack; strictly nested because the verified spine
     /// pattern is a linear operator chain.
     prune_cells: Arc<Mutex<Vec<Arc<TopKThreshold>>>>,
+    /// The MVCC snapshot of this execution: at most one pinned
+    /// [`TableEpoch`] per table, taken lazily on first access and shared by
+    /// every scan (and every morsel instance) of the plan, so all access
+    /// paths of one execution read the same row-count watermark.
+    epochs: Arc<EpochSet>,
     /// Zone-map prune events during this execution (block ranges skipped by
     /// filter or score pruning), aggregated across all scans and workers.
     /// Deduplicated per (scan, block): each scan spine carries a block
@@ -195,9 +201,31 @@ impl ExecutionContext {
             threads: default_thread_count(),
             morsel_size: DEFAULT_MORSEL_SIZE,
             preset: None,
+            epochs: Arc::new(EpochSet::new()),
             prune_cells: Arc::new(Mutex::new(Vec::new())),
             blocks_pruned: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Replaces the execution's epoch set — used when epochs were pinned
+    /// before the context existed (e.g. `Cursor::open` pins while computing
+    /// zone-map score caps, then builds the context with the same set so
+    /// operators read the very snapshot the caps were derived from).
+    pub fn with_epochs(mut self, epochs: Arc<EpochSet>) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// The execution's epoch set.
+    pub fn epochs(&self) -> &Arc<EpochSet> {
+        &self.epochs
+    }
+
+    /// The pinned epoch for `table` (pinned on first access; see
+    /// [`EpochSet::pin`]).  Every scan of the execution resolves its rows
+    /// through this, so concurrent inserts never shift what it reads.
+    pub fn pin_epoch(&self, table: &Table, with_columnar: bool) -> Arc<TableEpoch> {
+        self.epochs.pin(table, with_columnar)
     }
 
     /// Like [`ExecutionContext::new`] but aborting execution after the scans

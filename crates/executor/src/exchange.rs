@@ -156,6 +156,9 @@ enum SpineNode {
     /// by any worker prunes blocks for every worker.
     MorselColumnar {
         table: Arc<ranksql_storage::ColumnTable>,
+        /// The pinned epoch's frozen delta tail (rows past the sealed
+        /// blocks); the morsel space covers sealed rows + tail.
+        tail: Arc<Vec<Tuple>>,
         pushed_filter: Option<BoolExpr>,
         cell: Option<Arc<TopKThreshold>>,
         /// Spine-wide prune-dedup bitmap: a block overlapping several
@@ -217,7 +220,7 @@ impl SpineNode {
     fn base_rows(&self) -> usize {
         match self {
             SpineNode::Morsel { rows, .. } => rows.len(),
-            SpineNode::MorselColumnar { table, .. } => table.row_count(),
+            SpineNode::MorselColumnar { table, tail, .. } => table.row_count() + tail.len(),
             SpineNode::Filter { input, .. }
             | SpineNode::Project { input, .. }
             | SpineNode::Sort { input, .. }
@@ -261,6 +264,7 @@ impl SpineNode {
             ))),
             SpineNode::MorselColumnar {
                 table,
+                tail,
                 pushed_filter,
                 cell,
                 pruned_blocks,
@@ -269,6 +273,7 @@ impl SpineNode {
                 ..
             } => Ok(Box::new(ColumnScan::for_morsel(
                 Arc::clone(table),
+                Arc::clone(tail),
                 range,
                 pushed_filter.as_ref(),
                 cell.clone(),
@@ -396,18 +401,31 @@ fn prepare_spine(
             let scan_label = input.node_label(Some(exec.ranking()));
             handles.push(exec.register(scan_label.clone()));
             handles.push(exec.register(label.clone()));
+            // The spine resolves against the execution's pinned epoch, so
+            // every morsel (and every other access path of this execution)
+            // reads the same row-count watermark no matter how many rows
+            // writers append while the exchange runs.
             match columnar {
-                None => Ok(SpineNode::Morsel {
-                    rows: Arc::new(table.scan()),
-                    schema: table.schema().clone(),
-                    scan_label,
-                    repart_label: label,
-                }),
+                None => {
+                    let epoch = exec.pin_epoch(&table, false);
+                    Ok(SpineNode::Morsel {
+                        rows: Arc::new(table.scan_prefix(epoch.row_count())),
+                        schema: table.schema().clone(),
+                        scan_label,
+                        repart_label: label,
+                    })
+                }
                 Some(c) => {
-                    let columnar = table.columnar();
+                    let epoch = exec.pin_epoch(&table, true);
+                    let columnar = Arc::clone(
+                        epoch
+                            .columnar()
+                            .expect("columnar spine requires a columnar epoch"),
+                    );
                     let pruned_blocks = ColumnScan::pruned_block_map(&columnar);
                     Ok(SpineNode::MorselColumnar {
                         table: columnar,
+                        tail: Arc::clone(epoch.tail()),
                         pushed_filter: c.pushed_filter.clone(),
                         cell: c.zone_prune.then(|| Arc::new(TopKThreshold::new())),
                         pruned_blocks,

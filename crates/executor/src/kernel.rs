@@ -67,13 +67,15 @@ fn select_into<T: Copy>(
 
 /// Keeps in `sel` only the rows whose value passes `keep`, compacting in
 /// place with the same branch-free cursor advance as [`select_into`].
+/// `sel` holds table-absolute row numbers; `vals` is the slice starting at
+/// row `base` (a sealed block), so each row indexes at `row - base`.
 #[inline]
-fn refine_sel<T: Copy>(vals: &[T], sel: &mut Vec<u32>, keep: impl Fn(T) -> bool + Copy) {
+fn refine_sel<T: Copy>(vals: &[T], base: u32, sel: &mut Vec<u32>, keep: impl Fn(T) -> bool + Copy) {
     let mut n = 0usize;
     for i in 0..sel.len() {
         let row = sel[i];
         sel[n] = row;
-        n += keep(vals[row as usize]) as usize;
+        n += keep(vals[(row - base) as usize]) as usize;
     }
     sel.truncate(n);
 }
@@ -92,16 +94,17 @@ pub fn select_i64(vals: &[i64], base: u32, sel: &mut Vec<u32>, op: CompareOp, rh
     }
 }
 
-/// `Int64` column vs `Int64` constant: refines `sel` in place.
+/// `Int64` column vs `Int64` constant: refines `sel` in place (`vals`
+/// starts at row `base`; `sel` rows are table-absolute).
 #[inline]
-pub fn refine_i64(vals: &[i64], sel: &mut Vec<u32>, op: CompareOp, rhs: i64) {
+pub fn refine_i64(vals: &[i64], base: u32, sel: &mut Vec<u32>, op: CompareOp, rhs: i64) {
     match op {
-        CompareOp::Eq => refine_sel(vals, sel, move |x| x == rhs),
-        CompareOp::NotEq => refine_sel(vals, sel, move |x| x != rhs),
-        CompareOp::Lt => refine_sel(vals, sel, move |x| x < rhs),
-        CompareOp::LtEq => refine_sel(vals, sel, move |x| x <= rhs),
-        CompareOp::Gt => refine_sel(vals, sel, move |x| x > rhs),
-        CompareOp::GtEq => refine_sel(vals, sel, move |x| x >= rhs),
+        CompareOp::Eq => refine_sel(vals, base, sel, move |x| x == rhs),
+        CompareOp::NotEq => refine_sel(vals, base, sel, move |x| x != rhs),
+        CompareOp::Lt => refine_sel(vals, base, sel, move |x| x < rhs),
+        CompareOp::LtEq => refine_sel(vals, base, sel, move |x| x <= rhs),
+        CompareOp::Gt => refine_sel(vals, base, sel, move |x| x > rhs),
+        CompareOp::GtEq => refine_sel(vals, base, sel, move |x| x >= rhs),
     }
 }
 
@@ -178,10 +181,13 @@ pub fn select_f64(vals: &[f64], base: u32, sel: &mut Vec<u32>, op: CompareOp, rh
     ))
 }
 
-/// `Float64` column vs numeric constant: refines `sel` in place.
+/// `Float64` column vs numeric constant: refines `sel` in place (`vals`
+/// starts at row `base`; `sel` rows are table-absolute).
 #[inline]
-pub fn refine_f64(vals: &[f64], sel: &mut Vec<u32>, op: CompareOp, rhs: f64) {
-    with_f64_total_kernel!(op, rhs, |x: f64| x, |keep| refine_sel(vals, sel, keep))
+pub fn refine_f64(vals: &[f64], base: u32, sel: &mut Vec<u32>, op: CompareOp, rhs: f64) {
+    with_f64_total_kernel!(op, rhs, |x: f64| x, |keep| refine_sel(
+        vals, base, sel, keep
+    ))
 }
 
 /// `Int64` column vs `Float64` constant (compared as `f64`, the engine's
@@ -193,11 +199,12 @@ pub fn select_i64_as_f64(vals: &[i64], base: u32, sel: &mut Vec<u32>, op: Compar
     ))
 }
 
-/// `Int64` column vs `Float64` constant: refines `sel` in place.
+/// `Int64` column vs `Float64` constant: refines `sel` in place (`vals`
+/// starts at row `base`; `sel` rows are table-absolute).
 #[inline]
-pub fn refine_i64_as_f64(vals: &[i64], sel: &mut Vec<u32>, op: CompareOp, rhs: f64) {
+pub fn refine_i64_as_f64(vals: &[i64], base: u32, sel: &mut Vec<u32>, op: CompareOp, rhs: f64) {
     with_f64_total_kernel!(op, rhs, |x: i64| x as f64, |keep| refine_sel(
-        vals, sel, keep
+        vals, base, sel, keep
     ))
 }
 
@@ -242,13 +249,15 @@ mod tests {
                 }
                 assert_eq!(got, want, "select op {op:?} rhs {rhs}");
 
-                let mut sel: Vec<u32> = (0..vals.len() as u32).step_by(3).collect();
+                // Refine against a block starting at row 10: sel carries
+                // table-absolute rows, the kernel rebases into the slice.
+                let mut sel: Vec<u32> = (10..10 + vals.len() as u32).step_by(3).collect();
                 let oracle: Vec<u32> = sel
                     .iter()
                     .copied()
-                    .filter(|&r| op_matches(op, vals[r as usize].cmp(&rhs)))
+                    .filter(|&r| op_matches(op, vals[(r - 10) as usize].cmp(&rhs)))
                     .collect();
-                refine_i64(&vals, &mut sel, op, rhs);
+                refine_i64(&vals, 10, &mut sel, op, rhs);
                 assert_eq!(sel, oracle, "refine op {op:?} rhs {rhs}");
             }
         }
@@ -281,7 +290,7 @@ mod tests {
                 assert_eq!(got, want, "select op {op:?} rhs {rhs}");
 
                 let mut sel: Vec<u32> = (0..vals.len() as u32).collect();
-                refine_f64(&vals, &mut sel, op, rhs);
+                refine_f64(&vals, 0, &mut sel, op, rhs);
                 assert_eq!(sel, want, "refine op {op:?} rhs {rhs}");
             }
         }
@@ -308,7 +317,7 @@ mod tests {
                     .copied()
                     .filter(|&r| op_matches(op, cmp_f64_total(vals[r as usize] as f64, rhs)))
                     .collect();
-                refine_i64_as_f64(&vals, &mut sel, op, rhs);
+                refine_i64_as_f64(&vals, 0, &mut sel, op, rhs);
                 assert_eq!(sel, oracle, "refine op {op:?} rhs {rhs}");
             }
         }

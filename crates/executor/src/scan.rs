@@ -20,7 +20,8 @@ use crate::operator::{Batch, PhysicalOperator};
 /// The scan consumes its snapshot by value: the snapshot itself is the only
 /// copy made, and each `next()` *moves* a tuple out instead of cloning it —
 /// the `operators_micro` bench records the delta against the historical
-/// clone-per-tuple scheme.
+/// clone-per-tuple scheme.  The snapshot is the execution's pinned epoch
+/// prefix, so concurrent inserts are invisible to an open scan.
 pub struct SeqScan {
     schema: Schema,
     tuples: std::vec::IntoIter<ranksql_common::Tuple>,
@@ -30,11 +31,13 @@ pub struct SeqScan {
 }
 
 impl SeqScan {
-    /// Creates a sequential scan over `table`.
+    /// Creates a sequential scan over `table` at the execution's pinned
+    /// epoch (pinned on first access).
     pub fn new(table: &Table, exec: &ExecutionContext, label: impl Into<String>) -> Self {
+        let epoch = exec.pin_epoch(table, false);
         SeqScan {
             schema: table.schema().clone(),
-            tuples: table.scan().into_iter(),
+            tuples: table.scan_prefix(epoch.row_count()).into_iter(),
             ctx: exec.ranking_arc(),
             metrics: exec.register(label),
             budget: Arc::clone(exec.budget()),
@@ -107,7 +110,8 @@ pub struct RankScan {
 impl RankScan {
     /// Creates a rank-scan over `table` for the context predicate `predicate`
     /// using `index` (which must cover that predicate and be current for the
-    /// table's row count).
+    /// execution's pinned epoch — the plan builder extends lagging indexes
+    /// over the missing row suffix before handing them here).
     pub fn new(
         table: Arc<Table>,
         index: Arc<ScoreIndex>,
@@ -123,13 +127,14 @@ impl RankScan {
                 index.predicate_name()
             )));
         }
-        if index.indexed_rows() != table.row_count() {
+        let watermark = exec.pin_epoch(&table, false).row_count();
+        if index.indexed_rows() != watermark {
             return Err(RankSqlError::Catalog(format!(
-                "score index on `{}` of table `{}` is stale: built over {} rows, table now has {}",
+                "score index on `{}` of table `{}` is stale: built over {} rows, epoch has {}",
                 index.predicate_name(),
                 table.name(),
                 index.indexed_rows(),
-                table.row_count()
+                watermark
             )));
         }
         Ok(RankScan {
@@ -225,20 +230,22 @@ pub struct AttributeIndexScan {
 
 impl AttributeIndexScan {
     /// Creates an ordered attribute scan; the index must be current for the
-    /// table's row count.
+    /// execution's pinned epoch (the plan builder extends lagging indexes
+    /// over the missing row suffix before handing them here).
     pub fn new(
         table: Arc<Table>,
         index: Arc<BTreeIndex>,
         exec: &ExecutionContext,
         label: impl Into<String>,
     ) -> Result<Self> {
-        if index.indexed_rows() != table.row_count() {
+        let watermark = exec.pin_epoch(&table, false).row_count();
+        if index.indexed_rows() != watermark {
             return Err(RankSqlError::Catalog(format!(
-                "attribute index on `{}` of table `{}` is stale: built over {} rows, table now has {}",
+                "attribute index on `{}` of table `{}` is stale: built over {} rows, epoch has {}",
                 index.column_name(),
                 table.name(),
                 index.indexed_rows(),
-                table.row_count()
+                watermark
             )));
         }
         Ok(AttributeIndexScan {

@@ -1,17 +1,26 @@
 //! Column-major table storage with per-block zone maps.
 //!
 //! A [`ColumnTable`] is the columnar projection of a row-major
-//! [`Table`]: every attribute is stored in its own dense,
-//! type-specialised vector, logically split into fixed-size blocks of
-//! [`COLUMN_BLOCK_ROWS`] rows.  For each *purely numeric* column every block
-//! carries a **zone map** — the min/max of the block's values — which lets a
-//! columnar scan skip whole blocks:
+//! [`Table`]: every attribute is stored type-specialised inside immutable
+//! **sealed blocks** of [`COLUMN_BLOCK_ROWS`] rows.  For each *purely
+//! numeric* column a block carries a **zone map** — the min/max of the
+//! block's values — which lets a columnar scan skip whole blocks:
 //!
 //! * **filter pruning** — a pushed-down comparison (`σ p1 ≥ 0.9`) skips
 //!   blocks whose value range cannot satisfy the predicate;
 //! * **score pruning** — a top-k consumer skips blocks whose *maximal
 //!   possible query score* (the scoring function over the blocks' clamped
 //!   score maxima) cannot beat the current k-th best score.
+//!
+//! Blocks are the unit of immutability of the MVCC write path: a
+//! `ColumnTable` is a persistent (in the functional-data-structure sense)
+//! list of `Arc`-shared blocks, so sealing the next 1024 appended rows
+//! produces a *new* `ColumnTable` that reuses every previously sealed block
+//! untouched ([`ColumnTable::resealed`]) — readers holding an older epoch's
+//! projection keep scanning their own block list while writers publish new
+//! ones.  Only a trailing *partial* block (rows past the last 1024-row
+//! boundary at bulk-build time) is ever replaced, once, by its completed
+//! version.
 //!
 //! The layout follows the buffer/block structure of classic columnar engines
 //! (fixed-row blocks, per-block metadata); the executor's `ColumnScan` fills
@@ -21,12 +30,14 @@
 
 use std::fmt;
 use std::ops::Range;
+use std::sync::Arc;
 
-use ranksql_common::{Schema, Tuple, TupleId, Value};
+use ranksql_common::{DataType, Schema, Tuple, TupleId, Value};
 
 use crate::table::Table;
 
-/// Rows per columnar block (the zone-map granularity).
+/// Rows per columnar block (the zone-map granularity and the seal boundary
+/// of the incremental write path).
 pub const COLUMN_BLOCK_ROWS: usize = 1024;
 
 /// Which physical layout a table (or a scan over it) uses.
@@ -55,91 +66,160 @@ impl fmt::Display for StorageBackend {
     }
 }
 
-/// Per-block min/max of one numeric column, in the column's native type.
+/// The storage type of a column, uniform across every block of one
+/// `ColumnTable` version (a block whose values do not fit the established
+/// type demotes the whole column to [`ColumnKind::Generic`], which routes
+/// scans to the untyped fallback path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// Every value is `Value::Int64`.
+    Int64,
+    /// Every value is `Value::Float64`.
+    Float64,
+    /// Mixed types, strings, booleans or NULLs — stored as dynamic values
+    /// (no typed kernels: cross-type range pruning is handled per block).
+    Generic,
+}
+
+/// The min/max zone of one numeric column within one block, in the column's
+/// native type.
 ///
 /// Int64 zones stay exact (no float rounding), so integer pushed filters can
 /// prune without conservative widening.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ColumnZones<'a> {
-    /// Zones of an `Int64` column.
-    Int64(&'a [(i64, i64)]),
-    /// Zones of a `Float64` column.  `NaN` values are folded with the same
+pub enum ZoneEntry {
+    /// Zone of an `Int64` block.
+    Int64(i64, i64),
+    /// Zone of a `Float64` block.  `NaN` values are folded with the same
     /// total order [`Value`] uses (`NaN` sorts greatest), so the max
     /// dominates every value the way `Value` comparisons see them.
-    Float64(&'a [(f64, f64)]),
+    Float64(f64, f64),
 }
 
-/// Type-specialised column storage.
+/// Type-specialised storage of one column within one block.
 #[derive(Debug)]
-enum ColumnData {
-    /// Every value is `Value::Int64`.
+enum BlockData {
     Int64(Vec<i64>),
-    /// Every value is `Value::Float64`.
     Float64(Vec<f64>),
-    /// Mixed types, strings, booleans or NULLs — stored as dynamic values
-    /// (no zone maps: range pruning over mixed types is unsound under the
-    /// cross-type total order).
     Generic(Vec<Value>),
 }
 
-/// A borrowed view of one column's values.
+impl BlockData {
+    fn kind(&self) -> ColumnKind {
+        match self {
+            BlockData::Int64(_) => ColumnKind::Int64,
+            BlockData::Float64(_) => ColumnKind::Float64,
+            BlockData::Generic(_) => ColumnKind::Generic,
+        }
+    }
+}
+
+/// A borrowed view of one column's values within one block.
 #[derive(Debug, Clone, Copy)]
 pub enum ColumnSlice<'a> {
     /// Dense `i64` values.
     Int64(&'a [i64]),
     /// Dense `f64` values.
     Float64(&'a [f64]),
-    /// Dynamic values (mixed / non-numeric columns).
+    /// Dynamic values (mixed / non-numeric blocks).
     Generic(&'a [Value]),
 }
 
-/// One column: its data plus per-block zone metadata (numeric columns only).
+/// One column of a sealed block: its data plus zone metadata (numeric
+/// blocks only).
 #[derive(Debug)]
-struct Column {
-    data: ColumnData,
-    /// Raw per-block min/max in the native type (`None` for generic
-    /// columns).
-    zones_i64: Option<Vec<(i64, i64)>>,
-    zones_f64: Option<Vec<(f64, f64)>>,
-    /// Per-block maximum of the column's values *as ranking scores*:
-    /// clamped into `[0, 1]`, `NaN` ignored (a `NaN` score sorts below every
-    /// ranked tuple, so it never lifts a block's score bound).
-    /// `f64::NEG_INFINITY` for empty blocks.  `None` for generic columns.
-    score_max: Option<Vec<f64>>,
+struct BlockColumn {
+    data: BlockData,
+    /// Min/max of the block's values in the native type (`None` for
+    /// generic blocks).
+    zone: Option<ZoneEntry>,
+    /// Maximum of the block's values *as a ranking score*: clamped into
+    /// `[0, 1]`, `NaN` ignored (a `NaN` score sorts below every ranked
+    /// tuple, so it never lifts a block's score bound).
+    /// `f64::NEG_INFINITY` for empty blocks.  `None` for generic blocks.
+    score_max: Option<f64>,
 }
 
-/// The columnar projection of a [`Table`]: per-attribute vectors in
-/// fixed-size blocks, each numeric column carrying per-block zone maps.
+/// An immutable block of up to [`COLUMN_BLOCK_ROWS`] rows: per-column typed
+/// vectors with zone maps and score maxima, built once at seal time and
+/// never touched again.
+#[derive(Debug)]
+pub struct SealedBlock {
+    rows: usize,
+    columns: Vec<BlockColumn>,
+}
+
+/// The columnar projection of a [`Table`]: `Arc`-shared sealed blocks, each
+/// numeric column carrying per-block zone maps.
 ///
-/// Built once from a row snapshot (see [`Table::columnar`], which caches the
-/// projection and invalidates it on insert, like the table's indexes) and
-/// shared read-only across scans.
+/// Built from a row snapshot on first use (see [`Table::columnar`]) and then
+/// maintained incrementally: every 1024 appended rows the table seals one
+/// new block and publishes a new `ColumnTable` that shares all previously
+/// sealed blocks ([`ColumnTable::resealed`]).  Handles are shared read-only
+/// across scans; a handle pinned in a [`TableEpoch`](crate::TableEpoch)
+/// stays valid forever.
 #[derive(Debug)]
 pub struct ColumnTable {
     table_id: u32,
     name: String,
     schema: Schema,
     row_count: usize,
-    columns: Vec<Column>,
+    /// Per-column storage kind, the fold of every block's kind (`Generic`
+    /// when blocks disagree).  Typed scan kernels only engage on columns
+    /// whose kind is uniform and numeric.
+    kinds: Vec<ColumnKind>,
+    blocks: Vec<Arc<SealedBlock>>,
 }
 
 impl ColumnTable {
     /// Builds the columnar projection of a row table (one full snapshot
     /// scan).
     pub fn from_table(table: &Table) -> Self {
-        let rows = table.scan();
-        let schema = table.schema().clone();
+        ColumnTable::from_rows(table.id(), table.name(), table.schema(), &table.scan())
+    }
+
+    /// Builds a projection covering exactly `rows` (block-chunked; the last
+    /// block may be partial).
+    pub fn from_rows(table_id: u32, name: &str, schema: &Schema, rows: &[Tuple]) -> Self {
         let n_cols = schema.len();
-        let mut columns = Vec::with_capacity(n_cols);
-        for col in 0..n_cols {
-            columns.push(build_column(&rows, col));
-        }
+        let blocks: Vec<Arc<SealedBlock>> = rows
+            .chunks(COLUMN_BLOCK_ROWS)
+            .map(|chunk| Arc::new(build_block(chunk, n_cols)))
+            .collect();
+        let kinds = fold_kinds(&blocks, schema);
         ColumnTable {
-            table_id: table.id(),
-            name: table.name().to_owned(),
-            schema,
+            table_id,
+            name: name.to_owned(),
+            schema: schema.clone(),
             row_count: rows.len(),
-            columns,
+            kinds,
+            blocks,
+        }
+    }
+
+    /// A new version of this projection covering `rows[..coverage]`,
+    /// sharing every already-sealed *full* block untouched and building
+    /// only the blocks past them — the incremental seal step of the write
+    /// path.  A trailing partial block of `self` (possible after a bulk
+    /// build at a non-aligned row count) is replaced by its completed
+    /// version; full blocks are never rebuilt.
+    pub fn resealed(&self, rows: &[Tuple], coverage: usize) -> ColumnTable {
+        debug_assert!(coverage <= rows.len());
+        let full_blocks = (self.row_count / COLUMN_BLOCK_ROWS).min(coverage / COLUMN_BLOCK_ROWS);
+        let keep_rows = full_blocks * COLUMN_BLOCK_ROWS;
+        let n_cols = self.schema.len();
+        let mut blocks: Vec<Arc<SealedBlock>> = self.blocks[..full_blocks].to_vec();
+        for chunk in rows[keep_rows..coverage].chunks(COLUMN_BLOCK_ROWS) {
+            blocks.push(Arc::new(build_block(chunk, n_cols)));
+        }
+        let kinds = fold_kinds(&blocks, &self.schema);
+        ColumnTable {
+            table_id: self.table_id,
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            row_count: coverage,
+            kinds,
+            blocks,
         }
     }
 
@@ -165,60 +245,65 @@ impl ColumnTable {
 
     /// Number of blocks (`ceil(rows / COLUMN_BLOCK_ROWS)`).
     pub fn num_blocks(&self) -> usize {
-        self.row_count.div_ceil(COLUMN_BLOCK_ROWS)
+        self.blocks.len()
     }
 
     /// The row range of block `block`.
     pub fn block_rows(&self, block: usize) -> Range<usize> {
         let start = block * COLUMN_BLOCK_ROWS;
-        start..((start + COLUMN_BLOCK_ROWS).min(self.row_count))
+        start..(start + self.blocks[block].rows)
     }
 
-    /// A borrowed view of one column's values.
-    pub fn column_slice(&self, column: usize) -> ColumnSlice<'_> {
-        match &self.columns[column].data {
-            ColumnData::Int64(v) => ColumnSlice::Int64(v),
-            ColumnData::Float64(v) => ColumnSlice::Float64(v),
-            ColumnData::Generic(v) => ColumnSlice::Generic(v),
+    /// The storage kind of a column (uniform across blocks; `Generic` when
+    /// blocks disagree or hold non-numeric values).
+    pub fn column_kind(&self, column: usize) -> ColumnKind {
+        self.kinds[column]
+    }
+
+    /// A borrowed view of one column's values within `block`.
+    pub fn block_slice(&self, column: usize, block: usize) -> ColumnSlice<'_> {
+        match &self.blocks[block].columns[column].data {
+            BlockData::Int64(v) => ColumnSlice::Int64(v),
+            BlockData::Float64(v) => ColumnSlice::Float64(v),
+            BlockData::Generic(v) => ColumnSlice::Generic(v),
         }
     }
 
-    /// The per-block zone maps of a column (`None` for non-numeric / mixed
-    /// columns, which cannot be range-pruned soundly).
-    pub fn zones(&self, column: usize) -> Option<ColumnZones<'_>> {
-        let c = &self.columns[column];
-        if let Some(z) = &c.zones_i64 {
-            return Some(ColumnZones::Int64(z));
-        }
-        c.zones_f64.as_deref().map(ColumnZones::Float64)
+    /// The zone map of `column` within `block` (`None` for non-numeric /
+    /// mixed blocks, which cannot be range-pruned soundly).
+    pub fn zone(&self, column: usize, block: usize) -> Option<ZoneEntry> {
+        self.blocks.get(block)?.columns[column].zone
     }
 
     /// The maximal possible *ranking score* of column `column` within
     /// `block`: the block maximum clamped into `[0, 1]` (`NaN` ignored).
-    /// `None` when the column carries no zone maps.
+    /// `None` when the block carries no zone maps for the column.
     pub fn score_zone_max(&self, column: usize, block: usize) -> Option<f64> {
-        self.columns[column]
-            .score_max
-            .as_ref()
-            .and_then(|m| m.get(block).copied())
+        self.blocks.get(block)?.columns[column].score_max
     }
 
     /// The maximal possible ranking score of column `column` over the whole
     /// table (the fold of every block's [`ColumnTable::score_zone_max`]).
-    /// `None` when the column carries no zone maps.
+    /// `None` when any block cannot bound the column's scores.
     pub fn table_score_max(&self, column: usize) -> Option<f64> {
-        self.columns[column]
-            .score_max
-            .as_ref()
-            .map(|m| m.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        if self.blocks.is_empty() {
+            return (self.kinds[column] != ColumnKind::Generic).then_some(f64::NEG_INFINITY);
+        }
+        let mut acc = f64::NEG_INFINITY;
+        for b in &self.blocks {
+            acc = acc.max(b.columns[column].score_max?);
+        }
+        Some(acc)
     }
 
     /// The value at `(row, column)` (reconstructed from the typed storage).
     pub fn value(&self, row: usize, column: usize) -> Value {
-        match &self.columns[column].data {
-            ColumnData::Int64(v) => Value::Int64(v[row]),
-            ColumnData::Float64(v) => Value::Float64(v[row]),
-            ColumnData::Generic(v) => v[row].clone(),
+        let block = &self.blocks[row / COLUMN_BLOCK_ROWS];
+        let local = row % COLUMN_BLOCK_ROWS;
+        match &block.columns[column].data {
+            BlockData::Int64(v) => Value::Int64(v[local]),
+            BlockData::Float64(v) => Value::Float64(v[local]),
+            BlockData::Generic(v) => v[local].clone(),
         }
     }
 
@@ -226,20 +311,57 @@ impl ColumnTable {
     /// `(table_id, row)` — identical to the row backend's, so results are
     /// byte-compatible across backends).
     pub fn tuple(&self, row: usize) -> Tuple {
-        let mut values = Vec::with_capacity(self.columns.len());
-        for col in &self.columns {
+        let block = &self.blocks[row / COLUMN_BLOCK_ROWS];
+        let local = row % COLUMN_BLOCK_ROWS;
+        let mut values = Vec::with_capacity(block.columns.len());
+        for col in &block.columns {
             values.push(match &col.data {
-                ColumnData::Int64(v) => Value::Int64(v[row]),
-                ColumnData::Float64(v) => Value::Float64(v[row]),
-                ColumnData::Generic(v) => v[row].clone(),
+                BlockData::Int64(v) => Value::Int64(v[local]),
+                BlockData::Float64(v) => Value::Float64(v[local]),
+                BlockData::Generic(v) => v[local].clone(),
             });
         }
         Tuple::new(TupleId::base(self.table_id, row as u64), values)
     }
 }
 
-/// Classifies and packs one column, computing its zone maps.
-fn build_column(rows: &[Tuple], col: usize) -> Column {
+/// Folds the per-block column kinds into one kind per column; an empty
+/// block list (fresh table) falls back to the schema's declared types.
+fn fold_kinds(blocks: &[Arc<SealedBlock>], schema: &Schema) -> Vec<ColumnKind> {
+    (0..schema.len())
+        .map(|col| {
+            let mut it = blocks.iter().map(|b| b.columns[col].data.kind());
+            match it.next() {
+                None => match schema.fields()[col].data_type {
+                    DataType::Int64 => ColumnKind::Int64,
+                    DataType::Float64 => ColumnKind::Float64,
+                    _ => ColumnKind::Generic,
+                },
+                Some(first) => {
+                    if it.all(|k| k == first) {
+                        first
+                    } else {
+                        ColumnKind::Generic
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Seals one block: classifies and packs every column, computing its zone
+/// map and score maximum.
+fn build_block(rows: &[Tuple], n_cols: usize) -> SealedBlock {
+    SealedBlock {
+        rows: rows.len(),
+        columns: (0..n_cols)
+            .map(|col| build_block_column(rows, col))
+            .collect(),
+    }
+}
+
+/// Classifies and packs one column of one block.
+fn build_block_column(rows: &[Tuple], col: usize) -> BlockColumn {
     let mut all_i64 = true;
     let mut all_f64 = true;
     for t in rows {
@@ -264,21 +386,18 @@ fn build_column(rows: &[Tuple], col: usize) -> Column {
                 _ => unreachable!("classified as pure Int64"),
             })
             .collect();
-        let zones = per_block(&data, |chunk| {
-            let min = chunk.iter().copied().min().expect("non-empty block");
-            let max = chunk.iter().copied().max().expect("non-empty block");
-            (min, max)
+        let zone = (!data.is_empty()).then(|| {
+            let min = data.iter().copied().min().expect("non-empty block");
+            let max = data.iter().copied().max().expect("non-empty block");
+            ZoneEntry::Int64(min, max)
         });
-        let score_max = per_block(&data, |chunk| {
-            chunk
-                .iter()
-                .map(|&v| (v as f64).clamp(0.0, 1.0))
-                .fold(f64::NEG_INFINITY, f64::max)
-        });
-        Column {
-            data: ColumnData::Int64(data),
-            zones_i64: Some(zones),
-            zones_f64: None,
+        let score_max = data
+            .iter()
+            .map(|&v| (v as f64).clamp(0.0, 1.0))
+            .fold(f64::NEG_INFINITY, f64::max);
+        BlockColumn {
+            data: BlockData::Int64(data),
+            zone,
             score_max: Some(score_max),
         }
     } else if all_f64 {
@@ -291,10 +410,10 @@ fn build_column(rows: &[Tuple], col: usize) -> Column {
             .collect();
         // Fold with the same total order `Value` comparisons use: NaN sorts
         // greatest, so the max dominates every value as the filter sees it.
-        let zones = per_block(&data, |chunk| {
-            let mut min = chunk[0];
-            let mut max = chunk[0];
-            for &v in &chunk[1..] {
+        let zone = (!data.is_empty()).then(|| {
+            let mut min = data[0];
+            let mut max = data[0];
+            for &v in &data[1..] {
                 if cmp_f64_total(v, min).is_lt() {
                     min = v;
                 }
@@ -302,34 +421,25 @@ fn build_column(rows: &[Tuple], col: usize) -> Column {
                     max = v;
                 }
             }
-            (min, max)
+            ZoneEntry::Float64(min, max)
         });
-        let score_max = per_block(&data, |chunk| {
-            chunk
-                .iter()
-                .filter(|v| !v.is_nan())
-                .map(|&v| v.clamp(0.0, 1.0))
-                .fold(f64::NEG_INFINITY, f64::max)
-        });
-        Column {
-            data: ColumnData::Float64(data),
-            zones_i64: None,
-            zones_f64: Some(zones),
+        let score_max = data
+            .iter()
+            .filter(|v| !v.is_nan())
+            .map(|&v| v.clamp(0.0, 1.0))
+            .fold(f64::NEG_INFINITY, f64::max);
+        BlockColumn {
+            data: BlockData::Float64(data),
+            zone,
             score_max: Some(score_max),
         }
     } else {
-        Column {
-            data: ColumnData::Generic(rows.iter().map(|t| t.value(col).clone()).collect()),
-            zones_i64: None,
-            zones_f64: None,
+        BlockColumn {
+            data: BlockData::Generic(rows.iter().map(|t| t.value(col).clone()).collect()),
+            zone: None,
             score_max: None,
         }
     }
-}
-
-/// Maps `f` over the `COLUMN_BLOCK_ROWS`-sized chunks of a column.
-fn per_block<T, Z>(data: &[T], f: impl Fn(&[T]) -> Z) -> Vec<Z> {
-    data.chunks(COLUMN_BLOCK_ROWS).map(f).collect()
 }
 
 /// The total order over `f64` used by `Value` comparisons (`NaN` greatest),
@@ -383,25 +493,27 @@ mod tests {
         assert_eq!(c.block_rows(0), 0..COLUMN_BLOCK_ROWS);
         assert_eq!(c.block_rows(1), COLUMN_BLOCK_ROWS..COLUMN_BLOCK_ROWS + 100);
         // Int64 zones are exact.
-        match c.zones(0).unwrap() {
-            ColumnZones::Int64(z) => {
-                assert_eq!(z[0], (0, COLUMN_BLOCK_ROWS as i64 - 1));
-                assert_eq!(
-                    z[1],
-                    (COLUMN_BLOCK_ROWS as i64, COLUMN_BLOCK_ROWS as i64 + 99)
-                );
-            }
-            other => panic!("expected Int64 zones, got {other:?}"),
-        }
+        assert_eq!(
+            c.zone(0, 0),
+            Some(ZoneEntry::Int64(0, COLUMN_BLOCK_ROWS as i64 - 1))
+        );
+        assert_eq!(
+            c.zone(0, 1),
+            Some(ZoneEntry::Int64(
+                COLUMN_BLOCK_ROWS as i64,
+                COLUMN_BLOCK_ROWS as i64 + 99
+            ))
+        );
         // Float64 zones cover [0, 0.99].
-        match c.zones(1).unwrap() {
-            ColumnZones::Float64(z) => {
-                assert!(z[0].0 >= 0.0 && z[0].1 <= 0.99 + 1e-12);
+        match c.zone(1, 0).unwrap() {
+            ZoneEntry::Float64(min, max) => {
+                assert!(min >= 0.0 && max <= 0.99 + 1e-12);
             }
-            other => panic!("expected Float64 zones, got {other:?}"),
+            other => panic!("expected Float64 zone, got {other:?}"),
         }
         // Utf8 columns carry no zones.
-        assert!(c.zones(2).is_none());
+        assert_eq!(c.column_kind(2), ColumnKind::Generic);
+        assert!(c.zone(2, 0).is_none());
         assert!(c.score_zone_max(2, 0).is_none());
         // Score maxima are clamped into [0, 1].
         let s = c.score_zone_max(0, 1).unwrap();
@@ -421,10 +533,10 @@ mod tests {
             .build(0)
             .unwrap();
         let c = ColumnTable::from_table(&t);
-        match c.zones(0).unwrap() {
-            ColumnZones::Float64(z) => {
-                assert_eq!(z[0].0, 0.2);
-                assert!(z[0].1.is_nan(), "NaN sorts greatest in the value order");
+        match c.zone(0, 0).unwrap() {
+            ZoneEntry::Float64(min, max) => {
+                assert_eq!(min, 0.2);
+                assert!(max.is_nan(), "NaN sorts greatest in the value order");
             }
             other => panic!("{other:?}"),
         }
@@ -440,9 +552,46 @@ mod tests {
             .build(0)
             .unwrap();
         let c = ColumnTable::from_table(&t);
-        assert!(matches!(c.column_slice(0), ColumnSlice::Generic(_)));
-        assert!(c.zones(0).is_none());
+        assert_eq!(c.column_kind(0), ColumnKind::Generic);
+        assert!(matches!(c.block_slice(0, 0), ColumnSlice::Generic(_)));
+        assert!(c.zone(0, 0).is_none());
         assert_eq!(c.value(1, 0), Value::from(2.5));
+    }
+
+    #[test]
+    fn resealing_shares_full_blocks_and_replaces_the_partial_tail() {
+        let t = table(COLUMN_BLOCK_ROWS + 500);
+        let rows = t.scan();
+        let c = ColumnTable::from_rows(t.id(), t.name(), t.schema(), &rows);
+        assert_eq!(c.num_blocks(), 2);
+
+        // Grow the row set past the next seal boundary and reseal.
+        let more = table(2 * COLUMN_BLOCK_ROWS + 10).scan();
+        let sealed = c.resealed(&more, 2 * COLUMN_BLOCK_ROWS);
+        assert_eq!(sealed.row_count(), 2 * COLUMN_BLOCK_ROWS);
+        assert_eq!(sealed.num_blocks(), 2);
+        // Block 0 was full before the reseal: shared, not rebuilt.
+        assert!(
+            Arc::ptr_eq(&c.blocks[0], &sealed.blocks[0]),
+            "sealed blocks must be shared across versions"
+        );
+        // Block 1 was partial (500 rows): replaced by its completed version.
+        assert!(!Arc::ptr_eq(&c.blocks[1], &sealed.blocks[1]));
+        assert_eq!(sealed.block_rows(1).len(), COLUMN_BLOCK_ROWS);
+
+        // A reseal matches a from-scratch build over the same prefix.
+        let cold =
+            ColumnTable::from_rows(t.id(), t.name(), t.schema(), &more[..2 * COLUMN_BLOCK_ROWS]);
+        assert_eq!(sealed.zone(0, 1), cold.zone(0, 1));
+        assert_eq!(sealed.score_zone_max(1, 1), cold.score_zone_max(1, 1));
+        for row in [
+            0,
+            COLUMN_BLOCK_ROWS - 1,
+            COLUMN_BLOCK_ROWS,
+            2 * COLUMN_BLOCK_ROWS - 1,
+        ] {
+            assert_eq!(sealed.tuple(row).values(), cold.tuple(row).values());
+        }
     }
 
     #[test]

@@ -88,6 +88,51 @@ impl ScoreIndex {
     pub fn get(&self, i: usize) -> Option<(Score, u64)> {
         self.entries.get(i).copied()
     }
+
+    /// Extends the index over rows appended after it was built, evaluating
+    /// `predicate` only on `new_tuples` (the rows starting at table row
+    /// `first_row`, i.e. the index's coverage watermark) and merging the
+    /// two descending-sorted runs.  Cost is O(new · log new + total) —
+    /// never a from-scratch re-evaluation of already-indexed rows.
+    pub fn extended(
+        &self,
+        predicate: &RankPredicate,
+        schema: &Schema,
+        new_tuples: &[Tuple],
+        first_row: u64,
+    ) -> Result<ScoreIndex> {
+        let mut new_run = Vec::with_capacity(new_tuples.len());
+        for (i, t) in new_tuples.iter().enumerate() {
+            let score = predicate.evaluate(t, schema)?;
+            new_run.push((score, first_row + i as u64));
+        }
+        new_run.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut entries = Vec::with_capacity(self.entries.len() + new_run.len());
+        let (mut old, mut new) = (
+            self.entries.iter().peekable(),
+            new_run.into_iter().peekable(),
+        );
+        loop {
+            match (old.peek(), new.peek()) {
+                // On score ties the old run wins: its rows are < first_row,
+                // so this preserves the ascending-row tie-break.
+                (Some(&&o), Some(n)) if o.0 >= n.0 => {
+                    entries.push(o);
+                    old.next();
+                }
+                (_, Some(_)) => entries.push(new.next().unwrap()),
+                (Some(&&o), None) => {
+                    entries.push(o);
+                    old.next();
+                }
+                (None, None) => break,
+            }
+        }
+        Ok(ScoreIndex {
+            predicate_name: self.predicate_name.clone(),
+            entries,
+        })
+    }
 }
 
 /// An ordered index over an attribute (ascending `Value` order).
@@ -173,6 +218,45 @@ impl BTreeIndex {
         };
         self.entries[start..end].iter().map(|&(_, r)| r).collect()
     }
+
+    /// Extends the index over rows appended after it was built: `new_tuples`
+    /// are the rows starting at table row `first_row` (the index's coverage
+    /// watermark).  Merges the two ascending-sorted runs without touching
+    /// already-indexed entries.
+    pub fn extended(&self, new_tuples: &[Tuple], first_row: u64) -> BTreeIndex {
+        let mut new_run: Vec<(Value, u64)> = new_tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.value(self.column_index).clone(), first_row + i as u64))
+            .collect();
+        new_run.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut entries = Vec::with_capacity(self.entries.len() + new_run.len());
+        let (mut old, mut new) = (
+            self.entries.iter().peekable(),
+            new_run.into_iter().peekable(),
+        );
+        loop {
+            match (old.peek(), new.peek()) {
+                // On value ties the old run wins (its rows are < first_row),
+                // preserving the ascending-row tie-break.
+                (Some(&o), Some(n)) if o.0 <= n.0 => {
+                    entries.push(o.clone());
+                    old.next();
+                }
+                (_, Some(_)) => entries.push(new.next().unwrap()),
+                (Some(&o), None) => {
+                    entries.push(o.clone());
+                    old.next();
+                }
+                (None, None) => break,
+            }
+        }
+        BTreeIndex {
+            column_name: self.column_name.clone(),
+            column_index: self.column_index,
+            entries,
+        }
+    }
 }
 
 /// A hash index over an attribute, mapping each value to the rows holding it.
@@ -219,6 +303,24 @@ impl HashIndex {
     /// Rows matching `key`.
     pub fn lookup(&self, key: &Value) -> &[u64] {
         self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Extends the index over rows appended after it was built: `new_tuples`
+    /// are the rows starting at table row `first_row`.  Buckets gain the new
+    /// rows in ascending order (appended row ids exceed all existing ones).
+    pub fn extended(&self, new_tuples: &[Tuple], first_row: u64) -> HashIndex {
+        let mut buckets = self.buckets.clone();
+        for (i, t) in new_tuples.iter().enumerate() {
+            buckets
+                .entry(t.value(self.column_index).clone())
+                .or_default()
+                .push(first_row + i as u64);
+        }
+        HashIndex {
+            column_name: self.column_name.clone(),
+            column_index: self.column_index,
+            buckets,
+        }
     }
 }
 
@@ -293,6 +395,39 @@ mod tests {
         assert_eq!(idx.lookup(&Value::from(7)), &[] as &[u64]);
         assert_eq!(idx.column_name(), "S.a");
         assert_eq!(idx.column_index(), 0);
+    }
+
+    #[test]
+    fn extended_indexes_match_from_scratch_builds() {
+        let p = RankPredicate::attribute("p3", "S.p3");
+        let all = tuples();
+        // Build over a 4-row prefix, then extend with the remaining rows —
+        // including a score tie against an already-indexed row (0.5 at rows
+        // 2 and 6) to exercise the merge tie-break.
+        let mut rows = all.clone();
+        rows.push(Tuple::new(
+            TupleId::base(0, 6),
+            vec![Value::from(1), Value::from(0.5)],
+        ));
+        let (prefix, suffix) = rows.split_at(4);
+
+        let score = ScoreIndex::build(&p, &schema(), prefix).unwrap();
+        let ext = score.extended(&p, &schema(), suffix, 4).unwrap();
+        let cold = ScoreIndex::build(&p, &schema(), &rows).unwrap();
+        assert_eq!(ext.entries(), cold.entries());
+        assert_eq!(ext.indexed_rows(), 7);
+
+        let btree = BTreeIndex::build("S.a", &schema(), prefix).unwrap();
+        let ext = btree.extended(suffix, 4);
+        let cold = BTreeIndex::build("S.a", &schema(), &rows).unwrap();
+        assert_eq!(ext.entries(), cold.entries());
+
+        let hash = HashIndex::build("S.a", &schema(), prefix).unwrap();
+        let ext = hash.extended(suffix, 4);
+        let cold = HashIndex::build("S.a", &schema(), &rows).unwrap();
+        assert_eq!(ext.lookup(&Value::from(1)), cold.lookup(&Value::from(1)));
+        assert_eq!(ext.lookup(&Value::from(4)), cold.lookup(&Value::from(4)));
+        assert_eq!(ext.distinct_keys(), cold.distinct_keys());
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! implemented from scratch:
 //!
 //! * [`Table`] — an append-only, in-memory heap of tuples with a schema.
+//!   Reads are MVCC snapshots: a [`table::TableEpoch`] pins the sealed
+//!   1024-row columnar blocks plus a frozen delta tail at a row-count
+//!   watermark, so open cursors keep streaming while writers append, and
+//!   inserts *extend* the columnar blocks, indexes and statistics instead of
+//!   invalidating them.
 //! * [`Catalog`] — the named collection of tables of a database.
 //! * Indexes — [`index::ScoreIndex`] (a B-tree-style ordered index over a
 //!   *ranking predicate's* scores, what the paper calls the access path of a
@@ -36,7 +41,8 @@ pub mod table;
 
 pub use catalog::Catalog;
 pub use column::{
-    cmp_f64_total, ColumnSlice, ColumnTable, ColumnZones, StorageBackend, COLUMN_BLOCK_ROWS,
+    cmp_f64_total, ColumnKind, ColumnSlice, ColumnTable, SealedBlock, StorageBackend, ZoneEntry,
+    COLUMN_BLOCK_ROWS,
 };
 pub use csv::{infer_schema, parse_csv, CsvOptions};
 pub use index::{BTreeIndex, HashIndex, ScoreIndex};
@@ -45,4 +51,4 @@ pub use sketch::{stable_value_hash, DistinctSketch, ARRAY_CAPACITY, HLL_PRECISIO
 pub use stats::{
     ColumnStatistics, ColumnSummary, StatsCatalog, TableStatistics, HISTOGRAM_BUCKETS,
 };
-pub use table::{Table, TableBuilder};
+pub use table::{EpochSet, Table, TableBuilder, TableEpoch};

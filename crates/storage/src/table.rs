@@ -1,16 +1,160 @@
-//! In-memory heap tables.
+//! In-memory heap tables with MVCC snapshot reads.
+//!
+//! A [`Table`] is append-only: row indices are stable, so any *prefix* of
+//! the row heap is an immutable snapshot.  [`Table::pin_epoch`] captures one
+//! — the sealed columnar blocks plus a frozen copy of the delta tail — and
+//! readers holding a [`TableEpoch`] stream those rows forever, regardless of
+//! concurrent appends.  Writers never rebuild: inserts fold into the stats
+//! delta and, at each 1024-row boundary, seal exactly one new columnar
+//! block (see [`Table::insert`]).
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use ranksql_common::{RankSqlError, Result, Schema, Tuple, TupleId, Value};
 
-use crate::column::ColumnTable;
+use crate::column::{ColumnTable, COLUMN_BLOCK_ROWS};
 use crate::index::{BTreeIndex, HashIndex, ScoreIndex};
 use crate::stats::StatsCatalog;
+
+/// The statistics catalog split along the seal boundary: `sealed` covers
+/// the rows folded in at past 1024-row boundaries, `delta` the streaming
+/// tail.  Reads merge the two; sealing folds the delta partial into the
+/// sealed catalog and resets it — the same partial-merge the from-scratch
+/// [`StatsCatalog::build`] performs, so both paths agree exactly.
+#[derive(Debug)]
+struct StatsPair {
+    sealed: StatsCatalog,
+    delta: StatsCatalog,
+}
+
+impl StatsPair {
+    fn merged(&self) -> StatsCatalog {
+        let mut m = self.sealed.clone();
+        m.merge(&self.delta);
+        m
+    }
+}
+
+/// An immutable read snapshot of a [`Table`]: the epoch a cursor, prepared
+/// execution or scan spine pins at open time.
+///
+/// An epoch is a row-count watermark plus the physical structures that cover
+/// it: the sealed columnar blocks published at pin time (when the reader
+/// wants the columnar layout) and a frozen copy of the delta tail — the rows
+/// past the sealed coverage.  Because the table is append-only and sealed
+/// blocks are never mutated, everything in here stays valid no matter how
+/// many rows writers append after the pin: readers never block writers and
+/// writers never invalidate readers.
+#[derive(Debug)]
+pub struct TableEpoch {
+    table_id: u32,
+    row_count: usize,
+    columnar: Option<Arc<ColumnTable>>,
+    /// Rows past the sealed columnar coverage, frozen at pin time (empty
+    /// when the epoch was pinned without the columnar projection — row
+    /// readers re-slice the heap prefix by the watermark instead).
+    tail: Arc<Vec<Tuple>>,
+}
+
+impl TableEpoch {
+    /// The id of the table this epoch snapshots.
+    pub fn table_id(&self) -> u32 {
+        self.table_id
+    }
+
+    /// The epoch ordinal.  Tables are append-only, so the row-count
+    /// watermark doubles as the version number: every committed insert
+    /// advances it.
+    pub fn ordinal(&self) -> u64 {
+        self.row_count as u64
+    }
+
+    /// The row-count watermark: readers of this epoch see exactly the rows
+    /// `0..row_count()`.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// The sealed columnar blocks pinned by this epoch, when it was pinned
+    /// with the columnar layout.  Coverage is at most the watermark; the
+    /// rows in between are in [`TableEpoch::tail`].
+    pub fn columnar(&self) -> Option<&Arc<ColumnTable>> {
+        self.columnar.as_ref()
+    }
+
+    /// The frozen delta tail: the epoch's rows past the sealed columnar
+    /// coverage, in row-major layout.
+    pub fn tail(&self) -> &Arc<Vec<Tuple>> {
+        &self.tail
+    }
+
+    /// The maximal possible ranking score of `column` across the whole
+    /// epoch: the sealed blocks' zone-map fold combined with the frozen
+    /// tail's values (clamped into `[0, 1]`, `NaN` ignored — the same fold
+    /// the per-block score maxima use).  `None` when the column cannot be
+    /// bounded (non-numeric values, or no columnar projection pinned).
+    pub fn score_max(&self, column: usize) -> Option<f64> {
+        let columnar = self.columnar.as_ref()?;
+        let mut acc = columnar.table_score_max(column)?;
+        for t in self.tail.iter() {
+            match t.value(column).as_f64() {
+                Some(f) if f.is_nan() => {}
+                Some(f) => acc = acc.max(f.clamp(0.0, 1.0)),
+                None => return None,
+            }
+        }
+        Some(acc)
+    }
+}
+
+/// The epochs pinned by one query execution, at most one per table.
+///
+/// All scans of a plan resolve their table through the same `EpochSet`, so
+/// every access path of one execution (including self-joins and the morsel
+/// spines of a parallel exchange) reads the same watermark.  Pins are taken
+/// lazily on first touch and cached.
+#[derive(Debug, Default)]
+pub struct EpochSet {
+    pins: Mutex<HashMap<u32, Arc<TableEpoch>>>,
+}
+
+impl EpochSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        EpochSet::default()
+    }
+
+    /// The pinned epoch for `table`, pinning one on first touch.
+    ///
+    /// `with_columnar` asks for the sealed columnar blocks to be part of the
+    /// snapshot; if the table was first pinned row-only and a columnar scan
+    /// shows up later, the pin is upgraded in place *at the same watermark*,
+    /// so mixed access paths still agree on what they see.
+    pub fn pin(&self, table: &Table, with_columnar: bool) -> Arc<TableEpoch> {
+        let mut pins = self.pins.lock();
+        if let Some(existing) = pins.get(&table.id()) {
+            if !with_columnar || existing.columnar.is_some() {
+                return Arc::clone(existing);
+            }
+            let upgraded = table.epoch_with_columnar_at(existing.row_count);
+            pins.insert(table.id(), Arc::clone(&upgraded));
+            return upgraded;
+        }
+        let pinned = table.pin_epoch(with_columnar);
+        pins.insert(table.id(), Arc::clone(&pinned));
+        pinned
+    }
+
+    /// The already-pinned epoch for a table id, if any.
+    pub fn get(&self, table_id: u32) -> Option<Arc<TableEpoch>> {
+        self.pins.lock().get(&table_id).cloned()
+    }
+}
 
 /// An append-only, in-memory table.
 ///
@@ -26,19 +170,17 @@ pub struct Table {
     score_indexes: RwLock<Vec<Arc<ScoreIndex>>>,
     btree_indexes: RwLock<Vec<Arc<BTreeIndex>>>,
     hash_indexes: RwLock<Vec<Arc<HashIndex>>>,
-    /// Fast-path flag so the insert hot loop skips index invalidation when
-    /// no index was ever built.
-    has_indexes: AtomicBool,
-    /// Cached columnar projection (see [`Table::columnar`]); dropped on
-    /// insert like the indexes.
+    /// Cached sealed columnar projection (see [`Table::columnar`]).
+    /// Inserts *extend* it at each 1024-row seal boundary instead of
+    /// dropping it; its coverage is always a prefix of the row heap.
     columnar: RwLock<Option<Arc<ColumnTable>>>,
-    /// Fast-path flag so the insert hot loop skips columnar invalidation
-    /// when no projection was ever built.
+    /// Fast-path flag so the insert hot loop skips columnar sealing when no
+    /// projection was ever built.
     has_columnar: AtomicBool,
-    /// Incrementally maintained statistics catalog (see
-    /// [`Table::stats_catalog`]).  Unlike the indexes and the columnar
-    /// projection, inserts *update* it in place instead of dropping it.
-    stats: RwLock<Option<StatsCatalog>>,
+    /// Incrementally maintained statistics (see [`Table::stats_catalog`]):
+    /// a sealed catalog plus a streaming delta partial, folded together at
+    /// each seal boundary.
+    stats: RwLock<Option<StatsPair>>,
     /// Fast-path flag so the insert hot loop skips statistics maintenance
     /// when the catalog was never built.
     has_stats: AtomicBool,
@@ -58,7 +200,6 @@ impl Table {
             score_indexes: RwLock::new(Vec::new()),
             btree_indexes: RwLock::new(Vec::new()),
             hash_indexes: RwLock::new(Vec::new()),
-            has_indexes: AtomicBool::new(false),
             columnar: RwLock::new(None),
             has_columnar: AtomicBool::new(false),
             stats: RwLock::new(None),
@@ -86,6 +227,13 @@ impl Table {
         self.rows.read().len()
     }
 
+    /// The table's current epoch ordinal.  The table is append-only, so the
+    /// row count doubles as the version: every committed insert advances
+    /// it.  Plan caches key their size buckets off this.
+    pub fn epoch_ordinal(&self) -> u64 {
+        self.row_count() as u64
+    }
+
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
         self.row_count() == 0
@@ -93,14 +241,25 @@ impl Table {
 
     /// Appends a row, validating its arity.  Returns the new row's index.
     ///
-    /// Appending invalidates previously built indexes — they describe only
-    /// the prefix of the table that existed when they were created — so the
-    /// insert *drops* every cached index: subsequent lookups return `None`
-    /// and the access path rebuilds over the full table.  Callers that held
-    /// on to an index handle across the insert are caught by the executor,
-    /// which checks [`ScoreIndex::indexed_rows`] /
-    /// [`BTreeIndex::indexed_rows`] against the table's row count and
-    /// reports a catalog error for the stale handle.
+    /// The write path is append-and-merge, never invalidate-and-rebuild:
+    ///
+    /// * rows are pushed onto the heap (stable indices — every previously
+    ///   pinned [`TableEpoch`] keeps streaming its prefix);
+    /// * the statistics delta partial folds the new row in; at each
+    ///   1024-row boundary the delta is merged into the sealed catalog;
+    /// * if a columnar projection exists, reaching a 1024-row boundary
+    ///   seals exactly one new block — previously sealed blocks are shared
+    ///   untouched ([`ColumnTable::resealed`]);
+    /// * indexes are *kept*: an index covers the row prefix it was built
+    ///   over, which is still a valid epoch.  The executor compares
+    ///   [`ScoreIndex::indexed_rows`] / [`BTreeIndex::indexed_rows`]
+    ///   against its pinned epoch's watermark and extends the index over
+    ///   the missing suffix when they differ.
+    ///
+    /// All mutations happen under the row write lock *after* validation, so
+    /// a panicking writer cannot leave a torn row, block or partial visible:
+    /// readers pin under the row read lock and see either the pre-insert or
+    /// the post-insert epoch.
     pub fn insert(&self, values: Vec<Value>) -> Result<u64> {
         if values.len() != self.schema.len() {
             return Err(RankSqlError::Catalog(format!(
@@ -111,35 +270,41 @@ impl Table {
             )));
         }
         let mut rows = self.rows.write();
-        if self.has_indexes.load(Ordering::Acquire) {
-            self.drop_stale_indexes();
-        }
-        if self.has_columnar.load(Ordering::Acquire) {
-            *self.columnar.write() = None;
-            self.has_columnar.store(false, Ordering::Release);
-        }
-        // Statistics are maintained *incrementally*: the new row is folded
-        // into the catalog's streaming summaries (sketch, min/max, counts)
-        // under the row write lock — no invalidate-and-rebuild like the
-        // structures above, whose contents cannot absorb an append.
         if self.has_stats.load(Ordering::Acquire) {
-            if let Some(catalog) = self.stats.write().as_mut() {
-                catalog.observe_row(&values);
+            if let Some(pair) = self.stats.write().as_mut() {
+                pair.delta.observe_row(&values);
+                if (pair.sealed.row_count + pair.delta.row_count) % COLUMN_BLOCK_ROWS == 0 {
+                    // Seal boundary: fold the delta partial into the sealed
+                    // catalog (build fully before swapping, so a panic can
+                    // never leave a torn catalog behind).
+                    pair.sealed = pair.merged();
+                    pair.delta = StatsCatalog::empty(&self.schema);
+                }
             }
         }
         let idx = rows.len() as u64;
         rows.push(Tuple::new(TupleId::base(self.id, idx), values));
+        if self.has_columnar.load(Ordering::Acquire) {
+            self.seal_columnar(&rows);
+        }
         Ok(idx)
     }
 
-    /// Drops every cached index (called under the row write lock, so a
-    /// concurrent scan either sees the old rows with the old indexes or the
-    /// new rows with no indexes).
-    fn drop_stale_indexes(&self) {
-        self.score_indexes.write().clear();
-        self.btree_indexes.write().clear();
-        self.hash_indexes.write().clear();
-        self.has_indexes.store(false, Ordering::Release);
+    /// Seals the columnar projection up to the last full 1024-row boundary,
+    /// if new full blocks exist (called under the row write lock).  Builds
+    /// the new version completely before publishing it, so readers only
+    /// ever observe fully-sealed block lists.
+    fn seal_columnar(&self, rows: &[Tuple]) {
+        let aligned = rows.len() / COLUMN_BLOCK_ROWS * COLUMN_BLOCK_ROWS;
+        let cur = {
+            let guard = self.columnar.read();
+            match guard.as_ref() {
+                Some(c) if c.row_count() < aligned => Arc::clone(c),
+                _ => return,
+            }
+        };
+        let sealed = Arc::new(cur.resealed(rows, aligned));
+        *self.columnar.write() = Some(sealed);
     }
 
     /// Appends many rows.
@@ -155,7 +320,9 @@ impl Table {
         Ok(n)
     }
 
-    /// The tuple at `row_index`, if it exists.
+    /// The tuple at `row_index`, if it exists.  Row indices are stable
+    /// (append-only heap), so lookups through a pinned epoch's watermark
+    /// are always consistent.
     pub fn tuple(&self, row_index: u64) -> Option<Tuple> {
         self.rows.read().get(row_index as usize).cloned()
     }
@@ -165,17 +332,120 @@ impl Table {
         self.rows.read().clone()
     }
 
-    /// The columnar projection of this table (see [`ColumnTable`]), built on
-    /// first use and cached; inserts drop the cached projection (like the
-    /// indexes), so a returned handle is always consistent with the rows at
-    /// the time of the call.
+    /// A snapshot of the first `n` tuples — the row set of an epoch with
+    /// watermark `n` (clamped to the current row count).
+    pub fn scan_prefix(&self, n: usize) -> Vec<Tuple> {
+        let rows = self.rows.read();
+        rows[..n.min(rows.len())].to_vec()
+    }
+
+    /// A snapshot of the tuples in `range` (clamped to the current row
+    /// count) — the suffix an incremental index extension covers.
+    pub fn scan_range(&self, range: std::ops::Range<usize>) -> Vec<Tuple> {
+        let rows = self.rows.read();
+        let start = range.start.min(rows.len());
+        let end = range.end.min(rows.len());
+        rows[start..end].to_vec()
+    }
+
+    /// Pins the table's current epoch: the row-count watermark plus (when
+    /// `with_columnar` is set) the sealed columnar blocks and a frozen copy
+    /// of the delta tail.  Taken under the row read lock, so the snapshot
+    /// is consistent against concurrent inserts; everything captured is
+    /// immutable afterwards.
+    pub fn pin_epoch(&self, with_columnar: bool) -> Arc<TableEpoch> {
+        let rows = self.rows.read();
+        let row_count = rows.len();
+        let columnar = if with_columnar {
+            let cached = self.columnar.read().as_ref().cloned();
+            Some(match cached {
+                // Sealed coverage is always a heap prefix, so any cached
+                // projection is usable; rows past it go into the tail.
+                Some(c) => c,
+                None => {
+                    let built = Arc::new(ColumnTable::from_rows(
+                        self.id,
+                        &self.name,
+                        &self.schema,
+                        &rows,
+                    ));
+                    *self.columnar.write() = Some(Arc::clone(&built));
+                    self.has_columnar.store(true, Ordering::Release);
+                    built
+                }
+            })
+        } else {
+            None
+        };
+        let tail = match &columnar {
+            Some(c) => rows[c.row_count()..].to_vec(),
+            None => Vec::new(),
+        };
+        Arc::new(TableEpoch {
+            table_id: self.id,
+            row_count,
+            columnar,
+            tail: Arc::new(tail),
+        })
+    }
+
+    /// Re-pins at an *existing* watermark, adding the columnar layout — the
+    /// upgrade path of [`EpochSet::pin`] when a table first pinned row-only
+    /// turns out to also be scanned columnar.  The cached projection is
+    /// used when its coverage fits under the watermark; otherwise a private
+    /// projection is built over the watermark prefix (and not cached, so
+    /// the shared cache never regresses to an older prefix).
+    fn epoch_with_columnar_at(&self, watermark: usize) -> Arc<TableEpoch> {
+        let rows = self.rows.read();
+        let n = watermark.min(rows.len());
+        let cached = self
+            .columnar
+            .read()
+            .as_ref()
+            .filter(|c| c.row_count() <= n)
+            .cloned();
+        let columnar = match cached {
+            Some(c) => c,
+            None => Arc::new(ColumnTable::from_rows(
+                self.id,
+                &self.name,
+                &self.schema,
+                &rows[..n],
+            )),
+        };
+        let tail = rows[columnar.row_count()..n].to_vec();
+        Arc::new(TableEpoch {
+            table_id: self.id,
+            row_count: n,
+            columnar: Some(columnar),
+            tail: Arc::new(tail),
+        })
+    }
+
+    /// The columnar projection covering *all* current rows (see
+    /// [`ColumnTable`]): built on first use, extended incrementally (never
+    /// from scratch) when rows were appended since, and cached.  The last
+    /// block may be partial; the insert path completes it at the next
+    /// 1024-row seal boundary.
+    ///
+    /// Epoch-pinning readers use [`Table::pin_epoch`] instead, which takes
+    /// the sealed blocks as they are and carries the unsealed rows in the
+    /// epoch's tail.
     pub fn columnar(&self) -> Arc<ColumnTable> {
-        if let Some(c) = self.columnar.read().as_ref() {
-            if c.row_count() == self.row_count() {
-                return Arc::clone(c);
-            }
-        }
-        let built = Arc::new(ColumnTable::from_table(self));
+        // Hold the row read lock across the build so a concurrent insert
+        // cannot slip a row between the snapshot and the publication.
+        let rows = self.rows.read();
+        let cached = self.columnar.read().as_ref().cloned();
+        let built = match cached {
+            Some(c) if c.row_count() == rows.len() => return c,
+            Some(c) => Arc::new(c.resealed(&rows, rows.len())),
+            None => Arc::new(ColumnTable::from_rows(
+                self.id,
+                &self.name,
+                &self.schema,
+                &rows,
+            )),
+        };
         *self.columnar.write() = Some(Arc::clone(&built));
         self.has_columnar.store(true, Ordering::Release);
         built
@@ -184,24 +454,28 @@ impl Table {
     /// The table's statistics catalog: per-column null counts, numeric
     /// min/max, boolean fractions and a staged distinct-count sketch.
     ///
-    /// Built from the rows (as merged per-1024-row block partials, the
-    /// zone-map granularity) on first use; afterwards every
-    /// [`Table::insert`] folds the new row in, so repeated calls are O(1)
-    /// in the table size and never observe a stale snapshot.
+    /// Built on first use as a sealed catalog over the 1024-row-aligned
+    /// prefix plus a delta partial over the unsealed tail; afterwards every
+    /// [`Table::insert`] folds the new row into the delta (merging it into
+    /// the sealed catalog at each seal boundary), so repeated calls are
+    /// O(columns) in the table size and never observe a stale snapshot.
     pub fn stats_catalog(&self) -> StatsCatalog {
         // The row read lock is held across the build so a concurrent insert
         // (which takes the row *write* lock) cannot slip a row between the
         // snapshot and the publication of the catalog.
         let rows = self.rows.read();
-        if let Some(c) = self.stats.read().as_ref() {
-            if c.row_count == rows.len() {
-                return c.clone();
-            }
+        if let Some(pair) = self.stats.read().as_ref() {
+            return pair.merged();
         }
-        let built = StatsCatalog::build(&self.schema, &rows);
-        *self.stats.write() = Some(built.clone());
+        let aligned = rows.len() / COLUMN_BLOCK_ROWS * COLUMN_BLOCK_ROWS;
+        let pair = StatsPair {
+            sealed: StatsCatalog::build(&self.schema, &rows[..aligned]),
+            delta: StatsCatalog::build(&self.schema, &rows[aligned..]),
+        };
+        let merged = pair.merged();
+        *self.stats.write() = Some(pair);
         self.has_stats.store(true, Ordering::Release);
-        built
+        merged
     }
 
     /// The statistics catalog if one has already been built (by a prior
@@ -209,18 +483,17 @@ impl Table {
     /// forcing a build — `None` on a cold table.  The incrementally
     /// maintained catalog is never stale, so no freshness check is needed.
     pub fn cached_stats(&self) -> Option<StatsCatalog> {
-        self.stats.read().clone()
+        self.stats.read().as_ref().map(StatsPair::merged)
     }
 
     /// Registers a score (rank) index, replacing any previous index on the
-    /// same predicate (so rebuilding after an invalidating insert never
-    /// leaves a stale sibling to be looked up first).
+    /// same predicate (so an extension or rebuild never leaves an older
+    /// sibling to be looked up first).
     pub fn add_score_index(&self, index: ScoreIndex) -> Arc<ScoreIndex> {
         let arc = Arc::new(index);
         let mut indexes = self.score_indexes.write();
         indexes.retain(|i| i.predicate_name() != arc.predicate_name());
         indexes.push(Arc::clone(&arc));
-        self.has_indexes.store(true, Ordering::Release);
         arc
     }
 
@@ -231,7 +504,6 @@ impl Table {
         let mut indexes = self.btree_indexes.write();
         indexes.retain(|i| i.column_name() != arc.column_name());
         indexes.push(Arc::clone(&arc));
-        self.has_indexes.store(true, Ordering::Release);
         arc
     }
 
@@ -242,11 +514,15 @@ impl Table {
         let mut indexes = self.hash_indexes.write();
         indexes.retain(|i| i.column_name() != arc.column_name());
         indexes.push(Arc::clone(&arc));
-        self.has_indexes.store(true, Ordering::Release);
         arc
     }
 
     /// Finds a score index by the name of the ranking predicate it covers.
+    ///
+    /// Inserts no longer drop indexes: a returned handle covers the row
+    /// prefix it was built over ([`ScoreIndex::indexed_rows`]), which is a
+    /// valid epoch — readers pinned at that watermark use it as-is, newer
+    /// epochs extend it over the missing suffix.
     pub fn score_index(&self, predicate_name: &str) -> Option<Arc<ScoreIndex>> {
         self.score_indexes
             .read()
@@ -391,7 +667,7 @@ mod tests {
     }
 
     #[test]
-    fn insert_after_index_drops_stale_indexes() {
+    fn insert_keeps_indexes_as_valid_prefix_epochs() {
         use crate::index::{BTreeIndex, HashIndex, ScoreIndex};
         use ranksql_expr::RankPredicate;
 
@@ -404,28 +680,103 @@ mod tests {
         let held_handle = t.add_score_index(score);
         t.add_btree_index(BTreeIndex::build("T.a", t.schema(), &t.scan()).unwrap());
         t.add_hash_index(HashIndex::build("T.a", t.schema(), &t.scan()).unwrap());
+
+        // Appending a row keeps every index: each one still covers the
+        // prefix it was built over, which is a valid epoch of the table.
+        t.insert(vec![Value::from(3), Value::from(0.1)]).unwrap();
         assert!(t.score_index("b").is_some());
         assert!(t.btree_index("T.a").is_some());
         assert!(t.hash_index("T.a").is_some());
+        assert_eq!(t.score_index_names(), vec!["b".to_owned()]);
 
-        // Appending a row invalidates all of them: lookups now miss, so the
-        // next access path rebuilds over the full table instead of silently
-        // scanning a stale prefix.
-        t.insert(vec![Value::from(3), Value::from(0.1)]).unwrap();
-        assert!(t.score_index("b").is_none());
-        assert!(t.btree_index("T.a").is_none());
-        assert!(t.hash_index("T.a").is_none());
-        assert!(t.score_index_names().is_empty());
-
-        // A handle held across the insert is detectably stale.
+        // The lag is detectable: readers at the new epoch compare coverage
+        // against their watermark and extend the index over the suffix.
         assert_eq!(held_handle.indexed_rows(), 2);
         assert_eq!(t.row_count(), 3);
+        let ext = held_handle
+            .extended(&pred, t.schema(), &t.scan_range(2..3), 2)
+            .unwrap();
+        assert_eq!(ext.indexed_rows(), 3);
+        let replaced = t.add_score_index(ext);
+        assert!(Arc::ptr_eq(&t.score_index("b").unwrap(), &replaced));
+    }
 
-        // Rebuilt indexes cover the new row and survive until the next write.
-        let rebuilt = ScoreIndex::build(&pred, t.schema(), &t.scan()).unwrap();
-        assert_eq!(rebuilt.indexed_rows(), 3);
-        t.add_score_index(rebuilt);
-        assert!(t.score_index("b").is_some());
+    #[test]
+    fn pinned_epoch_is_immutable_under_inserts() {
+        let t = Table::new(1, "T", schema());
+        for i in 0..(COLUMN_BLOCK_ROWS as i64 + 100) {
+            t.insert(vec![Value::from(i), Value::from(i as f64 / 2048.0)])
+                .unwrap();
+        }
+        let _ = t.columnar(); // warm the projection so inserts seal
+        let epoch = t.pin_epoch(true);
+        let watermark = epoch.row_count();
+        assert_eq!(watermark, COLUMN_BLOCK_ROWS + 100);
+        let columnar_then = Arc::clone(epoch.columnar().unwrap());
+        assert_eq!(
+            columnar_then.row_count() + epoch.tail().len(),
+            watermark,
+            "epoch coverage = sealed blocks + frozen tail"
+        );
+
+        // Writers append past the next seal boundary.
+        for i in 0..(COLUMN_BLOCK_ROWS as i64) {
+            t.insert(vec![Value::from(-i), Value::from(0.0)]).unwrap();
+        }
+        assert_eq!(t.row_count(), 2 * COLUMN_BLOCK_ROWS + 100);
+
+        // The pinned epoch is untouched: same watermark, same blocks, same
+        // frozen tail — the inserts are invisible to it.
+        assert_eq!(epoch.row_count(), watermark);
+        assert!(Arc::ptr_eq(epoch.columnar().unwrap(), &columnar_then));
+        assert_eq!(
+            epoch.columnar().unwrap().row_count() + epoch.tail().len(),
+            watermark
+        );
+        // A fresh pin sees the new rows and the newly sealed block.
+        let fresh = t.pin_epoch(true);
+        assert_eq!(fresh.row_count(), 2 * COLUMN_BLOCK_ROWS + 100);
+        assert!(fresh.columnar().unwrap().row_count() >= 2 * COLUMN_BLOCK_ROWS);
+        assert!(fresh.tail().len() < COLUMN_BLOCK_ROWS);
+    }
+
+    #[test]
+    fn epoch_set_pins_once_per_table_and_upgrades_to_columnar() {
+        let t = Table::new(1, "T", schema());
+        for i in 0..10i64 {
+            t.insert(vec![Value::from(i), Value::from(i as f64 / 10.0)])
+                .unwrap();
+        }
+        let set = EpochSet::new();
+        let row_pin = set.pin(&t, false);
+        assert!(row_pin.columnar().is_none());
+        // More inserts between pins must not move the watermark.
+        t.insert(vec![Value::from(99), Value::from(0.99)]).unwrap();
+        let again = set.pin(&t, false);
+        assert!(Arc::ptr_eq(&row_pin, &again));
+        // Upgrading to columnar keeps the original watermark.
+        let upgraded = set.pin(&t, true);
+        assert_eq!(upgraded.row_count(), row_pin.row_count());
+        let c = upgraded.columnar().unwrap();
+        assert_eq!(c.row_count() + upgraded.tail().len(), 10);
+        assert_eq!(set.get(1).unwrap().row_count(), 10);
+    }
+
+    #[test]
+    fn epoch_score_max_folds_sealed_blocks_and_tail() {
+        let t = Table::new(1, "T", schema());
+        for i in 0..(COLUMN_BLOCK_ROWS as i64) {
+            t.insert(vec![Value::from(i), Value::from(0.25)]).unwrap();
+        }
+        let _ = t.columnar();
+        // Tail rows carry the table's maximal score: the sealed fold alone
+        // would under-report, which zone-pruning caps cannot afford.
+        t.insert(vec![Value::from(-1), Value::from(0.75)]).unwrap();
+        let epoch = t.pin_epoch(true);
+        assert!(!epoch.tail().is_empty());
+        assert_eq!(epoch.score_max(1), Some(0.75));
+        // Row-only pins cannot bound scores.
+        assert_eq!(t.pin_epoch(false).score_max(1), None);
     }
 
     #[test]
@@ -476,6 +827,46 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(warm.stats_catalog(), cold.stats_catalog());
+    }
+
+    #[test]
+    fn stats_seal_boundary_matches_from_scratch_build() {
+        let warm = Table::new(1, "T", schema());
+        let cold = Table::new(1, "T", schema());
+        let row = |i: i64| vec![Value::from(i % 97), Value::from((i as f64).sin())];
+        for i in 0..100i64 {
+            warm.insert(row(i)).unwrap();
+            cold.insert(row(i)).unwrap();
+        }
+        let _ = warm.stats_catalog();
+        // Cross two seal boundaries on the warm path.
+        for i in 100..(2 * COLUMN_BLOCK_ROWS as i64 + 3) {
+            warm.insert(row(i)).unwrap();
+            cold.insert(row(i)).unwrap();
+        }
+        assert_eq!(warm.stats_catalog(), cold.stats_catalog());
+    }
+
+    #[test]
+    fn columnar_extends_incrementally_and_seals_on_insert() {
+        let t = Table::new(1, "T", schema());
+        for i in 0..500i64 {
+            t.insert(vec![Value::from(i), Value::from(0.5)]).unwrap();
+        }
+        let first = t.columnar();
+        assert_eq!(first.row_count(), 500);
+        // Repeated calls without inserts return the cached handle.
+        assert!(Arc::ptr_eq(&first, &t.columnar()));
+        // Inserts past the seal boundary publish a new sealed version.
+        for i in 500..(COLUMN_BLOCK_ROWS as i64 + 10) {
+            t.insert(vec![Value::from(i), Value::from(0.5)]).unwrap();
+        }
+        let second = t.columnar();
+        assert_eq!(second.row_count(), COLUMN_BLOCK_ROWS + 10);
+        assert_eq!(second.num_blocks(), 2);
+        // The old handle still reads its own 500 rows.
+        assert_eq!(first.row_count(), 500);
+        assert_eq!(first.tuple(499).value(0), &Value::from(499));
     }
 
     #[test]

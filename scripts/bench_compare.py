@@ -28,7 +28,7 @@ Regenerate the baseline with `scripts/bench-json.sh bench/baseline.json`
 when a deliberate performance change shifts the numbers.
 
 Usage:
-    python3 scripts/bench_compare.py bench/baseline.json BENCH_PR6.json \
+    python3 scripts/bench_compare.py bench/baseline.json BENCH_PR7.json \
         [--tolerance 0.25] [--hard-groups seq_scan_hot_path,columnar_vs_row]
 """
 
@@ -37,7 +37,12 @@ import json
 import os
 import sys
 
-DEFAULT_HARD_GROUPS = ["seq_scan_hot_path", "columnar_vs_row", "ablation_sketch"]
+DEFAULT_HARD_GROUPS = [
+    "seq_scan_hot_path",
+    "columnar_vs_row",
+    "ablation_sketch",
+    "ablation_write_path",
+]
 
 
 def main() -> int:
@@ -52,6 +57,7 @@ def main() -> int:
     ap.add_argument("--hard-groups", default=",".join(DEFAULT_HARD_GROUPS))
     ap.add_argument("--min-columnar-speedup", type=float, default=1.15)
     ap.add_argument("--min-kernel-speedup", type=float, default=1.15)
+    ap.add_argument("--min-write-path-speedup", type=float, default=10.0)
     args = ap.parse_args()
     hard = {g.strip() for g in args.hard_groups.split(",") if g.strip()}
 
@@ -115,6 +121,30 @@ def main() -> int:
                 f"columnar_vs_row is missing {base_name} or {fast_name} — "
                 f"the within-run {label} speedup gate has nothing to compare "
                 "(renamed benches?)"
+            )
+
+    # The PR-7 write-path claim, also within-run: an epoch-extending warm
+    # insert must beat the invalidate-and-rebuild cliff (insert + stats +
+    # columnar rebuild) by a wide margin.  The measured gap is three to
+    # four orders of magnitude; the 10x default floor only catches the
+    # write path collapsing back into a rebuild.
+    awp = current.get("ablation_write_path", {})
+    if awp:
+        warm = awp.get("warm/insert")
+        rebuild = awp.get("rebuild/insert")
+        if warm and rebuild:
+            speedup = rebuild / warm
+            print(f"  within-run warm-insert vs rebuild-cliff speedup: {speedup:.1f}x")
+            if speedup < args.min_write_path_speedup:
+                failures.append(
+                    f"ablation_write_path warm/insert is only {speedup:.2f}x faster than "
+                    f"rebuild/insert (floor {args.min_write_path_speedup:.2f}x) — the "
+                    "epoch write path is paying for a rebuild again"
+                )
+        else:
+            failures.append(
+                "ablation_write_path is missing warm/insert or rebuild/insert — "
+                "the write-path speedup gate has nothing to compare (renamed benches?)"
             )
 
     for w in warnings:

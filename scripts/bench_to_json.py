@@ -18,8 +18,9 @@ emits a JSON document:
 
 Usage:
     { cargo bench -p ranksql-bench --bench operators_micro && \
-      cargo bench -p ranksql-bench --bench ablation_sketch; } | \
-        python3 scripts/bench_to_json.py --out BENCH_PR6.json
+      cargo bench -p ranksql-bench --bench ablation_sketch && \
+      cargo bench -p ranksql-bench --bench ablation_write_path; } | \
+        python3 scripts/bench_to_json.py --out BENCH_PR7.json
 
 Pass `--groups a,b,c` to override the default pinned groups; pass several
 bench outputs by concatenating them on stdin.
@@ -38,6 +39,7 @@ DEFAULT_GROUPS = [
     "prepared_vs_cold",
     "columnar_vs_row",
     "ablation_sketch",
+    "ablation_write_path",
 ]
 
 LINE = re.compile(

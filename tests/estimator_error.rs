@@ -294,6 +294,49 @@ proptest! {
         prop_assert_eq!(merged, whole);
     }
 
+    /// The incrementally maintained catalog equals a cold rebuild *at
+    /// every 1024-row seal boundary the insert stream crosses* — the
+    /// moments PR 7's write path folds the delta partial into the sealed
+    /// catalog — not just at the end.
+    #[test]
+    fn stats_match_cold_rebuild_at_every_seal_boundary(
+        n in 1usize..2300,
+        prime in 0usize..2300,
+        salt in 0i64..1000,
+    ) {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("x", DataType::Float64),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..n as i64)
+            .map(|i| {
+                vec![
+                    Value::from((i * 37 + salt) % 191),
+                    Value::from(((i * 61 + salt) % 997) as f64 / 997.0),
+                ]
+            })
+            .collect();
+        let prime = prime.min(n);
+        let cat = Catalog::new();
+        let t = cat.create_table("W", schema.clone()).unwrap();
+        for r in &rows[..prime] {
+            t.insert(r.clone()).unwrap();
+        }
+        let _ = t.stats_catalog();
+        for (i, r) in rows[prime..].iter().enumerate() {
+            t.insert(r.clone()).unwrap();
+            let len = prime + i + 1;
+            if len % 1024 == 0 {
+                prop_assert_eq!(
+                    t.cached_stats().unwrap(),
+                    cold_rebuild(&schema, &rows[..len]),
+                    "diverged at the {len}-row seal boundary"
+                );
+            }
+        }
+        prop_assert_eq!(t.cached_stats().unwrap(), cold_rebuild(&schema, &rows));
+    }
+
     /// A catalog maintained incrementally across interleaved builds and
     /// inserts equals a cold rebuild over the same rows, wherever the
     /// build point falls relative to the data.
@@ -326,6 +369,44 @@ proptest! {
         }
         let warm = t.cached_stats().expect("catalog was built above");
         prop_assert_eq!(warm, cold_rebuild(&schema, &rows));
+    }
+}
+
+#[test]
+fn seal_boundary_edge_cases_match_cold_rebuild() {
+    // Deterministic off-by-one sweep around the first two seal boundaries:
+    // 1023 (one row short of a seal), 1024 (the seal fires, delta empties),
+    // 1025 (a fresh one-row delta), and the same trio around 2048.  NDV,
+    // min and max must equal a from-scratch build at every one of them.
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("x", DataType::Float64),
+    ]);
+    for n in [1023usize, 1024, 1025, 2047, 2048, 2049] {
+        let rows: Vec<Vec<Value>> = (0..n as i64)
+            .map(|i| vec![Value::from(i % 131), Value::from((i as f64).sin())])
+            .collect();
+        let cat = Catalog::new();
+        let t = cat.create_table("W", schema.clone()).unwrap();
+        // Prime the catalog on the empty table so every single insert runs
+        // through the incremental delta/seal path.
+        assert_eq!(t.stats_catalog().row_count, 0);
+        for r in &rows {
+            t.insert(r.clone()).unwrap();
+        }
+        let warm = t.cached_stats().unwrap();
+        assert_eq!(warm.row_count, n);
+        assert_eq!(warm, cold_rebuild(&schema, &rows), "row count {n}");
+
+        // And the headline summaries directly against the data.
+        let k = warm.column("W.k").unwrap();
+        assert_eq!(k.ndv(), n.min(131), "NDV at row count {n}");
+        assert_eq!(k.min, Some(0.0));
+        assert_eq!(k.max, Some((n.min(131) - 1) as f64), "max at row count {n}");
+        let x = warm.column("W.x").unwrap();
+        let sins = || (0..n).map(|i| (i as f64).sin());
+        assert_eq!(x.min, Some(sins().fold(f64::INFINITY, f64::min)));
+        assert_eq!(x.max, Some(sins().fold(f64::NEG_INFINITY, f64::max)));
     }
 }
 

@@ -295,6 +295,127 @@ fn erroring_parallel_worker_surfaces_a_clean_query_error_and_no_deadlock() {
 }
 
 #[test]
+fn panicking_writer_leaves_the_table_readable_at_its_last_epoch() {
+    // A writer thread that dies mid-append must not leave torn state
+    // behind: the table stays readable at the epoch of the last completed
+    // insert, a cursor opened before the writer still streams its pinned
+    // snapshot, the incrementally maintained statistics equal a cold
+    // rebuild over the surviving rows, and the next insert succeeds.
+    use ranksql::{Params, StorageBackend};
+
+    let db = Database::new().with_storage_backend(StorageBackend::Columnar);
+    db.create_table(
+        "W",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    let base = 900i64;
+    for i in 0..base {
+        db.insert(
+            "W",
+            vec![
+                Value::from(i),
+                Value::from(((i * 37) % 1000) as f64 / 1000.0),
+            ],
+        )
+        .unwrap();
+    }
+    // Prime the incrementally maintained caches, so the writer's appends
+    // run through the extend paths (stats delta + seal, columnar reseal).
+    let t = db.catalog().table("W").unwrap();
+    let _ = t.stats_catalog();
+    let _ = t.columnar();
+
+    let query = QueryBuilder::new()
+        .table("W")
+        .rank_predicate(RankPredicate::attribute("p", "W.p"))
+        .limit(10)
+        .build()
+        .unwrap();
+    let session = db.session();
+    let eager = session.execute(&query).unwrap();
+    // A cursor opened before the writer starts: pinned at 900 rows.
+    let mut cursor = session
+        .prepare_query(query.clone())
+        .unwrap()
+        .bind(Params::none())
+        .unwrap()
+        .cursor()
+        .unwrap();
+
+    // The writer appends 200 rows — sealing a columnar block and a stats
+    // block as the table crosses 1024 rows — then panics in its append
+    // loop (an `unwrap` on a row the table rejects).
+    let written = 200i64;
+    let joined = std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..written {
+                db.insert(
+                    "W",
+                    vec![
+                        Value::from(base + i),
+                        Value::from(((i * 61) % 1000) as f64 / 1000.0),
+                    ],
+                )
+                .unwrap();
+            }
+            db.insert("W", vec![Value::from(-1)]).unwrap();
+        })
+        .join()
+    });
+    assert!(joined.is_err(), "the writer must have panicked");
+
+    // The last epoch holds exactly the completed appends — no torn delta.
+    let t = db.catalog().table("W").unwrap();
+    assert_eq!(t.row_count(), (base + written) as usize);
+
+    // The pre-panic cursor still streams its pinned 900-row snapshot.
+    let streamed = cursor.drain().unwrap();
+    let ids = |rows: &[ranksql::expr::RankedTuple]| -> Vec<_> {
+        rows.iter().map(|r| r.tuple.id().clone()).collect()
+    };
+    assert_eq!(ids(&streamed), ids(&eager.rows));
+
+    // The statistics catalog the writer was extending equals a cold
+    // rebuild over the rows that actually survived.
+    let rebuilt = {
+        let cat = ranksql::storage::Catalog::new();
+        let w = cat.create_table("W", t.schema().clone()).unwrap();
+        for tup in t.scan() {
+            w.insert(tup.values().to_vec()).unwrap();
+        }
+        w.stats_catalog()
+    };
+    assert_eq!(t.cached_stats().unwrap(), rebuilt);
+
+    // New cursors see the full surviving table, and the next insert
+    // succeeds and is immediately visible — in every plan mode.
+    let count_query = QueryBuilder::new()
+        .table("W")
+        .rank_predicate(RankPredicate::attribute("p", "W.p"))
+        .limit(5000)
+        .build()
+        .unwrap();
+    assert_eq!(
+        session.execute(&count_query).unwrap().rows.len(),
+        (base + written) as usize
+    );
+    db.insert("W", vec![Value::from(9999), Value::from(0.5)])
+        .unwrap();
+    for mode in ALL_MODES {
+        let r = db.execute_with_mode(&count_query, mode).unwrap();
+        assert_eq!(
+            r.rows.len(),
+            (base + written) as usize + 1,
+            "mode {mode:?} misses rows after the writer panic"
+        );
+    }
+}
+
+#[test]
 fn panicking_worker_becomes_an_error_and_the_pool_is_reusable() {
     // The worker pool converts a panicking task into a clean execution
     // error, cancels the rest of the run, and — being stateless — keeps
