@@ -288,6 +288,12 @@ impl Cursor {
             out.push_str(&stats_line(table, catalog));
             out.push('\n');
         }
+        let (faulted, pruned) = (self.exec.pages_faulted(), self.exec.pages_pruned());
+        if faulted > 0 || pruned > 0 {
+            out.push_str(&format!(
+                "paged storage: pages_faulted={faulted}, pages_pruned={pruned}\n"
+            ));
+        }
         out.push_str(
             &self
                 .physical
@@ -315,6 +321,8 @@ impl Cursor {
             predicate_evaluations,
             tuples_scanned: self.exec.budget().used(),
             blocks_pruned: self.exec.blocks_pruned(),
+            pages_faulted: self.exec.pages_faulted(),
+            pages_pruned: self.exec.pages_pruned(),
         };
         let mut result = QueryResult::from_ranking(&self.ranking, &self.physical, execution)?;
         result.plan_cache = self.plan_cache;

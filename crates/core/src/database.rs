@@ -162,9 +162,15 @@ impl PlanCache {
     /// Looks a key up, recording a hit (and refreshing the entry's LRU
     /// stamp) when present.
     pub(crate) fn lookup(&self, key: &str) -> Option<(Arc<CachedPlan>, PlanCacheLookup)> {
-        let tick = self.tick();
         let entry = {
             let mut inner = self.inner.lock();
+            // The tick is taken *inside* the lock so stamps are monotone in
+            // log-push order — the invariant `evict_lru` leans on (the
+            // first record still matching its slot's `last_used` names the
+            // globally oldest entry).  Ticked outside, two racing touches
+            // could stamp a slot out of order and strand a live entry
+            // behind a stale, never-matching record.
+            let tick = self.tick();
             let slot = inner.map.get_mut(key)?;
             slot.last_used = tick;
             let plan = Arc::clone(&slot.plan);
@@ -192,12 +198,16 @@ impl PlanCache {
         let (plan, k) = build()?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(CachedPlan { plan, k });
-        let tick = self.tick();
         let entry = {
             let mut inner = self.inner.lock();
             if inner.map.len() >= PLAN_CACHE_CAP && !inner.map.contains_key(key) {
                 inner.evict_lru();
             }
+            // Ticked under the lock (see `lookup`): the stamp is strictly
+            // newer than every record already in the log, so a key
+            // re-inserted right after its own eviction can never sit
+            // behind a stale record carrying its old stamp.
+            let tick = self.tick();
             let slot = inner
                 .map
                 .entry(key.to_owned())
@@ -205,10 +215,9 @@ impl PlanCache {
                     plan: Arc::clone(&entry),
                     last_used: tick,
                 });
-            slot.last_used = slot.last_used.max(tick);
-            let stamp = slot.last_used;
+            slot.last_used = tick;
             let plan = Arc::clone(&slot.plan);
-            inner.record_touch(key, stamp);
+            inner.record_touch(key, tick);
             plan
         };
         Ok((
@@ -286,6 +295,41 @@ impl Database {
         }
     }
 
+    /// Opens (or initialises) a disk-backed database directory with the
+    /// default [`PagedOptions`](ranksql_storage::PagedOptions).
+    ///
+    /// Every table recorded in the directory's catalog file is recovered to
+    /// its **last durable epoch** — the longest CRC-valid extent prefix of
+    /// its data file plus the contiguous valid prefix of its write-ahead
+    /// log — and re-registered under its original id and schema.  Tables
+    /// created and rows inserted afterwards follow the WAL protocol, so a
+    /// crash at any point loses at most the rows since the last fsync
+    /// boundary.  New sessions default to [`StorageBackend::Paged`].
+    pub fn open_paged(dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        Database::open_paged_with(dir, ranksql_storage::PagedOptions::default())
+    }
+
+    /// [`Database::open_paged`] with an explicit configuration — chiefly
+    /// the buffer-pool page budget, which bounds how much of the columnar
+    /// working set stays resident.
+    pub fn open_paged_with(
+        dir: impl AsRef<std::path::Path>,
+        options: ranksql_storage::PagedOptions,
+    ) -> Result<Self> {
+        let catalog = Catalog::new();
+        ranksql_storage::PagedStore::open(dir.as_ref(), options, &catalog)?;
+        let default_settings = SessionSettings {
+            backend: StorageBackend::Paged,
+            ..SessionSettings::default()
+        };
+        Ok(Database {
+            catalog,
+            optimizer_config: OptimizerConfig::default(),
+            default_settings,
+            plan_cache: PlanCache::default(),
+        })
+    }
+
     /// Opens a [`Session`] carrying this database's default settings;
     /// configure it further with the session's `with_*` builders.
     pub fn session(&self) -> Session<'_> {
@@ -324,11 +368,12 @@ impl Database {
 
     /// Picks the storage backend new sessions (and the compatibility
     /// wrappers) plan against (builder form).  With
-    /// [`StorageBackend::Columnar`] the planner runs the `columnarize`
-    /// pass: sequential scans read the tables' columnar projections, simple
+    /// [`StorageBackend::Columnar`] (or [`StorageBackend::Paged`], its
+    /// disk-backed sibling) the planner runs the `columnarize` pass:
+    /// sequential scans read the tables' columnar projections, simple
     /// filters are pushed into the scans, and top-k spines zone-prune
-    /// blocks.  Results are identical across backends — only access paths
-    /// and `tuples_scanned` change.
+    /// blocks.  Results are identical across backends — only access paths,
+    /// `tuples_scanned` and (on `Paged`) `pages_faulted` change.
     pub fn with_storage_backend(mut self, backend: StorageBackend) -> Self {
         self.default_settings.backend = backend;
         self
@@ -455,7 +500,7 @@ impl Database {
         backend: StorageBackend,
     ) -> Result<OptimizedPlan> {
         let mut optimized = self.plan_serial(query, mode)?;
-        if backend == StorageBackend::Columnar {
+        if backend.is_columnar() {
             optimized.physical = ranksql_optimizer::columnarize(
                 optimized.physical,
                 &ranksql_optimizer::CostModel::default(),
@@ -794,6 +839,77 @@ mod tests {
             .bind(Params::none())
             .unwrap()
             .cache_hit());
+    }
+
+    /// Regression for the lazily-compacted access log: a shape that is
+    /// evicted and then **re-inserted** must behave like a brand-new entry —
+    /// it hits immediately, and the stale log records from its first life
+    /// (now matching nothing) must neither evict it early nor keep a ghost
+    /// entry alive.  The LRU stamp is taken *inside* the cache lock, so the
+    /// re-insertion stamp is strictly newer than every record already in
+    /// the log.
+    #[test]
+    fn plan_cache_hits_after_eviction_and_reinsert() {
+        let db = Database::new();
+        db.create_table("T", Schema::new(vec![Field::new("x", DataType::Int64)]))
+            .unwrap();
+        db.insert("T", vec![Value::from(1)]).unwrap();
+        let query_with_filter = |lit: i64| {
+            QueryBuilder::new()
+                .table("T")
+                .filter(BoolExpr::compare(
+                    ranksql_expr::ScalarExpr::col("T.x"),
+                    ranksql_expr::CompareOp::Lt,
+                    ranksql_expr::ScalarExpr::lit(lit),
+                ))
+                .limit(1)
+                .build()
+                .unwrap()
+        };
+        let session = db.session().with_mode(PlanMode::Canonical);
+
+        // Life 1: the shape enters the cache and is touched a few times,
+        // leaving several superseded records in the access log.
+        let hot = session.prepare_query(query_with_filter(-1)).unwrap();
+        hot.execute().unwrap();
+        for _ in 0..4 {
+            assert!(hot.bind(Params::none()).unwrap().cache_hit());
+        }
+
+        // An eviction storm of > cap distinct cold shapes pushes it out (it
+        // is never touched during the storm, so it becomes the LRU entry).
+        for i in 0..(PLAN_CACHE_CAP as i64 + 8) {
+            session
+                .prepare_query(query_with_filter(i))
+                .unwrap()
+                .execute()
+                .unwrap();
+        }
+        assert!(
+            !hot.bind(Params::none()).unwrap().cache_hit(),
+            "the untouched shape must have been evicted by the storm"
+        );
+
+        // That miss re-optimized and re-inserted the shape.  Life 2: it
+        // hits immediately, and survives a further cold burst — its
+        // re-insertion stamp is the newest in the cache, so the burst
+        // evicts genuinely older entries instead.
+        assert!(
+            hot.bind(Params::none()).unwrap().cache_hit(),
+            "a re-inserted shape must hit on the very next bind"
+        );
+        for i in 0..64 {
+            session
+                .prepare_query(query_with_filter(1_000_000 + i))
+                .unwrap()
+                .execute()
+                .unwrap();
+        }
+        assert!(
+            hot.bind(Params::none()).unwrap().cache_hit(),
+            "stale life-1 log records must not age the re-inserted shape"
+        );
+        assert!(db.plan_cache_stats().entries <= PLAN_CACHE_CAP);
     }
 
     #[test]

@@ -60,6 +60,16 @@ pub struct QueryResult {
     /// morsels contributes once.  `tuples_scanned` carries the exact row
     /// savings.
     pub blocks_pruned: u64,
+    /// Pages faulted in from disk by columnar scans on the paged backend
+    /// (16 KiB units); 0 on the in-memory backends and for buffer-pool
+    /// hits.  Each block faults at most once per scan — late
+    /// materialization reuses the admitted block.
+    pub pages_faulted: u64,
+    /// Pages that zone-map pruning kept from ever being read (the on-disk
+    /// footprint of the pruned blocks); 0 outside the paged backend.  A
+    /// pruned block is a page never read: together with `pages_faulted`
+    /// this quantifies the I/O the pruning saved.
+    pub pages_pruned: u64,
     /// The plan-cache outcome when this execution came through a prepared
     /// statement (`None` for hand-built plans executed directly).
     pub plan_cache: Option<PlanCacheLookup>,
@@ -103,6 +113,8 @@ impl QueryResult {
             predicate_evaluations: execution.predicate_evaluations,
             tuples_scanned: execution.tuples_scanned,
             blocks_pruned: execution.blocks_pruned,
+            pages_faulted: execution.pages_faulted,
+            pages_pruned: execution.pages_pruned,
             plan_cache: None,
             table_stats: Vec::new(),
         })
@@ -125,6 +137,12 @@ impl QueryResult {
         for (table, catalog) in &self.table_stats {
             out.push_str(&stats_line(table, catalog));
             out.push('\n');
+        }
+        if self.pages_faulted > 0 || self.pages_pruned > 0 {
+            out.push_str(&format!(
+                "paged storage: pages_faulted={}, pages_pruned={}\n",
+                self.pages_faulted, self.pages_pruned
+            ));
         }
         out.push_str(
             &self

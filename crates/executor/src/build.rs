@@ -412,6 +412,12 @@ pub struct ExecutionResult {
     /// count once per morsel (the exact row savings are in
     /// `tuples_scanned`).
     pub blocks_pruned: u64,
+    /// Buffer-pool pages faulted in from disk by columnar scans (0 on
+    /// RAM-resident backends).
+    pub pages_faulted: u64,
+    /// Pages of paged-out blocks that zone-map pruning skipped — disk reads
+    /// that never happened (0 on RAM-resident backends).
+    pub pages_pruned: u64,
 }
 
 impl ExecutionResult {
@@ -452,6 +458,8 @@ pub fn execute_physical_plan(
     let before = exec.ranking().counters().snapshot();
     let scanned_before = exec.budget().used();
     let pruned_before = exec.blocks_pruned();
+    let faulted_before = exec.pages_faulted();
+    let pages_pruned_before = exec.pages_pruned();
     let start = Instant::now();
     let mut root = build_operator(plan, catalog, exec)?;
     let tuples = drain_batched(root.as_mut(), exec.batch_size())?;
@@ -469,6 +477,8 @@ pub fn execute_physical_plan(
         predicate_evaluations,
         tuples_scanned: exec.budget().used() - scanned_before,
         blocks_pruned: exec.blocks_pruned() - pruned_before,
+        pages_faulted: exec.pages_faulted() - faulted_before,
+        pages_pruned: exec.pages_pruned() - pages_pruned_before,
     })
 }
 

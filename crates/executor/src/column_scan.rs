@@ -33,7 +33,8 @@ use ranksql_expr::{
     BoolExpr, BoundBoolExpr, CompareOp, RankedTuple, RankingContext, ScalarExpr, ScoreSource,
 };
 use ranksql_storage::{
-    cmp_f64_total, ColumnKind, ColumnSlice, ColumnTable, TableEpoch, ZoneEntry, COLUMN_BLOCK_ROWS,
+    cmp_f64_total, ColumnKind, ColumnSlice, ColumnTable, SealedBlock, TableEpoch, ZoneEntry,
+    COLUMN_BLOCK_ROWS,
 };
 
 use crate::context::{ExecutionContext, TopKThreshold, TupleBudget};
@@ -128,26 +129,32 @@ impl TypedCompare {
     /// perform, including `cmp_f64_total` NaN / signed-zero handling).
     /// `range` never spans a sealed-block boundary (the chunked filter
     /// clamps to the admitted block's end), so it maps onto one block slice.
-    fn filter_range_into(&self, table: &ColumnTable, range: Range<usize>, sel: &mut Vec<u32>) {
-        let block = range.start / COLUMN_BLOCK_ROWS;
-        let block_start = block * COLUMN_BLOCK_ROWS;
+    /// The kernels read the *fetched* [`SealedBlock`] (not the table), so a
+    /// paged-out block is faulted in exactly once per admission.
+    fn filter_range_into(
+        &self,
+        block: &SealedBlock,
+        block_start: usize,
+        range: Range<usize>,
+        sel: &mut Vec<u32>,
+    ) {
         let local = (range.start - block_start)..(range.end - block_start);
         let base = range.start as u32;
         match *self {
             TypedCompare::I64 { col, op, rhs } => {
-                let ColumnSlice::Int64(v) = table.block_slice(col, block) else {
+                let ColumnSlice::Int64(v) = block.slice(col) else {
                     unreachable!("compiled against an Int64 column");
                 };
                 kernel::select_i64(&v[local], base, sel, op, rhs);
             }
             TypedCompare::I64AsF64 { col, op, rhs } => {
-                let ColumnSlice::Int64(v) = table.block_slice(col, block) else {
+                let ColumnSlice::Int64(v) = block.slice(col) else {
                     unreachable!("compiled against an Int64 column");
                 };
                 kernel::select_i64_as_f64(&v[local], base, sel, op, rhs);
             }
             TypedCompare::F64 { col, op, rhs } => {
-                let ColumnSlice::Float64(v) = table.block_slice(col, block) else {
+                let ColumnSlice::Float64(v) = block.slice(col) else {
                     unreachable!("compiled against a Float64 column");
                 };
                 kernel::select_f64(&v[local], base, sel, op, rhs);
@@ -158,23 +165,23 @@ impl TypedCompare {
     /// Retains in `sel` only the rows (table-absolute, all inside `block`)
     /// that also pass this comparison, compacting the selection vector in
     /// place with branch-free writes.
-    fn filter_sel_in_place(&self, table: &ColumnTable, block: usize, sel: &mut Vec<u32>) {
-        let base = (block * COLUMN_BLOCK_ROWS) as u32;
+    fn filter_sel_in_place(&self, block: &SealedBlock, block_start: usize, sel: &mut Vec<u32>) {
+        let base = block_start as u32;
         match *self {
             TypedCompare::I64 { col, op, rhs } => {
-                let ColumnSlice::Int64(v) = table.block_slice(col, block) else {
+                let ColumnSlice::Int64(v) = block.slice(col) else {
                     unreachable!("compiled against an Int64 column");
                 };
                 kernel::refine_i64(v, base, sel, op, rhs);
             }
             TypedCompare::I64AsF64 { col, op, rhs } => {
-                let ColumnSlice::Int64(v) = table.block_slice(col, block) else {
+                let ColumnSlice::Int64(v) = block.slice(col) else {
                     unreachable!("compiled against an Int64 column");
                 };
                 kernel::refine_i64_as_f64(v, base, sel, op, rhs);
             }
             TypedCompare::F64 { col, op, rhs } => {
-                let ColumnSlice::Float64(v) = table.block_slice(col, block) else {
+                let ColumnSlice::Float64(v) = block.slice(col) else {
                     unreachable!("compiled against a Float64 column");
                 };
                 kernel::refine_f64(v, base, sel, op, rhs);
@@ -256,6 +263,10 @@ pub struct ColumnScan {
     repart_metrics: Option<Arc<OperatorMetrics>>,
     budget: Arc<TupleBudget>,
     pruned_counter: Arc<AtomicU64>,
+    /// Execution-wide count of buffer-pool pages faulted in from disk.
+    faulted_pages: Arc<AtomicU64>,
+    /// Execution-wide count of pages whose read zone-map pruning avoided.
+    pruned_pages: Arc<AtomicU64>,
     /// One bit per block of the scanned table, set when this scan (or, on
     /// the morsel path, any sibling morsel of the same spine sharing this
     /// map) counted the block as pruned — so a block overlapping several
@@ -268,6 +279,11 @@ pub struct ColumnScan {
     pos: usize,
     /// End of the currently admitted block (`pos == block_end` → advance).
     block_end: usize,
+    /// The currently admitted block, fetched through the buffer pool when
+    /// the backing table pages to disk: `(block_start_row, block)`.  All
+    /// row materialisation and typed filtering inside the block reads this
+    /// handle, so an admitted block is faulted in at most once.
+    cur_block: Option<(usize, Arc<SealedBlock>)>,
     /// Selection vector of the current block under a fully compiled filter
     /// (reused across blocks); rows before `sel_pos` are already emitted.
     sel: Vec<u32>,
@@ -445,8 +461,11 @@ impl ColumnScan {
             repart_metrics,
             budget: Arc::clone(exec.budget()),
             pruned_counter: Arc::clone(exec.blocks_pruned_counter()),
+            faulted_pages: Arc::clone(exec.pages_faulted_counter()),
+            pruned_pages: Arc::clone(exec.pages_pruned_counter()),
             pos: 0,
             block_end: 0,
+            cur_block: None,
             sel: Vec::new(),
             sel_pos: 0,
             scratch: Batch::new(),
@@ -480,6 +499,12 @@ impl ColumnScan {
         let bit = 1u64 << (block % 64);
         if self.pruned_blocks[block / 64].fetch_or(bit, Ordering::Relaxed) & bit == 0 {
             self.pruned_counter.fetch_add(1, Ordering::Relaxed);
+            // On a paged backend a pruned block is a page never read: its
+            // extent stays on disk.  Resident blocks report 0 pages.
+            let pages = self.table.block_pages(block);
+            if pages > 0 {
+                self.pruned_pages.fetch_add(pages, Ordering::Relaxed);
+            }
         }
     }
 
@@ -518,6 +543,16 @@ impl ColumnScan {
                     continue;
                 }
             }
+            // The block survived pruning: fault it in (buffer-pool read on
+            // a paged backend, free on a resident one) exactly once per
+            // admission.
+            let (sealed, faulted) = self.table.fetch_block(block)?;
+            if faulted {
+                use std::sync::atomic::Ordering;
+                self.faulted_pages
+                    .fetch_add(self.table.block_pages(block), Ordering::Relaxed);
+            }
+            self.cur_block = Some((block * COLUMN_BLOCK_ROWS, sealed));
             self.block_end = end;
             return Ok(true);
         }
@@ -541,18 +576,33 @@ impl ColumnScan {
             .min(self.block_end);
         self.sel.clear();
         self.sel_pos = 0;
-        let block = self.pos / COLUMN_BLOCK_ROWS;
+        let (block_start, block) = self
+            .cur_block
+            .as_ref()
+            .map(|(s, b)| (*s, Arc::clone(b)))
+            .expect("typed filter runs inside an admitted block");
         let (first, rest) = cmps.split_first().expect("typed filter is non-empty");
-        first.filter_range_into(&self.table, self.pos..chunk_end, &mut self.sel);
+        first.filter_range_into(&block, block_start, self.pos..chunk_end, &mut self.sel);
         for c in rest {
             if self.sel.is_empty() {
                 break;
             }
-            c.filter_sel_in_place(&self.table, block, &mut self.sel);
+            c.filter_sel_in_place(&block, block_start, &mut self.sel);
         }
         let examined = (chunk_end - self.pos) as u64;
         self.pos = chunk_end;
         self.charge_examined(examined)
+    }
+
+    /// Materialises the tuple at table-absolute `row` from the currently
+    /// admitted (already faulted-in) block — late materialisation never
+    /// touches the table, so it cannot re-fault a paged block.
+    fn block_tuple(&self, row: usize) -> Tuple {
+        let (block_start, block) = self
+            .cur_block
+            .as_ref()
+            .expect("materialisation runs inside an admitted block");
+        block.tuple(self.table.table_id(), *block_start, row - *block_start)
     }
 
     /// Records examined rows against the tuple budget and scan metrics.
@@ -596,7 +646,7 @@ impl ColumnScan {
                 None => {
                     let take = want.min(self.block_end - self.pos);
                     for row in self.pos..self.pos + take {
-                        out.push(RankedTuple::unranked(self.table.tuple(row), n_preds));
+                        out.push(RankedTuple::unranked(self.block_tuple(row), n_preds));
                     }
                     self.pos += take;
                     examined += take as u64;
@@ -608,11 +658,9 @@ impl ColumnScan {
                         continue;
                     }
                     let take = want.min(self.sel.len() - self.sel_pos);
-                    for &row in &self.sel[self.sel_pos..self.sel_pos + take] {
-                        out.push(RankedTuple::unranked(
-                            self.table.tuple(row as usize),
-                            n_preds,
-                        ));
+                    for i in self.sel_pos..self.sel_pos + take {
+                        let row = self.sel[i] as usize;
+                        out.push(RankedTuple::unranked(self.block_tuple(row), n_preds));
                     }
                     self.sel_pos += take;
                 }
@@ -621,7 +669,7 @@ impl ColumnScan {
                         let row = self.pos;
                         self.pos += 1;
                         examined += 1;
-                        let tuple = self.table.tuple(row);
+                        let tuple = self.block_tuple(row);
                         if bound.eval(&tuple)? {
                             out.push(RankedTuple::unranked(tuple, n_preds));
                         }

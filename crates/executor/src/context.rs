@@ -53,8 +53,17 @@ impl TopKThreshold {
     }
 
     /// Raises the threshold to `score` if it is higher than the current
-    /// value (under the total [`Score`] order, so `NaN` never raises).
+    /// value.  `NaN` is ignored outright: a NaN "worst kept score" carries
+    /// no ordering information, and letting it into the cell would make
+    /// every subsequent `prunes` comparison meaningless — a NaN-scoring row
+    /// must never change which blocks are pruned.  (The [`Score`] total
+    /// order below also sorts `NaN` lowest, so this guard is belt and
+    /// braces rather than load-bearing — but the property is important
+    /// enough to state, and regression-test, explicitly.)
     pub fn raise(&self, score: f64) {
+        if score.is_nan() {
+            return;
+        }
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             if Score::new(score) <= Score::new(f64::from_bits(cur)) {
@@ -186,6 +195,14 @@ pub struct ExecutionContext {
     /// several morsels counts once — serially and in parallel, one event =
     /// one distinct block.
     blocks_pruned: Arc<AtomicU64>,
+    /// Pages faulted in from disk by columnar scans over a paged backend
+    /// (always 0 for RAM-resident tables).  Counted at block granularity
+    /// when a scan's `fetch_block` misses the buffer pool.
+    pages_faulted: Arc<AtomicU64>,
+    /// Pages of paged-out blocks that zone-map pruning skipped — I/O that
+    /// never happened ("a pruned block is a page never read").  Deduped per
+    /// (scan, block) exactly like `blocks_pruned`.
+    pages_pruned: Arc<AtomicU64>,
 }
 
 impl ExecutionContext {
@@ -204,6 +221,8 @@ impl ExecutionContext {
             epochs: Arc::new(EpochSet::new()),
             prune_cells: Arc::new(Mutex::new(Vec::new())),
             blocks_pruned: Arc::new(AtomicU64::new(0)),
+            pages_faulted: Arc::new(AtomicU64::new(0)),
+            pages_pruned: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -361,6 +380,27 @@ impl ExecutionContext {
     /// hot loop skips the context indirection).
     pub(crate) fn blocks_pruned_counter(&self) -> &Arc<AtomicU64> {
         &self.blocks_pruned
+    }
+
+    /// Buffer-pool pages faulted in from disk so far in this execution.
+    pub fn pages_faulted(&self) -> u64 {
+        self.pages_faulted.load(Ordering::Relaxed)
+    }
+
+    /// Pages of paged-out blocks skipped by zone-map pruning so far in this
+    /// execution — reads that never reached the pool or the disk.
+    pub fn pages_pruned(&self) -> u64 {
+        self.pages_pruned.load(Ordering::Relaxed)
+    }
+
+    /// The shared faulted-pages counter (stored by columnar scans).
+    pub(crate) fn pages_faulted_counter(&self) -> &Arc<AtomicU64> {
+        &self.pages_faulted
+    }
+
+    /// The shared pruned-pages counter (stored by columnar scans).
+    pub(crate) fn pages_pruned_counter(&self) -> &Arc<AtomicU64> {
+        &self.pages_pruned
     }
 }
 

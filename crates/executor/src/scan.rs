@@ -102,6 +102,10 @@ pub struct RankScan {
     index: Arc<ScoreIndex>,
     predicate: usize,
     pos: usize,
+    /// The pinned epoch's row-count watermark: every heap read is checked
+    /// against it, so an index entry past the snapshot errors as stale
+    /// instead of silently leaking a post-pin insert into the results.
+    watermark: usize,
     ctx: Arc<RankingContext>,
     metrics: Arc<OperatorMetrics>,
     budget: Arc<TupleBudget>,
@@ -143,6 +147,7 @@ impl RankScan {
             index,
             predicate,
             pos: 0,
+            watermark,
             ctx,
             metrics: exec.register(label),
             budget: Arc::clone(exec.budget()),
@@ -160,12 +165,7 @@ impl PhysicalOperator for RankScan {
             return Ok(None);
         };
         self.pos += 1;
-        let tuple = self.table.tuple(row).ok_or_else(|| {
-            RankSqlError::Execution(format!(
-                "rank-scan index references missing row {row} of table `{}`",
-                self.table.name()
-            ))
-        })?;
+        let tuple = self.table.tuple_within(row, self.watermark)?;
         self.budget.charge(1)?;
         let mut rt = RankedTuple::unranked(tuple, self.ctx.num_predicates());
         rt.state.set(self.predicate, score.value());
@@ -184,12 +184,7 @@ impl PhysicalOperator for RankScan {
                 break;
             };
             self.pos += 1;
-            let tuple = self.table.tuple(row).ok_or_else(|| {
-                RankSqlError::Execution(format!(
-                    "rank-scan index references missing row {row} of table `{}`",
-                    self.table.name()
-                ))
-            })?;
+            let tuple = self.table.tuple_within(row, self.watermark)?;
             let mut rt = RankedTuple::unranked(tuple, n_preds);
             rt.state.set(self.predicate, score.value());
             out.push(rt);
@@ -223,6 +218,8 @@ pub struct AttributeIndexScan {
     table: Arc<Table>,
     index: Arc<BTreeIndex>,
     pos: usize,
+    /// The pinned epoch's row-count watermark (see [`RankScan::watermark`]).
+    watermark: usize,
     ctx: Arc<RankingContext>,
     metrics: Arc<OperatorMetrics>,
     budget: Arc<TupleBudget>,
@@ -253,6 +250,7 @@ impl AttributeIndexScan {
             table,
             index,
             pos: 0,
+            watermark,
             ctx: exec.ranking_arc(),
             metrics: exec.register(label),
             budget: Arc::clone(exec.budget()),
@@ -270,12 +268,7 @@ impl PhysicalOperator for AttributeIndexScan {
             return Ok(None);
         };
         self.pos += 1;
-        let tuple = self.table.tuple(row).ok_or_else(|| {
-            RankSqlError::Execution(format!(
-                "attribute index references missing row {row} of table `{}`",
-                self.table.name()
-            ))
-        })?;
+        let tuple = self.table.tuple_within(row, self.watermark)?;
         self.budget.charge(1)?;
         self.metrics.add_in(1);
         self.metrics.add_out(1);
@@ -293,12 +286,7 @@ impl PhysicalOperator for AttributeIndexScan {
                 break;
             };
             self.pos += 1;
-            let tuple = self.table.tuple(row).ok_or_else(|| {
-                RankSqlError::Execution(format!(
-                    "attribute index references missing row {row} of table `{}`",
-                    self.table.name()
-                ))
-            })?;
+            let tuple = self.table.tuple_within(row, self.watermark)?;
             out.push(RankedTuple::unranked(tuple, n_preds));
             n += 1;
         }

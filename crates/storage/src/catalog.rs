@@ -6,12 +6,18 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use ranksql_common::{RankSqlError, Result, Schema};
 
+use crate::recovery::PagedStore;
 use crate::table::Table;
 
 /// A named collection of tables.
 ///
 /// The catalog owns table-id assignment so that tuple identities
 /// (`TupleId::base(table_id, row)`) are unique across the database.
+///
+/// A catalog can be backed by a [`PagedStore`] (see
+/// [`PagedStore::open`], which attaches itself): every table created
+/// afterwards gets data/WAL files and a durable catalog entry, and its
+/// inserts follow the write-ahead-log protocol.
 #[derive(Debug, Default)]
 pub struct Catalog {
     inner: RwLock<CatalogInner>,
@@ -21,6 +27,7 @@ pub struct Catalog {
 struct CatalogInner {
     tables: BTreeMap<String, Arc<Table>>,
     next_id: u32,
+    store: Option<Arc<PagedStore>>,
 }
 
 impl Catalog {
@@ -43,12 +50,39 @@ impl Catalog {
         let id = inner.next_id;
         inner.next_id += 1;
         let table = Arc::new(Table::new(id, name, schema.qualify_all(name)));
+        if let Some(store) = inner.store.clone() {
+            // Durable before visible: if the files or the catalog rewrite
+            // fail, the table never appears (the id is burned, which is
+            // harmless — ids only need to be unique).
+            store.register_table(&table)?;
+        }
         inner.tables.insert(name.to_owned(), Arc::clone(&table));
         Ok(table)
     }
 
     /// Registers an already built table (used by the workload generators).
+    /// On a paged catalog the table's existing rows are persisted as part
+    /// of the registration.
     pub fn register_table(&self, table: Table) -> Result<Arc<Table>> {
+        let mut inner = self.inner.write();
+        let name = table.name().to_owned();
+        if inner.tables.contains_key(&name) {
+            return Err(RankSqlError::Catalog(format!(
+                "table `{name}` already exists"
+            )));
+        }
+        inner.next_id = inner.next_id.max(table.id() + 1);
+        let arc = Arc::new(table);
+        if let Some(store) = inner.store.clone() {
+            store.register_table(&arc)?;
+        }
+        inner.tables.insert(name, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Re-registers a table recovered from disk (the crash-recovery path
+    /// of [`PagedStore::open`]): no store hook — its files already exist.
+    pub(crate) fn adopt_recovered(&self, table: Table) -> Result<Arc<Table>> {
         let mut inner = self.inner.write();
         let name = table.name().to_owned();
         if inner.tables.contains_key(&name) {
@@ -60,6 +94,17 @@ impl Catalog {
         let arc = Arc::new(table);
         inner.tables.insert(name, Arc::clone(&arc));
         Ok(arc)
+    }
+
+    /// Attaches the paged store backing this catalog (done by
+    /// [`PagedStore::open`] after recovery).
+    pub(crate) fn attach_paged_store(&self, store: Arc<PagedStore>) {
+        self.inner.write().store = Some(store);
+    }
+
+    /// The paged store backing this catalog, if any.
+    pub fn paged_store(&self) -> Option<Arc<PagedStore>> {
+        self.inner.read().store.clone()
     }
 
     /// Looks up a table by name.
@@ -77,9 +122,20 @@ impl Catalog {
         self.inner.read().tables.contains_key(name)
     }
 
-    /// Removes a table; returns whether it existed.
+    /// Removes a table; returns whether it existed.  On a paged catalog
+    /// the table's files are deleted and the durable catalog rewritten, so
+    /// a dropped table cannot resurrect at the next open.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.inner.write().tables.remove(name).is_some()
+        let mut inner = self.inner.write();
+        match inner.tables.remove(name) {
+            Some(table) => {
+                if let Some(store) = inner.store.clone() {
+                    let _ = store.unregister_table(table.id());
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// The names of all tables (sorted).

@@ -32,8 +32,10 @@ use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
 
-use ranksql_common::{DataType, Schema, Tuple, TupleId, Value};
+use ranksql_common::{DataType, RankSqlError, Result, Schema, Tuple, TupleId, Value};
 
+use crate::page::BlockMeta;
+use crate::recovery::TableStore;
 use crate::table::Table;
 
 /// Rows per columnar block (the zone-map granularity and the seal boundary
@@ -46,8 +48,14 @@ pub enum StorageBackend {
     /// Row-major heap of tuples (the seed layout).
     #[default]
     Row,
-    /// Column-major blocks with zone maps ([`ColumnTable`]).
+    /// Column-major blocks with zone maps ([`ColumnTable`]), fully
+    /// RAM-resident.
     Columnar,
+    /// Column-major blocks backed by fixed-size pages in a table file,
+    /// faulted in through a buffer pool on demand
+    /// ([`crate::recovery::PagedStore`]).  A zone-pruned block is a page
+    /// never read.
+    Paged,
 }
 
 impl StorageBackend {
@@ -56,7 +64,15 @@ impl StorageBackend {
         match self {
             StorageBackend::Row => "row",
             StorageBackend::Columnar => "columnar",
+            StorageBackend::Paged => "paged",
         }
+    }
+
+    /// Whether scans over this backend read the columnar block layout (and
+    /// therefore go through the `columnarize` lowering pass).  `Paged` is
+    /// columnar: the same sealed blocks, just faulted through a buffer pool.
+    pub fn is_columnar(self) -> bool {
+        !matches!(self, StorageBackend::Row)
     }
 }
 
@@ -98,7 +114,7 @@ pub enum ZoneEntry {
 
 /// Type-specialised storage of one column within one block.
 #[derive(Debug)]
-enum BlockData {
+pub(crate) enum BlockData {
     Int64(Vec<i64>),
     Float64(Vec<f64>),
     Generic(Vec<Value>),
@@ -110,6 +126,14 @@ impl BlockData {
             BlockData::Int64(_) => ColumnKind::Int64,
             BlockData::Float64(_) => ColumnKind::Float64,
             BlockData::Generic(_) => ColumnKind::Generic,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            BlockData::Int64(v) => v.len(),
+            BlockData::Float64(v) => v.len(),
+            BlockData::Generic(v) => v.len(),
         }
     }
 }
@@ -128,8 +152,8 @@ pub enum ColumnSlice<'a> {
 /// One column of a sealed block: its data plus zone metadata (numeric
 /// blocks only).
 #[derive(Debug)]
-struct BlockColumn {
-    data: BlockData,
+pub(crate) struct BlockColumn {
+    pub(crate) data: BlockData,
     /// Min/max of the block's values in the native type (`None` for
     /// generic blocks).
     zone: Option<ZoneEntry>,
@@ -140,13 +164,191 @@ struct BlockColumn {
     score_max: Option<f64>,
 }
 
+impl BlockColumn {
+    /// Rebuilds a column from its raw data, recomputing zone metadata with
+    /// the same folds the seal path uses — the decode side of the extent
+    /// format never stores zones on disk, it re-derives them here so both
+    /// paths cannot disagree.
+    pub(crate) fn from_data(data: BlockData) -> BlockColumn {
+        match data {
+            BlockData::Int64(v) => BlockColumn::from_i64(v),
+            BlockData::Float64(v) => BlockColumn::from_f64(v),
+            BlockData::Generic(v) => BlockColumn {
+                data: BlockData::Generic(v),
+                zone: None,
+                score_max: None,
+            },
+        }
+    }
+
+    fn from_i64(data: Vec<i64>) -> BlockColumn {
+        let zone = (!data.is_empty()).then(|| {
+            let min = data.iter().copied().min().expect("non-empty block");
+            let max = data.iter().copied().max().expect("non-empty block");
+            ZoneEntry::Int64(min, max)
+        });
+        let score_max = data
+            .iter()
+            .map(|&v| (v as f64).clamp(0.0, 1.0))
+            .fold(f64::NEG_INFINITY, f64::max);
+        BlockColumn {
+            data: BlockData::Int64(data),
+            zone,
+            score_max: Some(score_max),
+        }
+    }
+
+    fn from_f64(data: Vec<f64>) -> BlockColumn {
+        // Fold with the same total order `Value` comparisons use: NaN sorts
+        // greatest, so the max dominates every value as the filter sees it.
+        let zone = (!data.is_empty()).then(|| {
+            let mut min = data[0];
+            let mut max = data[0];
+            for &v in &data[1..] {
+                if cmp_f64_total(v, min).is_lt() {
+                    min = v;
+                }
+                if cmp_f64_total(v, max).is_gt() {
+                    max = v;
+                }
+            }
+            ZoneEntry::Float64(min, max)
+        });
+        let score_max = data
+            .iter()
+            .filter(|v| !v.is_nan())
+            .map(|&v| v.clamp(0.0, 1.0))
+            .fold(f64::NEG_INFINITY, f64::max);
+        BlockColumn {
+            data: BlockData::Float64(data),
+            zone,
+            score_max: Some(score_max),
+        }
+    }
+}
+
 /// An immutable block of up to [`COLUMN_BLOCK_ROWS`] rows: per-column typed
 /// vectors with zone maps and score maxima, built once at seal time and
 /// never touched again.
 #[derive(Debug)]
 pub struct SealedBlock {
     rows: usize,
-    columns: Vec<BlockColumn>,
+    pub(crate) columns: Vec<BlockColumn>,
+}
+
+impl SealedBlock {
+    /// Reassembles a block from decoded column data (the extent decode
+    /// path), recomputing per-column zone metadata.
+    pub(crate) fn from_data(columns: Vec<BlockData>) -> SealedBlock {
+        let rows = columns.first().map(BlockData::len).unwrap_or(0);
+        SealedBlock {
+            rows,
+            columns: columns.into_iter().map(BlockColumn::from_data).collect(),
+        }
+    }
+
+    /// Number of rows in this block.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// A borrowed view of one column's values.
+    pub fn slice(&self, column: usize) -> ColumnSlice<'_> {
+        match &self.columns[column].data {
+            BlockData::Int64(v) => ColumnSlice::Int64(v),
+            BlockData::Float64(v) => ColumnSlice::Float64(v),
+            BlockData::Generic(v) => ColumnSlice::Generic(v),
+        }
+    }
+
+    /// The zone map of `column` (`None` for non-numeric blocks).
+    pub fn zone(&self, column: usize) -> Option<ZoneEntry> {
+        self.columns[column].zone
+    }
+
+    /// The maximal possible ranking score of `column` (clamped `[0, 1]`,
+    /// `NaN` ignored; `None` for non-numeric blocks).
+    pub fn score_max(&self, column: usize) -> Option<f64> {
+        self.columns[column].score_max
+    }
+
+    /// The value at `(local_row, column)` within this block.
+    pub fn value(&self, local_row: usize, column: usize) -> Value {
+        match &self.columns[column].data {
+            BlockData::Int64(v) => Value::Int64(v[local_row]),
+            BlockData::Float64(v) => Value::Float64(v[local_row]),
+            BlockData::Generic(v) => v[local_row].clone(),
+        }
+    }
+
+    /// Materialises the full tuple at `local_row`, with the row-backend
+    /// identity `(table_id, base_row + local_row)` so results stay
+    /// byte-compatible across backends.
+    pub fn tuple(&self, table_id: u32, base_row: usize, local_row: usize) -> Tuple {
+        let mut values = Vec::with_capacity(self.columns.len());
+        for col in &self.columns {
+            values.push(match &col.data {
+                BlockData::Int64(v) => Value::Int64(v[local_row]),
+                BlockData::Float64(v) => Value::Float64(v[local_row]),
+                BlockData::Generic(v) => v[local_row].clone(),
+            });
+        }
+        Tuple::new(
+            TupleId::base(table_id, (base_row + local_row) as u64),
+            values,
+        )
+    }
+}
+
+/// One block position of a [`ColumnTable`]: either the sealed block itself
+/// (RAM-resident, the `Row`/`Columnar` backends and unsealed tails) or the
+/// page-extent metadata of a block that lives in the table file and is
+/// faulted in through the buffer pool on first touch (`Paged`).
+///
+/// A paged slot keeps the zone maps and score maxima in RAM
+/// ([`BlockMeta`]), so zone-map pruning decides *without touching disk* —
+/// a pruned block is a page never read.
+#[derive(Debug, Clone)]
+pub(crate) enum BlockSlot {
+    /// The block data itself, RAM-resident.
+    Resident(Arc<SealedBlock>),
+    /// Metadata of a block stored as a page extent in the table file.
+    Paged(Arc<BlockMeta>),
+}
+
+impl BlockSlot {
+    fn rows(&self) -> usize {
+        match self {
+            BlockSlot::Resident(b) => b.rows,
+            BlockSlot::Paged(m) => m.rows,
+        }
+    }
+
+    fn kind(&self, column: usize) -> ColumnKind {
+        match self {
+            BlockSlot::Resident(b) => b.columns[column].data.kind(),
+            BlockSlot::Paged(m) => m.columns[column].kind,
+        }
+    }
+
+    fn zone(&self, column: usize) -> Option<ZoneEntry> {
+        match self {
+            BlockSlot::Resident(b) => b.columns[column].zone,
+            BlockSlot::Paged(m) => m.columns[column].zone,
+        }
+    }
+
+    fn score_max(&self, column: usize) -> Option<f64> {
+        match self {
+            BlockSlot::Resident(b) => b.columns[column].score_max,
+            BlockSlot::Paged(m) => m.columns[column].score_max,
+        }
+    }
 }
 
 /// The columnar projection of a [`Table`]: `Arc`-shared sealed blocks, each
@@ -168,7 +370,10 @@ pub struct ColumnTable {
     /// when blocks disagree).  Typed scan kernels only engage on columns
     /// whose kind is uniform and numeric.
     kinds: Vec<ColumnKind>,
-    blocks: Vec<Arc<SealedBlock>>,
+    pub(crate) blocks: Vec<BlockSlot>,
+    /// The paged table store behind `Paged` slots (`None` for fully
+    /// RAM-resident projections).
+    pub(crate) store: Option<Arc<TableStore>>,
 }
 
 impl ColumnTable {
@@ -182,9 +387,9 @@ impl ColumnTable {
     /// block may be partial).
     pub fn from_rows(table_id: u32, name: &str, schema: &Schema, rows: &[Tuple]) -> Self {
         let n_cols = schema.len();
-        let blocks: Vec<Arc<SealedBlock>> = rows
+        let blocks: Vec<BlockSlot> = rows
             .chunks(COLUMN_BLOCK_ROWS)
-            .map(|chunk| Arc::new(build_block(chunk, n_cols)))
+            .map(|chunk| BlockSlot::Resident(Arc::new(build_block(chunk, n_cols))))
             .collect();
         let kinds = fold_kinds(&blocks, schema);
         ColumnTable {
@@ -194,6 +399,7 @@ impl ColumnTable {
             row_count: rows.len(),
             kinds,
             blocks,
+            store: None,
         }
     }
 
@@ -208,9 +414,9 @@ impl ColumnTable {
         let full_blocks = (self.row_count / COLUMN_BLOCK_ROWS).min(coverage / COLUMN_BLOCK_ROWS);
         let keep_rows = full_blocks * COLUMN_BLOCK_ROWS;
         let n_cols = self.schema.len();
-        let mut blocks: Vec<Arc<SealedBlock>> = self.blocks[..full_blocks].to_vec();
+        let mut blocks: Vec<BlockSlot> = self.blocks[..full_blocks].to_vec();
         for chunk in rows[keep_rows..coverage].chunks(COLUMN_BLOCK_ROWS) {
-            blocks.push(Arc::new(build_block(chunk, n_cols)));
+            blocks.push(BlockSlot::Resident(Arc::new(build_block(chunk, n_cols))));
         }
         let kinds = fold_kinds(&blocks, &self.schema);
         ColumnTable {
@@ -220,6 +426,7 @@ impl ColumnTable {
             row_count: coverage,
             kinds,
             blocks,
+            store: self.store.clone(),
         }
     }
 
@@ -251,7 +458,7 @@ impl ColumnTable {
     /// The row range of block `block`.
     pub fn block_rows(&self, block: usize) -> Range<usize> {
         let start = block * COLUMN_BLOCK_ROWS;
-        start..(start + self.blocks[block].rows)
+        start..(start + self.blocks[block].rows())
     }
 
     /// The storage kind of a column (uniform across blocks; `Generic` when
@@ -261,25 +468,63 @@ impl ColumnTable {
     }
 
     /// A borrowed view of one column's values within `block`.
+    ///
+    /// Only valid for RAM-resident blocks; scans over a paged projection
+    /// must fault the block in through [`ColumnTable::fetch_block`] and
+    /// slice the returned [`SealedBlock`] instead.
+    ///
+    /// # Panics
+    /// If `block` is paged out.
     pub fn block_slice(&self, column: usize, block: usize) -> ColumnSlice<'_> {
-        match &self.blocks[block].columns[column].data {
-            BlockData::Int64(v) => ColumnSlice::Int64(v),
-            BlockData::Float64(v) => ColumnSlice::Float64(v),
-            BlockData::Generic(v) => ColumnSlice::Generic(v),
+        match &self.blocks[block] {
+            BlockSlot::Resident(b) => b.slice(column),
+            BlockSlot::Paged(_) => {
+                panic!("block {block} is paged out; fault it in through fetch_block")
+            }
+        }
+    }
+
+    /// The block at `block`, faulting it in through the buffer pool when it
+    /// is paged out.  Returns the block and whether a page fault (a disk
+    /// read) happened — `false` for resident blocks and pool hits.
+    pub fn fetch_block(&self, block: usize) -> Result<(Arc<SealedBlock>, bool)> {
+        match &self.blocks[block] {
+            BlockSlot::Resident(b) => Ok((Arc::clone(b), false)),
+            BlockSlot::Paged(meta) => {
+                let store = self.store.as_ref().ok_or_else(|| {
+                    RankSqlError::Storage(format!(
+                        "table `{}` block {block} is paged but no store is attached",
+                        self.name
+                    ))
+                })?;
+                store.fetch(meta)
+            }
+        }
+    }
+
+    /// How many disk pages backing `block` a scan *avoids* by pruning it:
+    /// the extent size of a paged slot, `0` for RAM-resident blocks (there
+    /// is no I/O to save).
+    pub fn block_pages(&self, block: usize) -> u64 {
+        match &self.blocks[block] {
+            BlockSlot::Resident(_) => 0,
+            BlockSlot::Paged(meta) => meta.pages,
         }
     }
 
     /// The zone map of `column` within `block` (`None` for non-numeric /
-    /// mixed blocks, which cannot be range-pruned soundly).
+    /// mixed blocks, which cannot be range-pruned soundly).  Zone metadata
+    /// stays RAM-resident even for paged blocks, so pruning never touches
+    /// disk.
     pub fn zone(&self, column: usize, block: usize) -> Option<ZoneEntry> {
-        self.blocks.get(block)?.columns[column].zone
+        self.blocks.get(block)?.zone(column)
     }
 
     /// The maximal possible *ranking score* of column `column` within
     /// `block`: the block maximum clamped into `[0, 1]` (`NaN` ignored).
     /// `None` when the block carries no zone maps for the column.
     pub fn score_zone_max(&self, column: usize, block: usize) -> Option<f64> {
-        self.blocks.get(block)?.columns[column].score_max
+        self.blocks.get(block)?.score_max(column)
     }
 
     /// The maximal possible ranking score of column `column` over the whole
@@ -291,46 +536,64 @@ impl ColumnTable {
         }
         let mut acc = f64::NEG_INFINITY;
         for b in &self.blocks {
-            acc = acc.max(b.columns[column].score_max?);
+            acc = acc.max(b.score_max(column)?);
         }
         Some(acc)
     }
 
-    /// The value at `(row, column)` (reconstructed from the typed storage).
+    /// The value at `(row, column)` (reconstructed from the typed storage,
+    /// faulting the block in when paged out).
+    ///
+    /// # Panics
+    /// If a paged block cannot be read back from disk.
     pub fn value(&self, row: usize, column: usize) -> Value {
-        let block = &self.blocks[row / COLUMN_BLOCK_ROWS];
-        let local = row % COLUMN_BLOCK_ROWS;
-        match &block.columns[column].data {
-            BlockData::Int64(v) => Value::Int64(v[local]),
-            BlockData::Float64(v) => Value::Float64(v[local]),
-            BlockData::Generic(v) => v[local].clone(),
-        }
+        let (block, _) = self
+            .fetch_block(row / COLUMN_BLOCK_ROWS)
+            .expect("paged block read failed");
+        block.value(row % COLUMN_BLOCK_ROWS, column)
     }
 
     /// Materialises the full tuple of `row` (identity
     /// `(table_id, row)` — identical to the row backend's, so results are
-    /// byte-compatible across backends).
+    /// byte-compatible across backends), faulting the block in when paged
+    /// out.
+    ///
+    /// # Panics
+    /// If a paged block cannot be read back from disk.
     pub fn tuple(&self, row: usize) -> Tuple {
-        let block = &self.blocks[row / COLUMN_BLOCK_ROWS];
         let local = row % COLUMN_BLOCK_ROWS;
-        let mut values = Vec::with_capacity(block.columns.len());
-        for col in &block.columns {
-            values.push(match &col.data {
-                BlockData::Int64(v) => Value::Int64(v[local]),
-                BlockData::Float64(v) => Value::Float64(v[local]),
-                BlockData::Generic(v) => v[local].clone(),
-            });
+        let (block, _) = self
+            .fetch_block(row / COLUMN_BLOCK_ROWS)
+            .expect("paged block read failed");
+        block.tuple(self.table_id, row - local, local)
+    }
+
+    /// The resident block at `block`, `None` when it is paged out (test
+    /// and bench introspection).
+    #[cfg(test)]
+    pub(crate) fn resident_block(&self, block: usize) -> Option<&Arc<SealedBlock>> {
+        match &self.blocks[block] {
+            BlockSlot::Resident(b) => Some(b),
+            BlockSlot::Paged(_) => None,
         }
-        Tuple::new(TupleId::base(self.table_id, row as u64), values)
+    }
+
+    /// How many of this projection's blocks are paged out to the table
+    /// file (rather than RAM-resident).
+    pub fn paged_blocks(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|s| matches!(s, BlockSlot::Paged(_)))
+            .count()
     }
 }
 
 /// Folds the per-block column kinds into one kind per column; an empty
 /// block list (fresh table) falls back to the schema's declared types.
-fn fold_kinds(blocks: &[Arc<SealedBlock>], schema: &Schema) -> Vec<ColumnKind> {
+fn fold_kinds(blocks: &[BlockSlot], schema: &Schema) -> Vec<ColumnKind> {
     (0..schema.len())
         .map(|col| {
-            let mut it = blocks.iter().map(|b| b.columns[col].data.kind());
+            let mut it = blocks.iter().map(|b| b.kind(col));
             match it.next() {
                 None => match schema.fields()[col].data_type {
                     DataType::Int64 => ColumnKind::Int64,
@@ -379,60 +642,23 @@ fn build_block_column(rows: &[Tuple], col: usize) -> BlockColumn {
         }
     }
     if all_i64 {
-        let data: Vec<i64> = rows
-            .iter()
-            .map(|t| match t.value(col) {
-                Value::Int64(v) => *v,
-                _ => unreachable!("classified as pure Int64"),
-            })
-            .collect();
-        let zone = (!data.is_empty()).then(|| {
-            let min = data.iter().copied().min().expect("non-empty block");
-            let max = data.iter().copied().max().expect("non-empty block");
-            ZoneEntry::Int64(min, max)
-        });
-        let score_max = data
-            .iter()
-            .map(|&v| (v as f64).clamp(0.0, 1.0))
-            .fold(f64::NEG_INFINITY, f64::max);
-        BlockColumn {
-            data: BlockData::Int64(data),
-            zone,
-            score_max: Some(score_max),
-        }
+        BlockColumn::from_i64(
+            rows.iter()
+                .map(|t| match t.value(col) {
+                    Value::Int64(v) => *v,
+                    _ => unreachable!("classified as pure Int64"),
+                })
+                .collect(),
+        )
     } else if all_f64 {
-        let data: Vec<f64> = rows
-            .iter()
-            .map(|t| match t.value(col) {
-                Value::Float64(v) => *v,
-                _ => unreachable!("classified as pure Float64"),
-            })
-            .collect();
-        // Fold with the same total order `Value` comparisons use: NaN sorts
-        // greatest, so the max dominates every value as the filter sees it.
-        let zone = (!data.is_empty()).then(|| {
-            let mut min = data[0];
-            let mut max = data[0];
-            for &v in &data[1..] {
-                if cmp_f64_total(v, min).is_lt() {
-                    min = v;
-                }
-                if cmp_f64_total(v, max).is_gt() {
-                    max = v;
-                }
-            }
-            ZoneEntry::Float64(min, max)
-        });
-        let score_max = data
-            .iter()
-            .filter(|v| !v.is_nan())
-            .map(|&v| v.clamp(0.0, 1.0))
-            .fold(f64::NEG_INFINITY, f64::max);
-        BlockColumn {
-            data: BlockData::Float64(data),
-            zone,
-            score_max: Some(score_max),
-        }
+        BlockColumn::from_f64(
+            rows.iter()
+                .map(|t| match t.value(col) {
+                    Value::Float64(v) => *v,
+                    _ => unreachable!("classified as pure Float64"),
+                })
+                .collect(),
+        )
     } else {
         BlockColumn {
             data: BlockData::Generic(rows.iter().map(|t| t.value(col).clone()).collect()),
@@ -572,11 +798,17 @@ mod tests {
         assert_eq!(sealed.num_blocks(), 2);
         // Block 0 was full before the reseal: shared, not rebuilt.
         assert!(
-            Arc::ptr_eq(&c.blocks[0], &sealed.blocks[0]),
+            Arc::ptr_eq(
+                c.resident_block(0).unwrap(),
+                sealed.resident_block(0).unwrap()
+            ),
             "sealed blocks must be shared across versions"
         );
         // Block 1 was partial (500 rows): replaced by its completed version.
-        assert!(!Arc::ptr_eq(&c.blocks[1], &sealed.blocks[1]));
+        assert!(!Arc::ptr_eq(
+            c.resident_block(1).unwrap(),
+            sealed.resident_block(1).unwrap()
+        ));
         assert_eq!(sealed.block_rows(1).len(), COLUMN_BLOCK_ROWS);
 
         // A reseal matches a from-scratch build over the same prefix.
@@ -598,6 +830,10 @@ mod tests {
     fn backend_tags_render() {
         assert_eq!(StorageBackend::Row.to_string(), "row");
         assert_eq!(StorageBackend::Columnar.to_string(), "columnar");
+        assert_eq!(StorageBackend::Paged.to_string(), "paged");
         assert_eq!(StorageBackend::default(), StorageBackend::Row);
+        assert!(!StorageBackend::Row.is_columnar());
+        assert!(StorageBackend::Columnar.is_columnar());
+        assert!(StorageBackend::Paged.is_columnar());
     }
 }

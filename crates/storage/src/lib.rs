@@ -26,19 +26,31 @@
 //! * [`csv`] — a dependency-free CSV reader (with optional schema inference)
 //!   so user data can be loaded into tables, the counterpart of the `COPY`
 //!   path the PostgreSQL prototype used.
+//! * Paged storage — [`recovery::PagedStore`] turns a catalog into a
+//!   database *directory*: sealed columnar blocks live in page-aligned,
+//!   CRC-guarded extents on disk ([`page`]), faulted in on demand through a
+//!   clock-replacement [`buffer::BufferPool`], with a per-table write-ahead
+//!   log ([`wal`]) and crash recovery to the last durable epoch.
+//!   Zone/score metadata stays RAM-resident, so a zone-map prune is a page
+//!   never read.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod buffer;
 pub mod catalog;
 pub mod column;
 pub mod csv;
 pub mod index;
+pub mod page;
+pub mod recovery;
 pub mod sample;
 pub mod sketch;
 pub mod stats;
 pub mod table;
+pub mod wal;
 
+pub use buffer::{BufferPool, FrameKey};
 pub use catalog::Catalog;
 pub use column::{
     cmp_f64_total, ColumnKind, ColumnSlice, ColumnTable, SealedBlock, StorageBackend, ZoneEntry,
@@ -46,6 +58,8 @@ pub use column::{
 };
 pub use csv::{infer_schema, parse_csv, CsvOptions};
 pub use index::{BTreeIndex, HashIndex, ScoreIndex};
+pub use page::{crc32, BlockMeta, PagedColumn, PAGE_SIZE};
+pub use recovery::{PagedOptions, PagedStore, TableStore};
 pub use sample::{reservoir_sample, sample_fraction};
 pub use sketch::{stable_value_hash, DistinctSketch, ARRAY_CAPACITY, HLL_PRECISION};
 pub use stats::{

@@ -1,0 +1,739 @@
+//! The paged table store and crash recovery.
+//!
+//! A [`PagedStore`] is a database directory:
+//!
+//! ```text
+//! <dir>/catalog.rsql   table specs (id, name, schema), CRC-guarded,
+//!                      rewritten atomically on every CREATE TABLE
+//! <dir>/t<id>.dat      per-table data file: page-aligned block extents
+//! <dir>/t<id>.wal      per-table write-ahead log (rows past the extents)
+//! ```
+//!
+//! Each table's [`TableStore`] owns the data file + WAL pair and drives the
+//! durability protocol, anchored on the epoch ordinal (the row-count
+//! watermark) as the LSN:
+//!
+//! 1. every insert appends one WAL record — buffered write, **no fsync**;
+//! 2. at each 1024-row seal boundary: fsync the WAL (rows now durable) →
+//!    append the sealed block's extent(s) to the data file → fsync it →
+//!    atomically rewrite the WAL to hold only the rows past the new extent
+//!    coverage → the sealed block's slot in the columnar projection flips
+//!    from RAM-resident to paged ([`crate::column`]'s `BlockSlot::Paged`),
+//!    and the block itself enters the buffer pool (write-through);
+//! 3. recovery ([`PagedStore::open`]) decodes the longest CRC-valid extent
+//!    prefix of each data file, truncates everything past it, then replays
+//!    the WAL's valid record prefix on top — landing exactly on the last
+//!    durable epoch.
+//!
+//! Scans fault paged blocks back in through the shared [`BufferPool`]
+//! (`TableStore::fetch`); zone metadata never leaves RAM, so a zone-map
+//! prune is a page never read.
+//!
+//! Scoping note: the *row heap* of a paged table is still rebuilt into RAM
+//! at open (row-path operators, indexes and statistics are unchanged);
+//! what pages to disk is the columnar scan path — the hot path of every
+//! top-k plan.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use ranksql_common::{DataType, Field, RankSqlError, Result, Schema, Tuple, TupleId, Value};
+
+use crate::buffer::BufferPool;
+use crate::catalog::Catalog;
+use crate::column::{BlockSlot, ColumnTable, SealedBlock, COLUMN_BLOCK_ROWS};
+use crate::page::{
+    crc32, decode_extent, encode_extent, put_str, put_u32, BlockMeta, Reader, PAGE_SIZE,
+};
+use crate::table::Table;
+use crate::wal::WalFile;
+
+/// Magic number opening the catalog file (`"RqCt"`).
+const CATALOG_MAGIC: u32 = 0x5271_4374;
+
+/// Configuration of a [`PagedStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct PagedOptions {
+    /// Buffer-pool capacity in [`PAGE_SIZE`] pages, shared by every table
+    /// of the store.  The default (1024 pages = 16 MiB) comfortably holds
+    /// small working sets while letting the `ablation_buffer_pool` bench
+    /// squeeze it below dataset size.
+    pub pool_pages: u64,
+}
+
+impl Default for PagedOptions {
+    fn default() -> Self {
+        PagedOptions { pool_pages: 1024 }
+    }
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> RankSqlError {
+    RankSqlError::Storage(format!("{what} `{}`: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// TableStore: one table's data file + WAL.
+// ---------------------------------------------------------------------------
+
+/// The disk half of one paged table: its extent data file, its WAL and the
+/// metadata of every durable block.  Shared between the [`Table`] (which
+/// appends) and every [`ColumnTable`] version with paged slots (which
+/// fault blocks back in through the pool).
+#[derive(Debug)]
+pub struct TableStore {
+    table_id: u32,
+    pool: Arc<BufferPool>,
+    inner: Mutex<StoreInner>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    data: File,
+    data_path: PathBuf,
+    data_len: u64,
+    wal: WalFile,
+    /// Metadata of every durable extent, in block order.  `metas.len()`
+    /// is the durable block count — the idempotency anchor that lets two
+    /// racing epoch builders call [`TableStore::persist`] safely.
+    metas: Vec<Arc<BlockMeta>>,
+}
+
+fn data_path(dir: &Path, table_id: u32) -> PathBuf {
+    dir.join(format!("t{table_id}.dat"))
+}
+
+fn wal_path(dir: &Path, table_id: u32) -> PathBuf {
+    dir.join(format!("t{table_id}.wal"))
+}
+
+impl TableStore {
+    /// Creates fresh (empty) files for a new table.
+    fn create(dir: &Path, table_id: u32, pool: Arc<BufferPool>) -> Result<TableStore> {
+        let path = data_path(dir, table_id);
+        let data = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err("cannot create table data file", &path, e))?;
+        let wal = WalFile::create(wal_path(dir, table_id), table_id)?;
+        Ok(TableStore {
+            table_id,
+            pool,
+            inner: Mutex::new(StoreInner {
+                data,
+                data_path: path,
+                data_len: 0,
+                wal,
+                metas: Vec::new(),
+            }),
+        })
+    }
+
+    /// Opens and recovers one table: decodes the longest CRC-valid extent
+    /// prefix (truncating any torn tail), replays the WAL past the extent
+    /// coverage, and returns the store plus the recovered row heap.
+    fn open(dir: &Path, table_id: u32, pool: Arc<BufferPool>) -> Result<(TableStore, Vec<Tuple>)> {
+        let path = data_path(dir, table_id);
+        let mut data = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            // Existing bytes are the durable prefix we recover from.
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("cannot open table data file", &path, e))?;
+        let mut bytes = Vec::new();
+        data.read_to_end(&mut bytes)
+            .map_err(|e| io_err("cannot read table data file", &path, e))?;
+
+        let mut metas = Vec::new();
+        let mut rows: Vec<Tuple> = Vec::new();
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let decoded = match decode_extent(&bytes[offset..])? {
+                Some(d) if d.block_no == metas.len() as u64 => d,
+                // Torn, corrupt or out-of-order extent: the durable prefix
+                // ends here.
+                _ => break,
+            };
+            let base_row = rows.len();
+            for local in 0..decoded.block.rows() {
+                rows.push(decoded.block.tuple(table_id, base_row, local));
+            }
+            metas.push(Arc::new(BlockMeta::describe(
+                decoded.block_no,
+                offset as u64,
+                decoded.len,
+                &decoded.block,
+            )));
+            offset += decoded.len;
+        }
+        if offset < bytes.len() {
+            data.set_len(offset as u64)
+                .map_err(|e| io_err("cannot truncate table data file", &path, e))?;
+        }
+
+        let (wal, _base_row, records) = WalFile::open(wal_path(dir, table_id), table_id)?;
+        for rec in records {
+            // Records below the extent coverage are duplicates of sealed
+            // rows (a crash between the extent fsync and the WAL rewrite);
+            // records past the next expected row would leave a hole —
+            // either way the durable epoch ends at the last contiguous row.
+            if (rec.row_index as usize) < rows.len() {
+                continue;
+            }
+            if rec.row_index as usize != rows.len() {
+                break;
+            }
+            rows.push(Tuple::new(
+                TupleId::base(table_id, rec.row_index),
+                rec.values,
+            ));
+        }
+
+        Ok((
+            TableStore {
+                table_id,
+                pool,
+                inner: Mutex::new(StoreInner {
+                    data,
+                    data_path: path,
+                    data_len: offset as u64,
+                    wal,
+                    metas,
+                }),
+            },
+            rows,
+        ))
+    }
+
+    /// The id of the table this store backs.
+    pub fn table_id(&self) -> u32 {
+        self.table_id
+    }
+
+    /// The buffer pool this store faults blocks through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Appends one row to the WAL (buffered, unsynced — called from
+    /// [`Table::insert`] under the row write lock).
+    pub(crate) fn append_wal(&self, row_index: u64, values: &[Value]) -> Result<()> {
+        self.inner.lock().wal.append(row_index, values)
+    }
+
+    /// Makes `ct`'s sealed full blocks durable and flips them to paged
+    /// slots, following the seal-boundary protocol (WAL fsync → extent
+    /// append → data fsync → WAL rewrite).  Idempotent: blocks already
+    /// durable are re-pointed at their existing [`BlockMeta`], so racing
+    /// epoch builders converge on shared metadata.  `rows` must be the
+    /// full row slice `ct` was built from (its tail re-seeds the WAL).
+    ///
+    /// With `force_wal_rewrite`, the WAL is re-seeded even when no new
+    /// extent was appended — the attach path for tables that carried rows
+    /// before the store existed.
+    pub(crate) fn persist(
+        self: &Arc<Self>,
+        ct: &mut ColumnTable,
+        rows: &[Tuple],
+        force_wal_rewrite: bool,
+    ) -> Result<()> {
+        let full_blocks = ct.row_count() / COLUMN_BLOCK_ROWS;
+        let mut inner = self.inner.lock();
+        let mut appended = false;
+        for i in 0..full_blocks {
+            let resident = match &ct.blocks[i] {
+                BlockSlot::Resident(b) => Arc::clone(b),
+                BlockSlot::Paged(_) => continue,
+            };
+            if i < inner.metas.len() {
+                // Another epoch builder already wrote this block.
+                ct.blocks[i] = BlockSlot::Paged(Arc::clone(&inner.metas[i]));
+                continue;
+            }
+            debug_assert_eq!(i, inner.metas.len(), "extents are appended in order");
+            if !appended {
+                // Rows about to leave the WAL's coverage must be durable
+                // *in the WAL* before the extent exists — else a crash
+                // between here and the rewrite could lose them.
+                inner.wal.sync()?;
+                appended = true;
+            }
+            let bytes = encode_extent(i as u64, &resident);
+            let offset = inner.data_len;
+            inner
+                .data
+                .seek(SeekFrom::Start(offset))
+                .and_then(|_| inner.data.write_all(&bytes))
+                .map_err(|e| io_err("cannot append extent", &inner.data_path, e))?;
+            inner.data_len += bytes.len() as u64;
+            let meta = Arc::new(BlockMeta::describe(
+                i as u64,
+                offset,
+                bytes.len(),
+                &resident,
+            ));
+            inner.metas.push(Arc::clone(&meta));
+            // Write-through: the freshly sealed block is hot; admit it so
+            // the next scan doesn't immediately fault it back in.
+            self.pool
+                .insert((self.table_id, i as u64), resident, meta.pages);
+            ct.blocks[i] = BlockSlot::Paged(meta);
+        }
+        if appended || force_wal_rewrite {
+            if appended {
+                inner
+                    .data
+                    .sync_all()
+                    .map_err(|e| io_err("cannot sync table data file", &inner.data_path, e))?;
+            }
+            let coverage = inner.metas.len() * COLUMN_BLOCK_ROWS;
+            let tail: Vec<(u64, &[Value])> = rows[coverage.min(rows.len())..]
+                .iter()
+                .enumerate()
+                .map(|(k, t)| ((coverage + k) as u64, t.values()))
+                .collect();
+            inner.wal.rewrite(coverage as u64, &tail)?;
+        }
+        drop(inner);
+        ct.store = Some(Arc::clone(self));
+        Ok(())
+    }
+
+    /// Faults the block described by `meta` in through the buffer pool:
+    /// pool hit → `(block, false)`; miss → read + CRC-check + decode the
+    /// extent, admit it, `(block, true)`.
+    pub(crate) fn fetch(&self, meta: &BlockMeta) -> Result<(Arc<SealedBlock>, bool)> {
+        let key = (self.table_id, meta.block_no);
+        if let Some(block) = self.pool.get(key) {
+            return Ok((block, false));
+        }
+        let mut inner = self.inner.lock();
+        // Re-check under the lock: a racing scan may have faulted it in.
+        if let Some(block) = self.pool.get(key) {
+            return Ok((block, false));
+        }
+        let mut buf = vec![0u8; meta.len];
+        inner
+            .data
+            .seek(SeekFrom::Start(meta.offset))
+            .and_then(|_| inner.data.read_exact(&mut buf))
+            .map_err(|e| io_err("cannot read extent", &inner.data_path, e))?;
+        drop(inner);
+        let decoded = decode_extent(&buf)?.ok_or_else(|| {
+            RankSqlError::Storage(format!(
+                "extent {} of table {} failed its checksum",
+                meta.block_no, self.table_id
+            ))
+        })?;
+        if decoded.block_no != meta.block_no || decoded.block.rows() != meta.rows {
+            return Err(RankSqlError::Storage(format!(
+                "extent {} of table {} does not match its metadata",
+                meta.block_no, self.table_id
+            )));
+        }
+        self.pool
+            .insert(key, Arc::clone(&decoded.block), meta.pages);
+        Ok((decoded.block, true))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PagedStore: the database directory.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct TableSpec {
+    id: u32,
+    name: String,
+    schema: Schema,
+}
+
+/// A database directory of paged tables: the durable catalog plus one
+/// [`TableStore`] per table, all sharing one [`BufferPool`].
+///
+/// Attach one to a [`Catalog`] (done by [`PagedStore::open`]) and every
+/// subsequent `create_table` becomes durable: catalog file rewritten +
+/// fsynced, data/WAL files created, the store attached to the new table so
+/// its inserts follow the WAL protocol.
+#[derive(Debug)]
+pub struct PagedStore {
+    dir: PathBuf,
+    pool: Arc<BufferPool>,
+    specs: Mutex<Vec<TableSpec>>,
+}
+
+impl PagedStore {
+    /// Opens (or initialises) the database directory, recovers every
+    /// table in the on-disk catalog into `catalog`, and attaches the store
+    /// so future `create_table` calls are durable.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        options: PagedOptions,
+        catalog: &Catalog,
+    ) -> Result<Arc<PagedStore>> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| io_err("cannot create database directory", &dir, e))?;
+        let store = Arc::new(PagedStore {
+            pool: Arc::new(BufferPool::new(options.pool_pages)),
+            specs: Mutex::new(read_catalog_file(&dir)?),
+            dir,
+        });
+        let specs = store.specs.lock().clone();
+        for spec in &specs {
+            let (ts, rows) = TableStore::open(&store.dir, spec.id, Arc::clone(&store.pool))?;
+            let ts = Arc::new(ts);
+            let mut ct = ColumnTable::from_rows(spec.id, &spec.name, &spec.schema, &rows);
+            // No-op on disk (every full block is already durable): flips
+            // the slots to paged and drops the decoded block data.
+            ts.persist(&mut ct, &rows, false)?;
+            let table = Table::recovered(spec.id, &spec.name, spec.schema.clone(), rows, ts, ct);
+            catalog.adopt_recovered(table)?;
+        }
+        catalog.attach_paged_store(Arc::clone(&store));
+        Ok(store)
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Page-size constant re-exported for pool sizing
+    /// (`pool_pages = budget_bytes / PAGE_SIZE`).
+    pub const PAGE_SIZE: usize = PAGE_SIZE;
+
+    /// Makes a newly created table durable: creates its data/WAL files,
+    /// attaches a [`TableStore`] to it, and atomically rewrites the
+    /// catalog file.  Called by [`Catalog::create_table`] /
+    /// [`Catalog::register_table`] when a store is attached.
+    pub(crate) fn register_table(self: &Arc<Self>, table: &Table) -> Result<()> {
+        let ts = Arc::new(TableStore::create(
+            &self.dir,
+            table.id(),
+            Arc::clone(&self.pool),
+        )?);
+        table.attach_store(ts)?;
+        let mut specs = self.specs.lock();
+        specs.push(TableSpec {
+            id: table.id(),
+            name: table.name().to_owned(),
+            schema: table.schema().clone(),
+        });
+        write_catalog_file(&self.dir, &specs)
+    }
+
+    /// Removes a dropped table's catalog entry and files (called by
+    /// [`Catalog::drop_table`]), so it cannot resurrect at the next open.
+    pub(crate) fn unregister_table(self: &Arc<Self>, table_id: u32) -> Result<()> {
+        let mut specs = self.specs.lock();
+        specs.retain(|s| s.id != table_id);
+        write_catalog_file(&self.dir, &specs)?;
+        let _ = std::fs::remove_file(data_path(&self.dir, table_id));
+        let _ = std::fs::remove_file(wal_path(&self.dir, table_id));
+        Ok(())
+    }
+}
+
+fn catalog_path(dir: &Path) -> PathBuf {
+    dir.join("catalog.rsql")
+}
+
+fn dtype_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Bool => 2,
+        DataType::Utf8 => 3,
+        DataType::Null => 4,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Int64,
+        1 => DataType::Float64,
+        2 => DataType::Bool,
+        3 => DataType::Utf8,
+        4 => DataType::Null,
+        _ => {
+            return Err(RankSqlError::Storage(format!(
+                "unknown data-type tag {tag} in catalog file"
+            )))
+        }
+    })
+}
+
+fn write_catalog_file(dir: &Path, specs: &[TableSpec]) -> Result<()> {
+    let mut payload = Vec::new();
+    put_u32(&mut payload, specs.len() as u32);
+    for spec in specs {
+        put_u32(&mut payload, spec.id);
+        put_str(&mut payload, &spec.name);
+        put_u32(&mut payload, spec.schema.len() as u32);
+        for field in spec.schema.fields() {
+            match &field.relation {
+                Some(rel) => {
+                    payload.push(1);
+                    put_str(&mut payload, rel);
+                }
+                None => payload.push(0),
+            }
+            put_str(&mut payload, &field.name);
+            payload.push(dtype_tag(field.data_type));
+        }
+    }
+    let mut out = Vec::with_capacity(12 + payload.len());
+    put_u32(&mut out, CATALOG_MAGIC);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+
+    // Atomic rewrite: side file + fsync + rename, like the WAL rewrite.
+    let path = catalog_path(dir);
+    let tmp = path.with_extension("rsql.new");
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| io_err("cannot create catalog file", &tmp, e))?;
+        f.write_all(&out)
+            .map_err(|e| io_err("cannot write catalog file", &tmp, e))?;
+        f.sync_all()
+            .map_err(|e| io_err("cannot sync catalog file", &tmp, e))?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| io_err("cannot publish catalog file", &path, e))
+}
+
+fn read_catalog_file(dir: &Path) -> Result<Vec<TableSpec>> {
+    let path = catalog_path(dir);
+    let _ = std::fs::remove_file(path.with_extension("rsql.new"));
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err("cannot read catalog file", &path, e)),
+    };
+    let mut r = Reader::new(&bytes);
+    if r.u32()? != CATALOG_MAGIC {
+        return Err(RankSqlError::Storage(format!(
+            "`{}` is not a RankSQL catalog file",
+            path.display()
+        )));
+    }
+    let payload_len = r.u32()? as usize;
+    let want_crc = r.u32()?;
+    if r.remaining() < payload_len {
+        return Err(RankSqlError::Storage(format!(
+            "catalog file `{}` is truncated",
+            path.display()
+        )));
+    }
+    let payload = &bytes[r.position()..r.position() + payload_len];
+    if crc32(payload) != want_crc {
+        return Err(RankSqlError::Storage(format!(
+            "catalog file `{}` failed its checksum",
+            path.display()
+        )));
+    }
+    let mut pr = Reader::new(payload);
+    let n_tables = pr.u32()? as usize;
+    let mut specs = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let id = pr.u32()?;
+        let name = pr.str()?;
+        let n_fields = pr.u32()? as usize;
+        let mut fields = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let relation = match pr.u8()? {
+                0 => None,
+                _ => Some(pr.str()?),
+            };
+            let field_name = pr.str()?;
+            let data_type = dtype_from_tag(pr.u8()?)?;
+            fields.push(match relation {
+                Some(rel) => Field::qualified(rel, field_name, data_type),
+                None => Field::new(field_name, data_type),
+            });
+        }
+        specs.push(TableSpec {
+            id,
+            name,
+            schema: Schema::new(fields),
+        });
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ranksql_store_test_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("p", DataType::Float64),
+            Field::new("s", DataType::Utf8),
+        ])
+    }
+
+    fn row(i: i64) -> Vec<Value> {
+        vec![
+            Value::from(i),
+            Value::from((i % 100) as f64 / 100.0),
+            Value::from(format!("r{i}").as_str()),
+        ]
+    }
+
+    #[test]
+    fn create_insert_reopen_round_trips_across_the_seal_boundary() {
+        let dir = temp_dir("roundtrip");
+        let n = COLUMN_BLOCK_ROWS as i64 + 300;
+        {
+            let catalog = Catalog::new();
+            PagedStore::open(&dir, PagedOptions::default(), &catalog).unwrap();
+            let t = catalog.create_table("T", schema()).unwrap();
+            for i in 0..n {
+                t.insert(row(i)).unwrap();
+            }
+            // The sealed block is paged out; the tail is WAL-covered.
+            assert_eq!(t.columnar().paged_blocks(), 1);
+        }
+        let catalog = Catalog::new();
+        PagedStore::open(&dir, PagedOptions::default(), &catalog).unwrap();
+        let t = catalog.table("T").unwrap();
+        assert_eq!(t.row_count(), n as usize);
+        assert_eq!(t.schema().field(0).qualified_name(), "T.a");
+        for i in [
+            0,
+            COLUMN_BLOCK_ROWS as i64 - 1,
+            COLUMN_BLOCK_ROWS as i64,
+            n - 1,
+        ] {
+            let tuple = t.tuple(i as u64).unwrap();
+            assert_eq!(tuple.values(), &row(i)[..], "row {i}");
+        }
+        // Recovered columnar projection reads back through the pool.
+        let c = t.columnar();
+        assert_eq!(c.row_count(), n as usize);
+        assert_eq!(c.tuple(5).values(), &row(5)[..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fetch_counts_faults_and_hits() {
+        let dir = temp_dir("faults");
+        let catalog = Catalog::new();
+        let store = PagedStore::open(&dir, PagedOptions { pool_pages: 2048 }, &catalog).unwrap();
+        let t = catalog.create_table("T", schema()).unwrap();
+        for i in 0..(COLUMN_BLOCK_ROWS as i64 * 2) {
+            t.insert(row(i)).unwrap();
+        }
+        let c = t.columnar();
+        assert_eq!(c.paged_blocks(), 2);
+        // Write-through at seal time: the first fetch is a pool hit.
+        let (_, faulted) = c.fetch_block(0).unwrap();
+        assert!(!faulted);
+        // A pool too small to hold anything forces real faults.
+        let cold = Catalog::new();
+        drop(store);
+        drop(catalog);
+        PagedStore::open(&dir, PagedOptions { pool_pages: 1 }, &cold).unwrap();
+        let c = cold.table("T").unwrap().columnar();
+        let (b0, faulted) = c.fetch_block(0).unwrap();
+        assert!(faulted, "cold pool must fault the extent in");
+        assert_eq!(b0.rows(), COLUMN_BLOCK_ROWS);
+        let (_, faulted) = c.fetch_block(1).unwrap();
+        assert!(faulted);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_extent_tail_is_truncated_and_wal_rows_survive() {
+        let dir = temp_dir("torn");
+        let n = COLUMN_BLOCK_ROWS as i64 + 50;
+        {
+            let catalog = Catalog::new();
+            PagedStore::open(&dir, PagedOptions::default(), &catalog).unwrap();
+            let t = catalog.create_table("T", schema()).unwrap();
+            for i in 0..n {
+                t.insert(row(i)).unwrap();
+            }
+        }
+        // Corrupt the sealed extent's payload: the sealed block is lost,
+        // and (the WAL having been rewritten past it) the durable epoch
+        // ends at the truncation point.
+        let data = data_path(&dir, 0);
+        let mut bytes = std::fs::read(&data).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&data, &bytes).unwrap();
+        let catalog = Catalog::new();
+        PagedStore::open(&dir, PagedOptions::default(), &catalog).unwrap();
+        let t = catalog.table("T").unwrap();
+        assert_eq!(
+            t.row_count(),
+            0,
+            "corrupt first extent leaves no contiguous durable prefix"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn catalog_file_round_trips_qualified_schemas() {
+        let dir = temp_dir("catalog");
+        {
+            let catalog = Catalog::new();
+            PagedStore::open(&dir, PagedOptions::default(), &catalog).unwrap();
+            catalog.create_table("A", schema()).unwrap();
+            catalog.create_table("B", schema()).unwrap();
+        }
+        let catalog = Catalog::new();
+        PagedStore::open(&dir, PagedOptions::default(), &catalog).unwrap();
+        assert_eq!(catalog.table_names(), vec!["A".to_owned(), "B".to_owned()]);
+        assert_eq!(catalog.table("B").unwrap().id(), 1);
+        // Ids keep advancing past recovered tables.
+        assert_eq!(catalog.create_table("C", schema()).unwrap().id(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn register_prebuilt_table_becomes_durable() {
+        let dir = temp_dir("register");
+        {
+            let catalog = Catalog::new();
+            PagedStore::open(&dir, PagedOptions::default(), &catalog).unwrap();
+            let prebuilt = crate::table::TableBuilder::new("W", schema().qualify_all("W"))
+                .rows((0..10).map(row))
+                .build(0)
+                .unwrap();
+            catalog.register_table(prebuilt).unwrap();
+        }
+        let catalog = Catalog::new();
+        PagedStore::open(&dir, PagedOptions::default(), &catalog).unwrap();
+        let t = catalog.table("W").unwrap();
+        assert_eq!(t.row_count(), 10, "pre-attach rows reach the WAL");
+        assert_eq!(t.tuple(9).unwrap().values(), &row(9)[..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -19,6 +19,7 @@ use ranksql_common::{RankSqlError, Result, Schema, Tuple, TupleId, Value};
 
 use crate::column::{ColumnTable, COLUMN_BLOCK_ROWS};
 use crate::index::{BTreeIndex, HashIndex, ScoreIndex};
+use crate::recovery::TableStore;
 use crate::stats::StatsCatalog;
 
 /// The statistics catalog split along the seal boundary: `sealed` covers
@@ -184,6 +185,13 @@ pub struct Table {
     /// Fast-path flag so the insert hot loop skips statistics maintenance
     /// when the catalog was never built.
     has_stats: AtomicBool,
+    /// The disk half of a paged table (see [`crate::recovery::TableStore`]):
+    /// inserts append to its WAL, seal boundaries persist block extents
+    /// through it.  `None` for purely in-memory tables.
+    store: RwLock<Option<Arc<TableStore>>>,
+    /// Fast-path flag so the insert hot loop skips the WAL when the table
+    /// has no store.
+    has_store: AtomicBool,
 }
 
 impl Table {
@@ -204,7 +212,63 @@ impl Table {
             has_columnar: AtomicBool::new(false),
             stats: RwLock::new(None),
             has_stats: AtomicBool::new(false),
+            store: RwLock::new(None),
+            has_store: AtomicBool::new(false),
         }
+    }
+
+    /// Rebuilds a table from recovered state (crash recovery path of
+    /// [`crate::recovery::PagedStore::open`]): the row heap is the durable
+    /// epoch replayed from extents + WAL, the columnar projection already
+    /// points at the paged extents, and the store is attached without
+    /// re-appending anything to the WAL.
+    pub(crate) fn recovered(
+        id: u32,
+        name: &str,
+        schema: Schema,
+        rows: Vec<Tuple>,
+        store: Arc<TableStore>,
+        columnar: ColumnTable,
+    ) -> Table {
+        Table {
+            id,
+            name: name.to_owned(),
+            schema,
+            rows: RwLock::new(rows),
+            score_indexes: RwLock::new(Vec::new()),
+            btree_indexes: RwLock::new(Vec::new()),
+            hash_indexes: RwLock::new(Vec::new()),
+            columnar: RwLock::new(Some(Arc::new(columnar))),
+            has_columnar: AtomicBool::new(true),
+            stats: RwLock::new(None),
+            has_stats: AtomicBool::new(false),
+            store: RwLock::new(Some(store)),
+            has_store: AtomicBool::new(true),
+        }
+    }
+
+    /// Attaches a [`TableStore`], making the table durable from here on.
+    /// Any rows inserted *before* the attach are persisted immediately
+    /// (sealed full blocks as extents, the tail into the WAL).  Holding the
+    /// row read lock across the attach keeps it atomic against concurrent
+    /// inserts, which take the write lock.
+    pub(crate) fn attach_store(&self, store: Arc<TableStore>) -> Result<()> {
+        let rows = self.rows.read();
+        let mut ct = ColumnTable::from_rows(self.id, &self.name, &self.schema, &rows);
+        store.persist(&mut ct, &rows, true)?;
+        *self.columnar.write() = Some(Arc::new(ct));
+        self.has_columnar.store(true, Ordering::Release);
+        *self.store.write() = Some(store);
+        self.has_store.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// The attached [`TableStore`], if the table is paged.
+    pub(crate) fn table_store(&self) -> Option<Arc<TableStore>> {
+        if !self.has_store.load(Ordering::Acquire) {
+            return None;
+        }
+        self.store.read().clone()
     }
 
     /// The table id.
@@ -283,9 +347,17 @@ impl Table {
             }
         }
         let idx = rows.len() as u64;
+        if self.has_store.load(Ordering::Acquire) {
+            if let Some(store) = self.store.read().as_ref() {
+                // The WAL record goes first: if the append fails, the heap
+                // is untouched and the insert cleanly errors.  No fsync
+                // here — durability is settled at the seal boundary.
+                store.append_wal(idx, &values)?;
+            }
+        }
         rows.push(Tuple::new(TupleId::base(self.id, idx), values));
         if self.has_columnar.load(Ordering::Acquire) {
-            self.seal_columnar(&rows);
+            self.seal_columnar(&rows)?;
         }
         Ok(idx)
     }
@@ -293,18 +365,25 @@ impl Table {
     /// Seals the columnar projection up to the last full 1024-row boundary,
     /// if new full blocks exist (called under the row write lock).  Builds
     /// the new version completely before publishing it, so readers only
-    /// ever observe fully-sealed block lists.
-    fn seal_columnar(&self, rows: &[Tuple]) {
+    /// ever observe fully-sealed block lists.  On a paged table the seal
+    /// boundary is also the durability boundary: the new blocks are
+    /// persisted as extents and the WAL is trimmed past them — an error
+    /// here leaves the rows WAL-covered (still durable) and unsealed.
+    fn seal_columnar(&self, rows: &[Tuple]) -> Result<()> {
         let aligned = rows.len() / COLUMN_BLOCK_ROWS * COLUMN_BLOCK_ROWS;
         let cur = {
             let guard = self.columnar.read();
             match guard.as_ref() {
                 Some(c) if c.row_count() < aligned => Arc::clone(c),
-                _ => return,
+                _ => return Ok(()),
             }
         };
-        let sealed = Arc::new(cur.resealed(rows, aligned));
-        *self.columnar.write() = Some(sealed);
+        let mut sealed = cur.resealed(rows, aligned);
+        if let Some(store) = self.table_store() {
+            store.persist(&mut sealed, rows, false)?;
+        }
+        *self.columnar.write() = Some(Arc::new(sealed));
+        Ok(())
     }
 
     /// Appends many rows.
@@ -325,6 +404,28 @@ impl Table {
     /// are always consistent.
     pub fn tuple(&self, row_index: u64) -> Option<Tuple> {
         self.rows.read().get(row_index as usize).cloned()
+    }
+
+    /// The tuple at `row_index`, checked against a pinned epoch's
+    /// watermark.  Accessors resolving row ids on behalf of a snapshot
+    /// (index scans, delta-tail readers) must use this instead of
+    /// [`Table::tuple`]: the heap is append-only, so an out-of-watermark
+    /// index is not "missing" — it is a row the epoch must never see, and
+    /// silently returning it would leak post-pin inserts into the
+    /// snapshot.  Such reads error as stale.
+    pub fn tuple_within(&self, row_index: u64, watermark: usize) -> Result<Tuple> {
+        if row_index as usize >= watermark {
+            return Err(RankSqlError::Execution(format!(
+                "stale read: row {row_index} of table `{}` is past the pinned epoch watermark {watermark}",
+                self.name
+            )));
+        }
+        self.tuple(row_index).ok_or_else(|| {
+            RankSqlError::Internal(format!(
+                "row {row_index} of table `{}` is below the watermark {watermark} but missing from the heap",
+                self.name
+            ))
+        })
     }
 
     /// A snapshot of all tuples (cheap clones: values are `Arc`-shared).
@@ -363,12 +464,9 @@ impl Table {
                 // projection is usable; rows past it go into the tail.
                 Some(c) => c,
                 None => {
-                    let built = Arc::new(ColumnTable::from_rows(
-                        self.id,
-                        &self.name,
-                        &self.schema,
-                        &rows,
-                    ));
+                    let mut ct = ColumnTable::from_rows(self.id, &self.name, &self.schema, &rows);
+                    self.persist_best_effort(&mut ct, &rows);
+                    let built = Arc::new(ct);
                     *self.columnar.write() = Some(Arc::clone(&built));
                     self.has_columnar.store(true, Ordering::Release);
                     built
@@ -436,19 +534,26 @@ impl Table {
         // cannot slip a row between the snapshot and the publication.
         let rows = self.rows.read();
         let cached = self.columnar.read().as_ref().cloned();
-        let built = match cached {
+        let mut ct = match cached {
             Some(c) if c.row_count() == rows.len() => return c,
-            Some(c) => Arc::new(c.resealed(&rows, rows.len())),
-            None => Arc::new(ColumnTable::from_rows(
-                self.id,
-                &self.name,
-                &self.schema,
-                &rows,
-            )),
+            Some(c) => c.resealed(&rows, rows.len()),
+            None => ColumnTable::from_rows(self.id, &self.name, &self.schema, &rows),
         };
+        self.persist_best_effort(&mut ct, &rows);
+        let built = Arc::new(ct);
         *self.columnar.write() = Some(Arc::clone(&built));
         self.has_columnar.store(true, Ordering::Release);
         built
+    }
+
+    /// Persist hook for infallible build paths: on a paged table, flips
+    /// freshly sealed full blocks to extents.  An I/O error here is
+    /// swallowed deliberately — the blocks simply stay RAM-resident and
+    /// WAL-covered (still durable), and the next seal boundary retries.
+    fn persist_best_effort(&self, ct: &mut ColumnTable, rows: &[Tuple]) {
+        if let Some(store) = self.table_store() {
+            let _ = store.persist(ct, rows, false);
+        }
     }
 
     /// The table's statistics catalog: per-column null counts, numeric

@@ -1,0 +1,354 @@
+//! The per-table write-ahead log.
+//!
+//! The WAL covers exactly the rows past the data file's durable extent
+//! coverage — the "delta tail" of the epoch machinery.  The file layout:
+//!
+//! ```text
+//! wal    := header record*
+//! header := magic u32 | table_id u32 | base_row u64
+//! record := len u32 | crc32 u32 | row_index u64 | n_values u32 | value*
+//! ```
+//!
+//! `base_row` is the row the first record *may* start at (the extent
+//! coverage when the WAL was last rewritten); `len` covers everything after
+//! the two leading words, `crc32` guards it.  Replay accepts the longest
+//! valid record prefix and stops at the first torn record.
+//!
+//! Durability protocol (see [`crate::recovery::TableStore`]): every insert
+//! appends one record with a plain buffered `write` — **no fsync** — and
+//! each 1024-row seal boundary fsyncs the log before the sealed block's
+//! extent is appended to the data file, then atomically rewrites the log to
+//! hold only the remaining tail rows (write `wal.new`, fsync, rename).  The
+//! epoch ordinal (the row-count watermark) is the LSN anchor: a record for
+//! row `r` is LSN `r + 1`, and recovery replays records with
+//! `row_index >= extent coverage` on top of the decoded extents.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ranksql_common::{RankSqlError, Result, Value};
+
+use crate::page::{crc32, decode_value, encode_value, put_u32, put_u64, Reader};
+
+/// Magic number opening every WAL file (`"RqWl"`).
+pub(crate) const WAL_MAGIC: u32 = 0x5271_576C;
+
+const HEADER_LEN: usize = 4 + 4 + 8;
+
+/// One replayed WAL record: the row index and its values.
+pub(crate) struct WalRecord {
+    pub(crate) row_index: u64,
+    pub(crate) values: Vec<Value>,
+}
+
+/// An open per-table WAL file.
+#[derive(Debug)]
+pub(crate) struct WalFile {
+    file: File,
+    path: PathBuf,
+    table_id: u32,
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> RankSqlError {
+    RankSqlError::Storage(format!("{what} `{}`: {e}", path.display()))
+}
+
+fn header_bytes(table_id: u32, base_row: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    put_u32(&mut out, WAL_MAGIC);
+    put_u32(&mut out, table_id);
+    put_u64(&mut out, base_row);
+    out
+}
+
+fn record_bytes(row_index: u64, values: &[Value]) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u64(&mut body, row_index);
+    put_u32(&mut body, values.len() as u32);
+    for v in values {
+        encode_value(&mut body, v);
+    }
+    let mut out = Vec::with_capacity(8 + body.len());
+    put_u32(&mut out, body.len() as u32);
+    put_u32(&mut out, crc32(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+impl WalFile {
+    /// Creates a fresh WAL at `path` with `base_row = 0`, truncating any
+    /// existing file.
+    pub(crate) fn create(path: PathBuf, table_id: u32) -> Result<WalFile> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err("cannot create WAL", &path, e))?;
+        file.write_all(&header_bytes(table_id, 0))
+            .map_err(|e| io_err("cannot write WAL header", &path, e))?;
+        file.sync_all()
+            .map_err(|e| io_err("cannot sync WAL", &path, e))?;
+        Ok(WalFile {
+            file,
+            path,
+            table_id,
+        })
+    }
+
+    /// Opens an existing WAL (an atomically renamed `wal.new` left by an
+    /// interrupted rewrite is *not* consulted — the rename either completed
+    /// or the old log is still the valid one), replaying its valid record
+    /// prefix.  Returns the open log, its `base_row` and the replayed
+    /// records.
+    pub(crate) fn open(path: PathBuf, table_id: u32) -> Result<(WalFile, u64, Vec<WalRecord>)> {
+        // Drop any orphaned rewrite temp: if it exists the rename never
+        // happened, so the old log is authoritative.
+        let _ = std::fs::remove_file(rewrite_path(&path));
+        if !path.exists() {
+            let wal = WalFile::create(path, table_id)?;
+            return Ok((wal, 0, Vec::new()));
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("cannot open WAL", &path, e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| io_err("cannot read WAL", &path, e))?;
+        if bytes.len() < HEADER_LEN {
+            // Torn header: treat as an empty fresh log.
+            let wal = WalFile::create(path, table_id)?;
+            return Ok((wal, 0, Vec::new()));
+        }
+        let mut r = Reader::new(&bytes);
+        let magic = r.u32()?;
+        let file_table = r.u32()?;
+        let base_row = r.u64()?;
+        if magic != WAL_MAGIC || file_table != table_id {
+            return Err(RankSqlError::Storage(format!(
+                "WAL `{}` does not belong to table {table_id}",
+                path.display()
+            )));
+        }
+        let mut records = Vec::new();
+        let mut valid_len = HEADER_LEN;
+        loop {
+            if r.remaining() < 8 {
+                break;
+            }
+            let len = r.u32()? as usize;
+            let want_crc = r.u32()?;
+            if r.remaining() < len {
+                break; // torn tail record
+            }
+            let body = &bytes[r.position()..r.position() + len];
+            if crc32(body) != want_crc {
+                break;
+            }
+            let mut br = Reader::new(body);
+            let row_index = br.u64()?;
+            let n = br.u32()? as usize;
+            let mut values = Vec::with_capacity(n);
+            let mut ok = true;
+            for _ in 0..n {
+                match decode_value(&mut br) {
+                    Ok(v) => values.push(v),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                break;
+            }
+            r.skip(len)?;
+            valid_len += 8 + len;
+            records.push(WalRecord { row_index, values });
+        }
+        // Truncate any torn suffix so appends continue from a clean tail.
+        file.set_len(valid_len as u64)
+            .map_err(|e| io_err("cannot truncate WAL", &path, e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err("cannot seek WAL", &path, e))?;
+        Ok((
+            WalFile {
+                file,
+                path,
+                table_id,
+            },
+            base_row,
+            records,
+        ))
+    }
+
+    /// Appends one record with a buffered write — **no fsync**; durability
+    /// arrives at the next seal-boundary [`WalFile::sync`].
+    pub(crate) fn append(&mut self, row_index: u64, values: &[Value]) -> Result<()> {
+        self.file
+            .write_all(&record_bytes(row_index, values))
+            .map_err(|e| io_err("cannot append to WAL", &self.path, e))
+    }
+
+    /// Fsyncs the log — the durability point of every row appended since
+    /// the last sync.
+    pub(crate) fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("cannot sync WAL", &self.path, e))
+    }
+
+    /// Atomically replaces the log with one holding `base_row` and only
+    /// `tail` (the rows past the new extent coverage): the new content is
+    /// written to a side file, fsynced, then renamed over the log — a crash
+    /// anywhere leaves either the complete old log or the complete new one.
+    pub(crate) fn rewrite(&mut self, base_row: u64, tail: &[(u64, &[Value])]) -> Result<()> {
+        let tmp = rewrite_path(&self.path);
+        let mut out = header_bytes(self.table_id, base_row);
+        for (row, values) in tail {
+            out.extend_from_slice(&record_bytes(*row, values));
+        }
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)
+                .map_err(|e| io_err("cannot create WAL rewrite", &tmp, e))?;
+            f.write_all(&out)
+                .map_err(|e| io_err("cannot write WAL rewrite", &tmp, e))?;
+            f.sync_all()
+                .map_err(|e| io_err("cannot sync WAL rewrite", &tmp, e))?;
+        }
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| io_err("cannot rename WAL rewrite", &self.path, e))?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| io_err("cannot reopen WAL", &self.path, e))?;
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_err("cannot seek WAL", &self.path, e))?;
+        Ok(())
+    }
+}
+
+fn rewrite_path(path: &Path) -> PathBuf {
+    let mut p = path.as_os_str().to_owned();
+    p.push(".new");
+    PathBuf::from(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ranksql_wal_test_{}_{tag}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn row(i: i64) -> Vec<Value> {
+        vec![Value::from(i), Value::from(i as f64 / 10.0)]
+    }
+
+    #[test]
+    fn append_sync_reopen_replays_records() {
+        let path = temp_wal("replay");
+        {
+            let mut wal = WalFile::create(path.clone(), 3).unwrap();
+            for i in 0..5 {
+                wal.append(i as u64, &row(i)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (_wal, base, records) = WalFile::open(path.clone(), 3).unwrap();
+        assert_eq!(base, 0);
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[4].row_index, 4);
+        assert_eq!(records[4].values, row(4));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_records_are_dropped_on_replay() {
+        let path = temp_wal("torn");
+        {
+            let mut wal = WalFile::create(path.clone(), 1).unwrap();
+            for i in 0..3 {
+                wal.append(i as u64, &row(i)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Chop bytes off the last record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (mut wal, _, records) = WalFile::open(path.clone(), 1).unwrap();
+        assert_eq!(records.len(), 2, "torn third record dropped");
+        // The truncated log accepts fresh appends cleanly.
+        wal.append(2, &row(2)).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, _, records) = WalFile::open(path.clone(), 1).unwrap();
+        assert_eq!(records.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rewrite_keeps_only_the_tail_atomically() {
+        let path = temp_wal("rewrite");
+        let values = row(7);
+        {
+            let mut wal = WalFile::create(path.clone(), 2).unwrap();
+            for i in 0..10 {
+                wal.append(i as u64, &row(i)).unwrap();
+            }
+            let tail: Vec<(u64, &[Value])> = vec![(8, values.as_slice()), (9, values.as_slice())];
+            wal.rewrite(8, &tail).unwrap();
+            // The rewritten log accepts appends.
+            wal.append(10, &row(10)).unwrap();
+            wal.sync().unwrap();
+        }
+        let (_wal, base, records) = WalFile::open(path.clone(), 2).unwrap();
+        assert_eq!(base, 8);
+        assert_eq!(
+            records.iter().map(|r| r.row_index).collect::<Vec<_>>(),
+            vec![8, 9, 10]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn orphaned_rewrite_temp_is_ignored() {
+        let path = temp_wal("orphan");
+        {
+            let mut wal = WalFile::create(path.clone(), 4).unwrap();
+            wal.append(0, &row(0)).unwrap();
+            wal.sync().unwrap();
+        }
+        // Simulate a crash mid-rewrite: a half-written temp beside the log.
+        std::fs::write(rewrite_path(&path), b"garbage").unwrap();
+        let (_wal, base, records) = WalFile::open(path.clone(), 4).unwrap();
+        assert_eq!(base, 0);
+        assert_eq!(records.len(), 1);
+        assert!(!rewrite_path(&path).exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_table_id_is_rejected() {
+        let path = temp_wal("wrongid");
+        {
+            WalFile::create(path.clone(), 5).unwrap();
+        }
+        assert!(WalFile::open(path.clone(), 6).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

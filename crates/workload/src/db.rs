@@ -40,7 +40,7 @@ pub fn catalog_into_database_with_backend(
         let created = db.create_table(&name, schema)?;
         created.insert_batch(table.scan().into_iter().map(|t| t.values().to_vec()))?;
     }
-    if backend == StorageBackend::Columnar {
+    if backend.is_columnar() {
         db.prebuild_columnar()?;
     }
     Ok(db)

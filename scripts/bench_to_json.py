@@ -40,6 +40,7 @@ DEFAULT_GROUPS = [
     "columnar_vs_row",
     "ablation_sketch",
     "ablation_write_path",
+    "ablation_buffer_pool",
 ]
 
 LINE = re.compile(

@@ -28,7 +28,7 @@ pub use ranksql_core::{
     RankingContext, ScalarExpr, ScoringFunction, Session, SessionSettings,
 };
 pub use ranksql_optimizer::{OptimizedPlan, RankOptimizer};
-pub use ranksql_storage::StorageBackend;
+pub use ranksql_storage::{PagedOptions, PagedStore, StorageBackend};
 
 #[cfg(test)]
 mod tests {

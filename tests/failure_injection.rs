@@ -1,6 +1,8 @@
 //! Failure-injection tests: malformed queries, dangling references and bad
 //! inputs must surface as `Err(RankSqlError::…)` — never as panics and never
-//! as silently wrong answers.
+//! as silently wrong answers.  The kill-and-recover harness at the bottom
+//! goes further: it aborts a whole child process mid-insert-burst and
+//! asserts the paged backend reopens at the last durable epoch.
 
 use ranksql::{
     parse_topk_query, BoolExpr, DataType, Database, Field, PlanMode, QueryBuilder, RankPredicate,
@@ -413,6 +415,212 @@ fn panicking_writer_leaves_the_table_readable_at_its_last_epoch() {
             "mode {mode:?} misses rows after the writer panic"
         );
     }
+}
+
+/// Satellite regression: a cursor pinned *before* an insert burst must
+/// stream exactly its pinned snapshot — rows appended after the pin are
+/// invisible, and any read the executor would issue past the pinned
+/// watermark surfaces as a stale-read error instead of leaking fresh data.
+#[test]
+fn cursor_pinned_before_a_burst_streams_its_snapshot_and_late_reads_are_stale() {
+    use ranksql::{Params, StorageBackend};
+
+    let db = Database::new().with_storage_backend(StorageBackend::Columnar);
+    db.create_table(
+        "B",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    let base = 1200i64;
+    db.insert_batch(
+        "B",
+        (0..base).map(|i| {
+            vec![
+                Value::from(i),
+                Value::from(((i * 37) % 1000) as f64 / 1000.0),
+            ]
+        }),
+    )
+    .unwrap();
+
+    let query = QueryBuilder::new()
+        .table("B")
+        .rank_predicate(RankPredicate::attribute("p", "B.p"))
+        .limit(10)
+        .build()
+        .unwrap();
+    let session = db.session();
+    let eager = session.execute(&query).unwrap();
+
+    // Pin a cursor (rank-aware: the plan reads through the table's rank
+    // index, the path the watermark guard protects), then burst 2000 rows
+    // past it — enough to seal new columnar blocks and grow every index.
+    let mut cursor = session
+        .prepare_query(query.clone())
+        .unwrap()
+        .bind(Params::none())
+        .unwrap()
+        .cursor()
+        .unwrap();
+    db.insert_batch(
+        "B",
+        (base..base + 2000).map(|i| vec![Value::from(i), Value::from(1.0)]),
+    )
+    .unwrap();
+
+    // The burst rows all score 1.0 — better than everything in the
+    // snapshot.  A cursor leaking past its watermark would surface them;
+    // the pinned cursor must return the pre-burst top-10 instead.
+    let streamed = cursor.drain().unwrap();
+    let ids = |rows: &[ranksql::expr::RankedTuple]| -> Vec<_> {
+        rows.iter().map(|r| r.tuple.id().clone()).collect()
+    };
+    assert_eq!(
+        ids(&streamed),
+        ids(&eager.rows),
+        "snapshot leaked the burst"
+    );
+
+    // The guard itself: reading past a pinned watermark is an explicit
+    // stale-read error, not silent fresh data.
+    let table = db.catalog().table("B").unwrap();
+    let watermark = base as usize;
+    assert!(table.tuple_within(0, watermark).is_ok());
+    assert!(table.tuple_within(base as u64 - 1, watermark).is_ok());
+    let err = table
+        .tuple_within(base as u64, watermark)
+        .expect_err("reads at or past the watermark must fail");
+    assert!(err.to_string().contains("stale"), "{err}");
+    let err = table
+        .tuple_within(base as u64 + 500, watermark)
+        .unwrap_err();
+    assert!(err.to_string().contains("stale"), "{err}");
+}
+
+/// Environment variable that flips this test binary into "victim" mode: the
+/// kill-and-recover harness re-invokes itself with this set, and the child
+/// half aborts the whole process mid-burst.
+const KILL_DIR_ENV: &str = "RANKSQL_KILL_AND_RECOVER_DIR";
+
+/// Deterministic row generator shared by the victim and the verifier.
+fn kill_row(i: i64) -> Vec<Value> {
+    vec![
+        Value::from(i),
+        Value::from(((i * 37 + 11) % 1000) as f64 / 1000.0),
+    ]
+}
+
+/// Kill-and-recover: a child process inserts a 3000-row burst into a paged
+/// database and `abort()`s without any orderly shutdown.  Reopening the
+/// directory must land on the last durable epoch: at least everything up to
+/// the last sealed-block fsync boundary (row 2048), never a torn or
+/// reordered prefix, and the recovered table must answer queries
+/// byte-identically to in-memory backends loaded with the same rows.
+#[test]
+fn killed_writer_process_recovers_to_the_last_durable_epoch() {
+    use ranksql::StorageBackend;
+
+    // ---- child half: populate and die. -----------------------------------
+    if let Ok(dir) = std::env::var(KILL_DIR_ENV) {
+        let db = Database::open_paged(&dir).unwrap();
+        db.create_table(
+            "K",
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("p", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        for i in 0..3000i64 {
+            db.insert("K", kill_row(i)).unwrap();
+        }
+        // No drop, no flush, no unwinding — the process dies right here,
+        // with 952 rows past the last seal boundary sitting in the WAL.
+        std::process::abort();
+    }
+
+    // ---- parent half: spawn the victim, then verify recovery. ------------
+    let dir = std::env::temp_dir().join(format!("ranksql-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let status = std::process::Command::new(std::env::current_exe().unwrap())
+        .arg("killed_writer_process_recovers_to_the_last_durable_epoch")
+        .arg("--exact")
+        .arg("--nocapture")
+        .env(KILL_DIR_ENV, &dir)
+        .status()
+        .unwrap();
+    assert!(!status.success(), "the victim child must have aborted");
+
+    let db = Database::open_paged(&dir).unwrap();
+    let table = db.catalog().table("K").unwrap();
+    let recovered = table.row_count();
+    // Everything up to the last WAL fsync (the 2048-row seal boundary) is
+    // guaranteed; rows beyond it survive exactly as far as their appends
+    // reached the OS, but never torn and never beyond what was inserted.
+    assert!(
+        (2048..=3000).contains(&recovered),
+        "recovered {recovered} rows, durable floor is 2048"
+    );
+    // Prefix equality: recovery must yield *the* inserted rows, in order.
+    for (i, tuple) in table.scan().iter().enumerate() {
+        assert_eq!(
+            tuple.values(),
+            kill_row(i as i64).as_slice(),
+            "row {i} diverged after recovery"
+        );
+    }
+
+    // The recovered table answers queries byte-identically to in-memory
+    // row and columnar databases loaded with the same recovered prefix.
+    let query = QueryBuilder::new()
+        .table("K")
+        .rank_predicate(RankPredicate::attribute("p", "K.p"))
+        .limit(7)
+        .build()
+        .unwrap();
+    let fingerprint = |db: &Database| {
+        let r = db
+            .session()
+            .with_mode(PlanMode::Traditional)
+            .with_threads(1)
+            .execute(&query)
+            .unwrap();
+        r.rows
+            .iter()
+            .map(|t| t.tuple.clone())
+            .zip(r.scores())
+            .collect::<Vec<_>>()
+    };
+    let reference = {
+        let mem = Database::new();
+        mem.create_table("K", table.schema().clone()).unwrap();
+        mem.insert_batch("K", (0..recovered as i64).map(kill_row))
+            .unwrap();
+        fingerprint(&mem)
+    };
+    let columnar = {
+        let mem = Database::new().with_storage_backend(StorageBackend::Columnar);
+        mem.create_table("K", table.schema().clone()).unwrap();
+        mem.insert_batch("K", (0..recovered as i64).map(kill_row))
+            .unwrap();
+        fingerprint(&mem)
+    };
+    assert_eq!(fingerprint(&db), reference, "paged vs row diverged");
+    assert_eq!(columnar, reference, "columnar vs row diverged");
+
+    // And the recovered database accepts further writes that persist.
+    db.insert("K", kill_row(recovered as i64)).unwrap();
+    drop(db);
+    let db = Database::open_paged(&dir).unwrap();
+    assert_eq!(
+        db.catalog().table("K").unwrap().row_count(),
+        recovered + 1,
+        "post-recovery insert lost on the second reopen"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

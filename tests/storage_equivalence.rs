@@ -1,25 +1,51 @@
 //! Cross-backend equivalence of the storage layer.
 //!
-//! The columnar backend (`ColumnTable` + zone maps, PR 5) promises that the
+//! The columnar backend (`ColumnTable` + zone maps, PR 5) and the
+//! disk-backed paged backend (buffer pool + WAL, PR 8) promise that the
 //! physical layout is a pure *access-path* choice: for every plan mode,
 //! thread count, batch size and morsel size, planning against
-//! `StorageBackend::Columnar` must produce exactly the ordered top-k result
-//! of the row backend — same tuples, same order, same scores.  The proptest
-//! below drives randomized workloads through all five `PlanMode`s and
-//! compares the two backends pairwise.
+//! `StorageBackend::Columnar` or `StorageBackend::Paged` must produce
+//! exactly the ordered top-k result of the row backend — same tuples, same
+//! order, same scores.  The proptest below drives randomized workloads
+//! through all five `PlanMode`s and compares the three backends pairwise.
 //!
 //! Companion regression tests pin the zone-map contract: score pruning on a
 //! selective top-k reduces `tuples_scanned` (and skips whole blocks) while
-//! the result stays byte-identical, and pushed-down filters show up in
-//! `explain` as `ColumnScan(..)[σ ..]` annotations.
+//! the result stays byte-identical, pushed-down filters show up in
+//! `explain` as `ColumnScan(..)[σ ..]` annotations, and on the paged
+//! backend a pruned block is a page never read (`pages_pruned` /
+//! `pages_faulted`).
 
 use proptest::prelude::*;
 
 use ranksql::expr::RankPredicate;
 use ranksql::{
-    BoolExpr, CompareOp, DataType, Database, Field, PlanMode, QueryBuilder, RankQuery, ScalarExpr,
-    Schema, StorageBackend, Value,
+    BoolExpr, CompareOp, DataType, Database, Field, PagedOptions, PlanMode, QueryBuilder,
+    RankQuery, ScalarExpr, Schema, StorageBackend, Value,
 };
+
+/// A process-unique scratch directory for paged databases, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("ranksql-eq-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
 
 const ALL_MODES: [PlanMode; 5] = [
     PlanMode::Canonical,
@@ -58,6 +84,19 @@ fn workload() -> impl Strategy<Value = Workload> {
 
 fn build_database(w: &Workload, backend: StorageBackend) -> (Database, RankQuery) {
     let db = Database::new().with_storage_backend(backend);
+    let query = populate(&db, w);
+    (db, query)
+}
+
+/// Like [`build_database`] but disk-backed: tables and rows go through the
+/// WAL protocol into `dir`, and scans fault pages through the buffer pool.
+fn build_paged_database(w: &Workload, dir: &std::path::Path) -> (Database, RankQuery) {
+    let db = Database::open_paged(dir).unwrap();
+    let query = populate(&db, w);
+    (db, query)
+}
+
+fn populate(db: &Database, w: &Workload) -> RankQuery {
     db.create_table(
         "R",
         Schema::new(vec![
@@ -86,7 +125,7 @@ fn build_database(w: &Workload, backend: StorageBackend) -> (Database, RankQuery
         db.insert("S", vec![Value::from(jc), Value::from(p2)])
             .unwrap();
     }
-    let query = QueryBuilder::new()
+    QueryBuilder::new()
         .tables(["R", "S"])
         .filter(BoolExpr::col_eq_col("R.jc", "S.jc"))
         .filter(BoolExpr::compare(
@@ -98,8 +137,7 @@ fn build_database(w: &Workload, backend: StorageBackend) -> (Database, RankQuery
         .rank_predicate(RankPredicate::attribute("p2", "S.p2"))
         .limit(w.k)
         .build()
-        .unwrap();
-    (db, query)
+        .unwrap()
 }
 
 /// `(tuple, score)` fingerprint of an ordered result (byte-identical order).
@@ -115,12 +153,14 @@ fn fingerprint(result: &ranksql::QueryResult) -> Vec<(ranksql::Tuple, f64)> {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
 
-    /// Columnar backend ≡ row backend for all five plan modes, at 1 and 4
-    /// worker threads, under random batch and morsel sizes.
+    /// Columnar and paged backends ≡ row backend for all five plan modes,
+    /// at 1 and 4 worker threads, under random batch and morsel sizes.
     #[test]
-    fn columnar_equals_row_for_all_plan_modes_and_thread_counts(w in workload()) {
+    fn columnar_and_paged_equal_row_for_all_plan_modes_and_thread_counts(w in workload()) {
         let (row_db, query) = build_database(&w, StorageBackend::Row);
         let (col_db, _) = build_database(&w, StorageBackend::Columnar);
+        let dir = TempDir::new("prop");
+        let (paged_db, _) = build_paged_database(&w, dir.path());
         for mode in ALL_MODES {
             for threads in [1usize, 4] {
                 let run = |db: &Database| {
@@ -134,10 +174,20 @@ proptest! {
                 };
                 let row = run(&row_db);
                 let col = run(&col_db);
+                let paged = run(&paged_db);
                 prop_assert_eq!(
                     fingerprint(&col),
                     fingerprint(&row),
-                    "mode {:?}, threads {}, batch {}, morsel {}: backends diverged",
+                    "mode {:?}, threads {}, batch {}, morsel {}: columnar diverged from row",
+                    mode,
+                    threads,
+                    w.batch_size,
+                    w.morsel_size
+                );
+                prop_assert_eq!(
+                    fingerprint(&paged),
+                    fingerprint(&row),
+                    "mode {:?}, threads {}, batch {}, morsel {}: paged diverged from row",
                     mode,
                     threads,
                     w.batch_size,
@@ -340,6 +390,196 @@ fn pushed_filters_fuse_prune_and_agree_with_row_backend() {
     assert!(text.contains("[σ T.id < 1000]"), "{text}");
 }
 
+/// The clustered single-table shape of [`clustered_db`], but disk-backed
+/// with an explicit buffer-pool budget.  8192 rows seal into 8 columnar
+/// blocks of two 16 KiB pages each (one i64 + one f64 column), so
+/// `pool_pages < 16` means the dataset does not fit in memory.
+fn clustered_paged_db(dir: &std::path::Path, rows: i64, pool_pages: u64) -> (Database, RankQuery) {
+    let db = Database::open_paged_with(dir, PagedOptions { pool_pages }).unwrap();
+    db.create_table(
+        "T",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ]),
+    )
+    .unwrap();
+    db.insert_batch(
+        "T",
+        (0..rows).map(|i| vec![Value::from(i), Value::from((rows - i) as f64 / rows as f64)]),
+    )
+    .unwrap();
+    let query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(5)
+        .build()
+        .unwrap();
+    (db, query)
+}
+
+/// The paged backend's pruning contract: with the buffer pool far below
+/// dataset size, a zone-pruned block is a page never read — the selective
+/// top-k faults a fraction of the pages the unpruned full scan does, while
+/// the results stay byte-identical to the row backend.
+#[test]
+fn zone_pruning_on_the_paged_backend_turns_pruned_blocks_into_unread_pages() {
+    const ROWS: i64 = 8192; // 8 sealed blocks = 16 data pages
+    let dir = TempDir::new("prune");
+    let (paged_db, query) = clustered_paged_db(dir.path(), ROWS, 4);
+    let (row_db, _) = clustered_db(StorageBackend::Row, ROWS);
+
+    let run = |db: &Database, q: &RankQuery| {
+        db.session()
+            .with_mode(PlanMode::Traditional)
+            .with_threads(1)
+            .execute(q)
+            .unwrap()
+    };
+    let topk = run(&paged_db, &query);
+    let row = run(&row_db, &query);
+    assert_eq!(fingerprint(&topk), fingerprint(&row), "results must agree");
+    assert!(
+        topk.pages_pruned > 0,
+        "score pruning must skip whole on-disk blocks (pages_pruned = 0)"
+    );
+
+    // An unselective query (k > rows: the threshold never rises enough to
+    // prune) must fault essentially the whole table through the 4-page
+    // pool, dwarfing the selective query's faults.
+    let full_query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(ROWS as usize + 1)
+        .build()
+        .unwrap();
+    let full = run(&paged_db, &full_query);
+    assert_eq!(full.pages_pruned, 0, "an unselective scan prunes nothing");
+    assert!(
+        topk.pages_faulted < full.pages_faulted,
+        "pruning must reduce pages faulted: top-k {} vs full scan {}",
+        topk.pages_faulted,
+        full.pages_faulted
+    );
+
+    // The I/O counters surface in explain_analyze.
+    let text = full.explain_analyze(Some(&query.ranking));
+    assert!(text.contains("paged storage: pages_faulted="), "{text}");
+
+    // The row backend touches no pages at all.
+    assert_eq!(row.pages_faulted, 0);
+    assert_eq!(row.pages_pruned, 0);
+}
+
+/// Durability round trip: dropping the database handle and reopening the
+/// directory recovers every table to the same rows, and queries return
+/// byte-identical results before and after.
+#[test]
+fn paged_database_reopens_with_identical_results() {
+    const ROWS: i64 = 3000; // 2 sealed blocks + a 952-row WAL tail
+    let dir = TempDir::new("reopen");
+    let before = {
+        let (db, query) = clustered_paged_db(dir.path(), ROWS, 64);
+        let r = db
+            .session()
+            .with_mode(PlanMode::Traditional)
+            .with_threads(1)
+            .execute(&query)
+            .unwrap();
+        (fingerprint(&r), query)
+    };
+    // The handle is gone; reopen from disk alone.
+    let db = Database::open_paged(dir.path()).unwrap();
+    assert_eq!(
+        db.catalog().table("T").unwrap().row_count(),
+        ROWS as usize,
+        "recovery must land on the last durable epoch"
+    );
+    let after = db
+        .session()
+        .with_mode(PlanMode::Traditional)
+        .with_threads(1)
+        .execute(&before.1)
+        .unwrap();
+    assert_eq!(
+        fingerprint(&after),
+        before.0,
+        "results diverged across reopen"
+    );
+}
+
+/// Satellite regression: a NaN-scoring row must never change pruning
+/// results.  `TopKThreshold::raise` ignores NaN (and the total order sorts
+/// NaN last), so the top-k over a table containing a NaN row equals the
+/// top-k without it — on every backend, with pruning still active.
+#[test]
+fn nan_scoring_rows_never_change_pruning_results() {
+    const ROWS: i64 = 4096;
+    let score = |i: i64| (ROWS - i) as f64 / ROWS as f64;
+    let rows_with_nan = (0..ROWS).map(|i| {
+        let p = if i == 100 { f64::NAN } else { score(i) };
+        vec![Value::from(i), Value::from(p)]
+    });
+    let schema = || {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("p", DataType::Float64),
+        ])
+    };
+    let query = QueryBuilder::new()
+        .table("T")
+        .rank_predicate(RankPredicate::attribute("p", "T.p"))
+        .limit(5)
+        .build()
+        .unwrap();
+    let run = |db: &Database| {
+        db.session()
+            .with_mode(PlanMode::Traditional)
+            .with_threads(1)
+            .execute(&query)
+            .unwrap()
+    };
+
+    // Reference: the same table *without* the NaN row (it is replaced by a
+    // worst-possible score, which can never reach the top 5 either).
+    let reference = {
+        let db = Database::new();
+        db.create_table("T", schema()).unwrap();
+        db.insert_batch(
+            "T",
+            (0..ROWS).map(|i| {
+                let p = if i == 100 { 0.0 } else { score(i) };
+                vec![Value::from(i), Value::from(p)]
+            }),
+        )
+        .unwrap();
+        run(&db).scores()
+    };
+
+    let row_db = Database::new();
+    row_db.create_table("T", schema()).unwrap();
+    row_db.insert_batch("T", rows_with_nan.clone()).unwrap();
+    let col_db = Database::new().with_storage_backend(StorageBackend::Columnar);
+    col_db.create_table("T", schema()).unwrap();
+    col_db.insert_batch("T", rows_with_nan).unwrap();
+
+    let row = run(&row_db);
+    let col = run(&col_db);
+    assert_eq!(fingerprint(&col), fingerprint(&row), "backends diverged");
+    assert_eq!(row.scores(), reference, "the NaN row changed the top-k");
+    assert!(
+        row.scores().iter().all(|s| !s.is_nan()),
+        "a NaN-scoring row leaked into the result"
+    );
+    // The NaN row lives in sealed block 0 — the block every plan must still
+    // read (it holds the true top scores), so pruning of the *other* blocks
+    // must stay fully effective.
+    assert!(
+        col.blocks_pruned > 0,
+        "NaN in a zone must not disable pruning (blocks_pruned = 0)"
+    );
+}
+
 /// Prepared statements key the plan cache per backend: the same shape
 /// planned against row and columnar storage must not share an entry.
 #[test]
@@ -354,11 +594,20 @@ fn plan_cache_keys_separate_backends() {
     let col_key = db
         .session()
         .with_storage_backend(StorageBackend::Columnar)
+        .prepare_query(query.clone())
+        .unwrap()
+        .cache_key()
+        .to_owned();
+    let paged_key = db
+        .session()
+        .with_storage_backend(StorageBackend::Paged)
         .prepare_query(query)
         .unwrap()
         .cache_key()
         .to_owned();
     assert_ne!(row_key, col_key);
+    assert_ne!(col_key, paged_key);
     assert!(row_key.contains("backend=row"), "{row_key}");
     assert!(col_key.contains("backend=columnar"), "{col_key}");
+    assert!(paged_key.contains("backend=paged"), "{paged_key}");
 }
