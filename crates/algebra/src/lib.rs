@@ -22,6 +22,7 @@
 //! plans into and that the executor consumes.  Physical *execution* lives in
 //! `ranksql-executor`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -10,6 +10,7 @@
 //! * the `paper-experiments` binary, which prints paper-style series and can
 //!   be pushed to the full paper-scale parameters with `--full`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -18,6 +18,7 @@
 //!   parallel execution.
 //! * [`RankSqlError`] — the error type used across the workspace.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -102,6 +102,24 @@ impl Cursor {
         physical: PhysicalPlan,
         plan_cache: Option<PlanCacheLookup>,
     ) -> Result<Cursor> {
+        // Last line of defence before operators are built: the plan about
+        // to execute must validate clean *with every parameter bound* —
+        // catches a cached shape that was rebound or limit-extended
+        // incoherently.  Gated like the optimizer-pass hooks (debug builds
+        // unless RANKSQL_VERIFY overrides).
+        if ranksql_verify::enabled() {
+            let diags = ranksql_verify::validate_physical(
+                &physical,
+                Some(&query.ranking),
+                &ranksql_verify::ValidateOptions::executable(),
+            );
+            if ranksql_verify::has_errors(&diags) {
+                return Err(RankSqlError::Plan(format!(
+                    "plan validation failed at cursor open:\n{}",
+                    ranksql_verify::report(&diags)
+                )));
+            }
+        }
         // The cursor's MVCC snapshot: epochs are pinned into this set from
         // open time on (the caps derivation below pins the column-scanned
         // tables; `build_operator` pins the rest), and the execution context

@@ -499,21 +499,54 @@ impl Database {
         threads: usize,
         backend: StorageBackend,
     ) -> Result<OptimizedPlan> {
+        let verify = ranksql_verify::enabled();
         let mut optimized = self.plan_serial(query, mode)?;
+        if verify {
+            debug_verify_logical(&optimized.plan, &query.ranking, "optimize")?;
+            debug_verify(&optimized.physical, &query.ranking, "optimize")?;
+        }
         if backend.is_columnar() {
             optimized.physical = ranksql_optimizer::columnarize(
                 optimized.physical,
                 &ranksql_optimizer::CostModel::default(),
             );
             optimized.cost = optimized.physical.estimated_cost;
+            if verify {
+                debug_verify(&optimized.physical, &query.ranking, "columnarize")?;
+            }
         }
         if threads > 1 {
             optimized.physical = ranksql_optimizer::parallelize(optimized.physical, threads);
             // The pass keeps cumulative per-node costs coherent, so the
             // plan's headline cost is the rewritten root's.
             optimized.cost = optimized.physical.estimated_cost;
+            if verify {
+                debug_verify(&optimized.physical, &query.ranking, "parallelize")?;
+            }
         }
         Ok(optimized)
+    }
+
+    /// Runs the full validator over the plan this database would run for
+    /// `query` under `mode` and its default settings, returning **every**
+    /// diagnostic (warnings included) regardless of the `RANKSQL_VERIFY`
+    /// gate.  A clean plan yields an empty vector.  The session-aware form
+    /// is [`Session::verify_plan`].
+    pub fn verify_plan(
+        &self,
+        query: &RankQuery,
+        mode: PlanMode,
+    ) -> Result<Vec<ranksql_verify::Diagnostic>> {
+        let optimized = self.plan(query, mode)?;
+        let opts = ranksql_verify::ValidateOptions::default();
+        let mut diags =
+            ranksql_verify::validate_logical(&optimized.plan, Some(&query.ranking), &opts);
+        diags.extend(ranksql_verify::validate_physical(
+            &optimized.physical,
+            Some(&query.ranking),
+            &opts,
+        ));
+        Ok(diags)
     }
 
     /// Plans with the per-mode optimizer configuration.  `RankOptimizer`
@@ -580,6 +613,7 @@ impl Database {
         out.push_str(&optimized.plan.explain(Some(&query.ranking)));
         out.push_str("physical plan:\n");
         out.push_str(&optimized.physical.explain(Some(&query.ranking)));
+        out.push_str(&explain_validation_footer(&optimized, &query.ranking));
         Ok(out)
     }
 
@@ -624,6 +658,65 @@ impl Database {
     pub fn cursor_for_physical(&self, query: &RankQuery, physical: PhysicalPlan) -> Result<Cursor> {
         Cursor::open(&self.catalog, &self.default_settings, query, physical, None)
     }
+}
+
+/// Validates a pass's physical output, hard-failing planning on any
+/// `Error`-severity diagnostic with the full report in the message.  Called
+/// only when [`ranksql_verify::enabled`] (debug builds by default).
+fn debug_verify(
+    physical: &PhysicalPlan,
+    ranking: &std::sync::Arc<ranksql_expr::RankingContext>,
+    stage: &str,
+) -> Result<()> {
+    let diags = ranksql_verify::validate_physical(
+        physical,
+        Some(ranking),
+        &ranksql_verify::ValidateOptions::default(),
+    );
+    if ranksql_verify::has_errors(&diags) {
+        return Err(ranksql_common::RankSqlError::Plan(format!(
+            "plan validation failed after the `{stage}` pass:\n{}",
+            ranksql_verify::report(&diags)
+        )));
+    }
+    Ok(())
+}
+
+/// The logical-plan half of [`debug_verify`].
+fn debug_verify_logical(
+    plan: &LogicalPlan,
+    ranking: &std::sync::Arc<ranksql_expr::RankingContext>,
+    stage: &str,
+) -> Result<()> {
+    let diags = ranksql_verify::validate_logical(
+        plan,
+        Some(ranking),
+        &ranksql_verify::ValidateOptions::default(),
+    );
+    if ranksql_verify::has_errors(&diags) {
+        return Err(ranksql_common::RankSqlError::Plan(format!(
+            "logical plan validation failed after the `{stage}` pass:\n{}",
+            ranksql_verify::report(&diags)
+        )));
+    }
+    Ok(())
+}
+
+/// The `plan validation:` footer `explain` appends: the full validator
+/// output over both trees (always computed — explain is a debugging
+/// surface, so the footer ignores the `RANKSQL_VERIFY` gate).
+pub(crate) fn explain_validation_footer(
+    optimized: &OptimizedPlan,
+    ranking: &std::sync::Arc<ranksql_expr::RankingContext>,
+) -> String {
+    let opts = ranksql_verify::ValidateOptions::default();
+    let mut diags = ranksql_verify::validate_logical(&optimized.plan, Some(ranking), &opts);
+    diags.extend(ranksql_verify::validate_physical(
+        &optimized.physical,
+        Some(ranking),
+        &opts,
+    ));
+    ranksql_verify::footer(&diags)
 }
 
 #[cfg(test)]

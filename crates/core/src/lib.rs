@@ -41,6 +41,7 @@
 //! A small SQL-ish front end ([`parse_topk_query`]) accepts the paper's
 //! `SELECT ... FROM ... WHERE ... ORDER BY p1 + p2 ... LIMIT k` syntax.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -212,9 +212,27 @@ impl<'db> Session<'db> {
         )
     }
 
+    /// Runs the full plan validator over the plan this session would run
+    /// for `query`, returning **every** diagnostic (warnings included)
+    /// regardless of the `RANKSQL_VERIFY` gate; an empty vector means a
+    /// clean plan.  The database-default form is
+    /// [`Database::verify_plan`](crate::Database::verify_plan).
+    pub fn verify_plan(&self, query: &RankQuery) -> Result<Vec<ranksql_verify::Diagnostic>> {
+        let optimized = self.plan(query)?;
+        let opts = ranksql_verify::ValidateOptions::default();
+        let mut diags =
+            ranksql_verify::validate_logical(&optimized.plan, Some(&query.ranking), &opts);
+        diags.extend(ranksql_verify::validate_physical(
+            &optimized.physical,
+            Some(&query.ranking),
+            &opts,
+        ));
+        Ok(diags)
+    }
+
     /// Returns the `EXPLAIN` text of the plan this session would run for a
     /// query: logical and costed physical trees under the session's mode and
-    /// thread budget.
+    /// thread budget, plus the plan-validation footer.
     pub fn explain(&self, query: &RankQuery) -> Result<String> {
         let optimized = self.db.plan_with_settings(
             query,
@@ -233,6 +251,10 @@ impl<'db> Session<'db> {
         out.push_str(&optimized.plan.explain(Some(&query.ranking)));
         out.push_str("physical plan:\n");
         out.push_str(&optimized.physical.explain(Some(&query.ranking)));
+        out.push_str(&crate::database::explain_validation_footer(
+            &optimized,
+            &query.ranking,
+        ));
         Ok(out)
     }
 }

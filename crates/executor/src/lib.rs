@@ -51,6 +51,7 @@
 //! outputs deterministically — byte-identical to serial execution for any
 //! thread count; see the [`exchange`] module.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

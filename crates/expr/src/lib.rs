@@ -14,6 +14,7 @@
 //! evaluated and their scores, from which the *maximal-possible score*
 //! `F_P[t]` (Property 1, the Ranking Principle) is computed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -19,6 +19,7 @@
 //!
 //! [`RankOptimizer`] ties the pieces together behind one entry point.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

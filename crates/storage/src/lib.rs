@@ -34,6 +34,7 @@
 //!   Zone/score metadata stays RAM-resident, so a zone-map prune is a page
 //!   never read.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

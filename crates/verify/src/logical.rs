@@ -1,0 +1,173 @@
+//! The [`LogicalPlan`] walk: the subset of rules that are meaningful
+//! before lowering — schema coherence, predicate column resolution,
+//! ranking-predicate ranges, parameter slots and degenerate limits.
+
+use ranksql_algebra::{LogicalPlan, ScanAccess};
+use ranksql_common::Value;
+use ranksql_expr::{BoolExpr, RankingContext};
+
+use crate::{check_param_bindings, node_path, Diagnostic, Rule, Severity, ValidateOptions};
+
+/// Validates a logical plan, returning every diagnostic found (empty for a
+/// clean plan).
+pub fn validate_logical(
+    plan: &LogicalPlan,
+    ctx: Option<&RankingContext>,
+    opts: &ValidateOptions,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut bindings = Vec::new();
+    let mut indices = Vec::new();
+    visit(plan, ctx, &mut indices, &mut diags, &mut bindings);
+    let root_path = node_path(&[], &label(plan));
+    check_param_bindings(&bindings, opts, &root_path, &mut diags);
+    diags
+}
+
+/// A short stable label for paths (the full `LogicalPlan::explain` labels
+/// need a ranking context; paths must render for broken plans too).
+fn label(plan: &LogicalPlan) -> String {
+    match plan {
+        LogicalPlan::Scan { table, access, .. } => match access {
+            ScanAccess::Sequential => format!("Scan({table})"),
+            ScanAccess::RankIndex { predicate } => format!("RankScan#{predicate}({table})"),
+            ScanAccess::AttributeIndex { column } => format!("IdxScan_{column}({table})"),
+        },
+        LogicalPlan::Select { .. } => "Select".to_owned(),
+        LogicalPlan::Project { .. } => "Project".to_owned(),
+        LogicalPlan::Rank { predicate, .. } => format!("Rank#{predicate}"),
+        LogicalPlan::Join { .. } => "Join".to_owned(),
+        LogicalPlan::SetOp { .. } => "SetOp".to_owned(),
+        LogicalPlan::Sort { .. } => "Sort".to_owned(),
+        LogicalPlan::Limit { k, .. } => format!("Limit[{k}]"),
+    }
+}
+
+fn check_index(
+    ctx: Option<&RankingContext>,
+    what: &str,
+    index: usize,
+    path: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if let Some(ctx) = ctx {
+        if index >= ctx.num_predicates() {
+            diags.push(Diagnostic {
+                rule: Rule::RankPredicateRange,
+                severity: Severity::Error,
+                node_path: path.to_owned(),
+                message: format!(
+                    "{what} references ranking predicate #{index} but the context has only {} \
+                     predicates",
+                    ctx.num_predicates()
+                ),
+            });
+        }
+    }
+}
+
+fn check_columns(
+    what: &str,
+    pred: &BoolExpr,
+    schema: &ranksql_common::Schema,
+    path: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for col in pred.columns() {
+        if col.resolve(schema).is_err() {
+            diags.push(Diagnostic {
+                rule: Rule::SchemaPredicateColumns,
+                severity: Severity::Error,
+                node_path: path.to_owned(),
+                message: format!(
+                    "{what} references column `{col}` which the input schema does not provide"
+                ),
+            });
+        }
+    }
+}
+
+fn visit(
+    plan: &LogicalPlan,
+    ctx: Option<&RankingContext>,
+    indices: &mut Vec<usize>,
+    diags: &mut Vec<Diagnostic>,
+    bindings: &mut Vec<(usize, Option<Value>)>,
+) {
+    let path = node_path(indices, &label(plan));
+
+    if plan.children().iter().all(|c| c.schema().is_ok()) {
+        if let Err(e) = plan.schema() {
+            diags.push(Diagnostic {
+                rule: Rule::SchemaCoherence,
+                severity: Severity::Error,
+                node_path: path.clone(),
+                message: format!("output schema is not derivable: {e}"),
+            });
+        }
+    }
+
+    match plan {
+        LogicalPlan::Scan { schema, access, .. } => match access {
+            ScanAccess::Sequential => {}
+            ScanAccess::RankIndex { predicate } => {
+                check_index(ctx, "rank-scan", *predicate, &path, diags);
+            }
+            ScanAccess::AttributeIndex { column } => {
+                if schema.index_of_str(column).is_err() {
+                    diags.push(Diagnostic {
+                        rule: Rule::SchemaPredicateColumns,
+                        severity: Severity::Error,
+                        node_path: path.clone(),
+                        message: format!("index column `{column}` is not in the scanned schema"),
+                    });
+                }
+            }
+        },
+        LogicalPlan::Select { input, predicate } => {
+            if let Ok(s) = input.schema() {
+                check_columns("selection predicate", predicate, &s, &path, diags);
+            }
+            bindings.extend(predicate.param_bindings());
+        }
+        LogicalPlan::Project { .. } => {}
+        LogicalPlan::Rank { predicate, .. } => {
+            check_index(ctx, "µ", *predicate, &path, diags);
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+            ..
+        } => {
+            if let Some(c) = condition {
+                if let (Ok(l), Ok(r)) = (left.schema(), right.schema()) {
+                    check_columns("join condition", c, &l.join(&r), &path, diags);
+                }
+                bindings.extend(c.param_bindings());
+            }
+        }
+        LogicalPlan::SetOp { .. } => {}
+        LogicalPlan::Sort { predicates, .. } => {
+            for p in predicates.iter() {
+                check_index(ctx, "sort", p, &path, diags);
+            }
+        }
+        LogicalPlan::Limit { k, .. } => {
+            if *k == 0 {
+                diags.push(Diagnostic {
+                    rule: Rule::LimitZero,
+                    severity: Severity::Warning,
+                    node_path: path.clone(),
+                    message: "limit keeps zero tuples".to_owned(),
+                });
+            }
+        }
+    }
+
+    for (i, child) in plan.children().into_iter().enumerate() {
+        indices.push(i);
+        visit(child, ctx, indices, diags, bindings);
+        indices.pop();
+    }
+}

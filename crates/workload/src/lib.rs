@@ -15,6 +15,7 @@
 //! * [`trip`] — the Example 1 trip-planning scenario (Hotel, Restaurant,
 //!   Museum) used by the `trip_planning` example.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -45,6 +45,41 @@ DEFAULT_HARD_GROUPS = [
 ]
 
 
+def load_groups(path: str, role: str) -> dict:
+    """Loads `{"groups": {group: {bench: ns}}}`, failing loudly on malformed
+    input: a truncated upload, an empty file, or a drifted output format must
+    turn the gate red, not evaporate into "nothing to compare"."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"::error title=bench gate::cannot read {role} {path}: {e}")
+        raise SystemExit(1)
+    except json.JSONDecodeError as e:
+        print(f"::error title=bench gate::{role} {path} is not valid JSON: {e}")
+        raise SystemExit(1)
+    if not isinstance(doc, dict) or not isinstance(doc.get("groups"), dict):
+        print(
+            f"::error title=bench gate::{role} {path} has no `groups` object "
+            "(drifted bench-json output format?)"
+        )
+        raise SystemExit(1)
+    groups = doc["groups"]
+    if not groups:
+        print(f"::error title=bench gate::{role} {path} has an empty `groups` object")
+        raise SystemExit(1)
+    for group, benches in groups.items():
+        if not isinstance(benches, dict) or not all(
+            isinstance(ns, (int, float)) and ns > 0 for ns in benches.values()
+        ):
+            print(
+                f"::error title=bench gate::{role} {path}: group `{group}` is not a "
+                "map of bench name to positive ns/iter"
+            )
+            raise SystemExit(1)
+    return groups
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -61,10 +96,8 @@ def main() -> int:
     args = ap.parse_args()
     hard = {g.strip() for g in args.hard_groups.split(",") if g.strip()}
 
-    with open(args.baseline) as f:
-        baseline = json.load(f).get("groups", {})
-    with open(args.current) as f:
-        current = json.load(f).get("groups", {})
+    baseline = load_groups(args.baseline, "baseline")
+    current = load_groups(args.current, "current run")
 
     failures = []
     warnings = []

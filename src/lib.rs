@@ -9,6 +9,7 @@
 //! and execution model, and the `examples/` directory for runnable
 //! end-to-end programs.
 #![doc = include_str!("../README.md")]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use ranksql_algebra as algebra;
@@ -18,6 +19,7 @@ pub use ranksql_executor as executor;
 pub use ranksql_expr as expr;
 pub use ranksql_optimizer as optimizer;
 pub use ranksql_storage as storage;
+pub use ranksql_verify as verify;
 pub use ranksql_workload as workload;
 
 pub use ranksql_common::{DataType, Field, RankSqlError, Result, Schema, Score, Tuple, Value};
@@ -29,6 +31,7 @@ pub use ranksql_core::{
 };
 pub use ranksql_optimizer::{OptimizedPlan, RankOptimizer};
 pub use ranksql_storage::{PagedOptions, PagedStore, StorageBackend};
+pub use ranksql_verify::{validate_logical, validate_physical, Diagnostic, Rule, Severity};
 
 #[cfg(test)]
 mod tests {
