@@ -1,0 +1,116 @@
+//! Server front-end throughput: what does putting the Session API behind
+//! the wire cost, per request?
+//!
+//! Three scenarios over the same small top-k workload:
+//!
+//! * `in_process` — the baseline: bind + cursor + take(10) straight on the
+//!   `Session` API, no socket.
+//! * `wire_roundtrip` — the same work as seen by a tenant: `BIND` → `OPEN`
+//!   → `FETCH 10` → `CLOSE` over a persistent loopback connection (the
+//!   statement is prepared once, so the steady-state path is plan-cache
+//!   hits plus framing).
+//! * `wire_fetch_more` — the incremental path: `FETCH 5` then
+//!   `FETCH_MORE 5`, exercising the server-held cursor extension.
+//!
+//! The spread between `in_process` and `wire_roundtrip` is the front end's
+//! overhead budget; the regression gate pins all three.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ranksql_common::{DataType, Field, Schema, Value};
+use ranksql_core::{Database, Params, PlanMode};
+use ranksql_server::{Server, ServerConfig};
+use ranksql_workload::client::WireClient;
+
+const SQL: &str = "SELECT * FROM T WHERE T.jc < ? ORDER BY s(T.score) LIMIT 10";
+
+fn build_db() -> Database {
+    let db = Database::new();
+    db.create_table(
+        "T",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("jc", DataType::Int64),
+            Field::new("score", DataType::Float64),
+        ]),
+    )
+    .expect("create table");
+    db.insert_batch(
+        "T",
+        (0..2_000i64).map(|i| {
+            vec![
+                Value::from(i),
+                Value::from(i % 16),
+                Value::from((((i * 2_654_435_761) % 10_000).abs() as f64) / 10_000.0),
+            ]
+        }),
+    )
+    .expect("seed rows");
+    db
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    // The server must outlive the (criterion-owned) benchmark closures, so
+    // the database and server are leaked for the life of the bench process
+    // and served from a plain detached thread.
+    let db: &'static Database = Box::leak(Box::new(build_db()));
+    let server: &'static Server = Box::leak(Box::new(
+        Server::bind(ServerConfig::default()).expect("bind"),
+    ));
+    let addr = server.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        let _ = server.serve(db);
+    });
+
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(200));
+
+    let session = db.session().with_mode(PlanMode::RankAware);
+    let prepared = session.prepare(SQL).expect("prepare");
+    group.bench_function("in_process", |b| {
+        b.iter(|| {
+            let mut cursor = prepared
+                .bind(Params::new().set(0, Value::from(8i64)))
+                .expect("bind")
+                .cursor()
+                .expect("cursor");
+            black_box(cursor.take(10).expect("take").len())
+        })
+    });
+
+    let mut client = WireClient::connect(addr).expect("connect");
+    client
+        .hello("bench", PlanMode::RankAware, 0, 0, 0)
+        .expect("hello");
+    let stmt = client.prepare(SQL).expect("prepare");
+    group.bench_function("wire_roundtrip", |b| {
+        b.iter(|| {
+            let bound = client
+                .bind(stmt.statement_id, None, &[(0, Value::from(8i64))])
+                .expect("bind");
+            let opened = client.open(bound.binding_id).expect("open");
+            let rows = client.fetch(opened.cursor_id, 10).expect("fetch");
+            client.close(opened.cursor_id).expect("close");
+            black_box(rows.rows.len())
+        })
+    });
+
+    group.bench_function("wire_fetch_more", |b| {
+        b.iter(|| {
+            let bound = client
+                .bind(stmt.statement_id, None, &[(0, Value::from(8i64))])
+                .expect("bind");
+            let opened = client.open(bound.binding_id).expect("open");
+            let first = client.fetch(opened.cursor_id, 5).expect("fetch");
+            let more = client.fetch_more(opened.cursor_id, 5).expect("fetch_more");
+            client.close(opened.cursor_id).expect("close");
+            black_box(first.rows.len() + more.rows.len())
+        })
+    });
+
+    group.finish();
+    server.shutdown_handle().shutdown();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

@@ -17,6 +17,9 @@
 //! * [`WorkerPool`] — the scoped-thread pool underneath morsel-driven
 //!   parallel execution.
 //! * [`RankSqlError`] — the error type used across the workspace.
+//! * [`wire`] — the length-prefixed client/server wire protocol: framing,
+//!   payload codecs, stable error codes, and the result-stream fingerprint
+//!   used for byte-identical end-to-end verification.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod schema;
 pub mod score;
 pub mod tuple;
 pub mod value;
+pub mod wire;
 
 pub use batch::{Batch, DEFAULT_BATCH_SIZE};
 pub use bitset::BitSet64;

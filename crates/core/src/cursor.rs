@@ -200,6 +200,26 @@ impl Cursor {
         self.exhausted
     }
 
+    /// The epochs this cursor's execution has pinned so far, as sorted
+    /// `(table_id, epoch_ordinal)` pairs — the observable MVCC snapshot.
+    /// Pins are taken lazily on first scan touch, so a cursor that has not
+    /// pulled yet may report fewer tables than its plan references.
+    pub fn pinned_epochs(&self) -> Vec<(u32, u64)> {
+        self.exec.epochs().pins()
+    }
+
+    /// Scan-produced tuples consumed so far (the tuple-budget meter; also
+    /// the per-tenant `tuples_scanned` the server's STATS verb reports).
+    pub fn tuples_scanned(&self) -> u64 {
+        self.exec.budget().used()
+    }
+
+    /// Pages faulted into the buffer pool by this execution so far (zero on
+    /// non-paged backends).
+    pub fn pages_faulted(&self) -> u64 {
+        self.exec.pages_faulted()
+    }
+
     /// Produces the next row, or `None` when the stream is exhausted.
     #[allow(clippy::should_implement_trait)] // fallible next + an Iterator impl, like std's Lines
     pub fn next(&mut self) -> Result<Option<RankedTuple>> {

@@ -50,6 +50,7 @@ pub mod cursor;
 pub mod database;
 pub mod parser;
 pub mod prepared;
+pub mod registry;
 pub mod result;
 pub mod session;
 
@@ -58,6 +59,7 @@ pub use cursor::{Cursor, CursorRows};
 pub use database::{Database, PlanCacheLookup, PlanCacheStats, PlanMode};
 pub use parser::{parse_topk_query, ParseError};
 pub use prepared::{BoundQuery, Params, PreparedQuery};
+pub use registry::{CursorRegistry, DEFAULT_MAX_OPEN_CURSORS};
 pub use result::QueryResult;
 pub use session::{Session, SessionSettings};
 

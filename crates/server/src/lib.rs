@@ -1,0 +1,59 @@
+//! The RankSQL server front end: a multi-tenant TCP wire protocol over the
+//! Session API.
+//!
+//! The engine's incremental top-k surface (`Session` → `PreparedQuery` →
+//! `Cursor`) is in-process; this crate puts it behind a socket without
+//! changing its semantics.  The design keeps every moving part something
+//! the workspace already has:
+//!
+//! * **Transport** — a length-prefixed binary protocol
+//!   ([`ranksql_common::wire`]): `HELLO`, `PREPARE`, `BIND`, `OPEN`,
+//!   `FETCH k`, `FETCH_MORE k`, `CLOSE`, `STATS`, `INSERT`.  No async
+//!   runtime: the accept loop is thread-per-connection under
+//!   `std::thread::scope`, the same scoped-thread machinery the executor's
+//!   `WorkerPool` uses, so connection handlers may borrow the `Database`
+//!   directly and can never outlive [`Server::serve`].
+//! * **Admission control** — `HELLO` names a tenant and *requests* session
+//!   settings (plan mode, worker threads, batch size, tuple budget); the
+//!   server clamps them to [`ServerConfig`] caps and replies with the
+//!   negotiated values.  A tenant's worker threads and tuple budget are
+//!   its resource envelope; the shared bounded-LRU plan cache is the
+//!   cross-tenant accelerator (two tenants binding the same query shape
+//!   share one optimization).
+//! * **Incremental streaming** — `FETCH`/`FETCH_MORE` pull from a
+//!   *server-held* [`Cursor`](ranksql_core::Cursor) parked in a
+//!   [`CursorRegistry`](ranksql_core::CursorRegistry); `FETCH_MORE`
+//!   extends the live operator tree past its original top-k without
+//!   re-running the query.  Every open cursor keeps the MVCC epochs it
+//!   pinned at first touch, so concurrent tenants' inserts never perturb
+//!   an in-flight result stream.
+//! * **Observability** — [`ServerMetrics`] keeps per-tenant counters
+//!   (queries, rows streamed, tuples scanned, plan-cache hits/misses,
+//!   pages faulted, budget rejections, protocol errors); the `STATS` verb
+//!   renders them plus the per-cursor pinned epochs as `key=value` text.
+//!
+//! ```no_run
+//! use ranksql_core::Database;
+//! use ranksql_server::{Server, ServerConfig};
+//!
+//! let db = Database::new();
+//! let server = Server::bind(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr().unwrap());
+//! let handle = server.shutdown_handle();
+//! // ... hand `handle` to a signal handler or test driver ...
+//! server.serve(&db).unwrap(); // blocks until handle.shutdown()
+//! # drop(handle);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod connection;
+mod listener;
+mod metrics;
+
+pub use config::ServerConfig;
+pub use listener::{Server, ShutdownHandle};
+pub use metrics::{ServerMetrics, TenantCounters, TenantSnapshot};

@@ -1,0 +1,219 @@
+//! Per-tenant observability: lock-free counters updated on the request
+//! path, snapshotted by the `STATS` verb.
+//!
+//! Counters are plain relaxed atomics — they are telemetry, not
+//! synchronization: each is independently monotonic and a `STATS` reader
+//! racing a writer may see a tenant mid-update, which is fine for
+//! monitoring (the per-counter values are never torn).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Monotonic counters for one tenant (shared by all of the tenant's
+/// connections — a tenant is a *name*, not a socket).
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    rows_streamed: AtomicU64,
+    rows_inserted: AtomicU64,
+    tuples_scanned: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    pages_faulted: AtomicU64,
+    budget_rejections: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl TenantCounters {
+    /// Records an accepted connection for this tenant.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one `BIND` (a query admitted for execution) and its
+    /// plan-cache outcome.
+    pub fn record_query(&self, cache_hit: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds rows streamed to the tenant over the wire.
+    pub fn add_rows_streamed(&self, n: u64) {
+        self.rows_streamed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds rows the tenant inserted.
+    pub fn add_rows_inserted(&self, n: u64) {
+        self.rows_inserted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds scan-produced tuples consumed on the tenant's behalf.
+    pub fn add_tuples_scanned(&self, n: u64) {
+        self.tuples_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds buffer-pool page faults charged to the tenant.
+    pub fn add_pages_faulted(&self, n: u64) {
+        self.pages_faulted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a query aborted by the tenant's tuple budget.
+    pub fn record_budget_rejection(&self) {
+        self.budget_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a protocol violation (malformed/oversized frame, unknown
+    /// opcode or id).
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self, tenant: &str) -> TenantSnapshot {
+        TenantSnapshot {
+            tenant: tenant.to_owned(),
+            connections: self.connections.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            rows_streamed: self.rows_streamed.load(Ordering::Relaxed),
+            rows_inserted: self.rows_inserted.load(Ordering::Relaxed),
+            tuples_scanned: self.tuples_scanned.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            pages_faulted: self.pages_faulted.load(Ordering::Relaxed),
+            budget_rejections: self.budget_rejections.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one tenant's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// The tenant name from `HELLO`.
+    pub tenant: String,
+    /// Connections accepted for this tenant.
+    pub connections: u64,
+    /// `BIND`s admitted.
+    pub queries: u64,
+    /// Rows streamed over the wire.
+    pub rows_streamed: u64,
+    /// Rows inserted.
+    pub rows_inserted: u64,
+    /// Scan-produced tuples consumed.
+    pub tuples_scanned: u64,
+    /// Plan-cache hits at bind.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses at bind.
+    pub plan_cache_misses: u64,
+    /// Buffer-pool page faults charged.
+    pub pages_faulted: u64,
+    /// Queries aborted by the tuple budget.
+    pub budget_rejections: u64,
+    /// Protocol violations.
+    pub protocol_errors: u64,
+}
+
+/// The server-wide metrics registry: per-tenant counters plus process-level
+/// gauges.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    started_unix_ms: u64,
+    connections_accepted: AtomicU64,
+    tenants: Mutex<BTreeMap<String, Arc<TenantCounters>>>,
+}
+
+impl ServerMetrics {
+    /// A fresh registry.  `started_unix_ms` is the wall-clock start time
+    /// (milliseconds since the Unix epoch) reported verbatim in `STATS`;
+    /// the *uptime* is measured on the monotonic clock.
+    pub fn new(started_unix_ms: u64) -> Self {
+        ServerMetrics {
+            started: Instant::now(),
+            started_unix_ms,
+            connections_accepted: AtomicU64::new(0),
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Milliseconds since the server started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Wall-clock start time (ms since the Unix epoch) as captured at bind.
+    pub fn started_unix_ms(&self) -> u64 {
+        self.started_unix_ms
+    }
+
+    /// Records one accepted connection (any tenant).
+    pub fn record_connection(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections accepted since start.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    /// The counters for `tenant`, created on first use.
+    pub fn tenant(&self, tenant: &str) -> Arc<TenantCounters> {
+        let mut tenants = self.tenants.lock();
+        Arc::clone(
+            tenants
+                .entry(tenant.to_owned())
+                .or_insert_with(|| Arc::new(TenantCounters::default())),
+        )
+    }
+
+    /// Snapshots every tenant, in name order.
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        self.tenants
+            .lock()
+            .iter()
+            .map(|(name, counters)| counters.snapshot(name))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenants_are_created_on_first_use_and_shared() {
+        let m = ServerMetrics::new(0);
+        let a = m.tenant("alice");
+        a.record_query(false);
+        a.record_query(true);
+        a.add_rows_streamed(10);
+        let again = m.tenant("alice");
+        again.record_budget_rejection();
+        let snaps = m.snapshot();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].queries, 2);
+        assert_eq!(snaps[0].plan_cache_hits, 1);
+        assert_eq!(snaps[0].plan_cache_misses, 1);
+        assert_eq!(snaps[0].rows_streamed, 10);
+        assert_eq!(snaps[0].budget_rejections, 1);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        let m = ServerMetrics::new(7);
+        m.tenant("zeta");
+        m.tenant("alpha");
+        let names: Vec<String> = m.snapshot().into_iter().map(|s| s.tenant).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(m.started_unix_ms(), 7);
+    }
+}

@@ -155,6 +155,19 @@ impl EpochSet {
     pub fn get(&self, table_id: u32) -> Option<Arc<TableEpoch>> {
         self.pins.lock().get(&table_id).cloned()
     }
+
+    /// A snapshot of every pin as `(table_id, epoch_ordinal)` pairs, sorted
+    /// by table id — the observable form of a cursor's MVCC snapshot (the
+    /// server's STATS verb reports exactly this).
+    pub fn pins(&self) -> Vec<(u32, u64)> {
+        let pins = self.pins.lock();
+        let mut out: Vec<(u32, u64)> = pins
+            .iter()
+            .map(|(id, epoch)| (*id, epoch.ordinal()))
+            .collect();
+        out.sort_unstable();
+        out
+    }
 }
 
 /// An append-only, in-memory table.

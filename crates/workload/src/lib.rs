@@ -14,16 +14,22 @@
 //!   this module by `ranksql-bench`.
 //! * [`trip`] — the Example 1 trip-planning scenario (Hotel, Restaurant,
 //!   Museum) used by the `trip_planning` example.
+//!
+//! The crate also hosts [`client`], the blocking wire-protocol client for
+//! the `ranksql-server` front end, shared by the load-generator example,
+//! the server end-to-end tests and the server throughput bench.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod client;
 pub mod db;
 pub mod micro;
 pub mod synthetic;
 pub mod trip;
 
+pub use client::{mode_code_for, stats_value, ClientError, ClientResult, WireClient};
 pub use db::{catalog_into_database, catalog_into_database_with_backend};
 pub use synthetic::{SyntheticConfig, SyntheticWorkload};
 pub use trip::TripWorkload;

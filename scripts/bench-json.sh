@@ -2,26 +2,28 @@
 # Regenerate a BENCH_*.json summary (and, by extension, bench/baseline.json)
 # with one command:
 #
-#     scripts/bench-json.sh                 # writes BENCH_PR8.json
+#     scripts/bench-json.sh                 # writes BENCH_PR10.json
 #     scripts/bench-json.sh bench/baseline.json
 #
 # Runs the pinned criterion groups of the bench-regression CI job
 # (operators_micro: seq_scan_hot_path, batch_vs_tuple, prepared_vs_cold,
 # columnar_vs_row incl. the kernel benches; the ablation_sketch
 # NDV-accuracy sweep; the ablation_write_path epoch-vs-rebuild write
-# benches; and the ablation_buffer_pool paged-backend pool-size sweep) and
-# converts the concatenated harness output into the stable JSON schema via
+# benches; the ablation_buffer_pool paged-backend pool-size sweep; and the
+# server_throughput wire-vs-in-process front-end benches) and converts the
+# concatenated harness output into the stable JSON schema via
 # scripts/bench_to_json.py.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR8.json}"
+OUT="${1:-BENCH_PR10.json}"
 
 {
     cargo bench -p ranksql-bench --bench operators_micro
     cargo bench -p ranksql-bench --bench ablation_sketch
     cargo bench -p ranksql-bench --bench ablation_write_path
     cargo bench -p ranksql-bench --bench ablation_buffer_pool
+    cargo bench -p ranksql-bench --bench server_throughput
 } \
     | tee /dev/stderr \
     | python3 scripts/bench_to_json.py --out "$OUT"

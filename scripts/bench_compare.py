@@ -10,7 +10,11 @@ Three checks:
    never reintroduce — fails the script.
 2. **Presence** — a hard group that is missing or empty in the current run
    fails the script: a renamed group or a drifted output format must never
-   turn the gate green by producing nothing to compare.
+   turn the gate green by producing nothing to compare.  The same applies
+   to *every* group the baseline records: a baseline group absent from the
+   current run is a hard failure with a `::error` annotation (it used to
+   vanish silently, because the ratio loop only walks the current run's
+   groups).
 3. **Within-run ratios** — machine-independent sanity of the perf claims,
    compared inside the *same run* so runner speed cancels out:
    `columnar_vs_row/columnar/scan_filter` must beat
@@ -108,6 +112,23 @@ def main() -> int:
             failures.append(
                 f"hard group `{group}` produced no measurements in the current run "
                 "(renamed group or drifted bench output format?)"
+            )
+
+    # 2b. Coverage: every group the baseline pins must appear in the
+    # current run.  A baseline-only group used to slip through silently —
+    # the ratio loop below iterates the *current* groups, so a dropped
+    # [[bench]] target, a renamed group or a truncated run read as
+    # "nothing regressed".  Vanishing from the measurement set is a hard
+    # failure, not an advisory.
+    for group in sorted(baseline):
+        if not current.get(group):
+            print(
+                "::error title=bench gate::baseline group "
+                f"`{group}` produced no measurements in the current run"
+            )
+            failures.append(
+                f"baseline group `{group}` is missing from the current run "
+                "(dropped bench target, renamed group, or truncated output?)"
             )
 
     # 1. Baseline ratios.

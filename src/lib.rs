@@ -2,7 +2,8 @@
 //!
 //! This is the umbrella crate of the workspace: it re-exports the public API
 //! of every component ([`core`], [`algebra`], [`executor`], [`optimizer`],
-//! [`storage`], [`expr`], [`common`], [`workload`]) so applications can
+//! [`storage`], [`expr`], [`common`], [`workload`], [`server`]) so
+//! applications can
 //! depend on a single crate.  The crate front page below is the repository
 //! README, included verbatim so its quickstart snippet is compiled and run
 //! as a doctest; see `ARCHITECTURE.md` in the repository for the crate DAG
@@ -18,6 +19,7 @@ pub use ranksql_core as core;
 pub use ranksql_executor as executor;
 pub use ranksql_expr as expr;
 pub use ranksql_optimizer as optimizer;
+pub use ranksql_server as server;
 pub use ranksql_storage as storage;
 pub use ranksql_verify as verify;
 pub use ranksql_workload as workload;
